@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the hash tree: the data structure on every
+//! resolve/update/locate path.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agentrack_hashtree::{AgentKey, HashTree, IAgentId, Side, SplitKind};
+
+/// Builds a tree with `leaves` IAgents by repeatedly splitting the leaf a
+/// random key lands in (approximating the shape load-driven splitting
+/// produces).
+fn tree_with(leaves: usize, rng: &mut StdRng) -> HashTree {
+    let mut tree = HashTree::new(IAgentId::new(0));
+    let mut next = 1u64;
+    while tree.iagent_count() < leaves {
+        let key = AgentKey::from_sequential(rng.gen());
+        let target = tree.lookup(key);
+        let cand = tree
+            .split_candidates(target)
+            .unwrap()
+            .into_iter()
+            .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+            .expect("simple split always available at these depths");
+        tree.apply_split(&cand, IAgentId::new(next), Side::Right)
+            .unwrap();
+        next += 1;
+    }
+    tree
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashtree/lookup");
+    let mut rng = StdRng::seed_from_u64(7);
+    for leaves in [2usize, 16, 64, 256, 1024] {
+        let tree = tree_with(leaves, &mut rng);
+        let keys: Vec<AgentKey> = (0..1024u64).map(AgentKey::from_sequential).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &tree, |b, tree| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(tree.lookup(keys[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashtree/split_candidates");
+    let mut rng = StdRng::seed_from_u64(8);
+    for leaves in [2usize, 64, 1024] {
+        let tree = tree_with(leaves, &mut rng);
+        let leaf = tree.iagents().max().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &tree, |b, tree| {
+            b.iter(|| black_box(tree.split_candidates(leaf).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_merge_cycle(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let tree = tree_with(64, &mut rng);
+    let leaf = tree.iagents().max().unwrap();
+    c.bench_function("hashtree/split_merge_cycle_64", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                let cand = t
+                    .split_candidates(leaf)
+                    .unwrap()
+                    .into_iter()
+                    .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+                    .unwrap();
+                t.apply_split(&cand, IAgentId::new(999_999), Side::Right)
+                    .unwrap();
+                t.apply_merge(IAgentId::new(999_999)).unwrap();
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_compatibility(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let tree = tree_with(256, &mut rng);
+    let mapping = tree.mapping();
+    let key = AgentKey::from_sequential(12345);
+    c.bench_function("hashtree/compatibility_scan_256", |b| {
+        b.iter(|| {
+            mapping
+                .iter()
+                .filter(|(_, hl)| hl.is_compatible(black_box(key)))
+                .count()
+        });
+    });
+}
+
+fn bench_serde(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tree = tree_with(64, &mut rng);
+    let json = serde_json::to_string(&tree).unwrap();
+    c.bench_function("hashtree/serialize_64", |b| {
+        b.iter(|| serde_json::to_string(black_box(&tree)).unwrap());
+    });
+    c.bench_function("hashtree/deserialize_64", |b| {
+        b.iter(|| serde_json::from_str::<HashTree>(black_box(&json)).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_split_candidates,
+    bench_split_merge_cycle,
+    bench_compatibility,
+    bench_serde
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the protocol layer: message marshalling, hash-key
+//! derivation, hash-function resolution, and split planning.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agentrack_core::{key_of, plan_split, HashFunction, LocationConfig, Wire};
+use agentrack_hashtree::{IAgentId, Side, SplitKind};
+use agentrack_platform::{AgentId, NodeId};
+
+fn bench_key_of(c: &mut Criterion) {
+    c.bench_function("protocol/key_of", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(key_of(AgentId::new(i)))
+        });
+    });
+}
+
+/// Builds a hash function with `n` IAgents split evenly.
+fn hash_function_with(n: usize) -> HashFunction {
+    let mut hf = HashFunction::initial(AgentId::new(0), NodeId::new(0));
+    let mut next = 1000u64;
+    while hf.tree.iagent_count() < n {
+        let target = hf.tree.lookup(key_of(AgentId::new(next * 77)));
+        let cand = hf
+            .tree
+            .split_candidates(target)
+            .unwrap()
+            .into_iter()
+            .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+            .unwrap();
+        hf.tree
+            .apply_split(&cand, IAgentId::new(next), Side::Right)
+            .unwrap();
+        hf.locations
+            .insert(IAgentId::new(next), NodeId::new((next % 16) as u32));
+        hf.version += 1;
+        next += 1;
+    }
+    hf
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/resolve");
+    for n in [1usize, 16, 128] {
+        let hf = hash_function_with(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &hf, |b, hf| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(hf.resolve(AgentId::new(i)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_round_trips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/wire");
+    let small = Wire::Locate {
+        target: AgentId::new(42),
+        token: 7,
+        reply_node: NodeId::new(3),
+    };
+    let hf = hash_function_with(64);
+    let large = Wire::InstallHashFn { hf };
+
+    group.bench_function("encode_locate", |b| {
+        b.iter(|| black_box(small.payload()));
+    });
+    let p = small.payload();
+    group.bench_function("decode_locate", |b| {
+        b.iter(|| black_box(Wire::from_payload(&p).unwrap()));
+    });
+    group.bench_function("encode_install_64_iagents", |b| {
+        b.iter(|| black_box(large.payload()));
+    });
+    let p = large.payload();
+    group.bench_function("decode_install_64_iagents", |b| {
+        b.iter(|| black_box(Wire::from_payload(&p).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_plan_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/plan_split");
+    let config = LocationConfig::default();
+    for agents in [10usize, 100, 1000] {
+        let hf = hash_function_with(8);
+        let leaf = hf.tree.iagents().next().unwrap();
+        let loads: Vec<(AgentId, u64)> = (0..agents as u64)
+            .map(|i| (AgentId::new(i), 1 + i % 7))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(agents),
+            &(hf, loads),
+            |b, (hf, loads)| {
+                b.iter(|| black_box(plan_split(&hf.tree, leaf, loads, &config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_key_of,
+    bench_resolve,
+    bench_wire_round_trips,
+    bench_plan_split
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates the paper's evaluation figures and the extension
+//! experiments.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] [exp1|exp2|ablation-split|ablation-propagation|
+//!                              sweep-thresholds|skew|baselines|all]...
+//! ```
+//!
+//! With no experiment arguments, everything runs. `--quick` shrinks
+//! populations and spans for a fast smoke pass; the recorded results in
+//! `EXPERIMENTS.md` come from full-fidelity runs. `--csv DIR` additionally
+//! writes one CSV per experiment into `DIR`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use agentrack_bench::{run_experiment, Fidelity, EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let mut fidelity = Fidelity::Full;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut chosen: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--csv DIR] [EXPERIMENT]...\n\
+                     experiments: {} | all",
+                    EXPERIMENTS.join(" | ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => chosen.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned())),
+            name if EXPERIMENTS.contains(&name) => chosen.push(name.to_owned()),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; experiments: {}",
+                    EXPERIMENTS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if chosen.is_empty() {
+        chosen.extend(EXPERIMENTS.iter().map(|s| (*s).to_owned()));
+    }
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for name in chosen {
+        let started = std::time::Instant::now();
+        let table = run_experiment(&name, fidelity);
+        print!("{}", table.render());
+        println!("[{name} took {:.1?}]", started.elapsed());
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("[wrote {}]", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,834 @@
+//! # agentrack-bench
+//!
+//! The experiment harness: one function per figure of the paper's
+//! evaluation, plus the extension experiments (ablations, sensitivity
+//! sweeps, a baseline panel). The `repro` binary dispatches to these and
+//! prints the tables recorded in `EXPERIMENTS.md`; the Criterion benches
+//! under `benches/` cover the micro-level costs.
+//!
+//! Every experiment takes a [`Fidelity`]: [`Fidelity::Full`] reproduces the
+//! paper's parameters (reconstructed where the source text lost digits —
+//! see `DESIGN.md`), [`Fidelity::Quick`] shrinks populations and spans so
+//! integration tests and smoke runs finish in seconds.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use agentrack_core::{
+    CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
+    LocationScheme,
+};
+use agentrack_workload::{Scenario, ScenarioReport};
+
+/// How much of the paper's scale to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// The reconstructed paper parameters.
+    Full,
+    /// Shrunk populations and spans for smoke tests.
+    Quick,
+}
+
+impl Fidelity {
+    fn scale_agents(self, n: usize) -> usize {
+        match self {
+            Fidelity::Full => n,
+            Fidelity::Quick => (n / 10).max(10),
+        }
+    }
+
+    fn queries(self) -> u64 {
+        match self {
+            Fidelity::Full => 2000,
+            Fidelity::Quick => 200,
+        }
+    }
+
+    fn spans(self) -> (f64, f64) {
+        match self {
+            // The split cascade at the largest population needs ~25 s to
+            // converge (the HAgent serialises rehashes); measure after it.
+            Fidelity::Full => (35.0, 15.0),
+            Fidelity::Quick => (10.0, 5.0),
+        }
+    }
+}
+
+/// A printable result table with a machine-readable CSV form.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (the experiment id and description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+fn ms(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a report's mean locate time, or `dnf` when the scheme answered
+/// nothing at all (a tracker so saturated that every query outlived the
+/// retry budget).
+fn ms_or_dnf(report: &ScenarioReport) -> String {
+    if report.locates_completed == 0 {
+        "dnf".to_owned()
+    } else {
+        ms(report.mean_locate_ms)
+    }
+}
+
+/// Experiment-grade client patience: a saturated tracker answers queries
+/// from a queue that is seconds deep; giving up early would record the
+/// meltdown as "no data" instead of as the honest, huge location times.
+fn patient(mut config: LocationConfig) -> LocationConfig {
+    config.max_locate_attempts = 30;
+    config.locate_retry_timeout = agentrack_sim::SimDuration::from_secs(2);
+    config
+}
+
+/// Runs one scenario against a fresh scheme instance of the named kind.
+fn run_scheme(scenario: &Scenario, kind: &str, config: LocationConfig) -> ScenarioReport {
+    match kind {
+        "hashed" => scenario.run(&mut HashedScheme::new(config)),
+        "centralized" => scenario.run(&mut CentralizedScheme::new(config)),
+        "home-registry" => scenario.run(&mut HomeRegistryScheme::new(config)),
+        "forwarding" => scenario.run(&mut ForwardingScheme::new(config)),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+/// **E1 / Figure 7 (Experiment I)** — location time vs. number of TAgents,
+/// centralized vs. hash-based. Residence fixed at 500 ms per node.
+#[must_use]
+pub fn exp1(fidelity: Fidelity) -> Table {
+    let populations: &[usize] = &[100, 200, 300, 500, 1000];
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E1 (Figure 7): location time vs number of TAgents",
+        &[
+            "agents",
+            "centralized_ms",
+            "hashed_ms",
+            "hashed_p95_ms",
+            "iagents",
+            "splits",
+            "cen_done",
+            "hash_done",
+        ],
+    );
+    for &n in populations {
+        let agents = fidelity.scale_agents(n);
+        let mut scenario = Scenario::new(format!("exp1-{agents}"))
+            .with_agents(agents)
+            .with_residence_ms(500)
+            .with_queries(fidelity.queries())
+            .with_seconds(warmup, measure);
+        scenario.grace = agentrack_sim::SimDuration::from_secs(45);
+        let cen = run_scheme(&scenario, "centralized", patient(LocationConfig::default()));
+        let hash = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+        table.push_row(vec![
+            agents.to_string(),
+            ms_or_dnf(&cen),
+            ms(hash.mean_locate_ms),
+            ms(hash.p95_locate_ms),
+            hash.trackers.to_string(),
+            hash.splits.to_string(),
+            cen.locates_completed.to_string(),
+            hash.locates_completed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E2 / Figure 8 (Experiment II)** — location time vs. mobility rate
+/// (residence time per node), 200 TAgents.
+#[must_use]
+pub fn exp2(fidelity: Fidelity) -> Table {
+    let residences: &[u64] = &[100, 200, 500, 1000, 2000];
+    let agents = fidelity.scale_agents(200);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E2 (Figure 8): location time vs residence time per node",
+        &[
+            "residence_ms",
+            "centralized_ms",
+            "hashed_ms",
+            "hashed_p95_ms",
+            "iagents",
+            "cen_done",
+            "hash_done",
+        ],
+    );
+    for &res in residences {
+        let mut scenario = Scenario::new(format!("exp2-{res}"))
+            .with_agents(agents)
+            .with_residence_ms(res)
+            .with_queries(fidelity.queries())
+            .with_seconds(warmup, measure);
+        scenario.grace = agentrack_sim::SimDuration::from_secs(45);
+        let cen = run_scheme(&scenario, "centralized", patient(LocationConfig::default()));
+        let hash = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+        table.push_row(vec![
+            res.to_string(),
+            ms_or_dnf(&cen),
+            ms(hash.mean_locate_ms),
+            ms(hash.p95_locate_ms),
+            hash.trackers.to_string(),
+            cen.locates_completed.to_string(),
+            hash.locates_completed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E3** — split-strategy ablation: the paper's complex-first splitting
+/// vs. simple-only, under the Experiment-I workload.
+#[must_use]
+pub fn ablation_split(fidelity: Fidelity) -> Table {
+    let agents = fidelity.scale_agents(500);
+    let (warmup, measure) = fidelity.spans();
+    let scenario = Scenario::new("ablation-split")
+        .with_agents(agents)
+        .with_residence_ms(300)
+        .with_queries(fidelity.queries())
+        .with_seconds(warmup, measure);
+    let mut table = Table::new(
+        "E3: split-strategy ablation (complex-first vs simple-only)",
+        &[
+            "strategy",
+            "locate_ms",
+            "iagents",
+            "splits",
+            "merges",
+            "tree_height",
+            "mean_prefix_bits",
+        ],
+    );
+    for (label, config) in [
+        ("complex-first", LocationConfig::default()),
+        ("simple-only", LocationConfig::default().simple_splits_only()),
+    ] {
+        let report = run_scheme(&scenario, "hashed", config);
+        table.push_row(vec![
+            label.to_owned(),
+            ms(report.mean_locate_ms),
+            report.trackers.to_string(),
+            report.splits.to_string(),
+            report.merges.to_string(),
+            report.tree_height.to_string(),
+            format!("{:.2}", report.mean_prefix_bits),
+        ]);
+    }
+    table
+}
+
+/// **E4** — hash-function propagation ablation: the paper's lazy on-demand
+/// secondary copies vs. eager push to every LHAgent.
+#[must_use]
+pub fn ablation_propagation(fidelity: Fidelity) -> Table {
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let scenario = Scenario::new("ablation-propagation")
+        .with_agents(agents)
+        .with_residence_ms(200)
+        .with_queries(fidelity.queries())
+        .with_seconds(warmup, measure);
+    let mut table = Table::new(
+        "E4: propagation ablation (lazy on-demand vs eager push)",
+        &[
+            "propagation",
+            "locate_ms",
+            "stale_hits",
+            "hf_fetches",
+            "messages",
+        ],
+    );
+    for (label, config) in [
+        ("lazy", LocationConfig::default()),
+        ("eager", LocationConfig::default().with_eager_propagation()),
+    ] {
+        let report = run_scheme(&scenario, "hashed", config);
+        table.push_row(vec![
+            label.to_owned(),
+            ms(report.mean_locate_ms),
+            report.stale_hits.to_string(),
+            report.hf_fetches.to_string(),
+            report.messages_sent.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E5** — threshold sensitivity: sweep `T_max` (with `T_min = T_max/10`).
+#[must_use]
+pub fn sweep_thresholds(fidelity: Fidelity) -> Table {
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let scenario = Scenario::new("sweep-thresholds")
+        .with_agents(agents)
+        .with_residence_ms(300)
+        .with_queries(fidelity.queries())
+        .with_seconds(warmup, measure);
+    let mut table = Table::new(
+        "E5: T_max sensitivity (T_min = T_max / 10)",
+        &[
+            "t_max",
+            "locate_ms",
+            "iagents",
+            "splits",
+            "merges",
+            "denied",
+        ],
+    );
+    for t_max in [10.0, 25.0, 50.0, 100.0, 200.0] {
+        let config = LocationConfig::default().with_thresholds(t_max, t_max / 10.0);
+        let mut scheme = HashedScheme::new(config);
+        let report = scenario.run(&mut scheme);
+        let denied = scheme.stats().rehash_denied;
+        table.push_row(vec![
+            format!("{t_max}"),
+            ms(report.mean_locate_ms),
+            report.trackers.to_string(),
+            report.splits.to_string(),
+            report.merges.to_string(),
+            denied.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E6** — skewed workloads: Zipf query popularity and Zipf node
+/// popularity. The paper balances *workload*, not item counts (its stated
+/// contrast with consistent hashing); this shows the load-driven splits
+/// coping with skew.
+#[must_use]
+pub fn skew(fidelity: Fidelity) -> Table {
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E6: Zipf skew (query popularity and node popularity)",
+        &[
+            "skew_s",
+            "locate_ms",
+            "p95_ms",
+            "iagents",
+            "splits",
+            "failures",
+        ],
+    );
+    for s in [0.0, 0.5, 0.9, 1.2] {
+        let mut scenario = Scenario::new(format!("skew-{s}"))
+            .with_agents(agents)
+            .with_residence_ms(300)
+            .with_queries(fidelity.queries())
+            .with_seconds(warmup, measure);
+        scenario.query_skew = Some(s);
+        scenario.mobility_skew = Some(s);
+        let report = run_scheme(&scenario, "hashed", LocationConfig::default());
+        table.push_row(vec![
+            format!("{s}"),
+            ms(report.mean_locate_ms),
+            ms(report.p95_locate_ms),
+            report.trackers.to_string(),
+            report.splits.to_string(),
+            report.locate_failures.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E7** — baseline panel: all four schemes under the Experiment-I
+/// workload at two populations and under fast mobility.
+#[must_use]
+pub fn baselines(fidelity: Fidelity) -> Table {
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E7: baseline panel (mean locate ms; per workload)",
+        &[
+            "scheme",
+            "n200_r500_ms",
+            "n500_r500_ms",
+            "n200_r100_ms",
+            "failures",
+        ],
+    );
+    let workloads = [
+        (fidelity.scale_agents(200), 500u64),
+        (fidelity.scale_agents(500), 500),
+        (fidelity.scale_agents(200), 100),
+    ];
+    for kind in ["hashed", "centralized", "home-registry", "forwarding"] {
+        let mut cells = vec![kind.to_owned()];
+        let mut failures = 0;
+        for (agents, res) in workloads {
+            let scenario = Scenario::new(format!("baseline-{kind}-{agents}-{res}"))
+                .with_agents(agents)
+                .with_residence_ms(res)
+                .with_queries(fidelity.queries())
+                .with_seconds(warmup, measure);
+            let report = run_scheme(&scenario, kind, patient(LocationConfig::default()));
+            failures += report.locate_failures;
+            cells.push(ms_or_dnf(&report));
+        }
+        cells.push(failures.to_string());
+        table.push_row(cells);
+    }
+    table
+}
+
+/// **E10** — split-planning ablation: the paper's statistics-driven even
+/// split vs. a blind `m = 1` split, under a workload where the blind
+/// choice is bad: query load Zipf-concentrated on a few agents, so the
+/// first bit rarely divides the *load* evenly even when it divides the
+/// *population* evenly.
+#[must_use]
+pub fn ablation_planning(fidelity: Fidelity) -> Table {
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E10: split planning (statistics-driven vs blind m=1)",
+        &[
+            "planner",
+            "locate_ms",
+            "p95_ms",
+            "iagents",
+            "splits",
+            "denied",
+        ],
+    );
+    for (label, config) in [
+        ("even-split", LocationConfig::default()),
+        ("blind-m1", LocationConfig::default().with_blind_splits()),
+    ] {
+        let mut scenario = Scenario::new(format!("planning-{label}"))
+            .with_agents(agents)
+            .with_residence_ms(300)
+            .with_queries(fidelity.queries())
+            .with_seconds(warmup, measure);
+        scenario.query_skew = Some(1.2);
+        let mut scheme = HashedScheme::new(patient(config));
+        let report = scenario.run(&mut scheme);
+        let denied = scheme.stats().rehash_denied;
+        table.push_row(vec![
+            label.to_owned(),
+            ms(report.mean_locate_ms),
+            ms(report.p95_locate_ms),
+            report.trackers.to_string(),
+            report.splits.to_string(),
+            denied.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E8** — population churn: agents die and are replaced throughout the
+/// run (the paper's "open system" motivation). Lifespans are exponential;
+/// the mean sweeps from heavy churn to none.
+#[must_use]
+pub fn churn(fidelity: Fidelity) -> Table {
+    use agentrack_sim::{DurationDist, SimDuration};
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E8: population churn (exponential lifespans)",
+        &[
+            "mean_lifespan_s",
+            "locate_ms",
+            "births",
+            "deaths",
+            "completed",
+            "failures",
+            "iagents",
+        ],
+    );
+    for lifespan_s in [5u64, 15, 60, 0] {
+        let mut scenario = Scenario::new(format!("churn-{lifespan_s}"))
+            .with_agents(agents)
+            .with_residence_ms(300)
+            .with_queries(fidelity.queries())
+            .with_seconds(warmup, measure);
+        if lifespan_s > 0 {
+            scenario.churn_lifespan = Some(DurationDist::Exponential {
+                mean: SimDuration::from_secs(lifespan_s),
+            });
+        }
+        let report = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+        table.push_row(vec![
+            if lifespan_s == 0 {
+                "static".to_owned()
+            } else {
+                lifespan_s.to_string()
+            },
+            ms(report.mean_locate_ms),
+            report.births.to_string(),
+            report.deaths.to_string(),
+            report.locates_completed.to_string(),
+            report.locate_failures.to_string(),
+            report.trackers.to_string(),
+        ]);
+    }
+    table
+}
+
+/// **E9** — locality extension (paper §7): IAgents migrate toward the
+/// node that originates most of their traffic. Under skewed mobility the
+/// tracked agents cluster, so a mobile IAgent can turn remote update
+/// traffic into node-local traffic.
+#[must_use]
+pub fn locality(fidelity: Fidelity) -> Table {
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E9: IAgent locality migration under skewed mobility",
+        &[
+            "locality",
+            "mobility_skew",
+            "locate_ms",
+            "iagent_moves",
+            "remote_msgs",
+            "total_msgs",
+            "failures",
+        ],
+    );
+    for skew in [2.5f64, 0.0] {
+        for enabled in [false, true] {
+            let mut scenario = Scenario::new(format!("locality-{enabled}-{skew}"))
+                .with_agents(agents)
+                .with_residence_ms(300)
+                .with_queries(fidelity.queries())
+                .with_seconds(warmup, measure);
+            scenario.mobility_skew = Some(skew);
+            let config = if enabled {
+                patient(LocationConfig::default()).with_locality_migration()
+            } else {
+                patient(LocationConfig::default())
+            };
+            let report = run_scheme(&scenario, "hashed", config);
+            table.push_row(vec![
+                if enabled { "on" } else { "off" }.to_owned(),
+                format!("{skew}"),
+                ms(report.mean_locate_ms),
+                report.iagent_moves.to_string(),
+                report.messages_remote.to_string(),
+                report.messages_sent.to_string(),
+                report.locate_failures.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// All experiment names accepted by the `repro` binary, in order.
+pub const EXPERIMENTS: &[&str] = &[
+    "exp1",
+    "exp2",
+    "ablation-split",
+    "ablation-propagation",
+    "sweep-thresholds",
+    "skew",
+    "baselines",
+    "churn",
+    "locality",
+    "ablation-planning",
+    "delivery",
+];
+
+/// Dispatches an experiment by name.
+///
+/// # Panics
+///
+/// Panics if the name is unknown (the binary validates first).
+#[must_use]
+pub fn run_experiment(name: &str, fidelity: Fidelity) -> Table {
+    match name {
+        "exp1" => exp1(fidelity),
+        "exp2" => exp2(fidelity),
+        "ablation-split" => ablation_split(fidelity),
+        "ablation-propagation" => ablation_propagation(fidelity),
+        "sweep-thresholds" => sweep_thresholds(fidelity),
+        "skew" => skew(fidelity),
+        "baselines" => baselines(fidelity),
+        "churn" => churn(fidelity),
+        "locality" => locality(fidelity),
+        "ablation-planning" => ablation_planning(fidelity),
+        "delivery" => delivery(fidelity),
+        other => panic!("unknown experiment {other}"),
+    }
+}
+
+/// Diagnostic deep-dive on the heaviest Experiment-I point (not part of the
+/// recorded tables; used to understand tail latencies).
+#[must_use]
+pub fn diagnose(fidelity: Fidelity) -> Table {
+    let (warmup, measure) = fidelity.spans();
+    let mut scenario = Scenario::new("diagnose-1000")
+        .with_agents(fidelity.scale_agents(1000))
+        .with_residence_ms(500)
+        .with_queries(fidelity.queries())
+        .with_seconds(warmup, measure);
+    scenario.grace = agentrack_sim::SimDuration::from_secs(45);
+    let report = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+    let mut table = Table::new("diagnose: hashed at the heaviest point", &["metric", "value"]);
+    for (k, v) in [
+        ("mean_ms", format!("{:.2}", report.mean_locate_ms)),
+        ("p50_ms", format!("{:.2}", report.p50_locate_ms)),
+        ("p95_ms", format!("{:.2}", report.p95_locate_ms)),
+        ("max_ms", format!("{:.2}", report.max_locate_ms)),
+        ("completed", report.locates_completed.to_string()),
+        ("failures", report.locate_failures.to_string()),
+        ("registrations", report.registrations.to_string()),
+        ("splits", report.splits.to_string()),
+        ("merges", report.merges.to_string()),
+        ("iagents", report.trackers.to_string()),
+        ("stale_hits", report.stale_hits.to_string()),
+        ("hf_fetches", report.hf_fetches.to_string()),
+        ("handoffs", report.records_handed_off.to_string()),
+        ("msgs_failed", report.messages_failed.to_string()),
+    ] {
+        table.push_row(vec![k.to_owned(), v]);
+    }
+    table
+}
+
+/// **E11** — guaranteed delivery (paper §6 open problem): success rate of
+/// messaging a constantly moving agent, naive locate-then-send vs.
+/// tracker-mediated `send_via`, across mobility rates.
+#[must_use]
+pub fn delivery(fidelity: Fidelity) -> Table {
+    use agentrack_core::{ClientEvent, DirectoryClient};
+    use agentrack_platform::{
+        Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
+    };
+    use agentrack_sim::{DurationDist, SimDuration, Topology};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const NODES: u32 = 6;
+
+    struct Mover {
+        client: Box<dyn DirectoryClient>,
+        residence: SimDuration,
+        received: Arc<AtomicU64>,
+    }
+    impl Agent for Mover {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.client.register(ctx);
+            ctx.set_timer(self.residence);
+        }
+        fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.client.moved(ctx);
+            ctx.set_timer(self.residence);
+        }
+        fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+            if self.client.on_timer(ctx, timer) == ClientEvent::NotMine {
+                let next = NodeId::new((ctx.node().raw() + 1) % NODES);
+                ctx.dispatch(next);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+            match self.client.on_message(ctx, from, payload) {
+                ClientEvent::Mail { .. } => {
+                    self.received.fetch_add(1, Ordering::Relaxed);
+                }
+                ClientEvent::NotMine if payload.decode::<String>().is_ok() => {
+                    self.received.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+        fn on_delivery_failed(
+            &mut self,
+            ctx: &mut AgentCtx<'_>,
+            to: AgentId,
+            node: NodeId,
+            payload: &Payload,
+        ) {
+            let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+        }
+    }
+
+    struct Poster {
+        client: Box<dyn DirectoryClient>,
+        target: AgentId,
+        mediated: bool,
+        remaining: u32,
+        token: u64,
+        tick: Option<TimerId>,
+    }
+    impl Agent for Poster {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.tick = Some(ctx.set_timer(SimDuration::from_millis(40)));
+        }
+        fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+            if self.tick == Some(timer) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    if self.mediated {
+                        self.client.send_via(ctx, self.target, vec![1]);
+                    } else {
+                        self.token += 1;
+                        self.client.locate(ctx, self.target, self.token);
+                    }
+                    self.tick = Some(ctx.set_timer(SimDuration::from_millis(40)));
+                }
+                return;
+            }
+            let _ = self.client.on_timer(ctx, timer);
+        }
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+            if let ClientEvent::Located { target, node, .. } =
+                self.client.on_message(ctx, from, payload)
+            {
+                ctx.send(target, node, Payload::encode(&"direct".to_owned()));
+            }
+        }
+        fn on_delivery_failed(
+            &mut self,
+            ctx: &mut AgentCtx<'_>,
+            to: AgentId,
+            node: NodeId,
+            payload: &Payload,
+        ) {
+            let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+        }
+    }
+
+    let count: u32 = match fidelity {
+        Fidelity::Full => 200,
+        Fidelity::Quick => 50,
+    };
+    let mut table = Table::new(
+        "E11: delivery to a constantly moving agent (success %, N msgs)",
+        &["residence_ms", "locate_then_send", "send_via"],
+    );
+    for residence_ms in [20u64, 50, 200] {
+        let mut row = vec![residence_ms.to_string()];
+        for mediated in [false, true] {
+            let topology =
+                Topology::lan(NODES, DurationDist::Constant(SimDuration::from_micros(300)));
+            let mut platform =
+                SimPlatform::new(topology, PlatformConfig::default().with_seed(33));
+            let mut scheme = HashedScheme::new(LocationConfig::default());
+            scheme.bootstrap(&mut platform);
+            let received = Arc::new(AtomicU64::new(0));
+            let mover = platform.spawn(
+                Box::new(Mover {
+                    client: scheme.make_client(),
+                    residence: SimDuration::from_millis(residence_ms),
+                    received: received.clone(),
+                }),
+                NodeId::new(1),
+            );
+            platform.spawn(
+                Box::new(Poster {
+                    client: scheme.make_client(),
+                    target: mover,
+                    mediated,
+                    remaining: count,
+                    token: 0,
+                    tick: None,
+                }),
+                NodeId::new(0),
+            );
+            platform.run_for(SimDuration::from_secs_f64(
+                0.04 * f64::from(count) + 15.0,
+            ));
+            let got = received.load(Ordering::Relaxed);
+            row.push(format!("{:.1}%", 100.0 * got as f64 / f64::from(count)));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_and_csvs() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== demo =="));
+        assert!(rendered.contains("a  bb"));
+        assert_eq!(t.to_csv(), "a,bb\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,370 @@
+//! The centralized baseline: the comparison scheme of the paper's
+//! evaluation.
+//!
+//! "In the centralized scheme, there is a single central agent that is
+//! responsible for maintaining the current location of all mobile agents
+//! in the system. This central agent performs the same functions as the
+//! IAgents in our system." (paper §5.)
+//!
+//! Every register, update and locate in the whole system funnels through
+//! one agent — one FIFO service station — which is why its location time
+//! grows with both the agent population and the mobility rate.
+
+use std::collections::HashMap;
+
+use agentrack_platform::{
+    Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
+};
+
+use crate::config::LocationConfig;
+use crate::mailbox::Mailbox;
+use crate::retry::{LocateTracker, Retry};
+use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::wire::Wire;
+
+/// Behaviour of the single central tracker.
+#[derive(Debug, Default)]
+pub struct CentralBehavior {
+    records: HashMap<AgentId, NodeId>,
+    mailbox: Mailbox,
+}
+
+impl CentralBehavior {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        CentralBehavior {
+            records: HashMap::new(),
+            mailbox: Mailbox::new(agentrack_sim::SimDuration::from_secs(10)),
+        }
+    }
+
+    fn flush_mail_for(&mut self, ctx: &mut AgentCtx<'_>, agent: AgentId) {
+        if self.mailbox.is_empty() {
+            return;
+        }
+        if let Some(&node) = self.records.get(&agent) {
+            for item in self.mailbox.take_for(agent) {
+                ctx.send(
+                    agent,
+                    node,
+                    Wire::MailDrop {
+                        from: item.from,
+                        data: item.data,
+                    }
+                    .payload(),
+                );
+            }
+        }
+    }
+}
+
+impl Agent for CentralBehavior {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.set_timer(agentrack_sim::SimDuration::from_millis(500));
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: agentrack_platform::TimerId) {
+        self.mailbox.expire(ctx.now());
+        ctx.set_timer(agentrack_sim::SimDuration::from_millis(500));
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) {
+        // A MailDrop bounced off a recipient that just moved: hold it for
+        // the next update (the delivery guarantee).
+        if let Some(Wire::MailDrop { from, data }) = Wire::from_payload(payload) {
+            self.records.remove(&to);
+            self.mailbox.push(ctx.now(), to, from, data);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return;
+        };
+        match msg {
+            Wire::Register { agent, node } => {
+                self.records.insert(agent, node);
+                ctx.send(from, node, Wire::RegisterAck { agent }.payload());
+                self.flush_mail_for(ctx, agent);
+            }
+            Wire::Update { agent, node } => {
+                self.records.insert(agent, node);
+                self.flush_mail_for(ctx, agent);
+            }
+            Wire::DeliverVia {
+                target,
+                from: origin,
+                data,
+                ..
+            } => match self.records.get(&target) {
+                Some(&node) => ctx.send(
+                    target,
+                    node,
+                    Wire::MailDrop {
+                        from: origin,
+                        data,
+                    }
+                    .payload(),
+                ),
+                None => self.mailbox.push(ctx.now(), target, origin, data),
+            },
+            Wire::Deregister { agent } => {
+                self.records.remove(&agent);
+            }
+            Wire::Locate {
+                target,
+                token,
+                reply_node,
+            } => {
+                let answer = match self.records.get(&target) {
+                    Some(&node) => Wire::Located {
+                        target,
+                        node,
+                        token,
+                    },
+                    None => Wire::NotFound { target, token },
+                };
+                ctx.send(from, reply_node, answer.payload());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The centralized location scheme: one tracker on one node.
+#[derive(Debug)]
+pub struct CentralizedScheme {
+    config: LocationConfig,
+    shared: SharedSchemeStats,
+    central: Option<(AgentId, NodeId)>,
+}
+
+impl CentralizedScheme {
+    /// Creates the scheme; the tracker is placed on node 0 at bootstrap.
+    #[must_use]
+    pub fn new(config: LocationConfig) -> Self {
+        CentralizedScheme {
+            config,
+            shared: SharedSchemeStats::new(),
+            central: None,
+        }
+    }
+
+    /// The central tracker's identity, after bootstrap.
+    #[must_use]
+    pub fn central(&self) -> Option<(AgentId, NodeId)> {
+        self.central
+    }
+}
+
+impl LocationScheme for CentralizedScheme {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn bootstrap(&mut self, platform: &mut dyn Spawner) {
+        assert!(self.central.is_none(), "bootstrap called twice");
+        let node = NodeId::new(0);
+        let id = platform.spawn_agent(Box::new(CentralBehavior::new()), node);
+        self.central = Some((id, node));
+        self.shared.set_trackers(1);
+    }
+
+    fn client_factory(&self) -> ClientFactory {
+        let central = self.central.expect("client_factory before bootstrap");
+        let config = self.config.clone();
+        std::sync::Arc::new(move || Box::new(CentralizedClient::new(config.clone(), central)))
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.shared.snapshot()
+    }
+}
+
+/// Client-side state machine of the centralized scheme.
+#[derive(Debug)]
+pub struct CentralizedClient {
+    config: LocationConfig,
+    central: (AgentId, NodeId),
+    registered: bool,
+    tracker: LocateTracker,
+}
+
+impl CentralizedClient {
+    /// Creates a client of the given central tracker.
+    #[must_use]
+    pub fn new(config: LocationConfig, central: (AgentId, NodeId)) -> Self {
+        CentralizedClient {
+            config,
+            central,
+            registered: false,
+            tracker: LocateTracker::new(),
+        }
+    }
+
+    fn send_central(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
+        ctx.send(self.central.0, self.central.1, msg.payload());
+    }
+
+    fn send_locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
+        let here = ctx.node();
+        self.send_central(
+            ctx,
+            &Wire::Locate {
+                target,
+                token,
+                reply_node: here,
+            },
+        );
+        self.tracker
+            .arm_timer(ctx, self.config.locate_retry_timeout, token);
+    }
+
+    fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        match decision {
+            Retry::Again { token, target } => {
+                self.send_locate(ctx, target, token);
+                ClientEvent::Consumed
+            }
+            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::Nothing => ClientEvent::Consumed,
+        }
+    }
+
+    fn retry_locate(&mut self, ctx: &mut AgentCtx<'_>, token: u64) -> ClientEvent {
+        let decision = self
+            .tracker
+            .on_negative(token, self.config.max_locate_attempts);
+        self.act(ctx, decision)
+    }
+}
+
+impl DirectoryClient for CentralizedClient {
+    fn register(&mut self, ctx: &mut AgentCtx<'_>) {
+        let me = ctx.self_id();
+        let here = ctx.node();
+        self.send_central(
+            ctx,
+            &Wire::Register {
+                agent: me,
+                node: here,
+            },
+        );
+    }
+
+    fn moved(&mut self, ctx: &mut AgentCtx<'_>) {
+        let me = ctx.self_id();
+        let here = ctx.node();
+        if self.registered {
+            self.send_central(
+                ctx,
+                &Wire::Update {
+                    agent: me,
+                    node: here,
+                },
+            );
+        } else {
+            self.register(ctx);
+        }
+    }
+
+    fn deregister(&mut self, ctx: &mut AgentCtx<'_>) {
+        let me = ctx.self_id();
+        self.send_central(ctx, &Wire::Deregister { agent: me });
+    }
+
+    fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
+        self.tracker.start(token, target);
+        self.send_locate(ctx, target, token);
+    }
+
+    fn on_message(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        _from: AgentId,
+        payload: &Payload,
+    ) -> ClientEvent {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return ClientEvent::NotMine;
+        };
+        match msg {
+            Wire::RegisterAck { agent } => {
+                if agent == _ctx.self_id() && !self.registered {
+                    self.registered = true;
+                    ClientEvent::Registered
+                } else {
+                    ClientEvent::Consumed
+                }
+            }
+            Wire::Located {
+                target,
+                node,
+                token,
+            } => {
+                if self.tracker.complete(token) {
+                    ClientEvent::Located {
+                        token,
+                        target,
+                        node,
+                    }
+                } else {
+                    ClientEvent::Consumed
+                }
+            }
+            Wire::MailDrop { from, data } => ClientEvent::Mail { from, data },
+            Wire::NotFound { token, .. } => self.retry_locate(_ctx, token),
+            _ => ClientEvent::NotMine,
+        }
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) -> ClientEvent {
+        // The central tracker is static; bounces only occur under injected
+        // faults. Locates recover through their retry timers; updates are
+        // resent immediately.
+        match Wire::from_payload(payload) {
+            Some(Wire::Update { .. } | Wire::Register { .. }) => {
+                self.moved(ctx);
+                ClientEvent::Consumed
+            }
+            Some(_) => ClientEvent::Consumed,
+            None => ClientEvent::NotMine,
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) -> ClientEvent {
+        match self
+            .tracker
+            .on_timer(timer, self.config.max_locate_attempts)
+        {
+            Some(decision) => self.act(ctx, decision),
+            None => ClientEvent::NotMine,
+        }
+    }
+
+    fn send_via(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, data: Vec<u8>) -> bool {
+        let me = ctx.self_id();
+        self.send_central(
+            ctx,
+            &Wire::DeliverVia {
+                target,
+                from: me,
+                data,
+                ttl: 1,
+            },
+        );
+        true
+    }
+}

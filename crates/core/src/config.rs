@@ -1,0 +1,232 @@
+//! Configuration of the location mechanism.
+
+use agentrack_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the hash-based location mechanism.
+///
+/// The two headline knobs are the paper's thresholds: an IAgent whose
+/// observed message rate exceeds [`t_max`](LocationConfig::t_max) requests a
+/// split, one whose rate falls below [`t_min`](LocationConfig::t_min)
+/// requests a merge. The experiments use 50 and 5 messages per second
+/// ("the `T_max` and `T_min` values were set at 50 and 5 messages per
+/// second").
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_core::LocationConfig;
+///
+/// let config = LocationConfig::default().with_thresholds(100.0, 10.0);
+/// assert_eq!(config.t_max, 100.0);
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationConfig {
+    /// Split threshold: requests/second above which an IAgent asks the
+    /// HAgent to split its load.
+    pub t_max: f64,
+    /// Merge threshold: requests/second below which an IAgent asks the
+    /// HAgent to merge it away.
+    pub t_min: f64,
+    /// Span of the sliding window over which request rates are estimated.
+    pub rate_window: SimDuration,
+    /// Number of buckets in the rate window (memory/stability trade-off).
+    pub rate_buckets: usize,
+    /// Evenness tolerance for split planning: a partition is *even* when
+    /// the lighter side carries at least `0.5 - split_tolerance` of the
+    /// load.
+    pub split_tolerance: f64,
+    /// Upper bound on the `m` tried by simple splits before settling for
+    /// the best uneven candidate.
+    pub max_simple_m: usize,
+    /// Minimum IAgent age before it may request a merge (a newborn IAgent
+    /// has an empty rate window and would otherwise merge immediately).
+    pub merge_warmup: SimDuration,
+    /// Minimum spacing between rehash operations accepted by the HAgent.
+    pub rehash_cooldown: SimDuration,
+    /// How long an IAgent buffers a query for an agent that hashes to it
+    /// but whose record has not arrived yet (handoff in flight) before
+    /// answering "not found".
+    pub pending_timeout: SimDuration,
+    /// Interval at which per-agent load counters are halved, so split
+    /// planning reflects recent traffic.
+    pub decay_interval: SimDuration,
+    /// Interval of the periodic self-check that lets an *idle* IAgent
+    /// notice it has fallen below `t_min`.
+    pub check_interval: SimDuration,
+    /// Enables the paper's complex splits (promoting unused label bits);
+    /// disabled only by the split-strategy ablation.
+    pub complex_splits_enabled: bool,
+    /// Ablation: ignore the load statistics and always split blindly on
+    /// the first extra bit (`m = 1`), instead of the paper's
+    /// statistics-driven search for an even split point.
+    pub blind_splits: bool,
+    /// Enables merging; disabled by experiments that only grow.
+    pub merge_enabled: bool,
+    /// When `true` the HAgent eagerly pushes every new hash-function
+    /// version to all LHAgents, instead of the paper's lazy on-demand
+    /// propagation (ablation E4).
+    pub eager_propagation: bool,
+    /// Client retry budget for a single locate operation.
+    pub max_locate_attempts: u32,
+    /// Client timeout before retrying a locate that got no answer.
+    pub locate_retry_timeout: SimDuration,
+    /// Client delay before retrying after a request *bounced* (the tracker
+    /// is mid-migration); an immediate retry would burn the budget inside
+    /// the outage window.
+    pub bounce_retry_delay: SimDuration,
+    /// Locality extension (paper §7, "the IAgents could move closer to the
+    /// majority of the agents that they serve"): when enabled, an IAgent
+    /// migrates to the node that originates most of its traffic.
+    pub locality_migration: bool,
+    /// Fraction of recent requests a node must originate before the IAgent
+    /// moves there.
+    pub locality_threshold: f64,
+    /// Minimum recent requests before a locality decision is made.
+    pub locality_min_requests: u64,
+    /// How long a tracker buffers mediated mail (`DeliverVia`) for an
+    /// agent whose location is momentarily unknown before dropping it.
+    pub mail_ttl: SimDuration,
+}
+
+impl Default for LocationConfig {
+    fn default() -> Self {
+        LocationConfig {
+            t_max: 50.0,
+            t_min: 5.0,
+            rate_window: SimDuration::from_secs(1),
+            rate_buckets: 10,
+            split_tolerance: 0.15,
+            max_simple_m: 16,
+            merge_warmup: SimDuration::from_secs(3),
+            rehash_cooldown: SimDuration::from_millis(100),
+            pending_timeout: SimDuration::from_millis(500),
+            decay_interval: SimDuration::from_secs(2),
+            check_interval: SimDuration::from_millis(500),
+            complex_splits_enabled: true,
+            blind_splits: false,
+            merge_enabled: true,
+            eager_propagation: false,
+            max_locate_attempts: 8,
+            locate_retry_timeout: SimDuration::from_millis(800),
+            bounce_retry_delay: SimDuration::from_millis(50),
+            locality_migration: false,
+            locality_threshold: 0.6,
+            locality_min_requests: 50,
+            mail_ttl: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl LocationConfig {
+    /// Sets both thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, t_max: f64, t_min: f64) -> Self {
+        self.t_max = t_max;
+        self.t_min = t_min;
+        self
+    }
+
+    /// Disables complex splits (ablation E3).
+    #[must_use]
+    pub fn simple_splits_only(mut self) -> Self {
+        self.complex_splits_enabled = false;
+        self
+    }
+
+    /// Splits blindly on the first extra bit, ignoring load statistics
+    /// (ablation E10).
+    #[must_use]
+    pub fn with_blind_splits(mut self) -> Self {
+        self.blind_splits = true;
+        self
+    }
+
+    /// Enables eager hash-function propagation (ablation E4).
+    #[must_use]
+    pub fn with_eager_propagation(mut self) -> Self {
+        self.eager_propagation = true;
+        self
+    }
+
+    /// Enables the locality extension: IAgents migrate toward their
+    /// traffic (experiment E9).
+    #[must_use]
+    pub fn with_locality_migration(mut self) -> Self {
+        self.locality_migration = true;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_max.is_nan() || self.t_max <= 0.0 {
+            return Err("t_max must be positive".into());
+        }
+        if self.t_min.is_nan() || self.t_min < 0.0 {
+            return Err("t_min must be non-negative".into());
+        }
+        if self.t_min >= self.t_max {
+            return Err(format!(
+                "t_min ({}) must be below t_max ({}) or splits and merges oscillate",
+                self.t_min, self.t_max
+            ));
+        }
+        if self.rate_window.is_zero() || self.rate_buckets == 0 {
+            return Err("rate window must be non-empty".into());
+        }
+        if !(0.0..0.5).contains(&self.split_tolerance) {
+            return Err("split_tolerance must be in [0, 0.5)".into());
+        }
+        if !(0.0..=1.0).contains(&self.locality_threshold) {
+            return Err("locality_threshold must be in [0, 1]".into());
+        }
+        if self.max_simple_m == 0 {
+            return Err("max_simple_m must be at least 1".into());
+        }
+        if self.max_locate_attempts == 0 {
+            return Err("max_locate_attempts must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let c = LocationConfig::default();
+        assert_eq!(c.t_max, 50.0);
+        assert_eq!(c.t_min, 5.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_inverted_thresholds() {
+        let c = LocationConfig::default().with_thresholds(5.0, 50.0);
+        assert!(c.validate().unwrap_err().contains("oscillate"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_tolerance() {
+        let c = LocationConfig {
+            split_tolerance: 0.6,
+            ..LocationConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = LocationConfig::default().simple_splits_only();
+        assert!(!c.complex_splits_enabled);
+        let c = LocationConfig::default().with_eager_propagation();
+        assert!(c.eager_propagation);
+    }
+}

@@ -1,0 +1,435 @@
+//! The Hash Agent (HAgent): owner of the hash function's primary copy and
+//! coordinator of rehashing.
+//!
+//! "There is a central static agent (HAgent) that keeps the current hash
+//! function. Every time the hash function changes, the copy of the HAgent
+//! is immediately updated (primary copy)." The HAgent also "ensures that
+//! only one such [split or merge] process is in progress at each time"
+//! (paper §2.1, §4).
+//!
+//! A split runs as a small two-phase protocol:
+//!
+//! 1. An overloaded IAgent sends `SplitRequest` with its per-agent load
+//!    statistics. The HAgent plans the split point (complex candidates
+//!    first, then simple `m = 1, 2, …`; see [`crate::plan`]), creates the
+//!    new IAgent on a round-robin-chosen node, and waits.
+//! 2. The new IAgent reports `IAgentReady`; the HAgent applies the split to
+//!    the primary tree, bumps the version, and installs the new version on
+//!    every *involved* IAgent, which triggers their record handoffs.
+//!
+//! Merges commit immediately: the primary tree is updated and the new
+//! version is installed on the merged IAgent (which hands everything off
+//! and retires) and on the absorbers.
+
+use agentrack_hashtree::IAgentId;
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
+use agentrack_sim::SimTime;
+
+use crate::config::LocationConfig;
+use crate::iagent::IAgentBehavior;
+use crate::plan::{plan_split, SplitPlan};
+use crate::scheme::SharedSchemeStats;
+use crate::wire::{HashFunction, Wire};
+
+#[derive(Debug)]
+struct PendingSplit {
+    requester: AgentId,
+    new_agent: AgentId,
+    new_node: NodeId,
+    plan: SplitPlan,
+    started_at: SimTime,
+}
+
+/// Behaviour of a standby HAgent: a hot replica of the hash function's
+/// primary copy (the paper's §7 fault-tolerance direction — "making the
+/// HAgent that keeps this copy a vulnerability point").
+///
+/// The primary pushes every new version here. The standby serves
+/// [`Wire::FetchHashFn`] so secondary copies keep refreshing if the
+/// primary crashes, but it is *read-only*: rehash requests are denied, so
+/// the tree freezes (yet keeps answering) until the primary returns.
+#[derive(Debug)]
+pub struct StandbyHAgentBehavior {
+    hf: HashFunction,
+    shared: SharedSchemeStats,
+}
+
+impl StandbyHAgentBehavior {
+    /// Creates a standby seeded with the bootstrap hash function.
+    #[must_use]
+    pub fn new(hf: HashFunction, shared: SharedSchemeStats) -> Self {
+        StandbyHAgentBehavior { hf, shared }
+    }
+}
+
+impl Agent for StandbyHAgentBehavior {
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return;
+        };
+        match msg {
+            Wire::HashFnCopy { hf }
+                if hf.version > self.hf.version => {
+                    self.hf = hf;
+                }
+            Wire::FetchHashFn { reply_node, .. } => {
+                self.shared.update(|s| s.hf_fetches += 1);
+                ctx.send(
+                    from,
+                    reply_node,
+                    Wire::HashFnCopy {
+                        hf: self.hf.clone(),
+                    }
+                    .payload(),
+                );
+            }
+            Wire::SplitRequest { .. } | Wire::MergeRequest { .. } => {
+                // Read-only replica: rehashing waits for the primary.
+                self.shared.update(|s| s.rehash_denied += 1);
+                if let Some(node) = self
+                    .hf
+                    .locations
+                    .get(&IAgentId::new(from.raw()))
+                    .copied()
+                {
+                    ctx.send(from, node, Wire::RehashDenied.payload());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Behaviour of the HAgent.
+#[derive(Debug)]
+pub struct HAgentBehavior {
+    config: LocationConfig,
+    hf: HashFunction,
+    /// LHAgent directory, for eager propagation: `(agent, node)` pairs.
+    lhagents: Vec<(AgentId, NodeId)>,
+    shared: SharedSchemeStats,
+    in_progress: Option<PendingSplit>,
+    cooldown_until: SimTime,
+    next_node: u32,
+    node_count: u32,
+    standby: Option<(AgentId, NodeId)>,
+    /// Installs that bounced (receiver mid-migration); re-sent with the
+    /// current primary copy on the next periodic tick.
+    reinstall: Vec<AgentId>,
+}
+
+impl HAgentBehavior {
+    /// Creates the HAgent owning the initial hash function.
+    #[must_use]
+    pub fn new(
+        config: LocationConfig,
+        hf: HashFunction,
+        lhagents: Vec<(AgentId, NodeId)>,
+        node_count: u32,
+        shared: SharedSchemeStats,
+    ) -> Self {
+        shared.set_trackers(hf.tree.iagent_count() as u64);
+        HAgentBehavior {
+            config,
+            hf,
+            lhagents,
+            shared,
+            in_progress: None,
+            cooldown_until: SimTime::ZERO,
+            next_node: 0,
+            node_count,
+            standby: None,
+            reinstall: Vec::new(),
+        }
+    }
+
+    /// Registers a hot-standby replica; every committed version is pushed
+    /// to it.
+    #[must_use]
+    pub fn with_standby(mut self, standby: AgentId, node: NodeId) -> Self {
+        self.standby = Some((standby, node));
+        self
+    }
+
+    fn deny(&self, ctx: &mut AgentCtx<'_>, to: AgentId) {
+        self.shared.update(|s| s.rehash_denied += 1);
+        if let Some(node) = self.node_of_iagent(to) {
+            ctx.send(to, node, Wire::RehashDenied.payload());
+        }
+    }
+
+    fn node_of_iagent(&self, iagent: AgentId) -> Option<NodeId> {
+        self.hf
+            .locations
+            .get(&IAgentId::new(iagent.raw()))
+            .copied()
+    }
+
+    /// Publishes the tree's height and total consumed-prefix bits, for the
+    /// split-strategy ablation.
+    fn record_tree_shape(&self) {
+        let height = self.hf.tree.height() as u64;
+        let depth_bits: u64 = self
+            .hf
+            .tree
+            .iagents()
+            .map(|ia| self.hf.tree.consumed_bits(ia).unwrap_or(0) as u64)
+            .sum();
+        self.shared.update(|s| {
+            s.tree_height = height;
+            s.depth_bits_total = depth_bits;
+        });
+    }
+
+    fn pick_node(&mut self) -> NodeId {
+        let node = NodeId::new(self.next_node % self.node_count);
+        self.next_node += 1;
+        node
+    }
+
+    /// Installs the (just bumped) primary copy on the involved IAgents and,
+    /// when eager propagation is on, pushes it to every LHAgent.
+    fn distribute(&self, ctx: &mut AgentCtx<'_>, involved: &[IAgentId]) {
+        for &ia in involved {
+            let agent = AgentId::new(ia.raw());
+            // The node comes from the directory, except for an IAgent that
+            // was merged away (no directory entry any more) — the merge
+            // handler passes its node explicitly instead.
+            if let Some(node) = self.node_of_iagent(agent) {
+                ctx.send(
+                    agent,
+                    node,
+                    Wire::InstallHashFn {
+                        hf: self.hf.clone(),
+                    }
+                    .payload(),
+                );
+            }
+        }
+        if self.config.eager_propagation {
+            for &(lh, node) in &self.lhagents {
+                ctx.send(
+                    lh,
+                    node,
+                    Wire::HashFnCopy {
+                        hf: self.hf.clone(),
+                    }
+                    .payload(),
+                );
+            }
+        }
+        if let Some((standby, node)) = self.standby {
+            ctx.send(
+                standby,
+                node,
+                Wire::HashFnCopy {
+                    hf: self.hf.clone(),
+                }
+                .payload(),
+            );
+        }
+    }
+
+    fn handle_split_request(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        from: AgentId,
+        loads: Vec<(AgentId, u64)>,
+    ) {
+        if self.in_progress.is_some() || ctx.now() < self.cooldown_until {
+            self.deny(ctx, from);
+            return;
+        }
+        let requester = IAgentId::new(from.raw());
+        let plan = match plan_split(&self.hf.tree, requester, &loads, &self.config) {
+            Ok(plan) => plan,
+            Err(_) => {
+                self.deny(ctx, from);
+                return;
+            }
+        };
+        let new_node = self.pick_node();
+        let new_agent = ctx.create_agent(
+            Box::new(IAgentBehavior::fresh(
+                self.config.clone(),
+                ctx.self_id(),
+                ctx.node(),
+                self.hf.clone(),
+                self.shared.clone(),
+            )),
+            new_node,
+        );
+        self.in_progress = Some(PendingSplit {
+            requester: from,
+            new_agent,
+            new_node,
+            plan,
+            started_at: ctx.now(),
+        });
+    }
+
+    fn handle_ready(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId) {
+        let Some(pending) = self.in_progress.take() else {
+            return; // an orphaned IAgent from an aborted split
+        };
+        if pending.new_agent != from {
+            self.in_progress = Some(pending);
+            return;
+        }
+        let new_ia = IAgentId::new(pending.new_agent.raw());
+        let applied = match self.hf.tree.apply_split(
+            &pending.plan.candidate,
+            new_ia,
+            pending.plan.new_side,
+        ) {
+            Ok(applied) => applied,
+            Err(_) => {
+                // The tree changed since planning (cannot happen while the
+                // HAgent serialises rehashes, but stay safe): deny.
+                self.deny(ctx, pending.requester);
+                return;
+            }
+        };
+        self.hf.version += 1;
+        self.hf.locations.insert(new_ia, pending.new_node);
+        self.shared.update(|s| s.splits += 1);
+        self.shared.set_trackers(self.hf.tree.iagent_count() as u64);
+        self.record_tree_shape();
+
+        let mut involved = applied.affected;
+        involved.push(new_ia);
+        self.distribute(ctx, &involved);
+        self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+    }
+
+    fn handle_merge_request(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId) {
+        let merged = IAgentId::new(from.raw());
+        if self.in_progress.is_some()
+            || ctx.now() < self.cooldown_until
+            || !self.config.merge_enabled
+            || self.hf.tree.iagent_count() <= 1
+            || !self.hf.tree.contains(merged)
+        {
+            self.deny(ctx, from);
+            return;
+        }
+        let merged_node = self.node_of_iagent(from);
+        let applied = match self.hf.tree.apply_merge(merged) {
+            Ok(applied) => applied,
+            Err(_) => {
+                self.deny(ctx, from);
+                return;
+            }
+        };
+        self.hf.version += 1;
+        self.hf.locations.remove(&merged);
+        self.shared.update(|s| s.merges += 1);
+        self.shared.set_trackers(self.hf.tree.iagent_count() as u64);
+        self.record_tree_shape();
+
+        // Install on the absorbers (via the directory) and on the merged
+        // IAgent (whose directory entry is gone — use its last node).
+        self.distribute(ctx, &applied.absorbers);
+        if let Some(node) = merged_node {
+            ctx.send(
+                from,
+                node,
+                Wire::InstallHashFn {
+                    hf: self.hf.clone(),
+                }
+                .payload(),
+            );
+        }
+        self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+    }
+}
+
+impl Agent for HAgentBehavior {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.set_timer(self.config.check_interval);
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+        // Re-send installs that bounced (receiver was mid-migration): a
+        // tracker must not keep serving under a superseded hash function.
+        let retry = std::mem::take(&mut self.reinstall);
+        for agent in retry {
+            // The directory has the receiver's current node — unless the
+            // receiver was merged away, in which case it got what it needed
+            // from the bounce-triggering version and retired already (its
+            // own install-or-timeout handles it).
+            if let Some(node) = self.node_of_iagent(agent) {
+                ctx.send(
+                    agent,
+                    node,
+                    Wire::InstallHashFn {
+                        hf: self.hf.clone(),
+                    }
+                    .payload(),
+                );
+            }
+        }
+        // Abort a split whose new IAgent never reported (lost message /
+        // injected failure): the orphan retires itself, the requester's
+        // pending flag times out on its own.
+        if let Some(pending) = &self.in_progress {
+            if ctx.now().saturating_since(pending.started_at) > self.config.rate_window * 5 {
+                self.shared.update(|s| s.rehash_denied += 1);
+                self.in_progress = None;
+            }
+        }
+        ctx.set_timer(self.config.check_interval);
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) {
+        // A lost install leaves a tracker serving under a stale view; queue
+        // a retry (the periodic tick re-sends to the directory's current
+        // node, which the move that caused the bounce will have updated).
+        if matches!(Wire::from_payload(payload), Some(Wire::InstallHashFn { .. }))
+            && !self.reinstall.contains(&to)
+        {
+            self.reinstall.push(to);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return;
+        };
+        match msg {
+            Wire::SplitRequest { loads, .. } => self.handle_split_request(ctx, from, loads),
+            Wire::IAgentReady => self.handle_ready(ctx, from),
+            Wire::MergeRequest { .. } => self.handle_merge_request(ctx, from),
+            Wire::IAgentMoved { node } => {
+                let ia = IAgentId::new(from.raw());
+                if let std::collections::hash_map::Entry::Occupied(mut e) =
+                    self.hf.locations.entry(ia)
+                {
+                    e.insert(node);
+                    self.hf.version += 1;
+                    // Empty involved set: nothing to install, but eager
+                    // copies and the standby must still learn the version.
+                    self.distribute(ctx, &[]);
+                }
+            }
+            Wire::FetchHashFn { reply_node, .. } => {
+                self.shared.update(|s| s.hf_fetches += 1);
+                ctx.send(
+                    from,
+                    reply_node,
+                    Wire::HashFnCopy {
+                        hf: self.hf.clone(),
+                    }
+                    .payload(),
+                );
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The paper's mechanism assembled: scheme bootstrap and the client-side
+//! state machine.
+//!
+//! Client flows (paper §2.3):
+//!
+//! * **Registration** — on creation, an agent asks the LHAgent *at its own
+//!   node* which IAgent is responsible for it, then registers with that
+//!   IAgent and caches it.
+//! * **Movement** — after each move the agent informs its cached IAgent;
+//!   a `NotResponsible` answer (or a bounce off a retired IAgent) makes it
+//!   re-resolve freshly through the local LHAgent and resend.
+//! * **Locating** — resolve the target through the local LHAgent, then
+//!   query the returned IAgent; `NotResponsible` / `NotFound` / bounces
+//!   trigger a fresh resolve and a retry, up to the configured budget.
+
+use std::sync::Arc;
+
+use agentrack_platform::{
+    AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
+};
+
+use crate::config::LocationConfig;
+use crate::hagent::{HAgentBehavior, StandbyHAgentBehavior};
+use crate::mailbox::MAIL_MAX_HOPS;
+use crate::retry::{LocateTracker, Retry};
+use crate::iagent::IAgentBehavior;
+use crate::lhagent::LHAgentBehavior;
+use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::wire::{HashFunction, Wire};
+
+/// The hash-based location scheme: one HAgent, one initial IAgent, one
+/// LHAgent per node.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_core::{HashedScheme, LocationConfig, LocationScheme};
+/// use agentrack_platform::{PlatformConfig, SimPlatform};
+/// use agentrack_sim::{DurationDist, SimDuration, Topology};
+///
+/// let topo = Topology::lan(4, DurationDist::Constant(SimDuration::from_micros(300)));
+/// let mut platform = SimPlatform::new(topo, PlatformConfig::default());
+/// let mut scheme = HashedScheme::new(LocationConfig::default());
+/// scheme.bootstrap(&mut platform);
+/// // The scheme's agents run periodic self-checks, so drive the platform
+/// // by time, not to idleness.
+/// platform.run_for(SimDuration::from_millis(100));
+/// let client = scheme.make_client();
+/// # let _ = client;
+/// ```
+#[derive(Debug)]
+pub struct HashedScheme {
+    config: LocationConfig,
+    shared: SharedSchemeStats,
+    lhagents: Arc<Vec<AgentId>>,
+    bootstrapped: bool,
+    standby: bool,
+    hagent: Option<(AgentId, NodeId)>,
+    standby_agent: Option<(AgentId, NodeId)>,
+}
+
+impl HashedScheme {
+    /// Creates the scheme with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`LocationConfig::validate`]).
+    #[must_use]
+    pub fn new(config: LocationConfig) -> Self {
+        config.validate().expect("invalid location configuration");
+        HashedScheme {
+            config,
+            shared: SharedSchemeStats::new(),
+            lhagents: Arc::new(Vec::new()),
+            bootstrapped: false,
+            standby: false,
+            hagent: None,
+            standby_agent: None,
+        }
+    }
+
+    /// Deploys a hot-standby HAgent replica at bootstrap (the paper's §7
+    /// fault-tolerance direction): the primary pushes every version to it,
+    /// and LHAgents fail over to it when the primary is unreachable.
+    ///
+    /// The standby is placed on node 1; on a single-node topology it
+    /// necessarily shares the primary's node and only protects against the
+    /// primary *agent* failing, not the node.
+    #[must_use]
+    pub fn with_standby(mut self) -> Self {
+        self.standby = true;
+        self
+    }
+
+    /// The primary HAgent's identity, after bootstrap (for fault
+    /// injection in tests).
+    #[must_use]
+    pub fn hagent(&self) -> Option<(AgentId, NodeId)> {
+        self.hagent
+    }
+
+    /// The standby HAgent's identity, if deployed.
+    #[must_use]
+    pub fn standby_hagent(&self) -> Option<(AgentId, NodeId)> {
+        self.standby_agent
+    }
+
+    /// The per-node LHAgent directory (index = node), available after
+    /// bootstrap.
+    #[must_use]
+    pub fn lhagents(&self) -> Arc<Vec<AgentId>> {
+        Arc::clone(&self.lhagents)
+    }
+}
+
+impl LocationScheme for HashedScheme {
+    fn name(&self) -> &'static str {
+        "hashed"
+    }
+
+    fn bootstrap(&mut self, platform: &mut dyn Spawner) {
+        assert!(!self.bootstrapped, "bootstrap called twice");
+        let node_count = platform.node_count();
+        let home = NodeId::new(0);
+
+        // Agent ids are assigned sequentially, so the whole cast can be
+        // named before anything is spawned — which lets every behaviour be
+        // constructed with full knowledge of the others.
+        let base = platform.next_agent_id();
+        let iagent0 = AgentId::new(base);
+        let hagent = AgentId::new(base + 1);
+        let standby_offset = u64::from(self.standby);
+        let standby = self
+            .standby
+            .then(|| (AgentId::new(base + 2), NodeId::new(1 % node_count)));
+        let lhagents: Vec<AgentId> = (0..node_count)
+            .map(|i| AgentId::new(base + 2 + standby_offset + u64::from(i)))
+            .collect();
+
+        let hf = HashFunction::initial(iagent0, home);
+
+        let spawned = platform.spawn_agent(
+            Box::new(IAgentBehavior::initial(
+                self.config.clone(),
+                hagent,
+                home,
+                hf.clone(),
+                self.shared.clone(),
+            )),
+            home,
+        );
+        assert_eq!(spawned, iagent0, "agent id assignment drifted");
+
+        let lh_directory: Vec<(AgentId, NodeId)> = lhagents
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, NodeId::new(i as u32)))
+            .collect();
+        let mut hagent_behavior = HAgentBehavior::new(
+            self.config.clone(),
+            hf.clone(),
+            lh_directory,
+            node_count,
+            self.shared.clone(),
+        );
+        if let Some((standby_id, standby_node)) = standby {
+            hagent_behavior = hagent_behavior.with_standby(standby_id, standby_node);
+        }
+        let spawned = platform.spawn_agent(Box::new(hagent_behavior), home);
+        assert_eq!(spawned, hagent, "agent id assignment drifted");
+
+        if let Some((standby_id, standby_node)) = standby {
+            let spawned = platform.spawn_agent(
+                Box::new(StandbyHAgentBehavior::new(hf.clone(), self.shared.clone())),
+                standby_node,
+            );
+            assert_eq!(spawned, standby_id, "agent id assignment drifted");
+        }
+
+        for (i, &expected) in lhagents.iter().enumerate() {
+            let mut lh = LHAgentBehavior::new(hf.clone(), hagent, home, self.shared.clone());
+            if let Some((standby_id, standby_node)) = standby {
+                lh = lh.with_standby(standby_id, standby_node);
+            }
+            let spawned = platform.spawn_agent(Box::new(lh), NodeId::new(i as u32));
+            assert_eq!(spawned, expected, "agent id assignment drifted");
+        }
+
+        self.hagent = Some((hagent, home));
+        self.standby_agent = standby;
+        self.lhagents = Arc::new(lhagents);
+        self.bootstrapped = true;
+    }
+
+    fn client_factory(&self) -> ClientFactory {
+        assert!(self.bootstrapped, "client_factory before bootstrap");
+        let config = self.config.clone();
+        let lhagents = self.lhagents();
+        Arc::new(move || Box::new(HashedClient::new(config.clone(), Arc::clone(&lhagents))))
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.shared.snapshot()
+    }
+}
+
+/// Client-side state machine of the hashed scheme (one per mobile agent).
+#[derive(Debug)]
+pub struct HashedClient {
+    config: LocationConfig,
+    /// LHAgent at each node (index = node id).
+    lhagents: Arc<Vec<AgentId>>,
+    /// Cached responsible IAgent for the *owning* agent.
+    my_iagent: Option<(AgentId, NodeId)>,
+    registered: bool,
+    /// Watchdog for the registration handshake: any leg of
+    /// resolve → register → ack can be lost to the network, and an
+    /// unregistered agent is unlocatable, so the handshake restarts until
+    /// the ack lands.
+    register_watchdog: Option<TimerId>,
+    tracker: LocateTracker,
+}
+
+impl HashedClient {
+    /// Creates a client talking to the given per-node LHAgents.
+    #[must_use]
+    pub fn new(config: LocationConfig, lhagents: Arc<Vec<AgentId>>) -> Self {
+        HashedClient {
+            config,
+            lhagents,
+            my_iagent: None,
+            registered: false,
+            register_watchdog: None,
+            tracker: LocateTracker::new(),
+        }
+    }
+
+    fn local_lhagent(&self, ctx: &AgentCtx<'_>) -> AgentId {
+        self.lhagents[ctx.node().index()]
+    }
+
+    fn send_local_resolve(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
+        let lh = self.local_lhagent(ctx);
+        let here = ctx.node();
+        ctx.send(lh, here, msg.payload());
+    }
+
+    /// Starts (or retries) the locate identified by `token`.
+    fn resolve_for_locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64, fresh: bool) {
+        let msg = if fresh {
+            Wire::ResolveFresh {
+                target,
+                token: Some(token),
+            }
+        } else {
+            Wire::Resolve {
+                target,
+                token: Some(token),
+            }
+        };
+        self.send_local_resolve(ctx, &msg);
+        self.tracker
+            .arm_timer(ctx, self.config.locate_retry_timeout, token);
+    }
+
+    /// Acts on a retry decision from the tracker.
+    fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        match decision {
+            Retry::Again { token, target } => {
+                self.resolve_for_locate(ctx, target, token, true);
+                ClientEvent::Consumed
+            }
+            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::Nothing => ClientEvent::Consumed,
+        }
+    }
+
+    /// Retries a locate after a negative answer; reports failure once the
+    /// budget is exhausted.
+    fn retry_locate(&mut self, ctx: &mut AgentCtx<'_>, token: u64) -> ClientEvent {
+        let decision = self
+            .tracker
+            .on_negative(token, self.config.max_locate_attempts);
+        self.act(ctx, decision)
+    }
+
+    fn send_own_update(&self, ctx: &mut AgentCtx<'_>) {
+        if let Some((iagent, node)) = self.my_iagent {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            ctx.send(
+                iagent,
+                node,
+                Wire::Update {
+                    agent: me,
+                    node: here,
+                }
+                .payload(),
+            );
+        }
+    }
+
+    fn refresh_own_iagent(&self, ctx: &mut AgentCtx<'_>) {
+        let me = ctx.self_id();
+        self.send_local_resolve(ctx, &Wire::ResolveFresh {
+            target: me,
+            token: None,
+        });
+    }
+}
+
+impl DirectoryClient for HashedClient {
+    fn register(&mut self, ctx: &mut AgentCtx<'_>) {
+        let me = ctx.self_id();
+        self.send_local_resolve(ctx, &Wire::Resolve {
+            target: me,
+            token: None,
+        });
+        self.register_watchdog = Some(ctx.set_timer(self.config.locate_retry_timeout));
+    }
+
+    fn moved(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.registered {
+            self.send_own_update(ctx);
+        } else {
+            // Moved before registration completed: restart it from the new
+            // node's LHAgent.
+            self.register(ctx);
+        }
+    }
+
+    fn deregister(&mut self, ctx: &mut AgentCtx<'_>) {
+        if let Some((iagent, node)) = self.my_iagent {
+            let me = ctx.self_id();
+            ctx.send(iagent, node, Wire::Deregister { agent: me }.payload());
+        }
+    }
+
+    fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
+        self.tracker.start(token, target);
+        self.resolve_for_locate(ctx, target, token, false);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _from: AgentId,
+        payload: &Payload,
+    ) -> ClientEvent {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return ClientEvent::NotMine;
+        };
+        match msg {
+            // Phase-1 answer for one of our locates.
+            Wire::Resolved {
+                iagent,
+                node,
+                token: Some(token),
+                ..
+            } => {
+                if let Some(target) = self.tracker.target(token) {
+                    let here = ctx.node();
+                    ctx.send(
+                        iagent,
+                        node,
+                        Wire::Locate {
+                            target,
+                            token,
+                            reply_node: here,
+                        }
+                        .payload(),
+                    );
+                }
+                ClientEvent::Consumed
+            }
+            // Phase-1 answer about ourselves (registration or own-update
+            // refresh).
+            Wire::Resolved {
+                target,
+                iagent,
+                node,
+                token: None,
+                ..
+            } => {
+                if target != ctx.self_id() {
+                    return ClientEvent::Consumed;
+                }
+                self.my_iagent = Some((iagent, node));
+                if self.registered {
+                    self.send_own_update(ctx);
+                } else {
+                    let me = ctx.self_id();
+                    let here = ctx.node();
+                    ctx.send(
+                        iagent,
+                        node,
+                        Wire::Register {
+                            agent: me,
+                            node: here,
+                        }
+                        .payload(),
+                    );
+                }
+                ClientEvent::Consumed
+            }
+            Wire::RegisterAck { agent } if agent == ctx.self_id() => {
+                let was_new = !self.registered;
+                self.registered = true;
+                self.register_watchdog = None;
+                if was_new {
+                    ClientEvent::Registered
+                } else {
+                    ClientEvent::Consumed
+                }
+            }
+            Wire::Located {
+                target,
+                node,
+                token,
+            } => {
+                if self.tracker.complete(token) {
+                    ClientEvent::Located {
+                        token,
+                        target,
+                        node,
+                    }
+                } else {
+                    ClientEvent::Consumed
+                }
+            }
+            Wire::MailDrop { from, data } => ClientEvent::Mail { from, data },
+            Wire::NotFound { token, .. } => self.retry_locate(ctx, token),
+            Wire::NotResponsible {
+                token: Some(token), ..
+            } => self.retry_locate(ctx, token),
+            Wire::NotResponsible { about, token: None } => {
+                // Our own registration/update hit a stale IAgent.
+                if about == ctx.self_id() {
+                    self.refresh_own_iagent(ctx);
+                }
+                ClientEvent::Consumed
+            }
+            _ => ClientEvent::NotMine,
+        }
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) -> ClientEvent {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return ClientEvent::NotMine;
+        };
+        match msg {
+            // Our cached IAgent retired (merge) between updates.
+            Wire::Update { .. } | Wire::Register { .. } => {
+                self.refresh_own_iagent(ctx);
+                ClientEvent::Consumed
+            }
+            // The IAgent we queried is gone or mid-migration; retry after a
+            // short backoff (an immediate retry would burn the budget
+            // inside the outage window).
+            Wire::Locate { token, .. } => {
+                self.tracker
+                    .arm_timer(ctx, self.config.bounce_retry_delay, token);
+                ClientEvent::Consumed
+            }
+            Wire::Resolve { .. } | Wire::ResolveFresh { .. } => {
+                // LHAgents are static; only injected faults get here. The
+                // retry timer recovers the operation.
+                ClientEvent::Consumed
+            }
+            _ => ClientEvent::NotMine,
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) -> ClientEvent {
+        if self.register_watchdog == Some(timer) {
+            self.register_watchdog = None;
+            if !self.registered {
+                // Some leg of the handshake was lost: start over.
+                self.register(ctx);
+            }
+            return ClientEvent::Consumed;
+        }
+        match self
+            .tracker
+            .on_timer(timer, self.config.max_locate_attempts)
+        {
+            Some(decision) => self.act(ctx, decision),
+            None => ClientEvent::NotMine,
+        }
+    }
+
+    fn send_via(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, data: Vec<u8>) -> bool {
+        let me = ctx.self_id();
+        self.send_local_resolve(
+            ctx,
+            &Wire::DeliverVia {
+                target,
+                from: me,
+                data,
+                ttl: MAIL_MAX_HOPS,
+            },
+        );
+        true
+    }
+}

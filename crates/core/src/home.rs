@@ -1,0 +1,309 @@
+//! The home-registry baseline: an Ajanta-style HLR scheme.
+//!
+//! Ajanta's location mechanism (paper §6) keeps, at each domain's registry,
+//! "the precise current location for the agents which were created in its
+//! domain", and agent *names* encode the creating registry. We model that
+//! as one registry agent per node; every mobile agent reports each move to
+//! the registry of its **home** (creation) node, and locates go to the
+//! target's home registry.
+//!
+//! The home node is derivable from the target's name in Ajanta; here the
+//! scheme keeps a shared in-process name table standing in for that
+//! name-embedded information (reading it costs nothing, exactly like
+//! parsing a name). This is also the limitation the paper calls out: the
+//! scheme only works when names carry registry information.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use agentrack_platform::{
+    Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
+};
+
+use crate::centralized::CentralBehavior;
+use crate::config::LocationConfig;
+use crate::retry::{LocateTracker, Retry};
+use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::wire::Wire;
+
+/// Behaviour of a per-node home registry.
+///
+/// A registry tracks exactly the agents whose home is its node; the
+/// request handling is the same as the central tracker's, so it delegates.
+#[derive(Debug, Default)]
+pub struct HomeRegistryBehavior {
+    inner: CentralBehavior,
+}
+
+impl HomeRegistryBehavior {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Agent for HomeRegistryBehavior {
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        self.inner.on_message(ctx, from, payload);
+    }
+}
+
+/// Names standing in for Ajanta's registry-encoding agent names: agent →
+/// home node.
+type NameTable = Arc<RwLock<HashMap<AgentId, NodeId>>>;
+
+/// The home-registry location scheme: one registry per node.
+#[derive(Debug)]
+pub struct HomeRegistryScheme {
+    config: LocationConfig,
+    shared: SharedSchemeStats,
+    registries: Arc<Vec<AgentId>>,
+    names: NameTable,
+    bootstrapped: bool,
+}
+
+impl HomeRegistryScheme {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new(config: LocationConfig) -> Self {
+        HomeRegistryScheme {
+            config,
+            shared: SharedSchemeStats::new(),
+            registries: Arc::new(Vec::new()),
+            names: Arc::default(),
+            bootstrapped: false,
+        }
+    }
+}
+
+impl LocationScheme for HomeRegistryScheme {
+    fn name(&self) -> &'static str {
+        "home-registry"
+    }
+
+    fn bootstrap(&mut self, platform: &mut dyn Spawner) {
+        assert!(!self.bootstrapped, "bootstrap called twice");
+        let registries: Vec<AgentId> = (0..platform.node_count())
+            .map(|node| {
+                platform.spawn_agent(Box::new(HomeRegistryBehavior::new()), NodeId::new(node))
+            })
+            .collect();
+        self.shared.set_trackers(registries.len() as u64);
+        self.registries = Arc::new(registries);
+        self.bootstrapped = true;
+    }
+
+    fn client_factory(&self) -> ClientFactory {
+        assert!(self.bootstrapped, "client_factory before bootstrap");
+        let config = self.config.clone();
+        let registries = Arc::clone(&self.registries);
+        let names = Arc::clone(&self.names);
+        Arc::new(move || {
+            Box::new(HomeRegistryClient::new(
+                config.clone(),
+                Arc::clone(&registries),
+                Arc::clone(&names),
+            ))
+        })
+    }
+
+    fn stats(&self) -> SchemeStats {
+        self.shared.snapshot()
+    }
+}
+
+/// Client-side state machine of the home-registry scheme.
+#[derive(Debug)]
+pub struct HomeRegistryClient {
+    config: LocationConfig,
+    registries: Arc<Vec<AgentId>>,
+    names: NameTable,
+    home: Option<NodeId>,
+    registered: bool,
+    tracker: LocateTracker,
+}
+
+impl HomeRegistryClient {
+    /// Creates a client over the per-node registries and the shared name
+    /// table.
+    #[must_use]
+    pub fn new(config: LocationConfig, registries: Arc<Vec<AgentId>>, names: NameTable) -> Self {
+        HomeRegistryClient {
+            config,
+            registries,
+            names,
+            home: None,
+            registered: false,
+            tracker: LocateTracker::new(),
+        }
+    }
+
+    fn registry_at(&self, node: NodeId) -> (AgentId, NodeId) {
+        (self.registries[node.index()], node)
+    }
+
+    fn send_home(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
+        let home = self.home.expect("home set at registration");
+        let (registry, node) = self.registry_at(home);
+        ctx.send(registry, node, msg.payload());
+    }
+
+    fn send_locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
+        // The target's home comes from its name (zero-cost lookup). An
+        // unregistered target has no name to parse yet; retry later.
+        let home = self.names.read().get(&target).copied();
+        // An unregistered target has no home yet; the retry timer tries
+        // again later.
+        if let Some(home) = home {
+            let (registry, node) = self.registry_at(home);
+            let here = ctx.node();
+            ctx.send(
+                registry,
+                node,
+                Wire::Locate {
+                    target,
+                    token,
+                    reply_node: here,
+                }
+                .payload(),
+            );
+        }
+        self.tracker
+            .arm_timer(ctx, self.config.locate_retry_timeout, token);
+    }
+
+    fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        match decision {
+            Retry::Again { token, target } => {
+                self.send_locate(ctx, target, token);
+                ClientEvent::Consumed
+            }
+            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::Nothing => ClientEvent::Consumed,
+        }
+    }
+
+    fn retry_locate(&mut self, ctx: &mut AgentCtx<'_>, token: u64) -> ClientEvent {
+        let decision = self
+            .tracker
+            .on_negative(token, self.config.max_locate_attempts);
+        self.act(ctx, decision)
+    }
+}
+
+impl DirectoryClient for HomeRegistryClient {
+    fn register(&mut self, ctx: &mut AgentCtx<'_>) {
+        let me = ctx.self_id();
+        let here = ctx.node();
+        if self.home.is_none() {
+            self.home = Some(here);
+            self.names.write().insert(me, here);
+        }
+        self.send_home(
+            ctx,
+            &Wire::Register {
+                agent: me,
+                node: here,
+            },
+        );
+    }
+
+    fn moved(&mut self, ctx: &mut AgentCtx<'_>) {
+        if !self.registered {
+            self.register(ctx);
+            return;
+        }
+        let me = ctx.self_id();
+        let here = ctx.node();
+        self.send_home(
+            ctx,
+            &Wire::Update {
+                agent: me,
+                node: here,
+            },
+        );
+    }
+
+    fn deregister(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.home.is_some() {
+            let me = ctx.self_id();
+            self.send_home(ctx, &Wire::Deregister { agent: me });
+            self.names.write().remove(&me);
+        }
+    }
+
+    fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
+        self.tracker.start(token, target);
+        self.send_locate(ctx, target, token);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _from: AgentId,
+        payload: &Payload,
+    ) -> ClientEvent {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return ClientEvent::NotMine;
+        };
+        match msg {
+            Wire::RegisterAck { agent } => {
+                if agent == ctx.self_id() && !self.registered {
+                    self.registered = true;
+                    ClientEvent::Registered
+                } else {
+                    ClientEvent::Consumed
+                }
+            }
+            Wire::Located {
+                target,
+                node,
+                token,
+            } => {
+                if self.tracker.complete(token) {
+                    ClientEvent::Located {
+                        token,
+                        target,
+                        node,
+                    }
+                } else {
+                    ClientEvent::Consumed
+                }
+            }
+            Wire::NotFound { token, .. } => self.retry_locate(ctx, token),
+            _ => ClientEvent::NotMine,
+        }
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) -> ClientEvent {
+        // Registries are static; only injected faults bounce. Updates are
+        // resent; locates recover via their timers.
+        match Wire::from_payload(payload) {
+            Some(Wire::Update { .. } | Wire::Register { .. }) => {
+                self.moved(ctx);
+                ClientEvent::Consumed
+            }
+            Some(_) => ClientEvent::Consumed,
+            None => ClientEvent::NotMine,
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) -> ClientEvent {
+        match self
+            .tracker
+            .on_timer(timer, self.config.max_locate_attempts)
+        {
+            Some(decision) => self.act(ctx, decision),
+            None => ClientEvent::NotMine,
+        }
+    }
+}

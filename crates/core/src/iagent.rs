@@ -1,0 +1,710 @@
+//! The Information Agent (IAgent): tracks the precise current location of
+//! the mobile agents assigned to it by the hash function.
+//!
+//! Responsibilities (paper §2.2–§4):
+//!
+//! * answer `Register` / `Update` / `Locate` requests for agents whose key
+//!   hashes to its leaf, and answer `NotResponsible` for agents that do not
+//!   (the stale-copy detection that drives update propagation);
+//! * maintain the request-rate statistics and ask the HAgent to **split**
+//!   when the rate exceeds `T_max` or to **merge** it away when the rate
+//!   falls below `T_min`;
+//! * on receiving a new hash-function version, **hand off** records that no
+//!   longer hash to it — or everything, plus dispose itself, if its leaf
+//!   was merged away;
+//! * buffer locate queries for agents that hash to it but whose records are
+//!   still in flight (handoff races), answering when the handoff lands or
+//!   the pending timeout expires.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use agentrack_hashtree::IAgentId;
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
+use agentrack_sim::SimTime;
+
+use crate::config::LocationConfig;
+use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
+use crate::scheme::SharedSchemeStats;
+use crate::stats::LoadStats;
+use crate::wire::{HashFunction, Wire};
+
+#[derive(Debug, Clone)]
+struct PendingLocate {
+    target: AgentId,
+    requester: AgentId,
+    reply_node: NodeId,
+    token: u64,
+    deadline: SimTime,
+}
+
+/// Behaviour of an IAgent.
+#[derive(Debug)]
+pub struct IAgentBehavior {
+    config: LocationConfig,
+    hagent: AgentId,
+    hagent_node: NodeId,
+    hf: HashFunction,
+    records: BTreeMap<AgentId, NodeId>,
+    stats: LoadStats,
+    shared: SharedSchemeStats,
+    /// Fresh IAgents (created mid-split) must report ready and wait for
+    /// their first install.
+    fresh: bool,
+    installed: bool,
+    created_at: SimTime,
+    rehash_requested_at: Option<SimTime>,
+    cooldown_until: SimTime,
+    pending: Vec<PendingLocate>,
+    /// Client requests that arrived before the first install; replayed once
+    /// the hash function lands (a fresh IAgent receives traffic the moment
+    /// the HAgent commits the split, possibly before its install message).
+    preinstall: Vec<(AgentId, Wire)>,
+    /// Handoff records whose destination bounced; re-dispatched after a
+    /// hash-function refetch.
+    unplaced: Vec<(AgentId, NodeId)>,
+    refetch_in_flight: bool,
+    /// When the refetch was sent; a reply overdue (lost, or bounced off
+    /// this IAgent's old node after a locality migration) re-arms it.
+    refetch_sent_at: SimTime,
+    /// Mediated mail awaiting its recipient's next location update
+    /// (guaranteed-delivery extension).
+    mailbox: Mailbox,
+    /// Recent request origins, for the locality extension: which node the
+    /// served agents (and queriers) talk from.
+    origin_counts: HashMap<NodeId, u64>,
+    /// Set while a locality migration is in flight.
+    relocating: bool,
+}
+
+impl IAgentBehavior {
+    /// The bootstrap IAgent: owns the whole key space from the start.
+    #[must_use]
+    pub fn initial(
+        config: LocationConfig,
+        hagent: AgentId,
+        hagent_node: NodeId,
+        hf: HashFunction,
+        shared: SharedSchemeStats,
+    ) -> Self {
+        Self::build(config, hagent, hagent_node, hf, shared, false)
+    }
+
+    /// An IAgent created by the HAgent during a split; reports ready and
+    /// waits for its install.
+    #[must_use]
+    pub fn fresh(
+        config: LocationConfig,
+        hagent: AgentId,
+        hagent_node: NodeId,
+        hf: HashFunction,
+        shared: SharedSchemeStats,
+    ) -> Self {
+        Self::build(config, hagent, hagent_node, hf, shared, true)
+    }
+
+    fn build(
+        config: LocationConfig,
+        hagent: AgentId,
+        hagent_node: NodeId,
+        hf: HashFunction,
+        shared: SharedSchemeStats,
+        fresh: bool,
+    ) -> Self {
+        let stats = LoadStats::new(
+            config.rate_window,
+            config.rate_buckets,
+            config.decay_interval,
+        );
+        let mailbox = Mailbox::new(config.mail_ttl);
+        IAgentBehavior {
+            config,
+            hagent,
+            hagent_node,
+            hf,
+            records: BTreeMap::new(),
+            stats,
+            shared,
+            fresh,
+            installed: !fresh,
+            created_at: SimTime::ZERO,
+            rehash_requested_at: None,
+            cooldown_until: SimTime::ZERO,
+            pending: Vec::new(),
+            preinstall: Vec::new(),
+            unplaced: Vec::new(),
+            refetch_in_flight: false,
+            refetch_sent_at: SimTime::ZERO,
+            mailbox,
+            origin_counts: HashMap::new(),
+            relocating: false,
+        }
+    }
+
+    fn my_id(ctx: &AgentCtx<'_>) -> IAgentId {
+        IAgentId::new(ctx.self_id().raw())
+    }
+
+    fn is_mine(&self, ctx: &AgentCtx<'_>, agent: AgentId) -> bool {
+        self.hf.is_responsible(ctx.self_id(), agent)
+    }
+
+    fn send_hagent(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
+        ctx.send(self.hagent, self.hagent_node, msg.payload());
+    }
+
+    /// Records where a request came from, for locality decisions.
+    fn note_origin(&mut self, node: NodeId) {
+        if self.config.locality_migration {
+            *self.origin_counts.entry(node).or_insert(0) += 1;
+        }
+    }
+
+    /// Locality check (paper §7 extension): move to the node originating
+    /// the majority of recent traffic.
+    fn maybe_relocate(&mut self, ctx: &mut AgentCtx<'_>) {
+        if !self.config.locality_migration
+            || self.relocating
+            || !self.installed
+            || self.rehash_requested_at.is_some()
+            // Migrating now would bounce the pending hash-function reply at
+            // the old node and strand the unplaced records.
+            || self.refetch_in_flight
+            || !self.unplaced.is_empty()
+        {
+            return;
+        }
+        let total: u64 = self.origin_counts.values().sum();
+        if total < self.config.locality_min_requests {
+            return;
+        }
+        let (&top, &count) = self
+            .origin_counts
+            .iter()
+            .max_by_key(|&(node, count)| (*count, std::cmp::Reverse(node.raw())))
+            .expect("total > 0 implies an entry");
+        self.origin_counts.clear();
+        if top != ctx.node() && count as f64 / total as f64 >= self.config.locality_threshold {
+            self.relocating = true;
+            ctx.dispatch(top);
+        }
+    }
+
+    /// Split check, run after every recorded request.
+    fn maybe_request_split(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.rehash_requested_at.is_some()
+            || ctx.now() < self.cooldown_until
+            || !self.installed
+        {
+            return;
+        }
+        let rate = self.stats.rate_per_sec(ctx.now());
+        if rate > self.config.t_max {
+            let loads = self.stats.loads();
+            self.rehash_requested_at = Some(ctx.now());
+            self.send_hagent(ctx, &Wire::SplitRequest { rate, loads });
+        }
+    }
+
+    /// Merge check, run from the periodic timer so idle IAgents notice.
+    fn maybe_request_merge(&mut self, ctx: &mut AgentCtx<'_>) {
+        if !self.config.merge_enabled
+            || self.rehash_requested_at.is_some()
+            || ctx.now() < self.cooldown_until
+            || !self.installed
+            || ctx.now().saturating_since(self.created_at) < self.config.merge_warmup
+            || self.hf.tree.iagent_count() <= 1
+        {
+            return;
+        }
+        let rate = self.stats.rate_per_sec(ctx.now());
+        if rate < self.config.t_min {
+            self.rehash_requested_at = Some(ctx.now());
+            self.send_hagent(ctx, &Wire::MergeRequest { rate });
+        }
+    }
+
+    /// Installs a new hash-function version: hand off records that no
+    /// longer hash here; dispose if this leaf was merged away.
+    fn install(&mut self, ctx: &mut AgentCtx<'_>, hf: HashFunction) {
+        if hf.version <= self.hf.version && self.installed {
+            return; // stale or duplicate install
+        }
+        let first_install = !self.installed;
+        self.hf = hf;
+        self.installed = true;
+        self.rehash_requested_at = None;
+        self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+        // Fresh epoch: rate observed against the old partition must not
+        // trigger another rehash of the new one.
+        self.stats.reset(ctx.now());
+        if first_install {
+            let buffered = std::mem::take(&mut self.preinstall);
+            for (from, msg) in buffered {
+                self.handle_wire(ctx, from, msg);
+            }
+        }
+
+        let me = Self::my_id(ctx);
+        if !self.hf.tree.contains(me) {
+            // Merged away: hand off everything and retire. Buffered mail
+            // chases its keys' new trackers.
+            let records: Vec<(AgentId, NodeId)> = std::mem::take(&mut self.records)
+                .into_iter()
+                .collect();
+            self.dispatch_handoffs(ctx, records);
+            for item in self.mailbox.drain_if(|_| true) {
+                let (owner, node) = self.hf.resolve(item.target);
+                ctx.send(
+                    owner,
+                    node,
+                    Wire::DeliverVia {
+                        target: item.target,
+                        from: item.from,
+                        data: item.data,
+                        ttl: MAIL_MAX_HOPS,
+                    }
+                    .payload(),
+                );
+            }
+            for p in self.pending.drain(..) {
+                ctx.send(
+                    p.requester,
+                    p.reply_node,
+                    Wire::NotResponsible {
+                        about: p.target,
+                        token: Some(p.token),
+                    }
+                    .payload(),
+                );
+            }
+            ctx.dispose();
+            return;
+        }
+
+        // Hand off the records that now belong elsewhere.
+        let moved: Vec<(AgentId, NodeId)> = self
+            .records
+            .iter()
+            .filter(|(agent, _)| !self.hf.is_responsible(ctx.self_id(), **agent))
+            .map(|(&a, &n)| (a, n))
+            .collect();
+        for (agent, _) in &moved {
+            self.records.remove(agent);
+            self.stats.forget(*agent);
+        }
+        self.dispatch_handoffs(ctx, moved);
+
+        // Buffered mail for keys that now hash elsewhere chases its new
+        // tracker.
+        let self_id = ctx.self_id();
+        let moved_mail = {
+            let hf = &self.hf;
+            self.mailbox
+                .drain_if(|item| !hf.is_responsible(self_id, item.target))
+        };
+        for item in moved_mail {
+            let (owner, node) = self.hf.resolve(item.target);
+            ctx.send(
+                owner,
+                node,
+                Wire::DeliverVia {
+                    target: item.target,
+                    from: item.from,
+                    data: item.data,
+                    ttl: MAIL_MAX_HOPS,
+                }
+                .payload(),
+            );
+        }
+
+        // Pending queries for targets that now hash elsewhere bounce back.
+        let hf = &self.hf;
+        let self_id = ctx.self_id();
+        let (stay, bounce): (Vec<_>, Vec<_>) = self
+            .pending
+            .drain(..)
+            .partition(|p| hf.is_responsible(self_id, p.target));
+        self.pending = stay;
+        for p in bounce {
+            ctx.send(
+                p.requester,
+                p.reply_node,
+                Wire::NotResponsible {
+                    about: p.target,
+                    token: Some(p.token),
+                }
+                .payload(),
+            );
+        }
+    }
+
+    /// Groups records by their new owner and sends handoffs.
+    fn dispatch_handoffs(&mut self, ctx: &mut AgentCtx<'_>, records: Vec<(AgentId, NodeId)>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut by_owner: BTreeMap<AgentId, (NodeId, Vec<(AgentId, NodeId)>)> = BTreeMap::new();
+        for (agent, node) in records {
+            let (owner, owner_node) = self.hf.resolve(agent);
+            by_owner
+                .entry(owner)
+                .or_insert_with(|| (owner_node, Vec::new()))
+                .1
+                .push((agent, node));
+        }
+        let mut total = 0u64;
+        for (owner, (owner_node, recs)) in by_owner {
+            total += recs.len() as u64;
+            ctx.send(owner, owner_node, Wire::Handoff { records: recs }.payload());
+        }
+        self.shared.update(|s| s.records_handed_off += total);
+    }
+
+    /// Final mail leg: wrap as `MailDrop` and send to the recipient's
+    /// recorded node.
+    fn forward_mail(
+        &self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        node: NodeId,
+        from: AgentId,
+        data: Vec<u8>,
+    ) {
+        ctx.send(target, node, Wire::MailDrop { from, data }.payload());
+    }
+
+    /// Mail can flow the moment a record (re)appears for `agent`.
+    fn flush_mail_for(&mut self, ctx: &mut AgentCtx<'_>, agent: AgentId) {
+        if self.mailbox.is_empty() {
+            return;
+        }
+        if let Some(&node) = self.records.get(&agent) {
+            for item in self.mailbox.take_for(agent) {
+                self.forward_mail(ctx, agent, node, item.from, item.data);
+            }
+        }
+    }
+
+    /// Serves buffered locates whose records arrived.
+    fn flush_pending(&mut self, ctx: &mut AgentCtx<'_>) {
+        let mut still = Vec::new();
+        for p in self.pending.drain(..) {
+            if let Some(&node) = self.records.get(&p.target) {
+                self.shared.update(|s| s.pending_served += 1);
+                ctx.send(
+                    p.requester,
+                    p.reply_node,
+                    Wire::Located {
+                        target: p.target,
+                        node,
+                        token: p.token,
+                    }
+                    .payload(),
+                );
+            } else if ctx.now() >= p.deadline {
+                ctx.send(
+                    p.requester,
+                    p.reply_node,
+                    Wire::NotFound {
+                        target: p.target,
+                        token: p.token,
+                    }
+                    .payload(),
+                );
+            } else {
+                still.push(p);
+            }
+        }
+        self.pending = still;
+    }
+}
+
+impl Agent for IAgentBehavior {
+    fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
+        // Locality migration landed: tell the HAgent so the directory (and
+        // through it, every refreshed copy) knows the new node.
+        self.relocating = false;
+        let here = ctx.node();
+        self.shared.update(|s| s.iagent_moves += 1);
+        self.send_hagent(ctx, &Wire::IAgentMoved { node: here });
+    }
+
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.created_at = ctx.now();
+        if self.fresh {
+            self.send_hagent(ctx, &Wire::IAgentReady);
+        }
+        ctx.set_timer(self.config.check_interval);
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+        self.mailbox.expire(ctx.now());
+        self.flush_pending(ctx);
+        // Unplaced handoff records must not wait forever: if the refetch
+        // reply was lost (or bounced off our old node after a locality
+        // migration), ask again.
+        if !self.unplaced.is_empty()
+            && (!self.refetch_in_flight
+                || ctx.now().saturating_since(self.refetch_sent_at)
+                    > self.config.locate_retry_timeout)
+        {
+            self.refetch_in_flight = true;
+            self.refetch_sent_at = ctx.now();
+            let have_version = self.hf.version;
+            let reply_node = ctx.node();
+            self.send_hagent(
+                ctx,
+                &Wire::FetchHashFn {
+                    have_version,
+                    reply_node,
+                },
+            );
+        }
+        self.maybe_request_merge(ctx);
+        self.maybe_relocate(ctx);
+        // A rehash request whose answer was lost must not wedge this IAgent
+        // forever.
+        if let Some(at) = self.rehash_requested_at {
+            if ctx.now().saturating_since(at)
+                > self.config.rehash_cooldown + self.config.rate_window * 4
+            {
+                self.rehash_requested_at = None;
+            }
+        }
+        // A fresh IAgent that never got installed was orphaned by a failed
+        // split; retire it.
+        if self.fresh
+            && !self.installed
+            && ctx.now().saturating_since(self.created_at) > self.config.rate_window * 10
+        {
+            ctx.dispose();
+            return;
+        }
+        ctx.set_timer(self.config.check_interval);
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return;
+        };
+        // Client traffic that beats the first install is buffered, not
+        // bounced: answering NotResponsible here would send freshly-resolved
+        // clients into a refresh loop against the already-committed tree.
+        if !self.installed
+            && matches!(
+                msg,
+                Wire::Register { .. } | Wire::Update { .. } | Wire::Locate { .. }
+            )
+        {
+            self.preinstall.push((from, msg));
+            return;
+        }
+        self.handle_wire(ctx, from, msg);
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) {
+        // A MailDrop bounced: the recipient left its recorded node before
+        // the mail landed. Re-buffer it; the next update releases it (this
+        // retry loop is the delivery guarantee). The record is left alone:
+        // an Update may have refreshed it while the mail was in flight,
+        // and a stale record corrects itself on the next update anyway.
+        if let Some(Wire::MailDrop { from, data }) = Wire::from_payload(payload) {
+            self.mailbox.push(ctx.now(), _to, from, data);
+            return;
+        }
+        // Only bounced handoffs need recovery (the destination IAgent was
+        // merged away mid-flight): refetch the hash function and
+        // re-dispatch. Replies to clients that moved or died are dropped —
+        // the client retries on its own timeout.
+        if let Some(Wire::Handoff { records }) = Wire::from_payload(payload) {
+            self.unplaced.extend(records);
+            if !self.refetch_in_flight {
+                self.refetch_in_flight = true;
+                self.refetch_sent_at = ctx.now();
+                let have_version = self.hf.version;
+                let reply_node = ctx.node();
+                self.send_hagent(
+                    ctx,
+                    &Wire::FetchHashFn {
+                        have_version,
+                        reply_node,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl IAgentBehavior {
+    fn handle_wire(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, msg: Wire) {
+        match msg {
+            Wire::Register { agent, node } => {
+                self.stats.record(ctx.now(), agent);
+                self.note_origin(node);
+                if self.installed && self.is_mine(ctx, agent) {
+                    self.records.insert(agent, node);
+                    ctx.send(from, node, Wire::RegisterAck { agent }.payload());
+                    self.flush_pending(ctx);
+                    self.flush_mail_for(ctx, agent);
+                } else {
+                    self.shared.update(|s| s.stale_hits += 1);
+                    ctx.send(
+                        from,
+                        node,
+                        Wire::NotResponsible {
+                            about: agent,
+                            token: None,
+                        }
+                        .payload(),
+                    );
+                }
+                self.maybe_request_split(ctx);
+            }
+            Wire::Update { agent, node } => {
+                self.stats.record(ctx.now(), agent);
+                self.note_origin(node);
+                if self.installed && self.is_mine(ctx, agent) {
+                    self.records.insert(agent, node);
+                    self.flush_mail_for(ctx, agent);
+                } else {
+                    self.shared.update(|s| s.stale_hits += 1);
+                    ctx.send(
+                        from,
+                        node,
+                        Wire::NotResponsible {
+                            about: agent,
+                            token: None,
+                        }
+                        .payload(),
+                    );
+                }
+                self.maybe_request_split(ctx);
+            }
+            Wire::Locate {
+                target,
+                token,
+                reply_node,
+            } => {
+                self.stats.record(ctx.now(), target);
+                self.note_origin(reply_node);
+                if self.installed && self.is_mine(ctx, target) {
+                    if let Some(&node) = self.records.get(&target) {
+                        ctx.send(
+                            from,
+                            reply_node,
+                            Wire::Located {
+                                target,
+                                node,
+                                token,
+                            }
+                            .payload(),
+                        );
+                    } else {
+                        // Possibly a handoff in flight: buffer briefly.
+                        self.pending.push(PendingLocate {
+                            target,
+                            requester: from,
+                            reply_node,
+                            token,
+                            deadline: ctx.now() + self.config.pending_timeout,
+                        });
+                    }
+                } else {
+                    self.shared.update(|s| s.stale_hits += 1);
+                    ctx.send(
+                        from,
+                        reply_node,
+                        Wire::NotResponsible {
+                            about: target,
+                            token: Some(token),
+                        }
+                        .payload(),
+                    );
+                }
+                self.maybe_request_split(ctx);
+            }
+            Wire::DeliverVia {
+                target,
+                from: origin,
+                data,
+                ttl,
+            } => {
+                self.stats.record(ctx.now(), target);
+                if self.is_mine(ctx, target) {
+                    match self.records.get(&target) {
+                        Some(&node) => self.forward_mail(ctx, target, node, origin, data),
+                        // Unknown right now (mid-handoff or mid-flight):
+                        // hold it; the next update releases it.
+                        None => self.mailbox.push(ctx.now(), target, origin, data),
+                    }
+                } else if ttl > 0 {
+                    // Stale sender copy: chase toward the responsible
+                    // tracker under our (fresher) view.
+                    let (owner, node) = self.hf.resolve(target);
+                    ctx.send(
+                        owner,
+                        node,
+                        Wire::DeliverVia {
+                            target,
+                            from: origin,
+                            data,
+                            ttl: ttl - 1,
+                        }
+                        .payload(),
+                    );
+                }
+                self.maybe_request_split(ctx);
+            }
+            Wire::Deregister { agent } => {
+                self.stats.record(ctx.now(), agent);
+                self.records.remove(&agent);
+                self.stats.forget(agent);
+                self.maybe_request_split(ctx);
+            }
+            Wire::InstallHashFn { hf } => self.install(ctx, hf),
+            Wire::Handoff { records } => {
+                // A handoff computed under an older version may include
+                // keys that have since moved on; forward those instead of
+                // parking them on a non-responsible tracker.
+                let (mine, foreign): (Vec<_>, Vec<_>) = records
+                    .into_iter()
+                    .partition(|&(agent, _)| self.installed && self.is_mine(ctx, agent));
+                let agents: Vec<AgentId> = mine.iter().map(|&(a, _)| a).collect();
+                for (agent, node) in mine {
+                    // A direct update that already landed here is fresher
+                    // than the handed-off record.
+                    self.records.entry(agent).or_insert(node);
+                }
+                self.dispatch_handoffs(ctx, foreign);
+                self.flush_pending(ctx);
+                for agent in agents {
+                    self.flush_mail_for(ctx, agent);
+                }
+            }
+            Wire::RehashDenied => {
+                self.rehash_requested_at = None;
+                self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+            }
+            Wire::HashFnCopy { hf } => {
+                // Answer to a refetch after a bounced handoff. Re-dispatch
+                // only under a *newer* view — the same version would resend
+                // to the destination that just bounced (hot loop); the
+                // periodic check refetches until the view advances.
+                self.refetch_in_flight = false;
+                if hf.version > self.hf.version {
+                    self.install(ctx, hf);
+                    let unplaced = std::mem::take(&mut self.unplaced);
+                    self.dispatch_handoffs(ctx, unplaced);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The Local Hash Agent (LHAgent): one per node, holding a lazily updated
+//! secondary copy of the hash function.
+//!
+//! "For reasons of efficiency, copies of this hash function are maintained
+//! locally in every node of the system. These copies may be temporally
+//! out-of-date (secondary copies)." Updates propagate on demand: a client
+//! that hits a `NotResponsible` answer asks its LHAgent to `ResolveFresh`,
+//! which makes the LHAgent fetch the primary copy from the HAgent before
+//! answering (paper §4.3).
+
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
+use agentrack_sim::{SimDuration, SimTime};
+
+use crate::scheme::SharedSchemeStats;
+use crate::wire::{HashFunction, Wire};
+
+/// Behaviour of an LHAgent.
+#[derive(Debug)]
+pub struct LHAgentBehavior {
+    hf: HashFunction,
+    /// Hash-function sources, primary first, then standbys (failover
+    /// order).
+    hagents: Vec<(AgentId, NodeId)>,
+    /// Index of the source currently fetched from.
+    current_hagent: usize,
+    /// Resolves waiting for a fresh copy: `(requester, target, token)`.
+    waiting: Vec<(AgentId, AgentId, Option<u64>)>,
+    fetch_in_flight: bool,
+    /// When the in-flight fetch was sent; a reply overdue past the timeout
+    /// (lost to the network, or the HAgent died without a bounce) clears
+    /// the flag so waiting clients are not wedged forever.
+    fetch_sent_at: SimTime,
+    shared: SharedSchemeStats,
+}
+
+impl LHAgentBehavior {
+    /// Creates an LHAgent holding an initial secondary copy.
+    #[must_use]
+    pub fn new(
+        hf: HashFunction,
+        hagent: AgentId,
+        hagent_node: NodeId,
+        shared: SharedSchemeStats,
+    ) -> Self {
+        LHAgentBehavior {
+            hf,
+            hagents: vec![(hagent, hagent_node)],
+            current_hagent: 0,
+            waiting: Vec::new(),
+            fetch_in_flight: false,
+            fetch_sent_at: SimTime::ZERO,
+            shared,
+        }
+    }
+
+    /// Adds a standby HAgent to fail over to when the primary is
+    /// unreachable.
+    #[must_use]
+    pub fn with_standby(mut self, standby: AgentId, node: NodeId) -> Self {
+        self.hagents.push((standby, node));
+        self
+    }
+
+    /// Answers a resolve from the local copy. Requesters are by definition
+    /// on this node ("its own local LHAgent").
+    fn answer(&self, ctx: &mut AgentCtx<'_>, requester: AgentId, target: AgentId, token: Option<u64>) {
+        let (iagent, node) = self.hf.resolve(target);
+        let here = ctx.node();
+        ctx.send(
+            requester,
+            here,
+            Wire::Resolved {
+                target,
+                iagent,
+                node,
+                version: self.hf.version,
+                token,
+            }
+            .payload(),
+        );
+    }
+
+    fn fetch(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.fetch_in_flight {
+            return;
+        }
+        self.fetch_in_flight = true;
+        self.fetch_sent_at = ctx.now();
+        let here = ctx.node();
+        let (hagent, node) = self.hagents[self.current_hagent];
+        ctx.send(
+            hagent,
+            node,
+            Wire::FetchHashFn {
+                have_version: self.hf.version,
+                reply_node: here,
+            }
+            .payload(),
+        );
+        // Reply-loss watchdog: if no copy arrives, the timer clears the
+        // in-flight flag and retries.
+        ctx.set_timer(FETCH_TIMEOUT);
+    }
+}
+
+impl Agent for LHAgentBehavior {
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let Some(msg) = Wire::from_payload(payload) else {
+            return;
+        };
+        match msg {
+            Wire::Resolve { target, token } => self.answer(ctx, from, target, token),
+            Wire::DeliverVia {
+                target,
+                from: origin,
+                data,
+                ttl,
+            } => {
+                // Entry point of mediated delivery: route the mail toward
+                // the responsible IAgent under the local copy (which may
+                // be stale — the trackers chase the rest of the way).
+                let (iagent, node) = self.hf.resolve(target);
+                ctx.send(
+                    iagent,
+                    node,
+                    Wire::DeliverVia {
+                        target,
+                        from: origin,
+                        data,
+                        ttl,
+                    }
+                    .payload(),
+                );
+            }
+            Wire::ResolveFresh { target, token } => {
+                self.waiting.push((from, target, token));
+                self.fetch(ctx);
+            }
+            Wire::HashFnCopy { hf } => {
+                // Either the answer to our fetch or an eager push from the
+                // HAgent. An old copy must not satisfy a pending
+                // ResolveFresh: the clients waiting already *rejected* the
+                // version we hold, so only a strictly newer copy answers
+                // them (the watchdog retries if the real reply was lost).
+                match hf.version.cmp(&self.hf.version) {
+                    std::cmp::Ordering::Greater => {
+                        self.hf = hf;
+                        self.fetch_in_flight = false;
+                        let waiting = std::mem::take(&mut self.waiting);
+                        for (requester, target, token) in waiting {
+                            self.answer(ctx, requester, target, token);
+                        }
+                    }
+                    std::cmp::Ordering::Equal => {
+                        // Authoritative confirmation that our copy is
+                        // current: the freshest answer that exists.
+                        self.fetch_in_flight = false;
+                        let waiting = std::mem::take(&mut self.waiting);
+                        for (requester, target, token) in waiting {
+                            self.answer(ctx, requester, target, token);
+                        }
+                    }
+                    std::cmp::Ordering::Less => {
+                        // A stale eager push racing our fetch: ignore it;
+                        // the real reply (or the watchdog) handles waiting
+                        // clients.
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        _to: AgentId,
+        _node: NodeId,
+        payload: &Payload,
+    ) {
+        // Our fetch bounced: the current HAgent is down. Fail over to the
+        // next source; if that wraps back to the start (every source
+        // tried), back off before retrying so a fully dead control plane
+        // does not produce a hot bounce loop.
+        if matches!(Wire::from_payload(payload), Some(Wire::FetchHashFn { .. })) {
+            self.fetch_in_flight = false;
+            self.current_hagent = (self.current_hagent + 1) % self.hagents.len();
+            if self.waiting.is_empty() {
+                return;
+            }
+            if self.current_hagent == 0 {
+                ctx.set_timer(SimDuration::from_millis(500));
+            } else {
+                self.fetch(ctx);
+            }
+        }
+        let _ = &self.shared;
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+        if self.fetch_in_flight && ctx.now().saturating_since(self.fetch_sent_at) >= FETCH_TIMEOUT
+        {
+            // The reply never came (lost, or the HAgent crashed mid-fetch):
+            // try the next source.
+            self.fetch_in_flight = false;
+            self.current_hagent = (self.current_hagent + 1) % self.hagents.len();
+        }
+        if !self.waiting.is_empty() {
+            self.fetch(ctx);
+        }
+    }
+}
+
+/// How long an LHAgent waits for a `HashFnCopy` reply before assuming it
+/// was lost and retrying (possibly against a standby).
+const FETCH_TIMEOUT: SimDuration = SimDuration::from_millis(800);

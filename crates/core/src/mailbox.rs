@@ -1,0 +1,162 @@
+//! Tracker-side mail buffering, for guaranteed delivery to fast movers.
+//!
+//! The paper closes its related work with the open problem of "guaranteed
+//! agent discovery; that is, ensuring that the location of an agent is
+//! found even if an agent moves faster than the requests for its location"
+//! (§6, citing Moreau and Murphy–Picco). The locate-then-send pattern
+//! loses that race: by the time the answer arrives, the agent has moved.
+//!
+//! This module implements the tracker-mediated alternative: a sender hands
+//! the message to the location mechanism (`DeliverVia`), which routes it
+//! to the responsible tracker; the tracker forwards it to the agent's
+//! recorded node, and — the guarantee — if the agent is mid-flight, the
+//! message waits in the tracker's [`Mailbox`] and rides out on the
+//! agent's very next location update. The agent's updates are the one
+//! signal that always outruns the agent.
+
+use agentrack_platform::AgentId;
+use agentrack_sim::{SimDuration, SimTime};
+
+/// One buffered message awaiting its recipient's next location update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MailItem {
+    /// The recipient.
+    pub target: AgentId,
+    /// The original sender (restored as the `from` of the final delivery).
+    pub from: AgentId,
+    /// The application payload bytes.
+    pub data: Vec<u8>,
+    /// When the item expires undelivered.
+    pub deadline: SimTime,
+}
+
+/// A tracker's buffer of undeliverable-right-now messages.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_core::Mailbox;
+/// use agentrack_platform::AgentId;
+/// use agentrack_sim::{SimDuration, SimTime};
+///
+/// let mut mailbox = Mailbox::new(SimDuration::from_secs(10));
+/// mailbox.push(SimTime::ZERO, AgentId::new(7), AgentId::new(1), vec![1, 2]);
+/// let out = mailbox.take_for(AgentId::new(7));
+/// assert_eq!(out.len(), 1);
+/// assert!(mailbox.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mailbox {
+    items: Vec<MailItem>,
+    ttl: SimDuration,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox whose items expire after `ttl`.
+    #[must_use]
+    pub fn new(ttl: SimDuration) -> Self {
+        Mailbox {
+            items: Vec::new(),
+            ttl,
+        }
+    }
+
+    /// Buffers a message for `target`.
+    pub fn push(&mut self, now: SimTime, target: AgentId, from: AgentId, data: Vec<u8>) {
+        self.items.push(MailItem {
+            target,
+            from,
+            data,
+            deadline: now + self.ttl,
+        });
+    }
+
+    /// Removes and returns every buffered message for `target` (its
+    /// location just became known).
+    #[must_use]
+    pub fn take_for(&mut self, target: AgentId) -> Vec<MailItem> {
+        let (out, keep): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.items).into_iter().partition(|m| m.target == target);
+        self.items = keep;
+        out
+    }
+
+    /// Re-routes every buffered item through `route`: items whose target no
+    /// longer belongs to this tracker are drained and handed to the
+    /// closure (used after a rehash installs a new hash-function version).
+    pub fn drain_if(&mut self, mut gone: impl FnMut(&MailItem) -> bool) -> Vec<MailItem> {
+        let (out, keep): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.items).into_iter().partition(|m| gone(m));
+        self.items = keep;
+        out
+    }
+
+    /// Drops expired items, returning how many were lost.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.items.len();
+        self.items.retain(|m| m.deadline > now);
+        before - self.items.len()
+    }
+
+    /// Number of buffered items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Hop budget for tracker-to-tracker mail routing: chases across stale
+/// copies converge within a few rehash generations; past this many hops
+/// something is wrong and the mail is dropped rather than looped.
+pub const MAIL_MAX_HOPS: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item_data(items: &[MailItem]) -> Vec<&[u8]> {
+        items.iter().map(|m| m.data.as_slice()).collect()
+    }
+
+    #[test]
+    fn push_take_roundtrip() {
+        let mut mb = Mailbox::new(SimDuration::from_secs(1));
+        mb.push(SimTime::ZERO, AgentId::new(1), AgentId::new(9), vec![1]);
+        mb.push(SimTime::ZERO, AgentId::new(2), AgentId::new(9), vec![2]);
+        mb.push(SimTime::ZERO, AgentId::new(1), AgentId::new(8), vec![3]);
+        assert_eq!(mb.len(), 3);
+        let for_one = mb.take_for(AgentId::new(1));
+        assert_eq!(item_data(&for_one), [&[1u8][..], &[3u8][..]]);
+        assert_eq!(mb.len(), 1);
+        assert!(mb.take_for(AgentId::new(3)).is_empty());
+    }
+
+    #[test]
+    fn expiry_drops_old_items() {
+        let mut mb = Mailbox::new(SimDuration::from_secs(1));
+        mb.push(SimTime::ZERO, AgentId::new(1), AgentId::new(9), vec![1]);
+        let later = SimTime::ZERO + SimDuration::from_millis(500);
+        mb.push(later, AgentId::new(2), AgentId::new(9), vec![2]);
+        assert_eq!(mb.expire(SimTime::ZERO + SimDuration::from_millis(1100)), 1);
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.expire(SimTime::ZERO + SimDuration::from_secs(2)), 1);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn drain_if_partitions() {
+        let mut mb = Mailbox::new(SimDuration::from_secs(1));
+        for i in 0..6u64 {
+            mb.push(SimTime::ZERO, AgentId::new(i), AgentId::new(9), vec![i as u8]);
+        }
+        let drained = mb.drain_if(|m| m.target.raw() % 2 == 0);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(mb.len(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Client-side locate retry bookkeeping, shared by every scheme's client.
+//!
+//! A locate operation retries on negative answers (`NotFound`,
+//! `NotResponsible`, delivery bounces) and on a timeout, up to a budget.
+//! The subtlety is that both sources race: an answer that already triggered
+//! a retry must not let the (now stale) timeout trigger a second one, or
+//! the budget burns twice as fast as intended. The tracker therefore stamps
+//! each armed timer with the attempt number it guards and ignores timers
+//! whose attempt has already progressed.
+
+use std::collections::HashMap;
+
+use agentrack_platform::{AgentCtx, AgentId, TimerId};
+use agentrack_sim::SimDuration;
+
+/// What the caller should do about a locate after an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retry {
+    /// Send another attempt for this target (the tracker already counted
+    /// it); arm a timer via [`LocateTracker::arm_timer`] after sending.
+    Again {
+        /// The locate's correlation token.
+        token: u64,
+        /// The agent being located.
+        target: AgentId,
+    },
+    /// Budget exhausted: report failure upstream.
+    GiveUp {
+        /// The locate's correlation token.
+        token: u64,
+        /// The agent that could not be located.
+        target: AgentId,
+    },
+    /// Nothing to do (operation already finished, or stale timer).
+    Nothing,
+}
+
+#[derive(Debug, Clone)]
+struct Op {
+    target: AgentId,
+    attempts: u32,
+}
+
+/// Tracks in-flight locate operations and their retry budgets.
+#[derive(Debug, Default)]
+pub struct LocateTracker {
+    ops: HashMap<u64, Op>,
+    /// timer → (token, attempt it guards).
+    timers: HashMap<TimerId, (u64, u32)>,
+}
+
+impl LocateTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins tracking a locate (attempt 1).
+    pub fn start(&mut self, token: u64, target: AgentId) {
+        self.ops.insert(
+            token,
+            Op {
+                target,
+                attempts: 1,
+            },
+        );
+    }
+
+    /// Arms the timeout guarding the current attempt of `token`.
+    pub fn arm_timer(&mut self, ctx: &mut AgentCtx<'_>, timeout: SimDuration, token: u64) {
+        let Some(op) = self.ops.get(&token) else {
+            return;
+        };
+        let attempt = op.attempts;
+        let timer = ctx.set_timer(timeout);
+        self.timers.insert(timer, (token, attempt));
+    }
+
+    /// A negative answer arrived for `token`: consume one attempt.
+    pub fn on_negative(&mut self, token: u64, max_attempts: u32) -> Retry {
+        let Some(op) = self.ops.get_mut(&token) else {
+            return Retry::Nothing;
+        };
+        op.attempts += 1;
+        if op.attempts > max_attempts {
+            let target = op.target;
+            self.ops.remove(&token);
+            Retry::GiveUp { token, target }
+        } else {
+            Retry::Again {
+                token,
+                target: op.target,
+            }
+        }
+    }
+
+    /// A timer fired. Returns `None` if the timer was not armed by this
+    /// tracker (the caller's own timer); otherwise the retry decision — a
+    /// timer whose attempt already progressed is stale and does nothing.
+    pub fn on_timer(&mut self, timer: TimerId, max_attempts: u32) -> Option<Retry> {
+        let (token, attempt) = self.timers.remove(&timer)?;
+        match self.ops.get(&token) {
+            Some(op) if op.attempts == attempt => Some(self.on_negative(token, max_attempts)),
+            _ => Some(Retry::Nothing),
+        }
+    }
+
+    /// The locate completed: stop tracking. Returns `true` if it was still
+    /// being tracked (guards against duplicate answers).
+    pub fn complete(&mut self, token: u64) -> bool {
+        self.ops.remove(&token).is_some()
+    }
+
+    /// The target of an in-flight locate, if still tracked.
+    #[must_use]
+    pub fn target(&self, token: u64) -> Option<AgentId> {
+        self.ops.get(&token).map(|op| op.target)
+    }
+
+    /// Number of in-flight locates.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_answers_consume_the_budget() {
+        let mut t = LocateTracker::new();
+        t.start(1, AgentId::new(9));
+        assert_eq!(
+            t.on_negative(1, 3),
+            Retry::Again {
+                token: 1,
+                target: AgentId::new(9)
+            }
+        );
+        assert_eq!(t.on_negative(1, 3), Retry::Again { token: 1, target: AgentId::new(9) });
+        assert_eq!(
+            t.on_negative(1, 3),
+            Retry::GiveUp {
+                token: 1,
+                target: AgentId::new(9)
+            }
+        );
+        assert_eq!(t.on_negative(1, 3), Retry::Nothing);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn completion_stops_tracking() {
+        let mut t = LocateTracker::new();
+        t.start(7, AgentId::new(1));
+        assert_eq!(t.target(7), Some(AgentId::new(1)));
+        assert!(t.complete(7));
+        assert!(!t.complete(7));
+        assert_eq!(t.on_negative(7, 3), Retry::Nothing);
+    }
+
+    // Timer interplay is exercised through the platform in the scheme
+    // integration tests; `arm_timer` needs an `AgentCtx`, which only the
+    // runtime can construct.
+}

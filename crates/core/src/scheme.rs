@@ -1,0 +1,223 @@
+//! The scheme abstraction: every location mechanism (the paper's hash-based
+//! one and the baselines) plugs into experiments through these traits.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use agentrack_platform::{AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
+
+/// A thread-safe constructor of scheme clients, so workloads can create
+/// clients for agents born *during* a run (population churn).
+pub type ClientFactory = Arc<dyn Fn() -> Box<dyn DirectoryClient> + Send + Sync>;
+
+/// What a [`DirectoryClient`] reports back to its owning agent after being
+/// offered an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The event was not protocol traffic; the owner should handle it.
+    NotMine,
+    /// Protocol traffic, consumed; nothing to report.
+    Consumed,
+    /// The owner's registration completed.
+    Registered,
+    /// A locate finished successfully.
+    Located {
+        /// Token passed to [`DirectoryClient::locate`].
+        token: u64,
+        /// The located agent.
+        target: AgentId,
+        /// Its reported node.
+        node: NodeId,
+    },
+    /// A locate gave up (retry budget exhausted or target unknown).
+    Failed {
+        /// Token passed to [`DirectoryClient::locate`].
+        token: u64,
+        /// The agent that could not be located.
+        target: AgentId,
+    },
+    /// Mail delivered through the mechanism ([`DirectoryClient::send_via`]
+    /// on the sending side): the owner should treat `data` as an incoming
+    /// application message from `from`.
+    Mail {
+        /// The original sender.
+        from: AgentId,
+        /// Application payload bytes.
+        data: Vec<u8>,
+    },
+}
+
+/// Client-side state machine of a location scheme, embedded in each mobile
+/// agent's behaviour.
+///
+/// The owning behaviour forwards its lifecycle events here:
+/// `on_create` → [`register`](DirectoryClient::register),
+/// `on_arrival` → [`moved`](DirectoryClient::moved), incoming messages /
+/// failures / timers → the corresponding `on_*` method, acting on anything
+/// reported back as a [`ClientEvent`].
+///
+/// `Send` because clients travel inside agent behaviours, which migrate
+/// between node threads on the live runtime.
+pub trait DirectoryClient: Send {
+    /// Registers the owning agent with the scheme. Call from `on_create`.
+    fn register(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// Reports that the owning agent moved. Call from `on_arrival`.
+    fn moved(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// Withdraws the owning agent from the directory. Call from
+    /// `on_dispose` when the agent dies.
+    fn deregister(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// Starts locating `target`; the outcome arrives later as
+    /// [`ClientEvent::Located`] or [`ClientEvent::Failed`] carrying `token`.
+    fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64);
+
+    /// Offers an incoming message to the client.
+    fn on_message(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        from: AgentId,
+        payload: &Payload,
+    ) -> ClientEvent;
+
+    /// Offers a delivery failure (a tracker the client contacted moved or
+    /// was merged away).
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) -> ClientEvent;
+
+    /// Offers a timer; the client owns timers it set itself.
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) -> ClientEvent;
+
+    /// Sends `data` to `target` *through the mechanism* (guaranteed
+    /// delivery: the responsible tracker forwards it, buffering across the
+    /// target's migrations). Returns `false` if this scheme does not
+    /// support mediated delivery. The recipient's owner sees
+    /// [`ClientEvent::Mail`].
+    fn send_via(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, data: Vec<u8>) -> bool {
+        let _ = (ctx, target, data);
+        false
+    }
+}
+
+/// A location scheme: service-side bootstrap plus client construction.
+pub trait LocationScheme {
+    /// Human-readable scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Spawns the scheme's service agents (trackers, registries, hash
+    /// agents) on a runtime — the deterministic simulator or the live
+    /// threaded platform. Must be called once, before any client
+    /// registers.
+    fn bootstrap(&mut self, platform: &mut dyn Spawner);
+
+    /// Returns a constructor for client state machines, usable while the
+    /// run is in progress (newly born agents need clients too).
+    fn client_factory(&self) -> ClientFactory;
+
+    /// Creates the client state machine for one mobile agent.
+    fn make_client(&self) -> Box<dyn DirectoryClient> {
+        (self.client_factory())()
+    }
+
+    /// Scheme-level statistics accumulated so far.
+    fn stats(&self) -> SchemeStats;
+}
+
+/// Counters describing what a scheme did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Splits committed by the HAgent.
+    pub splits: u64,
+    /// Merges committed by the HAgent.
+    pub merges: u64,
+    /// Rehash requests denied (cooldown, in-progress, unbalanceable).
+    pub rehash_denied: u64,
+    /// Hash-function copies served to LHAgents.
+    pub hf_fetches: u64,
+    /// Records moved between trackers by handoffs.
+    pub records_handed_off: u64,
+    /// `NotResponsible` answers sent (stale-copy detections).
+    pub stale_hits: u64,
+    /// Locate answers served from a buffered (pending) state after a
+    /// handoff arrived.
+    pub pending_served: u64,
+    /// Current number of active trackers (IAgents / registries).
+    pub trackers: u64,
+    /// Peak number of active trackers.
+    pub peak_trackers: u64,
+    /// Forwarding-pointer chain hops walked (forwarding baseline only).
+    pub chain_hops: u64,
+    /// Height of the hash tree after the latest rehash (hashed scheme).
+    pub tree_height: u64,
+    /// Sum of hyper-label bit lengths over current leaves (hashed scheme);
+    /// divide by `trackers` for the mean consumed-prefix length.
+    pub depth_bits_total: u64,
+    /// IAgent locality migrations performed (extension E9).
+    pub iagent_moves: u64,
+}
+
+/// Shared mutable scheme statistics: behaviours hold clones of this handle.
+///
+/// Thread-safe so behaviours can run on either runtime.
+#[derive(Clone, Default)]
+pub struct SharedSchemeStats(Arc<Mutex<SchemeStats>>);
+
+impl SharedSchemeStats {
+    /// Creates zeroed shared statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> SchemeStats {
+        *self.0.lock()
+    }
+
+    /// Applies a mutation to the counters.
+    pub fn update(&self, f: impl FnOnce(&mut SchemeStats)) {
+        f(&mut self.0.lock());
+    }
+
+    /// Records a change in the number of trackers.
+    pub fn set_trackers(&self, n: u64) {
+        let mut s = self.0.lock();
+        s.trackers = n;
+        s.peak_trackers = s.peak_trackers.max(n);
+    }
+}
+
+impl fmt::Debug for SharedSchemeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedSchemeStats({:?})", self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_stats_accumulate() {
+        let s = SharedSchemeStats::new();
+        s.update(|x| x.splits += 2);
+        s.set_trackers(5);
+        s.set_trackers(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.splits, 2);
+        assert_eq!(snap.trackers, 3);
+        assert_eq!(snap.peak_trackers, 5);
+        let clone = s.clone();
+        clone.update(|x| x.merges += 1);
+        assert_eq!(s.snapshot().merges, 1);
+    }
+}

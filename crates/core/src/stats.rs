@@ -1,0 +1,194 @@
+//! Load statistics maintained by trackers.
+//!
+//! Each IAgent keeps (1) a sliding-window estimate of the total message
+//! rate it receives — compared against `T_max`/`T_min` to trigger rehashing
+//! — and (2) "the accumulated rate of update and query requests" per served
+//! agent (paper §4.1), which the HAgent uses to plan even splits. Per-agent
+//! counters decay by halving on a fixed interval so the plan reflects
+//! recent traffic rather than all of history.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use agentrack_platform::AgentId;
+use agentrack_sim::{SimDuration, SimTime, WindowedRate};
+
+/// Rate and per-agent load statistics of one tracker.
+pub struct LoadStats {
+    rate: WindowedRate,
+    per_agent: HashMap<AgentId, u64>,
+    last_decay: SimTime,
+    decay_interval: SimDuration,
+    window: SimDuration,
+    buckets: usize,
+}
+
+impl LoadStats {
+    /// Creates empty statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is degenerate (zero span or zero buckets).
+    #[must_use]
+    pub fn new(window: SimDuration, buckets: usize, decay_interval: SimDuration) -> Self {
+        LoadStats {
+            rate: WindowedRate::new(window, buckets),
+            per_agent: HashMap::new(),
+            last_decay: SimTime::ZERO,
+            decay_interval,
+            window,
+            buckets,
+        }
+    }
+
+    /// Records one request concerning `about` (the registered/updated/
+    /// located agent) at time `now`.
+    pub fn record(&mut self, now: SimTime, about: AgentId) {
+        self.rate.record(now);
+        *self.per_agent.entry(about).or_insert(0) += 1;
+        self.maybe_decay(now);
+    }
+
+    /// Records a request that concerns no particular agent (control
+    /// traffic); it still counts toward the rate.
+    pub fn record_control(&mut self, now: SimTime) {
+        self.rate.record(now);
+        self.maybe_decay(now);
+    }
+
+    /// Current request rate in messages/second.
+    #[must_use]
+    pub fn rate_per_sec(&mut self, now: SimTime) -> f64 {
+        self.rate.rate_per_sec(now)
+    }
+
+    /// Snapshot of per-agent accumulated loads (for a split request).
+    #[must_use]
+    pub fn loads(&self) -> Vec<(AgentId, u64)> {
+        let mut v: Vec<(AgentId, u64)> = self
+            .per_agent
+            .iter()
+            .map(|(&a, &w)| (a, w))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Forgets an agent entirely (handed off or deregistered).
+    pub fn forget(&mut self, agent: AgentId) {
+        self.per_agent.remove(&agent);
+    }
+
+    /// Starts a fresh measurement epoch: clears the rate window and the
+    /// per-agent counters. Called when a new hash-function version is
+    /// installed — the traffic that drove the old partition must not drive
+    /// another rehash of the new one.
+    pub fn reset(&mut self, now: SimTime) {
+        self.rate = WindowedRate::new(self.window, self.buckets);
+        self.per_agent.clear();
+        self.last_decay = now;
+    }
+
+    /// Total requests ever recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.rate.total_events()
+    }
+
+    fn maybe_decay(&mut self, now: SimTime) {
+        if now.saturating_since(self.last_decay) < self.decay_interval {
+            return;
+        }
+        self.last_decay = now;
+        self.per_agent.retain(|_, w| {
+            *w /= 2;
+            *w > 0
+        });
+    }
+}
+
+impl fmt::Debug for LoadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadStats")
+            .field("tracked_agents", &self.per_agent.len())
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> LoadStats {
+        LoadStats::new(SimDuration::from_secs(1), 10, SimDuration::from_secs(2))
+    }
+
+    #[test]
+    fn records_accumulate_per_agent() {
+        let mut s = stats();
+        let t = SimTime::ZERO;
+        s.record(t, AgentId::new(1));
+        s.record(t, AgentId::new(1));
+        s.record(t, AgentId::new(2));
+        assert_eq!(
+            s.loads(),
+            vec![(AgentId::new(1), 2), (AgentId::new(2), 1)]
+        );
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn control_traffic_counts_toward_rate_only() {
+        let mut s = stats();
+        s.record_control(SimTime::ZERO);
+        assert!(s.loads().is_empty());
+        assert!(s.rate_per_sec(SimTime::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn decay_halves_counters() {
+        let mut s = stats();
+        let t0 = SimTime::ZERO;
+        for _ in 0..8 {
+            s.record(t0, AgentId::new(1));
+        }
+        s.record(t0, AgentId::new(2)); // weight 1 → decays to 0 and is dropped
+        let later = t0 + SimDuration::from_secs(3);
+        s.record(later, AgentId::new(3));
+        let loads = s.loads();
+        assert!(loads.contains(&(AgentId::new(1), 4)));
+        assert!(!loads.iter().any(|&(a, _)| a == AgentId::new(2)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = stats();
+        s.record(SimTime::ZERO, AgentId::new(1));
+        s.reset(SimTime::ZERO);
+        assert!(s.loads().is_empty());
+        assert_eq!(s.rate_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn forget_removes_the_agent() {
+        let mut s = stats();
+        s.record(SimTime::ZERO, AgentId::new(1));
+        s.forget(AgentId::new(1));
+        assert!(s.loads().is_empty());
+    }
+
+    #[test]
+    fn rate_reflects_recent_traffic() {
+        let mut s = stats();
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            s.record(t, AgentId::new(1));
+            t += SimDuration::from_millis(10);
+        }
+        let r = s.rate_per_sec(t);
+        assert!((80.0..120.0).contains(&r), "rate {r}");
+        // After silence the rate collapses.
+        assert_eq!(s.rate_per_sec(t + SimDuration::from_secs(5)), 0.0);
+    }
+}

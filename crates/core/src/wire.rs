@@ -1,0 +1,375 @@
+//! The wire protocol of the location schemes, and the hash-function
+//! artifact the HAgent distributes.
+//!
+//! All schemes (hashed, centralized, home-registry, forwarding) share one
+//! message enum so behaviours can cheaply test "is this one of mine" by
+//! attempting to decode a [`Wire`] value.
+
+use std::collections::HashMap;
+
+use agentrack_hashtree::{AgentKey, HashTree, IAgentId};
+use agentrack_platform::{AgentId, NodeId, Payload};
+use serde::{Deserialize, Serialize};
+
+/// Derives the hash key of a platform agent id.
+///
+/// The platform assigns agent ids sequentially; the location mechanism
+/// requires keys whose prefix bits are uniform, so ids are passed through a
+/// full-avalanche mixer. This is the system-wide hash function's first
+/// stage (its second stage is the hash tree's prefix matching).
+#[must_use]
+pub fn key_of(agent: AgentId) -> AgentKey {
+    AgentKey::from_sequential(agent.raw())
+}
+
+/// The complete hash-function artifact: what the HAgent owns (primary
+/// copy), LHAgents cache (secondary copies), and IAgents keep to check
+/// responsibility.
+///
+/// Besides the tree this carries the IAgent *directory* — the current node
+/// of every IAgent — because resolving an agent must yield both "which
+/// IAgent" and "where is it" (paper: the LHAgent returns "the id and the
+/// current location of A's IAgent").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HashFunction {
+    /// Version counter, bumped by every rehash; lets copies recognise
+    /// staleness.
+    pub version: u64,
+    /// The extendible hash tree.
+    pub tree: HashTree,
+    /// Where each IAgent lives. Keys are the tree's leaf owners.
+    pub locations: HashMap<IAgentId, NodeId>,
+}
+
+impl HashFunction {
+    /// Builds version 1 of the hash function: one IAgent serving the whole
+    /// key space.
+    #[must_use]
+    pub fn initial(iagent: AgentId, node: NodeId) -> Self {
+        let ia = IAgentId::new(iagent.raw());
+        let mut locations = HashMap::new();
+        locations.insert(ia, node);
+        HashFunction {
+            version: 1,
+            tree: HashTree::new(ia),
+            locations,
+        }
+    }
+
+    /// Resolves an agent id to its responsible IAgent and that IAgent's
+    /// node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree and directory are out of sync — an invariant the
+    /// HAgent maintains.
+    #[must_use]
+    pub fn resolve(&self, target: AgentId) -> (AgentId, NodeId) {
+        let ia = self.tree.lookup(key_of(target));
+        let node = *self
+            .locations
+            .get(&ia)
+            .expect("hash tree leaf without a directory entry");
+        (AgentId::new(ia.raw()), node)
+    }
+
+    /// `true` if `iagent` is responsible for `target` under this version.
+    #[must_use]
+    pub fn is_responsible(&self, iagent: AgentId, target: AgentId) -> bool {
+        self.tree.lookup(key_of(target)) == IAgentId::new(iagent.raw())
+    }
+
+    /// Consistency check: every leaf has a directory entry and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.tree.validate()?;
+        for ia in self.tree.iagents() {
+            if !self.locations.contains_key(&ia) {
+                return Err(format!("{ia} has no directory entry"));
+            }
+        }
+        if self.locations.len() != self.tree.iagent_count() {
+            return Err(format!(
+                "directory has {} entries for {} leaves",
+                self.locations.len(),
+                self.tree.iagent_count()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Every message any location scheme sends.
+///
+/// `token` fields correlate asynchronous replies with the requests that
+/// caused them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Wire {
+    // ---- client ↔ LHAgent (hashed scheme, phase 1) ----
+    /// Resolve `target` to its IAgent using the local copy of the hash
+    /// function.
+    Resolve {
+        /// Agent being resolved.
+        target: AgentId,
+        /// Correlation token, echoed in [`Wire::Resolved`].
+        token: Option<u64>,
+    },
+    /// Like [`Wire::Resolve`], but the caller has evidence the local copy
+    /// is stale: fetch the primary copy from the HAgent first.
+    ResolveFresh {
+        /// Agent being resolved.
+        target: AgentId,
+        /// Correlation token.
+        token: Option<u64>,
+    },
+    /// Answer to a resolve: the responsible IAgent and its node.
+    Resolved {
+        /// The agent that was resolved.
+        target: AgentId,
+        /// Responsible IAgent (as a platform agent id).
+        iagent: AgentId,
+        /// Node that IAgent lives on.
+        node: NodeId,
+        /// Hash-function version this answer came from.
+        version: u64,
+        /// Correlation token.
+        token: Option<u64>,
+    },
+
+    // ---- client ↔ IAgent (phase 2) / central agent / registries ----
+    /// First registration of an agent with its tracker.
+    Register {
+        /// The agent registering.
+        agent: AgentId,
+        /// Where it currently is.
+        node: NodeId,
+    },
+    /// Registration acknowledged.
+    RegisterAck {
+        /// The registered agent.
+        agent: AgentId,
+    },
+    /// Location update after a move.
+    Update {
+        /// The agent that moved.
+        agent: AgentId,
+        /// Its new node.
+        node: NodeId,
+    },
+    /// The agent is terminating: drop its record ("existing agents die").
+    Deregister {
+        /// The agent going away.
+        agent: AgentId,
+    },
+    /// Query for an agent's current location.
+    Locate {
+        /// The agent being located.
+        target: AgentId,
+        /// Correlation token, echoed in the answer.
+        token: u64,
+        /// Node the querier wants the answer sent to.
+        reply_node: NodeId,
+    },
+    /// Successful locate answer.
+    Located {
+        /// The located agent.
+        target: AgentId,
+        /// Its (last reported) node.
+        node: NodeId,
+        /// Correlation token.
+        token: u64,
+    },
+    /// The tracker has no record of the target.
+    NotFound {
+        /// The agent that could not be located.
+        target: AgentId,
+        /// Correlation token.
+        token: u64,
+    },
+    /// The receiving IAgent is no longer responsible for this agent: the
+    /// sender's hash-function copy is stale (paper §2.3). Triggers the
+    /// update-propagation procedure.
+    NotResponsible {
+        /// The agent the request concerned.
+        about: AgentId,
+        /// The locate token, when the request was a locate.
+        token: Option<u64>,
+    },
+
+    // ---- IAgent ↔ HAgent (rehashing, §4) ----
+    /// "My rate exceeded `T_max`": ask the HAgent to split. Carries the
+    /// requester's per-agent load statistics for even-split planning.
+    SplitRequest {
+        /// Observed request rate (messages/second).
+        rate: f64,
+        /// Accumulated per-agent request counts.
+        loads: Vec<(AgentId, u64)>,
+    },
+    /// "My rate fell below `T_min`": ask the HAgent to merge me away.
+    MergeRequest {
+        /// Observed request rate (messages/second).
+        rate: f64,
+    },
+    /// The HAgent declined (rehash in progress, cooldown, nothing to do,
+    /// or no balancing split exists).
+    RehashDenied,
+    /// A freshly created IAgent reporting for duty.
+    IAgentReady,
+    /// An IAgent migrated (locality extension): the HAgent must update the
+    /// directory and bump the version so resolves learn the new node.
+    IAgentMoved {
+        /// The IAgent's new node.
+        node: NodeId,
+    },
+    /// The HAgent installs a new hash-function version on an IAgent.
+    /// Receivers hand off records that no longer hash to them; an IAgent
+    /// whose leaf is gone hands off everything and disposes itself.
+    InstallHashFn {
+        /// The new primary copy.
+        hf: HashFunction,
+    },
+    /// Records migrating from one IAgent to another after a rehash.
+    Handoff {
+        /// `(agent, last known node)` records.
+        records: Vec<(AgentId, NodeId)>,
+    },
+
+    // ---- LHAgent ↔ HAgent (copy maintenance, §4.3) ----
+    /// A secondary-copy holder pulls the primary copy.
+    FetchHashFn {
+        /// Version the requester already has (for diagnostics).
+        have_version: u64,
+        /// Node the requester wants the copy sent to.
+        reply_node: NodeId,
+    },
+    /// The primary copy, in response to a fetch or an eager push.
+    HashFnCopy {
+        /// The primary copy.
+        hf: HashFunction,
+    },
+
+    // ---- guaranteed delivery (§6 future work: tracker-mediated mail) ----
+    /// Deliver `data` to `target` through the location mechanism: routed
+    /// tracker-to-tracker toward the responsible IAgent, which forwards it
+    /// to the agent's node or buffers it until the agent's next update.
+    DeliverVia {
+        /// The recipient agent.
+        target: AgentId,
+        /// The original sender, restored on final delivery.
+        from: AgentId,
+        /// Application payload bytes.
+        data: Vec<u8>,
+        /// Remaining tracker hops before the mail is dropped (loop guard).
+        ttl: u32,
+    },
+    /// Final leg of a [`Wire::DeliverVia`]: handed to the recipient's
+    /// client, which surfaces the inner payload to the owning agent.
+    MailDrop {
+        /// The original sender.
+        from: AgentId,
+        /// Application payload bytes.
+        data: Vec<u8>,
+    },
+
+    // ---- forwarding-pointers (Voyager-like) baseline ----
+    // (The home-registry baseline reuses Register/Update/Locate, sent to
+    // the target's home registry instead of an IAgent.)
+    /// Follow the pointer chain one hop: "where did `target` go?".
+    ChainLocate {
+        /// The agent being located.
+        target: AgentId,
+        /// Correlation token.
+        token: u64,
+        /// Querier to answer when the chain ends.
+        reply_to: AgentId,
+        /// Querier's node.
+        reply_node: NodeId,
+        /// Hops walked so far (loop guard).
+        hops: u32,
+    },
+    /// Deposit a forwarding pointer at the node an agent is leaving.
+    LeavePointer {
+        /// The agent that left.
+        agent: AgentId,
+        /// Where it went.
+        to: NodeId,
+    },
+}
+
+impl Wire {
+    /// Encodes the message as a platform payload.
+    #[must_use]
+    pub fn payload(&self) -> Payload {
+        Payload::encode(self)
+    }
+
+    /// Attempts to decode a payload as a protocol message.
+    #[must_use]
+    pub fn from_payload(payload: &Payload) -> Option<Wire> {
+        payload.decode().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_of_spreads_sequential_ids() {
+        let ones = (0..1000u64)
+            .filter(|&i| key_of(AgentId::new(i)).bit(0))
+            .count();
+        assert!((400..=600).contains(&ones));
+    }
+
+    #[test]
+    fn initial_hash_function_resolves_everything_to_the_first_iagent() {
+        let hf = HashFunction::initial(AgentId::new(3), NodeId::new(1));
+        hf.validate().unwrap();
+        for raw in [0u64, 7, 1 << 40] {
+            let (ia, node) = hf.resolve(AgentId::new(raw));
+            assert_eq!(ia, AgentId::new(3));
+            assert_eq!(node, NodeId::new(1));
+        }
+        assert!(hf.is_responsible(AgentId::new(3), AgentId::new(77)));
+        assert!(!hf.is_responsible(AgentId::new(4), AgentId::new(77)));
+    }
+
+    #[test]
+    fn wire_round_trips_through_payload() {
+        let messages = vec![
+            Wire::Resolve {
+                target: AgentId::new(1),
+                token: Some(9),
+            },
+            Wire::Locate {
+                target: AgentId::new(2),
+                token: 4,
+                reply_node: NodeId::new(1),
+            },
+            Wire::InstallHashFn {
+                hf: HashFunction::initial(AgentId::new(0), NodeId::new(0)),
+            },
+            Wire::Handoff {
+                records: vec![(AgentId::new(5), NodeId::new(2))],
+            },
+            Wire::SplitRequest {
+                rate: 61.5,
+                loads: vec![(AgentId::new(5), 10)],
+            },
+        ];
+        for msg in messages {
+            let p = msg.payload();
+            assert_eq!(Wire::from_payload(&p), Some(msg));
+        }
+    }
+
+    #[test]
+    fn non_protocol_payloads_decode_to_none() {
+        let p = Payload::encode(&"just an application string");
+        assert_eq!(Wire::from_payload(&p), None);
+    }
+}

@@ -1,0 +1,803 @@
+//! Protocol-level tests of the scheme behaviours (IAgent, HAgent,
+//! LHAgent), driven by a scripted "puppet" agent speaking the wire
+//! protocol directly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use agentrack_core::{
+    key_of, HAgentBehavior, HashFunction, IAgentBehavior, LHAgentBehavior, LocationConfig,
+    SharedSchemeStats, Wire,
+};
+use agentrack_hashtree::IAgentId;
+use agentrack_platform::{
+    Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
+};
+use agentrack_sim::{DurationDist, SimDuration, Topology};
+
+type Inbox = Arc<Mutex<Vec<(AgentId, Wire)>>>;
+type Outbox = Arc<Mutex<VecDeque<(AgentId, NodeId, Wire)>>>;
+
+/// Sends whatever the test queues in its outbox; records every protocol
+/// message it receives.
+struct Puppet {
+    inbox: Inbox,
+    outbox: Outbox,
+}
+
+impl Agent for Puppet {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(5));
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+        while let Some((to, node, msg)) = self.outbox.lock().unwrap().pop_front() {
+            ctx.send(to, node, msg.payload());
+        }
+        ctx.set_timer(SimDuration::from_millis(5));
+    }
+
+    fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        if let Some(msg) = Wire::from_payload(payload) {
+            self.inbox.lock().unwrap().push((from, msg));
+        }
+    }
+}
+
+struct Harness {
+    platform: SimPlatform,
+    puppet: AgentId,
+    puppet_node: NodeId,
+    inbox: Inbox,
+    outbox: Outbox,
+}
+
+impl Harness {
+    fn new(nodes: u32) -> Self {
+        let topo = Topology::lan(nodes, DurationDist::Constant(SimDuration::from_micros(200)));
+        let mut platform = SimPlatform::new(topo, PlatformConfig::default().with_seed(17));
+        let inbox: Inbox = Arc::default();
+        let outbox: Outbox = Arc::default();
+        let puppet_node = NodeId::new(0);
+        let puppet = platform.spawn(
+            Box::new(Puppet {
+                inbox: inbox.clone(),
+                outbox: outbox.clone(),
+            }),
+            puppet_node,
+        );
+        Harness {
+            platform,
+            puppet,
+            puppet_node,
+            inbox,
+            outbox,
+        }
+    }
+
+    fn send(&self, to: AgentId, node: NodeId, msg: Wire) {
+        self.outbox.lock().unwrap().push_back((to, node, msg));
+    }
+
+    fn run_ms(&mut self, ms: u64) {
+        self.platform.run_for(SimDuration::from_millis(ms));
+    }
+
+    fn received(&self) -> Vec<Wire> {
+        self.inbox.lock().unwrap().iter().map(|(_, m)| m.clone()).collect()
+    }
+
+    fn clear(&self) {
+        self.inbox.lock().unwrap().clear();
+    }
+}
+
+fn config() -> LocationConfig {
+    LocationConfig {
+        merge_warmup: SimDuration::from_secs(1),
+        ..LocationConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// LHAgent
+// ---------------------------------------------------------------------
+
+#[test]
+fn lhagent_resolves_from_its_local_copy() {
+    let mut h = Harness::new(2);
+    // A hash function whose single IAgent is a dummy id on node 1.
+    let iagent = AgentId::new(77);
+    let hf = HashFunction::initial(iagent, NodeId::new(1));
+    let hagent = AgentId::new(88); // never contacted in this test
+    let lh = h.platform.spawn(
+        Box::new(LHAgentBehavior::new(
+            hf,
+            hagent,
+            NodeId::new(1),
+            SharedSchemeStats::new(),
+        )),
+        NodeId::new(0),
+    );
+
+    h.send(
+        lh,
+        NodeId::new(0),
+        Wire::Resolve {
+            target: AgentId::new(5),
+            token: Some(9),
+        },
+    );
+    h.run_ms(50);
+    let got = h.received();
+    assert_eq!(got.len(), 1);
+    match &got[0] {
+        Wire::Resolved {
+            target,
+            iagent: ia,
+            node,
+            version,
+            token,
+        } => {
+            assert_eq!(*target, AgentId::new(5));
+            assert_eq!(*ia, iagent);
+            assert_eq!(*node, NodeId::new(1));
+            assert_eq!(*version, 1);
+            assert_eq!(*token, Some(9));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn lhagent_resolve_fresh_pulls_the_primary_copy() {
+    let mut h = Harness::new(2);
+    // The puppet plays the HAgent: it will answer FetchHashFn with a newer
+    // version pointing at a different IAgent.
+    let stale_iagent = AgentId::new(70);
+    let fresh_iagent = AgentId::new(71);
+    let stale = HashFunction::initial(stale_iagent, NodeId::new(1));
+    let mut fresh = HashFunction::initial(fresh_iagent, NodeId::new(0));
+    fresh.version = 5;
+
+    let lh = h.platform.spawn(
+        Box::new(LHAgentBehavior::new(
+            stale,
+            h.puppet,
+            h.puppet_node,
+            SharedSchemeStats::new(),
+        )),
+        NodeId::new(0),
+    );
+
+    h.send(
+        lh,
+        NodeId::new(0),
+        Wire::ResolveFresh {
+            target: AgentId::new(5),
+            token: Some(1),
+        },
+    );
+    h.run_ms(30);
+    // The LHAgent asked us (the HAgent) for the primary copy.
+    let fetch = h
+        .received()
+        .into_iter()
+        .find(|m| matches!(m, Wire::FetchHashFn { .. }));
+    assert!(matches!(
+        fetch,
+        Some(Wire::FetchHashFn { have_version: 1, .. })
+    ));
+    h.clear();
+
+    // Answer it; the pending resolve must now complete with the new copy.
+    h.send(lh, NodeId::new(0), Wire::HashFnCopy { hf: fresh });
+    h.run_ms(30);
+    let got = h.received();
+    assert_eq!(got.len(), 1);
+    match &got[0] {
+        Wire::Resolved {
+            iagent, version, ..
+        } => {
+            assert_eq!(*iagent, fresh_iagent);
+            assert_eq!(*version, 5);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// IAgent
+// ---------------------------------------------------------------------
+
+/// Spawns an installed IAgent owning the whole key space.
+fn spawn_sole_iagent(h: &mut Harness, config: LocationConfig) -> AgentId {
+    let expected = AgentId::new(h.platform.next_agent_id());
+    let hf = HashFunction::initial(expected, NodeId::new(1));
+    let id = h.platform.spawn(
+        Box::new(IAgentBehavior::initial(
+            config,
+            h.puppet, // the puppet plays the HAgent
+            h.puppet_node,
+            hf,
+            SharedSchemeStats::new(),
+        )),
+        NodeId::new(1),
+    );
+    assert_eq!(id, expected);
+    id
+}
+
+#[test]
+fn iagent_register_then_locate_round_trip() {
+    let mut h = Harness::new(2);
+    let ia = spawn_sole_iagent(&mut h, config());
+
+    let agent = AgentId::new(500);
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Register {
+            agent,
+            node: NodeId::new(0), // == puppet node, so the ack reaches us
+        },
+    );
+    h.run_ms(30);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::RegisterAck { agent: a } if *a == agent)));
+    h.clear();
+
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Locate {
+            target: agent,
+            token: 3,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(30);
+    let got = h.received();
+    assert!(
+        matches!(
+            got.as_slice(),
+            [Wire::Located { target, node, token: 3 }]
+                if *target == agent && *node == NodeId::new(0)
+        ),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn iagent_update_changes_the_answer() {
+    let mut h = Harness::new(3);
+    let ia = spawn_sole_iagent(&mut h, config());
+    let agent = AgentId::new(500);
+    h.send(ia, NodeId::new(1), Wire::Register { agent, node: NodeId::new(0) });
+    h.send(ia, NodeId::new(1), Wire::Update { agent, node: NodeId::new(2) });
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Locate {
+            target: agent,
+            token: 1,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(50);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::Located { node, .. } if *node == NodeId::new(2))));
+}
+
+#[test]
+fn iagent_answers_not_responsible_when_the_key_is_elsewhere() {
+    let mut h = Harness::new(2);
+    // Give the IAgent a hash function in which it owns only half the space:
+    // find an agent id that maps to the *other* IAgent.
+    let expected = AgentId::new(h.platform.next_agent_id());
+    let mut hf = HashFunction::initial(expected, NodeId::new(1));
+    let other = IAgentId::new(9_999);
+    let cand = hf
+        .tree
+        .split_candidates(IAgentId::new(expected.raw()))
+        .unwrap()[64 - 64]; // first candidate: complex-free tree ⇒ simple m=1
+    hf.tree
+        .apply_split(&cand, other, agentrack_hashtree::Side::Right)
+        .unwrap();
+    hf.locations.insert(other, NodeId::new(0));
+    hf.version = 2;
+
+    let not_mine = (0..1000u64)
+        .map(AgentId::new)
+        .find(|a| hf.tree.lookup(key_of(*a)) == other)
+        .expect("half the key space maps to the other IAgent");
+
+    let ia = h.platform.spawn(
+        Box::new(IAgentBehavior::initial(
+            config(),
+            h.puppet,
+            h.puppet_node,
+            hf,
+            SharedSchemeStats::new(),
+        )),
+        NodeId::new(1),
+    );
+    assert_eq!(ia, expected);
+
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Locate {
+            target: not_mine,
+            token: 8,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(30);
+    assert!(h.received().iter().any(|m| matches!(
+        m,
+        Wire::NotResponsible { about, token: Some(8) } if *about == not_mine
+    )));
+}
+
+#[test]
+fn iagent_buffers_locates_until_the_handoff_lands() {
+    let mut h = Harness::new(2);
+    let cfg = LocationConfig {
+        pending_timeout: SimDuration::from_millis(400),
+        ..config()
+    };
+    let ia = spawn_sole_iagent(&mut h, cfg);
+    let agent = AgentId::new(321);
+
+    // Locate before any record exists: buffered, not answered.
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Locate {
+            target: agent,
+            token: 4,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(50);
+    assert!(h.received().is_empty(), "{:?}", h.received());
+
+    // The handoff arrives; the buffered locate completes.
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Handoff {
+            records: vec![(agent, NodeId::new(1))],
+        },
+    );
+    h.run_ms(50);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::Located { token: 4, .. })));
+}
+
+#[test]
+fn iagent_times_out_pending_locates_with_not_found() {
+    let mut h = Harness::new(2);
+    let cfg = LocationConfig {
+        pending_timeout: SimDuration::from_millis(200),
+        ..config()
+    };
+    let ia = spawn_sole_iagent(&mut h, cfg);
+
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Locate {
+            target: AgentId::new(31_337),
+            token: 6,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(1000);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::NotFound { token: 6, .. })));
+}
+
+#[test]
+fn iagent_requests_a_split_when_the_rate_crosses_t_max() {
+    let mut h = Harness::new(2);
+    let cfg = LocationConfig {
+        t_max: 20.0, // low threshold: a short burst crosses it
+        ..config()
+    };
+    let ia = spawn_sole_iagent(&mut h, cfg);
+
+    // ~40 updates over 200 ms ≈ 200 msg/s into the rate window.
+    for i in 0..40u64 {
+        h.send(
+            ia,
+            NodeId::new(1),
+            Wire::Update {
+                agent: AgentId::new(1000 + i),
+                node: NodeId::new(0),
+            },
+        );
+    }
+    h.run_ms(1500);
+    let split = h
+        .received()
+        .into_iter()
+        .find(|m| matches!(m, Wire::SplitRequest { .. }));
+    match split {
+        Some(Wire::SplitRequest { rate, loads }) => {
+            assert!(rate > 20.0, "reported rate {rate}");
+            assert!(!loads.is_empty());
+        }
+        other => panic!("expected a split request, got {other:?}"),
+    }
+}
+
+#[test]
+fn iagent_merged_away_hands_off_everything_and_retires() {
+    let mut h = Harness::new(2);
+    let ia = spawn_sole_iagent(&mut h, config());
+    let agent = AgentId::new(512);
+    h.send(ia, NodeId::new(1), Wire::Register { agent, node: NodeId::new(0) });
+    h.run_ms(30);
+    h.clear();
+
+    // Install a version in which this IAgent's leaf is gone; the puppet's
+    // id owns everything now.
+    let mut hf = HashFunction::initial(h.puppet, h.puppet_node);
+    hf.version = 7;
+    h.send(ia, NodeId::new(1), Wire::InstallHashFn { hf });
+    h.run_ms(50);
+
+    let got = h.received();
+    assert!(
+        got.iter().any(|m| matches!(
+            m,
+            Wire::Handoff { records } if records.contains(&(agent, NodeId::new(0)))
+        )),
+        "{got:?}"
+    );
+    // And the IAgent is gone: further messages bounce.
+    assert!(!h.platform.is_active(ia));
+}
+
+// ---------------------------------------------------------------------
+// HAgent
+// ---------------------------------------------------------------------
+
+#[test]
+fn hagent_serves_the_primary_copy() {
+    let mut h = Harness::new(2);
+    let hf = HashFunction::initial(AgentId::new(70), NodeId::new(1));
+    let stats = SharedSchemeStats::new();
+    let hagent = h.platform.spawn(
+        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 2, stats.clone())),
+        NodeId::new(1),
+    );
+
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::FetchHashFn {
+            have_version: 0,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(30);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::HashFnCopy { hf } if hf.version == 1)));
+    assert_eq!(stats.snapshot().hf_fetches, 1);
+}
+
+#[test]
+fn hagent_denies_merging_the_last_iagent() {
+    let mut h = Harness::new(2);
+    // The puppet pretends to be the sole IAgent requesting its own merge.
+    let hf = HashFunction::initial(h.puppet, h.puppet_node);
+    let stats = SharedSchemeStats::new();
+    let hagent = h.platform.spawn(
+        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 2, stats.clone())),
+        NodeId::new(1),
+    );
+
+    h.send(hagent, NodeId::new(1), Wire::MergeRequest { rate: 0.0 });
+    h.run_ms(30);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::RehashDenied)));
+    assert_eq!(stats.snapshot().merges, 0);
+}
+
+#[test]
+fn hagent_split_flow_creates_and_installs_a_new_iagent() {
+    let mut h = Harness::new(2);
+    // The puppet is the overloaded sole IAgent.
+    let hf = HashFunction::initial(h.puppet, h.puppet_node);
+    let stats = SharedSchemeStats::new();
+    let hagent = h.platform.spawn(
+        Box::new(HAgentBehavior::new(
+            config(),
+            hf,
+            Vec::new(),
+            2,
+            stats.clone(),
+        )),
+        NodeId::new(1),
+    );
+
+    let loads: Vec<(AgentId, u64)> = (0..64).map(|i| (AgentId::new(2000 + i), 5)).collect();
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::SplitRequest { rate: 99.0, loads },
+    );
+    // The real new IAgent sends IAgentReady itself; then the HAgent commits
+    // and installs the new version on the involved parties — including the
+    // puppet, which receives InstallHashFn with two IAgents.
+    h.run_ms(500);
+    let installs: Vec<Wire> = h
+        .received()
+        .into_iter()
+        .filter(|m| matches!(m, Wire::InstallHashFn { .. }))
+        .collect();
+    assert_eq!(installs.len(), 1, "the requester is installed once");
+    match &installs[0] {
+        Wire::InstallHashFn { hf } => {
+            assert_eq!(hf.version, 2);
+            assert_eq!(hf.tree.iagent_count(), 2);
+            hf.validate().unwrap();
+        }
+        _ => unreachable!(),
+    }
+    assert_eq!(stats.snapshot().splits, 1);
+    assert_eq!(stats.snapshot().trackers, 2);
+}
+
+#[test]
+fn hagent_denies_concurrent_rehashes() {
+    let mut h = Harness::new(2);
+    let hf = HashFunction::initial(h.puppet, h.puppet_node);
+    let stats = SharedSchemeStats::new();
+    let hagent = h.platform.spawn(
+        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 2, stats.clone())),
+        NodeId::new(1),
+    );
+
+    let loads: Vec<(AgentId, u64)> = (0..64).map(|i| (AgentId::new(2000 + i), 5)).collect();
+    // Two split requests back to back: the second hits the in-progress (or
+    // cooldown) guard and is denied.
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::SplitRequest {
+            rate: 99.0,
+            loads: loads.clone(),
+        },
+    );
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::SplitRequest { rate: 99.0, loads },
+    );
+    h.run_ms(500);
+    assert!(h.received().iter().any(|m| matches!(m, Wire::RehashDenied)));
+    assert_eq!(stats.snapshot().splits, 1);
+    assert_eq!(stats.snapshot().rehash_denied, 1);
+}
+
+// ---------------------------------------------------------------------
+// Locality extension (E9)
+// ---------------------------------------------------------------------
+
+#[test]
+fn iagent_relocates_toward_its_traffic_and_updates_the_directory() {
+    let mut h = Harness::new(3);
+    let cfg = LocationConfig {
+        locality_migration: true,
+        locality_min_requests: 20,
+        locality_threshold: 0.6,
+        ..config()
+    };
+    let ia = spawn_sole_iagent(&mut h, cfg);
+    assert_eq!(h.platform.agent_node(ia), Some(NodeId::new(1)));
+
+    // 30 updates all reporting agents on node 2: 100% of traffic
+    // originates there.
+    for i in 0..30u64 {
+        h.send(
+            ia,
+            NodeId::new(1),
+            Wire::Update {
+                agent: AgentId::new(3000 + i),
+                node: NodeId::new(2),
+            },
+        );
+    }
+    h.run_ms(2000);
+    assert_eq!(
+        h.platform.agent_node(ia),
+        Some(NodeId::new(2)),
+        "the IAgent should have moved to node 2"
+    );
+    // The puppet (playing the HAgent) heard about the move.
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::IAgentMoved { node } if *node == NodeId::new(2))));
+}
+
+#[test]
+fn hagent_updates_the_directory_when_an_iagent_moves() {
+    let mut h = Harness::new(3);
+    // The puppet plays the (sole) IAgent that just moved.
+    let hf = HashFunction::initial(h.puppet, NodeId::new(1));
+    let stats = SharedSchemeStats::new();
+    let hagent = h.platform.spawn(
+        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 3, stats)),
+        NodeId::new(1),
+    );
+
+    h.send(hagent, NodeId::new(1), Wire::IAgentMoved { node: NodeId::new(2) });
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::FetchHashFn {
+            have_version: 0,
+            reply_node: h.puppet_node,
+        },
+    );
+    h.run_ms(50);
+    let copy = h
+        .received()
+        .into_iter()
+        .find_map(|m| match m {
+            Wire::HashFnCopy { hf } => Some(hf),
+            _ => None,
+        })
+        .expect("fetch answered");
+    assert_eq!(copy.version, 2, "the move bumped the version");
+    let (_, node) = copy.resolve(AgentId::new(1));
+    assert_eq!(node, NodeId::new(2), "the directory points at the new node");
+}
+
+// ---------------------------------------------------------------------
+// Guaranteed delivery (mediated mail, §6 future work)
+// ---------------------------------------------------------------------
+
+#[test]
+fn deliver_via_forwards_when_the_record_exists() {
+    let mut h = Harness::new(2);
+    let ia = spawn_sole_iagent(&mut h, config());
+    let target = AgentId::new(600);
+    // The "recipient" is the puppet itself, so the MailDrop lands in our
+    // inbox. Register it at the puppet's node.
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Register {
+            agent: h.puppet,
+            node: h.puppet_node,
+        },
+    );
+    let _ = target;
+    h.run_ms(30);
+    h.clear();
+
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::DeliverVia {
+            target: h.puppet,
+            from: AgentId::new(42),
+            data: vec![9, 9, 9],
+            ttl: 8,
+        },
+    );
+    h.run_ms(30);
+    assert!(h.received().iter().any(|m| matches!(
+        m,
+        Wire::MailDrop { from, data } if *from == AgentId::new(42) && data == &vec![9, 9, 9]
+    )));
+}
+
+#[test]
+fn deliver_via_buffers_until_the_next_update() {
+    let mut h = Harness::new(2);
+    let ia = spawn_sole_iagent(&mut h, config());
+
+    // No record yet: the mail must wait, not bounce.
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::DeliverVia {
+            target: h.puppet,
+            from: AgentId::new(42),
+            data: vec![7],
+            ttl: 8,
+        },
+    );
+    h.run_ms(50);
+    assert!(
+        !h.received().iter().any(|m| matches!(m, Wire::MailDrop { .. })),
+        "mail must be buffered while the target is unknown"
+    );
+
+    // The target's update releases it.
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Update {
+            agent: h.puppet,
+            node: h.puppet_node,
+        },
+    );
+    h.run_ms(50);
+    assert!(h
+        .received()
+        .iter()
+        .any(|m| matches!(m, Wire::MailDrop { data, .. } if data == &vec![7])));
+}
+
+#[test]
+fn deliver_via_chases_across_a_stale_tracker() {
+    let mut h = Harness::new(2);
+    // IAgent whose hash function maps the target to the *puppet* (playing
+    // a second IAgent): a DeliverVia for that target must be forwarded to
+    // us, with the ttl decremented.
+    let expected = AgentId::new(h.platform.next_agent_id());
+    let mut hf = HashFunction::initial(expected, NodeId::new(1));
+    let other = IAgentId::new(h.puppet.raw());
+    let cand = hf
+        .tree
+        .split_candidates(IAgentId::new(expected.raw()))
+        .unwrap()[0];
+    hf.tree
+        .apply_split(&cand, other, agentrack_hashtree::Side::Right)
+        .unwrap();
+    hf.locations.insert(other, h.puppet_node);
+    hf.version = 2;
+
+    let not_mine = (0..1000u64)
+        .map(AgentId::new)
+        .find(|a| hf.tree.lookup(key_of(*a)) == other)
+        .expect("half the key space is the puppet's");
+
+    let ia = h.platform.spawn(
+        Box::new(IAgentBehavior::initial(
+            config(),
+            h.puppet,
+            h.puppet_node,
+            hf,
+            SharedSchemeStats::new(),
+        )),
+        NodeId::new(1),
+    );
+    assert_eq!(ia, expected);
+
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::DeliverVia {
+            target: not_mine,
+            from: AgentId::new(42),
+            data: vec![5],
+            ttl: 8,
+        },
+    );
+    h.run_ms(30);
+    assert!(h.received().iter().any(|m| matches!(
+        m,
+        Wire::DeliverVia { target, ttl: 7, .. } if *target == not_mine
+    )));
+}

@@ -1,0 +1,116 @@
+//! Property tests of the wire layer: every message round-trips through
+//! payload encoding, and the hash-function artifact stays consistent under
+//! random rehash histories.
+
+use agentrack_core::{key_of, HashFunction, LocationConfig, plan_split, Wire};
+use agentrack_hashtree::{IAgentId, Side, SplitKind};
+use agentrack_platform::{AgentId, NodeId};
+use proptest::prelude::*;
+
+fn arb_agent() -> impl Strategy<Value = AgentId> {
+    any::<u64>().prop_map(AgentId::new)
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..64).prop_map(NodeId::new)
+}
+
+fn arb_wire() -> impl Strategy<Value = Wire> {
+    prop_oneof![
+        (arb_agent(), proptest::option::of(any::<u64>()))
+            .prop_map(|(target, token)| Wire::Resolve { target, token }),
+        (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Register { agent, node }),
+        (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Update { agent, node }),
+        arb_agent().prop_map(|agent| Wire::Deregister { agent }),
+        (arb_agent(), any::<u64>(), arb_node()).prop_map(|(target, token, reply_node)| {
+            Wire::Locate {
+                target,
+                token,
+                reply_node,
+            }
+        }),
+        (arb_agent(), arb_node(), any::<u64>()).prop_map(|(target, node, token)| Wire::Located {
+            target,
+            node,
+            token
+        }),
+        (arb_agent(), proptest::option::of(any::<u64>()))
+            .prop_map(|(about, token)| Wire::NotResponsible { about, token }),
+        // Rates are msgs/sec: non-negative, human-scale. (Extreme doubles
+        // lose bits through JSON, which the protocol never carries.)
+        (0.0f64..1e9, prop::collection::vec((arb_agent(), any::<u64>()), 0..20))
+            .prop_map(|(rate, loads)| Wire::SplitRequest { rate, loads }),
+        prop::collection::vec((arb_agent(), arb_node()), 0..20)
+            .prop_map(|records| Wire::Handoff { records }),
+        (any::<u64>(), arb_node()).prop_map(|(have_version, reply_node)| Wire::FetchHashFn {
+            have_version,
+            reply_node
+        }),
+        arb_node().prop_map(|node| Wire::IAgentMoved { node }),
+        (arb_agent(), any::<u64>(), arb_agent(), arb_node(), 0u32..64).prop_map(
+            |(target, token, reply_to, reply_node, hops)| Wire::ChainLocate {
+                target,
+                token,
+                reply_to,
+                reply_node,
+                hops
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Every protocol message survives encode/decode exactly.
+    #[test]
+    fn wire_round_trips(msg in arb_wire()) {
+        let payload = msg.payload();
+        prop_assert_eq!(Wire::from_payload(&payload), Some(msg));
+    }
+
+    /// Arbitrary non-protocol strings never decode as protocol messages
+    /// with a confusable meaning (decode either fails or the input happened
+    /// to be valid JSON for the enum, which plain prose never is).
+    #[test]
+    fn prose_is_not_protocol(text in "[a-zA-Z0-9 .,!?]{0,80}") {
+        let payload = agentrack_platform::Payload::encode(&text);
+        prop_assert_eq!(Wire::from_payload(&payload), None);
+    }
+
+    /// A hash function built by random splits stays internally consistent,
+    /// resolves every agent, and its planner never panics.
+    #[test]
+    fn hash_function_consistency_under_random_growth(
+        seeds in prop::collection::vec(any::<u64>(), 0..24),
+        probe in any::<u64>(),
+    ) {
+        let mut hf = HashFunction::initial(AgentId::new(0), NodeId::new(0));
+        let mut next = 1u64;
+        for seed in seeds {
+            let target = hf.tree.lookup(key_of(AgentId::new(seed)));
+            let Ok(cands) = hf.tree.split_candidates(target) else { continue };
+            let Some(cand) = cands
+                .into_iter()
+                .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+            else {
+                continue;
+            };
+            let new = IAgentId::new(1000 + next);
+            if hf.tree.apply_split(&cand, new, Side::Right).is_ok() {
+                hf.locations.insert(new, NodeId::new((next % 16) as u32));
+                hf.version += 1;
+                next += 1;
+            }
+        }
+        hf.validate().unwrap();
+        // Total resolution: any agent id resolves to a directory entry.
+        let (ia, _node) = hf.resolve(AgentId::new(probe));
+        prop_assert!(hf.is_responsible(ia, AgentId::new(probe)));
+
+        // The planner succeeds or fails gracefully on any leaf with any
+        // weights.
+        let leaf = hf.tree.lookup(key_of(AgentId::new(probe)));
+        let loads: Vec<(AgentId, u64)> =
+            (0..32).map(|i| (AgentId::new(probe ^ i), i % 5)).collect();
+        let _ = plan_split(&hf.tree, leaf, &loads, &LocationConfig::default());
+    }
+}

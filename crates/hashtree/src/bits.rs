@@ -1,0 +1,504 @@
+//! Fixed-capacity bit strings used for edge labels and key prefixes.
+//!
+//! A [`Bits`] value is an ordered sequence of up to 64 bits, indexed from the
+//! left (index 0 is the first bit). Labels in the hash tree are short — a few
+//! bits — but the total prefix consumed along any root-to-leaf path may reach
+//! the full width of an agent key, so 64 bits of capacity is exactly enough.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of bits a [`Bits`] value can hold.
+///
+/// This equals [`crate::key::KEY_BITS`]: no label (and no hyper-label) can be
+/// longer than an agent key.
+pub const MAX_BITS: usize = 64;
+
+/// An ordered sequence of up to [`MAX_BITS`] bits.
+///
+/// Bits are stored left-aligned in a `u64`, so index 0 corresponds to the
+/// most-significant stored bit. The empty sequence is valid and is the
+/// identity for [`Bits::concat`].
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_hashtree::Bits;
+///
+/// let b: Bits = "010".parse()?;
+/// assert_eq!(b.len(), 3);
+/// assert_eq!(b.get(0), Some(false));
+/// assert_eq!(b.get(1), Some(true));
+/// assert_eq!(b.to_string(), "010");
+/// # Ok::<(), agentrack_hashtree::ParseBitsError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bits {
+    /// Number of valid bits.
+    len: u8,
+    /// Bit storage; bit `i` lives at position `63 - i`. Unoccupied low bits
+    /// are always zero, which makes derived `Eq`/`Hash` correct.
+    raw: u64,
+}
+
+impl Bits {
+    /// Creates an empty bit string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agentrack_hashtree::Bits;
+    /// assert!(Bits::new().is_empty());
+    /// ```
+    #[must_use]
+    pub const fn new() -> Self {
+        Bits { len: 0, raw: 0 }
+    }
+
+    /// Creates a bit string containing a single bit.
+    #[must_use]
+    pub const fn single(bit: bool) -> Self {
+        Bits {
+            len: 1,
+            raw: (bit as u64) << 63,
+        }
+    }
+
+    /// Creates a bit string from the `len` most-significant bits of `raw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_BITS`.
+    #[must_use]
+    pub fn from_raw(raw: u64, len: usize) -> Self {
+        assert!(len <= MAX_BITS, "Bits::from_raw: len {len} > {MAX_BITS}");
+        Bits {
+            len: len as u8,
+            raw: mask_high(raw, len),
+        }
+    }
+
+    /// Creates a bit string from a slice of booleans, left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() > MAX_BITS`.
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        assert!(bits.len() <= MAX_BITS);
+        let mut b = Bits::new();
+        for &bit in bits {
+            b.push(bit);
+        }
+        b
+    }
+
+    /// Number of bits stored.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no bits are stored.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`, or `None` if `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if i < self.len() {
+            Some((self.raw >> (63 - i)) & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the first bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit string is empty.
+    #[must_use]
+    pub fn first(&self) -> bool {
+        self.get(0).expect("Bits::first on empty bit string")
+    }
+
+    /// Appends a bit at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is already [`MAX_BITS`] long.
+    pub fn push(&mut self, bit: bool) {
+        assert!(self.len() < MAX_BITS, "Bits::push: capacity exceeded");
+        self.raw |= (bit as u64) << (63 - self.len());
+        self.len += 1;
+    }
+
+    /// Returns a new bit string with `bit` appended.
+    #[must_use]
+    pub fn with(mut self, bit: bool) -> Self {
+        self.push(bit);
+        self
+    }
+
+    /// Returns the sub-string covering `start..end` (end exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    #[must_use]
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.len(), "Bits::slice out of range");
+        let len = end - start;
+        if len == 0 {
+            // `raw << 64` would overflow when start == 64.
+            return Bits::new();
+        }
+        Bits::from_raw(self.raw << start, len)
+    }
+
+    /// Returns the first `n` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Self {
+        self.slice(0, n)
+    }
+
+    /// Returns everything after the first `n` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    #[must_use]
+    pub fn suffix_from(&self, n: usize) -> Self {
+        self.slice(n, self.len())
+    }
+
+    /// Concatenates two bit strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined length exceeds [`MAX_BITS`].
+    #[must_use]
+    pub fn concat(&self, other: &Bits) -> Self {
+        let total = self.len() + other.len();
+        assert!(total <= MAX_BITS, "Bits::concat: capacity exceeded");
+        // `other.raw >> 64` would overflow when self is full (other is
+        // necessarily empty then).
+        let tail = if other.is_empty() {
+            0
+        } else {
+            other.raw >> self.len()
+        };
+        Bits {
+            len: total as u8,
+            raw: self.raw | tail,
+        }
+    }
+
+    /// Returns the raw left-aligned storage word.
+    #[must_use]
+    pub const fn raw(&self) -> u64 {
+        self.raw
+    }
+
+    /// Iterates over the bits, left to right.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { bits: self, pos: 0 }
+    }
+
+    /// Returns `true` if `self` is a prefix of `other`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &Bits) -> bool {
+        self.len() <= other.len() && other.prefix(self.len()) == *self
+    }
+}
+
+impl Default for Bits {
+    fn default() -> Self {
+        Bits::new()
+    }
+}
+
+/// Iterator over the bits of a [`Bits`] value, produced by [`Bits::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    bits: &'a Bits,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let bit = self.bits.get(self.pos)?;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.bits.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a Bits {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut b = Bits::new();
+        for bit in iter {
+            b.push(bit);
+        }
+        b
+    }
+}
+
+impl Extend<bool> for Bits {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for bit in self.iter() {
+            f.write_str(if bit { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits(\"{self}\")")
+    }
+}
+
+/// Error returned when parsing a [`Bits`] value from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBitsError {
+    /// The input contained a character other than `0` or `1`.
+    InvalidCharacter(char),
+    /// The input was longer than [`MAX_BITS`] characters.
+    TooLong(usize),
+}
+
+impl fmt::Display for ParseBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBitsError::InvalidCharacter(c) => {
+                write!(f, "invalid character {c:?} in bit string")
+            }
+            ParseBitsError::TooLong(n) => {
+                write!(f, "bit string of length {n} exceeds maximum of {MAX_BITS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBitsError {}
+
+impl FromStr for Bits {
+    type Err = ParseBitsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() > MAX_BITS {
+            return Err(ParseBitsError::TooLong(s.len()));
+        }
+        let mut b = Bits::new();
+        for c in s.chars() {
+            match c {
+                '0' => b.push(false),
+                '1' => b.push(true),
+                other => return Err(ParseBitsError::InvalidCharacter(other)),
+            }
+        }
+        Ok(b)
+    }
+}
+
+/// Keeps the `len` most-significant bits of `raw`, zeroing the rest.
+fn mask_high(raw: u64, len: usize) -> u64 {
+    if len == 0 {
+        0
+    } else if len >= 64 {
+        raw
+    } else {
+        raw & (u64::MAX << (64 - len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bits() {
+        let b = Bits::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.get(0), None);
+        assert_eq!(b.to_string(), "");
+        assert_eq!(b, Bits::default());
+    }
+
+    #[test]
+    fn single_bit() {
+        assert_eq!(Bits::single(false).to_string(), "0");
+        assert_eq!(Bits::single(true).to_string(), "1");
+        assert!(Bits::single(true).first());
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut b = Bits::new();
+        b.push(true);
+        b.push(false);
+        b.push(true);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0), Some(true));
+        assert_eq!(b.get(1), Some(false));
+        assert_eq!(b.get(2), Some(true));
+        assert_eq!(b.get(3), None);
+        assert_eq!(b.to_string(), "101");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["", "0", "1", "0101", "1110001", "0".repeat(64).as_str()] {
+            let b: Bits = s.parse().unwrap();
+            assert_eq!(b.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            "01x".parse::<Bits>(),
+            Err(ParseBitsError::InvalidCharacter('x'))
+        );
+        assert_eq!(
+            "0".repeat(65).parse::<Bits>(),
+            Err(ParseBitsError::TooLong(65))
+        );
+    }
+
+    #[test]
+    fn concat_assembles_in_order() {
+        let a: Bits = "01".parse().unwrap();
+        let b: Bits = "110".parse().unwrap();
+        assert_eq!(a.concat(&b).to_string(), "01110");
+        assert_eq!(b.concat(&a).to_string(), "11001");
+        assert_eq!(a.concat(&Bits::new()), a);
+        assert_eq!(Bits::new().concat(&a), a);
+    }
+
+    #[test]
+    fn slice_prefix_suffix() {
+        let b: Bits = "011010".parse().unwrap();
+        assert_eq!(b.slice(1, 4).to_string(), "110");
+        assert_eq!(b.prefix(2).to_string(), "01");
+        assert_eq!(b.suffix_from(2).to_string(), "1010");
+        assert_eq!(b.slice(3, 3).to_string(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let b: Bits = "01".parse().unwrap();
+        let _ = b.slice(0, 3);
+    }
+
+    #[test]
+    fn equality_ignores_unused_storage() {
+        // Construct "10" two different ways and ensure equality and hashing
+        // agree (the masked representation is canonical).
+        let a = Bits::from_raw(0b10u64 << 62, 2);
+        let b = Bits::from_raw(u64::MAX, 2).prefix(2);
+        assert_eq!(b.to_string(), "11");
+        let c = Bits::from_raw(0b11u64 << 62, 2);
+        assert_eq!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_raw_masks_low_bits() {
+        let b = Bits::from_raw(u64::MAX, 3);
+        assert_eq!(b.to_string(), "111");
+        assert_eq!(b.raw(), 0b111u64 << 61);
+    }
+
+    #[test]
+    fn iterator_and_collect() {
+        let b: Bits = "0110".parse().unwrap();
+        let v: Vec<bool> = b.iter().collect();
+        assert_eq!(v, vec![false, true, true, false]);
+        let back: Bits = v.into_iter().collect();
+        assert_eq!(back, b);
+        assert_eq!(b.iter().len(), 4);
+    }
+
+    #[test]
+    fn is_prefix_of() {
+        let a: Bits = "01".parse().unwrap();
+        let b: Bits = "0110".parse().unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(Bits::new().is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+        let c: Bits = "10".parse().unwrap();
+        assert!(!c.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn with_builds_incrementally() {
+        let b = Bits::new().with(true).with(false).with(true);
+        assert_eq!(b.to_string(), "101");
+    }
+
+    #[test]
+    fn boundary_ops_at_full_width_do_not_overflow() {
+        let full = Bits::from_raw(u64::MAX, 64);
+        assert_eq!(full.concat(&Bits::new()), full);
+        assert_eq!(Bits::new().concat(&full), full);
+        assert_eq!(full.slice(64, 64), Bits::new());
+        assert_eq!(full.suffix_from(64), Bits::new());
+        assert_eq!(full.prefix(0), Bits::new());
+    }
+
+    #[test]
+    fn full_capacity() {
+        let mut b = Bits::new();
+        for i in 0..64 {
+            b.push(i % 2 == 0);
+        }
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.get(0), Some(true));
+        assert_eq!(b.get(63), Some(false));
+    }
+
+    #[test]
+    fn from_bools_matches_pushes() {
+        let b = Bits::from_bools(&[true, true, false]);
+        assert_eq!(b.to_string(), "110");
+    }
+}

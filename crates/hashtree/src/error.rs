@@ -1,0 +1,45 @@
+//! Error types for hash-tree operations.
+
+use std::fmt;
+
+use crate::tree::IAgentId;
+
+/// Error returned by structural operations on a
+/// [`HashTree`](crate::HashTree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The named IAgent does not own any leaf of this tree.
+    UnknownIAgent(IAgentId),
+    /// An IAgent with this id already owns a leaf; leaf owners are unique.
+    DuplicateIAgent(IAgentId),
+    /// The operation requires more key bits than a key has; the tree cannot
+    /// branch on bit positions at or beyond the key width.
+    DepthExceeded {
+        /// The out-of-range key-bit position the operation needed.
+        key_bit: usize,
+    },
+    /// The tree has a single IAgent left; it cannot be merged away.
+    LastIAgent,
+    /// A split candidate no longer describes this tree (it was produced for
+    /// an older version, or its parameters are inconsistent).
+    StaleCandidate(String),
+    /// A requested split parameter is invalid (for example `m == 0`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownIAgent(id) => write!(f, "unknown IAgent {id}"),
+            TreeError::DuplicateIAgent(id) => write!(f, "IAgent {id} already owns a leaf"),
+            TreeError::DepthExceeded { key_bit } => {
+                write!(f, "split would branch on key bit {key_bit}, beyond the key width")
+            }
+            TreeError::LastIAgent => write!(f, "cannot merge the last remaining IAgent"),
+            TreeError::StaleCandidate(why) => write!(f, "stale split candidate: {why}"),
+            TreeError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

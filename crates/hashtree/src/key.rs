@@ -1,0 +1,209 @@
+//! Agent keys: the binary representation of a mobile agent's identifier.
+//!
+//! The paper's hash function `H` "takes as input the binary representation of
+//! a mobile agent's id" and consumes some prefix of it. We model that binary
+//! representation as a fixed-width 64-bit key, consumed most-significant bit
+//! first. The mechanism is independent of any particular agent-naming scheme:
+//! any platform identifier can be reduced to an [`AgentKey`] by hashing
+//! (see [`AgentKey::from_name`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::Bits;
+
+/// Width of an agent key in bits.
+pub const KEY_BITS: usize = 64;
+
+/// The binary representation of a mobile agent's identifier.
+///
+/// Bit 0 is the most-significant bit; the hash tree consumes bits in
+/// increasing index order.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_hashtree::AgentKey;
+///
+/// let key = AgentKey::new(0b101 << 61);
+/// assert!(key.bit(0));
+/// assert!(!key.bit(1));
+/// assert!(key.bit(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct AgentKey(u64);
+
+impl AgentKey {
+    /// Creates a key from its raw 64-bit value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        AgentKey(raw)
+    }
+
+    /// Derives a key from an arbitrary name by hashing.
+    ///
+    /// The mechanism must work for agent systems whose naming scheme carries
+    /// no structure (one of the paper's stated advantages over Ajanta, whose
+    /// names embed the creating registry). This uses an FNV-1a hash followed
+    /// by a 64-bit finalizer so that *any* name distribution produces keys
+    /// that are uniform in every bit — the property the hash tree's prefix
+    /// partitioning relies on.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agentrack_hashtree::AgentKey;
+    ///
+    /// let a = AgentKey::from_name("shopper-17");
+    /// let b = AgentKey::from_name("shopper-18");
+    /// assert_ne!(a, b);
+    /// ```
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for byte in name.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        AgentKey(finalize(h))
+    }
+
+    /// Derives a key from a numeric platform identifier by mixing its bits.
+    ///
+    /// Sequentially-assigned ids (0, 1, 2, …) differ only in their low bits;
+    /// mixing spreads them uniformly over the prefix the hash tree inspects.
+    #[must_use]
+    pub const fn from_sequential(id: u64) -> Self {
+        AgentKey(finalize(id))
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Returns bit `i` (0 = most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= KEY_BITS`.
+    #[must_use]
+    pub const fn bit(&self, i: usize) -> bool {
+        assert!(i < KEY_BITS);
+        (self.0 >> (63 - i)) & 1 == 1
+    }
+
+    /// Returns the first `n` bits of the key as a [`Bits`] value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > KEY_BITS`.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Bits {
+        Bits::from_raw(self.0, n)
+    }
+}
+
+impl From<u64> for AgentKey {
+    fn from(raw: u64) -> Self {
+        AgentKey(raw)
+    }
+}
+
+impl From<AgentKey> for u64 {
+    fn from(key: AgentKey) -> u64 {
+        key.0
+    }
+}
+
+impl fmt::Display for AgentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for AgentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AgentKey({:016x})", self.0)
+    }
+}
+
+/// SplitMix64 finalizer: a 64-bit bijective mixer with full avalanche.
+const fn finalize(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let key = AgentKey::new(1u64 << 63);
+        assert!(key.bit(0));
+        for i in 1..KEY_BITS {
+            assert!(!key.bit(i));
+        }
+        let key = AgentKey::new(1);
+        assert!(key.bit(63));
+        assert!(!key.bit(0));
+    }
+
+    #[test]
+    fn prefix_matches_bits() {
+        let key = AgentKey::new(0b1011u64 << 60);
+        assert_eq!(key.prefix(4).to_string(), "1011");
+        assert_eq!(key.prefix(0).to_string(), "");
+        for i in 0..16 {
+            assert_eq!(key.prefix(16).get(i), Some(key.bit(i)));
+        }
+    }
+
+    #[test]
+    fn from_name_is_deterministic_and_spread() {
+        assert_eq!(AgentKey::from_name("a"), AgentKey::from_name("a"));
+        assert_ne!(AgentKey::from_name("a"), AgentKey::from_name("b"));
+
+        // First-bit balance over a batch of realistic names: should be
+        // roughly half zeros, half ones.
+        let ones = (0..1000)
+            .filter(|i| AgentKey::from_name(&format!("agent-{i}")).bit(0))
+            .count();
+        assert!((400..=600).contains(&ones), "first-bit skew: {ones}/1000");
+    }
+
+    #[test]
+    fn from_sequential_mixes_low_entropy_ids() {
+        // Sequential ids must not collide and must spread over the top bits.
+        let ones = (0..1000u64)
+            .filter(|&i| AgentKey::from_sequential(i).bit(0))
+            .count();
+        assert!((400..=600).contains(&ones), "first-bit skew: {ones}/1000");
+
+        let mut keys: Vec<u64> = (0..1000u64)
+            .map(|i| AgentKey::from_sequential(i).raw())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn conversions() {
+        let key = AgentKey::from(42u64);
+        assert_eq!(u64::from(key), 42);
+        assert_eq!(key.raw(), 42);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(AgentKey::new(0xdead_beef).to_string(), "00000000deadbeef");
+    }
+}

@@ -1,0 +1,529 @@
+//! Edge labels and hyper-labels.
+//!
+//! Every edge of the hash tree carries a [`Label`]: a non-empty string of
+//! bits whose *first* bit is the **valid bit**. The valid bit determines
+//! whether the edge leads to the left (`0`) or right (`1`) child of its
+//! source node; the remaining bits are *unused* bits that are skipped during
+//! traversal but recorded so that later **complex splits** can promote them
+//! back into valid bits.
+//!
+//! The concatenation of the labels on the path from the root to a node is the
+//! node's [`HyperLabel`]. A key is *compatible* with a hyper-label iff, for
+//! every label in it, the key bit at the position of that label's valid bit
+//! equals the valid bit (paper §3, Figure 2).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::{Bits, ParseBitsError};
+use crate::key::AgentKey;
+
+/// A non-empty edge label: a valid bit followed by zero or more unused bits.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_hashtree::Label;
+///
+/// let label: Label = "010".parse()?;
+/// assert_eq!(label.valid_bit(), false);
+/// assert_eq!(label.unused().to_string(), "10");
+/// assert_eq!(label.len(), 3);
+/// # Ok::<(), agentrack_hashtree::ParseLabelError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(Bits);
+
+impl Label {
+    /// Creates a label from its bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLabelError::Empty`] if `bits` is empty — a label must
+    /// contain at least a valid bit.
+    pub fn from_bits(bits: Bits) -> Result<Self, ParseLabelError> {
+        if bits.is_empty() {
+            Err(ParseLabelError::Empty)
+        } else {
+            Ok(Label(bits))
+        }
+    }
+
+    /// Creates a single-bit label from a valid bit.
+    #[must_use]
+    pub const fn single(valid_bit: bool) -> Self {
+        Label(Bits::single(valid_bit))
+    }
+
+    /// The valid bit: the first bit of the label.
+    #[must_use]
+    pub fn valid_bit(&self) -> bool {
+        self.0.first()
+    }
+
+    /// The unused bits: everything after the valid bit.
+    #[must_use]
+    pub fn unused(&self) -> Bits {
+        self.0.suffix_from(1)
+    }
+
+    /// Total number of bits (valid bit included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Labels are never empty; provided for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if the label has unused bits (length > 1).
+    ///
+    /// Multi-bit labels are "the result of splitting and merging IAgents"
+    /// (paper §3) and are where complex splits find room to rebalance.
+    #[must_use]
+    pub fn is_multi_bit(&self) -> bool {
+        self.len() > 1
+    }
+
+    /// The underlying bits.
+    #[must_use]
+    pub fn bits(&self) -> Bits {
+        self.0
+    }
+
+    /// Returns a label with `extra` bits appended after the existing bits.
+    ///
+    /// Used by simple splits: "the last label of the hyper-label of `A` is
+    /// augmented" with the skipped-over bits (paper §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined length exceeds [`crate::bits::MAX_BITS`].
+    #[must_use]
+    pub fn augmented(&self, extra: &Bits) -> Self {
+        Label(self.0.concat(extra))
+    }
+
+    /// Returns the first `n` bits of the label as a shorter label.
+    ///
+    /// Used by complex splits, which truncate a multi-bit label at the
+    /// promoted bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > self.len()`.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Self {
+        assert!(n >= 1 && n <= self.len(), "Label::truncated out of range");
+        Label(self.0.prefix(n))
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label(\"{}\")", self.0)
+    }
+}
+
+/// Error returned when parsing a [`Label`] or [`HyperLabel`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLabelError {
+    /// A label must contain at least its valid bit.
+    Empty,
+    /// The bits could not be parsed.
+    Bits(ParseBitsError),
+}
+
+impl fmt::Display for ParseLabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLabelError::Empty => write!(f, "label must contain at least one bit"),
+            ParseLabelError::Bits(e) => write!(f, "invalid label bits: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseLabelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseLabelError::Bits(e) => Some(e),
+            ParseLabelError::Empty => None,
+        }
+    }
+}
+
+impl From<ParseBitsError> for ParseLabelError {
+    fn from(e: ParseBitsError) -> Self {
+        ParseLabelError::Bits(e)
+    }
+}
+
+impl FromStr for Label {
+    type Err = ParseLabelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bits: Bits = s.parse()?;
+        Label::from_bits(bits)
+    }
+}
+
+/// The concatenation of edge labels from the root to a node.
+///
+/// Rendered with `.` separating the labels, exactly as in the paper
+/// ("hyper-label `10.0.110` " style). The root's hyper-label is empty.
+///
+/// A hyper-label may additionally carry a *prefix skip*: key bits consumed
+/// before the first label, none of which constrain the key. A skip arises
+/// when both children of the tree's root are merged — the surviving root
+/// must serve the whole key space while every deeper bit position stays
+/// put, so the old root-edge label's bits all become unconstrained. A skip
+/// of `110` is rendered as `[110]`.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_hashtree::{AgentKey, HyperLabel};
+///
+/// let hl: HyperLabel = "1.010".parse()?;
+/// // Valid bits sit at positions 0 and 1 of the key: `1` then `0`.
+/// let compatible = AgentKey::new(0b10_11u64 << 60);
+/// let incompatible = AgentKey::new(0b11_11u64 << 60);
+/// assert!(hl.is_compatible(compatible));
+/// assert!(!hl.is_compatible(incompatible));
+/// # Ok::<(), agentrack_hashtree::ParseLabelError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct HyperLabel {
+    /// Unconstrained bits consumed before the first label.
+    skip: Bits,
+    /// Labels, outermost (root edge) first.
+    labels: Vec<Label>,
+}
+
+impl HyperLabel {
+    /// Creates the empty hyper-label (a freshly built tree's root).
+    #[must_use]
+    pub const fn root() -> Self {
+        HyperLabel {
+            skip: Bits::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Creates a hyper-label from a sequence of labels (no prefix skip).
+    #[must_use]
+    pub fn from_labels(labels: Vec<Label>) -> Self {
+        HyperLabel {
+            skip: Bits::new(),
+            labels,
+        }
+    }
+
+    /// The labels, outermost (root edge) first.
+    #[must_use]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The prefix skip: unconstrained bits consumed before the first label.
+    #[must_use]
+    pub fn prefix_skip(&self) -> Bits {
+        self.skip
+    }
+
+    /// Sets the prefix skip.
+    pub fn set_prefix_skip(&mut self, skip: Bits) {
+        self.skip = skip;
+    }
+
+    /// Number of labels (the prefix skip is not a label).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when there are no labels and no prefix skip.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty() && self.skip.is_empty()
+    }
+
+    /// Total number of key bits consumed by a traversal ending at this node
+    /// (skip, valid and unused bits alike).
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.skip.len() + self.labels.iter().map(Label::len).sum::<usize>()
+    }
+
+    /// Appends a label.
+    pub fn push(&mut self, label: Label) {
+        self.labels.push(label);
+    }
+
+    /// The key-bit positions of each label's valid bit, in label order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agentrack_hashtree::HyperLabel;
+    /// let hl: HyperLabel = "10.0.110".parse()?;
+    /// assert_eq!(hl.valid_bit_positions(), vec![0, 2, 3]);
+    /// # Ok::<(), agentrack_hashtree::ParseLabelError>(())
+    /// ```
+    #[must_use]
+    pub fn valid_bit_positions(&self) -> Vec<usize> {
+        let mut positions = Vec::with_capacity(self.labels.len());
+        let mut cursor = self.skip.len();
+        for label in &self.labels {
+            positions.push(cursor);
+            cursor += label.len();
+        }
+        positions
+    }
+
+    /// Tests whether a key's prefix is compatible with this hyper-label.
+    ///
+    /// Per the paper (§3): compatible iff the valid bit of each label equals
+    /// the key bit at the position that valid bit occupies in the
+    /// hyper-label. Unused bits (and the prefix skip) impose no constraint.
+    #[must_use]
+    pub fn is_compatible(&self, key: AgentKey) -> bool {
+        let mut cursor = self.skip.len();
+        for label in &self.labels {
+            if key.bit(cursor) != label.valid_bit() {
+                return false;
+            }
+            cursor += label.len();
+        }
+        true
+    }
+
+    /// Returns `true` if any label carries unused bits.
+    #[must_use]
+    pub fn has_multi_bit_label(&self) -> bool {
+        self.labels.iter().any(Label::is_multi_bit)
+    }
+
+    /// Returns `true` if a complex split could find room here: there is a
+    /// prefix skip or a multi-bit label.
+    #[must_use]
+    pub fn has_unused_bits(&self) -> bool {
+        !self.skip.is_empty() || self.has_multi_bit_label()
+    }
+
+    /// Flattens the hyper-label into one bit string (losing label
+    /// boundaries; the prefix skip comes first).
+    #[must_use]
+    pub fn to_bits(&self) -> Bits {
+        let mut bits = self.skip;
+        for label in &self.labels {
+            bits = bits.concat(&label.bits());
+        }
+        bits
+    }
+}
+
+impl FromIterator<Label> for HyperLabel {
+    fn from_iter<T: IntoIterator<Item = Label>>(iter: T) -> Self {
+        HyperLabel::from_labels(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for HyperLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("ε");
+        }
+        let mut wrote = false;
+        if !self.skip.is_empty() {
+            write!(f, "[{}]", self.skip)?;
+            wrote = true;
+        }
+        for label in &self.labels {
+            if wrote {
+                f.write_str(".")?;
+            }
+            write!(f, "{label}")?;
+            wrote = true;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for HyperLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HyperLabel(\"{self}\")")
+    }
+}
+
+impl FromStr for HyperLabel {
+    type Err = ParseLabelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || s == "ε" {
+            return Ok(HyperLabel::root());
+        }
+        let mut skip = Bits::new();
+        let mut rest = s;
+        if let Some(stripped) = s.strip_prefix('[') {
+            let (skip_str, tail) = stripped
+                .split_once(']')
+                .ok_or(ParseLabelError::Bits(ParseBitsError::InvalidCharacter('[')))?;
+            skip = skip_str.parse()?;
+            rest = tail.strip_prefix('.').unwrap_or(tail);
+        }
+        let labels = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split('.')
+                .map(str::parse)
+                .collect::<Result<_, _>>()?
+        };
+        let mut hl = HyperLabel::from_labels(labels);
+        hl.set_prefix_skip(skip);
+        Ok(hl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hl(s: &str) -> HyperLabel {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn label_parts() {
+        let label: Label = "110".parse().unwrap();
+        assert!(label.valid_bit());
+        assert_eq!(label.unused().to_string(), "10");
+        assert!(label.is_multi_bit());
+        assert!(!Label::single(false).is_multi_bit());
+    }
+
+    #[test]
+    fn label_rejects_empty() {
+        assert_eq!("".parse::<Label>(), Err(ParseLabelError::Empty));
+        assert_eq!(Label::from_bits(Bits::new()), Err(ParseLabelError::Empty));
+    }
+
+    #[test]
+    fn label_augment_truncate() {
+        let label: Label = "1".parse().unwrap();
+        let grown = label.augmented(&"01".parse().unwrap());
+        assert_eq!(grown.to_string(), "101");
+        assert_eq!(grown.truncated(2).to_string(), "10");
+        assert_eq!(grown.truncated(3), grown);
+    }
+
+    #[test]
+    fn hyper_label_display_uses_dots() {
+        assert_eq!(hl("10.0.110").to_string(), "10.0.110");
+        assert_eq!(HyperLabel::root().to_string(), "ε");
+        assert_eq!("ε".parse::<HyperLabel>().unwrap(), HyperLabel::root());
+        assert_eq!("".parse::<HyperLabel>().unwrap(), HyperLabel::root());
+    }
+
+    #[test]
+    fn bit_len_counts_all_bits() {
+        assert_eq!(hl("10.0.110").bit_len(), 6);
+        assert_eq!(HyperLabel::root().bit_len(), 0);
+    }
+
+    /// The paper's Figure 2 describes compatibility: a prefix is compatible
+    /// with a hyper-label iff each valid bit matches the key bit at the valid
+    /// bit's position. We reproduce the structure of that example: hyper-label
+    /// `10.0.110` has valid bits at positions 0 (`1`), 2 (`0`), 3 (`1`);
+    /// positions 1, 4, 5 are unused and unconstrained.
+    #[test]
+    fn paper_figure2_compatibility() {
+        let h = hl("10.0.110");
+        assert_eq!(h.valid_bit_positions(), vec![0, 2, 3]);
+        // All 8 assignments of the 3 unconstrained positions are compatible.
+        for unused in 0u64..8 {
+            let b1 = (unused >> 2) & 1;
+            let b4 = (unused >> 1) & 1;
+            let b5 = unused & 1;
+            let raw = ((1 << 63) | (b1 << 62)) | (1 << 60) | (b4 << 59) | (b5 << 58);
+            assert!(h.is_compatible(AgentKey::new(raw)), "unused={unused:03b}");
+        }
+        // Flipping any valid bit breaks compatibility.
+        assert!(!h.is_compatible(AgentKey::new(0b0000_0000u64 << 56)));
+        assert!(!h.is_compatible(AgentKey::new(0b1010_0000u64 << 56))); // pos2 = 1
+        assert!(!h.is_compatible(AgentKey::new(0b1000_0000u64 << 56))); // pos3 = 0
+    }
+
+    #[test]
+    fn root_is_compatible_with_everything() {
+        for raw in [0, 1, u64::MAX, 0xdead_beef] {
+            assert!(HyperLabel::root().is_compatible(AgentKey::new(raw)));
+        }
+    }
+
+    #[test]
+    fn multi_bit_detection() {
+        assert!(hl("10.0").has_multi_bit_label());
+        assert!(!hl("1.0.1").has_multi_bit_label());
+    }
+
+    #[test]
+    fn to_bits_flattens() {
+        assert_eq!(hl("10.0.110").to_bits().to_string(), "100110");
+    }
+
+    #[test]
+    fn prefix_skip_shifts_positions_without_constraining() {
+        let mut h = hl("1.0");
+        h.set_prefix_skip("01".parse().unwrap());
+        assert_eq!(h.to_string(), "[01].1.0");
+        assert_eq!(h.bit_len(), 4);
+        assert_eq!(h.valid_bit_positions(), vec![2, 3]);
+        // Bits 0-1 are unconstrained; bits 2-3 must be `10`.
+        for skip in 0u64..4 {
+            let raw = (skip << 62) | (0b10u64 << 60);
+            assert!(h.is_compatible(AgentKey::new(raw)), "skip={skip:02b}");
+            let bad = (skip << 62) | (0b01u64 << 60);
+            assert!(!h.is_compatible(AgentKey::new(bad)));
+        }
+        assert!(h.has_unused_bits());
+        assert!(!h.has_multi_bit_label());
+    }
+
+    #[test]
+    fn skip_round_trips_through_display() {
+        for s in ["[01].1.0", "[110]", "ε", "1.010", "[0].1"] {
+            let h: HyperLabel = s.parse().unwrap();
+            assert_eq!(h.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn skip_only_hyper_label_is_compatible_with_everything() {
+        let h: HyperLabel = "[101]".parse().unwrap();
+        for raw in [0, u64::MAX, 0xdead_beef] {
+            assert!(h.is_compatible(AgentKey::new(raw)));
+        }
+        assert!(!h.is_empty());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let h: HyperLabel = vec![Label::single(true), Label::single(false)]
+            .into_iter()
+            .collect();
+        assert_eq!(h.to_string(), "1.0");
+    }
+}

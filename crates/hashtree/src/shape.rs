@@ -1,0 +1,203 @@
+//! Tree shape: rendering and structural statistics.
+//!
+//! The paper's argument for complex splits is *shape*: reusing unused
+//! label bits "would result in more balanced hash trees or in other words
+//! in using shorter prefixes". This module makes that shape visible — an
+//! ASCII rendering for docs/debugging and a [`TreeShape`] summary for the
+//! split-strategy ablation.
+
+use std::fmt::Write as _;
+
+use crate::tree::{HashTree, NodeId};
+
+/// Structural summary of a hash tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeShape {
+    /// Number of IAgents (leaves).
+    pub leaves: usize,
+    /// Longest root-to-leaf path, in edges.
+    pub height: usize,
+    /// Shortest root-to-leaf path, in edges.
+    pub min_depth: usize,
+    /// Mean consumed-prefix length over leaves, in key bits.
+    pub mean_prefix_bits: f64,
+    /// Total unused (recorded-but-skipped) bits across all labels — the
+    /// room complex splits can reuse.
+    pub unused_bits: usize,
+}
+
+impl HashTree {
+    /// Computes the tree's structural summary.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agentrack_hashtree::{HashTree, IAgentId};
+    ///
+    /// let tree = HashTree::new(IAgentId::new(0));
+    /// let shape = tree.shape();
+    /// assert_eq!(shape.leaves, 1);
+    /// assert_eq!(shape.height, 0);
+    /// assert_eq!(shape.mean_prefix_bits, 0.0);
+    /// ```
+    #[must_use]
+    pub fn shape(&self) -> TreeShape {
+        let mut leaves = 0usize;
+        let mut height = 0usize;
+        let mut min_depth = usize::MAX;
+        let mut prefix_total = 0usize;
+        let mut unused_bits = 0usize;
+
+        let mut stack: Vec<(NodeId, usize, usize)> = vec![(self.root_id(), 0, 0)];
+        while let Some((id, depth, consumed)) = stack.pop() {
+            let (leaf, unused, children) = self.node_view(id);
+            let own = unused.len() + usize::from(depth > 0);
+            unused_bits += unused.len();
+            let consumed = consumed + own;
+            match children {
+                None => {
+                    debug_assert!(leaf.is_some());
+                    leaves += 1;
+                    height = height.max(depth);
+                    min_depth = min_depth.min(depth);
+                    prefix_total += consumed;
+                }
+                Some([l, r]) => {
+                    stack.push((l, depth + 1, consumed));
+                    stack.push((r, depth + 1, consumed));
+                }
+            }
+        }
+        TreeShape {
+            leaves,
+            height,
+            min_depth: if min_depth == usize::MAX { 0 } else { min_depth },
+            mean_prefix_bits: prefix_total as f64 / leaves.max(1) as f64,
+            unused_bits,
+        }
+    }
+
+    /// Renders the tree as an ASCII diagram, labels on the edges, IAgents
+    /// at the leaves.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use agentrack_hashtree::{HashTree, IAgentId, Side, SplitKind};
+    ///
+    /// let mut tree = HashTree::new(IAgentId::new(0));
+    /// let cand = tree.split_candidates(IAgentId::new(0))?
+    ///     .into_iter()
+    ///     .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+    ///     .unwrap();
+    /// tree.apply_split(&cand, IAgentId::new(1), Side::Right)?;
+    /// let art = tree.render_ascii();
+    /// assert!(art.contains("IA0"));
+    /// assert!(art.contains("IA1"));
+    /// # Ok::<(), agentrack_hashtree::TreeError>(())
+    /// ```
+    #[must_use]
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.root_id(), "", "", "", &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, lead: &str, edge: &str, cont: &str, out: &mut String) {
+        let (leaf, unused, children) = self.node_view(id);
+        let label_suffix = if unused.is_empty() {
+            String::new()
+        } else {
+            format!("({unused})")
+        };
+        match (leaf, children) {
+            (Some(ia), _) => {
+                let _ = writeln!(out, "{lead}{edge}{label_suffix} {ia}");
+            }
+            (None, Some([l, r])) => {
+                let _ = writeln!(out, "{lead}{edge}{label_suffix}·");
+                let child_lead = format!("{lead}{cont}");
+                self.render_node(l, &child_lead, "├─0─", "│   ", out);
+                self.render_node(r, &child_lead, "└─1─", "    ", out);
+            }
+            (None, None) => unreachable!("node is leaf or internal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{IAgentId, Side, SplitKind};
+    use crate::AgentKey;
+
+    fn grown_tree() -> HashTree {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        for (next, raw) in [0u64, u64::MAX, 1 << 62, 3 << 62].into_iter().enumerate() {
+            let target = tree.lookup(AgentKey::new(raw));
+            let cand = tree
+                .split_candidates(target)
+                .unwrap()
+                .into_iter()
+                .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+                .unwrap();
+            tree.apply_split(&cand, IAgentId::new(next as u64 + 1), Side::Right)
+                .unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn shape_of_a_fresh_tree() {
+        let shape = HashTree::new(IAgentId::new(9)).shape();
+        assert_eq!(
+            shape,
+            TreeShape {
+                leaves: 1,
+                height: 0,
+                min_depth: 0,
+                mean_prefix_bits: 0.0,
+                unused_bits: 0
+            }
+        );
+    }
+
+    #[test]
+    fn shape_tracks_growth() {
+        let tree = grown_tree();
+        let shape = tree.shape();
+        assert_eq!(shape.leaves, 5);
+        assert_eq!(shape.height, tree.height());
+        assert!(shape.min_depth >= 1);
+        assert!(shape.mean_prefix_bits >= 1.0);
+    }
+
+    #[test]
+    fn merges_create_unused_bits_that_shape_counts() {
+        let mut tree = grown_tree();
+        let victim = tree.iagents().max().unwrap();
+        tree.apply_merge(victim).unwrap();
+        assert!(tree.shape().unused_bits > 0);
+    }
+
+    #[test]
+    fn ascii_rendering_contains_every_iagent() {
+        let tree = grown_tree();
+        let art = tree.render_ascii();
+        for ia in tree.iagents() {
+            assert!(art.contains(&ia.to_string()), "missing {ia} in:\n{art}");
+        }
+        // Edges show both directions.
+        assert!(art.contains("├─0─"));
+        assert!(art.contains("└─1─"));
+    }
+
+    #[test]
+    fn ascii_rendering_shows_unused_bits() {
+        let mut tree = grown_tree();
+        let victim = tree.iagents().max().unwrap();
+        tree.apply_merge(victim).unwrap();
+        let art = tree.render_ascii();
+        assert!(art.contains('('), "unused bits should be annotated:\n{art}");
+    }
+}

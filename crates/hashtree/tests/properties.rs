@@ -1,0 +1,282 @@
+//! Property-based tests for the hash tree.
+//!
+//! These check the invariants the location mechanism relies on:
+//!
+//! * the tree always encodes a *total* mapping — every key is served by
+//!   exactly one IAgent, and traversal agrees with hyper-label
+//!   compatibility;
+//! * rehashing is *local* — a split or merge changes the mapping only for
+//!   keys whose IAgent is reported as involved ("the splitting and merging
+//!   process should affect the mapping of only the mobile agents and the
+//!   IAgents that are involved in the process", paper §1);
+//! * structural invariants survive arbitrary op sequences;
+//! * serialisation round-trips the hash function exactly.
+
+use agentrack_hashtree::{AgentKey, HashTree, IAgentId, Side, SplitKind, TreeError};
+use proptest::prelude::*;
+
+/// One randomly-directed rehash operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Split the `leaf_sel`-th IAgent using its `cand_sel`-th candidate.
+    Split {
+        leaf_sel: usize,
+        cand_sel: usize,
+        new_side: bool,
+    },
+    /// Merge the `leaf_sel`-th IAgent.
+    Merge { leaf_sel: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<usize>(), any::<usize>(), any::<bool>()).prop_map(
+            |(leaf_sel, cand_sel, new_side)| Op::Split {
+                leaf_sel,
+                cand_sel,
+                new_side,
+            }
+        ),
+        1 => any::<usize>().prop_map(|leaf_sel| Op::Merge { leaf_sel }),
+    ]
+}
+
+/// Applies an op, ignoring "can't do that right now" errors (merging the
+/// last IAgent, exceeding the key depth) which valid random sequences hit.
+fn apply(tree: &mut HashTree, op: &Op, next_id: &mut u64) -> Option<AppliedChange> {
+    let mut iagents: Vec<IAgentId> = tree.iagents().collect();
+    iagents.sort_unstable();
+    match *op {
+        Op::Split {
+            leaf_sel,
+            cand_sel,
+            new_side,
+        } => {
+            let target = iagents[leaf_sel % iagents.len()];
+            let candidates = tree.split_candidates(target).expect("known IAgent");
+            if candidates.is_empty() {
+                return None;
+            }
+            // Bias toward early candidates (complex first, small m) the way
+            // the real planner does, but allow any.
+            let cand = candidates[cand_sel % candidates.len().min(8)];
+            let new_iagent = IAgentId::new(*next_id);
+            let side = if new_side { Side::Right } else { Side::Left };
+            match tree.apply_split(&cand, new_iagent, side) {
+                Ok(applied) => {
+                    *next_id += 1;
+                    Some(AppliedChange::Split {
+                        new_iagent: applied.new_iagent,
+                        affected: applied.affected,
+                    })
+                }
+                Err(TreeError::DepthExceeded { .. }) => None,
+                Err(e) => panic!("unexpected split error: {e}"),
+            }
+        }
+        Op::Merge { leaf_sel } => {
+            let target = iagents[leaf_sel % iagents.len()];
+            match tree.apply_merge(target) {
+                Ok(applied) => Some(AppliedChange::Merge {
+                    removed: applied.removed,
+                    absorbers: applied.absorbers,
+                }),
+                Err(TreeError::LastIAgent) => None,
+                Err(e) => panic!("unexpected merge error: {e}"),
+            }
+        }
+    }
+}
+
+enum AppliedChange {
+    Split {
+        new_iagent: IAgentId,
+        affected: Vec<IAgentId>,
+    },
+    Merge {
+        removed: IAgentId,
+        absorbers: Vec<IAgentId>,
+    },
+}
+
+fn sample_keys() -> Vec<AgentKey> {
+    (0..512u64).map(AgentKey::from_sequential).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold and lookup agrees with compatibility after any op
+    /// sequence.
+    #[test]
+    fn random_ops_preserve_invariants(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &ops {
+            apply(&mut tree, op, &mut next_id);
+            tree.validate().expect("structural invariants");
+        }
+        let mapping = tree.mapping();
+        for key in sample_keys() {
+            let by_lookup = tree.lookup(key);
+            let compatible: Vec<IAgentId> = mapping
+                .iter()
+                .filter(|(_, hl)| hl.is_compatible(key))
+                .map(|(ia, _)| *ia)
+                .collect();
+            prop_assert_eq!(&compatible, &vec![by_lookup],
+                "key {} lookup/compatibility disagree", key);
+        }
+        // Hyper-label bookkeeping matches the tree's own accounting.
+        for (ia, hl) in &mapping {
+            prop_assert_eq!(hl.bit_len(), tree.consumed_bits(*ia).unwrap());
+        }
+    }
+
+    /// A split changes the mapping only for keys previously served by an
+    /// involved IAgent, and those keys can only move to the new IAgent.
+    #[test]
+    fn split_is_local(
+        setup in prop::collection::vec(op_strategy(), 0..20),
+        split in (any::<usize>(), any::<usize>(), any::<bool>()),
+    ) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &setup {
+            apply(&mut tree, op, &mut next_id);
+        }
+        let before: Vec<(AgentKey, IAgentId)> =
+            sample_keys().into_iter().map(|k| (k, tree.lookup(k))).collect();
+
+        let op = Op::Split { leaf_sel: split.0, cand_sel: split.1, new_side: split.2 };
+        if let Some(AppliedChange::Split { new_iagent, affected }) =
+            apply(&mut tree, &op, &mut next_id)
+        {
+            for (key, old) in before {
+                let new = tree.lookup(key);
+                if new != old {
+                    prop_assert!(affected.contains(&old),
+                        "key {} moved from uninvolved {}", key, old);
+                    prop_assert_eq!(new, new_iagent,
+                        "key {} moved somewhere other than the new IAgent", key);
+                }
+            }
+        }
+    }
+
+    /// A merge changes the mapping only for keys of the removed IAgent, and
+    /// they can only move to reported absorbers.
+    #[test]
+    fn merge_is_local(
+        setup in prop::collection::vec(op_strategy(), 0..20),
+        merge_sel in any::<usize>(),
+    ) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &setup {
+            apply(&mut tree, op, &mut next_id);
+        }
+        let before: Vec<(AgentKey, IAgentId)> =
+            sample_keys().into_iter().map(|k| (k, tree.lookup(k))).collect();
+
+        if let Some(AppliedChange::Merge { removed, absorbers }) =
+            apply(&mut tree, &Op::Merge { leaf_sel: merge_sel }, &mut next_id)
+        {
+            for (key, old) in before {
+                let new = tree.lookup(key);
+                if new != old {
+                    prop_assert_eq!(old, removed,
+                        "key {} moved but was not served by the merged IAgent", key);
+                    prop_assert!(absorbers.contains(&new),
+                        "key {} moved to non-absorber {}", key, new);
+                }
+            }
+            prop_assert!(!tree.contains(removed));
+        }
+    }
+
+    /// Splitting and immediately merging the new IAgent restores the
+    /// key → IAgent mapping exactly.
+    #[test]
+    fn merge_undoes_split(
+        setup in prop::collection::vec(op_strategy(), 0..20),
+        split in (any::<usize>(), any::<usize>(), any::<bool>()),
+    ) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &setup {
+            apply(&mut tree, op, &mut next_id);
+        }
+        let before: Vec<(AgentKey, IAgentId)> =
+            sample_keys().into_iter().map(|k| (k, tree.lookup(k))).collect();
+
+        let op = Op::Split { leaf_sel: split.0, cand_sel: split.1, new_side: split.2 };
+        if let Some(AppliedChange::Split { new_iagent, .. }) =
+            apply(&mut tree, &op, &mut next_id)
+        {
+            tree.apply_merge(new_iagent).expect("fresh leaf must merge");
+            tree.validate().unwrap();
+            for (key, old) in before {
+                prop_assert_eq!(tree.lookup(key), old);
+            }
+        }
+    }
+
+    /// Serialisation round-trips the hash function exactly.
+    #[test]
+    fn serde_round_trip(ops in prop::collection::vec(op_strategy(), 0..30)) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &ops {
+            apply(&mut tree, op, &mut next_id);
+        }
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: HashTree = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        prop_assert_eq!(&tree, &back);
+        for key in sample_keys() {
+            prop_assert_eq!(tree.lookup(key), back.lookup(key));
+        }
+    }
+
+    /// Split candidates always include every simple split up to the key
+    /// width, and complex candidates exactly cover the unused bits.
+    #[test]
+    fn candidate_enumeration_is_complete(ops in prop::collection::vec(op_strategy(), 0..25)) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &ops {
+            apply(&mut tree, op, &mut next_id);
+        }
+        for iagent in tree.iagents().collect::<Vec<_>>() {
+            let hl = tree.hyper_label(iagent).unwrap();
+            let consumed = hl.bit_len();
+            let candidates = tree.split_candidates(iagent).unwrap();
+
+            let complex: Vec<_> = candidates.iter()
+                .filter(|c| matches!(c.kind, SplitKind::Complex { .. }))
+                .collect();
+            let unused_bits = hl.prefix_skip().len()
+                + hl.labels().iter().map(|l| l.len() - 1).sum::<usize>();
+            prop_assert_eq!(complex.len(), unused_bits);
+
+            let simple: Vec<_> = candidates.iter()
+                .filter(|c| matches!(c.kind, SplitKind::Simple { .. }))
+                .collect();
+            prop_assert_eq!(simple.len(), 64 - consumed);
+            // Complex candidates precede simple ones (paper order) and every
+            // candidate's key bit is in range.
+            let first_simple = candidates.iter()
+                .position(|c| matches!(c.kind, SplitKind::Simple { .. }));
+            if let Some(pos) = first_simple {
+                let all_simple_after = candidates[pos..]
+                    .iter()
+                    .all(|c| matches!(c.kind, SplitKind::Simple { .. }));
+                prop_assert!(all_simple_after, "simple candidate before a complex one");
+            }
+            for c in &candidates {
+                prop_assert!(c.key_bit < 64);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Platform cost-model configuration.
+
+use agentrack_sim::{DurationDist, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Cost model of the platform: how long things take on the virtual clock.
+///
+/// Defaults are calibrated to a 2003-era Java mobile-agent platform on a
+/// LAN (the paper's Aglets 2.0 / Sun Blade setup): handling a message costs
+/// a few hundred microseconds of server time, migrating an agent costs
+/// milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_platform::PlatformConfig;
+/// use agentrack_sim::{DurationDist, SimDuration};
+///
+/// let config = PlatformConfig::default()
+///     .with_seed(42)
+///     .with_handler_service_time(DurationDist::Constant(SimDuration::from_micros(300)));
+/// assert_eq!(config.rng_seed, 42);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Seed for the platform's deterministic RNG.
+    pub rng_seed: u64,
+    /// Server time an agent spends handling one incoming message. This is
+    /// the service time of the per-agent FIFO station — the knob that makes
+    /// a tracker saturate under load.
+    pub handler_service_time: DurationDist,
+    /// Fixed overhead of instantiating an agent.
+    pub creation_overhead: SimDuration,
+    /// Fixed overhead of a migration (serialisation, class loading,
+    /// re-activation), on top of the network transfer.
+    pub migration_overhead: SimDuration,
+    /// Bandwidth used to transfer serialised agent state during migration.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Safety valve for `run_until_idle`: maximum number of events to
+    /// process before declaring a runaway simulation.
+    pub max_events: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            rng_seed: 0x5eed,
+            handler_service_time: DurationDist::Constant(SimDuration::from_micros(400)),
+            creation_overhead: SimDuration::from_millis(2),
+            migration_overhead: SimDuration::from_millis(3),
+            bandwidth_bytes_per_sec: 10_000_000, // ~100 Mbit/s LAN
+            max_events: 200_000_000,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Sets the per-message handler service time.
+    #[must_use]
+    pub fn with_handler_service_time(mut self, dist: DurationDist) -> Self {
+        self.handler_service_time = dist;
+        self
+    }
+
+    /// Sets the fixed migration overhead.
+    #[must_use]
+    pub fn with_migration_overhead(mut self, overhead: SimDuration) -> Self {
+        self.migration_overhead = overhead;
+        self
+    }
+
+    /// Duration of a state transfer of `bytes` at the configured bandwidth.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth_bytes_per_sec == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters() {
+        let c = PlatformConfig::default()
+            .with_seed(9)
+            .with_handler_service_time(DurationDist::Constant(SimDuration::from_micros(100)))
+            .with_migration_overhead(SimDuration::from_millis(1));
+        assert_eq!(c.rng_seed, 9);
+        assert_eq!(
+            c.handler_service_time,
+            DurationDist::Constant(SimDuration::from_micros(100))
+        );
+        assert_eq!(c.migration_overhead, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let c = PlatformConfig::default();
+        assert_eq!(
+            c.transfer_time(c.bandwidth_bytes_per_sec as usize),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(c.transfer_time(0), SimDuration::ZERO);
+        let degenerate = PlatformConfig {
+            bandwidth_bytes_per_sec: 0,
+            ..PlatformConfig::default()
+        };
+        assert_eq!(degenerate.transfer_time(100), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,102 @@
+//! Platform identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an agent hosted by the platform.
+///
+/// Ids are assigned sequentially by the runtime and are opaque to the
+/// platform; the location mechanism derives its hash keys from them (the
+/// paper's point that the mechanism "is not based on any particular
+/// agent-naming scheme").
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AgentId(pub u64);
+
+impl AgentId {
+    /// Creates an agent id from its numeric value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        AgentId(raw)
+    }
+
+    /// The numeric value.
+    #[must_use]
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for AgentId {
+    fn from(raw: u64) -> Self {
+        AgentId(raw)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// Identifier of a timer set via
+/// [`AgentCtx::set_timer`](crate::AgentCtx::set_timer).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimerId(pub u64);
+
+impl TimerId {
+    /// Creates a timer id from its numeric value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        TimerId(raw)
+    }
+
+    /// The numeric value.
+    #[must_use]
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_id_round_trip() {
+        let id = AgentId::new(9);
+        assert_eq!(id.raw(), 9);
+        assert_eq!(AgentId::from(9u64), id);
+        assert_eq!(id.to_string(), "agent9");
+        assert_eq!(format!("{id:?}"), "agent9");
+    }
+
+    #[test]
+    fn timer_id_round_trip() {
+        let id = TimerId::new(3);
+        assert_eq!(id.raw(), 3);
+        assert_eq!(id.to_string(), "timer3");
+    }
+}

@@ -1,0 +1,624 @@
+//! The live runtime: the same [`Agent`] behaviours on real threads.
+//!
+//! Where [`SimPlatform`](crate::SimPlatform) executes agents on a virtual
+//! clock for deterministic experiments, [`LivePlatform`] runs one OS
+//! thread per node, connected by channels: messages really travel between
+//! threads, migrations really move the boxed behaviour to another thread,
+//! and timers fire on the wall clock. The paper's implementation ran on
+//! Aglets over a real LAN; this runtime is the analogous "for real"
+//! deployment mode, useful for demos and for validating that behaviours
+//! make no hidden assumptions about determinism.
+//!
+//! Semantics match the simulated runtime:
+//!
+//! * messages are addressed to `(agent, node)`; if the agent is not there,
+//!   the sender's `on_delivery_failed` fires;
+//! * timers follow their agent across migrations;
+//! * disposal runs `on_dispose` and drops the behaviour.
+//!
+//! Costs differ: latencies are whatever the machine delivers (no modelled
+//! network), and runs are *not* reproducible — use the simulated runtime
+//! for experiments.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+
+use agentrack_sim::{NodeId, SimRng, SimTime};
+
+use crate::agent::{Action, Agent, AgentCtx};
+use crate::id::{AgentId, TimerId};
+use crate::payload::Payload;
+
+/// Where the registry believes an agent is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Whereabouts {
+    Creating(NodeId),
+    Active(NodeId),
+    InTransit(NodeId),
+}
+
+/// Why a behaviour is being handed to a node thread.
+enum WelcomeKind {
+    Creation,
+    Arrival,
+}
+
+enum NodeMsg {
+    Deliver {
+        to: AgentId,
+        from: AgentId,
+        payload: Payload,
+    },
+    /// A delivery failure notice for `notify`.
+    Failure {
+        notify: AgentId,
+        to: AgentId,
+        node: NodeId,
+        payload: Payload,
+    },
+    /// A behaviour arriving at this node (creation or migration).
+    Welcome {
+        id: AgentId,
+        behavior: Box<dyn Agent>,
+        kind: WelcomeKind,
+    },
+    /// A timer that fired on another node after its agent moved here.
+    TimerHop { agent: AgentId, timer: TimerId },
+    Shutdown,
+}
+
+#[derive(Default)]
+struct LiveCounters {
+    messages_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+    messages_failed: AtomicU64,
+    migrations: AtomicU64,
+    agents_created: AtomicU64,
+    agents_disposed: AtomicU64,
+}
+
+/// Snapshot of live-runtime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Messages submitted by agents.
+    pub messages_sent: u64,
+    /// Messages whose handler ran.
+    pub messages_delivered: u64,
+    /// Messages that bounced.
+    pub messages_failed: u64,
+    /// Migrations performed.
+    pub migrations: u64,
+    /// Agents created.
+    pub agents_created: u64,
+    /// Agents disposed.
+    pub agents_disposed: u64,
+}
+
+struct Shared {
+    senders: Vec<Sender<NodeMsg>>,
+    registry: RwLock<HashMap<AgentId, Whereabouts>>,
+    next_agent_id: AtomicU64,
+    counters: LiveCounters,
+    start: Instant,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn send_to_node(&self, node: NodeId, msg: NodeMsg) {
+        // A send can only fail after shutdown, when losing messages is fine.
+        let _ = self.senders[node.index()].send(msg);
+    }
+
+    /// Routes a delivery failure back to the sender, wherever it now is.
+    fn bounce(&self, from: AgentId, to: AgentId, node: NodeId, payload: Payload) {
+        self.counters.messages_failed.fetch_add(1, Ordering::Relaxed);
+        let whereabouts = self.registry.read().get(&from).copied();
+        if let Some(Whereabouts::Active(sender_node)) = whereabouts {
+            self.send_to_node(
+                sender_node,
+                NodeMsg::Failure {
+                    notify: from,
+                    to,
+                    node,
+                    payload,
+                },
+            );
+        }
+    }
+}
+
+/// A multi-threaded agent platform: one thread per node.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_platform::{Agent, AgentCtx, LivePlatform, NodeId, Payload};
+/// use std::sync::{Arc, Mutex};
+/// use std::time::Duration;
+///
+/// struct Greeter(Arc<Mutex<Vec<String>>>);
+/// impl Agent for Greeter {
+///     fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: agentrack_platform::AgentId, payload: &Payload) {
+///         self.0.lock().unwrap().push(payload.decode().unwrap());
+///     }
+/// }
+///
+/// let platform = LivePlatform::new(2);
+/// let log = Arc::new(Mutex::new(Vec::new()));
+/// let greeter = platform.spawn(Box::new(Greeter(log.clone())), NodeId::new(1));
+/// platform.post(greeter, Payload::encode(&"hello across threads"));
+/// platform.run_for(Duration::from_millis(100));
+/// platform.shutdown();
+/// assert_eq!(log.lock().unwrap().as_slice(), ["hello across threads"]);
+/// ```
+pub struct LivePlatform {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    node_count: u32,
+}
+
+impl LivePlatform {
+    /// Starts `node_count` node threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    #[must_use]
+    pub fn new(node_count: u32) -> Self {
+        assert!(node_count > 0, "live platform needs at least one node");
+        let mut senders = Vec::with_capacity(node_count as usize);
+        let mut receivers: Vec<Receiver<NodeMsg>> = Vec::with_capacity(node_count as usize);
+        for _ in 0..node_count {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            registry: RwLock::new(HashMap::new()),
+            next_agent_id: AtomicU64::new(0),
+            counters: LiveCounters::default(),
+            start: Instant::now(),
+        });
+        let handles = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let shared = Arc::clone(&shared);
+                let node = NodeId::new(i as u32);
+                std::thread::Builder::new()
+                    .name(format!("agentrack-{node}"))
+                    .spawn(move || node_loop(node, rx, shared))
+                    .expect("spawn node thread")
+            })
+            .collect();
+        LivePlatform {
+            shared,
+            handles,
+            node_count,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// The id the next externally spawned agent will receive.
+    #[must_use]
+    pub fn peek_next_agent_id(&self) -> u64 {
+        self.shared.next_agent_id.load(Ordering::Relaxed)
+    }
+
+    /// Creates an agent at `node`; its `on_create` runs on that node's
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn spawn(&self, behavior: Box<dyn Agent>, node: NodeId) -> AgentId {
+        assert!(node.raw() < self.node_count, "spawn at unknown node");
+        let id = AgentId::new(self.shared.next_agent_id.fetch_add(1, Ordering::Relaxed));
+        self.shared
+            .registry
+            .write()
+            .insert(id, Whereabouts::Creating(node));
+        self.shared.counters.agents_created.fetch_add(1, Ordering::Relaxed);
+        self.shared.send_to_node(
+            node,
+            NodeMsg::Welcome {
+                id,
+                behavior,
+                kind: WelcomeKind::Creation,
+            },
+        );
+        id
+    }
+
+    /// Injects a message from outside the agent world (no failure notice
+    /// comes back). Returns `false` if the target is unknown.
+    pub fn post(&self, to: AgentId, payload: Payload) -> bool {
+        let whereabouts = self.shared.registry.read().get(&to).copied();
+        let node = match whereabouts {
+            Some(Whereabouts::Active(n) | Whereabouts::Creating(n) | Whereabouts::InTransit(n)) => n,
+            None => return false,
+        };
+        self.shared.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.shared.send_to_node(
+            node,
+            NodeMsg::Deliver {
+                to,
+                from: AgentId::new(u64::MAX),
+                payload,
+            },
+        );
+        true
+    }
+
+    /// The node an agent currently occupies, if it exists.
+    #[must_use]
+    pub fn agent_node(&self, id: AgentId) -> Option<NodeId> {
+        self.shared.registry.read().get(&id).map(|w| match w {
+            Whereabouts::Creating(n) | Whereabouts::Active(n) | Whereabouts::InTransit(n) => *n,
+        })
+    }
+
+    /// Number of live agents.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.shared.registry.read().len()
+    }
+
+    /// Lets the world run for a wall-clock duration.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Activity counters so far.
+    #[must_use]
+    pub fn stats(&self) -> LiveStats {
+        let c = &self.shared.counters;
+        LiveStats {
+            messages_sent: c.messages_sent.load(Ordering::Relaxed),
+            messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
+            messages_failed: c.messages_failed.load(Ordering::Relaxed),
+            migrations: c.migrations.load(Ordering::Relaxed),
+            agents_created: c.agents_created.load(Ordering::Relaxed),
+            agents_disposed: c.agents_disposed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops all node threads and returns the final statistics.
+    pub fn shutdown(mut self) -> LiveStats {
+        for sender in &self.shared.senders {
+            let _ = sender.send(NodeMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl std::fmt::Debug for LivePlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LivePlatform")
+            .field("nodes", &self.node_count)
+            .field("agents", &self.agent_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for LivePlatform {
+    fn drop(&mut self) {
+        for sender in &self.shared.senders {
+            let _ = sender.send(NodeMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pending wall-clock timer, ordered soonest-first in a max-heap.
+struct PendingTimer {
+    at: Instant,
+    agent: AgentId,
+    timer: TimerId,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at) // reversed: earliest first
+    }
+}
+
+fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
+    let mut residents: HashMap<AgentId, Box<dyn Agent>> = HashMap::new();
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut rng = SimRng::seed_from(0x11fe ^ u64::from(node.raw()));
+    // Node-local id allocation from a per-node range (the shared counter
+    // covers external spawns, which stay far below these offsets).
+    let mut next_agent_id: u64 = (u64::from(node.raw()) + 1) << 40;
+    let mut next_timer_id: u64 = (u64::from(node.raw()) + 1) << 40;
+
+    loop {
+        // Fire due timers, then wait for the next message or deadline.
+        let now = Instant::now();
+        while timers.peek().is_some_and(|t| t.at <= now) {
+            let t = timers.pop().expect("peeked");
+            if residents.contains_key(&t.agent) {
+                invoke(
+                    &shared,
+                    node,
+                    &mut residents,
+                    &mut timers,
+                    &mut rng,
+                    &mut next_agent_id,
+                    &mut next_timer_id,
+                    t.agent,
+                    |a, ctx| a.on_timer(ctx, t.timer),
+                );
+            } else {
+                // The agent moved (or is mid-flight): forward the timer.
+                let whereabouts = shared.registry.read().get(&t.agent).copied();
+                match whereabouts {
+                    Some(Whereabouts::Active(n)) if n != node => shared.send_to_node(
+                        n,
+                        NodeMsg::TimerHop {
+                            agent: t.agent,
+                            timer: t.timer,
+                        },
+                    ),
+                    Some(Whereabouts::InTransit(_) | Whereabouts::Creating(_)) => {
+                        timers.push(PendingTimer {
+                            at: Instant::now() + Duration::from_millis(1),
+                            agent: t.agent,
+                            timer: t.timer,
+                        });
+                    }
+                    _ => {} // disposed, or stale local state: drop
+                }
+            }
+        }
+
+        let msg = match timers.peek() {
+            Some(t) => match rx.recv_deadline(t.at) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => return,
+            },
+        };
+
+        match msg {
+            NodeMsg::Shutdown => return,
+            NodeMsg::Welcome { id, behavior, kind } => {
+                residents.insert(id, behavior);
+                shared.registry.write().insert(id, Whereabouts::Active(node));
+                invoke(
+                    &shared,
+                    node,
+                    &mut residents,
+                    &mut timers,
+                    &mut rng,
+                    &mut next_agent_id,
+                    &mut next_timer_id,
+                    id,
+                    |a, ctx| match kind {
+                        WelcomeKind::Creation => a.on_create(ctx),
+                        WelcomeKind::Arrival => a.on_arrival(ctx),
+                    },
+                );
+            }
+            NodeMsg::Deliver { to, from, payload } => {
+                if residents.contains_key(&to) {
+                    shared
+                        .counters
+                        .messages_delivered
+                        .fetch_add(1, Ordering::Relaxed);
+                    invoke(
+                        &shared,
+                        node,
+                        &mut residents,
+                        &mut timers,
+                        &mut rng,
+                        &mut next_agent_id,
+                        &mut next_timer_id,
+                        to,
+                        |a, ctx| a.on_message(ctx, from, &payload),
+                    );
+                } else if from != AgentId::new(u64::MAX) {
+                    shared.bounce(from, to, node, payload);
+                } else {
+                    shared.counters.messages_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            NodeMsg::Failure {
+                notify,
+                to,
+                node: failed_node,
+                payload,
+            } => {
+                if residents.contains_key(&notify) {
+                    invoke(
+                        &shared,
+                        node,
+                        &mut residents,
+                        &mut timers,
+                        &mut rng,
+                        &mut next_agent_id,
+                        &mut next_timer_id,
+                        notify,
+                        |a, ctx| a.on_delivery_failed(ctx, to, failed_node, &payload),
+                    );
+                }
+            }
+            NodeMsg::TimerHop { agent, timer } => {
+                timers.push(PendingTimer {
+                    at: Instant::now(),
+                    agent,
+                    timer,
+                });
+            }
+        }
+    }
+}
+
+/// Runs one handler and applies its requested actions.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site family
+fn invoke<F>(
+    shared: &Arc<Shared>,
+    node: NodeId,
+    residents: &mut HashMap<AgentId, Box<dyn Agent>>,
+    timers: &mut BinaryHeap<PendingTimer>,
+    rng: &mut SimRng,
+    next_agent_id: &mut u64,
+    next_timer_id: &mut u64,
+    id: AgentId,
+    f: F,
+) where
+    F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
+{
+    let Some(mut behavior) = residents.remove(&id) else {
+        return;
+    };
+    let mut actions = Vec::new();
+    {
+        let mut ctx = AgentCtx {
+            now: shared.now(),
+            self_id: id,
+            node,
+            rng,
+            actions: &mut actions,
+            next_agent_id,
+            next_timer_id,
+        };
+        f(behavior.as_mut(), &mut ctx);
+    }
+    // First-wins structural rule (matches the simulated runtime): after a
+    // dispatch the behaviour is gone from this thread, so a later dispose
+    // is ignored; after a dispose every later action is ignored.
+    let mut keep = Some(behavior);
+    let mut departed = false;
+    for action in actions {
+        match action {
+            Action::Send { to, node: dest, payload } => {
+                if dest.raw() >= shared.senders.len() as u32 {
+                    continue;
+                }
+                shared.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+                shared.send_to_node(dest, NodeMsg::Deliver { to, from: id, payload });
+            }
+            Action::Dispatch { to } => {
+                if to.raw() >= shared.senders.len() as u32 || keep.is_none() || departed {
+                    continue;
+                }
+                if to == node {
+                    continue; // staying put: nothing to transfer
+                }
+                let behavior = keep.take().expect("checked");
+                departed = true;
+                shared.registry.write().insert(id, Whereabouts::InTransit(to));
+                shared.counters.migrations.fetch_add(1, Ordering::Relaxed);
+                shared.send_to_node(
+                    to,
+                    NodeMsg::Welcome {
+                        id,
+                        behavior,
+                        kind: WelcomeKind::Arrival,
+                    },
+                );
+            }
+            Action::SetTimer { timer, delay } => {
+                timers.push(PendingTimer {
+                    at: Instant::now() + Duration::from_nanos(delay.as_nanos()),
+                    agent: id,
+                    timer,
+                });
+            }
+            Action::Create {
+                id: new_id,
+                node: dest,
+                behavior,
+            } => {
+                if dest.raw() >= shared.senders.len() as u32 {
+                    continue;
+                }
+                shared
+                    .registry
+                    .write()
+                    .insert(new_id, Whereabouts::Creating(dest));
+                shared.counters.agents_created.fetch_add(1, Ordering::Relaxed);
+                shared.send_to_node(
+                    dest,
+                    NodeMsg::Welcome {
+                        id: new_id,
+                        behavior,
+                        kind: WelcomeKind::Creation,
+                    },
+                );
+            }
+            Action::Dispose => {
+                if departed {
+                    continue; // the behaviour already left for another node
+                }
+                if let Some(mut behavior) = keep.take() {
+                    let mut dispose_actions = Vec::new();
+                    let mut ctx = AgentCtx {
+                        now: shared.now(),
+                        self_id: id,
+                        node,
+                        rng,
+                        actions: &mut dispose_actions,
+                        next_agent_id,
+                        next_timer_id,
+                    };
+                    behavior.on_dispose(&mut ctx);
+                    // Farewell sends only; other actions are meaningless now.
+                    for action in dispose_actions {
+                        if let Action::Send { to, node: dest, payload } = action {
+                            if dest.raw() < shared.senders.len() as u32 {
+                                shared.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+                                shared
+                                    .send_to_node(dest, NodeMsg::Deliver { to, from: id, payload });
+                            }
+                        }
+                    }
+                    shared.registry.write().remove(&id);
+                    shared.counters.agents_disposed.fetch_add(1, Ordering::Relaxed);
+                    // The agent is gone; ignore later actions.
+                    return;
+                }
+            }
+        }
+    }
+    if let Some(behavior) = keep {
+        residents.insert(id, behavior);
+    }
+}

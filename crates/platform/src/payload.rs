@@ -1,0 +1,158 @@
+//! Message payloads: typed values serialised to bytes on the wire.
+//!
+//! Agents exchange [`Payload`]s — opaque byte strings. Protocols define
+//! `serde` types and use [`Payload::encode`] / [`Payload::decode`] at the
+//! boundaries, exactly as a real platform would marshal messages between
+//! address spaces. The byte length also feeds the migration and
+//! transmission cost models.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// An immutable message payload.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_platform::Payload;
+/// use serde::{Deserialize, Serialize};
+///
+/// #[derive(Serialize, Deserialize, PartialEq, Debug)]
+/// struct Ping { seq: u32 }
+///
+/// let p = Payload::encode(&Ping { seq: 7 });
+/// assert_eq!(p.decode::<Ping>().unwrap(), Ping { seq: 7 });
+/// assert!(p.len() > 0);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Payload(Bytes);
+
+impl Payload {
+    /// Serialises a value into a payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value cannot be serialised to JSON (only possible for
+    /// types with non-string map keys or similar pathologies — protocol
+    /// types in this workspace never are).
+    #[must_use]
+    pub fn encode<T: Serialize>(value: &T) -> Self {
+        Payload(Bytes::from(
+            serde_json::to_vec(value).expect("protocol types serialise infallibly"),
+        ))
+    }
+
+    /// Wraps raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: Bytes) -> Self {
+        Payload(bytes)
+    }
+
+    /// Deserialises the payload into a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the bytes do not encode a `T`; protocol
+    /// handlers use this to recognise "not one of mine" messages.
+    pub fn decode<T: DeserializeOwned>(&self) -> Result<T, DecodeError> {
+        serde_json::from_slice(&self.0).map_err(|e| DecodeError(e.to_string()))
+    }
+
+    /// Payload size in bytes (used by cost models).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for a zero-length payload.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &Bytes {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.len() <= 120 => write!(f, "Payload({s})"),
+            Ok(s) => write!(f, "Payload({}… {} bytes)", &s[..80], self.0.len()),
+            Err(_) => write!(f, "Payload({} bytes)", self.0.len()),
+        }
+    }
+}
+
+/// Error returned when a payload does not decode as the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload does not decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Msg {
+        kind: String,
+        value: u64,
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = Msg {
+            kind: "test".into(),
+            value: 12,
+        };
+        let p = Payload::encode(&m);
+        assert_eq!(p.decode::<Msg>().unwrap(), m);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), p.bytes().len());
+    }
+
+    #[test]
+    fn wrong_type_is_an_error_not_a_panic() {
+        #[derive(Serialize, Deserialize, Debug)]
+        struct Other {
+            name: String,
+        }
+        let p = Payload::encode(&Msg {
+            kind: "x".into(),
+            value: 1,
+        });
+        assert!(p.decode::<Other>().is_err());
+        let err = p.decode::<Other>().unwrap_err();
+        assert!(err.to_string().contains("does not decode"));
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        let p = Payload::encode(&Msg {
+            kind: "dbg".into(),
+            value: 3,
+        });
+        let s = format!("{p:?}");
+        assert!(s.contains("dbg"));
+    }
+
+    #[test]
+    fn from_raw_bytes() {
+        let p = Payload::from_bytes(Bytes::from_static(b"{\"kind\":\"k\",\"value\":1}"));
+        assert_eq!(p.decode::<Msg>().unwrap().value, 1);
+    }
+}

@@ -1,0 +1,690 @@
+//! The deterministic platform runtime: agents, messaging, migration and
+//! timers over the simulated network.
+//!
+//! Everything observable happens through events on the virtual clock:
+//!
+//! * a **message** costs a network latency (sampled from the topology) to
+//!   reach the addressee's node, then queues at the addressee's single-server
+//!   [`ServiceStation`] for its handler service time — so a hot agent
+//!   (a central tracker, say) accumulates queueing delay exactly the way the
+//!   paper's centralized scheme does;
+//! * a **migration** costs the platform's fixed overhead plus a network hop
+//!   plus the serialized state transfer;
+//! * a message addressed to a node where the agent is *not* (it moved, is
+//!   in transit, was disposed, or never existed) bounces back to the sender
+//!   as a delivery failure — locating agents before talking to them is the
+//!   whole point of the location mechanism.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use agentrack_sim::{
+    Delivery, NodeId, Scheduler, ServiceStation, SimDuration, SimRng, SimTime, Topology,
+};
+
+use crate::agent::{Action, Agent, AgentCtx};
+use crate::config::PlatformConfig;
+use crate::id::{AgentId, TimerId};
+use crate::payload::Payload;
+
+/// Where an agent is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentState {
+    /// Created but `on_create` has not yet run.
+    Creating,
+    /// Resident and processing events at its node.
+    Active,
+    /// Mid-migration to the given node.
+    InTransit {
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+struct AgentSlot {
+    behavior: Option<Box<dyn Agent>>,
+    node: NodeId,
+    state: AgentState,
+    station: ServiceStation,
+}
+
+/// What arrived at a node for an agent.
+#[derive(Debug)]
+enum Incoming {
+    /// A message from another agent.
+    Message { from: AgentId, payload: Payload },
+    /// A bounce: a message this agent sent could not be delivered.
+    Failure {
+        to: AgentId,
+        node: NodeId,
+        payload: Payload,
+    },
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Agent instantiation completed; run `on_create`.
+    Created { agent: AgentId },
+    /// A transmission reached `node`; queue it at the addressee's station.
+    Deliver {
+        to: AgentId,
+        node: NodeId,
+        incoming: Incoming,
+    },
+    /// The station finished serving the item; run the handler.
+    Process {
+        to: AgentId,
+        node: NodeId,
+        incoming: Incoming,
+    },
+    /// A migration completed; run `on_arrival`.
+    Arrive { agent: AgentId },
+    /// A timer fired.
+    TimerFired { agent: AgentId, timer: TimerId },
+}
+
+/// Passive snapshot of platform activity, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlatformStats {
+    /// Messages submitted by agents.
+    pub messages_sent: u64,
+    /// Messages whose source and destination nodes differ (the rest never
+    /// left their node — the locality extension's target metric).
+    pub messages_remote: u64,
+    /// Messages that reached their addressee's handler.
+    pub messages_delivered: u64,
+    /// Messages that bounced (addressee absent).
+    pub messages_failed: u64,
+    /// Messages dropped by network loss injection.
+    pub messages_lost: u64,
+    /// Messages duplicated by network fault injection.
+    pub messages_duplicated: u64,
+    /// Failure notices that could not even be bounced (sender gone too).
+    pub failures_dropped: u64,
+    /// Migrations started.
+    pub migrations: u64,
+    /// Agents created (including spawns).
+    pub agents_created: u64,
+    /// Agents disposed.
+    pub agents_disposed: u64,
+    /// Handler invocations of any kind.
+    pub handler_invocations: u64,
+    /// Actions ignored because they were invalid in context (for example a
+    /// second `dispatch` in one handler).
+    pub ignored_actions: u64,
+}
+
+/// A message-level trace event, passed to the tracer installed with
+/// [`SimPlatform::set_tracer`].
+#[derive(Debug)]
+pub struct TraceEvent<'a> {
+    /// When it happened.
+    pub now: SimTime,
+    /// Sending agent.
+    pub from: AgentId,
+    /// Addressed agent.
+    pub to: AgentId,
+    /// Node the message was addressed to.
+    pub node: NodeId,
+    /// The payload.
+    pub payload: &'a Payload,
+    /// `true` if the handler ran; `false` if the message bounced.
+    pub delivered: bool,
+}
+
+/// A boxed message tracer, installed with [`SimPlatform::set_tracer`].
+pub type Tracer = Box<dyn FnMut(TraceEvent<'_>)>;
+
+/// The deterministic mobile-agent platform.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_platform::{Agent, AgentCtx, AgentId, Payload, PlatformConfig, SimPlatform};
+/// use agentrack_sim::{DurationDist, NodeId, SimDuration, Topology};
+///
+/// struct Echo;
+/// impl Agent for Echo {
+///     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+///         let here = ctx.node();
+///         ctx.send(from, here, payload.clone()); // assume sender is local
+///     }
+/// }
+///
+/// let topo = Topology::lan(2, DurationDist::Constant(SimDuration::from_micros(200)));
+/// let mut platform = SimPlatform::new(topo, PlatformConfig::default());
+/// let echo = platform.spawn(Box::new(Echo), NodeId::new(0));
+/// platform.run_until_idle();
+/// assert!(platform.is_active(echo));
+/// ```
+pub struct SimPlatform {
+    config: PlatformConfig,
+    topology: Topology,
+    sched: Scheduler<Event>,
+    rng: SimRng,
+    agents: HashMap<AgentId, AgentSlot>,
+    next_agent_id: u64,
+    next_timer_id: u64,
+    stats: PlatformStats,
+    tracer: Option<Tracer>,
+}
+
+impl SimPlatform {
+    /// Creates a platform over the given topology.
+    #[must_use]
+    pub fn new(topology: Topology, config: PlatformConfig) -> Self {
+        let rng = SimRng::seed_from(config.rng_seed);
+        SimPlatform {
+            config,
+            topology,
+            sched: Scheduler::new(),
+            rng,
+            agents: HashMap::new(),
+            next_agent_id: 0,
+            next_timer_id: 0,
+            stats: PlatformStats::default(),
+            tracer: None,
+        }
+    }
+
+    /// Installs a message tracer, called for every delivered or bounced
+    /// message. Diagnostic tool; `None` by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The network topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cost-model configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Activity counters so far.
+    #[must_use]
+    pub fn stats(&self) -> PlatformStats {
+        self.stats
+    }
+
+    /// The node an agent currently occupies (destination node while in
+    /// transit), or `None` if it does not exist or was disposed.
+    #[must_use]
+    pub fn agent_node(&self, id: AgentId) -> Option<NodeId> {
+        self.agents.get(&id).map(|slot| match slot.state {
+            AgentState::InTransit { to } => to,
+            _ => slot.node,
+        })
+    }
+
+    /// `true` if the agent exists and is active at a node.
+    #[must_use]
+    pub fn is_active(&self, id: AgentId) -> bool {
+        self.agents
+            .get(&id)
+            .is_some_and(|slot| slot.state == AgentState::Active)
+    }
+
+    /// Number of live (not disposed) agents.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The id the next created agent will receive. Ids are assigned
+    /// sequentially, so bootstrap code can name a whole cast of agents
+    /// before spawning any of them (and assert the assignment held).
+    #[must_use]
+    pub fn next_agent_id(&self) -> u64 {
+        self.next_agent_id
+    }
+
+    /// Creates an agent from outside the simulation (bootstrap); its
+    /// `on_create` runs after the platform's creation overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the topology.
+    pub fn spawn(&mut self, behavior: Box<dyn Agent>, node: NodeId) -> AgentId {
+        self.spawn_after(behavior, node, SimDuration::ZERO)
+    }
+
+    /// Like [`SimPlatform::spawn`], but the agent comes to life `delay`
+    /// after now (plus the creation overhead). Lets a scenario stagger a
+    /// population instead of materialising it in one instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the topology.
+    pub fn spawn_after(
+        &mut self,
+        behavior: Box<dyn Agent>,
+        node: NodeId,
+        delay: SimDuration,
+    ) -> AgentId {
+        assert!(self.topology.contains(node), "spawn at unknown node");
+        let id = AgentId::new(self.next_agent_id);
+        self.next_agent_id += 1;
+        self.insert_creating(id, node, behavior, delay);
+        id
+    }
+
+    /// Crashes an agent: removes it instantly, *without* running
+    /// `on_dispose` (fault injection — a real crash says no goodbyes).
+    /// Returns `true` if the agent existed.
+    pub fn kill(&mut self, id: AgentId) -> bool {
+        self.agents.remove(&id).is_some()
+    }
+
+    /// Processes the next event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some((_, event)) => {
+                self.handle(event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs every event up to and including time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.sched.peek_time().is_some_and(|pt| pt <= t) {
+            self.step();
+        }
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain; returns the number processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`PlatformConfig::max_events`] events fire —
+    /// the signature of a livelocked protocol.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut processed = 0u64;
+        while self.step() {
+            processed += 1;
+            assert!(
+                processed <= self.config.max_events,
+                "simulation exceeded {} events; livelock?",
+                self.config.max_events
+            );
+        }
+        processed
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Created { agent } => {
+                if let Some(slot) = self.agents.get_mut(&agent) {
+                    slot.state = AgentState::Active;
+                    self.invoke(agent, |a, ctx| a.on_create(ctx));
+                }
+            }
+            Event::Deliver { to, node, incoming } => {
+                // A message racing the addressee's own creation defers
+                // until `on_create` has run (the live runtime's channel
+                // FIFO gives the same outcome for free).
+                if self
+                    .agents
+                    .get(&to)
+                    .is_some_and(|s| s.state == AgentState::Creating && s.node == node)
+                {
+                    self.sched.schedule_after(
+                        SimDuration::from_millis(1),
+                        Event::Deliver { to, node, incoming },
+                    );
+                    return;
+                }
+                if self.is_present(to, node) {
+                    let service = {
+                        let service = self.rng.sample(&self.config.handler_service_time);
+                        let slot = self.agents.get_mut(&to).expect("checked present");
+                        slot.station.admit(self.sched.now(), service)
+                    };
+                    let delay = service.saturating_since(self.sched.now());
+                    self.sched
+                        .schedule_after(delay, Event::Process { to, node, incoming });
+                } else {
+                    self.bounce(to, node, incoming);
+                }
+            }
+            Event::Process { to, node, incoming } => {
+                if self.is_present(to, node) {
+                    match incoming {
+                        Incoming::Message { from, payload } => {
+                            self.stats.messages_delivered += 1;
+                            if let Some(tracer) = &mut self.tracer {
+                                tracer(TraceEvent {
+                                    now: self.sched.now(),
+                                    from,
+                                    to,
+                                    node,
+                                    payload: &payload,
+                                    delivered: true,
+                                });
+                            }
+                            self.invoke(to, |a, ctx| a.on_message(ctx, from, &payload));
+                        }
+                        Incoming::Failure { to: f_to, node: f_node, payload } => {
+                            self.invoke(to, |a, ctx| {
+                                a.on_delivery_failed(ctx, f_to, f_node, &payload);
+                            });
+                        }
+                    }
+                } else {
+                    // The agent moved away between queueing and service.
+                    self.bounce(to, node, incoming);
+                }
+            }
+            Event::Arrive { agent } => {
+                if let Some(slot) = self.agents.get_mut(&agent) {
+                    if let AgentState::InTransit { to } = slot.state {
+                        slot.node = to;
+                        slot.state = AgentState::Active;
+                        self.invoke(agent, |a, ctx| a.on_arrival(ctx));
+                    }
+                }
+            }
+            Event::TimerFired { agent, timer } => match self.agents.get(&agent) {
+                Some(slot) if slot.state == AgentState::Active => {
+                    self.invoke(agent, |a, ctx| a.on_timer(ctx, timer));
+                }
+                Some(_) => {
+                    // Creating or in transit: retry shortly after.
+                    self.sched.schedule_after(
+                        SimDuration::from_millis(1),
+                        Event::TimerFired { agent, timer },
+                    );
+                }
+                None => {} // disposed: drop silently
+            },
+        }
+    }
+
+    fn is_present(&self, id: AgentId, node: NodeId) -> bool {
+        self.agents
+            .get(&id)
+            .is_some_and(|slot| slot.state == AgentState::Active && slot.node == node)
+    }
+
+    /// Sends a delivery-failure notice back to the originator of a failed
+    /// message (failure notices themselves are never bounced).
+    fn bounce(&mut self, to: AgentId, node: NodeId, incoming: Incoming) {
+        self.stats.messages_failed += 1;
+        let Incoming::Message { from, payload } = incoming else {
+            self.stats.failures_dropped += 1;
+            return;
+        };
+        if let Some(tracer) = &mut self.tracer {
+            tracer(TraceEvent {
+                now: self.sched.now(),
+                from,
+                to,
+                node,
+                payload: &payload,
+                delivered: false,
+            });
+        }
+        // Find the sender wherever it currently is; if it is gone or in
+        // transit the notice is dropped (it would bounce forever).
+        let Some(sender) = self.agents.get(&from) else {
+            self.stats.failures_dropped += 1;
+            return;
+        };
+        if sender.state != AgentState::Active {
+            self.stats.failures_dropped += 1;
+            return;
+        }
+        let sender_node = sender.node;
+        let latency = self.topology.latency(node, sender_node, &mut self.rng);
+        self.sched.schedule_after(
+            latency,
+            Event::Deliver {
+                to: from,
+                node: sender_node,
+                incoming: Incoming::Failure { to, node, payload },
+            },
+        );
+    }
+
+    /// Runs one handler with a fresh action buffer, then applies the
+    /// requested effects.
+    fn invoke<F>(&mut self, id: AgentId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
+    {
+        let Some(slot) = self.agents.get_mut(&id) else {
+            return;
+        };
+        let mut behavior = slot.behavior.take().expect("re-entrant handler invocation");
+        let node = slot.node;
+        let mut actions = Vec::new();
+        {
+            let mut ctx = AgentCtx {
+                now: self.sched.now(),
+                self_id: id,
+                node,
+                rng: &mut self.rng,
+                actions: &mut actions,
+                next_agent_id: &mut self.next_agent_id,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(behavior.as_mut(), &mut ctx);
+        }
+        self.stats.handler_invocations += 1;
+        if let Some(slot) = self.agents.get_mut(&id) {
+            slot.behavior = Some(behavior);
+        }
+        self.apply_actions(id, node, actions);
+    }
+
+    /// Applies a handler's requested effects in order.
+    ///
+    /// Structural actions follow a first-wins rule, identical on both
+    /// runtimes: once the agent has dispatched, a later `dispose` in the
+    /// same handler is ignored (the behaviour already departed); once it
+    /// has disposed, every later action is ignored (the agent no longer
+    /// exists). `on_dispose` runs exactly once, and only its *sends*
+    /// (farewells) take effect — structural requests from a destructor
+    /// would otherwise recurse.
+    fn apply_actions(&mut self, id: AgentId, origin: NodeId, actions: Vec<Action>) {
+        let mut dispatched = false;
+        for action in actions {
+            match action {
+                Action::Send { to, node, payload } => {
+                    self.transmit(id, origin, to, node, payload);
+                }
+                Action::Dispatch { to } => {
+                    self.start_migration(id, origin, to);
+                    dispatched = true;
+                }
+                Action::SetTimer { timer, delay } => {
+                    self.sched
+                        .schedule_after(delay, Event::TimerFired { agent: id, timer });
+                }
+                Action::Create {
+                    id: new_id,
+                    node,
+                    behavior,
+                } => {
+                    if self.topology.contains(node) {
+                        let hop = if node == origin {
+                            SimDuration::ZERO
+                        } else {
+                            self.topology.latency(origin, node, &mut self.rng)
+                        };
+                        self.insert_creating(new_id, node, behavior, hop);
+                    } else {
+                        self.stats.ignored_actions += 1;
+                    }
+                }
+                Action::Dispose => {
+                    if dispatched {
+                        // The behaviour already left for another node.
+                        self.stats.ignored_actions += 1;
+                        continue;
+                    }
+                    let Some(mut slot) = self.agents.remove(&id) else {
+                        continue;
+                    };
+                    if let Some(mut behavior) = slot.behavior.take() {
+                        let mut farewell = Vec::new();
+                        {
+                            let mut ctx = AgentCtx {
+                                now: self.sched.now(),
+                                self_id: id,
+                                node: origin,
+                                rng: &mut self.rng,
+                                actions: &mut farewell,
+                                next_agent_id: &mut self.next_agent_id,
+                                next_timer_id: &mut self.next_timer_id,
+                            };
+                            behavior.on_dispose(&mut ctx);
+                        }
+                        self.stats.handler_invocations += 1;
+                        for action in farewell {
+                            if let Action::Send { to, node, payload } = action {
+                                self.transmit(id, origin, to, node, payload);
+                            } else {
+                                self.stats.ignored_actions += 1;
+                            }
+                        }
+                    }
+                    self.stats.agents_disposed += 1;
+                    // The agent is gone; ignore whatever the handler
+                    // requested after disposing.
+                    break;
+                }
+            }
+        }
+    }
+
+    fn transmit(
+        &mut self,
+        from: AgentId,
+        origin: NodeId,
+        to: AgentId,
+        node: NodeId,
+        payload: Payload,
+    ) {
+        if !self.topology.contains(node) {
+            self.stats.ignored_actions += 1;
+            return;
+        }
+        self.stats.messages_sent += 1;
+        if origin != node {
+            self.stats.messages_remote += 1;
+        }
+        match self.topology.transmit(origin, node, &mut self.rng) {
+            Delivery::Deliver(latency) => {
+                self.sched.schedule_after(
+                    latency,
+                    Event::Deliver {
+                        to,
+                        node,
+                        incoming: Incoming::Message { from, payload },
+                    },
+                );
+            }
+            Delivery::Duplicate(first, second) => {
+                self.stats.messages_duplicated += 1;
+                for latency in [first, second] {
+                    self.sched.schedule_after(
+                        latency,
+                        Event::Deliver {
+                            to,
+                            node,
+                            incoming: Incoming::Message {
+                                from,
+                                payload: payload.clone(),
+                            },
+                        },
+                    );
+                }
+            }
+            Delivery::Lost => {
+                self.stats.messages_lost += 1;
+            }
+        }
+    }
+
+    fn start_migration(&mut self, id: AgentId, origin: NodeId, to: NodeId) {
+        if !self.topology.contains(to) {
+            self.stats.ignored_actions += 1;
+            return;
+        }
+        let Some(slot) = self.agents.get(&id) else {
+            return;
+        };
+        if slot.state != AgentState::Active {
+            self.stats.ignored_actions += 1;
+            return;
+        }
+        let state_size = slot.behavior.as_ref().map_or(512, |b| b.state_size());
+        let network = if to == origin {
+            SimDuration::ZERO
+        } else {
+            self.topology.latency(origin, to, &mut self.rng)
+        };
+        let total = self.config.migration_overhead + network + self.config.transfer_time(state_size);
+        if let Some(slot) = self.agents.get_mut(&id) {
+            slot.state = AgentState::InTransit { to };
+        }
+        self.stats.migrations += 1;
+        self.sched.schedule_after(total, Event::Arrive { agent: id });
+    }
+
+    fn insert_creating(
+        &mut self,
+        id: AgentId,
+        node: NodeId,
+        behavior: Box<dyn Agent>,
+        extra_delay: SimDuration,
+    ) {
+        self.agents.insert(
+            id,
+            AgentSlot {
+                behavior: Some(behavior),
+                node,
+                state: AgentState::Creating,
+                station: ServiceStation::new(),
+            },
+        );
+        self.stats.agents_created += 1;
+        self.sched.schedule_after(
+            self.config.creation_overhead + extra_delay,
+            Event::Created { agent: id },
+        );
+    }
+}
+
+impl fmt::Debug for SimPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimPlatform")
+            .field("now", &self.now())
+            .field("agents", &self.agents.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

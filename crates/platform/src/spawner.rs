@@ -1,0 +1,88 @@
+//! The [`Spawner`] abstraction: what a subsystem needs in order to deploy
+//! a cast of agents onto *either* runtime.
+//!
+//! The location schemes bootstrap themselves through this trait, so the
+//! same scheme runs under the deterministic simulator (for experiments)
+//! and under the live threaded runtime (for real).
+
+use agentrack_sim::NodeId;
+
+use crate::agent::Agent;
+use crate::id::AgentId;
+use crate::live::LivePlatform;
+use crate::runtime::SimPlatform;
+
+/// A runtime that can host agents.
+pub trait Spawner {
+    /// Number of nodes agents can be placed on.
+    fn node_count(&self) -> u32;
+
+    /// The id the next spawned agent will receive. Ids are sequential, so
+    /// bootstrap code can name a whole cast before spawning it.
+    fn next_agent_id(&self) -> u64;
+
+    /// Creates an agent at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn spawn_agent(&mut self, behavior: Box<dyn Agent>, node: NodeId) -> AgentId;
+}
+
+impl Spawner for SimPlatform {
+    fn node_count(&self) -> u32 {
+        self.topology().node_count()
+    }
+
+    fn next_agent_id(&self) -> u64 {
+        SimPlatform::next_agent_id(self)
+    }
+
+    fn spawn_agent(&mut self, behavior: Box<dyn Agent>, node: NodeId) -> AgentId {
+        self.spawn(behavior, node)
+    }
+}
+
+impl Spawner for LivePlatform {
+    fn node_count(&self) -> u32 {
+        LivePlatform::node_count(self)
+    }
+
+    fn next_agent_id(&self) -> u64 {
+        LivePlatform::peek_next_agent_id(self)
+    }
+
+    fn spawn_agent(&mut self, behavior: Box<dyn Agent>, node: NodeId) -> AgentId {
+        LivePlatform::spawn(self, behavior, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlatformConfig;
+    use agentrack_sim::{DurationDist, SimDuration, Topology};
+
+    struct Noop;
+    impl Agent for Noop {}
+
+    #[test]
+    fn sim_platform_spawner_contract() {
+        let topo = Topology::lan(3, DurationDist::Constant(SimDuration::from_micros(100)));
+        let mut p = SimPlatform::new(topo, PlatformConfig::default());
+        assert_eq!(Spawner::node_count(&p), 3);
+        let expected = Spawner::next_agent_id(&p);
+        let id = p.spawn_agent(Box::new(Noop), NodeId::new(1));
+        assert_eq!(id.raw(), expected);
+    }
+
+    #[test]
+    fn live_platform_spawner_contract() {
+        let mut p = LivePlatform::new(2);
+        assert_eq!(Spawner::node_count(&p), 2);
+        let expected = Spawner::next_agent_id(&p);
+        let id = p.spawn_agent(Box::new(Noop), NodeId::new(0));
+        assert_eq!(id.raw(), expected);
+        p.shutdown();
+    }
+}

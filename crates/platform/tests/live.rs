@@ -1,0 +1,280 @@
+//! Tests of the live (threaded) runtime: the same behaviours, real
+//! threads. Timing assertions are deliberately loose — wall clocks are not
+//! simulation clocks.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use agentrack_platform::{
+    Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId,
+};
+use agentrack_sim::SimDuration;
+
+type Log = Arc<Mutex<Vec<String>>>;
+
+struct Echo {
+    log: Log,
+}
+
+impl Agent for Echo {
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let text: String = payload.decode().unwrap();
+        self.log.lock().unwrap().push(format!("echo got {text}"));
+        // Reply wherever the sender is believed to be (node 0 for tests).
+        ctx.send(from, NodeId::new(0), Payload::encode(&format!("re: {text}")));
+    }
+}
+
+/// Waits (bounded) until `cond` is true.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    for _ in 0..200 {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn messages_cross_threads_and_are_answered() {
+    struct Asker {
+        echo: AgentId,
+        answers: Log,
+    }
+    impl Agent for Asker {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.send(self.echo, NodeId::new(1), Payload::encode(&"ping"));
+        }
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            self.answers
+                .lock()
+                .unwrap()
+                .push(payload.decode().unwrap());
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let log: Log = Arc::default();
+    let echo = platform.spawn(Box::new(Echo { log: log.clone() }), NodeId::new(1));
+    let answers: Log = Arc::default();
+    platform.spawn(
+        Box::new(Asker {
+            echo,
+            answers: answers.clone(),
+        }),
+        NodeId::new(0),
+    );
+
+    assert!(eventually(|| answers.lock().unwrap().len() == 1));
+    assert_eq!(answers.lock().unwrap()[0], "re: ping");
+    let stats = platform.shutdown();
+    assert_eq!(stats.messages_delivered, 2);
+    assert_eq!(stats.messages_failed, 0);
+}
+
+#[test]
+fn migration_moves_the_behaviour_between_threads() {
+    struct Tourist {
+        route: Vec<NodeId>,
+        visited: Log,
+    }
+    impl Agent for Tourist {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            let next = self.route.remove(0);
+            ctx.dispatch(next);
+        }
+        fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.visited
+                .lock()
+                .unwrap()
+                .push(ctx.node().to_string());
+            if !self.route.is_empty() {
+                let next = self.route.remove(0);
+                ctx.dispatch(next);
+            }
+        }
+    }
+
+    let platform = LivePlatform::new(4);
+    let visited: Log = Arc::default();
+    let tourist = platform.spawn(
+        Box::new(Tourist {
+            route: vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            visited: visited.clone(),
+        }),
+        NodeId::new(0),
+    );
+
+    assert!(eventually(|| visited.lock().unwrap().len() == 3));
+    assert_eq!(
+        visited.lock().unwrap().as_slice(),
+        ["node1", "node2", "node3"]
+    );
+    assert_eq!(platform.agent_node(tourist), Some(NodeId::new(3)));
+    let stats = platform.shutdown();
+    assert_eq!(stats.migrations, 3);
+}
+
+#[test]
+fn timers_follow_a_migrating_agent() {
+    struct MoveThenTick {
+        ticked_at: Arc<Mutex<Option<NodeId>>>,
+    }
+    impl Agent for MoveThenTick {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            // Set a timer, then immediately leave: the timer must chase us.
+            ctx.set_timer(SimDuration::from_millis(50));
+            ctx.dispatch(NodeId::new(1));
+        }
+        fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+            *self.ticked_at.lock().unwrap() = Some(ctx.node());
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let ticked_at = Arc::new(Mutex::new(None));
+    platform.spawn(
+        Box::new(MoveThenTick {
+            ticked_at: ticked_at.clone(),
+        }),
+        NodeId::new(0),
+    );
+    assert!(eventually(|| ticked_at.lock().unwrap().is_some()));
+    assert_eq!(*ticked_at.lock().unwrap(), Some(NodeId::new(1)));
+    platform.shutdown();
+}
+
+#[test]
+fn wrong_address_bounces_to_the_sender() {
+    struct Hopeful {
+        failures: Log,
+    }
+    impl Agent for Hopeful {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.send(
+                AgentId::new(424_242),
+                NodeId::new(1),
+                Payload::encode(&"anyone?"),
+            );
+        }
+        fn on_delivery_failed(
+            &mut self,
+            _ctx: &mut AgentCtx<'_>,
+            to: AgentId,
+            node: NodeId,
+            _payload: &Payload,
+        ) {
+            self.failures
+                .lock()
+                .unwrap()
+                .push(format!("{to} not at {node}"));
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let failures: Log = Arc::default();
+    platform.spawn(
+        Box::new(Hopeful {
+            failures: failures.clone(),
+        }),
+        NodeId::new(0),
+    );
+    assert!(eventually(|| failures.lock().unwrap().len() == 1));
+    assert_eq!(
+        failures.lock().unwrap()[0],
+        "agent424242 not at node1"
+    );
+    platform.shutdown();
+}
+
+#[test]
+fn dispose_runs_farewells_and_removes_the_agent() {
+    struct Mayfly {
+        farewell_to: AgentId,
+    }
+    impl Agent for Mayfly {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.dispose();
+        }
+        fn on_dispose(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.send(
+                self.farewell_to,
+                NodeId::new(0),
+                Payload::encode(&"goodbye"),
+            );
+        }
+    }
+    struct Mourner {
+        heard: Log,
+    }
+    impl Agent for Mourner {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            self.heard.lock().unwrap().push(payload.decode().unwrap());
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let heard: Log = Arc::default();
+    let mourner = platform.spawn(Box::new(Mourner { heard: heard.clone() }), NodeId::new(0));
+    let mayfly = platform.spawn(Box::new(Mayfly { farewell_to: mourner }), NodeId::new(1));
+
+    assert!(eventually(|| heard.lock().unwrap().len() == 1));
+    assert!(eventually(|| platform.agent_node(mayfly).is_none()));
+    let stats = platform.shutdown();
+    assert_eq!(stats.agents_disposed, 1);
+}
+
+#[test]
+fn remote_creation_from_a_handler() {
+    struct Parent {
+        born: Log,
+    }
+    struct Child {
+        report_to: (AgentId, NodeId),
+    }
+    impl Agent for Parent {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            ctx.create_agent(
+                Box::new(Child {
+                    report_to: (me, here),
+                }),
+                NodeId::new(1),
+            );
+        }
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            self.born.lock().unwrap().push(payload.decode().unwrap());
+        }
+    }
+    impl Agent for Child {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            assert_eq!(ctx.node(), NodeId::new(1));
+            ctx.send(
+                self.report_to.0,
+                self.report_to.1,
+                Payload::encode(&"born on node1"),
+            );
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let born: Log = Arc::default();
+    platform.spawn(Box::new(Parent { born: born.clone() }), NodeId::new(0));
+    assert!(eventually(|| born.lock().unwrap().len() == 1));
+    assert_eq!(platform.agent_count(), 2);
+    platform.shutdown();
+}
+
+#[test]
+fn post_injects_external_messages() {
+    let platform = LivePlatform::new(2);
+    let log: Log = Arc::default();
+    let echo = platform.spawn(Box::new(Echo { log: log.clone() }), NodeId::new(1));
+    assert!(eventually(|| platform.agent_node(echo).is_some()));
+    assert!(platform.post(echo, Payload::encode(&"external")));
+    assert!(eventually(|| log.lock().unwrap().len() == 1));
+    assert!(!platform.post(AgentId::new(999_999), Payload::encode(&"void")));
+    platform.shutdown();
+}

@@ -1,0 +1,346 @@
+//! Measurement primitives: counters, duration histograms, and windowed
+//! rate estimators.
+//!
+//! The rate estimator is load-bearing for the mechanism itself, not just
+//! for reporting: each IAgent "maintain[s] running statistics of the
+//! requests received" and compares the observed message *rate* against the
+//! `T_max` / `T_min` thresholds to decide when to split or merge.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A histogram of durations that keeps every sample, supporting exact
+/// means and percentiles.
+///
+/// Experiments record a few thousand location times, so exact storage is
+/// cheap and avoids bucketing artefacts in the reproduced figures.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for ms in [1u64, 2, 3, 4] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.mean(), SimDuration::from_micros(2500));
+/// assert_eq!(h.percentile(50.0), SimDuration::from_millis(2));
+/// assert_eq!(h.max(), SimDuration::from_millis(4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|d| u128::from(d.as_nanos())).sum();
+        SimDuration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+
+    /// The `p`-th percentile (nearest-rank), or zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1)]
+    }
+
+    /// Smallest sample, or zero when empty.
+    #[must_use]
+    pub fn min(&self) -> SimDuration {
+        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Largest sample, or zero when empty.
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// All samples, in recording order is not guaranteed (percentile
+    /// queries may sort in place).
+    #[must_use]
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+}
+
+impl Extend<SimDuration> for Histogram {
+    fn extend<T: IntoIterator<Item = SimDuration>>(&mut self, iter: T) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histogram(n={}, mean={})", self.len(), self.mean())
+    }
+}
+
+/// Sliding-window message-rate estimator: the "running statistics of the
+/// requests received" each IAgent maintains (paper §4).
+///
+/// The window is divided into fixed buckets so memory stays bounded no
+/// matter how hot an IAgent gets; the rate is the bucket total divided by
+/// the covered span.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{SimDuration, SimTime, WindowedRate};
+///
+/// let mut rate = WindowedRate::new(SimDuration::from_secs(1), 10);
+/// let mut t = SimTime::ZERO;
+/// // 100 events over one second → ~100 msg/s.
+/// for _ in 0..100 {
+///     rate.record(t);
+///     t += SimDuration::from_millis(10);
+/// }
+/// let estimate = rate.rate_per_sec(t);
+/// assert!((90.0..=110.0).contains(&estimate), "{estimate}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedRate {
+    bucket_width: SimDuration,
+    bucket_count: usize,
+    /// (bucket start, events in bucket); oldest first.
+    buckets: VecDeque<(SimTime, u64)>,
+    total_events: u64,
+}
+
+impl WindowedRate {
+    /// Creates an estimator over `window`, divided into `buckets` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `buckets == 0`.
+    #[must_use]
+    pub fn new(window: SimDuration, buckets: usize) -> Self {
+        assert!(!window.is_zero() && buckets > 0, "degenerate rate window");
+        assert!(
+            window.as_nanos() >= buckets as u64,
+            "window too small for the bucket count (bucket width would be zero)"
+        );
+        WindowedRate {
+            bucket_width: window / buckets as u64,
+            bucket_count: buckets,
+            buckets: VecDeque::with_capacity(buckets + 1),
+            total_events: 0,
+        }
+    }
+
+    fn bucket_start(&self, at: SimTime) -> SimTime {
+        let w = self.bucket_width.as_nanos();
+        SimTime::from_nanos(at.as_nanos() / w * w)
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let window = self.bucket_width * self.bucket_count as u64;
+        while let Some(&(start, _)) = self.buckets.front() {
+            // A bucket covers [start, start + width); drop it once it lies
+            // entirely before the window [now - window, now].
+            if now.saturating_since(start + self.bucket_width) >= window {
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Records one message at `at`. Timestamps must be non-decreasing.
+    pub fn record(&mut self, at: SimTime) {
+        let start = self.bucket_start(at);
+        match self.buckets.back_mut() {
+            Some((s, count)) if *s == start => *count += 1,
+            _ => self.buckets.push_back((start, 1)),
+        }
+        self.total_events += 1;
+        self.evict(at);
+    }
+
+    /// Estimated message rate per second over the window ending at `now`.
+    #[must_use]
+    pub fn rate_per_sec(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
+        let events: u64 = self.buckets.iter().map(|&(_, c)| c).sum();
+        let window = self.bucket_width * self.bucket_count as u64;
+        if window.is_zero() {
+            return 0.0;
+        }
+        events as f64 / window.as_secs_f64()
+    }
+
+    /// Total events ever recorded.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        h.extend((1..=100).map(SimDuration::from_millis));
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.mean(), SimDuration::from_micros(50_500));
+        assert_eq!(h.percentile(50.0), SimDuration::from_millis(50));
+        assert_eq!(h.percentile(99.0), SimDuration::from_millis(99));
+        assert_eq!(h.percentile(100.0), SimDuration::from_millis(100));
+        assert_eq!(h.min(), SimDuration::from_millis(1));
+        assert_eq!(h.max(), SimDuration::from_millis(100));
+        assert!(h.to_string().contains("n=100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_checks_range() {
+        let mut h = Histogram::new();
+        let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn rate_tracks_steady_stream() {
+        let mut r = WindowedRate::new(SimDuration::from_secs(1), 10);
+        let mut t = SimTime::ZERO;
+        for _ in 0..500 {
+            r.record(t);
+            t += SimDuration::from_millis(2); // 500 msg/s
+        }
+        let est = r.rate_per_sec(t);
+        assert!((450.0..=550.0).contains(&est), "rate estimate {est}");
+        assert_eq!(r.total_events(), 500);
+    }
+
+    #[test]
+    fn rate_decays_after_the_stream_stops() {
+        let mut r = WindowedRate::new(SimDuration::from_secs(1), 10);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            r.record(t);
+            t += SimDuration::from_millis(10);
+        }
+        assert!(r.rate_per_sec(t) > 50.0);
+        // Ten seconds of silence: the window has rolled past every event.
+        let later = t + SimDuration::from_secs(10);
+        assert_eq!(r.rate_per_sec(later), 0.0);
+    }
+
+    #[test]
+    fn rate_of_a_burst_is_averaged_over_the_window() {
+        let mut r = WindowedRate::new(SimDuration::from_secs(1), 10);
+        let t = SimTime::ZERO + SimDuration::from_secs(5);
+        for _ in 0..300 {
+            r.record(t);
+        }
+        // 300 events in one instant over a 1 s window.
+        let est = r.rate_per_sec(t);
+        assert!((250.0..=350.0).contains(&est), "burst estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_window_panics() {
+        let _ = WindowedRate::new(SimDuration::ZERO, 4);
+    }
+}

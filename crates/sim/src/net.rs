@@ -1,0 +1,315 @@
+//! The network model: nodes, link latencies, and failure injection.
+//!
+//! The paper ran on "a LAN network using Sun Blade running Solaris 2.8".
+//! We model that as a full mesh of nodes with a configurable latency
+//! distribution per remote hop, a near-zero latency for node-local
+//! delivery, and optional message loss/duplication knobs used by the
+//! failure-injection tests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{DurationDist, SimRng};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a network node (an agent server in the platform).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The numeric value.
+    #[must_use]
+    pub const fn raw(&self) -> u32 {
+        self.0
+    }
+
+    /// Index form, for direct table addressing.
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// What happened to a message offered to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver once, arriving after the given latency.
+    Deliver(SimDuration),
+    /// Deliver twice (duplicated in flight).
+    Duplicate(SimDuration, SimDuration),
+    /// Lost in flight; never arrives.
+    Lost,
+}
+
+/// A LAN topology: `n` nodes, full mesh, configurable latency and failure
+/// injection.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{DurationDist, SimDuration, NodeId, SimRng, Topology};
+///
+/// let topo = Topology::lan(4, DurationDist::Constant(SimDuration::from_micros(500)));
+/// let mut rng = SimRng::seed_from(1);
+/// let latency = topo.latency(NodeId::new(0), NodeId::new(3), &mut rng);
+/// assert_eq!(latency, SimDuration::from_micros(500));
+/// assert!(topo.latency(NodeId::new(2), NodeId::new(2), &mut rng) < latency);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    node_count: u32,
+    /// One-way latency between distinct nodes.
+    remote_latency: DurationDist,
+    /// Latency for messages that never leave the node (loopback / in-VM).
+    local_latency: DurationDist,
+    /// Probability a remote message is lost.
+    loss_probability: f64,
+    /// Probability a remote message is duplicated.
+    duplicate_probability: f64,
+}
+
+impl Topology {
+    /// A healthy LAN: given remote latency, 10 µs local latency, no loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    #[must_use]
+    pub fn lan(node_count: u32, remote_latency: DurationDist) -> Self {
+        assert!(node_count > 0, "topology needs at least one node");
+        Topology {
+            node_count,
+            remote_latency,
+            local_latency: DurationDist::Constant(SimDuration::from_micros(10)),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// Sets the local-delivery latency.
+    #[must_use]
+    pub fn with_local_latency(mut self, local: DurationDist) -> Self {
+        self.local_latency = local;
+        self
+    }
+
+    /// Enables message loss with the given probability (failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.loss_probability = p;
+        self
+    }
+
+    /// Enables message duplication with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count).map(NodeId::new)
+    }
+
+    /// Returns `true` if the node id belongs to this topology.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.node_count
+    }
+
+    /// Samples the one-way latency from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the topology.
+    #[must_use]
+    pub fn latency(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> SimDuration {
+        assert!(self.contains(src) && self.contains(dst), "unknown node");
+        if src == dst {
+            rng.sample(&self.local_latency)
+        } else {
+            rng.sample(&self.remote_latency)
+        }
+    }
+
+    /// Decides the fate of a message from `src` to `dst`: delivered (with
+    /// latency), duplicated, or lost. Local messages are never lost or
+    /// duplicated.
+    #[must_use]
+    pub fn transmit(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> Delivery {
+        if src != dst {
+            if self.loss_probability > 0.0 && rng.chance(self.loss_probability) {
+                return Delivery::Lost;
+            }
+            if self.duplicate_probability > 0.0 && rng.chance(self.duplicate_probability) {
+                return Delivery::Duplicate(
+                    self.latency(src, dst, rng),
+                    self.latency(src, dst, rng),
+                );
+            }
+        }
+        Delivery::Deliver(self.latency(src, dst, rng))
+    }
+}
+
+/// A transmission instant paired with the sampled latency; small helper for
+/// callers that want the arrival time directly.
+#[must_use]
+pub fn arrival(now: SimTime, latency: SimDuration) -> SimTime {
+    now + latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::lan(
+            8,
+            DurationDist::Constant(SimDuration::from_micros(300)),
+        )
+    }
+
+    #[test]
+    fn node_id_basics() {
+        let n = NodeId::new(3);
+        assert_eq!(n.raw(), 3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "node3");
+        assert_eq!(NodeId::from(3u32), n);
+    }
+
+    #[test]
+    fn local_is_faster_than_remote() {
+        let topo = topo();
+        let mut rng = SimRng::seed_from(1);
+        let local = topo.latency(NodeId::new(0), NodeId::new(0), &mut rng);
+        let remote = topo.latency(NodeId::new(0), NodeId::new(1), &mut rng);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn healthy_lan_always_delivers() {
+        let topo = topo();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..1000 {
+            match topo.transmit(NodeId::new(0), NodeId::new(5), &mut rng) {
+                Delivery::Deliver(lat) => {
+                    assert_eq!(lat, SimDuration::from_micros(300));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn loss_injection_drops_roughly_the_configured_fraction() {
+        let topo = topo().with_loss(0.2);
+        let mut rng = SimRng::seed_from(3);
+        let lost = (0..10_000)
+            .filter(|_| {
+                matches!(
+                    topo.transmit(NodeId::new(0), NodeId::new(1), &mut rng),
+                    Delivery::Lost
+                )
+            })
+            .count();
+        assert!((1700..2300).contains(&lost), "loss skew: {lost}");
+    }
+
+    #[test]
+    fn duplication_injection_duplicates() {
+        let topo = topo().with_duplication(0.5);
+        let mut rng = SimRng::seed_from(4);
+        let dups = (0..1000)
+            .filter(|_| {
+                matches!(
+                    topo.transmit(NodeId::new(0), NodeId::new(1), &mut rng),
+                    Delivery::Duplicate(..)
+                )
+            })
+            .count();
+        assert!((400..600).contains(&dups), "dup skew: {dups}");
+    }
+
+    #[test]
+    fn local_messages_are_never_lost() {
+        let topo = topo().with_loss(1.0);
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..100 {
+            assert!(matches!(
+                topo.transmit(NodeId::new(2), NodeId::new(2), &mut rng),
+                Delivery::Deliver(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all() {
+        let topo = topo();
+        let nodes: Vec<NodeId> = topo.nodes().collect();
+        assert_eq!(nodes.len(), 8);
+        assert!(topo.contains(NodeId::new(7)));
+        assert!(!topo.contains(NodeId::new(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn latency_checks_bounds() {
+        let topo = topo();
+        let mut rng = SimRng::seed_from(6);
+        let _ = topo.latency(NodeId::new(0), NodeId::new(99), &mut rng);
+    }
+
+    #[test]
+    fn arrival_helper() {
+        assert_eq!(
+            arrival(SimTime::from_nanos(10), SimDuration::from_nanos(5)),
+            SimTime::from_nanos(15)
+        );
+    }
+}

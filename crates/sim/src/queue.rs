@@ -1,0 +1,209 @@
+//! The event queue: a future-event list ordered by virtual time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event scheduler over events of type `E`.
+///
+/// Events scheduled for the same instant are delivered in scheduling order
+/// (FIFO tie-breaking), which keeps runs deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{Scheduler, SimDuration, SimTime};
+///
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_after(SimDuration::from_millis(2), "second");
+/// sched.schedule_after(SimDuration::from_millis(1), "first");
+/// assert_eq!(sched.pop(), Some((SimTime::from_nanos(1_000_000), "first")));
+/// assert_eq!(sched.pop(), Some((SimTime::from_nanos(2_000_000), "second")));
+/// assert_eq!(sched.pop(), None);
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within an
+        // instant, the first-scheduled) event comes out first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last event popped.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedules an event at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — the simulation cannot rewrite
+    /// history.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+        self.scheduled_total += 1;
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+impl<E> fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_nanos(30), 3);
+        s.schedule(SimTime::from_nanos(10), 1);
+        s.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_nanos(30));
+        assert_eq!(s.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            s.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_after(SimDuration::from_millis(1), "a");
+        let (t1, _) = s.pop().unwrap();
+        s.schedule_after(SimDuration::from_millis(1), "b");
+        let (t2, _) = s.pop().unwrap();
+        assert_eq!(t2 - t1, SimDuration::from_millis(1));
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_nanos(10), 1);
+        s.pop();
+        s.schedule(SimTime::from_nanos(5), 2);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(SimTime::from_nanos(10), 1);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(s.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,348 @@
+//! Deterministic randomness: seeded RNG and the distributions the
+//! workloads and network models draw from.
+//!
+//! Every stochastic choice in a simulation flows through one [`SimRng`]
+//! seeded from the experiment configuration, so a (seed, configuration)
+//! pair fully determines the run — the property that makes experiments
+//! reproducible and failures replayable.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// The simulation's random number generator: a seeded [`StdRng`] plus the
+/// sampling helpers the simulator needs.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub struct SimRng(StdRng);
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Derives an independent child generator; used to give each component
+    /// (workload, network, …) its own stream so adding draws to one does
+    /// not perturb the others.
+    #[must_use]
+    pub fn fork(&mut self) -> Self {
+        SimRng(StdRng::seed_from_u64(self.0.gen()))
+    }
+
+    /// Next raw 64-bit value.
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[must_use]
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.0.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[must_use]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Samples a duration from a distribution.
+    #[must_use]
+    pub fn sample(&mut self, dist: &DurationDist) -> SimDuration {
+        match *dist {
+            DurationDist::Constant(d) => d,
+            DurationDist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    SimDuration::from_nanos(self.0.gen_range(lo.as_nanos()..=hi.as_nanos()))
+                }
+            }
+            DurationDist::Exponential { mean } => {
+                // Inverse CDF; clamp the uniform away from 0 to avoid inf.
+                let u = self.unit().max(1e-12);
+                mean.mul_f64(-u.ln())
+            }
+            DurationDist::Normal { mean, std_dev } => {
+                // Box–Muller transform; negative samples clamp to zero,
+                // matching how a latency can never be negative.
+                let u1 = self.unit().max(1e-12);
+                let u2 = self.unit();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let nanos = mean.as_nanos() as f64 + std_dev.as_nanos() as f64 * z;
+                SimDuration::from_nanos(nanos.max(0.0) as u64)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SimRng(..)")
+    }
+}
+
+/// A distribution over durations.
+///
+/// Workload residence times, network latencies and service times are all
+/// configured as values of this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurationDist {
+    /// Always the same value. The paper's experiments use constant
+    /// residence times ("Each TAgent stays at each node for 0.5 sec").
+    Constant(SimDuration),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: SimDuration,
+        /// Inclusive upper bound.
+        hi: SimDuration,
+    },
+    /// Exponential with the given mean (memoryless residence / inter-arrival
+    /// times).
+    Exponential {
+        /// Mean of the distribution.
+        mean: SimDuration,
+    },
+    /// Normal, truncated at zero (jittered latencies).
+    Normal {
+        /// Mean of the distribution.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+    },
+}
+
+impl DurationDist {
+    /// The distribution's mean (after truncation effects are ignored).
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            DurationDist::Constant(d) => d,
+            DurationDist::Uniform { lo, hi } => (lo + hi) / 2,
+            DurationDist::Exponential { mean } => mean,
+            DurationDist::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over `{0, 1, …, n-1}`, with rank-frequency
+/// exponent `s` (`s = 0` is uniform; larger `s` is more skewed).
+///
+/// Used by the extension experiments: the paper's workloads pick query
+/// targets uniformly, and the skew sweep shows how the mechanism's
+/// load-based splitting copes when popularity is concentrated.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{SimRng, Zipf};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let first = (0..1000).filter(|_| zipf.sample(&mut rng) == 0).count();
+/// let last = (0..1000).filter(|_| zipf.sample(&mut rng) == 99).count();
+/// assert!(first > last);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[i]` = P(X <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the sampler covers no items (never: `new` forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws an item index; index 0 is the most popular.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_but_deterministic() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..10 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        // Draws from the fork do not perturb the parent.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn constant_dist_is_constant() {
+        let mut rng = SimRng::seed_from(1);
+        let d = DurationDist::Constant(SimDuration::from_millis(5));
+        for _ in 0..10 {
+            assert_eq!(rng.sample(&d), SimDuration::from_millis(5));
+        }
+        assert_eq!(d.mean(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn uniform_dist_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(2);
+        let lo = SimDuration::from_millis(1);
+        let hi = SimDuration::from_millis(3);
+        let d = DurationDist::Uniform { lo, hi };
+        for _ in 0..1000 {
+            let s = rng.sample(&d);
+            assert!(s >= lo && s <= hi);
+        }
+        assert_eq!(d.mean(), SimDuration::from_millis(2));
+        // Degenerate range collapses to lo.
+        let deg = DurationDist::Uniform { lo: hi, hi: lo };
+        assert_eq!(rng.sample(&deg), hi);
+    }
+
+    #[test]
+    fn exponential_dist_has_the_right_mean() {
+        let mut rng = SimRng::seed_from(3);
+        let mean = SimDuration::from_millis(10);
+        let d = DurationDist::Exponential { mean };
+        let n = 20_000;
+        let total: SimDuration = (0..n).map(|_| rng.sample(&d)).sum();
+        let avg_ms = total.as_millis_f64() / n as f64;
+        assert!((9.0..11.0).contains(&avg_ms), "mean drifted: {avg_ms}");
+    }
+
+    #[test]
+    fn normal_dist_clamps_and_centers() {
+        let mut rng = SimRng::seed_from(4);
+        let d = DurationDist::Normal {
+            mean: SimDuration::from_millis(10),
+            std_dev: SimDuration::from_millis(2),
+        };
+        let n = 20_000;
+        let total: SimDuration = (0..n).map(|_| rng.sample(&d)).sum();
+        let avg_ms = total.as_millis_f64() / n as f64;
+        assert!((9.5..10.5).contains(&avg_ms), "mean drifted: {avg_ms}");
+    }
+
+    #[test]
+    fn index_and_chance() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..100 {
+            assert!(rng.index(7) < 7);
+        }
+        let heads = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2200..2800).contains(&heads), "chance skew: {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn index_zero_panics() {
+        let mut rng = SimRng::seed_from(6);
+        let _ = rng.index(0);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_is_zero() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = SimRng::seed_from(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "uniform skew: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = SimRng::seed_from(8);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[49]);
+        assert_eq!(zipf.len(), 50);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..10 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Single-server FIFO service stations.
+//!
+//! The paper's headline result — the centralized tracker's location time
+//! growing linearly with load while the hash-based mechanism stays flat —
+//! is a *queueing* effect: one agent handling every update and query
+//! saturates. A [`ServiceStation`] models exactly that: a single server
+//! that processes work items one at a time in arrival order, each item
+//! occupying the server for its service time. Admission returns the item's
+//! completion time; the gap between arrival and completion is the queueing
+//! delay plus the service time.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single-server FIFO queue with deterministic admission bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{ServiceStation, SimDuration, SimTime};
+///
+/// let mut station = ServiceStation::new();
+/// let t0 = SimTime::ZERO;
+/// let svc = SimDuration::from_millis(2);
+/// // Two items arriving together: the second waits for the first.
+/// assert_eq!(station.admit(t0, svc), t0 + svc);
+/// assert_eq!(station.admit(t0, svc), t0 + svc * 2);
+/// // After the backlog drains, service is immediate again.
+/// let later = t0 + SimDuration::from_secs(1);
+/// assert_eq!(station.admit(later, svc), later + svc);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStation {
+    /// The instant the server becomes free.
+    busy_until: SimTime,
+    /// Items admitted so far.
+    admitted: u64,
+    /// Total time items spent being served.
+    busy_time: SimDuration,
+    /// Total time items spent waiting before service.
+    waiting_time: SimDuration,
+}
+
+impl ServiceStation {
+    /// Creates an idle station.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceStation {
+            busy_until: SimTime::ZERO,
+            admitted: 0,
+            busy_time: SimDuration::ZERO,
+            waiting_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Admits a work item arriving at `now` with the given service time and
+    /// returns its completion instant.
+    pub fn admit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done;
+        self.admitted += 1;
+        self.busy_time += service;
+        self.waiting_time += start.saturating_since(now);
+        done
+    }
+
+    /// The instant the server becomes free.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Queueing delay an item arriving at `now` would currently face.
+    #[must_use]
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Number of items admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Fraction of `[0, now]` the server spent busy.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            (self.busy_time.as_secs_f64() / now.as_secs_f64()).min(1.0)
+        }
+    }
+
+    /// Mean waiting time per admitted item.
+    #[must_use]
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.admitted == 0 {
+            SimDuration::ZERO
+        } else {
+            self.waiting_time / self.admitted
+        }
+    }
+}
+
+impl Default for ServiceStation {
+    fn default() -> Self {
+        ServiceStation::new()
+    }
+}
+
+impl fmt::Display for ServiceStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "station(admitted={}, mean_wait={})",
+            self.admitted,
+            self.mean_wait()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_station_serves_immediately() {
+        let mut st = ServiceStation::new();
+        let t = SimTime::from_nanos(100);
+        let done = st.admit(t, SimDuration::from_nanos(50));
+        assert_eq!(done, SimTime::from_nanos(150));
+        assert_eq!(st.mean_wait(), SimDuration::ZERO);
+        assert_eq!(st.admitted(), 1);
+    }
+
+    #[test]
+    fn backlog_accumulates_and_drains() {
+        let mut st = ServiceStation::new();
+        let t = SimTime::ZERO;
+        let svc = SimDuration::from_millis(1);
+        for i in 1..=5u64 {
+            let done = st.admit(t, svc);
+            assert_eq!(done, t + svc * i);
+        }
+        assert_eq!(st.backlog(t), svc * 5);
+        // Wait until the queue drains.
+        let later = t + svc * 10;
+        assert_eq!(st.backlog(later), SimDuration::ZERO);
+        let done = st.admit(later, svc);
+        assert_eq!(done, later + svc);
+    }
+
+    #[test]
+    fn waiting_time_counts_only_queued_items() {
+        let mut st = ServiceStation::new();
+        let svc = SimDuration::from_millis(2);
+        st.admit(SimTime::ZERO, svc); // no wait
+        st.admit(SimTime::ZERO, svc); // waits 2ms
+        st.admit(SimTime::ZERO, svc); // waits 4ms
+        assert_eq!(st.mean_wait(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut st = ServiceStation::new();
+        st.admit(SimTime::ZERO, SimDuration::from_millis(250));
+        let now = SimTime::ZERO + SimDuration::from_millis(1000);
+        assert!((st.utilization(now) - 0.25).abs() < 1e-9);
+        assert_eq!(st.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn overload_grows_the_queue_linearly() {
+        // Arrivals every 1ms, service 2ms: the k-th item waits ~k ms.
+        let mut st = ServiceStation::new();
+        let svc = SimDuration::from_millis(2);
+        let mut last_delay = SimDuration::ZERO;
+        for k in 0..100u64 {
+            let arrive = SimTime::ZERO + SimDuration::from_millis(k);
+            let done = st.admit(arrive, svc);
+            let delay = done - arrive;
+            assert!(delay >= last_delay, "delay must grow under overload");
+            last_delay = delay;
+        }
+        assert!(last_delay >= SimDuration::from_millis(100));
+    }
+}

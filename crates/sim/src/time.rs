@@ -1,0 +1,337 @@
+//! Virtual time: instants and durations on the simulation clock.
+//!
+//! The paper's evaluation measures *location time* in milliseconds on a real
+//! LAN. Our experiments run on a deterministic virtual clock instead, with
+//! nanosecond resolution — fine enough that queueing at microsecond-scale
+//! service times is modelled faithfully, wide enough (u64 nanoseconds ≈ 584
+//! years) that no experiment can overflow it.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, measured in nanoseconds since the
+/// simulation started.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_nanos(), 5_000_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(5));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from nanoseconds since the epoch.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[must_use]
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Millis since the epoch, as a float (for reporting).
+    #[must_use]
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Duration since an earlier instant, saturating at zero if `earlier`
+    /// is actually later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({})", SimDuration(self.0))
+    }
+}
+
+/// A span of virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(1) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_nanos(), 1_500_000);
+/// assert_eq!(d * 2, SimDuration::from_millis(3));
+/// assert_eq!(d.as_millis_f64(), 1.5);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    #[must_use]
+    pub const fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float.
+    #[must_use]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds, as a float.
+    #[must_use]
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` for the zero duration.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies by a float factor, rounding to nanoseconds and saturating
+    /// at zero for negative results.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Self {
+        SimDuration((self.0 as f64 * factor).max(0.0).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when that can happen.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n == 0 {
+            f.write_str("0ns")
+        } else if n.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", n / 1_000_000_000)
+        } else if n.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", n / 1_000_000)
+        } else if n.is_multiple_of(1_000) {
+            write!(f, "{}us", n / 1_000)
+        } else {
+            write!(f, "{n}ns")
+        }
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimDuration::from_millis(1).as_millis_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        assert_eq!(t.as_nanos(), 10_000_000);
+        assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(10));
+        let mut t2 = t;
+        t2 += SimDuration::from_millis(5);
+        assert_eq!(t2.saturating_since(t), SimDuration::from_millis(5));
+        assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+        assert_eq!(t.max(t2), t2);
+
+        let d = SimDuration::from_millis(4);
+        assert_eq!(d * 2, SimDuration::from_millis(8));
+        assert_eq!(d / 2, SimDuration::from_millis(2));
+        assert_eq!(d + d - d, d);
+        let mut d2 = d;
+        d2 += d;
+        d2 -= SimDuration::from_millis(2);
+        assert_eq!(d2, SimDuration::from_millis(6));
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(10));
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn display_picks_the_natural_unit() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1500ms");
+        assert_eq!(SimDuration::from_micros(42).to_string(), "42us");
+        assert_eq!(SimDuration::from_nanos(7).to_string(), "7ns");
+        assert_eq!(SimDuration::ZERO.to_string(), "0ns");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_millis(3)).to_string(),
+            "t+3ms"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+}

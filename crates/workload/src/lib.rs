@@ -1,0 +1,45 @@
+//! # agentrack-workload
+//!
+//! Workload generation and the experiment driver for the location
+//! mechanism's evaluation.
+//!
+//! * [`TAgentBehavior`] — the tracked mobile agents of the paper's
+//!   experiments: register, roam with a configurable residence-time
+//!   distribution and mobility model, report every move.
+//! * [`QuerierBehavior`] — issues locate operations against the TAgent
+//!   population and records location times.
+//! * [`Scenario`] — a complete experiment description with the
+//!   reconstructed paper defaults; [`Scenario::run`] executes it against
+//!   any [`agentrack_core::LocationScheme`] and produces a
+//!   [`ScenarioReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use agentrack_core::{HashedScheme, LocationConfig};
+//! use agentrack_workload::Scenario;
+//!
+//! let scenario = Scenario::new("quick")
+//!     .with_agents(30)
+//!     .with_queries(40)
+//!     .with_seconds(8.0, 4.0);
+//! let mut scheme = HashedScheme::new(LocationConfig::default());
+//! let report = scenario.run(&mut scheme);
+//! assert!(report.completion_ratio() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod population;
+mod querier;
+mod scenario;
+mod tagent;
+
+pub use metrics::{Metrics, MetricsInner};
+pub use population::Population;
+pub use querier::{QuerierBehavior, Targets, TargetSelector};
+pub use scenario::{Scenario, ScenarioReport};
+pub use tagent::{Lifecycle, NodeSelector, TAgentBehavior};

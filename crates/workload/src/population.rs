@@ -1,0 +1,87 @@
+//! The live population: which TAgents currently exist.
+//!
+//! Mobile-agent systems are "highly-dynamic open systems in which the
+//! number of agents varies considerably over time as new agents are
+//! created and existing agents die" (paper §1). Under churn, queriers must
+//! target agents that are actually alive; this shared roster is how they
+//! know.
+
+use std::sync::{Arc, Mutex};
+
+use agentrack_platform::AgentId;
+use agentrack_sim::SimRng;
+
+/// Shared roster of live agents. Cheap to clone; all clones see the same
+/// roster.
+#[derive(Debug, Clone, Default)]
+pub struct Population(Arc<Mutex<Vec<AgentId>>>);
+
+impl Population {
+    /// Creates an empty roster.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an agent (idempotent).
+    pub fn add(&self, agent: AgentId) {
+        let mut v = self.0.lock().unwrap();
+        if !v.contains(&agent) {
+            v.push(agent);
+        }
+    }
+
+    /// Removes an agent.
+    pub fn remove(&self, agent: AgentId) {
+        self.0.lock().unwrap().retain(|a| *a != agent);
+    }
+
+    /// Number of live agents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// `true` when nobody is alive.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().unwrap().is_empty()
+    }
+
+    /// Picks a uniformly random live agent.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> Option<AgentId> {
+        let v = self.0.lock().unwrap();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v[rng.index(v.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_sample() {
+        let p = Population::new();
+        assert!(p.is_empty());
+        assert_eq!(p.sample(&mut SimRng::seed_from(1)), None);
+        p.add(AgentId::new(1));
+        p.add(AgentId::new(2));
+        p.add(AgentId::new(1)); // idempotent
+        assert_eq!(p.len(), 2);
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..10 {
+            let s = p.sample(&mut rng).unwrap();
+            assert!(s == AgentId::new(1) || s == AgentId::new(2));
+        }
+        p.remove(AgentId::new(1));
+        assert_eq!(p.sample(&mut rng), Some(AgentId::new(2)));
+        let clone = p.clone();
+        clone.remove(AgentId::new(2));
+        assert!(p.is_empty());
+    }
+}

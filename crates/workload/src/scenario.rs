@@ -1,0 +1,425 @@
+//! Scenario construction and execution: the experiment driver.
+//!
+//! A [`Scenario`] describes a complete experiment — topology, cost model,
+//! TAgent population and mobility, query workload — and
+//! [`Scenario::run`] executes it against any [`LocationScheme`],
+//! producing a [`ScenarioReport`] with the paper's metric (average
+//! location time) plus everything needed for the extended analyses.
+
+use agentrack_core::LocationScheme;
+use agentrack_platform::{NodeId, PlatformConfig, SimPlatform};
+use agentrack_sim::{DurationDist, SimDuration, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Metrics;
+use crate::population::Population;
+use crate::querier::{QuerierBehavior, Targets, TargetSelector};
+use crate::tagent::{Lifecycle, NodeSelector, TAgentBehavior};
+
+/// A complete experiment description.
+///
+/// Defaults reconstruct the paper's setup: a 16-node LAN, 300 µs one-way
+/// latency, 1 ms per-message handler cost (a 2003-era Java agent platform:
+/// one tracker saturates at about a thousand messages per second), constant
+/// residence times, uniform node and target selection, 2000 queries.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_core::{CentralizedScheme, LocationConfig};
+/// use agentrack_workload::Scenario;
+///
+/// let scenario = Scenario::new("smoke")
+///     .with_agents(20)
+///     .with_queries(50)
+///     .with_seconds(6.0, 3.0);
+/// let mut scheme = CentralizedScheme::new(LocationConfig::default());
+/// let report = scenario.run(&mut scheme);
+/// assert!(report.locates_completed > 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name, echoed in reports.
+    pub name: String,
+    /// Number of LAN nodes.
+    pub nodes: u32,
+    /// Master seed: one seed fully determines the run.
+    pub seed: u64,
+    /// Number of tracked mobile agents (TAgents).
+    pub agents: usize,
+    /// Residence time at each node.
+    pub residence: DurationDist,
+    /// Number of querier agents (spread round-robin over nodes).
+    pub queriers: usize,
+    /// Total locate operations across all queriers.
+    pub queries_total: u64,
+    /// Warmup before the first query: lets registration and the initial
+    /// rehash cascade settle.
+    pub warmup: SimDuration,
+    /// Measurement span after the warmup.
+    pub measure: SimDuration,
+    /// One-way remote latency distribution.
+    pub latency: DurationDist,
+    /// Per-message handler service time (the tracker capacity knob).
+    pub service_time: DurationDist,
+    /// Zipf exponent for query targets (`None`/0 = uniform).
+    pub query_skew: Option<f64>,
+    /// Zipf exponent for mobility destinations (`None`/0 = uniform).
+    pub mobility_skew: Option<f64>,
+    /// Message loss probability (failure injection).
+    pub loss: f64,
+    /// Message duplication probability (failure injection).
+    pub duplication: f64,
+    /// Extra run time past `warmup + measure` so late-issued queries (and,
+    /// for a saturated tracker, queued answers) still complete.
+    pub grace: SimDuration,
+    /// Population churn: when set, each TAgent lives for a sampled span,
+    /// then deregisters, dies, and spawns a successor — steady population
+    /// size, turning membership.
+    pub churn_lifespan: Option<DurationDist>,
+}
+
+impl Scenario {
+    /// Creates a scenario with the reconstructed paper defaults.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            nodes: 16,
+            seed: 42,
+            agents: 100,
+            residence: DurationDist::Constant(SimDuration::from_millis(500)),
+            queriers: 32,
+            queries_total: 2000,
+            warmup: SimDuration::from_secs(15),
+            measure: SimDuration::from_secs(15),
+            latency: DurationDist::Constant(SimDuration::from_micros(300)),
+            service_time: DurationDist::Constant(SimDuration::from_millis(1)),
+            query_skew: None,
+            mobility_skew: None,
+            loss: 0.0,
+            duplication: 0.0,
+            grace: SimDuration::from_secs(10),
+            churn_lifespan: None,
+        }
+    }
+
+    /// Sets the TAgent population.
+    #[must_use]
+    pub fn with_agents(mut self, agents: usize) -> Self {
+        self.agents = agents;
+        self
+    }
+
+    /// Sets the residence time to a constant.
+    #[must_use]
+    pub fn with_residence_ms(mut self, ms: u64) -> Self {
+        self.residence = DurationDist::Constant(SimDuration::from_millis(ms));
+        self
+    }
+
+    /// Sets the total query count.
+    #[must_use]
+    pub fn with_queries(mut self, total: u64) -> Self {
+        self.queries_total = total;
+        self
+    }
+
+    /// Sets warmup and measurement spans in seconds.
+    #[must_use]
+    pub fn with_seconds(mut self, warmup: f64, measure: f64) -> Self {
+        self.warmup = SimDuration::from_secs_f64(warmup);
+        self.measure = SimDuration::from_secs_f64(measure);
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total virtual duration of the run.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.warmup + self.measure
+    }
+
+    /// Runs the scenario against a scheme and reports the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is degenerate (no agents, no queriers with
+    /// queries, zero nodes).
+    pub fn run(&self, scheme: &mut dyn LocationScheme) -> ScenarioReport {
+        self.run_with_samples(scheme).0
+    }
+
+    /// Like [`Scenario::run`] but also returns the per-locate samples
+    /// `(issue time, target, elapsed)` for tail analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Scenario::run`].
+    pub fn run_with_samples(
+        &self,
+        scheme: &mut dyn LocationScheme,
+    ) -> (
+        ScenarioReport,
+        Vec<(agentrack_sim::SimTime, agentrack_platform::AgentId, SimDuration)>,
+    ) {
+        self.run_inner(scheme, None)
+    }
+
+    /// Like [`Scenario::run_with_samples`] with a message tracer installed
+    /// on the platform (diagnostics; identical seed ⇒ identical run, so a
+    /// slow operation found in one run can be traced in a second).
+    pub fn run_traced(
+        &self,
+        scheme: &mut dyn LocationScheme,
+        tracer: agentrack_platform::Tracer,
+    ) -> (
+        ScenarioReport,
+        Vec<(agentrack_sim::SimTime, agentrack_platform::AgentId, SimDuration)>,
+    ) {
+        self.run_inner(scheme, Some(tracer))
+    }
+
+    fn run_inner(
+        &self,
+        scheme: &mut dyn LocationScheme,
+        tracer: Option<agentrack_platform::Tracer>,
+    ) -> (
+        ScenarioReport,
+        Vec<(agentrack_sim::SimTime, agentrack_platform::AgentId, SimDuration)>,
+    ) {
+        assert!(self.nodes > 0, "scenario needs nodes");
+        assert!(self.agents > 0, "scenario needs agents");
+        assert!(
+            self.queriers > 0 || self.queries_total == 0,
+            "queries need queriers"
+        );
+        assert!(
+            self.queries_total == 0 || !self.measure.is_zero(),
+            "queries need a non-zero measurement span to be paced over"
+        );
+
+        let topology = Topology::lan(self.nodes, self.latency)
+            .with_loss(self.loss)
+            .with_duplication(self.duplication);
+        let platform_config = PlatformConfig::default()
+            .with_seed(self.seed)
+            .with_handler_service_time(self.service_time);
+        let mut platform = SimPlatform::new(topology, platform_config);
+        if let Some(tracer) = tracer {
+            platform.set_tracer(tracer);
+        }
+        // Queries ramp up during the tail of the warmup so the measured
+        // window sees steady state; only locates issued after the warmup
+        // count.
+        let measure_start = agentrack_sim::SimTime::ZERO + self.warmup;
+        let metrics = Metrics::starting_at(measure_start);
+
+        scheme.bootstrap(&mut platform);
+
+        // TAgents, spread round-robin over nodes and staggered over the
+        // first part of the warmup: a population materialising in one
+        // instant would bury the initial IAgent under a registration
+        // backlog deep enough to starve its own hash-function installs —
+        // a bootstrapping pathology, not the steady state the paper
+        // measures.
+        let spawn_span = (self.warmup / 2).min(SimDuration::from_secs(10));
+        let population = Population::new();
+        let lifecycle = self.churn_lifespan.map(|lifespan| Lifecycle {
+            lifespan,
+            factory: scheme.client_factory(),
+            population: population.clone(),
+        });
+        let mut tagents = Vec::with_capacity(self.agents);
+        for i in 0..self.agents {
+            let node = NodeId::new((i as u32) % self.nodes);
+            let delay = spawn_span.mul_f64(i as f64 / self.agents.max(1) as f64);
+            let mut behavior = TAgentBehavior::new(
+                scheme.make_client(),
+                self.residence,
+                NodeSelector::new(self.nodes, self.mobility_skew),
+                self.nodes,
+                metrics.clone(),
+            );
+            if let Some(lifecycle) = &lifecycle {
+                behavior = behavior.with_lifecycle(lifecycle.clone());
+            }
+            tagents.push(platform.spawn_after(Box::new(behavior), node, delay));
+        }
+        let targets = if lifecycle.is_some() {
+            Targets::Live(population)
+        } else {
+            Targets::Fixed(tagents.clone())
+        };
+
+        // Queriers: split the query budget evenly, remainder to the first.
+        if self.queries_total > 0 {
+            let per = self.queries_total / self.queriers as u64;
+            let mut remainder = self.queries_total % self.queriers as u64;
+            // Space queries so the configured total spreads over the
+            // measurement span. Intervals are jittered and each querier is
+            // phase-shifted: synchronized queriers would hit trackers in
+            // lock-step bursts, measuring an artefact instead of the
+            // steady-state location time. Queriers begin during the warmup
+            // ramp (their early locates are exercised but not recorded) so
+            // switching the query load on does not perturb the measured
+            // window.
+            let ramp = (self.warmup / 2).min(SimDuration::from_secs(10));
+            let interval = self
+                .measure
+                .mul_f64(self.queriers as f64 / self.queries_total as f64);
+            let interval_dist = DurationDist::Uniform {
+                lo: interval.mul_f64(0.5),
+                hi: interval.mul_f64(1.5),
+            };
+            let span_scale =
+                (ramp + self.measure).as_secs_f64() / self.measure.as_secs_f64();
+            for i in 0..self.queriers {
+                let mut count = per;
+                if remainder > 0 {
+                    count += 1;
+                    remainder -= 1;
+                }
+                if count == 0 {
+                    continue;
+                }
+                // Extra queries cover the warmup ramp at the same pace.
+                let count = (count as f64 * span_scale).ceil() as u64;
+                let node = NodeId::new((i as u32) % self.nodes);
+                let phase = interval.mul_f64(i as f64 / self.queriers as f64);
+                let behavior = QuerierBehavior::new(
+                    scheme.make_client(),
+                    targets.clone(),
+                    TargetSelector::new(self.agents, self.query_skew),
+                    (self.warmup - ramp) + phase,
+                    interval_dist,
+                    count,
+                    metrics.clone(),
+                );
+                platform.spawn(Box::new(behavior), node);
+            }
+        }
+
+        platform.run_for(self.duration() + self.grace);
+
+        let scheme_stats = scheme.stats();
+        let platform_stats = platform.stats();
+        let samples = metrics.with(|m| std::mem::take(&mut m.locate_samples));
+        let report = metrics.with(|m| ScenarioReport {
+            scenario: self.name.clone(),
+            scheme: scheme.name().to_owned(),
+            agents: self.agents,
+            residence_ms: self.residence.mean().as_millis_f64(),
+            locates_issued: m.locates_issued,
+            locates_completed: m.locate_times.len() as u64,
+            locate_failures: m.locate_failures,
+            mean_locate_ms: m.locate_times.mean().as_millis_f64(),
+            p50_locate_ms: m.locate_times.percentile(50.0).as_millis_f64(),
+            p95_locate_ms: m.locate_times.percentile(95.0).as_millis_f64(),
+            max_locate_ms: m.locate_times.max().as_millis_f64(),
+            registrations: m.registrations,
+            moves: m.moves,
+            births: m.births,
+            deaths: m.deaths,
+            trackers: scheme_stats.trackers,
+            peak_trackers: scheme_stats.peak_trackers,
+            splits: scheme_stats.splits,
+            merges: scheme_stats.merges,
+            stale_hits: scheme_stats.stale_hits,
+            hf_fetches: scheme_stats.hf_fetches,
+            records_handed_off: scheme_stats.records_handed_off,
+            chain_hops: scheme_stats.chain_hops,
+            iagent_moves: scheme_stats.iagent_moves,
+            tree_height: scheme_stats.tree_height,
+            mean_prefix_bits: if scheme_stats.trackers > 0 {
+                scheme_stats.depth_bits_total as f64 / scheme_stats.trackers as f64
+            } else {
+                0.0
+            },
+            messages_sent: platform_stats.messages_sent,
+            messages_remote: platform_stats.messages_remote,
+            messages_failed: platform_stats.messages_failed,
+        });
+        (report, samples)
+    }
+}
+
+/// Results of one scenario run: the paper's metric plus diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// TAgent population.
+    pub agents: usize,
+    /// Mean residence time in milliseconds.
+    pub residence_ms: f64,
+    /// Locates issued.
+    pub locates_issued: u64,
+    /// Locates answered.
+    pub locates_completed: u64,
+    /// Locates that gave up.
+    pub locate_failures: u64,
+    /// Average location time (the paper's metric), in milliseconds.
+    pub mean_locate_ms: f64,
+    /// Median location time in milliseconds.
+    pub p50_locate_ms: f64,
+    /// 95th-percentile location time in milliseconds.
+    pub p95_locate_ms: f64,
+    /// Worst location time in milliseconds.
+    pub max_locate_ms: f64,
+    /// Registrations completed.
+    pub registrations: u64,
+    /// TAgent moves performed.
+    pub moves: u64,
+    /// TAgents born (initial population plus churn successors).
+    pub births: u64,
+    /// TAgents that died (churn).
+    pub deaths: u64,
+    /// Trackers at the end of the run.
+    pub trackers: u64,
+    /// Peak tracker count.
+    pub peak_trackers: u64,
+    /// Splits committed.
+    pub splits: u64,
+    /// Merges committed.
+    pub merges: u64,
+    /// Stale-copy detections (`NotResponsible` answers).
+    pub stale_hits: u64,
+    /// Hash-function copies served by the HAgent.
+    pub hf_fetches: u64,
+    /// Records handed off between IAgents.
+    pub records_handed_off: u64,
+    /// Forwarding-chain hops (forwarding baseline).
+    pub chain_hops: u64,
+    /// IAgent locality migrations (extension E9).
+    pub iagent_moves: u64,
+    /// Hash-tree height after the latest rehash (hashed scheme).
+    pub tree_height: u64,
+    /// Mean consumed-prefix length over IAgent leaves (hashed scheme).
+    pub mean_prefix_bits: f64,
+    /// Total platform messages.
+    pub messages_sent: u64,
+    /// Messages that crossed nodes (vs. node-local delivery).
+    pub messages_remote: u64,
+    /// Messages that bounced.
+    pub messages_failed: u64,
+}
+
+impl ScenarioReport {
+    /// Fraction of issued locates that completed.
+    #[must_use]
+    pub fn completion_ratio(&self) -> f64 {
+        if self.locates_issued == 0 {
+            return 1.0;
+        }
+        self.locates_completed as f64 / self.locates_issued as f64
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests: full scenarios against every scheme.
+
+use agentrack_core::{
+    CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
+};
+use agentrack_workload::Scenario;
+
+fn quick() -> Scenario {
+    Scenario::new("e2e")
+        .with_agents(40)
+        .with_queries(60)
+        .with_seconds(8.0, 4.0)
+}
+
+#[test]
+fn hashed_scheme_locates_agents() {
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    let report = quick().run(&mut scheme);
+    eprintln!("{report:#?}");
+    assert_eq!(report.registrations, 40, "all TAgents register");
+    assert!(report.locates_completed >= 58, "{report:#?}");
+    assert_eq!(report.locate_failures, 0);
+    assert!(report.mean_locate_ms > 0.0);
+    assert!(report.moves > 100, "TAgents roam during the run");
+}
+
+#[test]
+fn centralized_scheme_locates_agents() {
+    let mut scheme = CentralizedScheme::new(LocationConfig::default());
+    let report = quick().run(&mut scheme);
+    assert_eq!(report.registrations, 40);
+    assert!(report.locates_completed >= 58, "{report:#?}");
+    assert_eq!(report.trackers, 1);
+    assert_eq!(report.splits, 0);
+}
+
+#[test]
+fn home_registry_scheme_locates_agents() {
+    let mut scheme = HomeRegistryScheme::new(LocationConfig::default());
+    let report = quick().run(&mut scheme);
+    assert_eq!(report.registrations, 40);
+    assert!(report.locates_completed >= 58, "{report:#?}");
+    assert_eq!(report.trackers, 16, "one registry per node");
+}
+
+#[test]
+fn forwarding_scheme_locates_agents() {
+    let mut scheme = ForwardingScheme::new(LocationConfig::default());
+    let report = quick().run(&mut scheme);
+    assert_eq!(report.registrations, 40);
+    // Forwarding chains race with movement; a small shortfall is expected,
+    // outright failure is not.
+    assert!(report.locates_completed >= 50, "{report:#?}");
+    assert!(report.chain_hops > 0, "chains were walked");
+}
+
+#[test]
+fn hashed_scheme_splits_under_load() {
+    // 300 agents moving every 200 ms ⇒ 1500 updates/s: far beyond one
+    // IAgent's T_max of 50/s, so the tree must grow.
+    let scenario = Scenario::new("split-pressure")
+        .with_agents(300)
+        .with_residence_ms(200)
+        .with_queries(100)
+        .with_seconds(12.0, 4.0);
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    let report = scenario.run(&mut scheme);
+    eprintln!("{report:#?}");
+    assert!(report.splits >= 5, "tree must grow: {report:#?}");
+    assert!(report.trackers > 4);
+    assert!(report.locates_completed >= 95, "{report:#?}");
+    assert!(
+        report.records_handed_off > 0,
+        "splits hand records to new IAgents"
+    );
+}
+
+#[test]
+fn hashed_scheme_merges_when_load_vanishes() {
+    // Slow movers after a burst: splits first, merges later.
+    let scenario = Scenario::new("merge-pressure")
+        .with_agents(150)
+        .with_residence_ms(100)
+        .with_queries(0)
+        .with_seconds(25.0, 0.0);
+    // Agents stop generating load quickly relative to the run because the
+    // measurement window is empty; rely on decaying rates. Use aggressive
+    // thresholds to provoke both directions.
+    let config = LocationConfig {
+        merge_warmup: agentrack_sim::SimDuration::from_secs(2),
+        ..LocationConfig::default().with_thresholds(30.0, 10.0)
+    };
+    let mut scheme = HashedScheme::new(config);
+    let report = scenario.run(&mut scheme);
+    eprintln!("{report:#?}");
+    assert!(report.splits > 0);
+    // Mobility stays constant here, so merges are not guaranteed — this
+    // test asserts the system remains healthy under threshold churn.
+    assert_eq!(report.locate_failures, 0);
+}
+
+#[test]
+fn same_seed_same_report() {
+    let scenario = quick();
+    let run = || {
+        let mut scheme = HashedScheme::new(LocationConfig::default());
+        scenario.run(&mut scheme)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_still_complete() {
+    for seed in [1u64, 7, 1234] {
+        let mut scheme = HashedScheme::new(LocationConfig::default());
+        let report = quick().with_seed(seed).run(&mut scheme);
+        assert!(report.completion_ratio() > 0.95, "seed {seed}: {report:#?}");
+    }
+}

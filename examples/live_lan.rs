@@ -1,0 +1,150 @@
+//! The hash-based location mechanism running live: real threads, real
+//! channels, wall-clock timers — one thread per "LAN node".
+//!
+//! This is the deployment-mode counterpart of the simulated experiments:
+//! identical scheme behaviours (IAgents, HAgent, LHAgents, clients), no
+//! virtual clock. Watch a fleet of couriers roam for two real seconds
+//! while a dispatcher keeps locating them.
+//!
+//! ```text
+//! cargo run --release --example live_lan
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use agentrack::core::{
+    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
+};
+use agentrack::platform::{
+    Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId,
+};
+use agentrack::sim::SimDuration;
+
+const NODES: u32 = 6;
+const COURIERS: u32 = 8;
+
+/// A courier hops between nodes every ~40 wall-clock milliseconds.
+struct Courier {
+    client: Box<dyn DirectoryClient>,
+    node_count: u32,
+}
+
+impl Agent for Courier {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.client.register(ctx);
+        ctx.set_timer(SimDuration::from_millis(40));
+    }
+    fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.client.moved(ctx);
+        ctx.set_timer(SimDuration::from_millis(40));
+    }
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.client.on_timer(ctx, timer) == ClientEvent::NotMine {
+            let next = NodeId::new(ctx.rng().index(self.node_count as usize) as u32);
+            if next == ctx.node() {
+                ctx.set_timer(SimDuration::from_millis(40));
+            } else {
+                ctx.dispatch(next);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let _ = self.client.on_message(ctx, from, payload);
+    }
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+    }
+}
+
+/// The dispatcher locates every courier five times a second.
+struct Dispatcher {
+    client: Box<dyn DirectoryClient>,
+    couriers: Vec<AgentId>,
+    sightings: Arc<Mutex<u64>>,
+    next_token: u64,
+    tick: Option<TimerId>,
+}
+
+impl Agent for Dispatcher {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.tick = Some(ctx.set_timer(SimDuration::from_millis(200)));
+    }
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.tick == Some(timer) {
+            for i in 0..self.couriers.len() {
+                let target = self.couriers[i];
+                let token = self.next_token;
+                self.next_token += 1;
+                self.client.locate(ctx, target, token);
+            }
+            self.tick = Some(ctx.set_timer(SimDuration::from_millis(200)));
+            return;
+        }
+        let _ = self.client.on_timer(ctx, timer);
+    }
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        if let ClientEvent::Located { .. } = self.client.on_message(ctx, from, payload) {
+            *self.sightings.lock().unwrap() += 1;
+        }
+    }
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+    }
+}
+
+fn main() {
+    let mut platform = LivePlatform::new(NODES);
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    scheme.bootstrap(&mut platform);
+
+    let couriers: Vec<AgentId> = (0..COURIERS)
+        .map(|i| {
+            platform.spawn(
+                Box::new(Courier {
+                    client: scheme.make_client(),
+                    node_count: NODES,
+                }),
+                NodeId::new(i % NODES),
+            )
+        })
+        .collect();
+
+    let sightings = Arc::new(Mutex::new(0u64));
+    platform.spawn(
+        Box::new(Dispatcher {
+            client: scheme.make_client(),
+            couriers,
+            sightings: sightings.clone(),
+            next_token: 0,
+            tick: None,
+        }),
+        NodeId::new(0),
+    );
+
+    println!("running live on {NODES} node threads for 2 wall-clock seconds…");
+    platform.run_for(Duration::from_secs(2));
+    let stats = platform.shutdown();
+
+    let sightings = *sightings.lock().unwrap();
+    println!("couriers sighted   : {sightings} times");
+    println!("migrations         : {} (real cross-thread moves)", stats.migrations);
+    println!(
+        "messages           : {} sent, {} delivered, {} bounced",
+        stats.messages_sent, stats.messages_delivered, stats.messages_failed
+    );
+    println!("IAgents at the end : {}", scheme.stats().trackers);
+    assert!(sightings > 0, "the dispatcher must find its couriers");
+}

@@ -1,0 +1,194 @@
+//! Paging a fleet that never stands still: guaranteed delivery in action.
+//!
+//! A control tower pages fast-moving drone agents two ways:
+//!
+//! * **naive** — locate the drone, then fire the page at the answered
+//!   node (and shrug if it bounces);
+//! * **mediated** — hand the page to the location mechanism
+//!   ([`DirectoryClient::send_via`]): the responsible IAgent forwards it,
+//!   buffering across the drone's migrations, so the page always lands.
+//!
+//! This is the paper's §6 open problem ("an agent moves faster than the
+//! requests for its location") made concrete.
+//!
+//! ```text
+//! cargo run --release --example paging
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use agentrack::core::{
+    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
+};
+use agentrack::platform::{
+    Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
+};
+use agentrack::sim::{DurationDist, SimDuration, Topology};
+
+const NODES: u32 = 8;
+const DRONES: usize = 5;
+const PAGES_PER_DRONE: u32 = 40;
+
+/// Hops every 25 ms — far faster than a locate round-trip can chase.
+struct Drone {
+    client: Box<dyn DirectoryClient>,
+    naive_pages: Arc<AtomicU64>,
+    mediated_pages: Arc<AtomicU64>,
+}
+
+impl Agent for Drone {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.client.register(ctx);
+        ctx.set_timer(SimDuration::from_millis(25));
+    }
+    fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.client.moved(ctx);
+        ctx.set_timer(SimDuration::from_millis(25));
+    }
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.client.on_timer(ctx, timer) == ClientEvent::NotMine {
+            let next = NodeId::new(ctx.rng().index(NODES as usize) as u32);
+            if next == ctx.node() {
+                ctx.set_timer(SimDuration::from_millis(25));
+            } else {
+                ctx.dispatch(next);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        match self.client.on_message(ctx, from, payload) {
+            ClientEvent::Mail { .. } => {
+                self.mediated_pages.fetch_add(1, Ordering::Relaxed);
+            }
+            ClientEvent::NotMine
+                if payload.decode::<String>().is_ok() => {
+                    self.naive_pages.fetch_add(1, Ordering::Relaxed);
+                }
+            _ => {}
+        }
+    }
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+    }
+}
+
+/// Pages every drone on a round-robin, alternating the two methods.
+struct Tower {
+    client: Box<dyn DirectoryClient>,
+    drones: Vec<AgentId>,
+    pages_left: u32,
+    naive_sent: u64,
+    mediated_sent: u64,
+    token: u64,
+    tick: Option<TimerId>,
+    totals: Arc<AtomicU64>, // encodes (naive_sent << 32) | mediated_sent at the end
+}
+
+impl Agent for Tower {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.tick = Some(ctx.set_timer(SimDuration::from_millis(30)));
+    }
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.tick == Some(timer) {
+            if self.pages_left > 0 {
+                self.pages_left -= 1;
+                let drone = self.drones[(self.pages_left as usize) % self.drones.len()];
+                if self.pages_left.is_multiple_of(2) {
+                    self.mediated_sent += 1;
+                    self.client.send_via(ctx, drone, b"report in".to_vec());
+                } else {
+                    self.naive_sent += 1;
+                    self.token += 1;
+                    self.client.locate(ctx, drone, self.token);
+                }
+                self.tick = Some(ctx.set_timer(SimDuration::from_millis(30)));
+            } else {
+                self.totals.store(
+                    (self.naive_sent << 32) | self.mediated_sent,
+                    Ordering::Relaxed,
+                );
+            }
+            return;
+        }
+        let _ = self.client.on_timer(ctx, timer);
+    }
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        if let ClientEvent::Located { target, node, .. } =
+            self.client.on_message(ctx, from, payload)
+        {
+            ctx.send(target, node, Payload::encode(&"report in".to_owned()));
+        }
+    }
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+    }
+}
+
+fn main() {
+    let topology = Topology::lan(NODES, DurationDist::Constant(SimDuration::from_micros(300)));
+    let mut platform = SimPlatform::new(topology, PlatformConfig::default().with_seed(44));
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    scheme.bootstrap(&mut platform);
+
+    let naive_pages = Arc::new(AtomicU64::new(0));
+    let mediated_pages = Arc::new(AtomicU64::new(0));
+    let drones: Vec<AgentId> = (0..DRONES)
+        .map(|i| {
+            platform.spawn(
+                Box::new(Drone {
+                    client: scheme.make_client(),
+                    naive_pages: naive_pages.clone(),
+                    mediated_pages: mediated_pages.clone(),
+                }),
+                NodeId::new(i as u32 % NODES),
+            )
+        })
+        .collect();
+
+    let totals = Arc::new(AtomicU64::new(0));
+    platform.spawn(
+        Box::new(Tower {
+            client: scheme.make_client(),
+            drones,
+            pages_left: PAGES_PER_DRONE * DRONES as u32 * 2,
+            naive_sent: 0,
+            mediated_sent: 0,
+            token: 0,
+            tick: None,
+            totals: totals.clone(),
+        }),
+        NodeId::new(0),
+    );
+
+    platform.run_for(SimDuration::from_secs(60));
+
+    let packed = totals.load(Ordering::Relaxed);
+    let naive_sent = packed >> 32;
+    let mediated_sent = packed & 0xffff_ffff;
+    let naive_got = naive_pages.load(Ordering::Relaxed);
+    let mediated_got = mediated_pages.load(Ordering::Relaxed);
+    println!("paging {DRONES} drones hopping every 25 ms:");
+    println!(
+        "  locate-then-send : {naive_got}/{naive_sent} pages arrived ({:.1}%)",
+        100.0 * naive_got as f64 / naive_sent as f64
+    );
+    println!(
+        "  send_via (mailbox): {mediated_got}/{mediated_sent} pages arrived ({:.1}%)",
+        100.0 * mediated_got as f64 / mediated_sent as f64
+    );
+    assert_eq!(mediated_got, mediated_sent, "mediated paging must be lossless");
+    assert!(naive_got < naive_sent, "the race must bite the naive path");
+}

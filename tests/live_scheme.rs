@@ -1,0 +1,166 @@
+//! The hash-based location mechanism on the live (threaded) runtime:
+//! the same scheme behaviours that run under the deterministic simulator,
+//! now crossing real threads.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use agentrack::core::{
+    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
+};
+use agentrack::platform::{
+    Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId,
+};
+use agentrack::sim::SimDuration;
+
+/// A roaming agent that registers and reports its moves.
+struct Roamer {
+    client: Box<dyn DirectoryClient>,
+    hops_left: u32,
+    node_count: u32,
+}
+
+impl Agent for Roamer {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.client.register(ctx);
+        ctx.set_timer(SimDuration::from_millis(30));
+    }
+
+    fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.client.moved(ctx);
+        if self.hops_left > 0 {
+            ctx.set_timer(SimDuration::from_millis(30));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.client.on_timer(ctx, timer) == ClientEvent::NotMine && self.hops_left > 0 {
+            self.hops_left -= 1;
+            let next = NodeId::new((ctx.node().raw() + 1) % self.node_count);
+            ctx.dispatch(next);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        let _ = self.client.on_message(ctx, from, payload);
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+    }
+}
+
+type Found = Arc<Mutex<Vec<(AgentId, NodeId)>>>;
+
+/// Locates each target once per tick and records the answers.
+struct Locator {
+    client: Box<dyn DirectoryClient>,
+    targets: Vec<AgentId>,
+    found: Found,
+    next_token: u64,
+    tick: Option<TimerId>,
+}
+
+impl Agent for Locator {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.tick = Some(ctx.set_timer(SimDuration::from_millis(100)));
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.tick == Some(timer) {
+            for i in 0..self.targets.len() {
+                let target = self.targets[i];
+                let token = self.next_token;
+                self.next_token += 1;
+                self.client.locate(ctx, target, token);
+            }
+            self.tick = Some(ctx.set_timer(SimDuration::from_millis(150)));
+            return;
+        }
+        let _ = self.client.on_timer(ctx, timer);
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        if let ClientEvent::Located { target, node, .. } =
+            self.client.on_message(ctx, from, payload)
+        {
+            self.found.lock().unwrap().push((target, node));
+        }
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        let _ = self.client.on_delivery_failed(ctx, to, node, payload);
+    }
+}
+
+#[test]
+fn hashed_scheme_runs_on_real_threads() {
+    const NODES: u32 = 4;
+    let mut platform = LivePlatform::new(NODES);
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    scheme.bootstrap(&mut platform);
+
+    let roamers: Vec<AgentId> = (0..6)
+        .map(|i| {
+            platform.spawn(
+                Box::new(Roamer {
+                    client: scheme.make_client(),
+                    hops_left: 50,
+                    node_count: NODES,
+                }),
+                NodeId::new(i % NODES),
+            )
+        })
+        .collect();
+
+    let found: Found = Arc::default();
+    platform.spawn(
+        Box::new(Locator {
+            client: scheme.make_client(),
+            targets: roamers.clone(),
+            found: found.clone(),
+            next_token: 0,
+            tick: None,
+        }),
+        NodeId::new(0),
+    );
+
+    // Wall-clock run: every target should be located several times.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        {
+            let found = found.lock().unwrap();
+            let all_found = roamers
+                .iter()
+                .all(|r| found.iter().filter(|(t, _)| t == r).count() >= 3);
+            if all_found {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "live locates did not complete in time: {:?}",
+            found.lock().unwrap()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let stats = platform.shutdown();
+    assert!(stats.migrations >= 50, "roamers moved: {stats:?}");
+    // Every reported node is in range (locations are meaningful).
+    for (_, node) in found.lock().unwrap().iter() {
+        assert!(node.raw() < NODES);
+    }
+}
