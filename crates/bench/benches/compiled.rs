@@ -1,0 +1,228 @@
+//! Compiled-directory benchmarks: the O(1) flat dispatch table vs. the
+//! per-bit tree walk, and the cost of keeping the table fresh across
+//! rehashes.
+//!
+//! Unlike the other benches this one has a custom `main`: besides printing
+//! the usual criterion lines it writes `BENCH_lookup.json` at the
+//! workspace root with the raw medians and the derived walk/compiled
+//! speedups, so `README.md` and `DESIGN.md` can cite reproducible numbers.
+//!
+//! Two tree shapes are measured:
+//!
+//! * **balanced** — every leaf at depth `h` (`2^h` IAgents): every lookup
+//!   walks the full height, the average-case shape of a uniformly loaded
+//!   system.
+//! * **chain** — one path of length `h` (`h + 1` IAgents): the skewed
+//!   shape load-correlated splitting produces when traffic concentrates on
+//!   one key region.
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, Criterion};
+
+use agentrack_hashtree::{AgentKey, CompiledDirectory, HashTree, IAgentId, Side, SplitKind};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Splits every leaf once per level: a perfectly balanced tree of height
+/// `h` with `2^h` leaves.
+fn balanced_tree(h: usize) -> HashTree {
+    let mut tree = HashTree::new(IAgentId::new(0));
+    let mut next = 1u64;
+    for _ in 0..h {
+        let leaves: Vec<IAgentId> = tree.iagents().collect();
+        for ia in leaves {
+            let cand = first_simple(&tree, ia);
+            tree.apply_split(&cand, IAgentId::new(next), Side::Right)
+                .expect("balanced split");
+            next += 1;
+        }
+    }
+    tree
+}
+
+/// Repeatedly splits the leaf serving the all-ones key: a chain of depth
+/// `h` with `h + 1` leaves.
+fn chain_tree(h: usize) -> HashTree {
+    let mut tree = HashTree::new(IAgentId::new(0));
+    for i in 0..h {
+        let deep = tree.lookup(AgentKey::new(u64::MAX));
+        let cand = first_simple(&tree, deep);
+        tree.apply_split(&cand, IAgentId::new(1000 + i as u64), Side::Right)
+            .expect("chain split");
+    }
+    tree
+}
+
+fn first_simple(tree: &HashTree, ia: IAgentId) -> agentrack_hashtree::SplitCandidate {
+    tree.split_candidates(ia)
+        .expect("split candidates")
+        .into_iter()
+        .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+        .expect("simple m=1 candidate")
+}
+
+/// A cycling key set: uniform random for the balanced shape (every key
+/// walks the full height anyway), one witness key per leaf for the chain
+/// (so the walk exercises every depth, not just the shallow prefix).
+fn keys_for(tree: &HashTree, uniform: bool) -> Vec<AgentKey> {
+    if uniform {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..1024).map(|_| AgentKey::new(rng.gen())).collect()
+    } else {
+        tree.mapping()
+            .into_iter()
+            .map(|(_, hl)| {
+                // A key compatible with the leaf: its valid bits at their
+                // positions, zeros elsewhere.
+                let mut raw = 0u64;
+                let mut cursor = hl.prefix_skip().len();
+                for label in hl.labels() {
+                    if label.valid_bit() {
+                        raw |= 1u64 << (63 - cursor);
+                    }
+                    cursor += label.len();
+                }
+                AgentKey::new(raw)
+            })
+            .collect()
+    }
+}
+
+fn bench_lookup(c: &mut Criterion, shape: &str, heights: &[usize], make: fn(usize) -> HashTree) {
+    let mut group = c.benchmark_group(&format!("compiled/lookup_{shape}"));
+    for &h in heights {
+        let tree = make(h);
+        let dir = CompiledDirectory::build(&tree);
+        assert!(dir.is_current(&tree), "bench directory must be compiled");
+        let keys = keys_for(&tree, shape == "balanced");
+        let n = keys.len();
+
+        let mut i = 0usize;
+        group.bench_function(format!("walk/{h}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(tree.lookup(keys[i]))
+            });
+        });
+        let mut i = 0usize;
+        group.bench_function(format!("compiled/{h}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(dir.lookup(keys[i]).expect("compiled lookup"))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Rebuild costs: a full `build` versus the incremental `refresh` an
+/// HAgent performs after one split + one merge (the table is pre-grown so
+/// the split does not force a depth change).
+fn bench_rebuild(c: &mut Criterion, heights: &[usize]) {
+    let mut group = c.benchmark_group("compiled/rebuild");
+    for &h in heights {
+        let tree = balanced_tree(h);
+        group.bench_function(format!("full/{h}"), |b| {
+            b.iter(|| black_box(CompiledDirectory::build(&tree)));
+        });
+
+        let mut tree = tree;
+        let mut dir = CompiledDirectory::build(&tree);
+        let victim = tree.lookup(AgentKey::new(0));
+        let extra = IAgentId::new(999_999);
+        // Pre-grow the table past depth h so the measured refreshes are
+        // purely incremental (the first split to h + 1 would otherwise
+        // trigger a one-off full rebuild inside the loop).
+        let cand = first_simple(&tree, victim);
+        tree.apply_split(&cand, extra, Side::Right)
+            .expect("warmup split");
+        dir.refresh(&tree, &[victim, extra]);
+        let merged = tree.apply_merge(extra).expect("warmup merge");
+        dir.refresh(&tree, &merged.absorbers);
+
+        group.bench_function(format!("split_merge_refresh/{h}"), |b| {
+            b.iter(|| {
+                // First candidate in the paper's order: after the merge the
+                // victim carries an unused bit, so this is the complex
+                // split promoting it back — a stable split/merge cycle.
+                let cand = tree
+                    .split_candidates(victim)
+                    .expect("split candidates")
+                    .into_iter()
+                    .next()
+                    .expect("some split candidate");
+                let applied = tree
+                    .apply_split(&cand, extra, Side::Right)
+                    .expect("bench split");
+                let mut involved = applied.affected;
+                involved.push(extra);
+                dir.refresh(&tree, &involved);
+                let merged = tree.apply_merge(extra).expect("bench merge");
+                dir.refresh(&tree, &merged.absorbers);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn find(results: &[criterion::BenchResult], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("missing bench result {id}"))
+        .ns_per_iter
+}
+
+/// Writes `BENCH_lookup.json` at the workspace root: raw medians plus the
+/// walk/compiled speedup per (shape, height).
+fn export(c: &Criterion, shapes: &[(&str, &[usize])]) {
+    let results = c.results();
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"compiled directory vs tree-walk lookup\",\n");
+    out.push_str(
+        "  \"command\": \"cargo bench -p agentrack-bench --bench compiled\",\n  \"speedups\": [\n",
+    );
+    let mut first = true;
+    for &(shape, heights) in shapes {
+        for &h in heights {
+            let walk = find(results, &format!("compiled/lookup_{shape}/walk/{h}"));
+            let fast = find(results, &format!("compiled/lookup_{shape}/compiled/{h}"));
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"shape\": \"{shape}\", \"height\": {h}, \"walk_ns\": {walk:.2}, \
+                 \"compiled_ns\": {fast:.2}, \"speedup\": {:.2}}}",
+                walk / fast
+            );
+        }
+    }
+    out.push_str("\n  ],\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.2}}}",
+            r.id, r.ns_per_iter
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lookup.json");
+    std::fs::write(path, out).expect("write BENCH_lookup.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    const BALANCED: &[usize] = &[4, 8, 12, 16];
+    const CHAIN: &[usize] = &[8, 16, 24];
+    let mut c = Criterion::default();
+    bench_lookup(&mut c, "balanced", BALANCED, balanced_tree);
+    bench_lookup(&mut c, "chain", CHAIN, chain_tree);
+    bench_rebuild(&mut c, &[8, 12, 16]);
+    export(&c, &[("balanced", BALANCED), ("chain", CHAIN)]);
+}

@@ -62,10 +62,7 @@ fn bench_event_throughput(c: &mut Criterion) {
     }
     impl Agent for PingPonger {
         fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
-            let peer = self.peer.map_or(
-                (from, NodeId::new(0)),
-                |p| p,
-            );
+            let peer = self.peer.map_or((from, NodeId::new(0)), |p| p);
             ctx.send(peer.0, peer.1, payload.clone());
         }
     }

@@ -38,6 +38,10 @@ fn hash_function_with(n: usize) -> HashFunction {
         hf.version += 1;
         next += 1;
     }
+    // The tree was grown by direct mutation, which leaves the compiled
+    // directory stale; recompile so `resolve` benches the production fast
+    // path (an HAgent refreshes incrementally after every rehash).
+    hf.recompile();
     hf
 }
 

@@ -114,10 +114,7 @@ fn main() {
             | Wire::ResolveFresh { target, .. }
             | Wire::Resolved { target, .. } => Some(*target),
             Wire::NotResponsible { about, .. } => Some(*about),
-            Wire::Handoff { records } => records
-                .iter()
-                .map(|(a, _)| *a)
-                .find(|a| *a == target),
+            Wire::Handoff { records } => records.iter().map(|(a, _)| *a).find(|a| *a == target),
             _ => None,
         };
         if about == Some(target) {

@@ -2,14 +2,17 @@
 //! experiments.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] [exp1|exp2|ablation-split|ablation-propagation|
-//!                              sweep-thresholds|skew|baselines|all]...
+//! repro [--quick] [--csv DIR] [--jobs N] [exp1|exp2|ablation-split|
+//!        ablation-propagation|sweep-thresholds|skew|baselines|all]...
 //! ```
 //!
 //! With no experiment arguments, everything runs. `--quick` shrinks
 //! populations and spans for a fast smoke pass; the recorded results in
 //! `EXPERIMENTS.md` come from full-fidelity runs. `--csv DIR` additionally
-//! writes one CSV per experiment into `DIR`.
+//! writes one CSV per experiment into `DIR`. `--jobs N` runs the
+//! independent grid cells of each experiment on `N` worker threads
+//! (results are identical to sequential — each cell owns its simulation
+//! and its seed); `--jobs 0` means one thread per available core.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,6 +22,7 @@ use agentrack_bench::{run_experiment, Fidelity, EXPERIMENTS};
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut jobs: usize = 1;
     let mut chosen: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -32,9 +36,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(0) => {
+                    jobs = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+                }
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs requires a thread count (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--csv DIR] [EXPERIMENT]...\n\
+                    "usage: repro [--quick] [--csv DIR] [--jobs N] [EXPERIMENT]...\n\
                      experiments: {} | all",
                     EXPERIMENTS.join(" | ")
                 );
@@ -64,7 +78,7 @@ fn main() -> ExitCode {
 
     for name in chosen {
         let started = std::time::Instant::now();
-        let table = run_experiment(&name, fidelity);
+        let table = run_experiment(&name, fidelity, jobs);
         print!("{}", table.render());
         println!("[{name} took {:.1?}]", started.elapsed());
         if let Some(dir) = &csv_dir {

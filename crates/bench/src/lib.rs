@@ -16,12 +16,66 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use agentrack_core::{
     CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
     LocationScheme,
 };
 use agentrack_workload::{Scenario, ScenarioReport};
+
+/// One independent grid cell of an experiment: computes one table row.
+///
+/// Cells own their entire simulation (topology, platform, RNG seeded from
+/// the scenario's explicit master seed), so the thread that happens to run
+/// a cell cannot influence its result — parallel and sequential execution
+/// produce identical tables.
+type Cell = Box<dyn FnOnce() -> Vec<String> + Send>;
+
+/// Runs independent experiment cells across `jobs` worker threads and
+/// returns the rows in cell order.
+///
+/// Work-stealing by atomic index: scoped threads pull the next unclaimed
+/// cell until the grid is exhausted, so a slow cell (the big-population
+/// end of a sweep) never serialises the rest of the grid behind it.
+/// `jobs <= 1` degenerates to the plain sequential loop.
+///
+/// # Panics
+///
+/// Propagates a panic from any cell (scoped-thread join).
+fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<Vec<String>> {
+    let jobs = jobs.clamp(1, cells.len().max(1));
+    if jobs <= 1 {
+        return cells.into_iter().map(|cell| cell()).collect();
+    }
+    let slots: Vec<Mutex<Option<Cell>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let rows: Vec<Mutex<Option<Vec<String>>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let cell = slots[i]
+                    .lock()
+                    .expect("cell slot poisoned")
+                    .take()
+                    .expect("cell claimed twice");
+                *rows[i].lock().expect("row slot poisoned") = Some(cell());
+            });
+        }
+    });
+    rows.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("row slot poisoned")
+                .expect("cell never ran")
+        })
+        .collect()
+}
 
 /// How much of the paper's scale to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,7 +224,7 @@ fn run_scheme(scenario: &Scenario, kind: &str, config: LocationConfig) -> Scenar
 /// **E1 / Figure 7 (Experiment I)** — location time vs. number of TAgents,
 /// centralized vs. hash-based. Residence fixed at 500 ms per node.
 #[must_use]
-pub fn exp1(fidelity: Fidelity) -> Table {
+pub fn exp1(fidelity: Fidelity, jobs: usize) -> Table {
     let populations: &[usize] = &[100, 200, 300, 500, 1000];
     let (warmup, measure) = fidelity.spans();
     let mut table = Table::new(
@@ -186,34 +240,40 @@ pub fn exp1(fidelity: Fidelity) -> Table {
             "hash_done",
         ],
     );
-    for &n in populations {
-        let agents = fidelity.scale_agents(n);
-        let mut scenario = Scenario::new(format!("exp1-{agents}"))
-            .with_agents(agents)
-            .with_residence_ms(500)
-            .with_queries(fidelity.queries())
-            .with_seconds(warmup, measure);
-        scenario.grace = agentrack_sim::SimDuration::from_secs(45);
-        let cen = run_scheme(&scenario, "centralized", patient(LocationConfig::default()));
-        let hash = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
-        table.push_row(vec![
-            agents.to_string(),
-            ms_or_dnf(&cen),
-            ms(hash.mean_locate_ms),
-            ms(hash.p95_locate_ms),
-            hash.trackers.to_string(),
-            hash.splits.to_string(),
-            cen.locates_completed.to_string(),
-            hash.locates_completed.to_string(),
-        ]);
-    }
+    let cells: Vec<Cell> = populations
+        .iter()
+        .map(|&n| {
+            let agents = fidelity.scale_agents(n);
+            Box::new(move || {
+                let mut scenario = Scenario::new(format!("exp1-{agents}"))
+                    .with_agents(agents)
+                    .with_residence_ms(500)
+                    .with_queries(fidelity.queries())
+                    .with_seconds(warmup, measure);
+                scenario.grace = agentrack_sim::SimDuration::from_secs(45);
+                let cen = run_scheme(&scenario, "centralized", patient(LocationConfig::default()));
+                let hash = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+                vec![
+                    agents.to_string(),
+                    ms_or_dnf(&cen),
+                    ms(hash.mean_locate_ms),
+                    ms(hash.p95_locate_ms),
+                    hash.trackers.to_string(),
+                    hash.splits.to_string(),
+                    cen.locates_completed.to_string(),
+                    hash.locates_completed.to_string(),
+                ]
+            }) as Cell
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
 /// **E2 / Figure 8 (Experiment II)** — location time vs. mobility rate
 /// (residence time per node), 200 TAgents.
 #[must_use]
-pub fn exp2(fidelity: Fidelity) -> Table {
+pub fn exp2(fidelity: Fidelity, jobs: usize) -> Table {
     let residences: &[u64] = &[100, 200, 500, 1000, 2000];
     let agents = fidelity.scale_agents(200);
     let (warmup, measure) = fidelity.spans();
@@ -229,32 +289,38 @@ pub fn exp2(fidelity: Fidelity) -> Table {
             "hash_done",
         ],
     );
-    for &res in residences {
-        let mut scenario = Scenario::new(format!("exp2-{res}"))
-            .with_agents(agents)
-            .with_residence_ms(res)
-            .with_queries(fidelity.queries())
-            .with_seconds(warmup, measure);
-        scenario.grace = agentrack_sim::SimDuration::from_secs(45);
-        let cen = run_scheme(&scenario, "centralized", patient(LocationConfig::default()));
-        let hash = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
-        table.push_row(vec![
-            res.to_string(),
-            ms_or_dnf(&cen),
-            ms(hash.mean_locate_ms),
-            ms(hash.p95_locate_ms),
-            hash.trackers.to_string(),
-            cen.locates_completed.to_string(),
-            hash.locates_completed.to_string(),
-        ]);
-    }
+    let cells: Vec<Cell> = residences
+        .iter()
+        .map(|&res| {
+            Box::new(move || {
+                let mut scenario = Scenario::new(format!("exp2-{res}"))
+                    .with_agents(agents)
+                    .with_residence_ms(res)
+                    .with_queries(fidelity.queries())
+                    .with_seconds(warmup, measure);
+                scenario.grace = agentrack_sim::SimDuration::from_secs(45);
+                let cen = run_scheme(&scenario, "centralized", patient(LocationConfig::default()));
+                let hash = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+                vec![
+                    res.to_string(),
+                    ms_or_dnf(&cen),
+                    ms(hash.mean_locate_ms),
+                    ms(hash.p95_locate_ms),
+                    hash.trackers.to_string(),
+                    cen.locates_completed.to_string(),
+                    hash.locates_completed.to_string(),
+                ]
+            }) as Cell
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
 /// **E3** — split-strategy ablation: the paper's complex-first splitting
 /// vs. simple-only, under the Experiment-I workload.
 #[must_use]
-pub fn ablation_split(fidelity: Fidelity) -> Table {
+pub fn ablation_split(fidelity: Fidelity, jobs: usize) -> Table {
     let agents = fidelity.scale_agents(500);
     let (warmup, measure) = fidelity.spans();
     let scenario = Scenario::new("ablation-split")
@@ -274,28 +340,38 @@ pub fn ablation_split(fidelity: Fidelity) -> Table {
             "mean_prefix_bits",
         ],
     );
-    for (label, config) in [
+    let cells: Vec<Cell> = [
         ("complex-first", LocationConfig::default()),
-        ("simple-only", LocationConfig::default().simple_splits_only()),
-    ] {
-        let report = run_scheme(&scenario, "hashed", config);
-        table.push_row(vec![
-            label.to_owned(),
-            ms(report.mean_locate_ms),
-            report.trackers.to_string(),
-            report.splits.to_string(),
-            report.merges.to_string(),
-            report.tree_height.to_string(),
-            format!("{:.2}", report.mean_prefix_bits),
-        ]);
-    }
+        (
+            "simple-only",
+            LocationConfig::default().simple_splits_only(),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, config)| {
+        let scenario = scenario.clone();
+        Box::new(move || {
+            let report = run_scheme(&scenario, "hashed", config);
+            vec![
+                label.to_owned(),
+                ms(report.mean_locate_ms),
+                report.trackers.to_string(),
+                report.splits.to_string(),
+                report.merges.to_string(),
+                report.tree_height.to_string(),
+                format!("{:.2}", report.mean_prefix_bits),
+            ]
+        }) as Cell
+    })
+    .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
 /// **E4** — hash-function propagation ablation: the paper's lazy on-demand
 /// secondary copies vs. eager push to every LHAgent.
 #[must_use]
-pub fn ablation_propagation(fidelity: Fidelity) -> Table {
+pub fn ablation_propagation(fidelity: Fidelity, jobs: usize) -> Table {
     let agents = fidelity.scale_agents(300);
     let (warmup, measure) = fidelity.spans();
     let scenario = Scenario::new("ablation-propagation")
@@ -313,25 +389,32 @@ pub fn ablation_propagation(fidelity: Fidelity) -> Table {
             "messages",
         ],
     );
-    for (label, config) in [
+    let cells: Vec<Cell> = [
         ("lazy", LocationConfig::default()),
         ("eager", LocationConfig::default().with_eager_propagation()),
-    ] {
-        let report = run_scheme(&scenario, "hashed", config);
-        table.push_row(vec![
-            label.to_owned(),
-            ms(report.mean_locate_ms),
-            report.stale_hits.to_string(),
-            report.hf_fetches.to_string(),
-            report.messages_sent.to_string(),
-        ]);
-    }
+    ]
+    .into_iter()
+    .map(|(label, config)| {
+        let scenario = scenario.clone();
+        Box::new(move || {
+            let report = run_scheme(&scenario, "hashed", config);
+            vec![
+                label.to_owned(),
+                ms(report.mean_locate_ms),
+                report.stale_hits.to_string(),
+                report.hf_fetches.to_string(),
+                report.messages_sent.to_string(),
+            ]
+        }) as Cell
+    })
+    .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
 /// **E5** — threshold sensitivity: sweep `T_max` (with `T_min = T_max/10`).
 #[must_use]
-pub fn sweep_thresholds(fidelity: Fidelity) -> Table {
+pub fn sweep_thresholds(fidelity: Fidelity, jobs: usize) -> Table {
     let agents = fidelity.scale_agents(300);
     let (warmup, measure) = fidelity.spans();
     let scenario = Scenario::new("sweep-thresholds")
@@ -350,20 +433,27 @@ pub fn sweep_thresholds(fidelity: Fidelity) -> Table {
             "denied",
         ],
     );
-    for t_max in [10.0, 25.0, 50.0, 100.0, 200.0] {
-        let config = LocationConfig::default().with_thresholds(t_max, t_max / 10.0);
-        let mut scheme = HashedScheme::new(config);
-        let report = scenario.run(&mut scheme);
-        let denied = scheme.stats().rehash_denied;
-        table.push_row(vec![
-            format!("{t_max}"),
-            ms(report.mean_locate_ms),
-            report.trackers.to_string(),
-            report.splits.to_string(),
-            report.merges.to_string(),
-            denied.to_string(),
-        ]);
-    }
+    let cells: Vec<Cell> = [10.0, 25.0, 50.0, 100.0, 200.0]
+        .into_iter()
+        .map(|t_max| {
+            let scenario = scenario.clone();
+            Box::new(move || {
+                let config = LocationConfig::default().with_thresholds(t_max, t_max / 10.0);
+                let mut scheme = HashedScheme::new(config);
+                let report = scenario.run(&mut scheme);
+                let denied = scheme.stats().rehash_denied;
+                vec![
+                    format!("{t_max}"),
+                    ms(report.mean_locate_ms),
+                    report.trackers.to_string(),
+                    report.splits.to_string(),
+                    report.merges.to_string(),
+                    denied.to_string(),
+                ]
+            }) as Cell
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
@@ -372,7 +462,7 @@ pub fn sweep_thresholds(fidelity: Fidelity) -> Table {
 /// contrast with consistent hashing); this shows the load-driven splits
 /// coping with skew.
 #[must_use]
-pub fn skew(fidelity: Fidelity) -> Table {
+pub fn skew(fidelity: Fidelity, jobs: usize) -> Table {
     let agents = fidelity.scale_agents(300);
     let (warmup, measure) = fidelity.spans();
     let mut table = Table::new(
@@ -386,31 +476,37 @@ pub fn skew(fidelity: Fidelity) -> Table {
             "failures",
         ],
     );
-    for s in [0.0, 0.5, 0.9, 1.2] {
-        let mut scenario = Scenario::new(format!("skew-{s}"))
-            .with_agents(agents)
-            .with_residence_ms(300)
-            .with_queries(fidelity.queries())
-            .with_seconds(warmup, measure);
-        scenario.query_skew = Some(s);
-        scenario.mobility_skew = Some(s);
-        let report = run_scheme(&scenario, "hashed", LocationConfig::default());
-        table.push_row(vec![
-            format!("{s}"),
-            ms(report.mean_locate_ms),
-            ms(report.p95_locate_ms),
-            report.trackers.to_string(),
-            report.splits.to_string(),
-            report.locate_failures.to_string(),
-        ]);
-    }
+    let cells: Vec<Cell> = [0.0, 0.5, 0.9, 1.2]
+        .into_iter()
+        .map(|s| {
+            Box::new(move || {
+                let mut scenario = Scenario::new(format!("skew-{s}"))
+                    .with_agents(agents)
+                    .with_residence_ms(300)
+                    .with_queries(fidelity.queries())
+                    .with_seconds(warmup, measure);
+                scenario.query_skew = Some(s);
+                scenario.mobility_skew = Some(s);
+                let report = run_scheme(&scenario, "hashed", LocationConfig::default());
+                vec![
+                    format!("{s}"),
+                    ms(report.mean_locate_ms),
+                    ms(report.p95_locate_ms),
+                    report.trackers.to_string(),
+                    report.splits.to_string(),
+                    report.locate_failures.to_string(),
+                ]
+            }) as Cell
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
 /// **E7** — baseline panel: all four schemes under the Experiment-I
 /// workload at two populations and under fast mobility.
 #[must_use]
-pub fn baselines(fidelity: Fidelity) -> Table {
+pub fn baselines(fidelity: Fidelity, jobs: usize) -> Table {
     let (warmup, measure) = fidelity.spans();
     let mut table = Table::new(
         "E7: baseline panel (mean locate ms; per workload)",
@@ -427,21 +523,36 @@ pub fn baselines(fidelity: Fidelity) -> Table {
         (fidelity.scale_agents(500), 500),
         (fidelity.scale_agents(200), 100),
     ];
-    for kind in ["hashed", "centralized", "home-registry", "forwarding"] {
-        let mut cells = vec![kind.to_owned()];
-        let mut failures = 0;
-        for (agents, res) in workloads {
-            let scenario = Scenario::new(format!("baseline-{kind}-{agents}-{res}"))
-                .with_agents(agents)
-                .with_residence_ms(res)
-                .with_queries(fidelity.queries())
-                .with_seconds(warmup, measure);
-            let report = run_scheme(&scenario, kind, patient(LocationConfig::default()));
-            failures += report.locate_failures;
-            cells.push(ms_or_dnf(&report));
+    let kinds = ["hashed", "centralized", "home-registry", "forwarding"];
+    // Cell grid is scheme × workload (12 cells); rows are reassembled per
+    // scheme afterwards, summing the failure counts across workloads.
+    let cells: Vec<Cell> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            workloads.into_iter().map(move |(agents, res)| {
+                Box::new(move || {
+                    let scenario = Scenario::new(format!("baseline-{kind}-{agents}-{res}"))
+                        .with_agents(agents)
+                        .with_residence_ms(res)
+                        .with_queries(fidelity.queries())
+                        .with_seconds(warmup, measure);
+                    let report = run_scheme(&scenario, kind, patient(LocationConfig::default()));
+                    vec![ms_or_dnf(&report), report.locate_failures.to_string()]
+                }) as Cell
+            })
+        })
+        .collect();
+    let results = run_cells(cells, jobs);
+    for (k, kind) in kinds.iter().enumerate() {
+        let mut row = vec![(*kind).to_owned()];
+        let mut failures: u64 = 0;
+        for w in 0..workloads.len() {
+            let cell = &results[k * workloads.len() + w];
+            row.push(cell[0].clone());
+            failures += cell[1].parse::<u64>().expect("failure count");
         }
-        cells.push(failures.to_string());
-        table.push_row(cells);
+        row.push(failures.to_string());
+        table.push_row(row);
     }
     table
 }
@@ -452,7 +563,7 @@ pub fn baselines(fidelity: Fidelity) -> Table {
 /// first bit rarely divides the *load* evenly even when it divides the
 /// *population* evenly.
 #[must_use]
-pub fn ablation_planning(fidelity: Fidelity) -> Table {
+pub fn ablation_planning(fidelity: Fidelity, jobs: usize) -> Table {
     let agents = fidelity.scale_agents(300);
     let (warmup, measure) = fidelity.spans();
     let mut table = Table::new(
@@ -466,28 +577,34 @@ pub fn ablation_planning(fidelity: Fidelity) -> Table {
             "denied",
         ],
     );
-    for (label, config) in [
+    let cells: Vec<Cell> = [
         ("even-split", LocationConfig::default()),
         ("blind-m1", LocationConfig::default().with_blind_splits()),
-    ] {
-        let mut scenario = Scenario::new(format!("planning-{label}"))
-            .with_agents(agents)
-            .with_residence_ms(300)
-            .with_queries(fidelity.queries())
-            .with_seconds(warmup, measure);
-        scenario.query_skew = Some(1.2);
-        let mut scheme = HashedScheme::new(patient(config));
-        let report = scenario.run(&mut scheme);
-        let denied = scheme.stats().rehash_denied;
-        table.push_row(vec![
-            label.to_owned(),
-            ms(report.mean_locate_ms),
-            ms(report.p95_locate_ms),
-            report.trackers.to_string(),
-            report.splits.to_string(),
-            denied.to_string(),
-        ]);
-    }
+    ]
+    .into_iter()
+    .map(|(label, config)| {
+        Box::new(move || {
+            let mut scenario = Scenario::new(format!("planning-{label}"))
+                .with_agents(agents)
+                .with_residence_ms(300)
+                .with_queries(fidelity.queries())
+                .with_seconds(warmup, measure);
+            scenario.query_skew = Some(1.2);
+            let mut scheme = HashedScheme::new(patient(config));
+            let report = scenario.run(&mut scheme);
+            let denied = scheme.stats().rehash_denied;
+            vec![
+                label.to_owned(),
+                ms(report.mean_locate_ms),
+                ms(report.p95_locate_ms),
+                report.trackers.to_string(),
+                report.splits.to_string(),
+                denied.to_string(),
+            ]
+        }) as Cell
+    })
+    .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
@@ -495,7 +612,7 @@ pub fn ablation_planning(fidelity: Fidelity) -> Table {
 /// run (the paper's "open system" motivation). Lifespans are exponential;
 /// the mean sweeps from heavy churn to none.
 #[must_use]
-pub fn churn(fidelity: Fidelity) -> Table {
+pub fn churn(fidelity: Fidelity, jobs: usize) -> Table {
     use agentrack_sim::{DurationDist, SimDuration};
     let agents = fidelity.scale_agents(300);
     let (warmup, measure) = fidelity.spans();
@@ -511,32 +628,38 @@ pub fn churn(fidelity: Fidelity) -> Table {
             "iagents",
         ],
     );
-    for lifespan_s in [5u64, 15, 60, 0] {
-        let mut scenario = Scenario::new(format!("churn-{lifespan_s}"))
-            .with_agents(agents)
-            .with_residence_ms(300)
-            .with_queries(fidelity.queries())
-            .with_seconds(warmup, measure);
-        if lifespan_s > 0 {
-            scenario.churn_lifespan = Some(DurationDist::Exponential {
-                mean: SimDuration::from_secs(lifespan_s),
-            });
-        }
-        let report = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
-        table.push_row(vec![
-            if lifespan_s == 0 {
-                "static".to_owned()
-            } else {
-                lifespan_s.to_string()
-            },
-            ms(report.mean_locate_ms),
-            report.births.to_string(),
-            report.deaths.to_string(),
-            report.locates_completed.to_string(),
-            report.locate_failures.to_string(),
-            report.trackers.to_string(),
-        ]);
-    }
+    let cells: Vec<Cell> = [5u64, 15, 60, 0]
+        .into_iter()
+        .map(|lifespan_s| {
+            Box::new(move || {
+                let mut scenario = Scenario::new(format!("churn-{lifespan_s}"))
+                    .with_agents(agents)
+                    .with_residence_ms(300)
+                    .with_queries(fidelity.queries())
+                    .with_seconds(warmup, measure);
+                if lifespan_s > 0 {
+                    scenario.churn_lifespan = Some(DurationDist::Exponential {
+                        mean: SimDuration::from_secs(lifespan_s),
+                    });
+                }
+                let report = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
+                vec![
+                    if lifespan_s == 0 {
+                        "static".to_owned()
+                    } else {
+                        lifespan_s.to_string()
+                    },
+                    ms(report.mean_locate_ms),
+                    report.births.to_string(),
+                    report.deaths.to_string(),
+                    report.locates_completed.to_string(),
+                    report.locate_failures.to_string(),
+                    report.trackers.to_string(),
+                ]
+            }) as Cell
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
@@ -545,7 +668,7 @@ pub fn churn(fidelity: Fidelity) -> Table {
 /// tracked agents cluster, so a mobile IAgent can turn remote update
 /// traffic into node-local traffic.
 #[must_use]
-pub fn locality(fidelity: Fidelity) -> Table {
+pub fn locality(fidelity: Fidelity, jobs: usize) -> Table {
     let agents = fidelity.scale_agents(300);
     let (warmup, measure) = fidelity.spans();
     let mut table = Table::new(
@@ -560,31 +683,37 @@ pub fn locality(fidelity: Fidelity) -> Table {
             "failures",
         ],
     );
-    for skew in [2.5f64, 0.0] {
-        for enabled in [false, true] {
-            let mut scenario = Scenario::new(format!("locality-{enabled}-{skew}"))
-                .with_agents(agents)
-                .with_residence_ms(300)
-                .with_queries(fidelity.queries())
-                .with_seconds(warmup, measure);
-            scenario.mobility_skew = Some(skew);
-            let config = if enabled {
-                patient(LocationConfig::default()).with_locality_migration()
-            } else {
-                patient(LocationConfig::default())
-            };
-            let report = run_scheme(&scenario, "hashed", config);
-            table.push_row(vec![
-                if enabled { "on" } else { "off" }.to_owned(),
-                format!("{skew}"),
-                ms(report.mean_locate_ms),
-                report.iagent_moves.to_string(),
-                report.messages_remote.to_string(),
-                report.messages_sent.to_string(),
-                report.locate_failures.to_string(),
-            ]);
-        }
-    }
+    let cells: Vec<Cell> = [2.5f64, 0.0]
+        .into_iter()
+        .flat_map(|skew| {
+            [false, true].into_iter().map(move |enabled| {
+                Box::new(move || {
+                    let mut scenario = Scenario::new(format!("locality-{enabled}-{skew}"))
+                        .with_agents(agents)
+                        .with_residence_ms(300)
+                        .with_queries(fidelity.queries())
+                        .with_seconds(warmup, measure);
+                    scenario.mobility_skew = Some(skew);
+                    let config = if enabled {
+                        patient(LocationConfig::default()).with_locality_migration()
+                    } else {
+                        patient(LocationConfig::default())
+                    };
+                    let report = run_scheme(&scenario, "hashed", config);
+                    vec![
+                        if enabled { "on" } else { "off" }.to_owned(),
+                        format!("{skew}"),
+                        ms(report.mean_locate_ms),
+                        report.iagent_moves.to_string(),
+                        report.messages_remote.to_string(),
+                        report.messages_sent.to_string(),
+                        report.locate_failures.to_string(),
+                    ]
+                }) as Cell
+            })
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
     table
 }
 
@@ -609,19 +738,19 @@ pub const EXPERIMENTS: &[&str] = &[
 ///
 /// Panics if the name is unknown (the binary validates first).
 #[must_use]
-pub fn run_experiment(name: &str, fidelity: Fidelity) -> Table {
+pub fn run_experiment(name: &str, fidelity: Fidelity, jobs: usize) -> Table {
     match name {
-        "exp1" => exp1(fidelity),
-        "exp2" => exp2(fidelity),
-        "ablation-split" => ablation_split(fidelity),
-        "ablation-propagation" => ablation_propagation(fidelity),
-        "sweep-thresholds" => sweep_thresholds(fidelity),
-        "skew" => skew(fidelity),
-        "baselines" => baselines(fidelity),
-        "churn" => churn(fidelity),
-        "locality" => locality(fidelity),
-        "ablation-planning" => ablation_planning(fidelity),
-        "delivery" => delivery(fidelity),
+        "exp1" => exp1(fidelity, jobs),
+        "exp2" => exp2(fidelity, jobs),
+        "ablation-split" => ablation_split(fidelity, jobs),
+        "ablation-propagation" => ablation_propagation(fidelity, jobs),
+        "sweep-thresholds" => sweep_thresholds(fidelity, jobs),
+        "skew" => skew(fidelity, jobs),
+        "baselines" => baselines(fidelity, jobs),
+        "churn" => churn(fidelity, jobs),
+        "locality" => locality(fidelity, jobs),
+        "ablation-planning" => ablation_planning(fidelity, jobs),
+        "delivery" => delivery(fidelity, jobs),
         other => panic!("unknown experiment {other}"),
     }
 }
@@ -638,7 +767,10 @@ pub fn diagnose(fidelity: Fidelity) -> Table {
         .with_seconds(warmup, measure);
     scenario.grace = agentrack_sim::SimDuration::from_secs(45);
     let report = run_scheme(&scenario, "hashed", patient(LocationConfig::default()));
-    let mut table = Table::new("diagnose: hashed at the heaviest point", &["metric", "value"]);
+    let mut table = Table::new(
+        "diagnose: hashed at the heaviest point",
+        &["metric", "value"],
+    );
     for (k, v) in [
         ("mean_ms", format!("{:.2}", report.mean_locate_ms)),
         ("p50_ms", format!("{:.2}", report.p50_locate_ms)),
@@ -664,7 +796,7 @@ pub fn diagnose(fidelity: Fidelity) -> Table {
 /// messaging a constantly moving agent, naive locate-then-send vs.
 /// tracker-mediated `send_via`, across mobility rates.
 #[must_use]
-pub fn delivery(fidelity: Fidelity) -> Table {
+pub fn delivery(fidelity: Fidelity, jobs: usize) -> Table {
     use agentrack_core::{ClientEvent, DirectoryClient};
     use agentrack_platform::{
         Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
@@ -771,42 +903,54 @@ pub fn delivery(fidelity: Fidelity) -> Table {
         "E11: delivery to a constantly moving agent (success %, N msgs)",
         &["residence_ms", "locate_then_send", "send_via"],
     );
-    for residence_ms in [20u64, 50, 200] {
-        let mut row = vec![residence_ms.to_string()];
-        for mediated in [false, true] {
-            let topology =
-                Topology::lan(NODES, DurationDist::Constant(SimDuration::from_micros(300)));
-            let mut platform =
-                SimPlatform::new(topology, PlatformConfig::default().with_seed(33));
-            let mut scheme = HashedScheme::new(LocationConfig::default());
-            scheme.bootstrap(&mut platform);
-            let received = Arc::new(AtomicU64::new(0));
-            let mover = platform.spawn(
-                Box::new(Mover {
-                    client: scheme.make_client(),
-                    residence: SimDuration::from_millis(residence_ms),
-                    received: received.clone(),
-                }),
-                NodeId::new(1),
-            );
-            platform.spawn(
-                Box::new(Poster {
-                    client: scheme.make_client(),
-                    target: mover,
-                    mediated,
-                    remaining: count,
-                    token: 0,
-                    tick: None,
-                }),
-                NodeId::new(0),
-            );
-            platform.run_for(SimDuration::from_secs_f64(
-                0.04 * f64::from(count) + 15.0,
-            ));
-            let got = received.load(Ordering::Relaxed);
-            row.push(format!("{:.1}%", 100.0 * got as f64 / f64::from(count)));
-        }
-        table.push_row(row);
+    let residences = [20u64, 50, 200];
+    // Cell grid is residence × {locate-then-send, send_via} (6 cells);
+    // rows are reassembled per residence afterwards.
+    let cells: Vec<Cell> = residences
+        .into_iter()
+        .flat_map(|residence_ms| {
+            [false, true].into_iter().map(move |mediated| {
+                Box::new(move || {
+                    let topology =
+                        Topology::lan(NODES, DurationDist::Constant(SimDuration::from_micros(300)));
+                    let mut platform =
+                        SimPlatform::new(topology, PlatformConfig::default().with_seed(33));
+                    let mut scheme = HashedScheme::new(LocationConfig::default());
+                    scheme.bootstrap(&mut platform);
+                    let received = Arc::new(AtomicU64::new(0));
+                    let mover = platform.spawn(
+                        Box::new(Mover {
+                            client: scheme.make_client(),
+                            residence: SimDuration::from_millis(residence_ms),
+                            received: received.clone(),
+                        }),
+                        NodeId::new(1),
+                    );
+                    platform.spawn(
+                        Box::new(Poster {
+                            client: scheme.make_client(),
+                            target: mover,
+                            mediated,
+                            remaining: count,
+                            token: 0,
+                            tick: None,
+                        }),
+                        NodeId::new(0),
+                    );
+                    platform.run_for(SimDuration::from_secs_f64(0.04 * f64::from(count) + 15.0));
+                    let got = received.load(Ordering::Relaxed);
+                    vec![format!("{:.1}%", 100.0 * got as f64 / f64::from(count))]
+                }) as Cell
+            })
+        })
+        .collect();
+    let results = run_cells(cells, jobs);
+    for (r, residence_ms) in residences.into_iter().enumerate() {
+        table.push_row(vec![
+            residence_ms.to_string(),
+            results[r * 2][0].clone(),
+            results[r * 2 + 1][0].clone(),
+        ]);
     }
     table
 }

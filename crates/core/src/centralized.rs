@@ -12,14 +12,14 @@
 
 use std::collections::HashMap;
 
-use agentrack_platform::{
-    Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
-};
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
 
 use crate::config::LocationConfig;
 use crate::mailbox::Mailbox;
 use crate::retry::{LocateTracker, Retry};
-use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::scheme::{
+    ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats,
+};
 use crate::wire::Wire;
 
 /// Behaviour of the single central tracker.
@@ -107,11 +107,7 @@ impl Agent for CentralBehavior {
                 Some(&node) => ctx.send(
                     target,
                     node,
-                    Wire::MailDrop {
-                        from: origin,
-                        data,
-                    }
-                    .payload(),
+                    Wire::MailDrop { from: origin, data }.payload(),
                 ),
                 None => self.mailbox.push(ctx.now(), target, origin, data),
             },

@@ -17,13 +17,13 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use agentrack_platform::{
-    Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
-};
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
 
 use crate::config::LocationConfig;
 use crate::retry::{LocateTracker, Retry};
-use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::scheme::{
+    ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats,
+};
 use crate::wire::Wire;
 
 /// Longest pointer chain a locate will follow before giving up the

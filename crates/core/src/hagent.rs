@@ -68,10 +68,9 @@ impl Agent for StandbyHAgentBehavior {
             return;
         };
         match msg {
-            Wire::HashFnCopy { hf }
-                if hf.version > self.hf.version => {
-                    self.hf = hf;
-                }
+            Wire::HashFnCopy { hf } if hf.version > self.hf.version => {
+                self.hf = hf;
+            }
             Wire::FetchHashFn { reply_node, .. } => {
                 self.shared.update(|s| s.hf_fetches += 1);
                 ctx.send(
@@ -86,12 +85,7 @@ impl Agent for StandbyHAgentBehavior {
             Wire::SplitRequest { .. } | Wire::MergeRequest { .. } => {
                 // Read-only replica: rehashing waits for the primary.
                 self.shared.update(|s| s.rehash_denied += 1);
-                if let Some(node) = self
-                    .hf
-                    .locations
-                    .get(&IAgentId::new(from.raw()))
-                    .copied()
-                {
+                if let Some(node) = self.hf.locations.get(&IAgentId::new(from.raw())).copied() {
                     ctx.send(from, node, Wire::RehashDenied.payload());
                 }
             }
@@ -159,10 +153,7 @@ impl HAgentBehavior {
     }
 
     fn node_of_iagent(&self, iagent: AgentId) -> Option<NodeId> {
-        self.hf
-            .locations
-            .get(&IAgentId::new(iagent.raw()))
-            .copied()
+        self.hf.locations.get(&IAgentId::new(iagent.raw())).copied()
     }
 
     /// Publishes the tree's height and total consumed-prefix bits, for the
@@ -277,19 +268,20 @@ impl HAgentBehavior {
             return;
         }
         let new_ia = IAgentId::new(pending.new_agent.raw());
-        let applied = match self.hf.tree.apply_split(
-            &pending.plan.candidate,
-            new_ia,
-            pending.plan.new_side,
-        ) {
-            Ok(applied) => applied,
-            Err(_) => {
-                // The tree changed since planning (cannot happen while the
-                // HAgent serialises rehashes, but stay safe): deny.
-                self.deny(ctx, pending.requester);
-                return;
-            }
-        };
+        let applied =
+            match self
+                .hf
+                .tree
+                .apply_split(&pending.plan.candidate, new_ia, pending.plan.new_side)
+            {
+                Ok(applied) => applied,
+                Err(_) => {
+                    // The tree changed since planning (cannot happen while the
+                    // HAgent serialises rehashes, but stay safe): deny.
+                    self.deny(ctx, pending.requester);
+                    return;
+                }
+            };
         self.hf.version += 1;
         self.hf.locations.insert(new_ia, pending.new_node);
         self.shared.update(|s| s.splits += 1);
@@ -298,6 +290,7 @@ impl HAgentBehavior {
 
         let mut involved = applied.affected;
         involved.push(new_ia);
+        self.hf.refresh_compiled(&involved);
         self.distribute(ctx, &involved);
         self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
     }
@@ -329,6 +322,7 @@ impl HAgentBehavior {
 
         // Install on the absorbers (via the directory) and on the merged
         // IAgent (whose directory entry is gone — use its last node).
+        self.hf.refresh_compiled(&applied.absorbers);
         self.distribute(ctx, &applied.absorbers);
         if let Some(node) = merged_node {
             ctx.send(
@@ -391,8 +385,10 @@ impl Agent for HAgentBehavior {
         // A lost install leaves a tracker serving under a stale view; queue
         // a retry (the periodic tick re-sends to the directory's current
         // node, which the move that caused the bounce will have updated).
-        if matches!(Wire::from_payload(payload), Some(Wire::InstallHashFn { .. }))
-            && !self.reinstall.contains(&to)
+        if matches!(
+            Wire::from_payload(payload),
+            Some(Wire::InstallHashFn { .. })
+        ) && !self.reinstall.contains(&to)
         {
             self.reinstall.push(to);
         }

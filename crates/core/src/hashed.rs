@@ -15,17 +15,17 @@
 
 use std::sync::Arc;
 
-use agentrack_platform::{
-    AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
-};
+use agentrack_platform::{AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
 
 use crate::config::LocationConfig;
 use crate::hagent::{HAgentBehavior, StandbyHAgentBehavior};
-use crate::mailbox::MAIL_MAX_HOPS;
-use crate::retry::{LocateTracker, Retry};
 use crate::iagent::IAgentBehavior;
 use crate::lhagent::LHAgentBehavior;
-use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::mailbox::MAIL_MAX_HOPS;
+use crate::retry::{LocateTracker, Retry};
+use crate::scheme::{
+    ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats,
+};
 use crate::wire::{HashFunction, Wire};
 
 /// The hash-based location scheme: one HAgent, one initial IAgent, one
@@ -247,7 +247,13 @@ impl HashedClient {
     }
 
     /// Starts (or retries) the locate identified by `token`.
-    fn resolve_for_locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64, fresh: bool) {
+    fn resolve_for_locate(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        token: u64,
+        fresh: bool,
+    ) {
         let msg = if fresh {
             Wire::ResolveFresh {
                 target,
@@ -303,20 +309,26 @@ impl HashedClient {
 
     fn refresh_own_iagent(&self, ctx: &mut AgentCtx<'_>) {
         let me = ctx.self_id();
-        self.send_local_resolve(ctx, &Wire::ResolveFresh {
-            target: me,
-            token: None,
-        });
+        self.send_local_resolve(
+            ctx,
+            &Wire::ResolveFresh {
+                target: me,
+                token: None,
+            },
+        );
     }
 }
 
 impl DirectoryClient for HashedClient {
     fn register(&mut self, ctx: &mut AgentCtx<'_>) {
         let me = ctx.self_id();
-        self.send_local_resolve(ctx, &Wire::Resolve {
-            target: me,
-            token: None,
-        });
+        self.send_local_resolve(
+            ctx,
+            &Wire::Resolve {
+                target: me,
+                token: None,
+            },
+        );
         self.register_watchdog = Some(ctx.set_timer(self.config.locate_retry_timeout));
     }
 

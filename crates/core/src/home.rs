@@ -18,14 +18,14 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use agentrack_platform::{
-    Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId,
-};
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
 
 use crate::centralized::CentralBehavior;
 use crate::config::LocationConfig;
 use crate::retry::{LocateTracker, Retry};
-use crate::scheme::{ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats};
+use crate::scheme::{
+    ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats,
+};
 use crate::wire::Wire;
 
 /// Behaviour of a per-node home registry.

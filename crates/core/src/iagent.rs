@@ -192,9 +192,7 @@ impl IAgentBehavior {
 
     /// Split check, run after every recorded request.
     fn maybe_request_split(&mut self, ctx: &mut AgentCtx<'_>) {
-        if self.rehash_requested_at.is_some()
-            || ctx.now() < self.cooldown_until
-            || !self.installed
+        if self.rehash_requested_at.is_some() || ctx.now() < self.cooldown_until || !self.installed
         {
             return;
         }
@@ -249,9 +247,8 @@ impl IAgentBehavior {
         if !self.hf.tree.contains(me) {
             // Merged away: hand off everything and retire. Buffered mail
             // chases its keys' new trackers.
-            let records: Vec<(AgentId, NodeId)> = std::mem::take(&mut self.records)
-                .into_iter()
-                .collect();
+            let records: Vec<(AgentId, NodeId)> =
+                std::mem::take(&mut self.records).into_iter().collect();
             self.dispatch_handoffs(ctx, records);
             for item in self.mailbox.drain_if(|_| true) {
                 let (owner, node) = self.hf.resolve(item.target);

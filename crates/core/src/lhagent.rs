@@ -63,7 +63,13 @@ impl LHAgentBehavior {
 
     /// Answers a resolve from the local copy. Requesters are by definition
     /// on this node ("its own local LHAgent").
-    fn answer(&self, ctx: &mut AgentCtx<'_>, requester: AgentId, target: AgentId, token: Option<u64>) {
+    fn answer(
+        &self,
+        ctx: &mut AgentCtx<'_>,
+        requester: AgentId,
+        target: AgentId,
+        token: Option<u64>,
+    ) {
         let (iagent, node) = self.hf.resolve(target);
         let here = ctx.node();
         ctx.send(
@@ -198,8 +204,7 @@ impl Agent for LHAgentBehavior {
     }
 
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
-        if self.fetch_in_flight && ctx.now().saturating_since(self.fetch_sent_at) >= FETCH_TIMEOUT
-        {
+        if self.fetch_in_flight && ctx.now().saturating_since(self.fetch_sent_at) >= FETCH_TIMEOUT {
             // The reply never came (lost, or the HAgent crashed mid-fetch):
             // try the next source.
             self.fetch_in_flight = false;

@@ -75,8 +75,9 @@ impl Mailbox {
     /// location just became known).
     #[must_use]
     pub fn take_for(&mut self, target: AgentId) -> Vec<MailItem> {
-        let (out, keep): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.items).into_iter().partition(|m| m.target == target);
+        let (out, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.items)
+            .into_iter()
+            .partition(|m| m.target == target);
         self.items = keep;
         out
     }
@@ -85,8 +86,9 @@ impl Mailbox {
     /// longer belongs to this tracker are drained and handed to the
     /// closure (used after a rehash installs a new hash-function version).
     pub fn drain_if(&mut self, mut gone: impl FnMut(&MailItem) -> bool) -> Vec<MailItem> {
-        let (out, keep): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.items).into_iter().partition(|m| gone(m));
+        let (out, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.items)
+            .into_iter()
+            .partition(|m| gone(m));
         self.items = keep;
         out
     }
@@ -153,7 +155,12 @@ mod tests {
     fn drain_if_partitions() {
         let mut mb = Mailbox::new(SimDuration::from_secs(1));
         for i in 0..6u64 {
-            mb.push(SimTime::ZERO, AgentId::new(i), AgentId::new(9), vec![i as u8]);
+            mb.push(
+                SimTime::ZERO,
+                AgentId::new(i),
+                AgentId::new(9),
+                vec![i as u8],
+            );
         }
         let drained = mb.drain_if(|m| m.target.raw() % 2 == 0);
         assert_eq!(drained.len(), 3);

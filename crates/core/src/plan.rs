@@ -52,7 +52,10 @@ impl std::fmt::Display for PlanError {
             PlanError::UnknownIAgent => write!(f, "IAgent owns no leaf"),
             PlanError::NoCandidates => write!(f, "no split candidates remain"),
             PlanError::Unbalanceable => {
-                write!(f, "load is concentrated on a single agent; no split can balance it")
+                write!(
+                    f,
+                    "load is concentrated on a single agent; no split can balance it"
+                )
             }
         }
     }
@@ -103,9 +106,7 @@ pub fn plan_split(
 
     let mut best: Option<SplitPlan> = None;
     for candidate in candidates {
-        if !config.complex_splits_enabled
-            && matches!(candidate.kind, SplitKind::Complex { .. })
-        {
+        if !config.complex_splits_enabled && matches!(candidate.kind, SplitKind::Complex { .. }) {
             continue;
         }
         if let SplitKind::Simple { m } = candidate.kind {
@@ -219,8 +220,7 @@ mod tests {
     fn zero_load_agents_weigh_one() {
         let tree = HashTree::new(IAgentId::new(0));
         let loads: Vec<(AgentId, u64)> = (0..100).map(|i| (AgentId::new(i), 0)).collect();
-        let plan =
-            plan_split(&tree, IAgentId::new(0), &loads, &LocationConfig::default()).unwrap();
+        let plan = plan_split(&tree, IAgentId::new(0), &loads, &LocationConfig::default()).unwrap();
         assert!(plan.even);
     }
 
@@ -259,9 +259,13 @@ mod tests {
             .into_iter()
             .find(|c| c.kind == SplitKind::Simple { m: 2 })
             .unwrap();
-        tree.apply_split(&cand, IAgentId::new(1), Side::Right).unwrap();
+        tree.apply_split(&cand, IAgentId::new(1), Side::Right)
+            .unwrap();
         tree.apply_merge(IAgentId::new(1)).unwrap();
-        assert!(tree.hyper_label(IAgentId::new(0)).unwrap().has_unused_bits());
+        assert!(tree
+            .hyper_label(IAgentId::new(0))
+            .unwrap()
+            .has_unused_bits());
 
         let loads: Vec<(AgentId, u64)> = (0..200).map(|i| (AgentId::new(i), 1)).collect();
         let config = LocationConfig::default();

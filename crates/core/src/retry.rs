@@ -140,7 +140,13 @@ mod tests {
                 target: AgentId::new(9)
             }
         );
-        assert_eq!(t.on_negative(1, 3), Retry::Again { token: 1, target: AgentId::new(9) });
+        assert_eq!(
+            t.on_negative(1, 3),
+            Retry::Again {
+                token: 1,
+                target: AgentId::new(9)
+            }
+        );
         assert_eq!(
             t.on_negative(1, 3),
             Retry::GiveUp {

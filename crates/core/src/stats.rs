@@ -65,11 +65,7 @@ impl LoadStats {
     /// Snapshot of per-agent accumulated loads (for a split request).
     #[must_use]
     pub fn loads(&self) -> Vec<(AgentId, u64)> {
-        let mut v: Vec<(AgentId, u64)> = self
-            .per_agent
-            .iter()
-            .map(|(&a, &w)| (a, w))
-            .collect();
+        let mut v: Vec<(AgentId, u64)> = self.per_agent.iter().map(|(&a, &w)| (a, w)).collect();
         v.sort_unstable();
         v
     }
@@ -131,10 +127,7 @@ mod tests {
         s.record(t, AgentId::new(1));
         s.record(t, AgentId::new(1));
         s.record(t, AgentId::new(2));
-        assert_eq!(
-            s.loads(),
-            vec![(AgentId::new(1), 2), (AgentId::new(2), 1)]
-        );
+        assert_eq!(s.loads(), vec![(AgentId::new(1), 2), (AgentId::new(2), 1)]);
         assert_eq!(s.total(), 3);
     }
 

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use agentrack_hashtree::{AgentKey, HashTree, IAgentId};
+use agentrack_hashtree::{AgentKey, CompiledDirectory, HashTree, IAgentId};
 use agentrack_platform::{AgentId, NodeId, Payload};
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +30,17 @@ pub fn key_of(agent: AgentId) -> AgentKey {
 /// of every IAgent — because resolving an agent must yield both "which
 /// IAgent" and "where is it" (paper: the LHAgent returns "the id and the
 /// current location of A's IAgent").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Every copy also carries a [`CompiledDirectory`]: the tree flattened
+/// into a `2^d` table so the hot [`resolve`](Self::resolve) path is one
+/// array index instead of a per-bit tree walk. The table is derived data —
+/// it is rebuilt on deserialisation rather than sent over the wire, it is
+/// excluded from equality, and it is generation-stamped so a direct
+/// mutation of [`tree`](Self::tree) can never produce a wrong answer:
+/// resolves fall back to the tree walk until [`recompile`](Self::recompile)
+/// (full) or [`refresh_compiled`](Self::refresh_compiled) (incremental,
+/// used by the HAgent after each rehash) brings the table current.
+#[derive(Debug, Clone)]
 pub struct HashFunction {
     /// Version counter, bumped by every rehash; lets copies recognise
     /// staleness.
@@ -39,6 +49,8 @@ pub struct HashFunction {
     pub tree: HashTree,
     /// Where each IAgent lives. Keys are the tree's leaf owners.
     pub locations: HashMap<IAgentId, NodeId>,
+    /// O(1) dispatch table compiled from `tree`; lazily kept current.
+    compiled: CompiledDirectory,
 }
 
 impl HashFunction {
@@ -49,11 +61,27 @@ impl HashFunction {
         let ia = IAgentId::new(iagent.raw());
         let mut locations = HashMap::new();
         locations.insert(ia, node);
+        let tree = HashTree::new(ia);
+        let compiled = CompiledDirectory::build(&tree);
         HashFunction {
             version: 1,
-            tree: HashTree::new(ia),
+            tree,
             locations,
+            compiled,
         }
+    }
+
+    /// The tree lookup, through the compiled directory when it is current
+    /// (the common case — the HAgent refreshes it on every rehash, and
+    /// deserialised copies arrive freshly compiled).
+    #[inline]
+    fn lookup(&self, key: AgentKey) -> IAgentId {
+        if self.compiled.is_current(&self.tree) {
+            if let Some(ia) = self.compiled.lookup(key) {
+                return ia;
+            }
+        }
+        self.tree.lookup(key)
     }
 
     /// Resolves an agent id to its responsible IAgent and that IAgent's
@@ -65,7 +93,7 @@ impl HashFunction {
     /// HAgent maintains.
     #[must_use]
     pub fn resolve(&self, target: AgentId) -> (AgentId, NodeId) {
-        let ia = self.tree.lookup(key_of(target));
+        let ia = self.lookup(key_of(target));
         let node = *self
             .locations
             .get(&ia)
@@ -76,10 +104,36 @@ impl HashFunction {
     /// `true` if `iagent` is responsible for `target` under this version.
     #[must_use]
     pub fn is_responsible(&self, iagent: AgentId, target: AgentId) -> bool {
-        self.tree.lookup(key_of(target)) == IAgentId::new(iagent.raw())
+        self.lookup(key_of(target)) == IAgentId::new(iagent.raw())
     }
 
-    /// Consistency check: every leaf has a directory entry and vice versa.
+    /// The compiled dispatch table (possibly stale; check
+    /// [`CompiledDirectory::is_current`]).
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledDirectory {
+        &self.compiled
+    }
+
+    /// Rebuilds the compiled directory from scratch. Call after mutating
+    /// [`tree`](Self::tree) directly; until then resolves take the (safe,
+    /// slower) tree walk.
+    pub fn recompile(&mut self) {
+        self.compiled = CompiledDirectory::build(&self.tree);
+    }
+
+    /// Incrementally refreshes the compiled directory after one split or
+    /// merge: only the regions of `involved` leaves are rewritten
+    /// ([`SplitApplied::affected`] plus the new IAgent, or
+    /// [`MergeApplied::absorbers`]).
+    ///
+    /// [`SplitApplied::affected`]: agentrack_hashtree::SplitApplied::affected
+    /// [`MergeApplied::absorbers`]: agentrack_hashtree::MergeApplied::absorbers
+    pub fn refresh_compiled(&mut self, involved: &[IAgentId]) {
+        self.compiled.refresh(&self.tree, involved);
+    }
+
+    /// Consistency check: every leaf has a directory entry and vice versa,
+    /// and a current compiled directory agrees with the tree slot by slot.
     ///
     /// # Errors
     ///
@@ -98,7 +152,59 @@ impl HashFunction {
                 self.tree.iagent_count()
             ));
         }
+        if self.compiled.is_current(&self.tree) {
+            self.compiled.verify(&self.tree)?;
+        }
         Ok(())
+    }
+}
+
+/// The compiled directory is derived data: two hash functions are equal
+/// when their versions, trees and directories agree, regardless of whether
+/// either side's table is current.
+impl PartialEq for HashFunction {
+    fn eq(&self, other: &Self) -> bool {
+        self.version == other.version
+            && self.tree == other.tree
+            && self.locations == other.locations
+    }
+}
+
+/// Wire format identical to the former derived one (`version`, `tree`,
+/// `locations`); the compiled table stays local.
+impl Serialize for HashFunction {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (String::from("version"), Serialize::serialize(&self.version)),
+            (String::from("tree"), Serialize::serialize(&self.tree)),
+            (
+                String::from("locations"),
+                Serialize::serialize(&self.locations),
+            ),
+        ])
+    }
+}
+
+/// Deserialised copies arrive with a freshly compiled table: this is what
+/// gives LHAgent secondary copies and client-held copies their
+/// per-generation compiled cache without any extra protocol.
+impl Deserialize for HashFunction {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| -> Result<&serde::Value, serde::Error> {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::custom(format!("HashFunction: missing {name}")))
+        };
+        let version = Deserialize::deserialize(field("version")?)?;
+        let tree: HashTree = Deserialize::deserialize(field("tree")?)?;
+        let locations = Deserialize::deserialize(field("locations")?)?;
+        let compiled = CompiledDirectory::build(&tree);
+        Ok(HashFunction {
+            version,
+            tree,
+            locations,
+            compiled,
+        })
     }
 }
 

@@ -84,7 +84,12 @@ impl Harness {
     }
 
     fn received(&self) -> Vec<Wire> {
-        self.inbox.lock().unwrap().iter().map(|(_, m)| m.clone()).collect()
+        self.inbox
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, m)| m.clone())
+            .collect()
     }
 
     fn clear(&self) {
@@ -186,7 +191,10 @@ fn lhagent_resolve_fresh_pulls_the_primary_copy() {
         .find(|m| matches!(m, Wire::FetchHashFn { .. }));
     assert!(matches!(
         fetch,
-        Some(Wire::FetchHashFn { have_version: 1, .. })
+        Some(Wire::FetchHashFn {
+            have_version: 1,
+            ..
+        })
     ));
     h.clear();
 
@@ -275,8 +283,22 @@ fn iagent_update_changes_the_answer() {
     let mut h = Harness::new(3);
     let ia = spawn_sole_iagent(&mut h, config());
     let agent = AgentId::new(500);
-    h.send(ia, NodeId::new(1), Wire::Register { agent, node: NodeId::new(0) });
-    h.send(ia, NodeId::new(1), Wire::Update { agent, node: NodeId::new(2) });
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Register {
+            agent,
+            node: NodeId::new(0),
+        },
+    );
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Update {
+            agent,
+            node: NodeId::new(2),
+        },
+    );
     h.send(
         ia,
         NodeId::new(1),
@@ -446,7 +468,14 @@ fn iagent_merged_away_hands_off_everything_and_retires() {
     let mut h = Harness::new(2);
     let ia = spawn_sole_iagent(&mut h, config());
     let agent = AgentId::new(512);
-    h.send(ia, NodeId::new(1), Wire::Register { agent, node: NodeId::new(0) });
+    h.send(
+        ia,
+        NodeId::new(1),
+        Wire::Register {
+            agent,
+            node: NodeId::new(0),
+        },
+    );
     h.run_ms(30);
     h.clear();
 
@@ -479,7 +508,13 @@ fn hagent_serves_the_primary_copy() {
     let hf = HashFunction::initial(AgentId::new(70), NodeId::new(1));
     let stats = SharedSchemeStats::new();
     let hagent = h.platform.spawn(
-        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 2, stats.clone())),
+        Box::new(HAgentBehavior::new(
+            config(),
+            hf,
+            Vec::new(),
+            2,
+            stats.clone(),
+        )),
         NodeId::new(1),
     );
 
@@ -506,16 +541,19 @@ fn hagent_denies_merging_the_last_iagent() {
     let hf = HashFunction::initial(h.puppet, h.puppet_node);
     let stats = SharedSchemeStats::new();
     let hagent = h.platform.spawn(
-        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 2, stats.clone())),
+        Box::new(HAgentBehavior::new(
+            config(),
+            hf,
+            Vec::new(),
+            2,
+            stats.clone(),
+        )),
         NodeId::new(1),
     );
 
     h.send(hagent, NodeId::new(1), Wire::MergeRequest { rate: 0.0 });
     h.run_ms(30);
-    assert!(h
-        .received()
-        .iter()
-        .any(|m| matches!(m, Wire::RehashDenied)));
+    assert!(h.received().iter().any(|m| matches!(m, Wire::RehashDenied)));
     assert_eq!(stats.snapshot().merges, 0);
 }
 
@@ -570,7 +608,13 @@ fn hagent_denies_concurrent_rehashes() {
     let hf = HashFunction::initial(h.puppet, h.puppet_node);
     let stats = SharedSchemeStats::new();
     let hagent = h.platform.spawn(
-        Box::new(HAgentBehavior::new(config(), hf, Vec::new(), 2, stats.clone())),
+        Box::new(HAgentBehavior::new(
+            config(),
+            hf,
+            Vec::new(),
+            2,
+            stats.clone(),
+        )),
         NodeId::new(1),
     );
 
@@ -648,7 +692,13 @@ fn hagent_updates_the_directory_when_an_iagent_moves() {
         NodeId::new(1),
     );
 
-    h.send(hagent, NodeId::new(1), Wire::IAgentMoved { node: NodeId::new(2) });
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::IAgentMoved {
+            node: NodeId::new(2),
+        },
+    );
     h.send(
         hagent,
         NodeId::new(1),
@@ -729,7 +779,9 @@ fn deliver_via_buffers_until_the_next_update() {
     );
     h.run_ms(50);
     assert!(
-        !h.received().iter().any(|m| matches!(m, Wire::MailDrop { .. })),
+        !h.received()
+            .iter()
+            .any(|m| matches!(m, Wire::MailDrop { .. })),
         "mail must be buffered while the target is unknown"
     );
 

@@ -2,7 +2,7 @@
 //! payload encoding, and the hash-function artifact stays consistent under
 //! random rehash histories.
 
-use agentrack_core::{key_of, HashFunction, LocationConfig, plan_split, Wire};
+use agentrack_core::{key_of, plan_split, HashFunction, LocationConfig, Wire};
 use agentrack_hashtree::{IAgentId, Side, SplitKind};
 use agentrack_platform::{AgentId, NodeId};
 use proptest::prelude::*;
@@ -38,7 +38,10 @@ fn arb_wire() -> impl Strategy<Value = Wire> {
             .prop_map(|(about, token)| Wire::NotResponsible { about, token }),
         // Rates are msgs/sec: non-negative, human-scale. (Extreme doubles
         // lose bits through JSON, which the protocol never carries.)
-        (0.0f64..1e9, prop::collection::vec((arb_agent(), any::<u64>()), 0..20))
+        (
+            0.0f64..1e9,
+            prop::collection::vec((arb_agent(), any::<u64>()), 0..20)
+        )
             .prop_map(|(rate, loads)| Wire::SplitRequest { rate, loads }),
         prop::collection::vec((arb_agent(), arb_node()), 0..20)
             .prop_map(|records| Wire::Handoff { records }),

@@ -152,7 +152,10 @@ impl Bits {
     /// Panics if `start > end` or `end > self.len()`.
     #[must_use]
     pub fn slice(&self, start: usize, end: usize) -> Self {
-        assert!(start <= end && end <= self.len(), "Bits::slice out of range");
+        assert!(
+            start <= end && end <= self.len(),
+            "Bits::slice out of range"
+        );
         let len = end - start;
         if len == 0 {
             // `raw << 64` would overflow when start == 64.

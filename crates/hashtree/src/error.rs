@@ -33,7 +33,10 @@ impl fmt::Display for TreeError {
             TreeError::UnknownIAgent(id) => write!(f, "unknown IAgent {id}"),
             TreeError::DuplicateIAgent(id) => write!(f, "IAgent {id} already owns a leaf"),
             TreeError::DepthExceeded { key_bit } => {
-                write!(f, "split would branch on key bit {key_bit}, beyond the key width")
+                write!(
+                    f,
+                    "split would branch on key bit {key_bit}, beyond the key width"
+                )
             }
             TreeError::LastIAgent => write!(f, "cannot merge the last remaining IAgent"),
             TreeError::StaleCandidate(why) => write!(f, "stale split candidate: {why}"),

@@ -386,9 +386,7 @@ impl FromStr for HyperLabel {
         let labels = if rest.is_empty() {
             Vec::new()
         } else {
-            rest.split('.')
-                .map(str::parse)
-                .collect::<Result<_, _>>()?
+            rest.split('.').map(str::parse).collect::<Result<_, _>>()?
         };
         let mut hl = HyperLabel::from_labels(labels);
         hl.set_prefix_skip(skip);

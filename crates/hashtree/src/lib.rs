@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 mod bits;
+pub mod compiled;
 mod error;
 mod key;
 mod label;
@@ -65,6 +66,7 @@ mod shape;
 pub mod tree;
 
 pub use bits::{Bits, ParseBitsError, MAX_BITS};
+pub use compiled::{CompiledDirectory, MAX_COMPILED_DEPTH};
 pub use error::TreeError;
 pub use key::{AgentKey, KEY_BITS};
 pub use label::{HyperLabel, Label, ParseLabelError};

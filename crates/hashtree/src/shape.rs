@@ -71,7 +71,11 @@ impl HashTree {
         TreeShape {
             leaves,
             height,
-            min_depth: if min_depth == usize::MAX { 0 } else { min_depth },
+            min_depth: if min_depth == usize::MAX {
+                0
+            } else {
+                min_depth
+            },
             mean_prefix_bits: prefix_total as f64 / leaves.max(1) as f64,
             unused_bits,
         }

@@ -50,9 +50,7 @@ use crate::label::{HyperLabel, Label};
 /// leaf.
 ///
 /// Displayed as `IA<n>`, following the paper's figures.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct IAgentId(pub u64);
 
 impl IAgentId {
@@ -369,6 +367,20 @@ impl HashTree {
         Ok(self.consumed_bits_of_node(leaf))
     }
 
+    /// The most key bits any traversal consumes: the maximum of
+    /// [`consumed_bits`](Self::consumed_bits) over all leaves. Unlike
+    /// [`height`](Self::height) (which counts edges) this counts *bits*,
+    /// including each label's unused bits and the root's skip prefix — an
+    /// upper bound on the depth a compiled directory could need.
+    #[must_use]
+    pub fn max_consumed_bits(&self) -> usize {
+        self.leaves
+            .values()
+            .map(|&leaf| self.consumed_bits_of_node(leaf))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Height of the tree: number of edges on the longest root-to-leaf path.
     #[must_use]
     pub fn height(&self) -> usize {
@@ -659,15 +671,11 @@ impl HashTree {
     }
 
     fn node(&self, id: NodeId) -> &NodeData {
-        self.nodes[id.0 as usize]
-            .as_ref()
-            .expect("dangling NodeId")
+        self.nodes[id.0 as usize].as_ref().expect("dangling NodeId")
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut NodeData {
-        self.nodes[id.0 as usize]
-            .as_mut()
-            .expect("dangling NodeId")
+        self.nodes[id.0 as usize].as_mut().expect("dangling NodeId")
     }
 
     fn child(&self, id: NodeId, side: Side) -> NodeId {
@@ -784,7 +792,9 @@ impl HashTree {
         new_side: Side,
     ) -> Result<SplitApplied, TreeError> {
         if m == 0 {
-            return Err(TreeError::InvalidParameter("simple split needs m >= 1".into()));
+            return Err(TreeError::InvalidParameter(
+                "simple split needs m >= 1".into(),
+            ));
         }
         let old_iagent = match self.node(leaf).kind {
             NodeKind::Leaf(ia) => ia,
@@ -1249,9 +1259,7 @@ mod tests {
     #[test]
     fn exactly_one_leaf_is_compatible_with_any_key() {
         let tree = figure1_style_tree();
-        let keys: Vec<AgentKey> = (0..256u64)
-            .map(AgentKey::from_sequential)
-            .collect();
+        let keys: Vec<AgentKey> = (0..256u64).map(AgentKey::from_sequential).collect();
         for k in keys {
             let compatible: Vec<IAgentId> = tree
                 .mapping()
@@ -1259,7 +1267,11 @@ mod tests {
                 .filter(|(_, hl)| hl.is_compatible(k))
                 .map(|(ia, _)| ia)
                 .collect();
-            assert_eq!(compatible.len(), 1, "key {k} compatible with {compatible:?}");
+            assert_eq!(
+                compatible.len(),
+                1,
+                "key {k} compatible with {compatible:?}"
+            );
             assert_eq!(compatible[0], tree.lookup(k));
         }
     }

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// platform; the location mechanism derives its hash keys from them (the
 /// paper's point that the mechanism "is not based on any particular
 /// agent-naming scheme").
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct AgentId(pub u64);
 
 impl AgentId {
@@ -49,9 +47,7 @@ impl fmt::Debug for AgentId {
 
 /// Identifier of a timer set via
 /// [`AgentCtx::set_timer`](crate::AgentCtx::set_timer).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct TimerId(pub u64);
 
 impl TimerId {

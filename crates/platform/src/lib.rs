@@ -71,12 +71,12 @@ mod runtime;
 mod spawner;
 
 pub use agent::{Agent, AgentCtx};
-pub use live::{LivePlatform, LiveStats};
-pub use spawner::Spawner;
 pub use config::PlatformConfig;
 pub use id::{AgentId, TimerId};
+pub use live::{LivePlatform, LiveStats};
 pub use payload::{DecodeError, Payload};
 pub use runtime::{AgentState, PlatformStats, SimPlatform, TraceEvent, Tracer};
+pub use spawner::Spawner;
 
 // Re-export the sim vocabulary platform users need constantly.
 pub use agentrack_sim::{DurationDist, NodeId, SimDuration, SimTime, Topology};

@@ -69,7 +69,10 @@ enum NodeMsg {
         kind: WelcomeKind,
     },
     /// A timer that fired on another node after its agent moved here.
-    TimerHop { agent: AgentId, timer: TimerId },
+    TimerHop {
+        agent: AgentId,
+        timer: TimerId,
+    },
     Shutdown,
 }
 
@@ -120,7 +123,9 @@ impl Shared {
 
     /// Routes a delivery failure back to the sender, wherever it now is.
     fn bounce(&self, from: AgentId, to: AgentId, node: NodeId, payload: Payload) {
-        self.counters.messages_failed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .messages_failed
+            .fetch_add(1, Ordering::Relaxed);
         let whereabouts = self.registry.read().get(&from).copied();
         if let Some(Whereabouts::Active(sender_node)) = whereabouts {
             self.send_to_node(
@@ -233,7 +238,10 @@ impl LivePlatform {
             .registry
             .write()
             .insert(id, Whereabouts::Creating(node));
-        self.shared.counters.agents_created.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .agents_created
+            .fetch_add(1, Ordering::Relaxed);
         self.shared.send_to_node(
             node,
             NodeMsg::Welcome {
@@ -250,10 +258,15 @@ impl LivePlatform {
     pub fn post(&self, to: AgentId, payload: Payload) -> bool {
         let whereabouts = self.shared.registry.read().get(&to).copied();
         let node = match whereabouts {
-            Some(Whereabouts::Active(n) | Whereabouts::Creating(n) | Whereabouts::InTransit(n)) => n,
+            Some(Whereabouts::Active(n) | Whereabouts::Creating(n) | Whereabouts::InTransit(n)) => {
+                n
+            }
             None => return false,
         };
-        self.shared.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
         self.shared.send_to_node(
             node,
             NodeMsg::Deliver {
@@ -420,7 +433,10 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
             NodeMsg::Shutdown => return,
             NodeMsg::Welcome { id, behavior, kind } => {
                 residents.insert(id, behavior);
-                shared.registry.write().insert(id, Whereabouts::Active(node));
+                shared
+                    .registry
+                    .write()
+                    .insert(id, Whereabouts::Active(node));
                 invoke(
                     &shared,
                     node,
@@ -456,7 +472,10 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
                 } else if from != AgentId::new(u64::MAX) {
                     shared.bounce(from, to, node, payload);
                 } else {
-                    shared.counters.messages_failed.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .messages_failed
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
             NodeMsg::Failure {
@@ -528,12 +547,26 @@ fn invoke<F>(
     let mut departed = false;
     for action in actions {
         match action {
-            Action::Send { to, node: dest, payload } => {
+            Action::Send {
+                to,
+                node: dest,
+                payload,
+            } => {
                 if dest.raw() >= shared.senders.len() as u32 {
                     continue;
                 }
-                shared.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
-                shared.send_to_node(dest, NodeMsg::Deliver { to, from: id, payload });
+                shared
+                    .counters
+                    .messages_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.send_to_node(
+                    dest,
+                    NodeMsg::Deliver {
+                        to,
+                        from: id,
+                        payload,
+                    },
+                );
             }
             Action::Dispatch { to } => {
                 if to.raw() >= shared.senders.len() as u32 || keep.is_none() || departed {
@@ -544,7 +577,10 @@ fn invoke<F>(
                 }
                 let behavior = keep.take().expect("checked");
                 departed = true;
-                shared.registry.write().insert(id, Whereabouts::InTransit(to));
+                shared
+                    .registry
+                    .write()
+                    .insert(id, Whereabouts::InTransit(to));
                 shared.counters.migrations.fetch_add(1, Ordering::Relaxed);
                 shared.send_to_node(
                     to,
@@ -574,7 +610,10 @@ fn invoke<F>(
                     .registry
                     .write()
                     .insert(new_id, Whereabouts::Creating(dest));
-                shared.counters.agents_created.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .agents_created
+                    .fetch_add(1, Ordering::Relaxed);
                 shared.send_to_node(
                     dest,
                     NodeMsg::Welcome {
@@ -602,16 +641,33 @@ fn invoke<F>(
                     behavior.on_dispose(&mut ctx);
                     // Farewell sends only; other actions are meaningless now.
                     for action in dispose_actions {
-                        if let Action::Send { to, node: dest, payload } = action {
+                        if let Action::Send {
+                            to,
+                            node: dest,
+                            payload,
+                        } = action
+                        {
                             if dest.raw() < shared.senders.len() as u32 {
-                                shared.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
                                 shared
-                                    .send_to_node(dest, NodeMsg::Deliver { to, from: id, payload });
+                                    .counters
+                                    .messages_sent
+                                    .fetch_add(1, Ordering::Relaxed);
+                                shared.send_to_node(
+                                    dest,
+                                    NodeMsg::Deliver {
+                                        to,
+                                        from: id,
+                                        payload,
+                                    },
+                                );
                             }
                         }
                     }
                     shared.registry.write().remove(&id);
-                    shared.counters.agents_disposed.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .agents_disposed
+                        .fetch_add(1, Ordering::Relaxed);
                     // The agent is gone; ignore later actions.
                     return;
                 }

@@ -297,11 +297,14 @@ impl SimPlatform {
         }
     }
 
-    /// Runs every event up to and including time `t`.
+    /// Runs every event up to and including time `t`, then advances the
+    /// clock to `t` — even when no event fired, so repeated bounded runs
+    /// make progress across quiet stretches.
     pub fn run_until(&mut self, t: SimTime) {
         while self.sched.peek_time().is_some_and(|pt| pt <= t) {
             self.step();
         }
+        self.sched.advance_to(t);
     }
 
     /// Runs for `d` more virtual time.
@@ -386,7 +389,11 @@ impl SimPlatform {
                             }
                             self.invoke(to, |a, ctx| a.on_message(ctx, from, &payload));
                         }
-                        Incoming::Failure { to: f_to, node: f_node, payload } => {
+                        Incoming::Failure {
+                            to: f_to,
+                            node: f_node,
+                            payload,
+                        } => {
                             self.invoke(to, |a, ctx| {
                                 a.on_delivery_failed(ctx, f_to, f_node, &payload);
                             });
@@ -647,12 +654,14 @@ impl SimPlatform {
         } else {
             self.topology.latency(origin, to, &mut self.rng)
         };
-        let total = self.config.migration_overhead + network + self.config.transfer_time(state_size);
+        let total =
+            self.config.migration_overhead + network + self.config.transfer_time(state_size);
         if let Some(slot) = self.agents.get_mut(&id) {
             slot.state = AgentState::InTransit { to };
         }
         self.stats.migrations += 1;
-        self.sched.schedule_after(total, Event::Arrive { agent: id });
+        self.sched
+            .schedule_after(total, Event::Arrive { agent: id });
     }
 
     fn insert_creating(

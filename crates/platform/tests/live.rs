@@ -5,9 +5,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use agentrack_platform::{
-    Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId,
-};
+use agentrack_platform::{Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId};
 use agentrack_sim::SimDuration;
 
 type Log = Arc<Mutex<Vec<String>>>;
@@ -21,7 +19,11 @@ impl Agent for Echo {
         let text: String = payload.decode().unwrap();
         self.log.lock().unwrap().push(format!("echo got {text}"));
         // Reply wherever the sender is believed to be (node 0 for tests).
-        ctx.send(from, NodeId::new(0), Payload::encode(&format!("re: {text}")));
+        ctx.send(
+            from,
+            NodeId::new(0),
+            Payload::encode(&format!("re: {text}")),
+        );
     }
 }
 
@@ -47,10 +49,7 @@ fn messages_cross_threads_and_are_answered() {
             ctx.send(self.echo, NodeId::new(1), Payload::encode(&"ping"));
         }
         fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
-            self.answers
-                .lock()
-                .unwrap()
-                .push(payload.decode().unwrap());
+            self.answers.lock().unwrap().push(payload.decode().unwrap());
         }
     }
 
@@ -85,10 +84,7 @@ fn migration_moves_the_behaviour_between_threads() {
             ctx.dispatch(next);
         }
         fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
-            self.visited
-                .lock()
-                .unwrap()
-                .push(ctx.node().to_string());
+            self.visited.lock().unwrap().push(ctx.node().to_string());
             if !self.route.is_empty() {
                 let next = self.route.remove(0);
                 ctx.dispatch(next);
@@ -181,10 +177,7 @@ fn wrong_address_bounces_to_the_sender() {
         NodeId::new(0),
     );
     assert!(eventually(|| failures.lock().unwrap().len() == 1));
-    assert_eq!(
-        failures.lock().unwrap()[0],
-        "agent424242 not at node1"
-    );
+    assert_eq!(failures.lock().unwrap()[0], "agent424242 not at node1");
     platform.shutdown();
 }
 
@@ -216,8 +209,18 @@ fn dispose_runs_farewells_and_removes_the_agent() {
 
     let platform = LivePlatform::new(2);
     let heard: Log = Arc::default();
-    let mourner = platform.spawn(Box::new(Mourner { heard: heard.clone() }), NodeId::new(0));
-    let mayfly = platform.spawn(Box::new(Mayfly { farewell_to: mourner }), NodeId::new(1));
+    let mourner = platform.spawn(
+        Box::new(Mourner {
+            heard: heard.clone(),
+        }),
+        NodeId::new(0),
+    );
+    let mayfly = platform.spawn(
+        Box::new(Mayfly {
+            farewell_to: mourner,
+        }),
+        NodeId::new(1),
+    );
 
     assert!(eventually(|| heard.lock().unwrap().len() == 1));
     assert!(eventually(|| platform.agent_node(mayfly).is_none()));

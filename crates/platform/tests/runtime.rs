@@ -30,7 +30,10 @@ struct Responder {
 impl Agent for Responder {
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
         let text: String = payload.decode().unwrap();
-        self.log.lock().unwrap().push(format!("responder got {text}"));
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("responder got {text}"));
         ctx.send(from, self.home_of_sender, Payload::encode(&"pong"));
     }
 }
@@ -56,7 +59,10 @@ impl Agent for Requester {
 
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
         let text: String = payload.decode().unwrap();
-        self.log.lock().unwrap().push(format!("requester got {text}"));
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("requester got {text}"));
         *self.done_at.lock().unwrap() = Some(ctx.now());
     }
 }
@@ -112,7 +118,8 @@ impl Agent for Hopper {
 
     fn on_arrival(&mut self, ctx: &mut AgentCtx<'_>) {
         self.log
-            .lock().unwrap()
+            .lock()
+            .unwrap()
             .push(format!("arrived at {}", ctx.node()));
         if !self.route.is_empty() {
             let next = self.route.remove(0);
@@ -186,7 +193,10 @@ fn wrong_node_bounces_back_to_sender() {
         NodeId::new(0),
     );
     p.run_until_idle();
-    assert_eq!(failures.lock().unwrap().as_slice(), [(resident, NodeId::new(2))]);
+    assert_eq!(
+        failures.lock().unwrap().as_slice(),
+        [(resident, NodeId::new(2))]
+    );
     let stats = p.stats();
     assert_eq!(stats.messages_failed, 1);
     // Failure notices are not counted as deliveries.
@@ -314,7 +324,12 @@ impl Agent for TwoShots {
 fn disposed_agents_bounce_messages() {
     let mut p = platform(2);
     let disposed = Arc::new(Mutex::new(false));
-    let mayfly = p.spawn(Box::new(Mayfly { disposed: disposed.clone() }), NodeId::new(1));
+    let mayfly = p.spawn(
+        Box::new(Mayfly {
+            disposed: disposed.clone(),
+        }),
+        NodeId::new(1),
+    );
     let failures = Arc::new(Mutex::new(0u64));
     p.spawn(
         Box::new(TwoShots {
@@ -481,7 +496,11 @@ fn duplication_injection_invokes_handler_twice() {
     );
     p.run_until_idle();
     assert_eq!(
-        log.lock().unwrap().iter().filter(|l| *l == "responder got ping").count(),
+        log.lock()
+            .unwrap()
+            .iter()
+            .filter(|l| *l == "responder got ping")
+            .count(),
         2
     );
 }
@@ -645,7 +664,12 @@ fn on_dispose_cannot_recurse() {
         }),
         NodeId::new(0),
     );
-    let stubborn = p.spawn(Box::new(Stubborn { farewell_to: mourner }), NodeId::new(1));
+    let stubborn = p.spawn(
+        Box::new(Stubborn {
+            farewell_to: mourner,
+        }),
+        NodeId::new(1),
+    );
     p.run_until_idle();
     assert!(!p.is_active(stubborn));
     assert_eq!(p.stats().agents_disposed, 1);
@@ -662,13 +686,7 @@ fn create_then_send_in_one_handler_delivers() {
         fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
             let me = ctx.self_id();
             let here = ctx.node();
-            let child = ctx.create_agent(
-                Box::new(EchoBack {
-                    to: me,
-                    node: here,
-                }),
-                NodeId::new(1),
-            );
+            let child = ctx.create_agent(Box::new(EchoBack { to: me, node: here }), NodeId::new(1));
             // Sent immediately: arrives before the child's on_create runs.
             ctx.send(child, NodeId::new(1), Payload::encode(&"early"));
         }

@@ -131,13 +131,21 @@ impl Histogram {
     /// Smallest sample, or zero when empty.
     #[must_use]
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Largest sample, or zero when empty.
     #[must_use]
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// All samples, in recording order is not guaranteed (percentile

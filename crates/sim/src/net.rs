@@ -14,9 +14,7 @@ use crate::rng::{DurationDist, SimRng};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a network node (an agent server in the platform).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -208,10 +206,7 @@ mod tests {
     use super::*;
 
     fn topo() -> Topology {
-        Topology::lan(
-            8,
-            DurationDist::Constant(SimDuration::from_micros(300)),
-        )
+        Topology::lan(8, DurationDist::Constant(SimDuration::from_micros(300)))
     }
 
     #[test]

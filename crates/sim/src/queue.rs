@@ -132,6 +132,15 @@ impl<E> Scheduler<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }
+
+    /// Advances the clock to `t` without processing anything. A bounded
+    /// run that finds no event before its deadline must still end *at*
+    /// the deadline, or repeated short runs across a quiet gap would
+    /// recompute the same deadline forever and the clock would never
+    /// move. Going backwards is a no-op.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
 }
 
 impl<E> Default for Scheduler<E> {

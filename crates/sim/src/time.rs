@@ -24,9 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 5_000_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(5));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -95,9 +93,7 @@ impl fmt::Debug for SimTime {
 /// assert_eq!(d * 2, SimDuration::from_millis(3));
 /// assert_eq!(d.as_millis_f64(), 1.5);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -40,6 +40,6 @@ mod tagent;
 
 pub use metrics::{Metrics, MetricsInner};
 pub use population::Population;
-pub use querier::{QuerierBehavior, Targets, TargetSelector};
+pub use querier::{QuerierBehavior, TargetSelector, Targets};
 pub use scenario::{Scenario, ScenarioReport};
 pub use tagent::{Lifecycle, NodeSelector, TAgentBehavior};

@@ -181,7 +181,8 @@ impl QuerierBehavior {
         match f(self.client.as_mut(), ctx) {
             ClientEvent::Located { token, target, .. } => {
                 if let Some(issued) = self.issued_at.remove(&token) {
-                    self.metrics.record_locate(issued, target, ctx.now() - issued);
+                    self.metrics
+                        .record_locate(issued, target, ctx.now() - issued);
                 }
             }
             ClientEvent::Failed { token, .. } => {

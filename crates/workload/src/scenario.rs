@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::Metrics;
 use crate::population::Population;
-use crate::querier::{QuerierBehavior, Targets, TargetSelector};
+use crate::querier::{QuerierBehavior, TargetSelector, Targets};
 use crate::tagent::{Lifecycle, NodeSelector, TAgentBehavior};
 
 /// A complete experiment description.
@@ -167,7 +167,11 @@ impl Scenario {
         scheme: &mut dyn LocationScheme,
     ) -> (
         ScenarioReport,
-        Vec<(agentrack_sim::SimTime, agentrack_platform::AgentId, SimDuration)>,
+        Vec<(
+            agentrack_sim::SimTime,
+            agentrack_platform::AgentId,
+            SimDuration,
+        )>,
     ) {
         self.run_inner(scheme, None)
     }
@@ -181,7 +185,11 @@ impl Scenario {
         tracer: agentrack_platform::Tracer,
     ) -> (
         ScenarioReport,
-        Vec<(agentrack_sim::SimTime, agentrack_platform::AgentId, SimDuration)>,
+        Vec<(
+            agentrack_sim::SimTime,
+            agentrack_platform::AgentId,
+            SimDuration,
+        )>,
     ) {
         self.run_inner(scheme, Some(tracer))
     }
@@ -192,7 +200,11 @@ impl Scenario {
         tracer: Option<agentrack_platform::Tracer>,
     ) -> (
         ScenarioReport,
-        Vec<(agentrack_sim::SimTime, agentrack_platform::AgentId, SimDuration)>,
+        Vec<(
+            agentrack_sim::SimTime,
+            agentrack_platform::AgentId,
+            SimDuration,
+        )>,
     ) {
         assert!(self.nodes > 0, "scenario needs nodes");
         assert!(self.agents > 0, "scenario needs agents");
@@ -278,8 +290,7 @@ impl Scenario {
                 lo: interval.mul_f64(0.5),
                 hi: interval.mul_f64(1.5),
             };
-            let span_scale =
-                (ramp + self.measure).as_secs_f64() / self.measure.as_secs_f64();
+            let span_scale = (ramp + self.measure).as_secs_f64() / self.measure.as_secs_f64();
             for i in 0..self.queriers {
                 let mut count = per;
                 if remainder > 0 {

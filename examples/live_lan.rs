@@ -13,12 +13,8 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use agentrack::core::{
-    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
-};
-use agentrack::platform::{
-    Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId,
-};
+use agentrack::core::{ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme};
+use agentrack::platform::{Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId};
 use agentrack::sim::SimDuration;
 
 const NODES: u32 = 6;
@@ -140,7 +136,10 @@ fn main() {
 
     let sightings = *sightings.lock().unwrap();
     println!("couriers sighted   : {sightings} times");
-    println!("migrations         : {} (real cross-thread moves)", stats.migrations);
+    println!(
+        "migrations         : {} (real cross-thread moves)",
+        stats.migrations
+    );
     println!(
         "messages           : {} sent, {} delivered, {} bounced",
         stats.messages_sent, stats.messages_delivered, stats.messages_failed

@@ -34,7 +34,11 @@ enum Market {
     /// Buyer → shopper: "what is your best quote so far?"
     QuoteRequest { reply_node: NodeId },
     /// Shopper → buyer.
-    QuoteReply { shopper: AgentId, best: u64, visited: u32 },
+    QuoteReply {
+        shopper: AgentId,
+        best: u64,
+        visited: u32,
+    },
 }
 
 /// A shopper roams vendor nodes; each node quotes a pseudo-random price.
@@ -228,7 +232,10 @@ fn main() {
 
     println!("marketplace after 20 simulated seconds");
     println!("  locate operations : {}", locates_sent.lock().unwrap());
-    println!("  chased-and-missed : {} (shopper moved; re-located next poll)", bounced.lock().unwrap());
+    println!(
+        "  chased-and-missed : {} (shopper moved; re-located next poll)",
+        bounced.lock().unwrap()
+    );
     let quotes = quotes.lock().unwrap();
     for shopper in &shoppers {
         match quotes.get(shopper) {

@@ -25,8 +25,13 @@ const PROBES: usize = 6;
 
 #[derive(Serialize, Deserialize)]
 enum Monitor {
-    ReadingsRequest { reply_node: NodeId },
-    Readings { probe: AgentId, samples: Vec<(u32, u32)> },
+    ReadingsRequest {
+        reply_node: NodeId,
+    },
+    Readings {
+        probe: AgentId,
+        samples: Vec<(u32, u32)>,
+    },
 }
 
 /// Patrols nodes in a fixed ring, sampling per-node "health".
@@ -158,8 +163,8 @@ impl Agent for Console {
 
 fn main() {
     // 2% message loss: monitoring must survive it.
-    let topology = Topology::lan(NODES, DurationDist::Constant(SimDuration::from_micros(300)))
-        .with_loss(0.02);
+    let topology =
+        Topology::lan(NODES, DurationDist::Constant(SimDuration::from_micros(300))).with_loss(0.02);
     let mut platform = SimPlatform::new(topology, PlatformConfig::default().with_seed(5));
     let mut scheme = HashedScheme::new(LocationConfig::default());
     scheme.bootstrap(&mut platform);

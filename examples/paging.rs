@@ -18,9 +18,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use agentrack::core::{
-    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
-};
+use agentrack::core::{ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme};
 use agentrack::platform::{
     Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
 };
@@ -61,10 +59,9 @@ impl Agent for Drone {
             ClientEvent::Mail { .. } => {
                 self.mediated_pages.fetch_add(1, Ordering::Relaxed);
             }
-            ClientEvent::NotMine
-                if payload.decode::<String>().is_ok() => {
-                    self.naive_pages.fetch_add(1, Ordering::Relaxed);
-                }
+            ClientEvent::NotMine if payload.decode::<String>().is_ok() => {
+                self.naive_pages.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -189,6 +186,9 @@ fn main() {
         "  send_via (mailbox): {mediated_got}/{mediated_sent} pages arrived ({:.1}%)",
         100.0 * mediated_got as f64 / mediated_sent as f64
     );
-    assert_eq!(mediated_got, mediated_sent, "mediated paging must be lossless");
+    assert_eq!(
+        mediated_got, mediated_sent,
+        "mediated paging must be lossless"
+    );
     assert!(naive_got < naive_sent, "the race must bite the naive path");
 }

@@ -6,9 +6,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use agentrack::core::{
-    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
-};
+use agentrack::core::{ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme};
 use agentrack::platform::{
     Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
 };

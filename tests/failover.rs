@@ -2,12 +2,12 @@
 //! "vulnerability point") with and without the standby extension.
 
 use agentrack::core::{HashedScheme, LocationConfig, LocationScheme};
+use agentrack::platform::NodeId;
 use agentrack::platform::{PlatformConfig, SimPlatform};
 use agentrack::sim::{DurationDist, SimDuration, Topology};
 use agentrack::workload::{
-    Metrics, NodeSelector, QuerierBehavior, Scenario, TAgentBehavior, Targets, TargetSelector,
+    Metrics, NodeSelector, QuerierBehavior, Scenario, TAgentBehavior, TargetSelector, Targets,
 };
-use agentrack::platform::NodeId;
 
 /// Builds a running system with TAgents and returns everything needed to
 /// continue driving it by hand.
@@ -95,6 +95,32 @@ fn without_standby_existing_copies_still_serve() {
     let mut scheme = HashedScheme::new(LocationConfig::default());
     let (mut platform, metrics, tagents) = build(&mut scheme, 40);
     platform.run_for(SimDuration::from_secs(10));
+
+    // By now the tree is in steady state and every lazily-propagated
+    // LHAgent copy has caught up, so killing the HAgent here would leave
+    // nothing stale. Drive the system back into growth with a burst of
+    // fast-moving agents (kept off node 0, where the querier will live)
+    // and crash the HAgent the instant the next split lands: the new
+    // version reaches the involved IAgents, but node 0's copy — lazy
+    // propagation, no traffic at node 0 — is stale at crash time and can
+    // never be repaired afterwards.
+    for i in 0..24u32 {
+        let behavior = TAgentBehavior::new(
+            scheme.make_client(),
+            DurationDist::Constant(SimDuration::from_millis(100)),
+            NodeSelector::Uniform,
+            8,
+            metrics.clone(),
+        );
+        platform.spawn(Box::new(behavior), NodeId::new(1 + (i % 7)));
+    }
+    let splits_before = scheme.stats().splits;
+    let mut waited = 0u32;
+    while scheme.stats().splits == splits_before {
+        platform.run_for(SimDuration::from_millis(10));
+        waited += 1;
+        assert!(waited < 2_000, "burst load never split the tree");
+    }
 
     let (hagent, _) = scheme.hagent().expect("bootstrapped");
     assert!(platform.kill(hagent));

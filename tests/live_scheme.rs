@@ -5,12 +5,8 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use agentrack::core::{
-    ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme,
-};
-use agentrack::platform::{
-    Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId,
-};
+use agentrack::core::{ClientEvent, DirectoryClient, HashedScheme, LocationConfig, LocationScheme};
+use agentrack::platform::{Agent, AgentCtx, AgentId, LivePlatform, NodeId, Payload, TimerId};
 use agentrack::sim::SimDuration;
 
 /// A roaming agent that registers and reports its moves.

@@ -221,7 +221,10 @@ fn load_spreads_over_iagents() {
         .with_seconds(12.0, 5.0);
     let mut scheme = HashedScheme::new(LocationConfig::default());
     let report = scenario.run(&mut scheme);
-    assert!(report.trackers >= 4, "expected several IAgents: {report:#?}");
+    assert!(
+        report.trackers >= 4,
+        "expected several IAgents: {report:#?}"
+    );
     assert!(
         report.records_handed_off > 0,
         "splits must redistribute records"

@@ -1,0 +1,312 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` / `Criterion` API so
+//! the workspace's benches compile and run offline, with a simple but
+//! honest measurement loop: each benchmark is calibrated until one
+//! sample takes a measurable amount of wall-clock time, several samples
+//! are taken, and the **median** ns/iteration is reported (robust to
+//! scheduler noise). Results are printed and kept on the [`Criterion`]
+//! value so custom `main`s can export them (see
+//! [`Criterion::results`]).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Samples taken per benchmark (medianed).
+const SAMPLES: usize = 7;
+/// Minimum wall-clock time for one calibrated sample.
+const MIN_SAMPLE: Duration = Duration::from_millis(5);
+
+/// How `iter_batched` sizes its batches. The stand-in times each batch
+/// of one input; the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// An id carrying only a parameter (joined to the group name).
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/param` or plain name).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// The measurement state passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters: u64 = 1;
+        // Calibrate: grow the iteration count until one sample is long
+        // enough to measure reliably.
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE || iters >= 1 << 40 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 128
+            } else {
+                // Aim straight for the target with headroom.
+                let scale = MIN_SAMPLE.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                (iters as f64 * scale.max(2.0)).min(1e12) as u64
+            };
+        }
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / iters as f64;
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate the batch count so the timed section is measurable.
+        let mut batch: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE || batch >= 1 << 24 {
+                break;
+            }
+            batch *= if elapsed.is_zero() { 64 } else { 4 };
+        }
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            *sample = start.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+
+    /// Lets the routine time itself: it receives an iteration count and
+    /// returns the elapsed wall-clock time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = routine(iters);
+            if elapsed >= MIN_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            iters *= if elapsed.is_zero() { 64 } else { 4 };
+        }
+        let mut samples = [0.0f64; SAMPLES];
+        for sample in &mut samples {
+            *sample = routine(iters).as_nanos() as f64 / iters as f64;
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// The benchmark harness root.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All results measured so far (used by custom `main`s to export).
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        println!("bench {id:<50} {:>14.1} ns/iter", bencher.ns_per_iter);
+        self.results.push(BenchResult {
+            id,
+            ns_per_iter: bencher.ns_per_iter,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's sample count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in auto-calibrates.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(full, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner, as with the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, running each group. Tolerates the
+/// argument conventions `cargo bench` uses (`--bench`, filters), which
+/// the stand-in ignores.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            let _ = c.results();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for i in 0..iters {
+                    black_box(i);
+                }
+                start.elapsed()
+            });
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_measures_everything() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+        let results = c.results();
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.ns_per_iter >= 0.0));
+        assert_eq!(results[1].id, "grp/4");
+    }
+}

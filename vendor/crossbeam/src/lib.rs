@@ -1,0 +1,88 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel` with the subset of its API this
+//! workspace uses, implemented over `std::sync::mpsc` (whose `Sender`
+//! has been `Sync` since Rust 1.72, so sharing a sender vector behind an
+//! `Arc` works exactly as it does with the real crate).
+
+/// Multi-producer channels with timeout-aware receives.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks until a message arrives, the deadline passes, or all
+        /// senders are gone.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let (tx, rx) = unbounded::<u32>();
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(rx.recv_deadline(deadline), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(
+            rx.recv_deadline(deadline),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy generating vectors whose length is drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with per-element strategy `element` and a length drawn
+/// uniformly from `size`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,28 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy generating `Option<T>` (`None` with the real crate's default
+/// 1-in-4 probability).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// Wraps `inner` into an `Option` strategy.
+#[must_use]
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

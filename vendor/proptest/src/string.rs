@@ -1,0 +1,150 @@
+//! String strategies from regex-like patterns.
+//!
+//! The real proptest treats `&str` as a strategy generating strings that
+//! match the pattern as a regex. This stand-in supports the subset of
+//! regex syntax its users need: literal characters, character classes
+//! with ranges (`[a-z0-9 .,]`), `.`, and the quantifiers `{m}`,
+//! `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 32 repeats).
+
+use rand::Rng;
+
+use crate::TestRng;
+
+/// One parsed pattern element plus its repetition bounds.
+struct Element {
+    /// Characters this element can produce.
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Printable ASCII, the real crate's default alphabet for `.`.
+fn any_printable() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let start = prev.take().expect("checked");
+                            let end = chars.next().expect("peeked");
+                            assert!(start <= end, "bad range {start}-{end} in {pattern:?}");
+                            set.extend((start..=end).filter(|c| *c != start));
+                        }
+                        Some('\\') => {
+                            let esc = chars.next().expect("escape in class");
+                            set.push(esc);
+                            prev = Some(esc);
+                        }
+                        Some(other) => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                set
+            }
+            '.' => any_printable(),
+            '\\' => vec![chars.next().expect("dangling escape")],
+            other => vec![other],
+        };
+        // Quantifier, if any.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            _ => (1, 1),
+        };
+        assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+        elements.push(Element { choices, min, max });
+    }
+    elements
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for element in parse(pattern) {
+        let count = if element.min == element.max {
+            element.min
+        } else {
+            rng.gen_range(element.min..=element.max)
+        };
+        for _ in 0..count {
+            let idx = rng.gen_range(0..element.choices.len());
+            out.push(element.choices[idx]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Strategy, TestRng};
+
+    #[test]
+    fn class_with_ranges_and_quantifier() {
+        let mut rng = TestRng::from_test_name("string");
+        let strategy = "[a-cA-C0-2 .,!?]{0,10}";
+        for _ in 0..200 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.chars().count() <= 10, "too long: {s:?}");
+            assert!(
+                s.chars().all(|c| "abcABC012 .,!?".contains(c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_simple_quantifiers() {
+        let mut rng = TestRng::from_test_name("lits");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        let s = "x{3}".generate(&mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = "a?b+".generate(&mut rng);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+            assert!(s.contains('b'));
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde separates data structures from data formats through a
+//! visitor API. This stand-in keeps the same surface (`Serialize` /
+//! `Deserialize` traits, derive macros, `serde::de::DeserializeOwned`)
+//! but routes everything through one concrete in-memory data model,
+//! [`Value`] — the only format this workspace serialises to is JSON
+//! (via the sibling `serde_json` stand-in), so a single intermediate
+//! tree is sufficient and keeps the derive macro tiny.
+//!
+//! Mapping conventions match `serde_json`'s defaults for the shapes this
+//! workspace uses: named structs become maps, newtype structs are
+//! transparent, tuple structs become sequences, unit enum variants
+//! become strings and data-carrying variants become externally tagged
+//! single-entry maps. Maps with integer-like keys stringify the key,
+//! exactly as `serde_json` does.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::Value;
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type serialisable into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not encode a `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// Called for struct fields absent from the serialised map. Only
+    /// `Option` admits a missing field (as `None`); everything else is
+    /// an error, matching serde's default (non-`#[serde(default)]`)
+    /// behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless the type tolerates absence.
+    fn deserialize_missing() -> Result<Self, Error> {
+        Err(Error::custom("missing field"))
+    }
+}
+
+/// Deserialisation helpers namespace, mirroring `serde::de`.
+pub mod de {
+    /// Marker for types deserialisable without borrowing from the input.
+    /// Our [`Deserialize`](crate::Deserialize) never borrows, so every
+    /// deserialisable type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!("expected unsigned integer, got {value:?}"))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        u64::deserialize(value).and_then(|n| {
+            usize::try_from(n).map_err(|_| Error::custom("integer out of range for usize"))
+        })
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, got {value:?}"))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {value:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("checked")),
+            other => Err(Error::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / smart-pointer impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let arity = [$($idx),+].len();
+                match value {
+                    Value::Seq(items) if items.len() == arity => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected sequence of length {arity}, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Stringifies a map key the way `serde_json` does: strings pass
+/// through, integers render in decimal.
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s.clone()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be string-like, got {other:?}"
+        ))),
+    }
+}
+
+/// Re-parses a stringified key so integer-keyed maps round-trip.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!(
+        "cannot reconstruct map key from {key:?}"
+    )))
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.serialize())
+                    .expect("map keys in this workspace are string-like");
+                (key, v.serialize())
+            })
+            .collect();
+        // Deterministic output so equal maps encode to equal bytes.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.serialize())
+                        .expect("map keys in this workspace are string-like");
+                    (key, v.serialize())
+                })
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        // Integral JSON numbers satisfy float fields.
+        assert_eq!(f64::deserialize(&Value::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn option_distinguishes_missing_from_null() {
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::deserialize_missing().unwrap(), None);
+        assert!(u64::deserialize_missing().is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(10u64, "ten".to_string());
+        m.insert(2u64, "two".to_string());
+        let back: HashMap<u64, String> = HashMap::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+
+        let arr = [5u32, 6];
+        let back: [u32; 2] = <[u32; 2]>::deserialize(&arr.serialize()).unwrap();
+        assert_eq!(back, arr);
+
+        let t = (1u8, "x".to_string(), true);
+        let back: (u8, String, bool) = Deserialize::deserialize(&t.serialize()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u64::deserialize(&Value::Str("no".into())).is_err());
+        assert!(Vec::<u64>::deserialize(&Value::U64(1)).is_err());
+        assert!(<[u8; 3]>::deserialize(&vec![1u8].serialize()).is_err());
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+    }
+}

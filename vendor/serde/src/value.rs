@@ -1,0 +1,113 @@
+//! The in-memory data model every serialisable type passes through.
+
+/// A tree in the serialisation data model (structurally the JSON data
+/// model, with unsigned and signed integers kept apart so `u64::MAX`
+/// survives a round trip).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`null`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as an unsigned integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers coerce losslessly enough for the
+    /// workloads here (matching `serde_json`'s behaviour for `f64`
+    /// fields fed integral JSON numbers).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence, if it is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as map entries, if it is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value (first match wins).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::U64(5).as_u64(), Some(5));
+        assert_eq!(Value::I64(-5).as_u64(), None);
+        assert_eq!(Value::I64(5).as_u64(), Some(5));
+        assert_eq!(Value::U64(5).as_i64(), Some(5));
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::U64(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        let m = Value::Map(vec![("a".into(), Value::Null)]);
+        assert!(matches!(m.get("a"), Some(Value::Null)));
+        assert!(m.get("b").is_none());
+    }
+}

@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize` / `Deserialize` for the sibling `serde` stand-in
+//! by parsing the item's token stream directly (no `syn`/`quote`, which
+//! are unavailable offline). Supports exactly the shapes this workspace
+//! declares: non-generic named structs, tuple structs, unit structs, and
+//! enums with unit / tuple / named-field variants. `#[serde(...)]`
+//! attributes are not supported (the workspace uses none) and any
+//! generic parameter is a hard error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// What a `#[derive]` target looks like after parsing.
+enum Shape {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Body)>,
+    },
+}
+
+/// The field layout of a struct or enum variant.
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = generate_serialize(&shape);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = generate_deserialize(&shape);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (including doc comments, which arrive as
+/// `#[doc = "..."]`).
+fn skip_attrs(iter: &mut Tokens) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        // The bracketed attribute body.
+        iter.next();
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …).
+fn skip_visibility(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "item name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                body: Body::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Struct {
+                name,
+                body: Body::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct {
+                name,
+                body: Body::Unit,
+            },
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names. Types
+/// are consumed by skipping to the next comma at angle-bracket depth
+/// zero; nested tuples/arrays arrive as single groups, so only `<`/`>`
+/// need explicit depth tracking.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let field = expect_ident(&mut iter, "field name");
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut depth = 0i32;
+    let mut segment_has_tokens = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        arity += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Body)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut iter, "variant name");
+        let body = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Body::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                Body::Tuple(arity)
+            }
+            _ => Body::Unit,
+        };
+        variants.push((name, body));
+        // Skip up to the separating comma (tolerating explicit
+        // discriminants, which this workspace does not use).
+        for tok in iter.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `(f0, f1, …)` binder list for a tuple variant of the given arity.
+fn tuple_binders(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("f{i}")).collect()
+}
+
+fn generate_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, body } => {
+            let expr = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Body::Tuple(arity) => {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Body::Named(fields) => serialize_named_expr(fields, "&self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, body)| match body {
+                    Body::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Body::Tuple(arity) => {
+                        let binders = tuple_binders(*arity);
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),",
+                            binders.join(", ")
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let payload = serialize_named_expr(fields, "");
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),",
+                            fields.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `Value::Map` expression for named fields; `access` prefixes each
+/// field (either `&self.` for structs or `` for match binders, which are
+/// already references).
+fn serialize_named_expr(fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize({access}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn generate_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct { name, body } => deserialize_body_expr(name, body, "value"),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, b)| matches!(b, Body::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, b)| !matches!(b, Body::Unit))
+                .map(|(vname, b)| {
+                    let expr = deserialize_variant_expr(name, vname, b);
+                    format!("\"{vname}\" => {{ {expr} }}")
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = value.as_str() {{\n\
+                     return match s {{\n{}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant {{other}} for {name}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(entries) = value.as_map() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         let _ = payload;\n\
+                         return match tag.as_str() {{\n{}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant {{other}} for {name}\"))),\n\
+                         }};\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected {name} variant, got {{value:?}}\")))",
+                unit_arms.join("\n"),
+                data_arms.join("\n"),
+            )
+        }
+    };
+    let name = match shape {
+        Shape::Struct { name, .. } | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Expression deserialising a struct (as the fn tail) from `source`.
+fn deserialize_body_expr(name: &str, body: &Body, source: &str) -> String {
+    match body {
+        Body::Unit => format!(
+            "match {source} {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected null for {name}, got {{other:?}}\"))),\n\
+             }}"
+        ),
+        Body::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize({source})?))"
+        ),
+        Body::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let items = {source}.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         \"expected sequence for {name}\"))?;\n\
+                     if items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match {source}.get(\"{f}\") {{\n\
+                             ::std::option::Option::Some(v) => \
+                                 ::serde::Deserialize::deserialize(v)?,\n\
+                             ::std::option::Option::None => \
+                                 ::serde::Deserialize::deserialize_missing().map_err(|_| \
+                                     ::serde::Error::custom(\"missing field {f}\"))?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "{{\n\
+                     if {source}.as_map().is_none() {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"expected map for {name}, got {{:?}}\", {source})));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})\n\
+                 }}",
+                inits.join("\n")
+            )
+        }
+    }
+}
+
+/// Match-arm body deserialising one data-carrying enum variant from the
+/// externally tagged `payload`.
+fn deserialize_variant_expr(name: &str, vname: &str, body: &Body) -> String {
+    let path = format!("{name}::{vname}");
+    match body {
+        Body::Unit => unreachable!("unit variants are handled as strings"),
+        Body::Tuple(1) => format!(
+            "::std::result::Result::Ok({path}(::serde::Deserialize::deserialize(payload)?))"
+        ),
+        Body::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = payload.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected sequence for {path}\"))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {path}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({path}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match payload.get(\"{f}\") {{\n\
+                             ::std::option::Option::Some(v) => \
+                                 ::serde::Deserialize::deserialize(v)?,\n\
+                             ::std::option::Option::None => \
+                                 ::serde::Deserialize::deserialize_missing().map_err(|_| \
+                                     ::serde::Error::custom(\"missing field {f}\"))?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "if payload.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected map for {path}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({path} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+    }
+}

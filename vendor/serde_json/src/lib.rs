@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serialises the `serde` stand-in's [`Value`] tree to JSON text and
+//! parses JSON text back. Floats are emitted with Rust's shortest
+//! round-trip formatting (the behaviour of serde_json's
+//! `float_roundtrip` feature, which this workspace enables).
+
+use std::fmt;
+
+use serde::de::DeserializeOwned;
+use serde::{Serialize, Value};
+
+/// Error produced by JSON parsing or by a type mismatch during
+/// deserialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` to a JSON string.
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serialises; the `Result`
+/// mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize());
+    Ok(out)
+}
+
+/// Serialises `value` to JSON bytes.
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serialises.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a JSON string into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = parse(input)?;
+    T::deserialize(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parses JSON bytes into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: DeserializeOwned>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float form; it
+                // always contains a '.' or 'e' so the value re-parses as
+                // a float.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // Real serde_json errors on non-finite floats; nothing
+                // in this workspace serialises them, and `null` is the
+                // least-wrong representation if something ever does.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected byte {:?} at {}",
+                other as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("bad sequence at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::new(format!("bad map at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&first) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape {:?}", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point (input is valid UTF-8:
+                    // it came from a &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| Error::new(e.to_string()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|e| Error::new(e.to_string()))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(to_string(&u64::MAX).unwrap(), u64::MAX.to_string());
+        assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for f in [0.1f64, 1.0, -2.5, 1e-9, 12345.6789, f64::MAX] {
+            let s = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), f, "via {s}");
+        }
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "a\"b\\c\nd\te\u{08}\u{0c}\u{1f}ü‰😀";
+        let s = to_string(&tricky.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), tricky);
+        // Explicit unicode escapes, including a surrogate pair.
+        assert_eq!(from_str::<String>(r#""ü😀\/""#).unwrap(), "ü😀/");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u64, 2u64), (3, 4)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2],[3,4]]");
+        assert_eq!(from_str::<Vec<(u64, u64)>>(&s).unwrap(), v);
+
+        let mut m = std::collections::HashMap::new();
+        m.insert(7u64, vec![1u8]);
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, r#"{"7":[1]}"#);
+        assert_eq!(
+            from_str::<std::collections::HashMap<u64, Vec<u8>>>(&s).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerated_and_garbage_rejected() {
+        assert_eq!(
+            from_str::<Vec<u64>>(" [ 1 , 2 ,\n3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("nul").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+        assert!(from_slice::<u64>(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn to_vec_matches_to_string() {
+        assert_eq!(to_vec(&true).unwrap(), b"true".to_vec());
+    }
+}
