@@ -66,6 +66,7 @@ fn bench_wire_round_trips(c: &mut Criterion) {
         target: AgentId::new(42),
         token: 7,
         reply_node: NodeId::new(3),
+        corr: None,
     };
     let hf = hash_function_with(64);
     let large = Wire::InstallHashFn { hf };

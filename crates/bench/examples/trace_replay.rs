@@ -1,0 +1,71 @@
+//! Runs a small workload with structured tracing enabled and reconstructs
+//! one locate's multi-hop path (client → LHAgent → IAgent → answer) from
+//! the trace ring by correlation id.
+//!
+//! ```text
+//! cargo run --release -p agentrack-bench --example trace_replay
+//! ```
+
+use std::collections::BTreeMap;
+
+use agentrack_core::{HashedScheme, LocationConfig};
+use agentrack_sim::{TraceEvent, TraceRecord, TraceSink};
+use agentrack_workload::Scenario;
+
+fn main() {
+    let sink = TraceSink::bounded(200_000);
+    let scenario = Scenario::new("trace-replay")
+        .with_agents(50)
+        .with_queries(40)
+        .with_seconds(8.0, 4.0);
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    let report = scenario.run_observed(&mut scheme, sink.clone());
+    println!(
+        "completed {} locates; {} trace records buffered ({} overwritten)",
+        report.locates_completed,
+        sink.snapshot().len(),
+        sink.dropped()
+    );
+
+    // Group records by correlation id and replay the longest path — the
+    // most interesting locate: stale copies, retries, chases.
+    let mut by_corr: BTreeMap<String, Vec<TraceRecord>> = BTreeMap::new();
+    for r in sink.snapshot() {
+        if let Some(corr) = r.event.corr() {
+            by_corr.entry(corr.to_string()).or_default().push(r);
+        }
+    }
+    let Some((corr, path)) = by_corr.into_iter().max_by_key(|(_, v)| v.len()) else {
+        println!("no correlated records captured");
+        return;
+    };
+    println!("\nlongest locate path ({corr}, {} events):", path.len());
+    for r in &path {
+        let t = r.at.as_secs_f64();
+        match &r.event {
+            TraceEvent::MessageSend {
+                kind,
+                from,
+                to,
+                node,
+                ..
+            } => println!("  t={t:>9.4}s  {from} -> {to} @{node}  send {kind}"),
+            TraceEvent::MessageRecv { kind, by, node, .. } => {
+                println!("  t={t:>9.4}s  {by} @{node}  recv {kind}");
+            }
+            TraceEvent::RetryAttempt {
+                client,
+                target,
+                attempt,
+                ..
+            } => println!("  t={t:>9.4}s  client {client} retries locate of {target} (#{attempt})"),
+            TraceEvent::RetryGiveUp {
+                client,
+                target,
+                attempts,
+                ..
+            } => println!("  t={t:>9.4}s  client {client} gives up on {target} after {attempts}"),
+            other => println!("  t={t:>9.4}s  {other:?}"),
+        }
+    }
+}

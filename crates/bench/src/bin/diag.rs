@@ -30,7 +30,8 @@ fn config() -> LocationConfig {
 
 fn main() {
     let sc = scenario();
-    let (report, samples) = sc.run_with_samples(&mut HashedScheme::new(config()));
+    let mut scheme = HashedScheme::new(config());
+    let (report, samples) = sc.run_with_samples(&mut scheme);
     println!(
         "mean={:.2}ms p50={:.2} p95={:.2} max={:.2} done={} fail={}",
         report.mean_locate_ms,
@@ -40,6 +41,13 @@ fn main() {
         report.locates_completed,
         report.locate_failures
     );
+    // The per-tracker view (who was saturated, whose mailbox filled) and
+    // the registry's JSON export, for offline analysis.
+    let snapshot = agentrack_core::LocationScheme::registry(&scheme).snapshot();
+    print!("{}", snapshot.to_csv());
+    if std::env::args().any(|a| a == "--registry-json") {
+        print!("{}", snapshot.to_json());
+    }
     let slow: Vec<_> = samples
         .iter()
         .filter(|(_, _, e)| e.as_millis_f64() > 500.0)
@@ -59,7 +67,7 @@ fn main() {
     let log2 = log.clone();
     let window_lo = 0.0;
     let window_hi = when.as_secs_f64() + elapsed.as_millis_f64() / 1000.0 + 0.5;
-    let tracer = Box::new(move |ev: agentrack_platform::TraceEvent<'_>| {
+    let tracer = Box::new(move |ev: agentrack_platform::MsgTrace<'_>| {
         let t = ev.now.as_secs_f64();
         if t < window_lo || t > window_hi {
             return;

@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use agentrack_bench::{run_experiment, Fidelity, EXPERIMENTS};
+use agentrack_bench::{run_experiment, trackers_registry, Fidelity, EXPERIMENTS};
 
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
@@ -78,7 +78,14 @@ fn main() -> ExitCode {
 
     for name in chosen {
         let started = std::time::Instant::now();
-        let table = run_experiment(&name, fidelity, jobs);
+        // The trackers experiment additionally exports the full metrics
+        // registry as JSON; run it once and keep both renderings.
+        let (table, registry_json) = if name == "trackers" {
+            let (table, json) = trackers_registry(fidelity);
+            (table, Some(json))
+        } else {
+            (run_experiment(&name, fidelity, jobs), None)
+        };
         print!("{}", table.render());
         println!("[{name} took {:.1?}]", started.elapsed());
         if let Some(dir) = &csv_dir {
@@ -88,6 +95,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("[wrote {}]", path.display());
+            if let Some(json) = registry_json {
+                let path = dir.join(format!("{name}.json"));
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("[wrote {}]", path.display());
+            }
         }
     }
     ExitCode::SUCCESS

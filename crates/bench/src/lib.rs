@@ -717,6 +717,61 @@ pub fn locality(fidelity: Fidelity, jobs: usize) -> Table {
     table
 }
 
+/// **E12** — per-tracker observability: the hashed scheme under the
+/// Experiment-I workload, reported tracker by tracker from the scheme's
+/// [`agentrack_sim::MetricsRegistry`] instead of as aggregates. This is
+/// the view an operator needs — which IAgent is saturated, whose mailbox
+/// is filling — and the table the determinism gate diffs across thread
+/// counts.
+///
+/// Returns the table plus the registry's JSON export (rehash counts per
+/// version and the locate-latency summary included).
+#[must_use]
+pub fn trackers_registry(fidelity: Fidelity) -> (Table, String) {
+    let agents = fidelity.scale_agents(500);
+    let (warmup, measure) = fidelity.spans();
+    let mut scenario = Scenario::new("trackers")
+        .with_agents(agents)
+        .with_residence_ms(300)
+        .with_queries(fidelity.queries())
+        .with_seconds(warmup, measure);
+    scenario.grace = agentrack_sim::SimDuration::from_secs(45);
+    let mut scheme = HashedScheme::new(patient(LocationConfig::default()));
+    let report = scenario.run(&mut scheme);
+    let snapshot = scheme.registry().snapshot();
+    let mut table = Table::new(
+        format!(
+            "E12: per-tracker metrics (hashed, {} agents, locate p95 {:.2} ms)",
+            report.agents, snapshot.locate_latency.p95_ms
+        ),
+        &[
+            "tracker",
+            "requests",
+            "rate_per_sec",
+            "queue_peak",
+            "mailbox_peak",
+            "records_held",
+            "mail_buffered",
+            "mail_flushed",
+            "mail_lost",
+        ],
+    );
+    for (id, t) in &snapshot.trackers {
+        table.push_row(vec![
+            id.to_string(),
+            t.requests.to_string(),
+            format!("{:.3}", t.rate_per_sec),
+            t.queue_depth_peak.to_string(),
+            t.mailbox_occupancy_peak.to_string(),
+            t.records_held.to_string(),
+            t.mail_buffered.to_string(),
+            t.mail_flushed.to_string(),
+            t.mail_lost.to_string(),
+        ]);
+    }
+    (table, snapshot.to_json())
+}
+
 /// All experiment names accepted by the `repro` binary, in order.
 pub const EXPERIMENTS: &[&str] = &[
     "exp1",
@@ -730,6 +785,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "locality",
     "ablation-planning",
     "delivery",
+    "trackers",
 ];
 
 /// Dispatches an experiment by name.
@@ -751,6 +807,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity, jobs: usize) -> Table {
         "locality" => locality(fidelity, jobs),
         "ablation-planning" => ablation_planning(fidelity, jobs),
         "delivery" => delivery(fidelity, jobs),
+        "trackers" => trackers_registry(fidelity).0,
         other => panic!("unknown experiment {other}"),
     }
 }

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
+use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::mailbox::Mailbox;
@@ -27,6 +28,8 @@ use crate::wire::Wire;
 pub struct CentralBehavior {
     records: HashMap<AgentId, NodeId>,
     mailbox: Mailbox,
+    shared: SharedSchemeStats,
+    requests_seen: u64,
 }
 
 impl CentralBehavior {
@@ -36,7 +39,40 @@ impl CentralBehavior {
         CentralBehavior {
             records: HashMap::new(),
             mailbox: Mailbox::new(agentrack_sim::SimDuration::from_secs(10)),
+            shared: SharedSchemeStats::new(),
+            requests_seen: 0,
         }
+    }
+
+    /// Reports mail losses and per-tracker metrics into the scheme's
+    /// shared statistics instead of a detached default.
+    #[must_use]
+    pub fn with_shared(mut self, shared: SharedSchemeStats) -> Self {
+        self.shared = shared;
+        self
+    }
+
+    /// Buffers mail for `target`, counting the buffering in the metrics
+    /// registry and the event trace.
+    fn buffer_mail(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        from: AgentId,
+        data: Vec<u8>,
+    ) {
+        self.mailbox.push(ctx.now(), target, from, data);
+        let occupancy = self.mailbox.len();
+        let me = ctx.self_id().raw();
+        self.shared.registry().update_tracker(me, |t| {
+            t.mail_buffered += 1;
+            t.observe_mailbox(occupancy);
+        });
+        ctx.trace().emit(ctx.now(), || TraceEvent::MailBuffered {
+            tracker: me,
+            target: target.raw(),
+            occupancy,
+        });
     }
 
     fn flush_mail_for(&mut self, ctx: &mut AgentCtx<'_>, agent: AgentId) {
@@ -44,7 +80,21 @@ impl CentralBehavior {
             return;
         }
         if let Some(&node) = self.records.get(&agent) {
-            for item in self.mailbox.take_for(agent) {
+            let items = self.mailbox.take_for(agent);
+            if items.is_empty() {
+                return;
+            }
+            let count = items.len();
+            let me = ctx.self_id().raw();
+            self.shared
+                .registry()
+                .update_tracker(me, |t| t.mail_flushed += count as u64);
+            ctx.trace().emit(ctx.now(), || TraceEvent::MailFlushed {
+                tracker: me,
+                target: agent.raw(),
+                count,
+            });
+            for item in items {
                 ctx.send(
                     agent,
                     node,
@@ -65,7 +115,25 @@ impl Agent for CentralBehavior {
     }
 
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: agentrack_platform::TimerId) {
-        self.mailbox.expire(ctx.now());
+        let me = ctx.self_id().raw();
+        let lost = self.mailbox.expire(ctx.now());
+        if lost > 0 {
+            // Guaranteed delivery just failed silently for `lost` messages:
+            // make the loss visible to the registry and the event trace.
+            self.shared
+                .registry()
+                .update_tracker(me, |t| t.mail_lost += lost as u64);
+            ctx.trace()
+                .emit(ctx.now(), || TraceEvent::MailExpired { tracker: me, lost });
+        }
+        let requests = self.requests_seen;
+        let records_held = self.records.len();
+        let mailbox_occupancy = self.mailbox.len();
+        self.shared.registry().update_tracker(me, |t| {
+            t.requests = requests;
+            t.records_held = records_held;
+            t.observe_mailbox(mailbox_occupancy);
+        });
         ctx.set_timer(agentrack_sim::SimDuration::from_millis(500));
     }
 
@@ -80,7 +148,7 @@ impl Agent for CentralBehavior {
         // the next update (the delivery guarantee).
         if let Some(Wire::MailDrop { from, data }) = Wire::from_payload(payload) {
             self.records.remove(&to);
-            self.mailbox.push(ctx.now(), to, from, data);
+            self.buffer_mail(ctx, to, from, data);
         }
     }
 
@@ -88,6 +156,17 @@ impl Agent for CentralBehavior {
         let Some(msg) = Wire::from_payload(payload) else {
             return;
         };
+        {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+            });
+        }
+        self.requests_seen += 1;
         match msg {
             Wire::Register { agent, node } => {
                 self.records.insert(agent, node);
@@ -109,7 +188,7 @@ impl Agent for CentralBehavior {
                     node,
                     Wire::MailDrop { from: origin, data }.payload(),
                 ),
-                None => self.mailbox.push(ctx.now(), target, origin, data),
+                None => self.buffer_mail(ctx, target, origin, data),
             },
             Wire::Deregister { agent } => {
                 self.records.remove(&agent);
@@ -118,15 +197,30 @@ impl Agent for CentralBehavior {
                 target,
                 token,
                 reply_node,
+                corr,
             } => {
                 let answer = match self.records.get(&target) {
                     Some(&node) => Wire::Located {
                         target,
                         node,
                         token,
+                        corr,
                     },
-                    None => Wire::NotFound { target, token },
+                    None => Wire::NotFound {
+                        target,
+                        token,
+                        corr,
+                    },
                 };
+                let me = ctx.self_id();
+                let here = ctx.node();
+                ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                    kind: answer.kind(),
+                    corr: answer.corr(),
+                    from: me.raw(),
+                    to: from.raw(),
+                    node: here,
+                });
                 ctx.send(from, reply_node, answer.payload());
             }
             _ => {}
@@ -168,7 +262,10 @@ impl LocationScheme for CentralizedScheme {
     fn bootstrap(&mut self, platform: &mut dyn Spawner) {
         assert!(self.central.is_none(), "bootstrap called twice");
         let node = NodeId::new(0);
-        let id = platform.spawn_agent(Box::new(CentralBehavior::new()), node);
+        let id = platform.spawn_agent(
+            Box::new(CentralBehavior::new().with_shared(self.shared.clone())),
+            node,
+        );
         self.central = Some((id, node));
         self.shared.set_trackers(1);
     }
@@ -176,11 +273,20 @@ impl LocationScheme for CentralizedScheme {
     fn client_factory(&self) -> ClientFactory {
         let central = self.central.expect("client_factory before bootstrap");
         let config = self.config.clone();
-        std::sync::Arc::new(move || Box::new(CentralizedClient::new(config.clone(), central)))
+        let registry = self.shared.registry().clone();
+        std::sync::Arc::new(move || {
+            Box::new(
+                CentralizedClient::new(config.clone(), central).with_registry(registry.clone()),
+            )
+        })
     }
 
     fn stats(&self) -> SchemeStats {
         self.shared.snapshot()
+    }
+
+    fn registry(&self) -> MetricsRegistry {
+        self.shared.registry().clone()
     }
 }
 
@@ -191,6 +297,7 @@ pub struct CentralizedClient {
     central: (AgentId, NodeId),
     registered: bool,
     tracker: LocateTracker,
+    registry: MetricsRegistry,
 }
 
 impl CentralizedClient {
@@ -202,7 +309,16 @@ impl CentralizedClient {
             central,
             registered: false,
             tracker: LocateTracker::new(),
+            registry: MetricsRegistry::new(),
         }
+    }
+
+    /// Reports locate latencies into the given registry (the scheme's
+    /// shared one) instead of a detached default.
+    #[must_use]
+    pub fn with_registry(mut self, registry: MetricsRegistry) -> Self {
+        self.registry = registry;
+        self
     }
 
     fn send_central(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
@@ -211,25 +327,48 @@ impl CentralizedClient {
 
     fn send_locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
         let here = ctx.node();
-        self.send_central(
-            ctx,
-            &Wire::Locate {
-                target,
-                token,
-                reply_node: here,
-            },
-        );
+        let me = ctx.self_id();
+        let msg = Wire::Locate {
+            target,
+            token,
+            reply_node: here,
+            corr: Some(CorrId::new(me.raw(), token)),
+        };
+        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+            kind: msg.kind(),
+            corr: msg.corr(),
+            from: me.raw(),
+            to: self.central.0.raw(),
+            node: here,
+        });
+        self.send_central(ctx, &msg);
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
     }
 
     fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        let me = ctx.self_id();
         match decision {
             Retry::Again { token, target } => {
+                let attempt = self.tracker.attempts(token).unwrap_or(0);
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryAttempt {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempt,
+                });
                 self.send_locate(ctx, target, token);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::GiveUp { token, target } => {
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempts: self.config.max_locate_attempts,
+                });
+                ClientEvent::Failed { token, target }
+            }
             Retry::Nothing => ClientEvent::Consumed,
         }
     }
@@ -277,7 +416,7 @@ impl DirectoryClient for CentralizedClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target);
+        self.tracker.start(token, target, ctx.now());
         self.send_locate(ctx, target, token);
     }
 
@@ -303,8 +442,11 @@ impl DirectoryClient for CentralizedClient {
                 target,
                 node,
                 token,
+                ..
             } => {
-                if self.tracker.complete(token) {
+                if let Some(started) = self.tracker.complete(token) {
+                    self.registry
+                        .record_locate(_ctx.now().saturating_since(started));
                     ClientEvent::Located {
                         token,
                         target,

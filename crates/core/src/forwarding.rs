@@ -18,6 +18,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
+use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::retry::{LocateTracker, Retry};
@@ -84,43 +85,63 @@ impl Agent for ForwarderBehavior {
                 reply_to,
                 reply_node,
                 hops,
-            } => match self.pointers.get(&target) {
-                Some(Pointer::Here) => {
+                corr,
+            } => {
+                {
+                    let me = ctx.self_id();
                     let here = ctx.node();
-                    ctx.send(
-                        reply_to,
-                        reply_node,
-                        Wire::Located {
-                            target,
-                            node: here,
-                            token,
-                        }
-                        .payload(),
-                    );
+                    ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                        kind: "ChainLocate",
+                        corr,
+                        by: me.raw(),
+                        node: here,
+                    });
                 }
-                Some(Pointer::MovedTo(next)) if hops < MAX_CHAIN_HOPS => {
-                    self.shared.update(|s| s.chain_hops += 1);
-                    ctx.send(
-                        self.forwarders[next.index()],
-                        *next,
-                        Wire::ChainLocate {
-                            target,
-                            token,
+                match self.pointers.get(&target) {
+                    Some(Pointer::Here) => {
+                        let here = ctx.node();
+                        ctx.send(
                             reply_to,
                             reply_node,
-                            hops: hops + 1,
-                        }
-                        .payload(),
-                    );
+                            Wire::Located {
+                                target,
+                                node: here,
+                                token,
+                                corr,
+                            }
+                            .payload(),
+                        );
+                    }
+                    Some(Pointer::MovedTo(next)) if hops < MAX_CHAIN_HOPS => {
+                        self.shared.update(|s| s.chain_hops += 1);
+                        ctx.send(
+                            self.forwarders[next.index()],
+                            *next,
+                            Wire::ChainLocate {
+                                target,
+                                token,
+                                reply_to,
+                                reply_node,
+                                hops: hops + 1,
+                                corr,
+                            }
+                            .payload(),
+                        );
+                    }
+                    _ => {
+                        ctx.send(
+                            reply_to,
+                            reply_node,
+                            Wire::NotFound {
+                                target,
+                                token,
+                                corr,
+                            }
+                            .payload(),
+                        );
+                    }
                 }
-                _ => {
-                    ctx.send(
-                        reply_to,
-                        reply_node,
-                        Wire::NotFound { target, token }.payload(),
-                    );
-                }
-            },
+            }
             _ => {}
         }
     }
@@ -188,17 +209,21 @@ impl LocationScheme for ForwardingScheme {
         let config = self.config.clone();
         let forwarders = Arc::clone(&self.forwarders);
         let names = Arc::clone(&self.names);
+        let registry = self.shared.registry().clone();
         Arc::new(move || {
-            Box::new(ForwardingClient::new(
-                config.clone(),
-                Arc::clone(&forwarders),
-                Arc::clone(&names),
-            ))
+            Box::new(
+                ForwardingClient::new(config.clone(), Arc::clone(&forwarders), Arc::clone(&names))
+                    .with_registry(registry.clone()),
+            )
         })
     }
 
     fn stats(&self) -> SchemeStats {
         self.shared.snapshot()
+    }
+
+    fn registry(&self) -> MetricsRegistry {
+        self.shared.registry().clone()
     }
 }
 
@@ -212,6 +237,7 @@ pub struct ForwardingClient {
     prev_node: Option<NodeId>,
     registered: bool,
     tracker: LocateTracker,
+    registry: MetricsRegistry,
 }
 
 impl ForwardingClient {
@@ -227,7 +253,16 @@ impl ForwardingClient {
             prev_node: None,
             registered: false,
             tracker: LocateTracker::new(),
+            registry: MetricsRegistry::new(),
         }
+    }
+
+    /// Reports locate latencies into the given registry (the scheme's
+    /// shared one) instead of a detached default.
+    #[must_use]
+    pub fn with_registry(mut self, registry: MetricsRegistry) -> Self {
+        self.registry = registry;
+        self
     }
 
     fn forwarder_at(&self, node: NodeId) -> (AgentId, NodeId) {
@@ -258,30 +293,50 @@ impl ForwardingClient {
             let (fw, node) = self.forwarder_at(birth);
             let me = ctx.self_id();
             let here = ctx.node();
-            ctx.send(
-                fw,
-                node,
-                Wire::ChainLocate {
-                    target,
-                    token,
-                    reply_to: me,
-                    reply_node: here,
-                    hops: 0,
-                }
-                .payload(),
-            );
+            let msg = Wire::ChainLocate {
+                target,
+                token,
+                reply_to: me,
+                reply_node: here,
+                hops: 0,
+                corr: Some(CorrId::new(me.raw(), token)),
+            };
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                from: me.raw(),
+                to: fw.raw(),
+                node: here,
+            });
+            ctx.send(fw, node, msg.payload());
         }
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
     }
 
     fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        let me = ctx.self_id();
         match decision {
             Retry::Again { token, target } => {
+                let attempt = self.tracker.attempts(token).unwrap_or(0);
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryAttempt {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempt,
+                });
                 self.send_locate(ctx, target, token);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::GiveUp { token, target } => {
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempts: self.config.max_locate_attempts,
+                });
+                ClientEvent::Failed { token, target }
+            }
             Retry::Nothing => ClientEvent::Consumed,
         }
     }
@@ -348,7 +403,7 @@ impl DirectoryClient for ForwardingClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target);
+        self.tracker.start(token, target, ctx.now());
         self.send_locate(ctx, target, token);
     }
 
@@ -374,8 +429,11 @@ impl DirectoryClient for ForwardingClient {
                 target,
                 node,
                 token,
+                ..
             } => {
-                if self.tracker.complete(token) {
+                if let Some(started) = self.tracker.complete(token) {
+                    self.registry
+                        .record_locate(ctx.now().saturating_since(started));
                     ClientEvent::Located {
                         token,
                         target,

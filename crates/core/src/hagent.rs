@@ -23,7 +23,7 @@
 
 use agentrack_hashtree::IAgentId;
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
-use agentrack_sim::SimTime;
+use agentrack_sim::{SimTime, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::iagent::IAgentBehavior;
@@ -285,6 +285,15 @@ impl HAgentBehavior {
         self.hf.version += 1;
         self.hf.locations.insert(new_ia, pending.new_node);
         self.shared.update(|s| s.splits += 1);
+        self.shared.registry().record_split(self.hf.version);
+        let version = self.hf.version;
+        let from_tracker = pending.requester.raw();
+        let to_tracker = pending.new_agent.raw();
+        ctx.trace().emit(ctx.now(), || TraceEvent::RehashSplit {
+            version,
+            from_tracker,
+            to_tracker,
+        });
         self.shared.set_trackers(self.hf.tree.iagent_count() as u64);
         self.record_tree_shape();
 
@@ -317,6 +326,15 @@ impl HAgentBehavior {
         self.hf.version += 1;
         self.hf.locations.remove(&merged);
         self.shared.update(|s| s.merges += 1);
+        self.shared.registry().record_merge(self.hf.version);
+        let version = self.hf.version;
+        let from_tracker = from.raw();
+        let into_tracker = applied.absorbers.first().map_or(0, |ia| ia.raw());
+        ctx.trace().emit(ctx.now(), || TraceEvent::RehashMerge {
+            version,
+            from_tracker,
+            into_tracker,
+        });
         self.shared.set_trackers(self.hf.tree.iagent_count() as u64);
         self.record_tree_shape();
 

@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use agentrack_platform::{AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
+use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::hagent::{HAgentBehavior, StandbyHAgentBehavior};
@@ -197,11 +198,21 @@ impl LocationScheme for HashedScheme {
         assert!(self.bootstrapped, "client_factory before bootstrap");
         let config = self.config.clone();
         let lhagents = self.lhagents();
-        Arc::new(move || Box::new(HashedClient::new(config.clone(), Arc::clone(&lhagents))))
+        let registry = self.shared.registry().clone();
+        Arc::new(move || {
+            Box::new(
+                HashedClient::new(config.clone(), Arc::clone(&lhagents))
+                    .with_registry(registry.clone()),
+            )
+        })
     }
 
     fn stats(&self) -> SchemeStats {
         self.shared.snapshot()
+    }
+
+    fn registry(&self) -> MetricsRegistry {
+        self.shared.registry().clone()
     }
 }
 
@@ -220,6 +231,7 @@ pub struct HashedClient {
     /// the ack lands.
     register_watchdog: Option<TimerId>,
     tracker: LocateTracker,
+    registry: MetricsRegistry,
 }
 
 impl HashedClient {
@@ -233,7 +245,16 @@ impl HashedClient {
             registered: false,
             register_watchdog: None,
             tracker: LocateTracker::new(),
+            registry: MetricsRegistry::new(),
         }
+    }
+
+    /// Reports locate latencies into the given registry (the scheme's
+    /// shared one) instead of a detached default.
+    #[must_use]
+    pub fn with_registry(mut self, registry: MetricsRegistry) -> Self {
+        self.registry = registry;
+        self
     }
 
     fn local_lhagent(&self, ctx: &AgentCtx<'_>) -> AgentId {
@@ -243,6 +264,14 @@ impl HashedClient {
     fn send_local_resolve(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
         let lh = self.local_lhagent(ctx);
         let here = ctx.node();
+        let me = ctx.self_id();
+        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+            kind: msg.kind(),
+            corr: msg.corr(),
+            from: me.raw(),
+            to: lh.raw(),
+            node: here,
+        });
         ctx.send(lh, here, msg.payload());
     }
 
@@ -254,15 +283,18 @@ impl HashedClient {
         token: u64,
         fresh: bool,
     ) {
+        let corr = Some(CorrId::new(ctx.self_id().raw(), token));
         let msg = if fresh {
             Wire::ResolveFresh {
                 target,
                 token: Some(token),
+                corr,
             }
         } else {
             Wire::Resolve {
                 target,
                 token: Some(token),
+                corr,
             }
         };
         self.send_local_resolve(ctx, &msg);
@@ -272,12 +304,28 @@ impl HashedClient {
 
     /// Acts on a retry decision from the tracker.
     fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        let me = ctx.self_id();
         match decision {
             Retry::Again { token, target } => {
+                let attempt = self.tracker.attempts(token).unwrap_or(0);
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryAttempt {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempt,
+                });
                 self.resolve_for_locate(ctx, target, token, true);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::GiveUp { token, target } => {
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempts: self.config.max_locate_attempts,
+                });
+                ClientEvent::Failed { token, target }
+            }
             Retry::Nothing => ClientEvent::Consumed,
         }
     }
@@ -314,6 +362,7 @@ impl HashedClient {
             &Wire::ResolveFresh {
                 target: me,
                 token: None,
+                corr: None,
             },
         );
     }
@@ -327,6 +376,7 @@ impl DirectoryClient for HashedClient {
             &Wire::Resolve {
                 target: me,
                 token: None,
+                corr: None,
             },
         );
         self.register_watchdog = Some(ctx.set_timer(self.config.locate_retry_timeout));
@@ -350,7 +400,7 @@ impl DirectoryClient for HashedClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target);
+        self.tracker.start(token, target, ctx.now());
         self.resolve_for_locate(ctx, target, token, false);
     }
 
@@ -363,26 +413,42 @@ impl DirectoryClient for HashedClient {
         let Some(msg) = Wire::from_payload(payload) else {
             return ClientEvent::NotMine;
         };
+        {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+            });
+        }
         match msg {
             // Phase-1 answer for one of our locates.
             Wire::Resolved {
                 iagent,
                 node,
                 token: Some(token),
+                corr,
                 ..
             } => {
                 if let Some(target) = self.tracker.target(token) {
                     let here = ctx.node();
-                    ctx.send(
-                        iagent,
-                        node,
-                        Wire::Locate {
-                            target,
-                            token,
-                            reply_node: here,
-                        }
-                        .payload(),
-                    );
+                    let me = ctx.self_id();
+                    let locate = Wire::Locate {
+                        target,
+                        token,
+                        reply_node: here,
+                        corr: corr.or_else(|| Some(CorrId::new(me.raw(), token))),
+                    };
+                    ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                        kind: locate.kind(),
+                        corr: locate.corr(),
+                        from: me.raw(),
+                        to: iagent.raw(),
+                        node: here,
+                    });
+                    ctx.send(iagent, node, locate.payload());
                 }
                 ClientEvent::Consumed
             }
@@ -430,8 +496,11 @@ impl DirectoryClient for HashedClient {
                 target,
                 node,
                 token,
+                ..
             } => {
-                if self.tracker.complete(token) {
+                if let Some(started) = self.tracker.complete(token) {
+                    self.registry
+                        .record_locate(ctx.now().saturating_since(started));
                     ClientEvent::Located {
                         token,
                         target,
@@ -446,7 +515,9 @@ impl DirectoryClient for HashedClient {
             Wire::NotResponsible {
                 token: Some(token), ..
             } => self.retry_locate(ctx, token),
-            Wire::NotResponsible { about, token: None } => {
+            Wire::NotResponsible {
+                about, token: None, ..
+            } => {
                 // Our own registration/update hit a stale IAgent.
                 if about == ctx.self_id() {
                     self.refresh_own_iagent(ctx);

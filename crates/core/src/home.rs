@@ -19,6 +19,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
+use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
 
 use crate::centralized::CentralBehavior;
 use crate::config::LocationConfig;
@@ -42,6 +43,15 @@ impl HomeRegistryBehavior {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reports mail losses and per-tracker metrics into the scheme's
+    /// shared statistics.
+    #[must_use]
+    pub fn with_shared(self, shared: SharedSchemeStats) -> Self {
+        HomeRegistryBehavior {
+            inner: self.inner.with_shared(shared),
+        }
     }
 }
 
@@ -88,7 +98,10 @@ impl LocationScheme for HomeRegistryScheme {
         assert!(!self.bootstrapped, "bootstrap called twice");
         let registries: Vec<AgentId> = (0..platform.node_count())
             .map(|node| {
-                platform.spawn_agent(Box::new(HomeRegistryBehavior::new()), NodeId::new(node))
+                platform.spawn_agent(
+                    Box::new(HomeRegistryBehavior::new().with_shared(self.shared.clone())),
+                    NodeId::new(node),
+                )
             })
             .collect();
         self.shared.set_trackers(registries.len() as u64);
@@ -101,17 +114,25 @@ impl LocationScheme for HomeRegistryScheme {
         let config = self.config.clone();
         let registries = Arc::clone(&self.registries);
         let names = Arc::clone(&self.names);
+        let registry = self.shared.registry().clone();
         Arc::new(move || {
-            Box::new(HomeRegistryClient::new(
-                config.clone(),
-                Arc::clone(&registries),
-                Arc::clone(&names),
-            ))
+            Box::new(
+                HomeRegistryClient::new(
+                    config.clone(),
+                    Arc::clone(&registries),
+                    Arc::clone(&names),
+                )
+                .with_registry(registry.clone()),
+            )
         })
     }
 
     fn stats(&self) -> SchemeStats {
         self.shared.snapshot()
+    }
+
+    fn registry(&self) -> MetricsRegistry {
+        self.shared.registry().clone()
     }
 }
 
@@ -124,6 +145,7 @@ pub struct HomeRegistryClient {
     home: Option<NodeId>,
     registered: bool,
     tracker: LocateTracker,
+    registry: MetricsRegistry,
 }
 
 impl HomeRegistryClient {
@@ -138,7 +160,16 @@ impl HomeRegistryClient {
             home: None,
             registered: false,
             tracker: LocateTracker::new(),
+            registry: MetricsRegistry::new(),
         }
+    }
+
+    /// Reports locate latencies into the given registry (the scheme's
+    /// shared one) instead of a detached default.
+    #[must_use]
+    pub fn with_registry(mut self, registry: MetricsRegistry) -> Self {
+        self.registry = registry;
+        self
     }
 
     fn registry_at(&self, node: NodeId) -> (AgentId, NodeId) {
@@ -160,28 +191,49 @@ impl HomeRegistryClient {
         if let Some(home) = home {
             let (registry, node) = self.registry_at(home);
             let here = ctx.node();
-            ctx.send(
-                registry,
-                node,
-                Wire::Locate {
-                    target,
-                    token,
-                    reply_node: here,
-                }
-                .payload(),
-            );
+            let me = ctx.self_id();
+            let msg = Wire::Locate {
+                target,
+                token,
+                reply_node: here,
+                corr: Some(CorrId::new(me.raw(), token)),
+            };
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                from: me.raw(),
+                to: registry.raw(),
+                node: here,
+            });
+            ctx.send(registry, node, msg.payload());
         }
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
     }
 
     fn act(&mut self, ctx: &mut AgentCtx<'_>, decision: Retry) -> ClientEvent {
+        let me = ctx.self_id();
         match decision {
             Retry::Again { token, target } => {
+                let attempt = self.tracker.attempts(token).unwrap_or(0);
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryAttempt {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempt,
+                });
                 self.send_locate(ctx, target, token);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => ClientEvent::Failed { token, target },
+            Retry::GiveUp { token, target } => {
+                ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
+                    corr: Some(CorrId::new(me.raw(), token)),
+                    client: me.raw(),
+                    target: target.raw(),
+                    attempts: self.config.max_locate_attempts,
+                });
+                ClientEvent::Failed { token, target }
+            }
             Retry::Nothing => ClientEvent::Consumed,
         }
     }
@@ -236,7 +288,7 @@ impl DirectoryClient for HomeRegistryClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target);
+        self.tracker.start(token, target, ctx.now());
         self.send_locate(ctx, target, token);
     }
 
@@ -262,8 +314,11 @@ impl DirectoryClient for HomeRegistryClient {
                 target,
                 node,
                 token,
+                ..
             } => {
-                if self.tracker.complete(token) {
+                if let Some(started) = self.tracker.complete(token) {
+                    self.registry
+                        .record_locate(ctx.now().saturating_since(started));
                     ClientEvent::Located {
                         token,
                         target,

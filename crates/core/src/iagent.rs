@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use agentrack_hashtree::IAgentId;
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
-use agentrack_sim::SimTime;
+use agentrack_sim::{CorrId, SimTime, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
@@ -35,6 +35,7 @@ struct PendingLocate {
     requester: AgentId,
     reply_node: NodeId,
     token: u64,
+    corr: Option<CorrId>,
     deadline: SimTime,
 }
 
@@ -75,6 +76,9 @@ pub struct IAgentBehavior {
     origin_counts: HashMap<NodeId, u64>,
     /// Set while a locality migration is in flight.
     relocating: bool,
+    /// Protocol messages handled since birth; copied into the metrics
+    /// registry on the periodic timer (so the hot path takes no lock).
+    requests_seen: u64,
 }
 
 impl IAgentBehavior {
@@ -138,6 +142,7 @@ impl IAgentBehavior {
             mailbox,
             origin_counts: HashMap::new(),
             relocating: false,
+            requests_seen: 0,
         }
     }
 
@@ -151,6 +156,20 @@ impl IAgentBehavior {
 
     fn send_hagent(&self, ctx: &mut AgentCtx<'_>, msg: &Wire) {
         ctx.send(self.hagent, self.hagent_node, msg.payload());
+    }
+
+    /// Sends a wire message, emitting a `MessageSend` trace event.
+    fn send_traced(&self, ctx: &mut AgentCtx<'_>, to: AgentId, node: NodeId, msg: &Wire) {
+        let me = ctx.self_id();
+        let here = ctx.node();
+        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+            kind: msg.kind(),
+            corr: msg.corr(),
+            from: me.raw(),
+            to: to.raw(),
+            node: here,
+        });
+        ctx.send(to, node, msg.payload());
     }
 
     /// Records where a request came from, for locality decisions.
@@ -264,15 +283,16 @@ impl IAgentBehavior {
                     .payload(),
                 );
             }
-            for p in self.pending.drain(..) {
-                ctx.send(
+            for p in std::mem::take(&mut self.pending) {
+                self.send_traced(
+                    ctx,
                     p.requester,
                     p.reply_node,
-                    Wire::NotResponsible {
+                    &Wire::NotResponsible {
                         about: p.target,
                         token: Some(p.token),
-                    }
-                    .payload(),
+                        corr: p.corr,
+                    },
                 );
             }
             ctx.dispose();
@@ -324,14 +344,15 @@ impl IAgentBehavior {
             .partition(|p| hf.is_responsible(self_id, p.target));
         self.pending = stay;
         for p in bounce {
-            ctx.send(
+            self.send_traced(
+                ctx,
                 p.requester,
                 p.reply_node,
-                Wire::NotResponsible {
+                &Wire::NotResponsible {
                     about: p.target,
                     token: Some(p.token),
-                }
-                .payload(),
+                    corr: p.corr,
+                },
             );
         }
     }
@@ -371,13 +392,50 @@ impl IAgentBehavior {
         ctx.send(target, node, Wire::MailDrop { from, data }.payload());
     }
 
+    /// Buffers mail for `target`, counting the buffering in the metrics
+    /// registry and the event trace.
+    fn buffer_mail(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        from: AgentId,
+        data: Vec<u8>,
+    ) {
+        self.mailbox.push(ctx.now(), target, from, data);
+        let occupancy = self.mailbox.len();
+        let me = ctx.self_id().raw();
+        self.shared.registry().update_tracker(me, |t| {
+            t.mail_buffered += 1;
+            t.observe_mailbox(occupancy);
+        });
+        ctx.trace().emit(ctx.now(), || TraceEvent::MailBuffered {
+            tracker: me,
+            target: target.raw(),
+            occupancy,
+        });
+    }
+
     /// Mail can flow the moment a record (re)appears for `agent`.
     fn flush_mail_for(&mut self, ctx: &mut AgentCtx<'_>, agent: AgentId) {
         if self.mailbox.is_empty() {
             return;
         }
         if let Some(&node) = self.records.get(&agent) {
-            for item in self.mailbox.take_for(agent) {
+            let items = self.mailbox.take_for(agent);
+            if items.is_empty() {
+                return;
+            }
+            let count = items.len();
+            let me = ctx.self_id().raw();
+            self.shared
+                .registry()
+                .update_tracker(me, |t| t.mail_flushed += count as u64);
+            ctx.trace().emit(ctx.now(), || TraceEvent::MailFlushed {
+                tracker: me,
+                target: agent.raw(),
+                count,
+            });
+            for item in items {
                 self.forward_mail(ctx, agent, node, item.from, item.data);
             }
         }
@@ -386,28 +444,30 @@ impl IAgentBehavior {
     /// Serves buffered locates whose records arrived.
     fn flush_pending(&mut self, ctx: &mut AgentCtx<'_>) {
         let mut still = Vec::new();
-        for p in self.pending.drain(..) {
+        for p in std::mem::take(&mut self.pending) {
             if let Some(&node) = self.records.get(&p.target) {
                 self.shared.update(|s| s.pending_served += 1);
-                ctx.send(
+                self.send_traced(
+                    ctx,
                     p.requester,
                     p.reply_node,
-                    Wire::Located {
+                    &Wire::Located {
                         target: p.target,
                         node,
                         token: p.token,
-                    }
-                    .payload(),
+                        corr: p.corr,
+                    },
                 );
             } else if ctx.now() >= p.deadline {
-                ctx.send(
+                self.send_traced(
+                    ctx,
                     p.requester,
                     p.reply_node,
-                    Wire::NotFound {
+                    &Wire::NotFound {
                         target: p.target,
                         token: p.token,
-                    }
-                    .payload(),
+                        corr: p.corr,
+                    },
                 );
             } else {
                 still.push(p);
@@ -436,7 +496,33 @@ impl Agent for IAgentBehavior {
     }
 
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
-        self.mailbox.expire(ctx.now());
+        let lost = self.mailbox.expire(ctx.now());
+        if lost > 0 {
+            // Guaranteed delivery just failed silently for `lost` messages:
+            // make the loss visible to the registry and the event trace.
+            let me = ctx.self_id().raw();
+            self.shared
+                .registry()
+                .update_tracker(me, |t| t.mail_lost += lost as u64);
+            ctx.trace()
+                .emit(ctx.now(), || TraceEvent::MailExpired { tracker: me, lost });
+        }
+        // Batched gauge refresh: per-message paths touch no lock.
+        {
+            let me = ctx.self_id().raw();
+            let requests = self.requests_seen;
+            let rate = self.stats.rate_per_sec(ctx.now());
+            let queue_depth = self.pending.len();
+            let mailbox_occupancy = self.mailbox.len();
+            let records_held = self.records.len();
+            self.shared.registry().update_tracker(me, |t| {
+                t.requests = requests;
+                t.rate_per_sec = rate;
+                t.observe_queue_depth(queue_depth);
+                t.observe_mailbox(mailbox_occupancy);
+                t.records_held = records_held;
+            });
+        }
         self.flush_pending(ctx);
         // Unplaced handoff records must not wait forever: if the refetch
         // reply was lost (or bounced off our old node after a locality
@@ -485,6 +571,16 @@ impl Agent for IAgentBehavior {
         let Some(msg) = Wire::from_payload(payload) else {
             return;
         };
+        {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+            });
+        }
         // Client traffic that beats the first install is buffered, not
         // bounced: answering NotResponsible here would send freshly-resolved
         // clients into a refresh loop against the already-committed tree.
@@ -513,7 +609,7 @@ impl Agent for IAgentBehavior {
         // an Update may have refreshed it while the mail was in flight,
         // and a stale record corrects itself on the next update anyway.
         if let Some(Wire::MailDrop { from, data }) = Wire::from_payload(payload) {
-            self.mailbox.push(ctx.now(), _to, from, data);
+            self.buffer_mail(ctx, _to, from, data);
             return;
         }
         // Only bounced handoffs need recovery (the destination IAgent was
@@ -543,6 +639,7 @@ impl IAgentBehavior {
     fn handle_wire(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, msg: Wire) {
         match msg {
             Wire::Register { agent, node } => {
+                self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
                 self.note_origin(node);
                 if self.installed && self.is_mine(ctx, agent) {
@@ -558,6 +655,7 @@ impl IAgentBehavior {
                         Wire::NotResponsible {
                             about: agent,
                             token: None,
+                            corr: None,
                         }
                         .payload(),
                     );
@@ -565,6 +663,7 @@ impl IAgentBehavior {
                 self.maybe_request_split(ctx);
             }
             Wire::Update { agent, node } => {
+                self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
                 self.note_origin(node);
                 if self.installed && self.is_mine(ctx, agent) {
@@ -578,6 +677,7 @@ impl IAgentBehavior {
                         Wire::NotResponsible {
                             about: agent,
                             token: None,
+                            corr: None,
                         }
                         .payload(),
                     );
@@ -588,20 +688,23 @@ impl IAgentBehavior {
                 target,
                 token,
                 reply_node,
+                corr,
             } => {
+                self.requests_seen += 1;
                 self.stats.record(ctx.now(), target);
                 self.note_origin(reply_node);
                 if self.installed && self.is_mine(ctx, target) {
                     if let Some(&node) = self.records.get(&target) {
-                        ctx.send(
+                        self.send_traced(
+                            ctx,
                             from,
                             reply_node,
-                            Wire::Located {
+                            &Wire::Located {
                                 target,
                                 node,
                                 token,
-                            }
-                            .payload(),
+                                corr,
+                            },
                         );
                     } else {
                         // Possibly a handoff in flight: buffer briefly.
@@ -610,19 +713,21 @@ impl IAgentBehavior {
                             requester: from,
                             reply_node,
                             token,
+                            corr,
                             deadline: ctx.now() + self.config.pending_timeout,
                         });
                     }
                 } else {
                     self.shared.update(|s| s.stale_hits += 1);
-                    ctx.send(
+                    self.send_traced(
+                        ctx,
                         from,
                         reply_node,
-                        Wire::NotResponsible {
+                        &Wire::NotResponsible {
                             about: target,
                             token: Some(token),
-                        }
-                        .payload(),
+                            corr,
+                        },
                     );
                 }
                 self.maybe_request_split(ctx);
@@ -633,13 +738,14 @@ impl IAgentBehavior {
                 data,
                 ttl,
             } => {
+                self.requests_seen += 1;
                 self.stats.record(ctx.now(), target);
                 if self.is_mine(ctx, target) {
                     match self.records.get(&target) {
                         Some(&node) => self.forward_mail(ctx, target, node, origin, data),
                         // Unknown right now (mid-handoff or mid-flight):
                         // hold it; the next update releases it.
-                        None => self.mailbox.push(ctx.now(), target, origin, data),
+                        None => self.buffer_mail(ctx, target, origin, data),
                     }
                 } else if ttl > 0 {
                     // Stale sender copy: chase toward the responsible
@@ -660,6 +766,7 @@ impl IAgentBehavior {
                 self.maybe_request_split(ctx);
             }
             Wire::Deregister { agent } => {
+                self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
                 self.records.remove(&agent);
                 self.stats.forget(agent);

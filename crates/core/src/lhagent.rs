@@ -9,7 +9,7 @@
 //! answering (paper §4.3).
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
-use agentrack_sim::{SimDuration, SimTime};
+use agentrack_sim::{CorrId, SimDuration, SimTime, TraceEvent};
 
 use crate::scheme::SharedSchemeStats;
 use crate::wire::{HashFunction, Wire};
@@ -23,8 +23,9 @@ pub struct LHAgentBehavior {
     hagents: Vec<(AgentId, NodeId)>,
     /// Index of the source currently fetched from.
     current_hagent: usize,
-    /// Resolves waiting for a fresh copy: `(requester, target, token)`.
-    waiting: Vec<(AgentId, AgentId, Option<u64>)>,
+    /// Resolves waiting for a fresh copy:
+    /// `(requester, target, token, corr)`.
+    waiting: Vec<(AgentId, AgentId, Option<u64>, Option<CorrId>)>,
     fetch_in_flight: bool,
     /// When the in-flight fetch was sent; a reply overdue past the timeout
     /// (lost to the network, or the HAgent died without a bounce) clears
@@ -69,9 +70,18 @@ impl LHAgentBehavior {
         requester: AgentId,
         target: AgentId,
         token: Option<u64>,
+        corr: Option<CorrId>,
     ) {
         let (iagent, node) = self.hf.resolve(target);
         let here = ctx.node();
+        let me = ctx.self_id();
+        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+            kind: "Resolved",
+            corr,
+            from: me.raw(),
+            to: requester.raw(),
+            node: here,
+        });
         ctx.send(
             requester,
             here,
@@ -81,6 +91,7 @@ impl LHAgentBehavior {
                 node,
                 version: self.hf.version,
                 token,
+                corr,
             }
             .payload(),
         );
@@ -114,8 +125,22 @@ impl Agent for LHAgentBehavior {
         let Some(msg) = Wire::from_payload(payload) else {
             return;
         };
+        {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+            });
+        }
         match msg {
-            Wire::Resolve { target, token } => self.answer(ctx, from, target, token),
+            Wire::Resolve {
+                target,
+                token,
+                corr,
+            } => self.answer(ctx, from, target, token, corr),
             Wire::DeliverVia {
                 target,
                 from: origin,
@@ -138,8 +163,12 @@ impl Agent for LHAgentBehavior {
                     .payload(),
                 );
             }
-            Wire::ResolveFresh { target, token } => {
-                self.waiting.push((from, target, token));
+            Wire::ResolveFresh {
+                target,
+                token,
+                corr,
+            } => {
+                self.waiting.push((from, target, token, corr));
                 self.fetch(ctx);
             }
             Wire::HashFnCopy { hf } => {
@@ -153,8 +182,8 @@ impl Agent for LHAgentBehavior {
                         self.hf = hf;
                         self.fetch_in_flight = false;
                         let waiting = std::mem::take(&mut self.waiting);
-                        for (requester, target, token) in waiting {
-                            self.answer(ctx, requester, target, token);
+                        for (requester, target, token, corr) in waiting {
+                            self.answer(ctx, requester, target, token, corr);
                         }
                     }
                     std::cmp::Ordering::Equal => {
@@ -162,8 +191,8 @@ impl Agent for LHAgentBehavior {
                         // current: the freshest answer that exists.
                         self.fetch_in_flight = false;
                         let waiting = std::mem::take(&mut self.waiting);
-                        for (requester, target, token) in waiting {
-                            self.answer(ctx, requester, target, token);
+                        for (requester, target, token, corr) in waiting {
+                            self.answer(ctx, requester, target, token, corr);
                         }
                     }
                     std::cmp::Ordering::Less => {
@@ -190,7 +219,15 @@ impl Agent for LHAgentBehavior {
         // does not produce a hot bounce loop.
         if matches!(Wire::from_payload(payload), Some(Wire::FetchHashFn { .. })) {
             self.fetch_in_flight = false;
+            let from_source = self.hagents[self.current_hagent].0;
             self.current_hagent = (self.current_hagent + 1) % self.hagents.len();
+            let to_source = self.hagents[self.current_hagent].0;
+            let me = ctx.self_id();
+            ctx.trace().emit(ctx.now(), || TraceEvent::Failover {
+                by: me.raw(),
+                from_source: from_source.raw(),
+                to_source: to_source.raw(),
+            });
             if self.waiting.is_empty() {
                 return;
             }
@@ -208,7 +245,15 @@ impl Agent for LHAgentBehavior {
             // The reply never came (lost, or the HAgent crashed mid-fetch):
             // try the next source.
             self.fetch_in_flight = false;
+            let from_source = self.hagents[self.current_hagent].0;
             self.current_hagent = (self.current_hagent + 1) % self.hagents.len();
+            let to_source = self.hagents[self.current_hagent].0;
+            let me = ctx.self_id();
+            ctx.trace().emit(ctx.now(), || TraceEvent::Failover {
+                by: me.raw(),
+                from_source: from_source.raw(),
+                to_source: to_source.raw(),
+            });
         }
         if !self.waiting.is_empty() {
             self.fetch(ctx);

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use agentrack_platform::{AgentCtx, AgentId, TimerId};
-use agentrack_sim::SimDuration;
+use agentrack_sim::{SimDuration, SimTime};
 
 /// What the caller should do about a locate after an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,7 @@ pub enum Retry {
 struct Op {
     target: AgentId,
     attempts: u32,
+    started: SimTime,
 }
 
 /// Tracks in-flight locate operations and their retry budgets.
@@ -56,13 +57,14 @@ impl LocateTracker {
         Self::default()
     }
 
-    /// Begins tracking a locate (attempt 1).
-    pub fn start(&mut self, token: u64, target: AgentId) {
+    /// Begins tracking a locate (attempt 1) issued at `now`.
+    pub fn start(&mut self, token: u64, target: AgentId, now: SimTime) {
         self.ops.insert(
             token,
             Op {
                 target,
                 attempts: 1,
+                started: now,
             },
         );
     }
@@ -106,16 +108,24 @@ impl LocateTracker {
         }
     }
 
-    /// The locate completed: stop tracking. Returns `true` if it was still
-    /// being tracked (guards against duplicate answers).
-    pub fn complete(&mut self, token: u64) -> bool {
-        self.ops.remove(&token).is_some()
+    /// The locate completed: stop tracking. Returns the time the
+    /// operation started if it was still being tracked (guards against
+    /// duplicate answers; the caller uses the start time to record the
+    /// end-to-end latency).
+    pub fn complete(&mut self, token: u64) -> Option<SimTime> {
+        self.ops.remove(&token).map(|op| op.started)
     }
 
     /// The target of an in-flight locate, if still tracked.
     #[must_use]
     pub fn target(&self, token: u64) -> Option<AgentId> {
         self.ops.get(&token).map(|op| op.target)
+    }
+
+    /// The attempt count of an in-flight locate, if still tracked.
+    #[must_use]
+    pub fn attempts(&self, token: u64) -> Option<u32> {
+        self.ops.get(&token).map(|op| op.attempts)
     }
 
     /// Number of in-flight locates.
@@ -132,7 +142,7 @@ mod tests {
     #[test]
     fn negative_answers_consume_the_budget() {
         let mut t = LocateTracker::new();
-        t.start(1, AgentId::new(9));
+        t.start(1, AgentId::new(9), SimTime::ZERO);
         assert_eq!(
             t.on_negative(1, 3),
             Retry::Again {
@@ -161,10 +171,12 @@ mod tests {
     #[test]
     fn completion_stops_tracking() {
         let mut t = LocateTracker::new();
-        t.start(7, AgentId::new(1));
+        let issued = SimTime::ZERO + SimDuration::from_millis(5);
+        t.start(7, AgentId::new(1), issued);
         assert_eq!(t.target(7), Some(AgentId::new(1)));
-        assert!(t.complete(7));
-        assert!(!t.complete(7));
+        assert_eq!(t.attempts(7), Some(1));
+        assert_eq!(t.complete(7), Some(issued));
+        assert_eq!(t.complete(7), None);
         assert_eq!(t.on_negative(7, 3), Retry::Nothing);
     }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use agentrack_platform::{AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
+use agentrack_sim::MetricsRegistry;
 
 /// A thread-safe constructor of scheme clients, so workloads can create
 /// clients for agents born *during* a run (population churn).
@@ -129,6 +130,13 @@ pub trait LocationScheme {
 
     /// Scheme-level statistics accumulated so far.
     fn stats(&self) -> SchemeStats;
+
+    /// The per-tracker metrics registry behaviours report into. The
+    /// default is a detached, always-empty registry; schemes that track
+    /// per-tracker metrics return their shared one.
+    fn registry(&self) -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
 }
 
 /// Counters describing what a scheme did during a run.
@@ -166,9 +174,16 @@ pub struct SchemeStats {
 
 /// Shared mutable scheme statistics: behaviours hold clones of this handle.
 ///
+/// Also carries the scheme's [`MetricsRegistry`], so every behaviour that
+/// already holds the stats handle can report per-tracker metrics without
+/// further plumbing.
+///
 /// Thread-safe so behaviours can run on either runtime.
 #[derive(Clone, Default)]
-pub struct SharedSchemeStats(Arc<Mutex<SchemeStats>>);
+pub struct SharedSchemeStats {
+    stats: Arc<Mutex<SchemeStats>>,
+    registry: MetricsRegistry,
+}
 
 impl SharedSchemeStats {
     /// Creates zeroed shared statistics.
@@ -180,19 +195,25 @@ impl SharedSchemeStats {
     /// Reads the current snapshot.
     #[must_use]
     pub fn snapshot(&self) -> SchemeStats {
-        *self.0.lock()
+        *self.stats.lock()
     }
 
     /// Applies a mutation to the counters.
     pub fn update(&self, f: impl FnOnce(&mut SchemeStats)) {
-        f(&mut self.0.lock());
+        f(&mut self.stats.lock());
     }
 
     /// Records a change in the number of trackers.
     pub fn set_trackers(&self, n: u64) {
-        let mut s = self.0.lock();
+        let mut s = self.stats.lock();
         s.trackers = n;
         s.peak_trackers = s.peak_trackers.max(n);
+    }
+
+    /// The per-tracker metrics registry riding along with the counters.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 }
 

@@ -28,9 +28,11 @@ impl LoadStats {
     ///
     /// # Panics
     ///
-    /// Panics if the window is degenerate (zero span or zero buckets).
+    /// Panics if the window is degenerate (zero span or zero buckets) or
+    /// the decay interval is zero.
     #[must_use]
     pub fn new(window: SimDuration, buckets: usize, decay_interval: SimDuration) -> Self {
+        assert!(!decay_interval.is_zero(), "degenerate decay interval");
         LoadStats {
             rate: WindowedRate::new(window, buckets),
             per_agent: HashMap::new(),
@@ -92,12 +94,18 @@ impl LoadStats {
     }
 
     fn maybe_decay(&mut self, now: SimTime) {
-        if now.saturating_since(self.last_decay) < self.decay_interval {
+        let elapsed = now.saturating_since(self.last_decay);
+        let intervals = elapsed.as_nanos() / self.decay_interval.as_nanos();
+        if intervals == 0 {
             return;
         }
-        self.last_decay = now;
+        // Advance by whole intervals only, so the fractional remainder
+        // keeps accumulating: counters decay the same way whether a quiet
+        // stretch is observed in one call or across many.
+        self.last_decay += self.decay_interval * intervals;
+        let shift = u32::try_from(intervals).unwrap_or(63).min(63);
         self.per_agent.retain(|_, w| {
-            *w /= 2;
+            *w >>= shift;
             *w > 0
         });
     }
@@ -171,6 +179,40 @@ mod tests {
         assert!(s.loads().is_empty());
     }
 
+    /// Regression: `maybe_decay` used to halve exactly once per call no
+    /// matter how many intervals had elapsed, so after a quiet stretch a
+    /// tracker's split plan over-weighted ancient traffic.
+    #[test]
+    fn decay_catches_up_over_a_quiet_stretch() {
+        let mut s = stats(); // 2 s decay interval
+        let t0 = SimTime::ZERO;
+        for _ in 0..64 {
+            s.record(t0, AgentId::new(1));
+        }
+        // 6.5 s of silence = 3 whole intervals: 64 >> 3 = 8, not 32.
+        s.record_control(t0 + SimDuration::from_millis(6500));
+        assert_eq!(s.loads(), vec![(AgentId::new(1), 8)]);
+    }
+
+    #[test]
+    fn decay_shift_is_capped_not_overflowing() {
+        let mut s = stats();
+        let t0 = SimTime::ZERO;
+        for _ in 0..8 {
+            s.record(t0, AgentId::new(1));
+        }
+        // 200 intervals elapse at once; a shift of 200 must clear the
+        // counter, not overflow the shift amount.
+        s.record_control(t0 + SimDuration::from_secs(400));
+        assert!(s.loads().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate decay interval")]
+    fn zero_decay_interval_panics() {
+        let _ = LoadStats::new(SimDuration::from_secs(1), 10, SimDuration::ZERO);
+    }
+
     #[test]
     fn rate_reflects_recent_traffic() {
         let mut s = stats();
@@ -183,5 +225,43 @@ mod tests {
         assert!((80.0..120.0).contains(&r), "rate {r}");
         // After silence the rate collapses.
         assert_eq!(s.rate_per_sec(t + SimDuration::from_secs(5)), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Decay must be time-translation-invariant: observing one
+            /// long gap in a single `record` call leaves exactly the
+            /// same per-agent loads as observing the same gap chopped
+            /// into many intermediate calls.
+            #[test]
+            fn decay_is_invariant_under_gap_splitting(
+                seed in 1usize..512,
+                gap_ms in 1u64..60_000,
+                cuts in prop::collection::vec(0.0f64..1.0, 0..6),
+            ) {
+                let mut one = stats();
+                let mut many = stats();
+                let agent = AgentId::new(1);
+                for _ in 0..seed {
+                    one.record(SimTime::ZERO, agent);
+                    many.record(SimTime::ZERO, agent);
+                }
+                let gap = SimDuration::from_millis(gap_ms);
+                let mut times: Vec<SimTime> = cuts
+                    .into_iter()
+                    .map(|frac| SimTime::ZERO + gap.mul_f64(frac))
+                    .collect();
+                times.sort_unstable();
+                for t in times {
+                    many.record_control(t);
+                }
+                one.record_control(SimTime::ZERO + gap);
+                many.record_control(SimTime::ZERO + gap);
+                prop_assert_eq!(one.loads(), many.loads());
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 
 use agentrack_hashtree::{AgentKey, CompiledDirectory, HashTree, IAgentId};
 use agentrack_platform::{AgentId, NodeId, Payload};
+use agentrack_sim::CorrId;
 use serde::{Deserialize, Serialize};
 
 /// Derives the hash key of a platform agent id.
@@ -211,7 +212,10 @@ impl Deserialize for HashFunction {
 /// Every message any location scheme sends.
 ///
 /// `token` fields correlate asynchronous replies with the requests that
-/// caused them.
+/// caused them. `corr` fields carry the end-to-end [`CorrId`] of the
+/// operation a message belongs to: every hop of one locate — resolve,
+/// locate, chase, answer — carries the same id, so the full multi-hop
+/// path can be reconstructed from a trace ring-buffer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Wire {
     // ---- client ↔ LHAgent (hashed scheme, phase 1) ----
@@ -222,6 +226,8 @@ pub enum Wire {
         target: AgentId,
         /// Correlation token, echoed in [`Wire::Resolved`].
         token: Option<u64>,
+        /// End-to-end id of the operation this resolve serves.
+        corr: Option<CorrId>,
     },
     /// Like [`Wire::Resolve`], but the caller has evidence the local copy
     /// is stale: fetch the primary copy from the HAgent first.
@@ -230,6 +236,8 @@ pub enum Wire {
         target: AgentId,
         /// Correlation token.
         token: Option<u64>,
+        /// End-to-end id of the operation this resolve serves.
+        corr: Option<CorrId>,
     },
     /// Answer to a resolve: the responsible IAgent and its node.
     Resolved {
@@ -243,6 +251,8 @@ pub enum Wire {
         version: u64,
         /// Correlation token.
         token: Option<u64>,
+        /// End-to-end id, echoed from the resolve.
+        corr: Option<CorrId>,
     },
 
     // ---- client ↔ IAgent (phase 2) / central agent / registries ----
@@ -278,6 +288,8 @@ pub enum Wire {
         token: u64,
         /// Node the querier wants the answer sent to.
         reply_node: NodeId,
+        /// End-to-end id of this locate.
+        corr: Option<CorrId>,
     },
     /// Successful locate answer.
     Located {
@@ -287,6 +299,8 @@ pub enum Wire {
         node: NodeId,
         /// Correlation token.
         token: u64,
+        /// End-to-end id, echoed from the locate.
+        corr: Option<CorrId>,
     },
     /// The tracker has no record of the target.
     NotFound {
@@ -294,6 +308,8 @@ pub enum Wire {
         target: AgentId,
         /// Correlation token.
         token: u64,
+        /// End-to-end id, echoed from the locate.
+        corr: Option<CorrId>,
     },
     /// The receiving IAgent is no longer responsible for this agent: the
     /// sender's hash-function copy is stale (paper §2.3). Triggers the
@@ -303,6 +319,8 @@ pub enum Wire {
         about: AgentId,
         /// The locate token, when the request was a locate.
         token: Option<u64>,
+        /// End-to-end id, echoed from the stale request.
+        corr: Option<CorrId>,
     },
 
     // ---- IAgent ↔ HAgent (rehashing, §4) ----
@@ -395,6 +413,8 @@ pub enum Wire {
         reply_node: NodeId,
         /// Hops walked so far (loop guard).
         hops: u32,
+        /// End-to-end id of this locate.
+        corr: Option<CorrId>,
     },
     /// Deposit a forwarding pointer at the node an agent is leaving.
     LeavePointer {
@@ -416,6 +436,53 @@ impl Wire {
     #[must_use]
     pub fn from_payload(payload: &Payload) -> Option<Wire> {
         payload.decode().ok()
+    }
+
+    /// The message's variant name, as a static string (trace labels).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Wire::Resolve { .. } => "Resolve",
+            Wire::ResolveFresh { .. } => "ResolveFresh",
+            Wire::Resolved { .. } => "Resolved",
+            Wire::Register { .. } => "Register",
+            Wire::RegisterAck { .. } => "RegisterAck",
+            Wire::Update { .. } => "Update",
+            Wire::Deregister { .. } => "Deregister",
+            Wire::Locate { .. } => "Locate",
+            Wire::Located { .. } => "Located",
+            Wire::NotFound { .. } => "NotFound",
+            Wire::NotResponsible { .. } => "NotResponsible",
+            Wire::SplitRequest { .. } => "SplitRequest",
+            Wire::MergeRequest { .. } => "MergeRequest",
+            Wire::RehashDenied => "RehashDenied",
+            Wire::IAgentReady => "IAgentReady",
+            Wire::IAgentMoved { .. } => "IAgentMoved",
+            Wire::InstallHashFn { .. } => "InstallHashFn",
+            Wire::Handoff { .. } => "Handoff",
+            Wire::FetchHashFn { .. } => "FetchHashFn",
+            Wire::HashFnCopy { .. } => "HashFnCopy",
+            Wire::DeliverVia { .. } => "DeliverVia",
+            Wire::MailDrop { .. } => "MailDrop",
+            Wire::ChainLocate { .. } => "ChainLocate",
+            Wire::LeavePointer { .. } => "LeavePointer",
+        }
+    }
+
+    /// The end-to-end correlation id this message carries, if any.
+    #[must_use]
+    pub fn corr(&self) -> Option<CorrId> {
+        match self {
+            Wire::Resolve { corr, .. }
+            | Wire::ResolveFresh { corr, .. }
+            | Wire::Resolved { corr, .. }
+            | Wire::Locate { corr, .. }
+            | Wire::Located { corr, .. }
+            | Wire::NotFound { corr, .. }
+            | Wire::NotResponsible { corr, .. }
+            | Wire::ChainLocate { corr, .. } => *corr,
+            _ => None,
+        }
     }
 }
 
@@ -450,11 +517,13 @@ mod tests {
             Wire::Resolve {
                 target: AgentId::new(1),
                 token: Some(9),
+                corr: Some(CorrId::new(1, 9)),
             },
             Wire::Locate {
                 target: AgentId::new(2),
                 token: 4,
                 reply_node: NodeId::new(1),
+                corr: None,
             },
             Wire::InstallHashFn {
                 hf: HashFunction::initial(AgentId::new(0), NodeId::new(0)),

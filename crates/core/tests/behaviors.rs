@@ -131,6 +131,7 @@ fn lhagent_resolves_from_its_local_copy() {
         Wire::Resolve {
             target: AgentId::new(5),
             token: Some(9),
+            corr: None,
         },
     );
     h.run_ms(50);
@@ -143,6 +144,7 @@ fn lhagent_resolves_from_its_local_copy() {
             node,
             version,
             token,
+            ..
         } => {
             assert_eq!(*target, AgentId::new(5));
             assert_eq!(*ia, iagent);
@@ -181,6 +183,7 @@ fn lhagent_resolve_fresh_pulls_the_primary_copy() {
         Wire::ResolveFresh {
             target: AgentId::new(5),
             token: Some(1),
+            corr: None,
         },
     );
     h.run_ms(30);
@@ -264,6 +267,7 @@ fn iagent_register_then_locate_round_trip() {
             target: agent,
             token: 3,
             reply_node: h.puppet_node,
+            corr: None,
         },
     );
     h.run_ms(30);
@@ -271,7 +275,7 @@ fn iagent_register_then_locate_round_trip() {
     assert!(
         matches!(
             got.as_slice(),
-            [Wire::Located { target, node, token: 3 }]
+            [Wire::Located { target, node, token: 3, .. }]
                 if *target == agent && *node == NodeId::new(0)
         ),
         "{got:?}"
@@ -306,6 +310,7 @@ fn iagent_update_changes_the_answer() {
             target: agent,
             token: 1,
             reply_node: h.puppet_node,
+            corr: None,
         },
     );
     h.run_ms(50);
@@ -357,12 +362,13 @@ fn iagent_answers_not_responsible_when_the_key_is_elsewhere() {
             target: not_mine,
             token: 8,
             reply_node: h.puppet_node,
+            corr: None,
         },
     );
     h.run_ms(30);
     assert!(h.received().iter().any(|m| matches!(
         m,
-        Wire::NotResponsible { about, token: Some(8) } if *about == not_mine
+        Wire::NotResponsible { about, token: Some(8), .. } if *about == not_mine
     )));
 }
 
@@ -384,6 +390,7 @@ fn iagent_buffers_locates_until_the_handoff_lands() {
             target: agent,
             token: 4,
             reply_node: h.puppet_node,
+            corr: None,
         },
     );
     h.run_ms(50);
@@ -420,6 +427,7 @@ fn iagent_times_out_pending_locates_with_not_found() {
             target: AgentId::new(31_337),
             token: 6,
             reply_node: h.puppet_node,
+            corr: None,
         },
     );
     h.run_ms(1000);

@@ -4,7 +4,7 @@
 
 use agentrack_core::{key_of, plan_split, HashFunction, LocationConfig, Wire};
 use agentrack_hashtree::{IAgentId, Side, SplitKind};
-use agentrack_platform::{AgentId, NodeId};
+use agentrack_platform::{AgentId, CorrId, NodeId};
 use proptest::prelude::*;
 
 fn arb_agent() -> impl Strategy<Value = AgentId> {
@@ -15,27 +15,42 @@ fn arb_node() -> impl Strategy<Value = NodeId> {
     (0u32..64).prop_map(NodeId::new)
 }
 
+fn arb_corr() -> impl Strategy<Value = Option<CorrId>> {
+    proptest::option::of((any::<u64>(), any::<u64>()).prop_map(|(o, s)| CorrId::new(o, s)))
+}
+
 fn arb_wire() -> impl Strategy<Value = Wire> {
     prop_oneof![
-        (arb_agent(), proptest::option::of(any::<u64>()))
-            .prop_map(|(target, token)| Wire::Resolve { target, token }),
+        (arb_agent(), proptest::option::of(any::<u64>()), arb_corr()).prop_map(
+            |(target, token, corr)| Wire::Resolve {
+                target,
+                token,
+                corr
+            }
+        ),
         (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Register { agent, node }),
         (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Update { agent, node }),
         arb_agent().prop_map(|agent| Wire::Deregister { agent }),
-        (arb_agent(), any::<u64>(), arb_node()).prop_map(|(target, token, reply_node)| {
-            Wire::Locate {
-                target,
-                token,
-                reply_node,
+        (arb_agent(), any::<u64>(), arb_node(), arb_corr()).prop_map(
+            |(target, token, reply_node, corr)| {
+                Wire::Locate {
+                    target,
+                    token,
+                    reply_node,
+                    corr,
+                }
             }
-        }),
-        (arb_agent(), arb_node(), any::<u64>()).prop_map(|(target, node, token)| Wire::Located {
-            target,
-            node,
-            token
-        }),
-        (arb_agent(), proptest::option::of(any::<u64>()))
-            .prop_map(|(about, token)| Wire::NotResponsible { about, token }),
+        ),
+        (arb_agent(), arb_node(), any::<u64>(), arb_corr()).prop_map(
+            |(target, node, token, corr)| Wire::Located {
+                target,
+                node,
+                token,
+                corr
+            }
+        ),
+        (arb_agent(), proptest::option::of(any::<u64>()), arb_corr())
+            .prop_map(|(about, token, corr)| Wire::NotResponsible { about, token, corr }),
         // Rates are msgs/sec: non-negative, human-scale. (Extreme doubles
         // lose bits through JSON, which the protocol never carries.)
         (
@@ -50,15 +65,24 @@ fn arb_wire() -> impl Strategy<Value = Wire> {
             reply_node
         }),
         arb_node().prop_map(|node| Wire::IAgentMoved { node }),
-        (arb_agent(), any::<u64>(), arb_agent(), arb_node(), 0u32..64).prop_map(
-            |(target, token, reply_to, reply_node, hops)| Wire::ChainLocate {
-                target,
-                token,
-                reply_to,
-                reply_node,
-                hops
-            }
-        ),
+        (
+            arb_agent(),
+            any::<u64>(),
+            arb_agent(),
+            arb_node(),
+            0u32..64,
+            arb_corr()
+        )
+            .prop_map(|(target, token, reply_to, reply_node, hops, corr)| {
+                Wire::ChainLocate {
+                    target,
+                    token,
+                    reply_to,
+                    reply_node,
+                    hops,
+                    corr,
+                }
+            }),
     ]
 }
 

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use agentrack_sim::{NodeId, SimDuration, SimRng, SimTime};
+use agentrack_sim::{NodeId, SimDuration, SimRng, SimTime, TraceSink};
 
 use crate::id::{AgentId, TimerId};
 use crate::payload::Payload;
@@ -145,6 +145,7 @@ pub struct AgentCtx<'a> {
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) next_agent_id: &'a mut u64,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) trace: &'a TraceSink,
 }
 
 impl AgentCtx<'_> {
@@ -169,6 +170,13 @@ impl AgentCtx<'_> {
     /// Deterministic per-run randomness.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// The platform's structured-event trace sink. Disabled (and
+    /// zero-cost to emit into) unless the platform installed one.
+    #[must_use]
+    pub fn trace(&self) -> &TraceSink {
+        self.trace
     }
 
     /// Sends `payload` to agent `to`, believed to reside at `node`.

@@ -75,8 +75,11 @@ pub use config::PlatformConfig;
 pub use id::{AgentId, TimerId};
 pub use live::{LivePlatform, LiveStats};
 pub use payload::{DecodeError, Payload};
-pub use runtime::{AgentState, PlatformStats, SimPlatform, TraceEvent, Tracer};
+pub use runtime::{AgentState, MsgTrace, MsgTracer, PlatformStats, SimPlatform};
 pub use spawner::Spawner;
 
 // Re-export the sim vocabulary platform users need constantly.
-pub use agentrack_sim::{DurationDist, NodeId, SimDuration, SimTime, Topology};
+pub use agentrack_sim::{
+    CorrId, DurationDist, NodeId, SimDuration, SimTime, Topology, TraceEvent, TraceRecord,
+    TraceSink,
+};

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
-use agentrack_sim::{NodeId, SimRng, SimTime};
+use agentrack_sim::{NodeId, SimRng, SimTime, TraceSink};
 
 use crate::agent::{Action, Agent, AgentCtx};
 use crate::id::{AgentId, TimerId};
@@ -109,6 +109,7 @@ struct Shared {
     next_agent_id: AtomicU64,
     counters: LiveCounters,
     start: Instant,
+    trace: TraceSink,
 }
 
 impl Shared {
@@ -179,6 +180,19 @@ impl LivePlatform {
     /// Panics if `node_count == 0`.
     #[must_use]
     pub fn new(node_count: u32) -> Self {
+        Self::with_trace(node_count, TraceSink::disabled())
+    }
+
+    /// Starts `node_count` node threads with a structured-event trace
+    /// sink visible to every handler through [`AgentCtx::trace`]. The
+    /// sink is thread-safe; events from different nodes interleave in
+    /// wall-clock arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count == 0`.
+    #[must_use]
+    pub fn with_trace(node_count: u32, trace: TraceSink) -> Self {
         assert!(node_count > 0, "live platform needs at least one node");
         let mut senders = Vec::with_capacity(node_count as usize);
         let mut receivers: Vec<Receiver<NodeMsg>> = Vec::with_capacity(node_count as usize);
@@ -193,6 +207,7 @@ impl LivePlatform {
             next_agent_id: AtomicU64::new(0),
             counters: LiveCounters::default(),
             start: Instant::now(),
+            trace,
         });
         let handles = receivers
             .into_iter()
@@ -537,6 +552,7 @@ fn invoke<F>(
             actions: &mut actions,
             next_agent_id,
             next_timer_id,
+            trace: &shared.trace,
         };
         f(behavior.as_mut(), &mut ctx);
     }
@@ -637,6 +653,7 @@ fn invoke<F>(
                         actions: &mut dispose_actions,
                         next_agent_id,
                         next_timer_id,
+                        trace: &shared.trace,
                     };
                     behavior.on_dispose(&mut ctx);
                     // Farewell sends only; other actions are meaningless now.

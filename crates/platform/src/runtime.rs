@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use agentrack_sim::{
-    Delivery, NodeId, Scheduler, ServiceStation, SimDuration, SimRng, SimTime, Topology,
+    Delivery, NodeId, Scheduler, ServiceStation, SimDuration, SimRng, SimTime, Topology, TraceSink,
 };
 
 use crate::agent::{Action, Agent, AgentCtx};
@@ -116,8 +116,13 @@ pub struct PlatformStats {
 
 /// A message-level trace event, passed to the tracer installed with
 /// [`SimPlatform::set_tracer`].
+///
+/// This is the raw transport view (every payload, delivered or bounced).
+/// The *protocol*-level view — structured events with correlation ids —
+/// is [`agentrack_sim::TraceSink`], installed with
+/// [`SimPlatform::set_trace_sink`].
 #[derive(Debug)]
-pub struct TraceEvent<'a> {
+pub struct MsgTrace<'a> {
     /// When it happened.
     pub now: SimTime,
     /// Sending agent.
@@ -133,7 +138,7 @@ pub struct TraceEvent<'a> {
 }
 
 /// A boxed message tracer, installed with [`SimPlatform::set_tracer`].
-pub type Tracer = Box<dyn FnMut(TraceEvent<'_>)>;
+pub type MsgTracer = Box<dyn FnMut(MsgTrace<'_>)>;
 
 /// The deterministic mobile-agent platform.
 ///
@@ -166,7 +171,8 @@ pub struct SimPlatform {
     next_agent_id: u64,
     next_timer_id: u64,
     stats: PlatformStats,
-    tracer: Option<Tracer>,
+    tracer: Option<MsgTracer>,
+    trace: TraceSink,
 }
 
 impl SimPlatform {
@@ -184,13 +190,27 @@ impl SimPlatform {
             next_timer_id: 0,
             stats: PlatformStats::default(),
             tracer: None,
+            trace: TraceSink::disabled(),
         }
     }
 
     /// Installs a message tracer, called for every delivered or bounced
     /// message. Diagnostic tool; `None` by default.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
+    pub fn set_tracer(&mut self, tracer: MsgTracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Installs a structured-event trace sink, visible to every agent
+    /// handler through [`AgentCtx::trace`]. Disabled by default.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The installed structured-event trace sink (disabled unless
+    /// [`SimPlatform::set_trace_sink`] was called).
+    #[must_use]
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The current virtual time.
@@ -378,7 +398,7 @@ impl SimPlatform {
                         Incoming::Message { from, payload } => {
                             self.stats.messages_delivered += 1;
                             if let Some(tracer) = &mut self.tracer {
-                                tracer(TraceEvent {
+                                tracer(MsgTrace {
                                     now: self.sched.now(),
                                     from,
                                     to,
@@ -444,7 +464,7 @@ impl SimPlatform {
             return;
         };
         if let Some(tracer) = &mut self.tracer {
-            tracer(TraceEvent {
+            tracer(MsgTrace {
                 now: self.sched.now(),
                 from,
                 to,
@@ -496,6 +516,7 @@ impl SimPlatform {
                 actions: &mut actions,
                 next_agent_id: &mut self.next_agent_id,
                 next_timer_id: &mut self.next_timer_id,
+                trace: &self.trace,
             };
             f(behavior.as_mut(), &mut ctx);
         }
@@ -566,6 +587,7 @@ impl SimPlatform {
                                 actions: &mut farewell,
                                 next_agent_id: &mut self.next_agent_id,
                                 next_timer_id: &mut self.next_timer_id,
+                                trace: &self.trace,
                             };
                             behavior.on_dispose(&mut ctx);
                         }

@@ -18,7 +18,13 @@
 //!   saturation (the paper's headline effect) emerge naturally;
 //! * [`Histogram`] / [`WindowedRate`] / [`Counter`] — measurement, plus the
 //!   windowed request-rate statistics IAgents use to decide splits and
-//!   merges.
+//!   merges;
+//! * [`TraceSink`] / [`TraceEvent`] / [`CorrId`] — structured protocol
+//!   tracing: correlation ids threaded through wire messages land in a
+//!   bounded ring buffer, off by default and zero-cost when disabled;
+//! * [`MetricsRegistry`] — per-tracker gauges and counters, per-version
+//!   rehash counts, and locate-latency percentiles, exportable as
+//!   JSON/CSV.
 //!
 //! The mobile-agent platform in `agentrack-platform` builds its runtime on
 //! top of these pieces.
@@ -55,13 +61,19 @@
 mod metrics;
 mod net;
 mod queue;
+mod registry;
 mod rng;
 mod station;
 mod time;
+mod trace;
 
 pub use metrics::{Counter, Histogram, WindowedRate};
 pub use net::{arrival, Delivery, NodeId, Topology};
 pub use queue::Scheduler;
+pub use registry::{
+    LatencySummary, MetricsRegistry, RegistrySnapshot, RehashCounts, TrackerMetrics,
+};
 pub use rng::{DurationDist, SimRng, Zipf};
 pub use station::ServiceStation;
 pub use time::{SimDuration, SimTime};
+pub use trace::{CorrId, TraceEvent, TraceRecord, TraceSink};

@@ -240,9 +240,20 @@ impl WindowedRate {
         }
     }
 
-    /// Records one message at `at`. Timestamps must be non-decreasing.
+    /// Records one message at `at`. Timestamps must be non-decreasing;
+    /// an out-of-order timestamp is clamped into the newest bucket (the
+    /// deque stays sorted, so eviction and rate queries stay correct)
+    /// and trips a `debug_assert!`.
     pub fn record(&mut self, at: SimTime) {
-        let start = self.bucket_start(at);
+        let mut start = self.bucket_start(at);
+        if let Some(&(newest, _)) = self.buckets.back() {
+            debug_assert!(
+                start >= newest,
+                "WindowedRate::record called with an out-of-order timestamp \
+                 ({at} precedes bucket starting at {newest})"
+            );
+            start = start.max(newest);
+        }
         match self.buckets.back_mut() {
             Some((s, count)) if *s == start => *count += 1,
             _ => self.buckets.push_back((start, 1)),
@@ -350,5 +361,34 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_window_panics() {
         let _ = WindowedRate::new(SimDuration::ZERO, 4);
+    }
+
+    /// Regression: an out-of-order timestamp used to push a bucket with
+    /// an *older* start behind the newest one, breaking the deque's
+    /// sorted invariant — eviction would then stop at the misplaced
+    /// bucket and the rate estimate counted stale events forever. The
+    /// invariant now trips a `debug_assert!`, and in release builds the
+    /// sample is clamped into the newest bucket.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out-of-order timestamp")]
+    fn out_of_order_record_asserts_in_debug() {
+        let mut r = WindowedRate::new(SimDuration::from_secs(1), 10);
+        r.record(SimTime::ZERO + SimDuration::from_millis(500));
+        r.record(SimTime::ZERO + SimDuration::from_millis(100));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_order_record_is_clamped_in_release() {
+        let mut r = WindowedRate::new(SimDuration::from_secs(1), 10);
+        r.record(SimTime::ZERO + SimDuration::from_millis(500));
+        // 400 ms out of order: lands in the newest bucket, not behind it.
+        r.record(SimTime::ZERO + SimDuration::from_millis(100));
+        assert_eq!(r.total_events(), 2);
+        // The deque must stay sorted so the window keeps rolling: after
+        // ten quiet seconds both events are outside the window.
+        let later = SimTime::ZERO + SimDuration::from_secs(11);
+        assert_eq!(r.rate_per_sec(later), 0.0);
     }
 }

@@ -1,0 +1,372 @@
+//! A shared metrics registry: per-tracker gauges and counters, rehash
+//! counts per hash-function version, and a locate-latency histogram.
+//!
+//! The paper's evaluation reports aggregates; operating the mechanism
+//! needs the per-tracker view — which IAgent is saturated, whose
+//! mailbox is filling, how each rehash generation behaved. Scheme
+//! implementations update the registry from inside agent callbacks
+//! (the handle is `Clone` and internally locked); experiment drivers
+//! snapshot it at the end of a run and export JSON or CSV.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Histogram;
+use crate::time::SimDuration;
+
+/// Live metrics for one tracker (IAgent or equivalent directory node).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrackerMetrics {
+    /// Protocol messages this tracker has handled.
+    pub requests: u64,
+    /// Pending-locate queue depth at the last observation.
+    pub queue_depth: usize,
+    /// Largest pending-locate queue depth ever observed.
+    pub queue_depth_peak: usize,
+    /// Mailbox occupancy at the last observation.
+    pub mailbox_occupancy: usize,
+    /// Largest mailbox occupancy ever observed.
+    pub mailbox_occupancy_peak: usize,
+    /// Windowed request rate (messages/s) at the last observation.
+    pub rate_per_sec: f64,
+    /// Directory records held at the last observation.
+    pub records_held: usize,
+    /// Guaranteed-delivery messages buffered while targets migrated.
+    pub mail_buffered: u64,
+    /// Buffered messages flushed to re-registered targets.
+    pub mail_flushed: u64,
+    /// Buffered messages dropped after their TTL expired.
+    pub mail_lost: u64,
+}
+
+impl TrackerMetrics {
+    /// Observes the current queue depth, updating the gauge and peak.
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        self.queue_depth = depth;
+        self.queue_depth_peak = self.queue_depth_peak.max(depth);
+    }
+
+    /// Observes the current mailbox occupancy, updating gauge and peak.
+    pub fn observe_mailbox(&mut self, occupancy: usize) {
+        self.mailbox_occupancy = occupancy;
+        self.mailbox_occupancy_peak = self.mailbox_occupancy_peak.max(occupancy);
+    }
+}
+
+/// Rehash activity within one hash-function version.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RehashCounts {
+    /// Splits that produced this version.
+    pub splits: u64,
+    /// Merges that produced this version.
+    pub merges: u64,
+}
+
+/// Summary statistics of the locate-latency histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Completed locates measured.
+    pub count: usize,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst latency in milliseconds.
+    pub max_ms: f64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    trackers: BTreeMap<u64, TrackerMetrics>,
+    rehashes: BTreeMap<u64, RehashCounts>,
+    locate_latency: Histogram,
+}
+
+/// A cloneable, internally-locked handle to the metrics store.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{MetricsRegistry, SimDuration};
+///
+/// let registry = MetricsRegistry::new();
+/// registry.update_tracker(7, |t| {
+///     t.requests += 1;
+///     t.observe_mailbox(3);
+/// });
+/// registry.record_locate(SimDuration::from_millis(4));
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.trackers[0].1.requests, 1);
+/// assert_eq!(snap.locate_latency.count, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Updates (creating on first touch) the metrics of one tracker.
+    pub fn update_tracker(&self, tracker: u64, f: impl FnOnce(&mut TrackerMetrics)) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        f(inner.trackers.entry(tracker).or_default());
+    }
+
+    /// Counts a committed split under the version it produced.
+    pub fn record_split(&self, version: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.rehashes.entry(version).or_default().splits += 1;
+    }
+
+    /// Counts a committed merge under the version it produced.
+    pub fn record_merge(&self, version: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.rehashes.entry(version).or_default().merges += 1;
+    }
+
+    /// Records one completed locate's end-to-end latency.
+    pub fn record_locate(&self, elapsed: SimDuration) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.locate_latency.record(elapsed);
+    }
+
+    /// Total guaranteed-delivery messages lost to TTL expiry, across
+    /// all trackers.
+    #[must_use]
+    pub fn mail_lost(&self) -> u64 {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.trackers.values().map(|t| t.mail_lost).sum()
+    }
+
+    /// A consistent copy of everything the registry holds.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let ms = |d: SimDuration| d.as_millis_f64();
+        let locate_latency = LatencySummary {
+            count: inner.locate_latency.len(),
+            mean_ms: ms(inner.locate_latency.mean()),
+            p50_ms: ms(inner.locate_latency.percentile(50.0)),
+            p95_ms: ms(inner.locate_latency.percentile(95.0)),
+            p99_ms: ms(inner.locate_latency.percentile(99.0)),
+            max_ms: ms(inner.locate_latency.max()),
+        };
+        RegistrySnapshot {
+            trackers: inner
+                .trackers
+                .iter()
+                .map(|(&id, m)| (id, m.clone()))
+                .collect(),
+            rehashes: inner.rehashes.iter().map(|(&v, &c)| (v, c)).collect(),
+            locate_latency,
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, ready for export.
+///
+/// Trackers and rehash versions are sorted by id, so rendering the same
+/// simulation twice yields byte-identical output — the determinism gate
+/// diffs these files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Per-tracker metrics, ordered by tracker id.
+    pub trackers: Vec<(u64, TrackerMetrics)>,
+    /// Rehash counts, ordered by hash-function version.
+    pub rehashes: Vec<(u64, RehashCounts)>,
+    /// Locate-latency summary.
+    pub locate_latency: LatencySummary,
+}
+
+impl RegistrySnapshot {
+    /// Header of the per-tracker CSV produced by [`Self::to_csv`].
+    pub const CSV_HEADER: &'static str = "tracker,requests,rate_per_sec,queue_depth,\
+queue_depth_peak,mailbox_occupancy,mailbox_occupancy_peak,records_held,\
+mail_buffered,mail_flushed,mail_lost";
+
+    /// Renders the per-tracker metrics as CSV (header + one row per
+    /// tracker).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for (id, t) in &self.trackers {
+            let _ = writeln!(
+                out,
+                "{id},{},{:.3},{},{},{},{},{},{},{},{}",
+                t.requests,
+                t.rate_per_sec,
+                t.queue_depth,
+                t.queue_depth_peak,
+                t.mailbox_occupancy,
+                t.mailbox_occupancy_peak,
+                t.records_held,
+                t.mail_buffered,
+                t.mail_flushed,
+                t.mail_lost,
+            );
+        }
+        out
+    }
+
+    /// Renders the full snapshot as a JSON document.
+    ///
+    /// Hand-rolled (every field is a number) so the sim crate needs no
+    /// JSON dependency; keys appear in a fixed order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"trackers\": [");
+        for (i, (id, t)) in self.trackers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"tracker\": {id}, \"requests\": {}, \"rate_per_sec\": {:.3}, \
+                 \"queue_depth\": {}, \"queue_depth_peak\": {}, \"mailbox_occupancy\": {}, \
+                 \"mailbox_occupancy_peak\": {}, \"records_held\": {}, \"mail_buffered\": {}, \
+                 \"mail_flushed\": {}, \"mail_lost\": {}}}",
+                if i == 0 { "" } else { "," },
+                t.requests,
+                t.rate_per_sec,
+                t.queue_depth,
+                t.queue_depth_peak,
+                t.mailbox_occupancy,
+                t.mailbox_occupancy_peak,
+                t.records_held,
+                t.mail_buffered,
+                t.mail_flushed,
+                t.mail_lost,
+            );
+        }
+        out.push_str("\n  ],\n  \"rehashes\": [");
+        for (i, (version, c)) in self.rehashes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"version\": {version}, \"splits\": {}, \"merges\": {}}}",
+                if i == 0 { "" } else { "," },
+                c.splits,
+                c.merges,
+            );
+        }
+        let l = &self.locate_latency;
+        let _ = write!(
+            out,
+            "\n  ],\n  \"locate_latency\": {{\"count\": {}, \"mean_ms\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}\n}}\n",
+            l.count, l.mean_ms, l.p50_ms, l.p95_ms, l.p99_ms, l.max_ms,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_gauges_track_peaks() {
+        let registry = MetricsRegistry::new();
+        registry.update_tracker(1, |t| t.observe_queue_depth(5));
+        registry.update_tracker(1, |t| t.observe_queue_depth(2));
+        registry.update_tracker(1, |t| {
+            t.observe_mailbox(3);
+            t.mail_lost += 2;
+        });
+        let snap = registry.snapshot();
+        let (id, t) = &snap.trackers[0];
+        assert_eq!(*id, 1);
+        assert_eq!(t.queue_depth, 2);
+        assert_eq!(t.queue_depth_peak, 5);
+        assert_eq!(t.mailbox_occupancy_peak, 3);
+        assert_eq!(registry.mail_lost(), 2);
+    }
+
+    #[test]
+    fn rehashes_are_counted_per_version() {
+        let registry = MetricsRegistry::new();
+        registry.record_split(1);
+        registry.record_split(2);
+        registry.record_merge(3);
+        registry.record_split(2);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.rehashes,
+            vec![
+                (
+                    1,
+                    RehashCounts {
+                        splits: 1,
+                        merges: 0
+                    }
+                ),
+                (
+                    2,
+                    RehashCounts {
+                        splits: 2,
+                        merges: 0
+                    }
+                ),
+                (
+                    3,
+                    RehashCounts {
+                        splits: 0,
+                        merges: 1
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn latency_summary_reports_percentiles() {
+        let registry = MetricsRegistry::new();
+        for ms in 1..=100 {
+            registry.record_locate(SimDuration::from_millis(ms));
+        }
+        let l = registry.snapshot().locate_latency;
+        assert_eq!(l.count, 100);
+        assert_eq!(l.p50_ms, 50.0);
+        assert_eq!(l.p95_ms, 95.0);
+        assert_eq!(l.p99_ms, 99.0);
+        assert_eq!(l.max_ms, 100.0);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_well_formed() {
+        let registry = MetricsRegistry::new();
+        registry.update_tracker(2, |t| t.requests = 10);
+        registry.update_tracker(1, |t| {
+            t.requests = 4;
+            t.rate_per_sec = 1.25;
+        });
+        registry.record_split(1);
+        let a = registry.snapshot();
+        let b = registry.snapshot();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+        let csv = a.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(RegistrySnapshot::CSV_HEADER));
+        assert!(csv.contains("\n1,4,1.250,"));
+        assert!(csv.contains("\n2,10,"));
+        let json = a.to_json();
+        assert!(json.contains("\"rate_per_sec\": 1.250"));
+        assert!(json.contains("\"version\": 1, \"splits\": 1"));
+        assert!(json.contains("\"locate_latency\""));
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(snap.to_csv(), format!("{}\n", RegistrySnapshot::CSV_HEADER));
+        assert!(snap.to_json().contains("\"trackers\": [\n  ]"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Structured event tracing: correlation ids, protocol trace events, and
+//! a bounded ring-buffer sink.
+//!
+//! The location mechanism is a distributed protocol; a single locate
+//! fans out over many hops (client → LHAgent → IAgent → chase → answer)
+//! and a latency outlier is invisible in aggregate statistics. This
+//! module gives every locate a [`CorrId`] that rides inside the wire
+//! messages, so the full multi-hop path can be reconstructed from the
+//! recorded [`TraceRecord`]s after the fact.
+//!
+//! Tracing is **off by default** and zero-cost when disabled: the sink
+//! is an `Option` internally and [`TraceSink::emit`] takes a closure
+//! that is never invoked (no event is even constructed) unless a buffer
+//! was installed. When enabled, records land in a bounded ring buffer —
+//! the newest `capacity` events are kept and a drop counter tracks how
+//! many older ones were overwritten.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// Correlates every message belonging to one logical operation.
+///
+/// A locate's correlation id is `(origin, seq)` where `origin` is the
+/// raw id of the agent that issued the operation and `seq` is that
+/// client's per-operation token — globally unique without coordination,
+/// and stable across retries of the same attempt chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CorrId {
+    /// Raw id of the agent that originated the operation.
+    pub origin: u64,
+    /// The originator's operation token.
+    pub seq: u64,
+}
+
+impl CorrId {
+    /// Creates a correlation id.
+    #[must_use]
+    pub const fn new(origin: u64, seq: u64) -> Self {
+        CorrId { origin, seq }
+    }
+}
+
+impl fmt::Display for CorrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// One structured protocol event.
+///
+/// Agent ids appear as raw `u64`s: the sim crate sits below the
+/// platform's `AgentId` type, and raw ids keep the event type free of
+/// upward dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A protocol message left an agent.
+    MessageSend {
+        /// Wire message kind (static name, e.g. `"Locate"`).
+        kind: &'static str,
+        /// Correlation id, when the message belongs to an operation.
+        corr: Option<CorrId>,
+        /// Sending agent (raw id).
+        from: u64,
+        /// Destination agent (raw id).
+        to: u64,
+        /// Node the destination is believed to be at.
+        node: NodeId,
+    },
+    /// A protocol message was handled by an agent.
+    MessageRecv {
+        /// Wire message kind.
+        kind: &'static str,
+        /// Correlation id, when the message belongs to an operation.
+        corr: Option<CorrId>,
+        /// Receiving agent (raw id).
+        by: u64,
+        /// Node the receiver is at.
+        node: NodeId,
+    },
+    /// A directory split committed: a new tracker took over half of an
+    /// overloaded tracker's hash-space leaf.
+    RehashSplit {
+        /// Hash-function version after the split.
+        version: u64,
+        /// The tracker that was split.
+        from_tracker: u64,
+        /// The tracker that took over the new leaf.
+        to_tracker: u64,
+    },
+    /// A directory merge committed: an underloaded tracker's records
+    /// folded back into its buddy.
+    RehashMerge {
+        /// Hash-function version after the merge.
+        version: u64,
+        /// The tracker that was retired.
+        from_tracker: u64,
+        /// The tracker that absorbed its records.
+        into_tracker: u64,
+    },
+    /// A guaranteed-delivery message was buffered in a mailbox because
+    /// its target is mid-migration.
+    MailBuffered {
+        /// The tracker holding the mailbox.
+        tracker: u64,
+        /// The agent the mail is addressed to.
+        target: u64,
+        /// Mailbox occupancy after buffering.
+        occupancy: usize,
+    },
+    /// Buffered mail was flushed to its target after the target
+    /// re-registered.
+    MailFlushed {
+        /// The tracker holding the mailbox.
+        tracker: u64,
+        /// The agent the mail was delivered to.
+        target: u64,
+        /// Number of messages flushed.
+        count: usize,
+    },
+    /// Buffered mail exceeded its TTL and was dropped. Guaranteed
+    /// delivery has a deadline; this event is the record of the loss.
+    MailExpired {
+        /// The tracker holding the mailbox.
+        tracker: u64,
+        /// Number of messages lost.
+        lost: usize,
+    },
+    /// A client re-issued a locate after a timeout or negative answer.
+    RetryAttempt {
+        /// Correlation id of the operation being retried.
+        corr: Option<CorrId>,
+        /// The retrying client.
+        client: u64,
+        /// The agent being located.
+        target: u64,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A client exhausted its retry budget and reported failure.
+    RetryGiveUp {
+        /// Correlation id of the failed operation.
+        corr: Option<CorrId>,
+        /// The client giving up.
+        client: u64,
+        /// The agent that could not be located.
+        target: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// An agent rotated away from an unresponsive hash-function source
+    /// to the next replica.
+    Failover {
+        /// The agent that failed over (raw id).
+        by: u64,
+        /// The source it rotated away from.
+        from_source: u64,
+        /// The replica it rotated to.
+        to_source: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The correlation id carried by this event, if any.
+    #[must_use]
+    pub fn corr(&self) -> Option<CorrId> {
+        match self {
+            TraceEvent::MessageSend { corr, .. }
+            | TraceEvent::MessageRecv { corr, .. }
+            | TraceEvent::RetryAttempt { corr, .. }
+            | TraceEvent::RetryGiveUp { corr, .. } => *corr,
+            _ => None,
+        }
+    }
+}
+
+/// A [`TraceEvent`] stamped with the simulation time it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct Ring {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A cloneable handle to a bounded trace buffer — or to nothing.
+///
+/// The default sink is disabled: `emit` is a branch on an `Option` and
+/// the event-constructing closure is never called, so instrumented code
+/// pays nothing when tracing is off.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{SimTime, TraceEvent, TraceSink};
+///
+/// let off = TraceSink::disabled();
+/// off.emit(SimTime::ZERO, || unreachable!("not evaluated when disabled"));
+///
+/// let sink = TraceSink::bounded(2);
+/// for lost in 1..=3 {
+///     sink.emit(SimTime::ZERO, || TraceEvent::MailExpired { tracker: 7, lost });
+/// }
+/// let records = sink.snapshot();
+/// assert_eq!(records.len(), 2); // oldest event overwritten
+/// assert_eq!(sink.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<Ring>>>,
+}
+
+impl TraceSink {
+    /// The disabled sink: records nothing, costs (almost) nothing.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// A sink backed by a ring buffer keeping the newest `capacity`
+    /// records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceSink {
+            inner: Some(Arc::new(Mutex::new(Ring {
+                records: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// `true` when events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `f` at time `at`. When the sink is
+    /// disabled `f` is not called.
+    pub fn emit(&self, at: SimTime, f: impl FnOnce() -> TraceEvent) {
+        let Some(ring) = &self.inner else {
+            return;
+        };
+        let mut ring = ring.lock().expect("trace ring poisoned");
+        if ring.records.len() == ring.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        let record = TraceRecord { at, event: f() };
+        ring.records.push_back(record);
+    }
+
+    /// A copy of the buffered records, oldest first. Empty when
+    /// disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(ring) => ring
+                .lock()
+                .expect("trace ring poisoned")
+                .records
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// How many records were overwritten because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(ring) => ring.lock().expect("trace ring poisoned").dropped,
+            None => 0,
+        }
+    }
+
+    /// The buffered records that belong to one operation, oldest first.
+    ///
+    /// This is the hop-by-hop reconstruction primitive: filter the ring
+    /// by correlation id and read the path in time order.
+    #[must_use]
+    pub fn records_for(&self, corr: CorrId) -> Vec<TraceRecord> {
+        let mut records = self.snapshot();
+        records.retain(|r| r.event.corr() == Some(corr));
+        records
+    }
+
+    /// Discards all buffered records (the drop counter is kept).
+    pub fn clear(&self) {
+        if let Some(ring) = &self.inner {
+            ring.lock().expect("trace ring poisoned").records.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(corr: CorrId, from: u64, to: u64) -> TraceEvent {
+        TraceEvent::MessageSend {
+            kind: "Locate",
+            corr: Some(corr),
+            from,
+            to,
+            node: NodeId::new(0),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_never_evaluates_the_event() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(SimTime::ZERO, || panic!("must not be constructed"));
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_records() {
+        let sink = TraceSink::bounded(3);
+        assert!(sink.is_enabled());
+        for i in 0..5u64 {
+            sink.emit(SimTime::from_nanos(i), || send(CorrId::new(1, i), 1, 2));
+        }
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(records[0].at, SimTime::from_nanos(2));
+        assert_eq!(records[2].at, SimTime::from_nanos(4));
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let sink = TraceSink::bounded(8);
+        let clone = sink.clone();
+        clone.emit(SimTime::ZERO, || send(CorrId::new(9, 1), 9, 3));
+        assert_eq!(sink.snapshot().len(), 1);
+        sink.clear();
+        assert!(clone.snapshot().is_empty());
+    }
+
+    #[test]
+    fn records_for_filters_by_correlation_id() {
+        let sink = TraceSink::bounded(16);
+        let a = CorrId::new(1, 7);
+        let b = CorrId::new(2, 7);
+        sink.emit(SimTime::from_nanos(1), || send(a, 1, 10));
+        sink.emit(SimTime::from_nanos(2), || send(b, 2, 10));
+        sink.emit(SimTime::from_nanos(3), || TraceEvent::MessageRecv {
+            kind: "Locate",
+            corr: Some(a),
+            by: 10,
+            node: NodeId::new(1),
+        });
+        sink.emit(SimTime::from_nanos(4), || TraceEvent::MailExpired {
+            tracker: 10,
+            lost: 1,
+        });
+        let path = sink.records_for(a);
+        assert_eq!(path.len(), 2);
+        assert!(matches!(
+            path[0].event,
+            TraceEvent::MessageSend { kind: "Locate", .. }
+        ));
+        assert!(matches!(path[1].event, TraceEvent::MessageRecv { .. }));
+        assert_eq!(sink.records_for(CorrId::new(5, 5)).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TraceSink::bounded(0);
+    }
+
+    #[test]
+    fn corr_id_displays_compactly() {
+        assert_eq!(CorrId::new(3, 12).to_string(), "3#12");
+    }
+}

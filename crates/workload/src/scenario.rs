@@ -8,7 +8,7 @@
 
 use agentrack_core::LocationScheme;
 use agentrack_platform::{NodeId, PlatformConfig, SimPlatform};
-use agentrack_sim::{DurationDist, SimDuration, Topology};
+use agentrack_sim::{DurationDist, SimDuration, Topology, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::Metrics;
@@ -173,7 +173,7 @@ impl Scenario {
             SimDuration,
         )>,
     ) {
-        self.run_inner(scheme, None)
+        self.run_inner(scheme, None, TraceSink::disabled())
     }
 
     /// Like [`Scenario::run_with_samples`] with a message tracer installed
@@ -182,7 +182,7 @@ impl Scenario {
     pub fn run_traced(
         &self,
         scheme: &mut dyn LocationScheme,
-        tracer: agentrack_platform::Tracer,
+        tracer: agentrack_platform::MsgTracer,
     ) -> (
         ScenarioReport,
         Vec<(
@@ -191,13 +191,22 @@ impl Scenario {
             SimDuration,
         )>,
     ) {
-        self.run_inner(scheme, Some(tracer))
+        self.run_inner(scheme, Some(tracer), TraceSink::disabled())
+    }
+
+    /// Like [`Scenario::run`] with a structured [`TraceSink`] installed on
+    /// the platform: protocol agents emit [`agentrack_sim::TraceEvent`]s
+    /// into it, so a locate's multi-hop path can be reconstructed by
+    /// correlation id after the run.
+    pub fn run_observed(&self, scheme: &mut dyn LocationScheme, sink: TraceSink) -> ScenarioReport {
+        self.run_inner(scheme, None, sink).0
     }
 
     fn run_inner(
         &self,
         scheme: &mut dyn LocationScheme,
-        tracer: Option<agentrack_platform::Tracer>,
+        tracer: Option<agentrack_platform::MsgTracer>,
+        sink: TraceSink,
     ) -> (
         ScenarioReport,
         Vec<(
@@ -226,6 +235,9 @@ impl Scenario {
         let mut platform = SimPlatform::new(topology, platform_config);
         if let Some(tracer) = tracer {
             platform.set_tracer(tracer);
+        }
+        if sink.is_enabled() {
+            platform.set_trace_sink(sink);
         }
         // Queries ramp up during the tail of the warmup so the measured
         // window sees steady state; only locates issued after the warmup
@@ -321,6 +333,15 @@ impl Scenario {
 
         let scheme_stats = scheme.stats();
         let platform_stats = platform.stats();
+        let registry = scheme.registry().snapshot();
+        let sum = |f: fn(&agentrack_sim::TrackerMetrics) -> u64| -> u64 {
+            registry.trackers.iter().map(|(_, t)| f(t)).sum()
+        };
+        let (mail_buffered, mail_flushed, mail_lost) = (
+            sum(|t| t.mail_buffered),
+            sum(|t| t.mail_flushed),
+            sum(|t| t.mail_lost),
+        );
         let samples = metrics.with(|m| std::mem::take(&mut m.locate_samples));
         let report = metrics.with(|m| ScenarioReport {
             scenario: self.name.clone(),
@@ -356,6 +377,9 @@ impl Scenario {
             messages_sent: platform_stats.messages_sent,
             messages_remote: platform_stats.messages_remote,
             messages_failed: platform_stats.messages_failed,
+            mail_buffered,
+            mail_flushed,
+            mail_lost,
         });
         (report, samples)
     }
@@ -422,6 +446,13 @@ pub struct ScenarioReport {
     pub messages_remote: u64,
     /// Messages that bounced.
     pub messages_failed: u64,
+    /// Guaranteed-delivery messages buffered while their target migrated.
+    pub mail_buffered: u64,
+    /// Buffered messages flushed once the target re-registered.
+    pub mail_flushed: u64,
+    /// Buffered messages dropped after their TTL expired (silent loss
+    /// made visible).
+    pub mail_lost: u64,
 }
 
 impl ScenarioReport {

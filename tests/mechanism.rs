@@ -44,6 +44,7 @@ impl Agent for Blaster {
             Wire::Resolve {
                 target,
                 token: Some(self.token),
+                corr: None,
             }
             .payload(),
         );
@@ -67,6 +68,7 @@ impl Agent for Blaster {
                     target,
                     token,
                     reply_node: here,
+                    corr: None,
                 }
                 .payload(),
             );
@@ -167,6 +169,120 @@ fn locating_a_ghost_fails_cleanly() {
         }
         other => panic!("expected a clean failure, got {other:?}"),
     }
+}
+
+/// A single locate's multi-hop path (client → LHAgent → IAgent → answer)
+/// is reconstructible from the trace ring by correlation id.
+#[test]
+fn locate_path_reconstructs_by_correlation_id() {
+    use agentrack::core::{ClientEvent, DirectoryClient};
+    use agentrack::sim::{CorrId, TraceEvent, TraceSink};
+
+    /// Registers a client and sits still: the locate target.
+    struct Registrant {
+        client: Box<dyn DirectoryClient>,
+    }
+    impl Agent for Registrant {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.client.register(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+            let _ = self.client.on_message(ctx, from, payload);
+        }
+        fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+            let _ = self.client.on_timer(ctx, timer);
+        }
+    }
+
+    /// Issues one locate for the registrant after the dust settles.
+    struct Seeker {
+        client: Box<dyn DirectoryClient>,
+        target: AgentId,
+        kickoff: Option<TimerId>,
+        outcome: Arc<Mutex<Option<ClientEvent>>>,
+    }
+    impl Agent for Seeker {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.kickoff = Some(ctx.set_timer(SimDuration::from_secs(2)));
+        }
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+            let ev = self.client.on_message(ctx, from, payload);
+            if matches!(ev, ClientEvent::Failed { .. } | ClientEvent::Located { .. }) {
+                *self.outcome.lock().unwrap() = Some(ev);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+            if self.kickoff == Some(timer) {
+                self.kickoff = None;
+                self.client.locate(ctx, self.target, 7);
+                return;
+            }
+            let _ = self.client.on_timer(ctx, timer);
+        }
+    }
+
+    let topology = Topology::lan(3, DurationDist::Constant(SimDuration::from_micros(300)));
+    let mut platform = SimPlatform::new(topology, PlatformConfig::default().with_seed(5));
+    let sink = TraceSink::bounded(100_000);
+    platform.set_trace_sink(sink.clone());
+    let mut scheme = HashedScheme::new(LocationConfig::default());
+    scheme.bootstrap(&mut platform);
+
+    let target = platform.spawn(
+        Box::new(Registrant {
+            client: scheme.make_client(),
+        }),
+        NodeId::new(1),
+    );
+    let outcome = Arc::new(Mutex::new(None));
+    let seeker = platform.spawn(
+        Box::new(Seeker {
+            client: scheme.make_client(),
+            target,
+            kickoff: None,
+            outcome: outcome.clone(),
+        }),
+        NodeId::new(2),
+    );
+    platform.run_for(SimDuration::from_secs(10));
+    assert!(
+        matches!(
+            *outcome.lock().unwrap(),
+            Some(ClientEvent::Located { target: t, .. }) if t == target
+        ),
+        "the locate must complete: {:?}",
+        outcome.lock().unwrap()
+    );
+
+    // The locate's correlation id is (client id, token) by construction.
+    let corr = CorrId::new(seeker.raw(), 7);
+    let path = sink.records_for(corr);
+    let hops: Vec<(&str, &'static str)> = path
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::MessageSend { kind, .. } => Some(("send", *kind)),
+            TraceEvent::MessageRecv { kind, .. } => Some(("recv", *kind)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        hops,
+        vec![
+            ("send", "Resolve"),  // client asks its local LHAgent
+            ("recv", "Resolve"),  // LHAgent
+            ("send", "Resolved"), // LHAgent answers with the IAgent
+            ("recv", "Resolved"), // client
+            ("send", "Locate"),   // client queries the IAgent
+            ("recv", "Locate"),   // IAgent
+            ("send", "Located"),  // IAgent answers
+            ("recv", "Located"),  // client
+        ],
+        "full path: {path:#?}"
+    );
+    assert!(
+        path.windows(2).all(|w| w[0].at <= w[1].at),
+        "records must be time-ordered"
+    );
 }
 
 /// The mechanism keeps locating agents while the network drops and
