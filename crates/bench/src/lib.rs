@@ -772,6 +772,96 @@ pub fn trackers_registry(fidelity: Fidelity) -> (Table, String) {
     (table, snapshot.to_json())
 }
 
+/// **E13** — fault injection: locate success rate and tail latency for
+/// all four schemes as randomized chaos (partitions, tracker crashes and
+/// restarts, latency spikes, loss bursts, blackholes) rises from none to
+/// full intensity. Every cell runs the post-quiesce invariant audit; the
+/// `violations` column counts what it found (0 = the scheme recovered
+/// everything the fault model allows it to).
+#[must_use]
+pub fn chaos(fidelity: Fidelity, jobs: usize) -> Table {
+    use agentrack_sim::{ChaosConfig, SimDuration};
+    let agents = fidelity.scale_agents(200);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E13: locate success and tail latency under randomized faults",
+        &[
+            "intensity",
+            "scheme",
+            "issued",
+            "completed",
+            "success_pct",
+            "p95_ms",
+            "mail_lost",
+            "violations",
+        ],
+    );
+    let cells: Vec<Cell> = [0.0f64, 0.3, 0.6, 1.0]
+        .into_iter()
+        .flat_map(|intensity| {
+            ["hashed", "centralized", "home-registry", "forwarding"]
+                .into_iter()
+                .map(move |kind| {
+                    Box::new(move || {
+                        let mut scenario = Scenario::new(format!("chaos-{kind}-{intensity}"))
+                            .with_agents(agents)
+                            .with_residence_ms(400)
+                            .with_queries(fidelity.queries())
+                            .with_seconds(warmup, measure);
+                        if intensity > 0.0 {
+                            scenario.faults = ChaosConfig {
+                                seed: 0xC4A0_5EED,
+                                intensity,
+                            }
+                            .generate(scenario.nodes, scenario.duration());
+                        }
+                        // The audit lets stale hash-function copies
+                        // converge after heal, making the strict version
+                        // check sound for the hashed scheme.
+                        let config = patient(LocationConfig::default())
+                            .with_version_audit(SimDuration::from_secs(1));
+                        let (report, invariants) =
+                            run_chaos_scheme(&scenario, kind, config, kind == "hashed");
+                        let success = if report.locates_issued == 0 {
+                            100.0
+                        } else {
+                            100.0 * report.locates_completed as f64 / report.locates_issued as f64
+                        };
+                        vec![
+                            format!("{intensity:.1}"),
+                            kind.to_owned(),
+                            report.locates_issued.to_string(),
+                            report.locates_completed.to_string(),
+                            format!("{success:.1}"),
+                            ms(report.p95_locate_ms),
+                            report.mail_lost.to_string(),
+                            invariants.violations.len().to_string(),
+                        ]
+                    }) as Cell
+                })
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
+    table
+}
+
+fn run_chaos_scheme(
+    scenario: &Scenario,
+    kind: &str,
+    config: LocationConfig,
+    strict_versions: bool,
+) -> (ScenarioReport, agentrack_workload::InvariantReport) {
+    match kind {
+        "hashed" => scenario.run_chaos(&mut HashedScheme::new(config), strict_versions),
+        "centralized" => scenario.run_chaos(&mut CentralizedScheme::new(config), strict_versions),
+        "home-registry" => {
+            scenario.run_chaos(&mut HomeRegistryScheme::new(config), strict_versions)
+        }
+        "forwarding" => scenario.run_chaos(&mut ForwardingScheme::new(config), strict_versions),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
 /// All experiment names accepted by the `repro` binary, in order.
 pub const EXPERIMENTS: &[&str] = &[
     "exp1",
@@ -786,6 +876,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation-planning",
     "delivery",
     "trackers",
+    "chaos",
 ];
 
 /// Dispatches an experiment by name.
@@ -808,6 +899,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity, jobs: usize) -> Table {
         "ablation-planning" => ablation_planning(fidelity, jobs),
         "delivery" => delivery(fidelity, jobs),
         "trackers" => trackers_registry(fidelity).0,
+        "chaos" => chaos(fidelity, jobs),
         other => panic!("unknown experiment {other}"),
     }
 }

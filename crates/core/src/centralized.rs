@@ -75,6 +75,24 @@ impl CentralBehavior {
         });
     }
 
+    /// Wipes the tracker's soft state after a crash that lost it: every
+    /// record and all buffered mail, with the mail loss accounted in the
+    /// metrics and the event trace. Records repair themselves as agents
+    /// keep sending movement updates.
+    pub(crate) fn drop_soft_state(&mut self, ctx: &mut AgentCtx<'_>) {
+        let lost = self.mailbox.len();
+        if lost > 0 {
+            let me = ctx.self_id().raw();
+            self.shared
+                .registry()
+                .update_tracker(me, |t| t.mail_lost += lost as u64);
+            ctx.trace()
+                .emit(ctx.now(), || TraceEvent::MailExpired { tracker: me, lost });
+        }
+        self.mailbox.drain_if(|_| true);
+        self.records.clear();
+    }
+
     fn flush_mail_for(&mut self, ctx: &mut AgentCtx<'_>, agent: AgentId) {
         if self.mailbox.is_empty() {
             return;
@@ -111,6 +129,14 @@ impl CentralBehavior {
 
 impl Agent for CentralBehavior {
     fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.set_timer(agentrack_sim::SimDuration::from_millis(500));
+    }
+
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
+        if lost_soft_state {
+            self.drop_soft_state(ctx);
+        }
+        // The crash killed the expiry timer chain; re-arm it.
         ctx.set_timer(agentrack_sim::SimDuration::from_millis(500));
     }
 

@@ -88,6 +88,13 @@ pub struct LocationConfig {
     /// How long a tracker buffers mediated mail (`DeliverVia`) for an
     /// agent whose location is momentarily unknown before dropping it.
     pub mail_ttl: SimDuration,
+    /// When set, hash-function copy holders (LHAgents, IAgents)
+    /// periodically re-fetch from their source at this interval, so
+    /// stale copies converge even without client traffic — and an
+    /// unresponsive source is noticed (LHAgent failover) during idle
+    /// periods. `None` (the default) keeps propagation purely lazy, as
+    /// in the paper.
+    pub version_audit: Option<SimDuration>,
 }
 
 impl Default for LocationConfig {
@@ -115,6 +122,7 @@ impl Default for LocationConfig {
             locality_threshold: 0.6,
             locality_min_requests: 50,
             mail_ttl: SimDuration::from_secs(10),
+            version_audit: None,
         }
     }
 }
@@ -155,6 +163,14 @@ impl LocationConfig {
     #[must_use]
     pub fn with_locality_migration(mut self) -> Self {
         self.locality_migration = true;
+        self
+    }
+
+    /// Enables periodic hash-function version audits at the given
+    /// interval (used by chaos runs so copies converge after faults).
+    #[must_use]
+    pub fn with_version_audit(mut self, interval: SimDuration) -> Self {
+        self.version_audit = Some(interval);
         self
     }
 

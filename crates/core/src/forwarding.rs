@@ -62,6 +62,17 @@ impl ForwarderBehavior {
 }
 
 impl Agent for ForwarderBehavior {
+    fn on_restart(&mut self, _ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
+        if lost_soft_state {
+            // Forwarding keeps no authoritative copy anywhere: a pointer
+            // lost here is lost for good. Agents that re-announce from
+            // this node reappear, but chains that *passed through* this
+            // forwarder are severed permanently — the scheme's known
+            // fault-tolerance gap.
+            self.pointers.clear();
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
         let Some(msg) = Wire::from_payload(payload) else {
             return;

@@ -28,7 +28,7 @@ use agentrack_sim::{SimTime, TraceEvent};
 use crate::config::LocationConfig;
 use crate::iagent::IAgentBehavior;
 use crate::plan::{plan_split, SplitPlan};
-use crate::scheme::SharedSchemeStats;
+use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::wire::{HashFunction, Wire};
 
 #[derive(Debug)]
@@ -63,6 +63,11 @@ impl StandbyHAgentBehavior {
 }
 
 impl Agent for StandbyHAgentBehavior {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.shared
+            .record_version(ctx.self_id().raw(), CopyRole::Standby, self.hf.version);
+    }
+
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
         let Some(msg) = Wire::from_payload(payload) else {
             return;
@@ -70,6 +75,8 @@ impl Agent for StandbyHAgentBehavior {
         match msg {
             Wire::HashFnCopy { hf } if hf.version > self.hf.version => {
                 self.hf = hf;
+                self.shared
+                    .record_version(ctx.self_id().raw(), CopyRole::Standby, self.hf.version);
             }
             Wire::FetchHashFn { reply_node, .. } => {
                 self.shared.update(|s| s.hf_fetches += 1);
@@ -181,6 +188,8 @@ impl HAgentBehavior {
     /// Installs the (just bumped) primary copy on the involved IAgents and,
     /// when eager propagation is on, pushes it to every LHAgent.
     fn distribute(&self, ctx: &mut AgentCtx<'_>, involved: &[IAgentId]) {
+        self.shared
+            .record_version(ctx.self_id().raw(), CopyRole::Primary, self.hf.version);
         for &ia in involved {
             let agent = AgentId::new(ia.raw());
             // The node comes from the directory, except for an IAgent that
@@ -358,6 +367,20 @@ impl HAgentBehavior {
 
 impl Agent for HAgentBehavior {
     fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.shared
+            .record_version(ctx.self_id().raw(), CopyRole::Primary, self.hf.version);
+        ctx.set_timer(self.config.check_interval);
+    }
+
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, _lost_soft_state: bool) {
+        // The primary copy survives a crash (the paper treats it as
+        // recoverable state — the standby covers the downtime), but any
+        // split that was mid-flight is abandoned and the periodic tick
+        // must be re-armed.
+        if self.in_progress.take().is_some() {
+            self.shared.update(|s| s.rehash_denied += 1);
+        }
+        self.reinstall.clear();
         ctx.set_timer(self.config.check_interval);
     }
 

@@ -25,7 +25,8 @@ use crate::lhagent::LHAgentBehavior;
 use crate::mailbox::MAIL_MAX_HOPS;
 use crate::retry::{LocateTracker, Retry};
 use crate::scheme::{
-    ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats,
+    ClientEvent, ClientFactory, CopyRole, DirectoryClient, LocationScheme, SchemeStats,
+    SharedSchemeStats,
 };
 use crate::wire::{HashFunction, Wire};
 
@@ -180,7 +181,8 @@ impl LocationScheme for HashedScheme {
         }
 
         for (i, &expected) in lhagents.iter().enumerate() {
-            let mut lh = LHAgentBehavior::new(hf.clone(), hagent, home, self.shared.clone());
+            let mut lh = LHAgentBehavior::new(hf.clone(), hagent, home, self.shared.clone())
+                .with_audit(self.config.version_audit);
             if let Some((standby_id, standby_node)) = standby {
                 lh = lh.with_standby(standby_id, standby_node);
             }
@@ -213,6 +215,10 @@ impl LocationScheme for HashedScheme {
 
     fn registry(&self) -> MetricsRegistry {
         self.shared.registry().clone()
+    }
+
+    fn hash_versions(&self) -> Vec<(u64, CopyRole, u64)> {
+        self.shared.versions()
     }
 }
 

@@ -59,6 +59,14 @@ impl Agent for HomeRegistryBehavior {
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
         self.inner.on_message(ctx, from, payload);
     }
+
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
+        // No timer to re-arm: the registry deliberately runs timerless
+        // (no mailbox expiry, no gauge refresh — see the module docs).
+        if lost_soft_state {
+            self.inner.drop_soft_state(ctx);
+        }
+    }
 }
 
 /// Names standing in for Ajanta's registry-encoding agent names: agent →

@@ -25,7 +25,7 @@ use agentrack_sim::{CorrId, SimTime, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
-use crate::scheme::SharedSchemeStats;
+use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::stats::LoadStats;
 use crate::wire::{HashFunction, Wire};
 
@@ -79,6 +79,9 @@ pub struct IAgentBehavior {
     /// Protocol messages handled since birth; copied into the metrics
     /// registry on the periodic timer (so the hot path takes no lock).
     requests_seen: u64,
+    /// When the last periodic version audit ran (chaos runs only; see
+    /// [`LocationConfig::version_audit`]).
+    last_audit: SimTime,
 }
 
 impl IAgentBehavior {
@@ -143,6 +146,7 @@ impl IAgentBehavior {
             origin_counts: HashMap::new(),
             relocating: false,
             requests_seen: 0,
+            last_audit: SimTime::ZERO,
         }
     }
 
@@ -250,6 +254,8 @@ impl IAgentBehavior {
         let first_install = !self.installed;
         self.hf = hf;
         self.installed = true;
+        self.shared
+            .record_version(ctx.self_id().raw(), CopyRole::Tracker, self.hf.version);
         self.rehash_requested_at = None;
         self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
         // Fresh epoch: rate observed against the old partition must not
@@ -489,9 +495,47 @@ impl Agent for IAgentBehavior {
 
     fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
         self.created_at = ctx.now();
+        self.last_audit = ctx.now();
+        if self.installed {
+            self.shared
+                .record_version(ctx.self_id().raw(), CopyRole::Tracker, self.hf.version);
+        }
         if self.fresh {
             self.send_hagent(ctx, &Wire::IAgentReady);
         }
+        ctx.set_timer(self.config.check_interval);
+    }
+
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
+        if lost_soft_state {
+            // Soft state is gone: every record, buffered locate and
+            // buffered mail this tracker held. The records repair
+            // themselves as agents keep sending movement updates; the
+            // mail is lost for good, which must show in the metrics.
+            let lost = self.mailbox.len();
+            if lost > 0 {
+                let me = ctx.self_id().raw();
+                self.shared
+                    .registry()
+                    .update_tracker(me, |t| t.mail_lost += lost as u64);
+                ctx.trace()
+                    .emit(ctx.now(), || TraceEvent::MailExpired { tracker: me, lost });
+            }
+            self.mailbox.drain_if(|_| true);
+            self.records.clear();
+            self.pending.clear();
+            self.preinstall.clear();
+            self.unplaced.clear();
+            self.origin_counts.clear();
+            self.stats.reset(ctx.now());
+        }
+        // The hash-function copy is treated as recoverable (re-read from
+        // stable store on boot); whatever it missed while down, lazy
+        // refresh or the version audit repairs. In-flight control state
+        // died with the node either way.
+        self.refetch_in_flight = false;
+        self.rehash_requested_at = None;
+        self.last_audit = ctx.now();
         ctx.set_timer(self.config.check_interval);
     }
 
@@ -543,6 +587,28 @@ impl Agent for IAgentBehavior {
                     reply_node,
                 },
             );
+        }
+        // Periodic version audit (chaos runs): re-fetch the primary copy
+        // so a view that went stale while this node (or the wire to the
+        // HAgent) was faulted converges without waiting for client
+        // traffic to trip a NotResponsible.
+        if let Some(interval) = self.config.version_audit {
+            if self.installed
+                && !self.refetch_in_flight
+                && self.unplaced.is_empty()
+                && ctx.now().saturating_since(self.last_audit) >= interval
+            {
+                self.last_audit = ctx.now();
+                let have_version = self.hf.version;
+                let reply_node = ctx.node();
+                self.send_hagent(
+                    ctx,
+                    &Wire::FetchHashFn {
+                        have_version,
+                        reply_node,
+                    },
+                );
+            }
         }
         self.maybe_request_merge(ctx);
         self.maybe_relocate(ctx);

@@ -11,7 +11,7 @@
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
 use agentrack_sim::{CorrId, SimDuration, SimTime, TraceEvent};
 
-use crate::scheme::SharedSchemeStats;
+use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::wire::{HashFunction, Wire};
 
 /// Behaviour of an LHAgent.
@@ -31,6 +31,11 @@ pub struct LHAgentBehavior {
     /// (lost to the network, or the HAgent died without a bounce) clears
     /// the flag so waiting clients are not wedged forever.
     fetch_sent_at: SimTime,
+    /// Periodic version-audit interval: when set, the LHAgent re-fetches
+    /// the hash function on a timer so its copy converges (and failover
+    /// fires) even without client traffic.
+    audit: Option<SimDuration>,
+    audit_timer: Option<TimerId>,
     shared: SharedSchemeStats,
 }
 
@@ -50,6 +55,8 @@ impl LHAgentBehavior {
             waiting: Vec::new(),
             fetch_in_flight: false,
             fetch_sent_at: SimTime::ZERO,
+            audit: None,
+            audit_timer: None,
             shared,
         }
     }
@@ -59,6 +66,14 @@ impl LHAgentBehavior {
     #[must_use]
     pub fn with_standby(mut self, standby: AgentId, node: NodeId) -> Self {
         self.hagents.push((standby, node));
+        self
+    }
+
+    /// Enables periodic version audits at `interval` (`None` keeps the
+    /// paper's purely lazy refresh).
+    #[must_use]
+    pub fn with_audit(mut self, interval: Option<SimDuration>) -> Self {
+        self.audit = interval;
         self
     }
 
@@ -121,6 +136,25 @@ impl LHAgentBehavior {
 }
 
 impl Agent for LHAgentBehavior {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.shared
+            .record_version(ctx.self_id().raw(), CopyRole::Secondary, self.hf.version);
+        if let Some(interval) = self.audit {
+            self.audit_timer = Some(ctx.set_timer(interval));
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, _lost_soft_state: bool) {
+        // Whatever fetch was in flight died with the node, and so did
+        // every timer. The secondary copy itself is kept: it may be
+        // stale, which lazy refresh (or the audit) repairs.
+        self.fetch_in_flight = false;
+        self.waiting.clear();
+        if let Some(interval) = self.audit {
+            self.audit_timer = Some(ctx.set_timer(interval));
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
         let Some(msg) = Wire::from_payload(payload) else {
             return;
@@ -180,6 +214,11 @@ impl Agent for LHAgentBehavior {
                 match hf.version.cmp(&self.hf.version) {
                     std::cmp::Ordering::Greater => {
                         self.hf = hf;
+                        self.shared.record_version(
+                            ctx.self_id().raw(),
+                            CopyRole::Secondary,
+                            self.hf.version,
+                        );
                         self.fetch_in_flight = false;
                         let waiting = std::mem::take(&mut self.waiting);
                         for (requester, target, token, corr) in waiting {
@@ -237,10 +276,16 @@ impl Agent for LHAgentBehavior {
                 self.fetch(ctx);
             }
         }
-        let _ = &self.shared;
     }
 
-    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.audit_timer == Some(timer) {
+            self.audit_timer = self.audit.map(|interval| ctx.set_timer(interval));
+            if !self.fetch_in_flight {
+                self.fetch(ctx);
+            }
+            return;
+        }
         if self.fetch_in_flight && ctx.now().saturating_since(self.fetch_sent_at) >= FETCH_TIMEOUT {
             // The reply never came (lost, or the HAgent crashed mid-fetch):
             // try the next source.

@@ -64,7 +64,8 @@ pub use mailbox::{MailItem, Mailbox, MAIL_MAX_HOPS};
 pub use plan::{plan_split, PlanError, SplitPlan};
 pub use retry::{LocateTracker, Retry};
 pub use scheme::{
-    ClientEvent, ClientFactory, DirectoryClient, LocationScheme, SchemeStats, SharedSchemeStats,
+    ClientEvent, ClientFactory, CopyRole, DirectoryClient, LocationScheme, SchemeStats,
+    SharedSchemeStats,
 };
 pub use stats::LoadStats;
 pub use wire::{key_of, HashFunction, Wire};

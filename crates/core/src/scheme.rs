@@ -97,6 +97,14 @@ pub trait DirectoryClient: Send {
     /// Offers a timer; the client owns timers it set itself.
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) -> ClientEvent;
 
+    /// The owning agent's node restarted after a crash. The default
+    /// re-announces the agent's current location (an upsert in every
+    /// scheme), repairing tracker records that were wiped with the
+    /// node's soft state. Call from `on_restart`.
+    fn restarted(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.moved(ctx);
+    }
+
     /// Sends `data` to `target` *through the mechanism* (guaranteed
     /// delivery: the responsible tracker forwards it, buffering across the
     /// target's migrations). Returns `false` if this scheme does not
@@ -137,6 +145,27 @@ pub trait LocationScheme {
     fn registry(&self) -> MetricsRegistry {
         MetricsRegistry::new()
     }
+
+    /// Hash-function version held by every copy holder, as
+    /// `(agent raw id, role, version)` triples. Empty for schemes
+    /// without replicated hash functions; the invariant checker uses it
+    /// to assert post-fault convergence.
+    fn hash_versions(&self) -> Vec<(u64, CopyRole, u64)> {
+        Vec::new()
+    }
+}
+
+/// Which replica of the hash function an agent holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyRole {
+    /// The HAgent's primary copy: the serialization point for rehashes.
+    Primary,
+    /// The standby HAgent's read-only replica.
+    Standby,
+    /// An LHAgent's lazily refreshed secondary copy.
+    Secondary,
+    /// An IAgent's working copy, installed by the HAgent.
+    Tracker,
 }
 
 /// Counters describing what a scheme did during a run.
@@ -183,6 +212,7 @@ pub struct SchemeStats {
 pub struct SharedSchemeStats {
     stats: Arc<Mutex<SchemeStats>>,
     registry: MetricsRegistry,
+    versions: Arc<Mutex<Vec<(u64, CopyRole, u64)>>>,
 }
 
 impl SharedSchemeStats {
@@ -214,6 +244,24 @@ impl SharedSchemeStats {
     #[must_use]
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// Records the hash-function version agent `id` currently holds
+    /// (upserting its previous entry). Copy holders call this on every
+    /// install, so [`SharedSchemeStats::versions`] always reflects the
+    /// latest state.
+    pub fn record_version(&self, id: u64, role: CopyRole, version: u64) {
+        let mut versions = self.versions.lock();
+        match versions.iter_mut().find(|(agent, _, _)| *agent == id) {
+            Some(entry) => *entry = (id, role, version),
+            None => versions.push((id, role, version)),
+        }
+    }
+
+    /// The latest recorded hash-function version per copy holder.
+    #[must_use]
+    pub fn versions(&self) -> Vec<(u64, CopyRole, u64)> {
+        self.versions.lock().clone()
     }
 }
 

@@ -1,0 +1,158 @@
+//! Interleaving property test: *any* random interleaving of splits and
+//! merges preserves, **after every single step** (not just at the end of
+//! the sequence):
+//!
+//! * prefix-freeness — no key is compatible with two leaves' hyper-labels,
+//!   and each leaf's witness key is claimed by that leaf alone;
+//! * full id-space coverage — every probed key is compatible with exactly
+//!   one leaf, and that leaf is what the tree walk returns;
+//! * compiled directory ≡ tree walk — the incrementally-refreshed flat
+//!   table agrees with the authoritative walk at each step.
+//!
+//! `properties.rs` checks invariants after a whole sequence;
+//! this suite pins them at every intermediate tree shape, which is where
+//! a split applied concurrently with a merge would first go wrong.
+
+use agentrack_hashtree::{AgentKey, CompiledDirectory, HashTree, IAgentId, Side, TreeError};
+use proptest::prelude::*;
+
+/// One randomly-directed rehash operation (mirrors `properties.rs`).
+#[derive(Debug, Clone)]
+enum Op {
+    Split {
+        leaf_sel: usize,
+        cand_sel: usize,
+        new_side: bool,
+    },
+    Merge {
+        leaf_sel: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<usize>(), any::<usize>(), any::<bool>()).prop_map(
+            |(leaf_sel, cand_sel, new_side)| Op::Split {
+                leaf_sel,
+                cand_sel,
+                new_side,
+            }
+        ),
+        1 => any::<usize>().prop_map(|leaf_sel| Op::Merge { leaf_sel }),
+    ]
+}
+
+/// Applies an op and returns the involved IAgents as the HAgent would
+/// report them to a directory refresh; `None` for legal no-ops.
+fn apply(tree: &mut HashTree, op: &Op, next_id: &mut u64) -> Option<Vec<IAgentId>> {
+    let mut iagents: Vec<IAgentId> = tree.iagents().collect();
+    iagents.sort_unstable();
+    match *op {
+        Op::Split {
+            leaf_sel,
+            cand_sel,
+            new_side,
+        } => {
+            let target = iagents[leaf_sel % iagents.len()];
+            let candidates = tree.split_candidates(target).expect("known IAgent");
+            if candidates.is_empty() {
+                return None;
+            }
+            let cand = candidates[cand_sel % candidates.len().min(8)];
+            let new_iagent = IAgentId::new(*next_id);
+            let side = if new_side { Side::Right } else { Side::Left };
+            match tree.apply_split(&cand, new_iagent, side) {
+                Ok(applied) => {
+                    *next_id += 1;
+                    let mut involved = applied.affected;
+                    involved.push(applied.new_iagent);
+                    Some(involved)
+                }
+                Err(TreeError::DepthExceeded { .. }) => None,
+                Err(e) => panic!("unexpected split error: {e}"),
+            }
+        }
+        Op::Merge { leaf_sel } => {
+            let target = iagents[leaf_sel % iagents.len()];
+            match tree.apply_merge(target) {
+                Ok(applied) => Some(applied.absorbers),
+                Err(TreeError::LastIAgent) => None,
+                Err(e) => panic!("unexpected merge error: {e}"),
+            }
+        }
+    }
+}
+
+/// A key every bit of whose constrained positions matches the leaf's
+/// hyper-label: the leaf's own witness in id space.
+fn witness(hl: &agentrack_hashtree::HyperLabel) -> AgentKey {
+    let mut raw = 0u64;
+    let mut cursor = hl.prefix_skip().len();
+    for label in hl.labels() {
+        if label.valid_bit() {
+            raw |= 1u64 << (63 - cursor);
+        }
+        cursor += label.len();
+    }
+    AgentKey::new(raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After *every* step of a random split/merge interleaving: labels are
+    /// prefix-free, the id space is fully covered, and the compiled
+    /// directory answers exactly like the tree walk.
+    #[test]
+    fn every_step_preserves_tree_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        extra in prop::collection::vec(any::<u64>(), 8..9),
+    ) {
+        let mut tree = HashTree::new(IAgentId::new(0));
+        let mut dir = CompiledDirectory::build(&tree);
+        let mut next_id = 1u64;
+
+        for op in &ops {
+            if let Some(involved) = apply(&mut tree, op, &mut next_id) {
+                dir.refresh(&tree, &involved);
+            }
+            tree.validate().expect("structural invariants");
+
+            let mapping = tree.mapping();
+
+            // Prefix-freeness: each leaf's witness key is compatible with
+            // that leaf and no other.
+            for (ia, hl) in &mapping {
+                let w = witness(hl);
+                let owners: Vec<IAgentId> = mapping
+                    .iter()
+                    .filter(|(_, other)| other.is_compatible(w))
+                    .map(|(other_ia, _)| *other_ia)
+                    .collect();
+                prop_assert_eq!(&owners, &vec![*ia],
+                    "witness of {} after {:?} claimed by {:?}", ia, op, owners);
+            }
+
+            // Full coverage + uniqueness + compiled agreement over a probe
+            // set: sequential keys plus random extras.
+            let probes = (0..64u64)
+                .map(AgentKey::from_sequential)
+                .chain(extra.iter().map(|&raw| AgentKey::new(raw)));
+            for key in probes {
+                let by_walk = tree.lookup(key);
+                let compatible: Vec<IAgentId> = mapping
+                    .iter()
+                    .filter(|(_, hl)| hl.is_compatible(key))
+                    .map(|(ia, _)| *ia)
+                    .collect();
+                prop_assert_eq!(&compatible, &vec![by_walk],
+                    "key {} covered by {:?} after {:?}", key, compatible, op);
+                prop_assert_eq!(
+                    dir.lookup(key).expect("compiled within depth cap"),
+                    by_walk,
+                    "compiled directory diverged from the walk at key {}", key
+                );
+            }
+        }
+    }
+}

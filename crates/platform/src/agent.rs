@@ -74,6 +74,15 @@ pub trait Agent: Send {
         let _ = (ctx, timer);
     }
 
+    /// The agent's node came back up after a crash. `lost_soft_state`
+    /// says whether in-memory state was wiped by the fault plan;
+    /// behaviours holding soft state (tracker records, mailboxes) should
+    /// discard it and re-register when it is `true`, and in either case
+    /// re-arm any periodic timers — the crash killed them.
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
+        let _ = (ctx, lost_soft_state);
+    }
+
     /// The agent is being disposed; last chance to send farewells.
     fn on_dispose(&mut self, ctx: &mut AgentCtx<'_>) {
         let _ = ctx;

@@ -80,6 +80,6 @@ pub use spawner::Spawner;
 
 // Re-export the sim vocabulary platform users need constantly.
 pub use agentrack_sim::{
-    CorrId, DurationDist, NodeId, SimDuration, SimTime, Topology, TraceEvent, TraceRecord,
-    TraceSink,
+    shrink, ChaosConfig, CorrId, DurationDist, FaultEvent, FaultKind, FaultPlan, NodeId,
+    SimDuration, SimTime, Topology, TraceEvent, TraceRecord, TraceSink,
 };

@@ -19,7 +19,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use agentrack_sim::{
-    Delivery, NodeId, Scheduler, ServiceStation, SimDuration, SimRng, SimTime, Topology, TraceSink,
+    Delivery, FaultEvent, FaultKind, FaultPlan, NodeId, Scheduler, ServiceStation, SimDuration,
+    SimRng, SimTime, Topology, TraceEvent, TraceSink,
 };
 
 use crate::agent::{Action, Agent, AgentCtx};
@@ -81,6 +82,19 @@ enum Event {
     Arrive { agent: AgentId },
     /// A timer fired.
     TimerFired { agent: AgentId, timer: TimerId },
+    /// A scheduled fault takes effect (index into the stored plan).
+    FaultStart { index: usize },
+    /// A timed fault effect (partition, spike, burst, blackhole) expires.
+    FaultStop { token: u64 },
+    /// A crashed node's scheduled restart is due.
+    NodeRestartDue { node: NodeId },
+}
+
+/// Bookkeeping for a crashed node: what to tell its agents on restart,
+/// and lifecycle events (creations, arrivals) parked until then.
+struct DownNode {
+    lose_soft_state: bool,
+    parked: Vec<Event>,
 }
 
 /// Passive snapshot of platform activity, for reports and assertions.
@@ -107,6 +121,9 @@ pub struct PlatformStats {
     pub agents_created: u64,
     /// Agents disposed.
     pub agents_disposed: u64,
+    /// Messages dropped by injected faults: addressed to a crashed node,
+    /// across a partition, or into a blackhole.
+    pub messages_blocked: u64,
     /// Handler invocations of any kind.
     pub handler_invocations: u64,
     /// Actions ignored because they were invalid in context (for example a
@@ -167,12 +184,31 @@ pub struct SimPlatform {
     topology: Topology,
     sched: Scheduler<Event>,
     rng: SimRng,
+    /// Transport randomness (latency samples, loss/duplication rolls,
+    /// handler service times), kept on its own stream so fault and
+    /// network decisions never perturb the agent-visible `rng` — a run
+    /// with faults enabled sees the same workload arrival sequence as
+    /// one without.
+    net_rng: SimRng,
     agents: HashMap<AgentId, AgentSlot>,
     next_agent_id: u64,
     next_timer_id: u64,
     stats: PlatformStats,
     tracer: Option<MsgTracer>,
     trace: TraceSink,
+    fault_plan: Vec<FaultEvent>,
+    down: HashMap<NodeId, DownNode>,
+    /// Active partitions: token → node-to-group map. A message is
+    /// blocked when both endpoints are mapped to *different* groups.
+    partitions: Vec<(u64, HashMap<NodeId, usize>)>,
+    latency_spikes: Vec<(u64, f64)>,
+    loss_bursts: Vec<(u64, f64)>,
+    blackholes: Vec<(u64, (NodeId, NodeId))>,
+    next_fault_token: u64,
+    /// Per-agent minimum live timer id, bumped on node restart so timer
+    /// chains armed before the crash stay dead (restarted behaviours
+    /// re-arm their own).
+    timer_floor: HashMap<AgentId, TimerId>,
 }
 
 impl SimPlatform {
@@ -180,18 +216,62 @@ impl SimPlatform {
     #[must_use]
     pub fn new(topology: Topology, config: PlatformConfig) -> Self {
         let rng = SimRng::seed_from(config.rng_seed);
+        let net_rng = SimRng::seed_from(config.rng_seed ^ 0x9e37_79b9_7f4a_7c15);
         SimPlatform {
             config,
             topology,
             sched: Scheduler::new(),
             rng,
+            net_rng,
             agents: HashMap::new(),
             next_agent_id: 0,
             next_timer_id: 0,
             stats: PlatformStats::default(),
             tracer: None,
             trace: TraceSink::disabled(),
+            fault_plan: Vec::new(),
+            down: HashMap::new(),
+            partitions: Vec::new(),
+            latency_spikes: Vec::new(),
+            loss_bursts: Vec::new(),
+            blackholes: Vec::new(),
+            next_fault_token: 0,
+            timer_floor: HashMap::new(),
         }
+    }
+
+    /// Installs a fault plan: each event is scheduled at its absolute
+    /// virtual time and applied by the runtime when the clock reaches
+    /// it. May be called once per run, before or during execution;
+    /// events in the past are applied at the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] against this
+    /// platform's topology.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        plan.validate(self.topology.node_count())
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        for event in plan.events() {
+            let index = self.fault_plan.len();
+            self.fault_plan.push(event.clone());
+            self.sched
+                .schedule(event.at.max(self.sched.now()), Event::FaultStart { index });
+        }
+    }
+
+    /// `true` while `node` is crashed by the fault plan.
+    #[must_use]
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down.contains_key(&node)
+    }
+
+    /// `true` if the agent exists (has not been disposed or killed),
+    /// whatever its lifecycle state. Crashed-node residents count as
+    /// live: they resume on restart.
+    #[must_use]
+    pub fn is_live(&self, id: AgentId) -> bool {
+        self.agents.contains_key(&id)
     }
 
     /// Installs a message tracer, called for every delivered or bounced
@@ -359,12 +439,26 @@ impl SimPlatform {
     fn handle(&mut self, event: Event) {
         match event {
             Event::Created { agent } => {
+                if let Some(slot) = self.agents.get(&agent) {
+                    // Birth node crashed mid-creation: park until restart.
+                    if let Some(down) = self.down.get_mut(&slot.node) {
+                        down.parked.push(Event::Created { agent });
+                        return;
+                    }
+                }
                 if let Some(slot) = self.agents.get_mut(&agent) {
                     slot.state = AgentState::Active;
                     self.invoke(agent, |a, ctx| a.on_create(ctx));
                 }
             }
             Event::Deliver { to, node, incoming } => {
+                if self.down.contains_key(&node) {
+                    // The node crashed while the message was in flight or
+                    // queued: it is gone, with no failure bounce — senders
+                    // must recover via their own timeouts.
+                    self.stats.messages_blocked += 1;
+                    return;
+                }
                 // A message racing the addressee's own creation defers
                 // until `on_create` has run (the live runtime's channel
                 // FIFO gives the same outcome for free).
@@ -381,7 +475,7 @@ impl SimPlatform {
                 }
                 if self.is_present(to, node) {
                     let service = {
-                        let service = self.rng.sample(&self.config.handler_service_time);
+                        let service = self.net_rng.sample(&self.config.handler_service_time);
                         let slot = self.agents.get_mut(&to).expect("checked present");
                         slot.station.admit(self.sched.now(), service)
                     };
@@ -393,6 +487,10 @@ impl SimPlatform {
                 }
             }
             Event::Process { to, node, incoming } => {
+                if self.down.contains_key(&node) {
+                    self.stats.messages_blocked += 1;
+                    return;
+                }
                 if self.is_present(to, node) {
                     match incoming {
                         Incoming::Message { from, payload } => {
@@ -425,6 +523,16 @@ impl SimPlatform {
                 }
             }
             Event::Arrive { agent } => {
+                if let Some(slot) = self.agents.get(&agent) {
+                    if let AgentState::InTransit { to } = slot.state {
+                        // Destination crashed while the agent was in
+                        // transit: the arrival waits out the downtime.
+                        if let Some(down) = self.down.get_mut(&to) {
+                            down.parked.push(Event::Arrive { agent });
+                            return;
+                        }
+                    }
+                }
                 if let Some(slot) = self.agents.get_mut(&agent) {
                     if let AgentState::InTransit { to } = slot.state {
                         slot.node = to;
@@ -433,20 +541,200 @@ impl SimPlatform {
                     }
                 }
             }
-            Event::TimerFired { agent, timer } => match self.agents.get(&agent) {
-                Some(slot) if slot.state == AgentState::Active => {
-                    self.invoke(agent, |a, ctx| a.on_timer(ctx, timer));
+            Event::TimerFired { agent, timer } => {
+                if self
+                    .timer_floor
+                    .get(&agent)
+                    .is_some_and(|&floor| timer < floor)
+                {
+                    return; // armed before a crash; the restart re-arms
                 }
-                Some(_) => {
-                    // Creating or in transit: retry shortly after.
-                    self.sched.schedule_after(
-                        SimDuration::from_millis(1),
-                        Event::TimerFired { agent, timer },
-                    );
+                match self.agents.get(&agent) {
+                    Some(slot) if self.down.contains_key(&slot.node) => {
+                        // Timers die with their node.
+                    }
+                    Some(slot) if slot.state == AgentState::Active => {
+                        self.invoke(agent, |a, ctx| a.on_timer(ctx, timer));
+                    }
+                    Some(_) => {
+                        // Creating or in transit: retry shortly after.
+                        self.sched.schedule_after(
+                            SimDuration::from_millis(1),
+                            Event::TimerFired { agent, timer },
+                        );
+                    }
+                    None => {} // disposed: drop silently
                 }
-                None => {} // disposed: drop silently
-            },
+            }
+            Event::FaultStart { index } => self.fault_start(index),
+            Event::FaultStop { token } => self.fault_stop(token),
+            Event::NodeRestartDue { node } => self.restart_node(node),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault application
+    // ------------------------------------------------------------------
+
+    fn fault_start(&mut self, index: usize) {
+        let kind = self.fault_plan[index].kind.clone();
+        let now = self.sched.now();
+        match kind {
+            FaultKind::Partition { groups, heal_at } => {
+                let mut membership = HashMap::new();
+                for (g, group) in groups.iter().enumerate() {
+                    for &n in group {
+                        membership.insert(n, g);
+                    }
+                }
+                let token = self.issue_fault_token(heal_at);
+                let count = groups.len();
+                self.partitions.push((token, membership));
+                self.trace
+                    .emit(now, || TraceEvent::PartitionStarted { groups: count });
+            }
+            FaultKind::NodeCrash {
+                node,
+                lose_soft_state,
+                restart_at,
+            } => {
+                self.crash_node(node, lose_soft_state);
+                if let Some(at) = restart_at {
+                    self.sched
+                        .schedule(at.max(now), Event::NodeRestartDue { node });
+                }
+            }
+            FaultKind::NodeRestart { node } => self.restart_node(node),
+            FaultKind::LatencySpike { factor, until } => {
+                let token = self.issue_fault_token(until);
+                self.latency_spikes.push((token, factor));
+                self.trace.emit(now, || TraceEvent::FaultApplied {
+                    kind: "latency-spike",
+                });
+            }
+            FaultKind::LossBurst { loss, until } => {
+                let token = self.issue_fault_token(until);
+                self.loss_bursts.push((token, loss));
+                self.trace
+                    .emit(now, || TraceEvent::FaultApplied { kind: "loss-burst" });
+            }
+            FaultKind::Blackhole { from, to, until } => {
+                let token = self.issue_fault_token(until);
+                self.blackholes.push((token, (from, to)));
+                self.trace
+                    .emit(now, || TraceEvent::FaultApplied { kind: "blackhole" });
+            }
+        }
+    }
+
+    /// Allocates a token for a timed fault effect and schedules its
+    /// expiry.
+    fn issue_fault_token(&mut self, until: SimTime) -> u64 {
+        let token = self.next_fault_token;
+        self.next_fault_token += 1;
+        self.sched
+            .schedule(until.max(self.sched.now()), Event::FaultStop { token });
+        token
+    }
+
+    fn fault_stop(&mut self, token: u64) {
+        let now = self.sched.now();
+        if let Some(pos) = self.partitions.iter().position(|(t, _)| *t == token) {
+            self.partitions.remove(pos);
+            self.trace.emit(now, || TraceEvent::PartitionHealed);
+        } else if let Some(pos) = self.latency_spikes.iter().position(|(t, _)| *t == token) {
+            self.latency_spikes.remove(pos);
+            self.trace.emit(now, || TraceEvent::FaultCleared {
+                kind: "latency-spike",
+            });
+        } else if let Some(pos) = self.loss_bursts.iter().position(|(t, _)| *t == token) {
+            self.loss_bursts.remove(pos);
+            self.trace
+                .emit(now, || TraceEvent::FaultCleared { kind: "loss-burst" });
+        } else if let Some(pos) = self.blackholes.iter().position(|(t, _)| *t == token) {
+            self.blackholes.remove(pos);
+            self.trace
+                .emit(now, || TraceEvent::FaultCleared { kind: "blackhole" });
+        }
+    }
+
+    /// Crashes a node: its agents stop processing, queued and in-flight
+    /// traffic to it is dropped as it arrives, and its timers die. A
+    /// no-op if the node is already down.
+    fn crash_node(&mut self, node: NodeId, lose_soft_state: bool) {
+        if self.down.contains_key(&node) {
+            return;
+        }
+        self.down.insert(
+            node,
+            DownNode {
+                lose_soft_state,
+                parked: Vec::new(),
+            },
+        );
+        self.trace
+            .emit(self.sched.now(), || TraceEvent::NodeCrashed {
+                node,
+                lost_soft_state: lose_soft_state,
+            });
+    }
+
+    /// Restarts a crashed node: residents get `on_restart` (told whether
+    /// soft state was lost), parked creations and arrivals resume, and
+    /// pre-crash timers stay dead. A no-op if the node is up.
+    fn restart_node(&mut self, node: NodeId) {
+        let Some(down) = self.down.remove(&node) else {
+            return;
+        };
+        self.trace
+            .emit(self.sched.now(), || TraceEvent::NodeRestarted { node });
+        let floor = TimerId::new(self.next_timer_id);
+        let mut residents: Vec<AgentId> = self
+            .agents
+            .iter()
+            .filter(|(_, slot)| slot.node == node && slot.state == AgentState::Active)
+            .map(|(&id, _)| id)
+            .collect();
+        residents.sort_unstable();
+        for id in residents {
+            self.timer_floor.insert(id, floor);
+            self.invoke(id, |a, ctx| a.on_restart(ctx, down.lose_soft_state));
+        }
+        for event in down.parked {
+            self.sched
+                .schedule_after(SimDuration::from_millis(1), event);
+        }
+    }
+
+    /// `true` when injected faults sever the directed link — the
+    /// destination node is down, a partition separates the endpoints, or
+    /// a blackhole covers the direction.
+    fn link_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        if self.down.contains_key(&to) {
+            return true;
+        }
+        for (_, membership) in &self.partitions {
+            if let (Some(a), Some(b)) = (membership.get(&from), membership.get(&to)) {
+                if a != b {
+                    return true;
+                }
+            }
+        }
+        self.blackholes.iter().any(|(_, link)| *link == (from, to))
+    }
+
+    /// Combined extra loss probability from active loss bursts.
+    fn burst_loss(&self) -> f64 {
+        let mut keep = 1.0;
+        for (_, loss) in &self.loss_bursts {
+            keep *= 1.0 - loss;
+        }
+        1.0 - keep
+    }
+
+    /// Product of active latency-spike factors (1.0 when none).
+    fn latency_factor(&self) -> f64 {
+        self.latency_spikes.iter().map(|(_, f)| f).product()
     }
 
     fn is_present(&self, id: AgentId, node: NodeId) -> bool {
@@ -484,7 +772,20 @@ impl SimPlatform {
             return;
         }
         let sender_node = sender.node;
-        let latency = self.topology.latency(node, sender_node, &mut self.rng);
+        if self.link_blocked(node, sender_node) {
+            // The bounce path itself is severed; the notice is lost.
+            self.stats.failures_dropped += 1;
+            return;
+        }
+        let spike = if node == sender_node {
+            1.0
+        } else {
+            self.latency_factor()
+        };
+        let latency = self
+            .topology
+            .latency(node, sender_node, &mut self.net_rng)
+            .mul_f64(spike);
         self.sched.schedule_after(
             latency,
             Event::Deliver {
@@ -560,7 +861,7 @@ impl SimPlatform {
                         let hop = if node == origin {
                             SimDuration::ZERO
                         } else {
-                            self.topology.latency(origin, node, &mut self.rng)
+                            self.topology.latency(origin, node, &mut self.net_rng)
                         };
                         self.insert_creating(new_id, node, behavior, hop);
                     } else {
@@ -622,13 +923,29 @@ impl SimPlatform {
             return;
         }
         self.stats.messages_sent += 1;
-        if origin != node {
+        let remote = origin != node;
+        if remote {
             self.stats.messages_remote += 1;
         }
-        match self.topology.transmit(origin, node, &mut self.rng) {
+        if self.link_blocked(origin, node) {
+            // Crashed destination, partition, or blackhole: the message
+            // vanishes without a bounce — exactly what makes timeouts
+            // and failover fire.
+            self.stats.messages_blocked += 1;
+            return;
+        }
+        if remote {
+            let burst = self.burst_loss();
+            if burst > 0.0 && self.net_rng.chance(burst) {
+                self.stats.messages_lost += 1;
+                return;
+            }
+        }
+        let spike = if remote { self.latency_factor() } else { 1.0 };
+        match self.topology.transmit(origin, node, &mut self.net_rng) {
             Delivery::Deliver(latency) => {
                 self.sched.schedule_after(
-                    latency,
+                    latency.mul_f64(spike),
                     Event::Deliver {
                         to,
                         node,
@@ -640,7 +957,7 @@ impl SimPlatform {
                 self.stats.messages_duplicated += 1;
                 for latency in [first, second] {
                     self.sched.schedule_after(
-                        latency,
+                        latency.mul_f64(spike),
                         Event::Deliver {
                             to,
                             node,
@@ -674,7 +991,9 @@ impl SimPlatform {
         let network = if to == origin {
             SimDuration::ZERO
         } else {
-            self.topology.latency(origin, to, &mut self.rng)
+            self.topology
+                .latency(origin, to, &mut self.net_rng)
+                .mul_f64(self.latency_factor())
         };
         let total =
             self.config.migration_overhead + network + self.config.transfer_time(state_size);

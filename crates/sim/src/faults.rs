@@ -1,0 +1,571 @@
+//! Scheduled fault injection: time-ordered fault plans, the randomized
+//! chaos generator, and the greedy plan shrinker.
+//!
+//! The per-link loss/duplication knobs on [`crate::Topology`] inject
+//! *memoryless* failures; the mechanism's hard cases are *correlated*
+//! ones — a partition that isolates a tracker for seconds, a crash that
+//! drops every queued message at once, a restart that comes back with
+//! empty soft state. A [`FaultPlan`] schedules exactly those, in virtual
+//! time, so a failing run replays identically from its seed.
+//!
+//! This module is pure data plus deterministic generation; the platform
+//! runtime applies the plan (it owns the network and the agent slots).
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One kind of scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Severs the network into groups: a message between nodes in
+    /// different groups is dropped until `heal_at`. Nodes not listed in
+    /// any group straddle the partition and keep talking to everyone.
+    Partition {
+        /// The isolated node groups (pairwise disjoint).
+        groups: Vec<Vec<NodeId>>,
+        /// When the partition heals.
+        heal_at: SimTime,
+    },
+    /// Crashes a node: in-flight and queued messages to it are dropped,
+    /// its agents stop processing, and its timers die. A crashed node
+    /// sends no delivery-failure bounces — senders must recover via
+    /// their own timeouts, which is what exercises failover.
+    NodeCrash {
+        /// The node to crash.
+        node: NodeId,
+        /// Whether trackers on the node lose their soft state (records,
+        /// mailboxes) on restart, or come back with memory intact.
+        lose_soft_state: bool,
+        /// When to restart the node, if at all within the plan.
+        restart_at: Option<SimTime>,
+    },
+    /// Restarts a crashed node (no-op if the node is up). Agents on it
+    /// resume and are told whether their soft state was lost.
+    NodeRestart {
+        /// The node to restart.
+        node: NodeId,
+    },
+    /// Multiplies remote latency by `factor` until `until`.
+    LatencySpike {
+        /// Latency multiplier (≥ 1).
+        factor: f64,
+        /// When the spike ends.
+        until: SimTime,
+    },
+    /// Adds message loss on remote links until `until`.
+    LossBurst {
+        /// Extra loss probability in `[0, 1]`.
+        loss: f64,
+        /// When the burst ends.
+        until: SimTime,
+    },
+    /// Drops every message sent from `from` to `to` (one direction)
+    /// until `until`.
+    Blackhole {
+        /// Sending side of the severed direction.
+        from: NodeId,
+        /// Receiving side of the severed direction.
+        to: NodeId,
+        /// When the blackhole closes.
+        until: SimTime,
+    },
+}
+
+impl FaultKind {
+    /// When this fault's effect ends, if it ends on its own.
+    #[must_use]
+    pub fn ends_at(&self) -> Option<SimTime> {
+        match self {
+            FaultKind::Partition { heal_at, .. } => Some(*heal_at),
+            FaultKind::NodeCrash { restart_at, .. } => *restart_at,
+            FaultKind::NodeRestart { .. } => None,
+            FaultKind::LatencySpike { until, .. }
+            | FaultKind::LossBurst { until, .. }
+            | FaultKind::Blackhole { until, .. } => Some(*until),
+        }
+    }
+
+    /// Short static name, used in trace events and error messages.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::NodeCrash { .. } => "node-crash",
+            FaultKind::NodeRestart { .. } => "node-restart",
+            FaultKind::LatencySpike { .. } => "latency-spike",
+            FaultKind::LossBurst { .. } => "loss-burst",
+            FaultKind::Blackhole { .. } => "blackhole",
+        }
+    }
+}
+
+/// A fault scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault takes effect.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{FaultEvent, FaultKind, FaultPlan, NodeId, SimDuration, SimTime};
+///
+/// let mut plan = FaultPlan::new();
+/// plan.push(FaultEvent {
+///     at: SimTime::from_nanos(2_000_000_000),
+///     kind: FaultKind::NodeCrash {
+///         node: NodeId::new(3),
+///         lose_soft_state: true,
+///         restart_at: Some(SimTime::from_nanos(5_000_000_000)),
+///     },
+/// });
+/// assert!(plan.validate(8).is_ok());
+/// assert!(plan.fully_heals(SimTime::from_nanos(10_000_000_000)));
+/// assert!(plan.loses_soft_state());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled fault events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adds a fault, keeping the schedule time-ordered (stable for
+    /// equal times: earlier pushes fire first).
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The scheduled events, in firing order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// `true` when any scheduled crash loses tracker soft state.
+    #[must_use]
+    pub fn loses_soft_state(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::NodeCrash {
+                    lose_soft_state: true,
+                    ..
+                }
+            )
+        })
+    }
+
+    /// `true` when every scheduled fault's effect has ended by
+    /// `horizon`: partitions healed, crashed nodes restarted, spikes and
+    /// bursts and blackholes expired. Invariant checking only makes
+    /// sense after a plan that fully heals.
+    #[must_use]
+    pub fn fully_heals(&self, horizon: SimTime) -> bool {
+        self.events.iter().all(|e| match e.kind.ends_at() {
+            Some(end) => end <= horizon,
+            // A bare restart has no lingering effect; an unrestarted
+            // crash does.
+            None => matches!(e.kind, FaultKind::NodeRestart { .. }),
+        })
+    }
+
+    /// Checks the plan against a topology of `nodes` nodes: every node
+    /// id in range, every end time after its start time, partition
+    /// groups non-empty and pairwise disjoint, probabilities and factors
+    /// in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self, nodes: u32) -> Result<(), String> {
+        let check_node = |n: NodeId| -> Result<(), String> {
+            if n.raw() >= nodes {
+                return Err(format!("{n} outside the {nodes}-node topology"));
+            }
+            Ok(())
+        };
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(end) = e.kind.ends_at() {
+                if end <= e.at {
+                    return Err(format!("event {i} ends at {end} but starts at {}", e.at));
+                }
+            }
+            match &e.kind {
+                FaultKind::Partition { groups, .. } => {
+                    let mut seen = std::collections::HashSet::new();
+                    for group in groups {
+                        if group.is_empty() {
+                            return Err(format!("event {i}: empty partition group"));
+                        }
+                        for &n in group {
+                            check_node(n)?;
+                            if !seen.insert(n) {
+                                return Err(format!("event {i}: {n} in two partition groups"));
+                            }
+                        }
+                    }
+                }
+                FaultKind::NodeCrash { node, .. } | FaultKind::NodeRestart { node } => {
+                    check_node(*node)?;
+                }
+                FaultKind::LatencySpike { factor, .. } => {
+                    if !factor.is_finite() || *factor < 1.0 {
+                        return Err(format!("event {i}: latency factor {factor} < 1"));
+                    }
+                }
+                FaultKind::LossBurst { loss, .. } => {
+                    if !(0.0..=1.0).contains(loss) {
+                        return Err(format!("event {i}: loss {loss} outside [0, 1]"));
+                    }
+                }
+                FaultKind::Blackhole { from, to, .. } => {
+                    check_node(*from)?;
+                    check_node(*to)?;
+                    if from == to {
+                        return Err(format!("event {i}: blackhole from {from} to itself"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters for randomized chaos-plan generation.
+///
+/// One `(seed, intensity)` pair fully determines the plan, so a failing
+/// chaos run reproduces from two numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Generator seed.
+    pub seed: u64,
+    /// Fault density knob: `0.0` produces an empty plan, `1.0` roughly
+    /// six overlapping faults. Values above `1.0` scale further.
+    pub intensity: f64,
+}
+
+impl ChaosConfig {
+    /// Generates a valid fault plan for a `nodes`-node topology whose
+    /// faults all start after a quarter of `horizon` (letting the system
+    /// bootstrap) and fully heal by 85% of it (leaving time to recover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `intensity` is negative.
+    #[must_use]
+    pub fn generate(&self, nodes: u32, horizon: SimDuration) -> FaultPlan {
+        assert!(nodes > 0, "chaos needs nodes");
+        assert!(
+            self.intensity >= 0.0 && self.intensity.is_finite(),
+            "intensity must be a non-negative number"
+        );
+        let mut plan = FaultPlan::new();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let count = (self.intensity * 6.0).round() as usize;
+        if count == 0 {
+            return plan;
+        }
+        let mut rng = SimRng::seed_from(self.seed);
+        for _ in 0..count {
+            let start = SimTime::ZERO + horizon.mul_f64(0.25 + 0.45 * rng.unit());
+            let latest = SimTime::ZERO + horizon.mul_f64(0.85);
+            let end = start + (latest.saturating_since(start)).mul_f64(0.2 + 0.8 * rng.unit());
+            // A zero-length window can arise from rounding; stretch it.
+            let end = if end <= start {
+                start + SimDuration::from_millis(100)
+            } else {
+                end
+            };
+            let roll = rng.unit();
+            let kind = if roll < 0.25 && nodes >= 2 {
+                // Split the nodes into two non-empty groups.
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                for n in 0..nodes {
+                    if rng.chance(0.5) {
+                        left.push(NodeId::new(n));
+                    } else {
+                        right.push(NodeId::new(n));
+                    }
+                }
+                if left.is_empty() {
+                    left.push(right.pop().expect("nodes >= 2"));
+                } else if right.is_empty() {
+                    right.push(left.pop().expect("nodes >= 2"));
+                }
+                FaultKind::Partition {
+                    groups: vec![left, right],
+                    heal_at: end,
+                }
+            } else if roll < 0.60 {
+                FaultKind::NodeCrash {
+                    node: NodeId::new(rng.index(nodes as usize) as u32),
+                    lose_soft_state: rng.chance(0.5),
+                    restart_at: Some(end),
+                }
+            } else if roll < 0.75 {
+                FaultKind::LatencySpike {
+                    factor: 2.0 + 6.0 * rng.unit(),
+                    until: end,
+                }
+            } else if roll < 0.90 || nodes < 2 {
+                FaultKind::LossBurst {
+                    loss: 0.1 + 0.5 * rng.unit(),
+                    until: end,
+                }
+            } else {
+                let from = rng.index(nodes as usize) as u32;
+                let to = (from + 1 + rng.index(nodes as usize - 1) as u32) % nodes;
+                FaultKind::Blackhole {
+                    from: NodeId::new(from),
+                    to: NodeId::new(to),
+                    until: end,
+                }
+            };
+            plan.push(FaultEvent { at: start, kind });
+        }
+        plan
+    }
+}
+
+/// Greedily minimizes a failing plan: repeatedly tries dropping one
+/// event at a time, keeping any reduction for which `still_fails`
+/// returns `true`, until no single removal preserves the failure.
+///
+/// The result is *1-minimal* (removing any single remaining event makes
+/// the failure disappear), which is usually a plan of one or two events
+/// — small enough to read.
+pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut current = plan.clone();
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < current.events.len() {
+            let mut candidate = current.clone();
+            candidate.events.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same index now holds the next event.
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn push_keeps_time_order() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: secs(5),
+            kind: FaultKind::LossBurst {
+                loss: 0.3,
+                until: secs(6),
+            },
+        });
+        plan.push(FaultEvent {
+            at: secs(2),
+            kind: FaultKind::NodeRestart {
+                node: NodeId::new(1),
+            },
+        });
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].at, secs(2));
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let bad_node = FaultPlan {
+            events: vec![FaultEvent {
+                at: secs(1),
+                kind: FaultKind::NodeCrash {
+                    node: NodeId::new(9),
+                    lose_soft_state: false,
+                    restart_at: Some(secs(2)),
+                },
+            }],
+        };
+        assert!(bad_node.validate(4).is_err());
+
+        let ends_before_start = FaultPlan {
+            events: vec![FaultEvent {
+                at: secs(3),
+                kind: FaultKind::LatencySpike {
+                    factor: 2.0,
+                    until: secs(3),
+                },
+            }],
+        };
+        assert!(ends_before_start.validate(4).is_err());
+
+        let overlapping_groups = FaultPlan {
+            events: vec![FaultEvent {
+                at: secs(1),
+                kind: FaultKind::Partition {
+                    groups: vec![vec![NodeId::new(0)], vec![NodeId::new(0)]],
+                    heal_at: secs(2),
+                },
+            }],
+        };
+        assert!(overlapping_groups.validate(4).is_err());
+
+        let self_blackhole = FaultPlan {
+            events: vec![FaultEvent {
+                at: secs(1),
+                kind: FaultKind::Blackhole {
+                    from: NodeId::new(2),
+                    to: NodeId::new(2),
+                    until: secs(2),
+                },
+            }],
+        };
+        assert!(self_blackhole.validate(4).is_err());
+    }
+
+    #[test]
+    fn fully_heals_requires_every_effect_to_end() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: secs(1),
+            kind: FaultKind::NodeCrash {
+                node: NodeId::new(0),
+                lose_soft_state: false,
+                restart_at: Some(secs(4)),
+            },
+        });
+        assert!(plan.fully_heals(secs(4)));
+        assert!(!plan.fully_heals(secs(3)));
+
+        let mut unrestarted = FaultPlan::new();
+        unrestarted.push(FaultEvent {
+            at: secs(1),
+            kind: FaultKind::NodeCrash {
+                node: NodeId::new(0),
+                lose_soft_state: false,
+                restart_at: None,
+            },
+        });
+        assert!(!unrestarted.fully_heals(secs(100)));
+    }
+
+    #[test]
+    fn generator_produces_valid_healing_plans() {
+        for seed in 0..200u64 {
+            for &intensity in &[0.2, 0.5, 1.0, 2.0] {
+                let chaos = ChaosConfig { seed, intensity };
+                let plan = chaos.generate(8, SimDuration::from_secs(30));
+                plan.validate(8).unwrap_or_else(|e| {
+                    panic!("seed {seed} intensity {intensity}: invalid plan: {e}")
+                });
+                assert!(
+                    plan.fully_heals(secs(30)),
+                    "seed {seed} intensity {intensity}: plan does not heal"
+                );
+                for e in plan.events() {
+                    assert!(e.at >= SimTime::ZERO + SimDuration::from_secs(30).mul_f64(0.25));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_intensity_scales() {
+        let chaos = ChaosConfig {
+            seed: 7,
+            intensity: 1.0,
+        };
+        let a = chaos.generate(8, SimDuration::from_secs(20));
+        let b = chaos.generate(8, SimDuration::from_secs(20));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let none = ChaosConfig {
+            seed: 7,
+            intensity: 0.0,
+        }
+        .generate(8, SimDuration::from_secs(20));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn shrink_finds_the_single_culprit() {
+        let plan = ChaosConfig {
+            seed: 3,
+            intensity: 1.5,
+        }
+        .generate(8, SimDuration::from_secs(30));
+        assert!(plan.len() >= 3);
+        // Pretend the failure needs exactly the crash events.
+        let is_crash = |e: &FaultEvent| matches!(e.kind, FaultKind::NodeCrash { .. });
+        let crashes = plan.events().iter().filter(|e| is_crash(e)).count();
+        assert!(crashes >= 1, "generated plan has no crash to shrink to");
+        let shrunk = shrink(&plan, |p| {
+            p.events().iter().filter(|e| is_crash(e)).count() == crashes
+        });
+        assert_eq!(shrunk.len(), crashes);
+        assert!(shrunk.events().iter().all(is_crash));
+    }
+
+    #[test]
+    fn shrink_keeps_a_plan_that_fails_regardless() {
+        let plan = ChaosConfig {
+            seed: 4,
+            intensity: 1.0,
+        }
+        .generate(8, SimDuration::from_secs(30));
+        // A predicate that always fails shrinks to the empty plan.
+        let shrunk = shrink(&plan, |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = ChaosConfig {
+            seed: 11,
+            intensity: 1.0,
+        }
+        .generate(8, SimDuration::from_secs(30));
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(plan, back);
+    }
+}

@@ -24,7 +24,10 @@
 //!   bounded ring buffer, off by default and zero-cost when disabled;
 //! * [`MetricsRegistry`] — per-tracker gauges and counters, per-version
 //!   rehash counts, and locate-latency percentiles, exportable as
-//!   JSON/CSV.
+//!   JSON/CSV;
+//! * [`FaultPlan`] / [`ChaosConfig`] — time-scheduled correlated faults
+//!   (partitions, crash/restart, latency spikes, loss bursts,
+//!   blackholes) plus a seeded chaos generator and plan shrinker.
 //!
 //! The mobile-agent platform in `agentrack-platform` builds its runtime on
 //! top of these pieces.
@@ -58,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod faults;
 mod metrics;
 mod net;
 mod queue;
@@ -67,6 +71,7 @@ mod station;
 mod time;
 mod trace;
 
+pub use faults::{shrink, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Counter, Histogram, WindowedRate};
 pub use net::{arrival, Delivery, NodeId, Topology};
 pub use queue::Scheduler;

@@ -163,6 +163,37 @@ pub enum TraceEvent {
         /// The replica it rotated to.
         to_source: u64,
     },
+    /// A scheduled network partition took effect.
+    PartitionStarted {
+        /// Number of isolated groups.
+        groups: usize,
+    },
+    /// A scheduled network partition healed.
+    PartitionHealed,
+    /// A node crashed: its agents stopped and queued traffic was
+    /// dropped.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// Whether the node's agents will lose soft state on restart.
+        lost_soft_state: bool,
+    },
+    /// A crashed node came back up and its agents resumed.
+    NodeRestarted {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A scheduled fault effect (latency spike, loss burst, blackhole)
+    /// took effect.
+    FaultApplied {
+        /// Static fault-kind name.
+        kind: &'static str,
+    },
+    /// A scheduled fault effect expired.
+    FaultCleared {
+        /// Static fault-kind name.
+        kind: &'static str,
+    },
 }
 
 impl TraceEvent {

@@ -1,0 +1,301 @@
+//! Post-quiesce invariant checking for fault-injection runs.
+//!
+//! After a chaos scenario drains, [`check`] probes the system the way an
+//! operator would audit it:
+//!
+//! * **Locatability** — every live, reachable TAgent must still be
+//!   locatable through its scheme (a fresh probe client issues one locate
+//!   per agent). Skipped for the forwarding baseline under any fault plan:
+//!   a chain link lost to a crash or partition is unrecoverable by design,
+//!   which is exactly the weakness the paper's mechanism avoids.
+//! * **Version convergence** — the primary HAgent must hold the highest
+//!   hash-function version among live copies; with `strict_versions`,
+//!   every live copy (standby, LHAgents, IAgents) must match it.
+//! * **Single ownership** — for the hashed scheme, the live IAgents'
+//!   record counts must not exceed the live population: no agent is owned
+//!   by two IAgents after the tree settles.
+//! * **Mail accounting** — a fault-free, loss-free run must lose no
+//!   guaranteed-delivery mail.
+//!
+//! Checks that a fault plan makes undecidable (e.g. locatability of agents
+//! stranded on a node that never restarts) are narrowed to the reachable
+//! population rather than skipped wholesale.
+
+use std::sync::Arc;
+
+use agentrack_core::{ClientEvent, CopyRole, DirectoryClient, LocationScheme};
+use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, SimPlatform, TimerId};
+use agentrack_sim::SimDuration;
+use parking_lot::Mutex;
+
+use crate::scenario::{Scenario, ScenarioReport};
+
+/// Pace between probe locates: fast enough to keep the audit short, slow
+/// enough not to saturate a recovering tracker.
+const PROBE_PACE: SimDuration = SimDuration::from_millis(50);
+
+/// Extra run time after the last probe is issued, covering a full retry
+/// budget (8 attempts x 800 ms) with headroom.
+const PROBE_SLACK: SimDuration = SimDuration::from_secs(8);
+
+/// Outcome of the post-quiesce audit of one chaos run.
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Live, reachable TAgents the probe attempted to locate.
+    pub probed: usize,
+    /// Probes answered with a location.
+    pub located: usize,
+    /// Raw ids of agents the probe could not locate (empty unless the
+    /// locatability check applied and failed).
+    pub unlocatable: Vec<u64>,
+    /// Live hash-function copies inspected (0 for non-hashed schemes).
+    pub version_copies: usize,
+    /// Whether the version-convergence check passed (vacuously true when
+    /// no copies report versions).
+    pub versions_converged: bool,
+    /// Records held across live trackers at quiesce.
+    pub records_held: u64,
+    /// Live TAgents at quiesce.
+    pub live_agents: usize,
+    /// Guaranteed-delivery messages lost to mailbox expiry.
+    pub mail_lost: u64,
+    /// Human-readable invariant violations; empty means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// True when no invariant was violated.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Shared result cell the probe agent writes into.
+#[derive(Debug, Default)]
+struct ProbeOutcome {
+    located: Vec<u64>,
+    failed: Vec<u64>,
+}
+
+/// A one-shot audit agent: locates each target in turn through a fresh
+/// scheme client and records which answers arrive.
+struct ProbeBehavior {
+    client: Box<dyn DirectoryClient>,
+    targets: Vec<AgentId>,
+    next: usize,
+    probe_timer: Option<TimerId>,
+    results: Arc<Mutex<ProbeOutcome>>,
+}
+
+impl ProbeBehavior {
+    fn issue_next(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.next < self.targets.len() {
+            let token = self.next as u64;
+            let target = self.targets[self.next];
+            self.next += 1;
+            self.client.locate(ctx, target, token);
+            self.probe_timer = Some(ctx.set_timer(PROBE_PACE));
+        }
+    }
+
+    fn handle(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        f: impl FnOnce(&mut dyn DirectoryClient, &mut AgentCtx<'_>) -> ClientEvent,
+    ) {
+        match f(self.client.as_mut(), ctx) {
+            ClientEvent::Located { target, .. } => self.results.lock().located.push(target.raw()),
+            ClientEvent::Failed { target, .. } => self.results.lock().failed.push(target.raw()),
+            _ => {}
+        }
+    }
+}
+
+impl Agent for ProbeBehavior {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.issue_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
+        if self.probe_timer == Some(timer) {
+            self.probe_timer = None;
+            self.issue_next(ctx);
+            return;
+        }
+        self.handle(ctx, |client, ctx| client.on_timer(ctx, timer));
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, payload: &Payload) {
+        self.handle(ctx, |client, ctx| client.on_message(ctx, from, payload));
+    }
+
+    fn on_delivery_failed(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        to: AgentId,
+        node: NodeId,
+        payload: &Payload,
+    ) {
+        self.handle(ctx, |client, ctx| {
+            client.on_delivery_failed(ctx, to, node, payload)
+        });
+    }
+}
+
+impl std::fmt::Debug for ProbeBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeBehavior")
+            .field("targets", &self.targets.len())
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs the full post-quiesce audit; see the module docs for the
+/// invariants.
+pub(crate) fn check(
+    scenario: &Scenario,
+    scheme: &mut dyn LocationScheme,
+    platform: &mut SimPlatform,
+    tagents: &[AgentId],
+    report: &ScenarioReport,
+    strict_versions: bool,
+) -> InvariantReport {
+    let mut violations = Vec::new();
+
+    // The audited population: agents still alive (churn may have replaced
+    // some) on nodes that are up. With a fully-healing plan that is every
+    // survivor; under an unhealed plan, stranded agents are unreachable by
+    // construction and excluded.
+    let reachable: Vec<AgentId> = tagents
+        .iter()
+        .copied()
+        .filter(|&id| {
+            platform.is_live(id)
+                && platform
+                    .agent_node(id)
+                    .is_some_and(|node| !platform.node_is_down(node))
+        })
+        .collect();
+
+    // -- Locatability ----------------------------------------------------
+    // Forwarding keeps per-node pointer chains with no repair path: any
+    // crash or partition can sever a chain permanently (the gap this
+    // scheme is the foil for), so the check only binds it on fault-free
+    // plans.
+    let check_locate = scenario.faults.is_empty() || scheme.name() != "forwarding";
+    let results = Arc::new(Mutex::new(ProbeOutcome::default()));
+    let mut probed = 0;
+    if !reachable.is_empty() {
+        probed = reachable.len();
+        let probe = ProbeBehavior {
+            client: scheme.make_client(),
+            targets: reachable.clone(),
+            next: 0,
+            probe_timer: None,
+            results: Arc::clone(&results),
+        };
+        platform.spawn(Box::new(probe), NodeId::new(0));
+        platform.run_for(PROBE_PACE * probed as u64 + PROBE_SLACK);
+    }
+    let outcome = results.lock();
+    let located = outcome.located.len();
+    let mut unlocatable: Vec<u64> = reachable
+        .iter()
+        .map(|id| id.raw())
+        .filter(|raw| !outcome.located.contains(raw))
+        .collect();
+    drop(outcome);
+    unlocatable.sort_unstable();
+    if check_locate && !unlocatable.is_empty() {
+        violations.push(format!(
+            "{} of {} reachable agents unlocatable after quiesce: {:?}",
+            unlocatable.len(),
+            probed,
+            &unlocatable[..unlocatable.len().min(8)]
+        ));
+    }
+
+    // -- Version convergence ---------------------------------------------
+    let versions: Vec<(u64, CopyRole, u64)> = scheme
+        .hash_versions()
+        .into_iter()
+        .filter(|&(id, _, _)| platform.is_live(AgentId::new(id)))
+        .collect();
+    let mut versions_converged = true;
+    if !versions.is_empty() {
+        let max = versions.iter().map(|&(_, _, v)| v).max().unwrap_or(0);
+        let primary = versions
+            .iter()
+            .find(|&&(_, role, _)| role == CopyRole::Primary);
+        match primary {
+            Some(&(_, _, v)) if v < max => {
+                versions_converged = false;
+                violations.push(format!(
+                    "primary HAgent at hash-function version {v}, but a live copy holds {max}"
+                ));
+            }
+            None => {
+                versions_converged = false;
+                violations.push("no live primary HAgent at quiesce".to_owned());
+            }
+            Some(_) => {}
+        }
+        if strict_versions {
+            let stale: Vec<(u64, u64)> = versions
+                .iter()
+                .filter(|&&(_, _, v)| v != max)
+                .map(|&(id, _, v)| (id, v))
+                .collect();
+            if !stale.is_empty() {
+                versions_converged = false;
+                violations.push(format!(
+                    "{} live hash-function copies below version {max}: {:?}",
+                    stale.len(),
+                    &stale[..stale.len().min(8)]
+                ));
+            }
+        }
+    }
+
+    // -- Single ownership ------------------------------------------------
+    // Live trackers' record-count gauges (refreshed on their periodic
+    // check timer) must not exceed the live population: an agent counted
+    // twice means two IAgents both believe they own it.
+    let live_agents = tagents.iter().filter(|&&id| platform.is_live(id)).count();
+    let records_held: u64 = scheme
+        .registry()
+        .snapshot()
+        .trackers
+        .iter()
+        .filter(|&&(id, _)| platform.is_live(AgentId::new(id)))
+        .map(|(_, t)| t.records_held as u64)
+        .sum();
+    if scheme.name() == "hashed" && records_held > live_agents as u64 {
+        violations.push(format!(
+            "live IAgents hold {records_held} records for {live_agents} live agents \
+             (duplicate ownership)"
+        ));
+    }
+
+    // -- Mail accounting -------------------------------------------------
+    if scenario.faults.is_empty() && scenario.loss == 0.0 && report.mail_lost > 0 {
+        violations.push(format!(
+            "{} guaranteed-delivery messages lost in a fault-free, loss-free run",
+            report.mail_lost
+        ));
+    }
+
+    InvariantReport {
+        probed,
+        located,
+        unlocatable,
+        version_copies: versions.len(),
+        versions_converged,
+        records_held,
+        live_agents,
+        mail_lost: report.mail_lost,
+        violations,
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod invariants;
 mod metrics;
 mod population;
 mod querier;
 mod scenario;
 mod tagent;
 
+pub use invariants::InvariantReport;
 pub use metrics::{Metrics, MetricsInner};
 pub use population::Population;
 pub use querier::{QuerierBehavior, TargetSelector, Targets};

@@ -144,6 +144,14 @@ impl Agent for QuerierBehavior {
         self.schedule_next(ctx, delay);
     }
 
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, _lost_soft_state: bool) {
+        // Pre-crash timers (pacing and any locate retries) are void;
+        // locates that were in flight stay unanswered and count against
+        // the completion ratio. Resume the query schedule.
+        let gap = ctx.rng().sample(&self.interval);
+        self.schedule_next(ctx, gap);
+    }
+
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
         if self.query_timer == Some(timer) {
             self.query_timer = None;

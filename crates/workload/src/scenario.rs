@@ -8,9 +8,10 @@
 
 use agentrack_core::LocationScheme;
 use agentrack_platform::{NodeId, PlatformConfig, SimPlatform};
-use agentrack_sim::{DurationDist, SimDuration, Topology, TraceSink};
+use agentrack_sim::{DurationDist, FaultPlan, SimDuration, Topology, TraceSink};
 use serde::{Deserialize, Serialize};
 
+use crate::invariants::{self, InvariantReport};
 use crate::metrics::Metrics;
 use crate::population::Population;
 use crate::querier::{QuerierBehavior, TargetSelector, Targets};
@@ -77,6 +78,9 @@ pub struct Scenario {
     /// then deregisters, dies, and spawns a successor — steady population
     /// size, turning membership.
     pub churn_lifespan: Option<DurationDist>,
+    /// Scheduled fault injection: partitions, node crashes/restarts,
+    /// latency spikes, loss bursts, blackholes (empty = fault-free).
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -101,6 +105,7 @@ impl Scenario {
             duplication: 0.0,
             grace: SimDuration::from_secs(10),
             churn_lifespan: None,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -137,6 +142,13 @@ impl Scenario {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a scheduled fault plan on the run's platform.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -202,6 +214,38 @@ impl Scenario {
         self.run_inner(scheme, None, sink).0
     }
 
+    /// Runs the scenario (typically one with a fault plan) and then checks
+    /// the post-quiesce invariants: every reachable TAgent is locatable
+    /// through the scheme, hash-function versions converge across live
+    /// copies, no record is owned by two trackers, and mail loss is
+    /// accounted for.
+    ///
+    /// `strict_versions` demands *every* live hash-function copy match the
+    /// primary's version — only sound when the scheme runs with a
+    /// [`version audit`](agentrack_core::LocationConfig::version_audit),
+    /// since the paper's propagation is deliberately lazy.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Scenario::run`].
+    pub fn run_chaos(
+        &self,
+        scheme: &mut dyn LocationScheme,
+        strict_versions: bool,
+    ) -> (ScenarioReport, InvariantReport) {
+        let (report, _samples, mut platform, tagents) =
+            self.run_full(scheme, None, TraceSink::disabled());
+        let invariants = invariants::check(
+            self,
+            scheme,
+            &mut platform,
+            &tagents,
+            &report,
+            strict_versions,
+        );
+        (report, invariants)
+    }
+
     fn run_inner(
         &self,
         scheme: &mut dyn LocationScheme,
@@ -214,6 +258,26 @@ impl Scenario {
             agentrack_platform::AgentId,
             SimDuration,
         )>,
+    ) {
+        let (report, samples, _platform, _tagents) = self.run_full(scheme, tracer, sink);
+        (report, samples)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_full(
+        &self,
+        scheme: &mut dyn LocationScheme,
+        tracer: Option<agentrack_platform::MsgTracer>,
+        sink: TraceSink,
+    ) -> (
+        ScenarioReport,
+        Vec<(
+            agentrack_sim::SimTime,
+            agentrack_platform::AgentId,
+            SimDuration,
+        )>,
+        SimPlatform,
+        Vec<agentrack_platform::AgentId>,
     ) {
         assert!(self.nodes > 0, "scenario needs nodes");
         assert!(self.agents > 0, "scenario needs agents");
@@ -238,6 +302,9 @@ impl Scenario {
         }
         if sink.is_enabled() {
             platform.set_trace_sink(sink);
+        }
+        if !self.faults.is_empty() {
+            platform.set_fault_plan(&self.faults);
         }
         // Queries ramp up during the tail of the warmup so the measured
         // window sees steady state; only locates issued after the warmup
@@ -381,7 +448,7 @@ impl Scenario {
             mail_flushed,
             mail_lost,
         });
-        (report, samples)
+        (report, samples, platform, tagents)
     }
 }
 

@@ -154,6 +154,19 @@ impl Agent for TAgentBehavior {
         self.schedule_move(ctx);
     }
 
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, _lost_soft_state: bool) {
+        // The node came back: all pre-crash timers are void, so restart
+        // the residence clock (and lifespan, re-sampled — the original
+        // deadline died with its timer), and let the client re-announce
+        // this agent to whatever tracker state survived.
+        self.client.restarted(ctx);
+        self.schedule_move(ctx);
+        if let Some(lifecycle) = &self.lifecycle {
+            let span = ctx.rng().sample(&lifecycle.lifespan);
+            self.death_timer = Some(ctx.set_timer(span));
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
         if self.death_timer == Some(timer) {
             self.die(ctx);
