@@ -1,0 +1,166 @@
+//! Perf-regression gate: compares freshly generated micro-benchmark
+//! results (`BENCH_lookup.json`, written by the `compiled` bench) against
+//! the checked-in baseline (`results/bench_baseline.json`) and fails when
+//! any benchmark regressed past the tolerance.
+//!
+//! ```text
+//! bench_gate [--baseline FILE] [--current FILE] [--tolerance RATIO]
+//! ```
+//!
+//! A benchmark regresses when `current > baseline * tolerance` **and**
+//! `current - baseline` exceeds an absolute floor (`BENCH_GATE_FLOOR_NS`,
+//! default 50 ns) — the floor keeps single-digit-nanosecond benches from
+//! tripping the gate on scheduler noise. The tolerance ratio defaults to
+//! 2.0× (shared CI runners are noisy; the regressions this gate exists to
+//! catch — an accidental O(depth) walk reappearing on the compiled path —
+//! are order-of-magnitude) and can be overridden per run with
+//! `--tolerance` or the `BENCH_GATE_TOLERANCE` environment variable.
+//!
+//! A baseline id missing from the current results fails the gate: a
+//! renamed or deleted bench must update the baseline in the same change.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde::Deserialize;
+
+/// The subset of a results file this gate reads (extra fields such as
+/// the human-oriented `speedups` table are ignored).
+#[derive(Deserialize)]
+struct BenchFile {
+    results: Vec<BenchRow>,
+}
+
+/// One benchmark measurement.
+#[derive(Deserialize)]
+struct BenchRow {
+    id: String,
+    ns_per_iter: f64,
+}
+
+/// `(id, ns_per_iter)` rows parsed from a results file's `results` array.
+fn parse_results(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let file: BenchFile =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    Ok(file
+        .results
+        .into_iter()
+        .map(|row| (row.id, row.ns_per_iter))
+        .collect())
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let mut baseline = PathBuf::from("results/bench_baseline.json");
+    let mut current = PathBuf::from("BENCH_lookup.json");
+    let mut tolerance = env_f64("BENCH_GATE_TOLERANCE").unwrap_or(2.0);
+    let floor_ns = env_f64("BENCH_GATE_FLOOR_NS").unwrap_or(50.0);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline = PathBuf::from(p),
+                None => {
+                    eprintln!("--baseline requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--current" => match args.next() {
+                Some(p) => current = PathBuf::from(p),
+                None => {
+                    eprintln!("--current requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 1.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a ratio >= 1.0");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_gate [--baseline FILE] [--current FILE] [--tolerance RATIO]\n\
+                     env: BENCH_GATE_TOLERANCE (ratio), BENCH_GATE_FLOOR_NS (absolute floor)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let base_rows = match parse_results(&baseline) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur_rows = match parse_results(&current) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur: std::collections::BTreeMap<&str, f64> =
+        cur_rows.iter().map(|(id, ns)| (id.as_str(), *ns)).collect();
+
+    println!(
+        "bench_gate: {} baseline ids vs {} ({}), tolerance {tolerance:.2}x, floor {floor_ns:.0} ns",
+        base_rows.len(),
+        current.display(),
+        cur.len(),
+    );
+    let mut failures = 0u32;
+    for (id, old_ns) in &base_rows {
+        match cur.get(id.as_str()) {
+            None => {
+                failures += 1;
+                eprintln!(
+                    "REGRESSION {id}: present in baseline ({old_ns:.2} ns) but missing from \
+                     current results — renamed/removed benches must update the baseline"
+                );
+            }
+            Some(&new_ns) => {
+                let regressed = new_ns > old_ns * tolerance && new_ns - old_ns > floor_ns;
+                if regressed {
+                    failures += 1;
+                    eprintln!(
+                        "REGRESSION {id}: {old_ns:.2} ns -> {new_ns:.2} ns \
+                         ({:.2}x, tolerance {tolerance:.2}x)",
+                        new_ns / old_ns,
+                    );
+                } else {
+                    println!("  ok {id}: {old_ns:.2} ns -> {new_ns:.2} ns");
+                }
+            }
+        }
+    }
+    for (id, _) in &cur_rows {
+        if !base_rows.iter().any(|(b, _)| b == id) {
+            println!("  new {id}: not in baseline (update results/bench_baseline.json)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: FAILED — {failures} regression(s). If intentional, refresh the \
+             baseline: cp {} {}",
+            current.display(),
+            baseline.display(),
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK — no regressions");
+    ExitCode::SUCCESS
+}

@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use agentrack_bench::{run_experiment, trackers_registry, Fidelity, EXPERIMENTS};
+use agentrack_bench::{attribution, run_experiment, trackers_registry, Fidelity, EXPERIMENTS};
 
 fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
@@ -79,12 +79,23 @@ fn main() -> ExitCode {
     for name in chosen {
         let started = std::time::Instant::now();
         // The trackers experiment additionally exports the full metrics
-        // registry as JSON; run it once and keep both renderings.
-        let (table, registry_json) = if name == "trackers" {
+        // registry as JSON, and the attribution experiment exports a
+        // Perfetto trace plus a folded flamegraph; run each once and keep
+        // every rendering.
+        let (table, mut extra_files) = if name == "trackers" {
             let (table, json) = trackers_registry(fidelity);
-            (table, Some(json))
+            (table, vec![("trackers.json".to_owned(), json)])
+        } else if name == "attribution" {
+            let (table, perfetto, folded) = attribution(fidelity, jobs);
+            (
+                table,
+                vec![
+                    ("attribution.perfetto.json".to_owned(), perfetto),
+                    ("attribution.folded".to_owned(), folded),
+                ],
+            )
         } else {
-            (run_experiment(&name, fidelity, jobs), None)
+            (run_experiment(&name, fidelity, jobs), Vec::new())
         };
         print!("{}", table.render());
         println!("[{name} took {:.1?}]", started.elapsed());
@@ -95,9 +106,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("[wrote {}]", path.display());
-            if let Some(json) = registry_json {
-                let path = dir.join(format!("{name}.json"));
-                if let Err(e) = std::fs::write(&path, json) {
+            for (file, contents) in extra_files.drain(..) {
+                let path = dir.join(file);
+                if let Err(e) = std::fs::write(&path, contents) {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }

@@ -862,6 +862,130 @@ fn run_chaos_scheme(
     }
 }
 
+/// **E14** — critical-path latency attribution: where a locate's
+/// end-to-end time actually goes, for all four schemes, calm and under
+/// chaos. Each cell runs observed (a [`agentrack_sim::TraceSink`] on the
+/// platform), folds the record stream into span trees, and reports the
+/// per-phase mean milliseconds. Because child spans partition each root
+/// window, the phase columns sum to `mean_ms` exactly — unattributed
+/// time can only appear in `other_ms`, never vanish.
+///
+/// Returns the table plus two deterministic exports from the calm hashed
+/// cell: Chrome/Perfetto trace-event JSON of the slowest locates and
+/// folded-stack flamegraph text over every traced locate.
+#[must_use]
+pub fn attribution(fidelity: Fidelity, jobs: usize) -> (Table, String, String) {
+    use agentrack_sim::{ChaosConfig, SimDuration, TraceSink};
+    use agentrack_trace_analysis::{build_spans, to_folded, to_perfetto_json, Attribution, Phase};
+
+    let agents = fidelity.scale_agents(200);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E14: critical-path latency attribution (phase columns sum to mean_ms)",
+        &[
+            "intensity",
+            "scheme",
+            "traced",
+            "mean_ms",
+            "resolution_ms",
+            "tracker_ms",
+            "chain_ms",
+            "answer_ms",
+            "stale_ms",
+            "queue_ms",
+            "retry_ms",
+            "other_ms",
+            "trace_dropped",
+        ],
+    );
+    // The calm hashed cell doubles as the export source; one slot, one
+    // writer, so parallel cell order cannot affect the output bytes.
+    let exports = std::sync::Arc::new(Mutex::new(None::<(String, String)>));
+    let cells: Vec<Cell> = [0.0f64, 0.6]
+        .into_iter()
+        .flat_map(|intensity| {
+            let exports = std::sync::Arc::clone(&exports);
+            ["hashed", "centralized", "home-registry", "forwarding"]
+                .into_iter()
+                .map(move |kind| {
+                    let exports = std::sync::Arc::clone(&exports);
+                    Box::new(move || {
+                        let mut scenario = Scenario::new(format!("attribution-{kind}-{intensity}"))
+                            .with_agents(agents)
+                            .with_residence_ms(400)
+                            .with_queries(fidelity.queries())
+                            .with_seconds(warmup, measure);
+                        if intensity > 0.0 {
+                            scenario.faults = ChaosConfig {
+                                seed: 0xC4A0_5EED,
+                                intensity,
+                            }
+                            .generate(scenario.nodes, scenario.duration());
+                        }
+                        let config = patient(LocationConfig::default())
+                            .with_version_audit(SimDuration::from_secs(1));
+                        let sink = TraceSink::bounded(262_144);
+                        let report = run_observed_scheme(&scenario, kind, config, sink.clone());
+                        let trees: Vec<_> = build_spans(&sink.snapshot())
+                            .into_iter()
+                            .filter(|t| !t.duration().is_zero())
+                            .collect();
+                        let mut attr = Attribution::new();
+                        for tree in &trees {
+                            attr.record(&tree.breakdown());
+                        }
+                        if kind == "hashed" && intensity == 0.0 {
+                            let mut slowest_first = trees.clone();
+                            slowest_first
+                                .sort_by_key(|t| (std::cmp::Reverse(t.duration()), t.corr));
+                            slowest_first.truncate(8);
+                            *exports.lock().expect("exports slot poisoned") =
+                                Some((to_perfetto_json(&slowest_first), to_folded(&trees, kind)));
+                        }
+                        let phase_ms = |p: Phase| -> String { format!("{:.3}", attr.mean_ms(p)) };
+                        vec![
+                            format!("{intensity:.1}"),
+                            kind.to_owned(),
+                            attr.count().to_string(),
+                            format!("{:.3}", attr.mean_total_ms()),
+                            phase_ms(Phase::Resolution),
+                            phase_ms(Phase::TrackerQuery),
+                            phase_ms(Phase::ChainTraversal),
+                            phase_ms(Phase::Answer),
+                            phase_ms(Phase::StaleDetour),
+                            phase_ms(Phase::QueueWait),
+                            phase_ms(Phase::RetryBackoff),
+                            phase_ms(Phase::Other),
+                            report.trace_dropped.to_string(),
+                        ]
+                    }) as Cell
+                })
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
+    let (perfetto, folded) = exports
+        .lock()
+        .expect("exports slot poisoned")
+        .take()
+        .expect("calm hashed cell always runs");
+    (table, perfetto, folded)
+}
+
+fn run_observed_scheme(
+    scenario: &Scenario,
+    kind: &str,
+    config: LocationConfig,
+    sink: agentrack_sim::TraceSink,
+) -> ScenarioReport {
+    match kind {
+        "hashed" => scenario.run_observed(&mut HashedScheme::new(config), sink),
+        "centralized" => scenario.run_observed(&mut CentralizedScheme::new(config), sink),
+        "home-registry" => scenario.run_observed(&mut HomeRegistryScheme::new(config), sink),
+        "forwarding" => scenario.run_observed(&mut ForwardingScheme::new(config), sink),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
 /// All experiment names accepted by the `repro` binary, in order.
 pub const EXPERIMENTS: &[&str] = &[
     "exp1",
@@ -877,6 +1001,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "delivery",
     "trackers",
     "chaos",
+    "attribution",
 ];
 
 /// Dispatches an experiment by name.
@@ -900,6 +1025,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity, jobs: usize) -> Table {
         "delivery" => delivery(fidelity, jobs),
         "trackers" => trackers_registry(fidelity).0,
         "chaos" => chaos(fidelity, jobs),
+        "attribution" => attribution(fidelity, jobs).0,
         other => panic!("unknown experiment {other}"),
     }
 }

@@ -185,11 +185,13 @@ impl Agent for CentralBehavior {
         {
             let me = ctx.self_id();
             let here = ctx.node();
+            let queued = ctx.queued();
             ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
                 kind: msg.kind(),
                 corr: msg.corr(),
                 by: me.raw(),
                 node: here,
+                queued,
             });
         }
         self.requests_seen += 1;
@@ -455,6 +457,18 @@ impl DirectoryClient for CentralizedClient {
         let Some(msg) = Wire::from_payload(payload) else {
             return ClientEvent::NotMine;
         };
+        {
+            let me = _ctx.self_id();
+            let here = _ctx.node();
+            let queued = _ctx.queued();
+            _ctx.trace().emit(_ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+                queued,
+            });
+        }
         match msg {
             Wire::RegisterAck { agent } => {
                 if agent == _ctx.self_id() && !self.registered {

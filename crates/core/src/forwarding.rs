@@ -98,19 +98,28 @@ impl Agent for ForwarderBehavior {
                 hops,
                 corr,
             } => {
+                let me = ctx.self_id();
                 {
-                    let me = ctx.self_id();
                     let here = ctx.node();
+                    let queued = ctx.queued();
                     ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
                         kind: "ChainLocate",
                         corr,
                         by: me.raw(),
                         node: here,
+                        queued,
                     });
                 }
                 match self.pointers.get(&target) {
                     Some(Pointer::Here) => {
                         let here = ctx.node();
+                        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                            kind: "Located",
+                            corr,
+                            from: me.raw(),
+                            to: reply_to.raw(),
+                            node: reply_node,
+                        });
                         ctx.send(
                             reply_to,
                             reply_node,
@@ -125,9 +134,18 @@ impl Agent for ForwarderBehavior {
                     }
                     Some(Pointer::MovedTo(next)) if hops < MAX_CHAIN_HOPS => {
                         self.shared.update(|s| s.chain_hops += 1);
+                        let next_fw = self.forwarders[next.index()];
+                        let next_node = *next;
+                        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                            kind: "ChainLocate",
+                            corr,
+                            from: me.raw(),
+                            to: next_fw.raw(),
+                            node: next_node,
+                        });
                         ctx.send(
-                            self.forwarders[next.index()],
-                            *next,
+                            next_fw,
+                            next_node,
                             Wire::ChainLocate {
                                 target,
                                 token,
@@ -140,6 +158,13 @@ impl Agent for ForwarderBehavior {
                         );
                     }
                     _ => {
+                        ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                            kind: "NotFound",
+                            corr,
+                            from: me.raw(),
+                            to: reply_to.raw(),
+                            node: reply_node,
+                        });
                         ctx.send(
                             reply_to,
                             reply_node,
@@ -427,6 +452,18 @@ impl DirectoryClient for ForwardingClient {
         let Some(msg) = Wire::from_payload(payload) else {
             return ClientEvent::NotMine;
         };
+        {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            let queued = ctx.queued();
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+                queued,
+            });
+        }
         match msg {
             Wire::RegisterAck { agent } => {
                 if agent == ctx.self_id() && !self.registered {

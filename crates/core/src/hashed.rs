@@ -422,11 +422,13 @@ impl DirectoryClient for HashedClient {
         {
             let me = ctx.self_id();
             let here = ctx.node();
+            let queued = ctx.queued();
             ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
                 kind: msg.kind(),
                 corr: msg.corr(),
                 by: me.raw(),
                 node: here,
+                queued,
             });
         }
         match msg {

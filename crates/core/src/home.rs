@@ -309,6 +309,18 @@ impl DirectoryClient for HomeRegistryClient {
         let Some(msg) = Wire::from_payload(payload) else {
             return ClientEvent::NotMine;
         };
+        {
+            let me = ctx.self_id();
+            let here = ctx.node();
+            let queued = ctx.queued();
+            ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
+                kind: msg.kind(),
+                corr: msg.corr(),
+                by: me.raw(),
+                node: here,
+                queued,
+            });
+        }
         match msg {
             Wire::RegisterAck { agent } => {
                 if agent == ctx.self_id() && !self.registered {

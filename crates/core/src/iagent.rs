@@ -640,11 +640,13 @@ impl Agent for IAgentBehavior {
         {
             let me = ctx.self_id();
             let here = ctx.node();
+            let queued = ctx.queued();
             ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
                 kind: msg.kind(),
                 corr: msg.corr(),
                 by: me.raw(),
                 node: here,
+                queued,
             });
         }
         // Client traffic that beats the first install is buffered, not

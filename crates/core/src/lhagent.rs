@@ -162,11 +162,13 @@ impl Agent for LHAgentBehavior {
         {
             let me = ctx.self_id();
             let here = ctx.node();
+            let queued = ctx.queued();
             ctx.trace().emit(ctx.now(), || TraceEvent::MessageRecv {
                 kind: msg.kind(),
                 corr: msg.corr(),
                 by: me.raw(),
                 node: here,
+                queued,
             });
         }
         match msg {

@@ -155,6 +155,7 @@ pub struct AgentCtx<'a> {
     pub(crate) next_agent_id: &'a mut u64,
     pub(crate) next_timer_id: &'a mut u64,
     pub(crate) trace: &'a TraceSink,
+    pub(crate) queued: SimDuration,
 }
 
 impl AgentCtx<'_> {
@@ -186,6 +187,15 @@ impl AgentCtx<'_> {
     #[must_use]
     pub fn trace(&self) -> &TraceSink {
         self.trace
+    }
+
+    /// How long the item that triggered this callback waited in the
+    /// agent's service queue before handling began. Zero for callbacks
+    /// that are not queued deliveries (timers, lifecycle events) and on
+    /// runtimes that do not model queueing.
+    #[must_use]
+    pub fn queued(&self) -> SimDuration {
+        self.queued
     }
 
     /// Sends `payload` to agent `to`, believed to reside at `node`.

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
-use agentrack_sim::{NodeId, SimRng, SimTime, TraceSink};
+use agentrack_sim::{NodeId, SimDuration, SimRng, SimTime, TraceSink};
 
 use crate::agent::{Action, Agent, AgentCtx};
 use crate::id::{AgentId, TimerId};
@@ -553,6 +553,7 @@ fn invoke<F>(
             next_agent_id,
             next_timer_id,
             trace: &shared.trace,
+            queued: SimDuration::ZERO,
         };
         f(behavior.as_mut(), &mut ctx);
     }
@@ -654,6 +655,7 @@ fn invoke<F>(
                         next_agent_id,
                         next_timer_id,
                         trace: &shared.trace,
+                        queued: SimDuration::ZERO,
                     };
                     behavior.on_dispose(&mut ctx);
                     // Farewell sends only; other actions are meaningless now.

@@ -77,6 +77,10 @@ enum Event {
         to: AgentId,
         node: NodeId,
         incoming: Incoming,
+        /// Time the item waited in the station's queue before service —
+        /// measured at admission, surfaced to the handler's [`AgentCtx`]
+        /// so traced receives can attribute queue residency.
+        queued: SimDuration,
     },
     /// A migration completed; run `on_arrival`.
     Arrive { agent: AgentId },
@@ -474,19 +478,32 @@ impl SimPlatform {
                     return;
                 }
                 if self.is_present(to, node) {
-                    let service = {
+                    let (done, queued) = {
                         let service = self.net_rng.sample(&self.config.handler_service_time);
                         let slot = self.agents.get_mut(&to).expect("checked present");
-                        slot.station.admit(self.sched.now(), service)
+                        let done = slot.station.admit(self.sched.now(), service);
+                        (done, done.saturating_since(self.sched.now() + service))
                     };
-                    let delay = service.saturating_since(self.sched.now());
-                    self.sched
-                        .schedule_after(delay, Event::Process { to, node, incoming });
+                    let delay = done.saturating_since(self.sched.now());
+                    self.sched.schedule_after(
+                        delay,
+                        Event::Process {
+                            to,
+                            node,
+                            incoming,
+                            queued,
+                        },
+                    );
                 } else {
                     self.bounce(to, node, incoming);
                 }
             }
-            Event::Process { to, node, incoming } => {
+            Event::Process {
+                to,
+                node,
+                incoming,
+                queued,
+            } => {
                 if self.down.contains_key(&node) {
                     self.stats.messages_blocked += 1;
                     return;
@@ -505,14 +522,16 @@ impl SimPlatform {
                                     delivered: true,
                                 });
                             }
-                            self.invoke(to, |a, ctx| a.on_message(ctx, from, &payload));
+                            self.invoke_queued(to, queued, |a, ctx| {
+                                a.on_message(ctx, from, &payload);
+                            });
                         }
                         Incoming::Failure {
                             to: f_to,
                             node: f_node,
                             payload,
                         } => {
-                            self.invoke(to, |a, ctx| {
+                            self.invoke_queued(to, queued, |a, ctx| {
                                 a.on_delivery_failed(ctx, f_to, f_node, &payload);
                             });
                         }
@@ -802,6 +821,16 @@ impl SimPlatform {
     where
         F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
     {
+        self.invoke_queued(id, SimDuration::ZERO, f);
+    }
+
+    /// Like [`SimPlatform::invoke`], but records how long the triggering
+    /// item waited at the agent's service station, for the handler to
+    /// read via [`AgentCtx::queued`].
+    fn invoke_queued<F>(&mut self, id: AgentId, queued: SimDuration, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
+    {
         let Some(slot) = self.agents.get_mut(&id) else {
             return;
         };
@@ -818,6 +847,7 @@ impl SimPlatform {
                 next_agent_id: &mut self.next_agent_id,
                 next_timer_id: &mut self.next_timer_id,
                 trace: &self.trace,
+                queued,
             };
             f(behavior.as_mut(), &mut ctx);
         }
@@ -889,6 +919,7 @@ impl SimPlatform {
                                 next_agent_id: &mut self.next_agent_id,
                                 next_timer_id: &mut self.next_timer_id,
                                 trace: &self.trace,
+                                queued: SimDuration::ZERO,
                             };
                             behavior.on_dispose(&mut ctx);
                         }

@@ -72,7 +72,7 @@ mod time;
 mod trace;
 
 pub use faults::{shrink, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{Counter, Histogram, WindowedRate};
+pub use metrics::{Counter, Histogram, LogHistogram, WindowedRate};
 pub use net::{arrival, Delivery, NodeId, Topology};
 pub use queue::Scheduler;
 pub use registry::{

@@ -170,6 +170,163 @@ impl fmt::Display for Histogram {
     }
 }
 
+/// A fixed-size histogram over power-of-two nanosecond buckets.
+///
+/// Where [`Histogram`] keeps every sample (exact, but unbounded), this
+/// keeps 48 log₂ buckets — enough to span sub-nanosecond noise up to
+/// ~1.6 virtual days — so per-phase latency aggregation over arbitrarily
+/// long traces stays O(1) in memory and two histograms merge by adding
+/// counts. Durations past the top bucket saturate into it rather than
+/// being dropped.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{LogHistogram, SimDuration};
+///
+/// let mut h = LogHistogram::new();
+/// h.record(SimDuration::from_nanos(100));
+/// h.record(SimDuration::from_nanos(100));
+/// h.record(SimDuration::from_millis(1));
+/// assert_eq!(h.len(), 3);
+/// // Nearest-rank percentiles resolve to the bucket's upper bound.
+/// assert_eq!(h.percentile(50.0), SimDuration::from_nanos(127));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; LogHistogram::BUCKETS],
+    total: u64,
+    sum: u128,
+}
+
+impl LogHistogram {
+    /// Number of buckets: bucket 0 holds exact zeros, bucket *i* holds
+    /// durations in `[2^(i-1), 2^i)` nanoseconds, and the last bucket
+    /// additionally absorbs everything larger (saturation).
+    pub const BUCKETS: usize = 48;
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; Self::BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_of(d: SimDuration) -> usize {
+        let n = d.as_nanos();
+        if n == 0 {
+            return 0;
+        }
+        ((64 - n.leading_zeros()) as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive) of bucket `i`, the value percentile
+    /// queries resolve to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BUCKETS`.
+    #[must_use]
+    pub fn bucket_upper(i: usize) -> SimDuration {
+        assert!(i < Self::BUCKETS, "bucket index out of range");
+        if i == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((1u64 << i) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.counts[Self::bucket_of(d)] += 1;
+        self.total += 1;
+        self.sum += u128::from(d.as_nanos());
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub const fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if no samples have been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean (tracked alongside the buckets), or zero
+    /// when empty.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum / u128::from(self.total)) as u64)
+    }
+
+    /// The `p`-th percentile (nearest-rank over buckets), reported as the
+    /// matching bucket's upper bound; zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(Self::BUCKETS - 1)
+    }
+
+    /// Per-bucket counts, index 0 first.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Extend<SimDuration> for LogHistogram {
+    fn extend<T: IntoIterator<Item = SimDuration>>(&mut self, iter: T) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log-histogram(n={}, mean={})", self.total, self.mean())
+    }
+}
+
 /// Sliding-window message-rate estimator: the "running statistics of the
 /// requests received" each IAgent maintains (paper §4).
 ///
@@ -316,6 +473,82 @@ mod tests {
     fn percentile_checks_range() {
         let mut h = Histogram::new();
         let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn empty_histograms_report_zero_everywhere() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.0), SimDuration::ZERO);
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+        assert_eq!(h.percentile(100.0), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+
+        let l = LogHistogram::new();
+        assert!(l.is_empty());
+        assert_eq!(l.mean(), SimDuration::ZERO);
+        assert_eq!(l.percentile(0.0), SimDuration::ZERO);
+        assert_eq!(l.percentile(99.9), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(7));
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), SimDuration::from_millis(7));
+        }
+
+        let mut l = LogHistogram::new();
+        l.record(SimDuration::from_nanos(1000));
+        // 1000 ns lands in bucket 10 ([512, 1024)), upper bound 1023.
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(l.percentile(p), SimDuration::from_nanos(1023));
+        }
+        assert_eq!(l.mean(), SimDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn log_histogram_merge_combines_disjoint_ranges() {
+        // One histogram of fast samples, one of slow ones: after the
+        // merge the percentile sweep must cross both bucket ranges.
+        let mut fast = LogHistogram::new();
+        fast.extend((0..10).map(|_| SimDuration::from_nanos(100)));
+        let mut slow = LogHistogram::new();
+        slow.extend((0..10).map(|_| SimDuration::from_millis(100)));
+
+        let mut merged = fast.clone();
+        merged.merge(&slow);
+        assert_eq!(merged.len(), 20);
+        assert_eq!(merged.percentile(25.0), fast.percentile(50.0));
+        assert_eq!(merged.percentile(75.0), slow.percentile(50.0));
+        // The exact sum survives the merge.
+        let want = (10 * 100 + 10 * 100_000_000) / 20;
+        assert_eq!(merged.mean(), SimDuration::from_nanos(want));
+    }
+
+    #[test]
+    fn log_histogram_saturates_at_the_top_bucket() {
+        let mut l = LogHistogram::new();
+        // ~11.6 virtual days: far past the top bucket's nominal range.
+        let huge = SimDuration::from_secs(1_000_000);
+        l.record(huge);
+        l.record(SimDuration::from_nanos(u64::MAX));
+        let top = LogHistogram::bucket_upper(LogHistogram::BUCKETS - 1);
+        assert_eq!(l.percentile(50.0), top);
+        assert_eq!(l.percentile(100.0), top);
+        assert_eq!(l.counts()[LogHistogram::BUCKETS - 1], 2);
+        // Zero goes to bucket 0, never the saturated end.
+        l.record(SimDuration::ZERO);
+        assert_eq!(l.counts()[0], 1);
+        assert_eq!(l.percentile(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn log_percentile_checks_range() {
+        let l = LogHistogram::new();
+        let _ = l.percentile(-0.5);
     }
 
     #[test]

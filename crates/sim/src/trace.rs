@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 
 use crate::net::NodeId;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Correlates every message belonging to one logical operation.
 ///
@@ -82,6 +82,9 @@ pub enum TraceEvent {
         by: u64,
         /// Node the receiver is at.
         node: NodeId,
+        /// Time the message spent waiting in the node's service queue
+        /// before handling began (zero where queueing is not modelled).
+        queued: SimDuration,
     },
     /// A directory split committed: a new tracker took over half of an
     /// overloaded tracker's hash-space leaf.
@@ -402,6 +405,7 @@ mod tests {
             corr: Some(a),
             by: 10,
             node: NodeId::new(1),
+            queued: SimDuration::ZERO,
         });
         sink.emit(SimTime::from_nanos(4), || TraceEvent::MailExpired {
             tracker: 10,

@@ -409,6 +409,16 @@ impl Scenario {
             sum(|t| t.mail_flushed),
             sum(|t| t.mail_lost),
         );
+        let trace_dropped = platform.trace_sink().dropped();
+        if trace_dropped > 0 {
+            eprintln!(
+                "warning: scenario '{}' ({}): trace ring overflowed, {} record(s) dropped — \
+                 span trees for early operations may be incomplete; use a larger TraceSink",
+                self.name,
+                scheme.name(),
+                trace_dropped,
+            );
+        }
         let samples = metrics.with(|m| std::mem::take(&mut m.locate_samples));
         let report = metrics.with(|m| ScenarioReport {
             scenario: self.name.clone(),
@@ -447,6 +457,9 @@ impl Scenario {
             mail_buffered,
             mail_flushed,
             mail_lost,
+            trace_dropped,
+            samples_retained: samples.len() as u64,
+            samples_seen: m.samples_seen,
         });
         (report, samples, platform, tagents)
     }
@@ -520,6 +533,15 @@ pub struct ScenarioReport {
     /// Buffered messages dropped after their TTL expired (silent loss
     /// made visible).
     pub mail_lost: u64,
+    /// Trace records dropped because the [`TraceSink`] ring overflowed
+    /// (zero when tracing is disabled or the ring was large enough).
+    pub trace_dropped: u64,
+    /// Per-locate samples retained in the bounded reservoir.
+    pub samples_retained: u64,
+    /// Per-locate samples offered to the reservoir (every completed
+    /// measured locate); `samples_retained < samples_seen` means the
+    /// retained set is a uniform subsample.
+    pub samples_seen: u64,
 }
 
 impl ScenarioReport {

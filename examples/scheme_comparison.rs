@@ -3,29 +3,63 @@
 //! Runs the same population / mobility / query mix against the paper's
 //! hash-based mechanism, the centralized baseline it was evaluated
 //! against, and the two related-work schemes (Ajanta-style home
-//! registries, Voyager-style forwarding pointers), then prints a summary.
+//! registries, Voyager-style forwarding pointers), then prints a summary
+//! — and, for each scheme, the critical-path breakdown of its *slowest*
+//! locate, reconstructed from the trace ring as a causal span tree.
 //!
 //! ```text
-//! cargo run --release --example scheme_comparison
+//! cargo run --release --example scheme_comparison [--export DIR]
 //! ```
+//!
+//! With `--export DIR`, also writes a Chrome/Perfetto trace
+//! (`<scheme>.perfetto.json`, open in <https://ui.perfetto.dev>) and a
+//! folded-stack flamegraph (`<scheme>.folded`, feed to `flamegraph.pl`
+//! or speedscope) per scheme.
 
 use agentrack::core::{
     CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
 };
+use agentrack::sim::TraceSink;
+use agentrack::trace_analysis::{
+    build_spans, render_breakdown, slowest, to_folded, to_perfetto_json, SpanTree,
+};
 use agentrack::workload::{Scenario, ScenarioReport};
 
-fn run(name: &str, scenario: &Scenario) -> ScenarioReport {
+fn run(name: &str, scenario: &Scenario) -> (ScenarioReport, Vec<SpanTree>) {
     let config = LocationConfig::default();
-    match name {
-        "hashed" => scenario.run(&mut HashedScheme::new(config)),
-        "centralized" => scenario.run(&mut CentralizedScheme::new(config)),
-        "home-registry" => scenario.run(&mut HomeRegistryScheme::new(config)),
-        "forwarding" => scenario.run(&mut ForwardingScheme::new(config)),
+    let sink = TraceSink::bounded(262_144);
+    let report = match name {
+        "hashed" => scenario.run_observed(&mut HashedScheme::new(config), sink.clone()),
+        "centralized" => scenario.run_observed(&mut CentralizedScheme::new(config), sink.clone()),
+        "home-registry" => {
+            scenario.run_observed(&mut HomeRegistryScheme::new(config), sink.clone())
+        }
+        "forwarding" => scenario.run_observed(&mut ForwardingScheme::new(config), sink.clone()),
         _ => unreachable!(),
-    }
+    };
+    let trees = build_spans(&sink.snapshot())
+        .into_iter()
+        .filter(|t| !t.duration().is_zero())
+        .collect();
+    (report, trees)
 }
 
 fn main() {
+    let mut export_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--export" => export_dir = args.next().map(std::path::PathBuf::from),
+            other => {
+                eprintln!("unknown argument {other:?} (only --export DIR is supported)");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = &export_dir {
+        std::fs::create_dir_all(dir).expect("create export dir");
+    }
+
     // A hot workload: 250 agents hopping every 250 ms (≈ 1000 updates/s —
     // about one tracker's entire capacity), 400 queries.
     let scenario = Scenario::new("comparison")
@@ -38,8 +72,9 @@ fn main() {
         "{:>14}  {:>9}  {:>8}  {:>8}  {:>9}  {:>8}",
         "scheme", "mean(ms)", "p95(ms)", "answered", "trackers", "failures"
     );
+    let mut slowest_per_scheme = Vec::new();
     for name in ["hashed", "centralized", "home-registry", "forwarding"] {
-        let r = run(name, &scenario);
+        let (r, trees) = run(name, &scenario);
         println!(
             "{:>14}  {:>9.2}  {:>8.2}  {:>8}  {:>9}  {:>8}",
             r.scheme,
@@ -49,11 +84,42 @@ fn main() {
             r.trackers,
             r.locate_failures,
         );
+        if let Some(worst) = slowest(&trees) {
+            slowest_per_scheme.push((name, worst.clone()));
+        }
+        if let Some(dir) = &export_dir {
+            std::fs::write(
+                dir.join(format!("{name}.perfetto.json")),
+                to_perfetto_json(&trees),
+            )
+            .expect("write perfetto trace");
+            std::fs::write(dir.join(format!("{name}.folded")), to_folded(&trees, name))
+                .expect("write folded stacks");
+        }
     }
+
+    println!();
+    println!("slowest locate per scheme, phase by phase:");
+    for (name, tree) in &slowest_per_scheme {
+        println!();
+        println!("-- {name} --");
+        print!("{}", render_breakdown(tree));
+    }
+    if let Some(dir) = &export_dir {
+        println!();
+        println!(
+            "wrote per-scheme Perfetto traces and folded stacks to {}",
+            dir.display()
+        );
+    }
+
     println!();
     println!("what to look for:");
     println!("  * hashed      — flat latency; tracker count adapted to the load");
     println!("  * centralized — one tracker at ~100% utilisation: queueing blows up");
     println!("  * home-reg.   — fast, but only works when names encode the home node");
     println!("  * forwarding  — pointer chains grow with mobility; latency drifts up");
+    println!("  * the breakdowns name the culprit: queue_wait for the saturated");
+    println!("    central tracker, chain_traversal for long forwarding chains,");
+    println!("    retry_backoff wherever answers outlived the client's patience");
 }

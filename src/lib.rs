@@ -36,6 +36,7 @@
 //! | [`platform`] | The mobile-agent platform (Aglets-style lifecycle, messaging, migration) |
 //! | [`core`] | IAgent / HAgent / LHAgent behaviours, client state machines, baseline schemes |
 //! | [`workload`] | TAgents, queriers, scenario runner, experiment metrics |
+//! | [`trace_analysis`] | Causal span trees, critical-path latency attribution, trace exporters |
 //!
 //! ## Quickstart
 //!
@@ -65,4 +66,5 @@ pub use agentrack_core as core;
 pub use agentrack_hashtree as hashtree;
 pub use agentrack_platform as platform;
 pub use agentrack_sim as sim;
+pub use agentrack_trace_analysis as trace_analysis;
 pub use agentrack_workload as workload;
