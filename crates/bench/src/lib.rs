@@ -986,6 +986,160 @@ fn run_observed_scheme(
     }
 }
 
+/// **E15** — record durability and recovery: two nodes crash with
+/// soft-state loss and restart half a second later, wiping the records of
+/// every tracker they hosted. The sweep crosses the crash time (early in
+/// the run, while the tree is still splitting, vs. late in steady state)
+/// with the hashed scheme's replication interval — `off` is the ablation,
+/// recovery by client re-registration only — and runs the centralized and
+/// home-registry baselines under the identical plan for contrast.
+///
+/// Recovery times are measured from the trace: each
+/// [`agentrack_sim::TraceEvent::RecoveryStart`] is paired with the same
+/// tracker's `RecoveryEnd`, and the p50/p95 of those spans reported.
+/// `stale_answers` counts the degraded-mode `Located{stale}` answers
+/// served while converging — availability the ablation does not have.
+/// Every cell runs the post-quiesce invariant audit (locatability,
+/// version convergence, single ownership, recovery convergence).
+#[must_use]
+pub fn recovery(fidelity: Fidelity, jobs: usize) -> Table {
+    use agentrack_sim::{
+        FaultEvent, FaultKind, FaultPlan, NodeId, SimDuration, SimTime, TraceEvent, TraceSink,
+    };
+    use std::collections::HashMap;
+
+    let agents = fidelity.scale_agents(200);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E15: recovery after tracker crashes with soft-state loss",
+        &[
+            "crash_frac",
+            "repl",
+            "scheme",
+            "recoveries",
+            "rec_p50_ms",
+            "rec_p95_ms",
+            "stale_answers",
+            "record_syncs",
+            "success_pct",
+            "mail_lost",
+            "violations",
+        ],
+    );
+    // (scheme, replication interval in ms): `None` on a hashed row is the
+    // durability-off ablation; the baselines have no replication at all.
+    let variants: [(&str, Option<u64>); 5] = [
+        ("hashed", None),
+        ("hashed", Some(250)),
+        ("hashed", Some(1000)),
+        ("centralized", None),
+        ("home-registry", None),
+    ];
+    let cells: Vec<Cell> = [0.35f64, 0.65]
+        .into_iter()
+        .flat_map(|crash_frac| {
+            variants.into_iter().map(move |(kind, repl_ms)| {
+                Box::new(move || {
+                    let repl_label = repl_ms.map_or_else(|| "off".to_owned(), |v| format!("{v}ms"));
+                    let mut scenario =
+                        Scenario::new(format!("recovery-{kind}-{repl_label}-{crash_frac}"))
+                            .with_agents(agents)
+                            .with_residence_ms(400)
+                            .with_queries(fidelity.queries())
+                            .with_seconds(warmup, measure);
+                    // Crash two nodes at once — with the population spread
+                    // round-robin and the tree split by then, both the
+                    // initial tracker's node and a split target go down —
+                    // and restart them 500 ms later with soft state gone.
+                    let crash_at = SimTime::ZERO + scenario.duration().mul_f64(crash_frac);
+                    let restart_at = crash_at + SimDuration::from_millis(500);
+                    let mut plan = FaultPlan::new();
+                    for node in 0..2u32 {
+                        plan.push(FaultEvent {
+                            at: crash_at,
+                            kind: FaultKind::NodeCrash {
+                                node: NodeId::new(node),
+                                lose_soft_state: true,
+                                restart_at: Some(restart_at),
+                            },
+                        });
+                    }
+                    scenario.faults = plan;
+                    let mut config = patient(LocationConfig::default())
+                        .with_version_audit(SimDuration::from_secs(1));
+                    if let Some(v) = repl_ms {
+                        config = config.with_replication(SimDuration::from_millis(v));
+                    }
+                    let sink = TraceSink::bounded(524_288);
+                    let (report, invariants) = match kind {
+                        "hashed" => scenario.run_chaos_traced(
+                            &mut HashedScheme::new(config).with_standby(),
+                            true,
+                            sink.clone(),
+                        ),
+                        "centralized" => scenario.run_chaos_traced(
+                            &mut CentralizedScheme::new(config),
+                            false,
+                            sink.clone(),
+                        ),
+                        "home-registry" => scenario.run_chaos_traced(
+                            &mut HomeRegistryScheme::new(config),
+                            false,
+                            sink.clone(),
+                        ),
+                        other => panic!("unknown scheme {other}"),
+                    };
+                    // Pair RecoveryStart/RecoveryEnd per tracker into spans.
+                    let mut open: HashMap<u64, SimTime> = HashMap::new();
+                    let mut spans_ms: Vec<f64> = Vec::new();
+                    for record in sink.snapshot() {
+                        match record.event {
+                            TraceEvent::RecoveryStart { tracker } => {
+                                open.insert(tracker, record.at);
+                            }
+                            TraceEvent::RecoveryEnd { tracker, .. } => {
+                                if let Some(started) = open.remove(&tracker) {
+                                    spans_ms
+                                        .push(record.at.saturating_since(started).as_millis_f64());
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    spans_ms.sort_by(f64::total_cmp);
+                    let pct = |p: f64| -> f64 {
+                        if spans_ms.is_empty() {
+                            return 0.0;
+                        }
+                        let idx = ((p / 100.0) * (spans_ms.len() - 1) as f64).round() as usize;
+                        spans_ms[idx]
+                    };
+                    let success = if report.locates_issued == 0 {
+                        100.0
+                    } else {
+                        100.0 * report.locates_completed as f64 / report.locates_issued as f64
+                    };
+                    vec![
+                        format!("{crash_frac:.2}"),
+                        repl_label,
+                        kind.to_owned(),
+                        report.recoveries_completed.to_string(),
+                        ms(pct(50.0)),
+                        ms(pct(95.0)),
+                        report.stale_answers.to_string(),
+                        report.record_syncs.to_string(),
+                        format!("{success:.1}"),
+                        report.mail_lost.to_string(),
+                        invariants.violations.len().to_string(),
+                    ]
+                }) as Cell
+            })
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
+    table
+}
+
 /// All experiment names accepted by the `repro` binary, in order.
 pub const EXPERIMENTS: &[&str] = &[
     "exp1",
@@ -1002,6 +1156,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "trackers",
     "chaos",
     "attribution",
+    "recovery",
 ];
 
 /// Dispatches an experiment by name.
@@ -1026,6 +1181,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity, jobs: usize) -> Table {
         "trackers" => trackers_registry(fidelity).0,
         "chaos" => chaos(fidelity, jobs),
         "attribution" => attribution(fidelity, jobs).0,
+        "recovery" => recovery(fidelity, jobs),
         other => panic!("unknown experiment {other}"),
     }
 }

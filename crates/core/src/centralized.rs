@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
-use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
+use agentrack_sim::{CorrId, GiveUpCause, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::mailbox::Mailbox;
@@ -231,6 +231,7 @@ impl Agent for CentralBehavior {
                     Some(&node) => Wire::Located {
                         target,
                         node,
+                        stale: false,
                         token,
                         corr,
                     },
@@ -370,6 +371,7 @@ impl CentralizedClient {
             node: here,
         });
         self.send_central(ctx, &msg);
+        self.tracker.note_tracker(token, self.central.0.raw());
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
     }
@@ -388,13 +390,25 @@ impl CentralizedClient {
                 self.send_locate(ctx, target, token);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => {
+            Retry::GiveUp {
+                token,
+                target,
+                cause,
+                tracker,
+            } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
                     client: me.raw(),
                     target: target.raw(),
                     attempts: self.config.max_locate_attempts,
+                    cause,
                 });
+                if let Some(tracker) = tracker {
+                    self.registry.update_tracker(tracker, |t| match cause {
+                        GiveUpCause::Timeout => t.giveup_timeout += 1,
+                        GiveUpCause::Negative => t.giveup_negative += 1,
+                    });
+                }
                 ClientEvent::Failed { token, target }
             }
             Retry::Nothing => ClientEvent::Consumed,
@@ -481,6 +495,7 @@ impl DirectoryClient for CentralizedClient {
             Wire::Located {
                 target,
                 node,
+                stale,
                 token,
                 ..
             } => {
@@ -491,6 +506,7 @@ impl DirectoryClient for CentralizedClient {
                         token,
                         target,
                         node,
+                        stale,
                     }
                 } else {
                     ClientEvent::Consumed

@@ -95,6 +95,29 @@ pub struct LocationConfig {
     /// periods. `None` (the default) keeps propagation purely lazy, as
     /// in the paper.
     pub version_audit: Option<SimDuration>,
+    /// When set, each IAgent replicates its record set (and rate
+    /// estimate) to its buddy replica — the sibling leaf under the hash
+    /// tree, or the configured standby when the tree has one leaf — at
+    /// most once per this interval, and a restarted IAgent recovers its
+    /// records from that replica instead of starting empty. `None`
+    /// disables replication: records are pure soft state, as in the
+    /// paper.
+    pub replication_interval: Option<SimDuration>,
+    /// How long an unacknowledged `RecordSync` batch waits before it is
+    /// re-sent to the buddy.
+    pub replication_retry: SimDuration,
+    /// How long a recovering IAgent keeps soliciting re-registrations and
+    /// answering from stale replica records before it declares recovery
+    /// over (converged or not) and resumes normal answering.
+    pub recovery_timeout: SimDuration,
+    /// How long a hash-function copy holder waits for a `FetchHashFn`
+    /// answer before declaring the source unresponsive and failing over.
+    pub fetch_timeout: SimDuration,
+    /// Base delay of the LHAgent's capped exponential backoff, entered
+    /// when *every* hash-function source has bounced a fetch.
+    pub fetch_backoff_base: SimDuration,
+    /// Cap on the LHAgent's exponential backoff delay.
+    pub fetch_backoff_cap: SimDuration,
 }
 
 impl Default for LocationConfig {
@@ -123,6 +146,12 @@ impl Default for LocationConfig {
             locality_min_requests: 50,
             mail_ttl: SimDuration::from_secs(10),
             version_audit: None,
+            replication_interval: None,
+            replication_retry: SimDuration::from_millis(300),
+            recovery_timeout: SimDuration::from_secs(3),
+            fetch_timeout: SimDuration::from_millis(800),
+            fetch_backoff_base: SimDuration::from_millis(100),
+            fetch_backoff_cap: SimDuration::from_secs(2),
         }
     }
 }
@@ -174,6 +203,15 @@ impl LocationConfig {
         self
     }
 
+    /// Enables record replication to buddy replicas at the given interval
+    /// (and with it, epoch-fenced recovery after a soft-state-losing
+    /// restart).
+    #[must_use]
+    pub fn with_replication(mut self, interval: SimDuration) -> Self {
+        self.replication_interval = Some(interval);
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -207,6 +245,18 @@ impl LocationConfig {
         if self.max_locate_attempts == 0 {
             return Err("max_locate_attempts must be at least 1".into());
         }
+        if self.replication_interval.is_some_and(|i| i.is_zero()) {
+            return Err("replication_interval must be non-zero when set".into());
+        }
+        if self.replication_retry.is_zero() {
+            return Err("replication_retry must be non-zero".into());
+        }
+        if self.fetch_timeout.is_zero() {
+            return Err("fetch_timeout must be non-zero".into());
+        }
+        if self.fetch_backoff_base.is_zero() || self.fetch_backoff_cap < self.fetch_backoff_base {
+            return Err("fetch backoff needs 0 < base <= cap".into());
+        }
         Ok(())
     }
 }
@@ -220,7 +270,27 @@ mod tests {
         let c = LocationConfig::default();
         assert_eq!(c.t_max, 50.0);
         assert_eq!(c.t_min, 5.0);
+        // Records stay pure soft state by default, as in the paper;
+        // replication is an opt-in extension.
+        assert_eq!(c.replication_interval, None);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn replication_builder_and_validation() {
+        let c = LocationConfig::default().with_replication(SimDuration::from_millis(250));
+        assert_eq!(c.replication_interval, Some(SimDuration::from_millis(250)));
+        c.validate().unwrap();
+        let bad = LocationConfig {
+            replication_interval: Some(SimDuration::ZERO),
+            ..LocationConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = LocationConfig {
+            fetch_backoff_cap: SimDuration::from_millis(1),
+            ..LocationConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
-use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
+use agentrack_sim::{CorrId, GiveUpCause, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::retry::{LocateTracker, Retry};
@@ -126,6 +126,7 @@ impl Agent for ForwarderBehavior {
                             Wire::Located {
                                 target,
                                 node: here,
+                                stale: false,
                                 token,
                                 corr,
                             }
@@ -345,6 +346,7 @@ impl ForwardingClient {
                 node: here,
             });
             ctx.send(fw, node, msg.payload());
+            self.tracker.note_tracker(token, fw.raw());
         }
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
@@ -364,13 +366,25 @@ impl ForwardingClient {
                 self.send_locate(ctx, target, token);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => {
+            Retry::GiveUp {
+                token,
+                target,
+                cause,
+                tracker,
+            } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
                     client: me.raw(),
                     target: target.raw(),
                     attempts: self.config.max_locate_attempts,
+                    cause,
                 });
+                if let Some(tracker) = tracker {
+                    self.registry.update_tracker(tracker, |t| match cause {
+                        GiveUpCause::Timeout => t.giveup_timeout += 1,
+                        GiveUpCause::Negative => t.giveup_negative += 1,
+                    });
+                }
                 ClientEvent::Failed { token, target }
             }
             Retry::Nothing => ClientEvent::Consumed,
@@ -476,6 +490,7 @@ impl DirectoryClient for ForwardingClient {
             Wire::Located {
                 target,
                 node,
+                stale,
                 token,
                 ..
             } => {
@@ -486,6 +501,7 @@ impl DirectoryClient for ForwardingClient {
                         token,
                         target,
                         node,
+                        stale,
                     }
                 } else {
                     ClientEvent::Consumed

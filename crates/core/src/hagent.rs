@@ -25,9 +25,12 @@ use agentrack_hashtree::IAgentId;
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
 use agentrack_sim::{SimTime, TraceEvent};
 
+use std::collections::HashMap;
+
 use crate::config::LocationConfig;
 use crate::iagent::IAgentBehavior;
 use crate::plan::{plan_split, SplitPlan};
+use crate::replica::ReplicaStore;
 use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::wire::{HashFunction, Wire};
 
@@ -52,13 +55,21 @@ struct PendingSplit {
 pub struct StandbyHAgentBehavior {
     hf: HashFunction,
     shared: SharedSchemeStats,
+    /// Replica copies held as the fallback buddy: when the tree has a
+    /// single leaf there is no sibling IAgent, so the lone tracker
+    /// replicates its records here.
+    replica_store: ReplicaStore,
 }
 
 impl StandbyHAgentBehavior {
     /// Creates a standby seeded with the bootstrap hash function.
     #[must_use]
     pub fn new(hf: HashFunction, shared: SharedSchemeStats) -> Self {
-        StandbyHAgentBehavior { hf, shared }
+        StandbyHAgentBehavior {
+            hf,
+            shared,
+            replica_store: ReplicaStore::default(),
+        }
     }
 }
 
@@ -96,7 +107,56 @@ impl Agent for StandbyHAgentBehavior {
                     ctx.send(from, node, Wire::RehashDenied.payload());
                 }
             }
+            Wire::RecordSync {
+                epoch,
+                seq,
+                records,
+                rate,
+                reply_node,
+            } => {
+                // Fallback buddy duty (single-leaf tree): hold the copy.
+                self.replica_store
+                    .apply_sync(from, epoch, seq, records, rate);
+                ctx.send(
+                    from,
+                    reply_node,
+                    Wire::RecordSyncAck { epoch, seq }.payload(),
+                );
+            }
+            Wire::ReplicaPull {
+                epoch: _,
+                reply_node,
+            } => {
+                let (epoch, seq, records, rate) = match self.replica_store.get(from) {
+                    Some(e) => (
+                        e.epoch,
+                        e.seq,
+                        e.records.iter().map(|(&a, &n)| (a, n)).collect(),
+                        e.rate,
+                    ),
+                    None => (0, 0, Vec::new(), 0.0),
+                };
+                ctx.send(
+                    from,
+                    reply_node,
+                    Wire::ReplicaSet {
+                        epoch,
+                        seq,
+                        records,
+                        rate,
+                    }
+                    .payload(),
+                );
+            }
             _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
+        if lost_soft_state {
+            // Replica copies are soft state; owners keep syncing and
+            // repopulate them.
+            self.replica_store.clear();
         }
     }
 }
@@ -117,6 +177,12 @@ pub struct HAgentBehavior {
     /// Installs that bounced (receiver mid-migration); re-sent with the
     /// current primary copy on the next periodic tick.
     reinstall: Vec<AgentId>,
+    /// Per-IAgent epoch counters (keyed by raw agent id), bumped on every
+    /// `EpochRequest`. Soft state: if it is lost with a crash, a
+    /// re-granted low epoch makes [`crate::replica_usable`] reject the
+    /// replica — recovery degrades to re-registration only, it never
+    /// resurrects records under a wrong fence.
+    epochs: HashMap<u64, u64>,
 }
 
 impl HAgentBehavior {
@@ -141,6 +207,7 @@ impl HAgentBehavior {
             node_count,
             standby: None,
             reinstall: Vec::new(),
+            epochs: HashMap::new(),
         }
     }
 
@@ -250,13 +317,16 @@ impl HAgentBehavior {
         };
         let new_node = self.pick_node();
         let new_agent = ctx.create_agent(
-            Box::new(IAgentBehavior::fresh(
-                self.config.clone(),
-                ctx.self_id(),
-                ctx.node(),
-                self.hf.clone(),
-                self.shared.clone(),
-            )),
+            Box::new(
+                IAgentBehavior::fresh(
+                    self.config.clone(),
+                    ctx.self_id(),
+                    ctx.node(),
+                    self.hf.clone(),
+                    self.shared.clone(),
+                )
+                .with_standby(self.standby),
+            ),
             new_node,
         );
         self.in_progress = Some(PendingSplit {
@@ -372,7 +442,7 @@ impl Agent for HAgentBehavior {
         ctx.set_timer(self.config.check_interval);
     }
 
-    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, _lost_soft_state: bool) {
+    fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
         // The primary copy survives a crash (the paper treats it as
         // recoverable state — the standby covers the downtime), but any
         // split that was mid-flight is abandoned and the periodic tick
@@ -381,6 +451,11 @@ impl Agent for HAgentBehavior {
             self.shared.update(|s| s.rehash_denied += 1);
         }
         self.reinstall.clear();
+        if lost_soft_state {
+            // Epoch counters are soft; losing them only makes recoveries
+            // reject their replicas (see the field's fence note).
+            self.epochs.clear();
+        }
         ctx.set_timer(self.config.check_interval);
     }
 
@@ -465,6 +540,18 @@ impl Agent for HAgentBehavior {
                     }
                     .payload(),
                 );
+            }
+            Wire::EpochRequest => {
+                // A restarted tracker wants a fresh epoch before it may
+                // use replicated records. Every request bumps — a retry
+                // after a lost grant just fences one epoch further.
+                let e = self.epochs.entry(from.raw()).or_insert(0);
+                *e += 1;
+                let epoch = *e;
+                let buddy = self.hf.buddy_of(from).or(self.standby);
+                if let Some(node) = self.node_of_iagent(from) {
+                    ctx.send(from, node, Wire::EpochGrant { epoch, buddy }.payload());
+                }
             }
             _ => {}
         }

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use agentrack_platform::{AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
-use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
+use agentrack_sim::{CorrId, GiveUpCause, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::hagent::{HAgentBehavior, StandbyHAgentBehavior};
@@ -143,13 +143,16 @@ impl LocationScheme for HashedScheme {
         let hf = HashFunction::initial(iagent0, home);
 
         let spawned = platform.spawn_agent(
-            Box::new(IAgentBehavior::initial(
-                self.config.clone(),
-                hagent,
-                home,
-                hf.clone(),
-                self.shared.clone(),
-            )),
+            Box::new(
+                IAgentBehavior::initial(
+                    self.config.clone(),
+                    hagent,
+                    home,
+                    hf.clone(),
+                    self.shared.clone(),
+                )
+                .with_standby(standby),
+            ),
             home,
         );
         assert_eq!(spawned, iagent0, "agent id assignment drifted");
@@ -182,7 +185,8 @@ impl LocationScheme for HashedScheme {
 
         for (i, &expected) in lhagents.iter().enumerate() {
             let mut lh = LHAgentBehavior::new(hf.clone(), hagent, home, self.shared.clone())
-                .with_audit(self.config.version_audit);
+                .with_audit(self.config.version_audit)
+                .with_timing(&self.config);
             if let Some((standby_id, standby_node)) = standby {
                 lh = lh.with_standby(standby_id, standby_node);
             }
@@ -323,13 +327,28 @@ impl HashedClient {
                 self.resolve_for_locate(ctx, target, token, true);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => {
+            Retry::GiveUp {
+                token,
+                target,
+                cause,
+                tracker,
+            } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
                     client: me.raw(),
                     target: target.raw(),
                     attempts: self.config.max_locate_attempts,
+                    cause,
                 });
+                // Charge the give-up to the tracker the final attempt hit,
+                // split by cause (timeout = it never answered; negative =
+                // it answered NotFound/NotResponsible).
+                if let Some(tracker) = tracker {
+                    self.registry.update_tracker(tracker, |t| match cause {
+                        GiveUpCause::Timeout => t.giveup_timeout += 1,
+                        GiveUpCause::Negative => t.giveup_negative += 1,
+                    });
+                }
                 ClientEvent::Failed { token, target }
             }
             Retry::Nothing => ClientEvent::Consumed,
@@ -443,6 +462,7 @@ impl DirectoryClient for HashedClient {
                 if let Some(target) = self.tracker.target(token) {
                     let here = ctx.node();
                     let me = ctx.self_id();
+                    self.tracker.note_tracker(token, iagent.raw());
                     let locate = Wire::Locate {
                         target,
                         token,
@@ -503,6 +523,7 @@ impl DirectoryClient for HashedClient {
             Wire::Located {
                 target,
                 node,
+                stale,
                 token,
                 ..
             } => {
@@ -513,10 +534,26 @@ impl DirectoryClient for HashedClient {
                         token,
                         target,
                         node,
+                        stale,
                     }
                 } else {
                     ClientEvent::Consumed
                 }
+            }
+            Wire::SolicitReregister => {
+                // A recovering tracker resurrected our record from a
+                // replica and wants it reconfirmed from where we really
+                // are.
+                if self.registered {
+                    if self.my_iagent.is_some() {
+                        self.send_own_update(ctx);
+                    } else {
+                        self.refresh_own_iagent(ctx);
+                    }
+                } else {
+                    self.register(ctx);
+                }
+                ClientEvent::Consumed
             }
             Wire::MailDrop { from, data } => ClientEvent::Mail { from, data },
             Wire::NotFound { token, .. } => self.retry_locate(ctx, token),

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
-use agentrack_sim::{CorrId, MetricsRegistry, TraceEvent};
+use agentrack_sim::{CorrId, GiveUpCause, MetricsRegistry, TraceEvent};
 
 use crate::centralized::CentralBehavior;
 use crate::config::LocationConfig;
@@ -214,6 +214,7 @@ impl HomeRegistryClient {
                 node: here,
             });
             ctx.send(registry, node, msg.payload());
+            self.tracker.note_tracker(token, registry.raw());
         }
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
@@ -233,13 +234,25 @@ impl HomeRegistryClient {
                 self.send_locate(ctx, target, token);
                 ClientEvent::Consumed
             }
-            Retry::GiveUp { token, target } => {
+            Retry::GiveUp {
+                token,
+                target,
+                cause,
+                tracker,
+            } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
                     client: me.raw(),
                     target: target.raw(),
                     attempts: self.config.max_locate_attempts,
+                    cause,
                 });
+                if let Some(tracker) = tracker {
+                    self.registry.update_tracker(tracker, |t| match cause {
+                        GiveUpCause::Timeout => t.giveup_timeout += 1,
+                        GiveUpCause::Negative => t.giveup_negative += 1,
+                    });
+                }
                 ClientEvent::Failed { token, target }
             }
             Retry::Nothing => ClientEvent::Consumed,
@@ -333,6 +346,7 @@ impl DirectoryClient for HomeRegistryClient {
             Wire::Located {
                 target,
                 node,
+                stale,
                 token,
                 ..
             } => {
@@ -343,6 +357,7 @@ impl DirectoryClient for HomeRegistryClient {
                         token,
                         target,
                         node,
+                        stale,
                     }
                 } else {
                     ClientEvent::Consumed

@@ -17,6 +17,7 @@
 //!   the pending timeout expires.
 
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::collections::HashMap;
 
 use agentrack_hashtree::IAgentId;
@@ -25,6 +26,7 @@ use agentrack_sim::{CorrId, SimTime, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
+use crate::replica::{replica_usable, RecoveryPhase, RecoveryState, ReplicaStore, Replicator};
 use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::stats::LoadStats;
 use crate::wire::{HashFunction, Wire};
@@ -82,6 +84,19 @@ pub struct IAgentBehavior {
     /// When the last periodic version audit ran (chaos runs only; see
     /// [`LocationConfig::version_audit`]).
     last_audit: SimTime,
+    /// Fallback buddy (the standby HAgent) when the tree has a single
+    /// leaf, so no sibling-leaf buddy exists.
+    standby: Option<(AgentId, NodeId)>,
+    /// Outbound replication of this tracker's records to its buddy.
+    replicator: Replicator,
+    /// Replica copies held on behalf of buddy trackers. Never merged into
+    /// `records` or the `records_held` gauge: a replica is not ownership.
+    replica_store: ReplicaStore,
+    /// Recovered-but-unconfirmed records, answered with `stale: true`
+    /// until a fresh `Register`/`Update` reconfirms them.
+    stale_records: BTreeSet<AgentId>,
+    /// The recovery run after a soft-state-losing restart, if any.
+    recovery: Option<RecoveryState>,
 }
 
 impl IAgentBehavior {
@@ -147,7 +162,21 @@ impl IAgentBehavior {
             relocating: false,
             requests_seen: 0,
             last_audit: SimTime::ZERO,
+            standby: None,
+            replicator: Replicator::default(),
+            replica_store: ReplicaStore::default(),
+            stale_records: BTreeSet::new(),
+            recovery: None,
         }
+    }
+
+    /// Sets the standby fallback buddy: where this tracker replicates when
+    /// the tree has a single leaf (no sibling) and during recovery when the
+    /// HAgent knows no better.
+    #[must_use]
+    pub fn with_standby(mut self, standby: Option<(AgentId, NodeId)>) -> Self {
+        self.standby = standby;
+        self
     }
 
     fn my_id(ctx: &AgentCtx<'_>) -> IAgentId {
@@ -314,6 +343,7 @@ impl IAgentBehavior {
             .collect();
         for (agent, _) in &moved {
             self.records.remove(agent);
+            self.stale_records.remove(agent);
             self.stats.forget(*agent);
         }
         self.dispatch_handoffs(ctx, moved);
@@ -361,6 +391,12 @@ impl IAgentBehavior {
                 },
             );
         }
+
+        // Replication duty follows ownership: the sibling leaf may have
+        // changed, and the (possibly shrunk or grown) record set should
+        // reach the buddy under the new partition promptly.
+        self.refresh_buddy(ctx);
+        self.replicator.mark_dirty();
     }
 
     /// Groups records by their new owner and sends handoffs.
@@ -453,16 +489,14 @@ impl IAgentBehavior {
         for p in std::mem::take(&mut self.pending) {
             if let Some(&node) = self.records.get(&p.target) {
                 self.shared.update(|s| s.pending_served += 1);
-                self.send_traced(
+                self.answer_located(
                     ctx,
                     p.requester,
                     p.reply_node,
-                    &Wire::Located {
-                        target: p.target,
-                        node,
-                        token: p.token,
-                        corr: p.corr,
-                    },
+                    p.target,
+                    node,
+                    p.token,
+                    p.corr,
                 );
             } else if ctx.now() >= p.deadline {
                 self.send_traced(
@@ -480,6 +514,176 @@ impl IAgentBehavior {
             }
         }
         self.pending = still;
+    }
+
+    /// Answers a locate positively, tagging the answer `stale` when the
+    /// record is a recovered-but-unconfirmed one (degraded mode).
+    #[allow(clippy::too_many_arguments)]
+    fn answer_located(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        requester: AgentId,
+        reply_node: NodeId,
+        target: AgentId,
+        node: NodeId,
+        token: u64,
+        corr: Option<CorrId>,
+    ) {
+        let stale = self.stale_records.contains(&target);
+        if stale {
+            let me = ctx.self_id().raw();
+            self.shared.update(|s| s.stale_answers += 1);
+            ctx.trace().emit(ctx.now(), || TraceEvent::StaleAnswer {
+                tracker: me,
+                target: target.raw(),
+            });
+        }
+        self.send_traced(
+            ctx,
+            requester,
+            reply_node,
+            &Wire::Located {
+                target,
+                node,
+                stale,
+                token,
+                corr,
+            },
+        );
+    }
+
+    /// Recomputes where this tracker's replica should live: the sibling
+    /// leaf under the current tree, falling back to the standby. A buddy
+    /// change marks the set dirty, so splits and merges transfer
+    /// replication duty with a prompt full snapshot.
+    fn refresh_buddy(&mut self, ctx: &AgentCtx<'_>) {
+        if self.config.replication_interval.is_none() {
+            return;
+        }
+        let buddy = self.hf.buddy_of(ctx.self_id()).or(self.standby);
+        self.replicator.set_buddy(buddy);
+    }
+
+    /// Periodic replication driver: cuts and sends a full-snapshot batch
+    /// to the buddy when one is due (dirty + interval elapsed, or an
+    /// unacked batch overdue for retry).
+    fn maybe_replicate(&mut self, ctx: &mut AgentCtx<'_>) {
+        let Some(interval) = self.config.replication_interval else {
+            return;
+        };
+        // Nothing authoritative to sync before the first install, and a
+        // recovering tracker must not sync under a not-yet-granted epoch.
+        if !self.installed
+            || matches!(
+                self.recovery.as_ref().map(|r| r.phase),
+                Some(RecoveryPhase::AwaitEpoch | RecoveryPhase::AwaitReplica)
+            )
+        {
+            return;
+        }
+        self.refresh_buddy(ctx);
+        if !self
+            .replicator
+            .due(ctx.now(), interval, self.config.replication_retry)
+        {
+            return;
+        }
+        let Some((buddy, buddy_node)) = self.replicator.buddy else {
+            return;
+        };
+        let epoch = self.replicator.epoch;
+        let seq = self.replicator.cut_batch(ctx.now());
+        let records: Vec<(AgentId, NodeId)> = self.records.iter().map(|(&a, &n)| (a, n)).collect();
+        let rate = self.stats.rate_per_sec(ctx.now());
+        let me = ctx.self_id().raw();
+        let count = records.len();
+        self.shared.update(|s| s.record_syncs += 1);
+        ctx.trace().emit(ctx.now(), || TraceEvent::RecordSync {
+            tracker: me,
+            buddy: buddy.raw(),
+            records: count,
+            epoch,
+        });
+        let reply_node = ctx.node();
+        ctx.send(
+            buddy,
+            buddy_node,
+            Wire::RecordSync {
+                epoch,
+                seq,
+                records,
+                rate,
+                reply_node,
+            }
+            .payload(),
+        );
+    }
+
+    /// Drives the recovery phase machine from the periodic timer: retries
+    /// lost epoch requests / replica pulls, and ends recovery on
+    /// convergence (no stale records left) or timeout.
+    fn drive_recovery(&mut self, ctx: &mut AgentCtx<'_>) {
+        let Some(rec) = &mut self.recovery else {
+            return;
+        };
+        let now = ctx.now();
+        let retry = self.config.replication_retry;
+        match rec.phase {
+            RecoveryPhase::AwaitEpoch => {
+                if now.saturating_since(rec.last_request) >= retry {
+                    rec.last_request = now;
+                    ctx.send(self.hagent, self.hagent_node, Wire::EpochRequest.payload());
+                }
+            }
+            RecoveryPhase::AwaitReplica => {
+                if now.saturating_since(rec.last_request) >= retry {
+                    rec.last_request = now;
+                    if let Some((buddy, buddy_node)) = self.replicator.buddy {
+                        let epoch = self.replicator.epoch;
+                        let reply_node = ctx.node();
+                        ctx.send(
+                            buddy,
+                            buddy_node,
+                            Wire::ReplicaPull { epoch, reply_node }.payload(),
+                        );
+                    }
+                }
+            }
+            RecoveryPhase::Converging => {}
+        }
+        self.finish_recovery_if_due(ctx);
+    }
+
+    /// Ends recovery the moment it is due: the record set converged (the
+    /// phase reached `Converging` and no stale tags remain) or the
+    /// recovery timeout expired. Called from the periodic timer and
+    /// eagerly from every event that can clear the last stale tag, so
+    /// measured recovery times reflect actual convergence rather than the
+    /// check-tick quantum.
+    fn finish_recovery_if_due(&mut self, ctx: &mut AgentCtx<'_>) {
+        let Some(rec) = &self.recovery else {
+            return;
+        };
+        let now = ctx.now();
+        let converged = rec.phase == RecoveryPhase::Converging && self.stale_records.is_empty();
+        let timed_out = now.saturating_since(rec.started) >= self.config.recovery_timeout;
+        if converged || timed_out {
+            let recovered = rec.recovered;
+            let stale_left = self.stale_records.len();
+            let me = ctx.self_id().raw();
+            ctx.trace().emit(now, || TraceEvent::RecoveryEnd {
+                tracker: me,
+                recovered,
+                stale_left,
+            });
+            self.shared.update(|s| s.recoveries_completed += 1);
+            // Whatever is still unconfirmed stays as a best-effort record —
+            // no worse than any normal record, which is also just the last
+            // reported node — but loses its stale tag.
+            self.stale_records.clear();
+            self.recovery = None;
+            self.flush_pending(ctx);
+        }
     }
 }
 
@@ -528,7 +732,26 @@ impl Agent for IAgentBehavior {
             self.unplaced.clear();
             self.origin_counts.clear();
             self.stats.reset(ctx.now());
+            // Replica copies held for buddies died with the soft state
+            // too; their owners keep syncing and will repopulate them.
+            self.replica_store.clear();
+            self.stale_records.clear();
+            self.recovery = None;
+            if self.config.replication_interval.is_some() && self.installed {
+                // Enter recovery: fence with a fresh epoch from the
+                // HAgent, pull the buddy's replica, and answer locates in
+                // degraded mode until the record set converges.
+                self.recovery = Some(RecoveryState::new(ctx.now()));
+                let me = ctx.self_id().raw();
+                self.shared.update(|s| s.recoveries_started += 1);
+                ctx.trace()
+                    .emit(ctx.now(), || TraceEvent::RecoveryStart { tracker: me });
+                self.send_hagent(ctx, &Wire::EpochRequest);
+            }
         }
+        // Any replication batch in flight died with the node; mark dirty so
+        // the surviving (or recovered) record set is re-synced.
+        self.replicator.mark_dirty();
         // The hash-function copy is treated as recoverable (re-read from
         // stable store on boot); whatever it missed while down, lazy
         // refresh or the version audit repairs. In-flight control state
@@ -568,6 +791,8 @@ impl Agent for IAgentBehavior {
             });
         }
         self.flush_pending(ctx);
+        self.maybe_replicate(ctx);
+        self.drive_recovery(ctx);
         // Unplaced handoff records must not wait forever: if the refetch
         // reply was lost (or bounced off our old node after a locality
         // migration), ask again.
@@ -680,6 +905,18 @@ impl Agent for IAgentBehavior {
             self.buffer_mail(ctx, _to, from, data);
             return;
         }
+        // A re-registration solicit bounced: the resurrected record points
+        // at a node its agent has left (or the agent is gone for good).
+        // Drop it rather than keep serving a known-bad location.
+        if let Some(Wire::SolicitReregister) = Wire::from_payload(payload) {
+            if self.stale_records.remove(&_to) {
+                self.records.remove(&_to);
+                self.stats.forget(_to);
+                self.replicator.mark_dirty();
+                self.finish_recovery_if_due(ctx);
+            }
+            return;
+        }
         // Only bounced handoffs need recovery (the destination IAgent was
         // merged away mid-flight): refetch the hash function and
         // re-dispatch. Replies to clients that moved or died are dropped —
@@ -712,9 +949,13 @@ impl IAgentBehavior {
                 self.note_origin(node);
                 if self.installed && self.is_mine(ctx, agent) {
                     self.records.insert(agent, node);
+                    // A fresh registration reconfirms a recovered record.
+                    self.stale_records.remove(&agent);
+                    self.replicator.mark_dirty();
                     ctx.send(from, node, Wire::RegisterAck { agent }.payload());
                     self.flush_pending(ctx);
                     self.flush_mail_for(ctx, agent);
+                    self.finish_recovery_if_due(ctx);
                 } else {
                     self.shared.update(|s| s.stale_hits += 1);
                     ctx.send(
@@ -736,7 +977,11 @@ impl IAgentBehavior {
                 self.note_origin(node);
                 if self.installed && self.is_mine(ctx, agent) {
                     self.records.insert(agent, node);
+                    self.stale_records.remove(&agent);
+                    self.replicator.mark_dirty();
+                    self.flush_pending(ctx);
                     self.flush_mail_for(ctx, agent);
+                    self.finish_recovery_if_due(ctx);
                 } else {
                     self.shared.update(|s| s.stale_hits += 1);
                     ctx.send(
@@ -763,26 +1008,23 @@ impl IAgentBehavior {
                 self.note_origin(reply_node);
                 if self.installed && self.is_mine(ctx, target) {
                     if let Some(&node) = self.records.get(&target) {
-                        self.send_traced(
-                            ctx,
-                            from,
-                            reply_node,
-                            &Wire::Located {
-                                target,
-                                node,
-                                token,
-                                corr,
-                            },
-                        );
+                        self.answer_located(ctx, from, reply_node, target, node, token, corr);
                     } else {
                         // Possibly a handoff in flight: buffer briefly.
+                        // While recovering, hold until recovery ends — a
+                        // late degraded answer beats a premature NotFound.
+                        let normal = ctx.now() + self.config.pending_timeout;
+                        let deadline = match &self.recovery {
+                            Some(rec) => normal.max(rec.started + self.config.recovery_timeout),
+                            None => normal,
+                        };
                         self.pending.push(PendingLocate {
                             target,
                             requester: from,
                             reply_node,
                             token,
                             corr,
-                            deadline: ctx.now() + self.config.pending_timeout,
+                            deadline,
                         });
                     }
                 } else {
@@ -837,7 +1079,10 @@ impl IAgentBehavior {
                 self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
                 self.records.remove(&agent);
+                self.stale_records.remove(&agent);
+                self.replicator.mark_dirty();
                 self.stats.forget(agent);
+                self.finish_recovery_if_due(ctx);
                 self.maybe_request_split(ctx);
             }
             Wire::InstallHashFn { hf } => self.install(ctx, hf),
@@ -849,6 +1094,9 @@ impl IAgentBehavior {
                     .into_iter()
                     .partition(|&(agent, _)| self.installed && self.is_mine(ctx, agent));
                 let agents: Vec<AgentId> = mine.iter().map(|&(a, _)| a).collect();
+                if !agents.is_empty() {
+                    self.replicator.mark_dirty();
+                }
                 for (agent, node) in mine {
                     // A direct update that already landed here is fresher
                     // than the handed-off record.
@@ -875,6 +1123,124 @@ impl IAgentBehavior {
                     let unplaced = std::mem::take(&mut self.unplaced);
                     self.dispatch_handoffs(ctx, unplaced);
                 }
+            }
+            Wire::RecordSync {
+                epoch,
+                seq,
+                records,
+                rate,
+                reply_node,
+            } => {
+                // Buddy duty: store the copy and ack. The replica stays in
+                // its own store — it is not ownership and must not leak
+                // into `records` or the records_held gauge.
+                self.replica_store
+                    .apply_sync(from, epoch, seq, records, rate);
+                ctx.send(
+                    from,
+                    reply_node,
+                    Wire::RecordSyncAck { epoch, seq }.payload(),
+                );
+            }
+            Wire::RecordSyncAck { epoch, seq } => {
+                self.replicator.on_ack(epoch, seq);
+            }
+            Wire::ReplicaPull {
+                epoch: _,
+                reply_node,
+            } => {
+                // Serve whatever we hold for the puller, stamped as
+                // written; the puller fences against its fresh epoch.
+                let (epoch, seq, records, rate) = match self.replica_store.get(from) {
+                    Some(e) => (
+                        e.epoch,
+                        e.seq,
+                        e.records.iter().map(|(&a, &n)| (a, n)).collect(),
+                        e.rate,
+                    ),
+                    None => (0, 0, Vec::new(), 0.0),
+                };
+                ctx.send(
+                    from,
+                    reply_node,
+                    Wire::ReplicaSet {
+                        epoch,
+                        seq,
+                        records,
+                        rate,
+                    }
+                    .payload(),
+                );
+            }
+            Wire::EpochGrant { epoch, buddy } => {
+                let now = ctx.now();
+                let Some(rec) = &mut self.recovery else {
+                    // Late duplicate grant: adopt the epoch anyway so
+                    // future syncs are stamped under the latest one.
+                    self.replicator.start_epoch(epoch);
+                    return;
+                };
+                if rec.phase != RecoveryPhase::AwaitEpoch {
+                    return; // duplicate grant mid-recovery
+                }
+                self.replicator.start_epoch(epoch);
+                match buddy {
+                    Some((b, b_node)) => {
+                        rec.phase = RecoveryPhase::AwaitReplica;
+                        rec.last_request = now;
+                        self.replicator.set_buddy(Some((b, b_node)));
+                        let reply_node = ctx.node();
+                        ctx.send(b, b_node, Wire::ReplicaPull { epoch, reply_node }.payload());
+                    }
+                    None => {
+                        // Nowhere a replica could live: converge on
+                        // re-registration traffic alone.
+                        rec.phase = RecoveryPhase::Converging;
+                        self.finish_recovery_if_due(ctx);
+                    }
+                }
+            }
+            Wire::ReplicaSet {
+                epoch,
+                seq: _,
+                records,
+                rate: _,
+            } => {
+                if !matches!(
+                    self.recovery.as_ref().map(|r| r.phase),
+                    Some(RecoveryPhase::AwaitReplica)
+                ) {
+                    return; // unsolicited or duplicate
+                }
+                let mut recovered = 0usize;
+                if replica_usable(epoch, self.replicator.epoch) {
+                    for (agent, node) in records {
+                        // Ownership filter: only records that still hash
+                        // here under the current view may be resurrected —
+                        // this is what stops a stale replica from undoing
+                        // a handoff that happened after it was written.
+                        if self.installed
+                            && self.is_mine(ctx, agent)
+                            && !self.records.contains_key(&agent)
+                        {
+                            self.records.insert(agent, node);
+                            self.stale_records.insert(agent);
+                            recovered += 1;
+                            // Ask the agent to reconfirm from wherever it
+                            // really is. Best effort: a bounce drops the
+                            // resurrected record again (see
+                            // on_delivery_failed).
+                            ctx.send(agent, node, Wire::SolicitReregister.payload());
+                        }
+                    }
+                }
+                if let Some(rec) = &mut self.recovery {
+                    rec.phase = RecoveryPhase::Converging;
+                    rec.recovered += recovered;
+                }
+                self.replicator.mark_dirty();
+                self.flush_pending(ctx);
+                self.finish_recovery_if_due(ctx);
             }
             _ => {}
         }

@@ -11,6 +11,7 @@
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
 use agentrack_sim::{CorrId, SimDuration, SimTime, TraceEvent};
 
+use crate::config::LocationConfig;
 use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::wire::{HashFunction, Wire};
 
@@ -37,6 +38,15 @@ pub struct LHAgentBehavior {
     audit: Option<SimDuration>,
     audit_timer: Option<TimerId>,
     shared: SharedSchemeStats,
+    /// How long to wait for a `HashFnCopy` reply before assuming loss.
+    fetch_timeout: SimDuration,
+    /// All-sources-dead backoff: first delay, doubling per failed round.
+    backoff_base: SimDuration,
+    /// Ceiling of the exponential backoff.
+    backoff_cap: SimDuration,
+    /// Consecutive rounds in which every source bounced; indexes the
+    /// exponential backoff, reset by any received copy.
+    failed_rounds: u32,
 }
 
 impl LHAgentBehavior {
@@ -58,7 +68,21 @@ impl LHAgentBehavior {
             audit: None,
             audit_timer: None,
             shared,
+            fetch_timeout: SimDuration::from_millis(800),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_cap: SimDuration::from_secs(2),
+            failed_rounds: 0,
         }
+    }
+
+    /// Applies the fetch timing knobs from the scheme configuration: the
+    /// reply timeout and the all-sources-dead backoff base and cap.
+    #[must_use]
+    pub fn with_timing(mut self, config: &LocationConfig) -> Self {
+        self.fetch_timeout = config.fetch_timeout;
+        self.backoff_base = config.fetch_backoff_base;
+        self.backoff_cap = config.fetch_backoff_cap;
+        self
     }
 
     /// Adds a standby HAgent to fail over to when the primary is
@@ -131,7 +155,20 @@ impl LHAgentBehavior {
         );
         // Reply-loss watchdog: if no copy arrives, the timer clears the
         // in-flight flag and retries.
-        ctx.set_timer(FETCH_TIMEOUT);
+        ctx.set_timer(self.fetch_timeout);
+    }
+
+    /// Capped exponential backoff (`base · 2^rounds`, capped) plus up to
+    /// one base interval of deterministic jitter, so co-located LHAgents
+    /// do not stampede the control plane the moment a source returns.
+    fn backoff_delay(&mut self, ctx: &mut AgentCtx<'_>) -> SimDuration {
+        let base = self.backoff_base.as_nanos().max(1);
+        let cap = self.backoff_cap.as_nanos().max(base);
+        let exp = base
+            .saturating_mul(1u64 << self.failed_rounds.min(16))
+            .min(cap);
+        let jitter = ctx.rng().next_u64() % base;
+        SimDuration::from_nanos(exp.saturating_add(jitter))
     }
 }
 
@@ -149,6 +186,7 @@ impl Agent for LHAgentBehavior {
         // every timer. The secondary copy itself is kept: it may be
         // stale, which lazy refresh (or the audit) repairs.
         self.fetch_in_flight = false;
+        self.failed_rounds = 0;
         self.waiting.clear();
         if let Some(interval) = self.audit {
             self.audit_timer = Some(ctx.set_timer(interval));
@@ -222,6 +260,7 @@ impl Agent for LHAgentBehavior {
                             self.hf.version,
                         );
                         self.fetch_in_flight = false;
+                        self.failed_rounds = 0;
                         let waiting = std::mem::take(&mut self.waiting);
                         for (requester, target, token, corr) in waiting {
                             self.answer(ctx, requester, target, token, corr);
@@ -231,6 +270,7 @@ impl Agent for LHAgentBehavior {
                         // Authoritative confirmation that our copy is
                         // current: the freshest answer that exists.
                         self.fetch_in_flight = false;
+                        self.failed_rounds = 0;
                         let waiting = std::mem::take(&mut self.waiting);
                         for (requester, target, token, corr) in waiting {
                             self.answer(ctx, requester, target, token, corr);
@@ -273,7 +313,12 @@ impl Agent for LHAgentBehavior {
                 return;
             }
             if self.current_hagent == 0 {
-                ctx.set_timer(SimDuration::from_millis(500));
+                // Every source bounced in a row: back off exponentially
+                // (with jitter) instead of hot-looping against a dead
+                // control plane; the timer retries the fetch.
+                let delay = self.backoff_delay(ctx);
+                self.failed_rounds = self.failed_rounds.saturating_add(1);
+                ctx.set_timer(delay);
             } else {
                 self.fetch(ctx);
             }
@@ -288,7 +333,9 @@ impl Agent for LHAgentBehavior {
             }
             return;
         }
-        if self.fetch_in_flight && ctx.now().saturating_since(self.fetch_sent_at) >= FETCH_TIMEOUT {
+        if self.fetch_in_flight
+            && ctx.now().saturating_since(self.fetch_sent_at) >= self.fetch_timeout
+        {
             // The reply never came (lost, or the HAgent crashed mid-fetch):
             // try the next source.
             self.fetch_in_flight = false;
@@ -307,7 +354,3 @@ impl Agent for LHAgentBehavior {
         }
     }
 }
-
-/// How long an LHAgent waits for a `HashFnCopy` reply before assuming it
-/// was lost and retrying (possibly against a standby).
-const FETCH_TIMEOUT: SimDuration = SimDuration::from_millis(800);

@@ -47,6 +47,7 @@ mod iagent;
 mod lhagent;
 mod mailbox;
 mod plan;
+mod replica;
 mod retry;
 mod scheme;
 mod stats;
@@ -62,6 +63,9 @@ pub use iagent::IAgentBehavior;
 pub use lhagent::LHAgentBehavior;
 pub use mailbox::{MailItem, Mailbox, MAIL_MAX_HOPS};
 pub use plan::{plan_split, PlanError, SplitPlan};
+pub use replica::{
+    replica_usable, RecoveryPhase, RecoveryState, ReplicaEntry, ReplicaStore, Replicator,
+};
 pub use retry::{LocateTracker, Retry};
 pub use scheme::{
     ClientEvent, ClientFactory, CopyRole, DirectoryClient, LocationScheme, SchemeStats,

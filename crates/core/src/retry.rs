@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use agentrack_platform::{AgentCtx, AgentId, TimerId};
-use agentrack_sim::{SimDuration, SimTime};
+use agentrack_sim::{GiveUpCause, SimDuration, SimTime};
 
 /// What the caller should do about a locate after an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,14 @@ pub enum Retry {
         token: u64,
         /// The agent that could not be located.
         target: AgentId,
+        /// What ended the final attempt: a timeout (no answer at all) or
+        /// an explicit negative answer. Chaos runs read this off the
+        /// trace to tell dead trackers from honest "not found"s.
+        cause: GiveUpCause,
+        /// The tracker the final attempt was sent to, when known (set via
+        /// [`LocateTracker::note_tracker`]); lets the caller charge the
+        /// give-up to the per-tracker metrics row of the failing tracker.
+        tracker: Option<u64>,
     },
     /// Nothing to do (operation already finished, or stale timer).
     Nothing,
@@ -40,6 +48,8 @@ struct Op {
     target: AgentId,
     attempts: u32,
     started: SimTime,
+    /// Raw id of the tracker the current attempt was sent to, if known.
+    tracker: Option<u64>,
 }
 
 /// Tracks in-flight locate operations and their retry budgets.
@@ -65,8 +75,17 @@ impl LocateTracker {
                 target,
                 attempts: 1,
                 started: now,
+                tracker: None,
             },
         );
+    }
+
+    /// Records which tracker the current attempt of `token` was sent to,
+    /// so a give-up can be charged to that tracker's metrics.
+    pub fn note_tracker(&mut self, token: u64, tracker: u64) {
+        if let Some(op) = self.ops.get_mut(&token) {
+            op.tracker = Some(tracker);
+        }
     }
 
     /// Arms the timeout guarding the current attempt of `token`.
@@ -81,20 +100,7 @@ impl LocateTracker {
 
     /// A negative answer arrived for `token`: consume one attempt.
     pub fn on_negative(&mut self, token: u64, max_attempts: u32) -> Retry {
-        let Some(op) = self.ops.get_mut(&token) else {
-            return Retry::Nothing;
-        };
-        op.attempts += 1;
-        if op.attempts > max_attempts {
-            let target = op.target;
-            self.ops.remove(&token);
-            Retry::GiveUp { token, target }
-        } else {
-            Retry::Again {
-                token,
-                target: op.target,
-            }
-        }
+        self.consume_attempt(token, max_attempts, GiveUpCause::Negative)
     }
 
     /// A timer fired. Returns `None` if the timer was not armed by this
@@ -103,8 +109,35 @@ impl LocateTracker {
     pub fn on_timer(&mut self, timer: TimerId, max_attempts: u32) -> Option<Retry> {
         let (token, attempt) = self.timers.remove(&timer)?;
         match self.ops.get(&token) {
-            Some(op) if op.attempts == attempt => Some(self.on_negative(token, max_attempts)),
+            Some(op) if op.attempts == attempt => {
+                Some(self.consume_attempt(token, max_attempts, GiveUpCause::Timeout))
+            }
             _ => Some(Retry::Nothing),
+        }
+    }
+
+    /// Consumes one attempt of `token`; a give-up carries the cause of
+    /// the event that burned the final attempt.
+    fn consume_attempt(&mut self, token: u64, max_attempts: u32, cause: GiveUpCause) -> Retry {
+        let Some(op) = self.ops.get_mut(&token) else {
+            return Retry::Nothing;
+        };
+        op.attempts += 1;
+        if op.attempts > max_attempts {
+            let target = op.target;
+            let tracker = op.tracker;
+            self.ops.remove(&token);
+            Retry::GiveUp {
+                token,
+                target,
+                cause,
+                tracker,
+            }
+        } else {
+            Retry::Again {
+                token,
+                target: op.target,
+            }
         }
     }
 
@@ -143,6 +176,7 @@ mod tests {
     fn negative_answers_consume_the_budget() {
         let mut t = LocateTracker::new();
         t.start(1, AgentId::new(9), SimTime::ZERO);
+        t.note_tracker(1, 42);
         assert_eq!(
             t.on_negative(1, 3),
             Retry::Again {
@@ -161,7 +195,9 @@ mod tests {
             t.on_negative(1, 3),
             Retry::GiveUp {
                 token: 1,
-                target: AgentId::new(9)
+                target: AgentId::new(9),
+                cause: GiveUpCause::Negative,
+                tracker: Some(42),
             }
         );
         assert_eq!(t.on_negative(1, 3), Retry::Nothing);

@@ -31,6 +31,10 @@ pub enum ClientEvent {
         target: AgentId,
         /// Its reported node.
         node: NodeId,
+        /// `true` when the answer came from a recovering tracker's
+        /// replica-restored record (degraded mode): treat `node` as a
+        /// best-effort hint that may lag the target's true location.
+        stale: bool,
     },
     /// A locate gave up (retry budget exhausted or target unknown).
     Failed {
@@ -199,6 +203,15 @@ pub struct SchemeStats {
     pub depth_bits_total: u64,
     /// IAgent locality migrations performed (extension E9).
     pub iagent_moves: u64,
+    /// Record-replication batches sent to buddy replicas.
+    pub record_syncs: u64,
+    /// Recoveries entered by restarted trackers that lost soft state.
+    pub recoveries_started: u64,
+    /// Recoveries that ended (converged or timed out).
+    pub recoveries_completed: u64,
+    /// Locate answers served from recovered-but-unconfirmed records
+    /// (tagged `stale: true`).
+    pub stale_answers: u64,
 }
 
 /// Shared mutable scheme statistics: behaviours hold clones of this handle.

@@ -133,6 +133,39 @@ impl HashFunction {
         self.compiled.refresh(&self.tree, involved);
     }
 
+    /// The buddy replica of an IAgent: the leaf serving the key region
+    /// adjacent to the IAgent's own — reached by flipping the last valid
+    /// bit of its hyper-label. Returns `None` when the tree has a single
+    /// leaf (no sibling exists; callers fall back to the configured
+    /// standby) or when `iagent` is not a current leaf.
+    #[must_use]
+    pub fn buddy_of(&self, iagent: AgentId) -> Option<(AgentId, NodeId)> {
+        let ia = IAgentId::new(iagent.raw());
+        if self.tree.iagent_count() <= 1 || !self.tree.contains(ia) {
+            return None;
+        }
+        let hl = self.tree.hyper_label(ia).ok()?;
+        let positions = hl.valid_bit_positions();
+        let labels = hl.labels();
+        let mut raw = 0u64;
+        for (i, (pos, label)) in positions.iter().zip(labels).enumerate() {
+            let bit = if i == labels.len() - 1 {
+                !label.valid_bit()
+            } else {
+                label.valid_bit()
+            };
+            if bit {
+                raw |= 1u64 << (63 - pos);
+            }
+        }
+        let sibling = self.tree.lookup(AgentKey::new(raw));
+        if sibling == ia {
+            return None;
+        }
+        let node = *self.locations.get(&sibling)?;
+        Some((AgentId::new(sibling.raw()), node))
+    }
+
     /// Consistency check: every leaf has a directory entry and vice versa,
     /// and a current compiled directory agrees with the tree slot by slot.
     ///
@@ -297,6 +330,11 @@ pub enum Wire {
         target: AgentId,
         /// Its (last reported) node.
         node: NodeId,
+        /// `true` when the answer comes from a recovering tracker's
+        /// replica copy and has not been reconfirmed: the node is the
+        /// agent's last replicated location and may be outdated. Clients
+        /// treat it like a forwarding hint rather than ground truth.
+        stale: bool,
         /// Correlation token.
         token: u64,
         /// End-to-end id, echoed from the locate.
@@ -360,6 +398,69 @@ pub enum Wire {
         /// `(agent, last known node)` records.
         records: Vec<(AgentId, NodeId)>,
     },
+
+    // ---- record durability (replication + epoch-fenced recovery) ----
+    /// A restarted IAgent asks the HAgent for a fresh epoch before it may
+    /// pull replicated records: the bump fences out any replica written by
+    /// an earlier incarnation whose ownership has since been handed off.
+    EpochRequest,
+    /// The HAgent's answer: the requester's new epoch and its current
+    /// buddy replica (`None` when the tree has one leaf and no standby is
+    /// configured).
+    EpochGrant {
+        /// The freshly bumped epoch of the requesting IAgent.
+        epoch: u64,
+        /// Where the requester's replica lives, if anywhere.
+        buddy: Option<(AgentId, NodeId)>,
+    },
+    /// Batched replication of an IAgent's record set (and rate estimate)
+    /// to its buddy replica. Full-snapshot semantics: the buddy replaces
+    /// its copy when `(epoch, seq)` is not older than what it holds.
+    RecordSync {
+        /// The sender's current epoch.
+        epoch: u64,
+        /// Monotonic batch number within the epoch.
+        seq: u64,
+        /// `(agent, last known node)` records, the full current set.
+        records: Vec<(AgentId, NodeId)>,
+        /// The sender's observed request rate (messages/second).
+        rate: f64,
+        /// Where the ack should be sent (the sender's node).
+        reply_node: NodeId,
+    },
+    /// The buddy acknowledges a [`Wire::RecordSync`] batch.
+    RecordSyncAck {
+        /// Echoed epoch.
+        epoch: u64,
+        /// Echoed batch number.
+        seq: u64,
+    },
+    /// A recovering IAgent pulls the replica of its own records from its
+    /// buddy. `epoch` is the puller's freshly granted epoch; the buddy
+    /// answers with whatever it holds and its stamp.
+    ReplicaPull {
+        /// The puller's new epoch (diagnostics; fencing happens at the
+        /// puller, which knows both stamps).
+        epoch: u64,
+        /// Where the [`Wire::ReplicaSet`] answer should be sent.
+        reply_node: NodeId,
+    },
+    /// The buddy's answer to a [`Wire::ReplicaPull`]: the stored replica
+    /// with the epoch/seq stamp it was written under. Empty when the buddy
+    /// holds nothing for the puller.
+    ReplicaSet {
+        /// Epoch the replica was written under by the previous incarnation.
+        epoch: u64,
+        /// Last acknowledged batch number under that epoch.
+        seq: u64,
+        /// The replicated `(agent, last known node)` records.
+        records: Vec<(AgentId, NodeId)>,
+        /// The replicated rate estimate (messages/second).
+        rate: f64,
+    },
+    /// A recovering IAgent asks an agent (at its last replicated node) to
+    /// re-register, reconfirming a possibly-stale recovered record.
+    SolicitReregister,
 
     // ---- LHAgent ↔ HAgent (copy maintenance, §4.3) ----
     /// A secondary-copy holder pulls the primary copy.
@@ -460,6 +561,13 @@ impl Wire {
             Wire::IAgentMoved { .. } => "IAgentMoved",
             Wire::InstallHashFn { .. } => "InstallHashFn",
             Wire::Handoff { .. } => "Handoff",
+            Wire::EpochRequest => "EpochRequest",
+            Wire::EpochGrant { .. } => "EpochGrant",
+            Wire::RecordSync { .. } => "RecordSync",
+            Wire::RecordSyncAck { .. } => "RecordSyncAck",
+            Wire::ReplicaPull { .. } => "ReplicaPull",
+            Wire::ReplicaSet { .. } => "ReplicaSet",
+            Wire::SolicitReregister => "SolicitReregister",
             Wire::FetchHashFn { .. } => "FetchHashFn",
             Wire::HashFnCopy { .. } => "HashFnCopy",
             Wire::DeliverVia { .. } => "DeliverVia",
@@ -535,11 +643,68 @@ mod tests {
                 rate: 61.5,
                 loads: vec![(AgentId::new(5), 10)],
             },
+            Wire::Located {
+                target: AgentId::new(7),
+                node: NodeId::new(3),
+                stale: true,
+                token: 12,
+                corr: None,
+            },
+            Wire::EpochRequest,
+            Wire::EpochGrant {
+                epoch: 3,
+                buddy: Some((AgentId::new(9), NodeId::new(2))),
+            },
+            Wire::RecordSync {
+                epoch: 3,
+                seq: 17,
+                records: vec![(AgentId::new(5), NodeId::new(2))],
+                rate: 4.25,
+                reply_node: NodeId::new(1),
+            },
+            Wire::RecordSyncAck { epoch: 3, seq: 17 },
+            Wire::ReplicaPull {
+                epoch: 4,
+                reply_node: NodeId::new(1),
+            },
+            Wire::ReplicaSet {
+                epoch: 3,
+                seq: 17,
+                records: vec![(AgentId::new(5), NodeId::new(2))],
+                rate: 4.25,
+            },
+            Wire::SolicitReregister,
         ];
         for msg in messages {
             let p = msg.payload();
             assert_eq!(Wire::from_payload(&p), Some(msg));
         }
+    }
+
+    #[test]
+    fn buddy_is_the_sibling_leaf_and_symmetric_after_one_split() {
+        use agentrack_hashtree::{Side, SplitKind};
+        let mut hf = HashFunction::initial(AgentId::new(0), NodeId::new(0));
+        assert_eq!(hf.buddy_of(AgentId::new(0)), None, "single leaf: no buddy");
+        let candidates = hf.tree.split_candidates(IAgentId::new(0)).unwrap();
+        let simple = candidates
+            .iter()
+            .find(|c| matches!(c.kind, SplitKind::Simple { m: 1 }))
+            .unwrap();
+        hf.tree
+            .apply_split(simple, IAgentId::new(1), Side::Right)
+            .unwrap();
+        hf.locations.insert(IAgentId::new(1), NodeId::new(1));
+        hf.recompile();
+        assert_eq!(
+            hf.buddy_of(AgentId::new(0)),
+            Some((AgentId::new(1), NodeId::new(1)))
+        );
+        assert_eq!(
+            hf.buddy_of(AgentId::new(1)),
+            Some((AgentId::new(0), NodeId::new(0)))
+        );
+        assert_eq!(hf.buddy_of(AgentId::new(7)), None, "not a leaf");
     }
 
     #[test]

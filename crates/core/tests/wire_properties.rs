@@ -41,14 +41,20 @@ fn arb_wire() -> impl Strategy<Value = Wire> {
                 }
             }
         ),
-        (arb_agent(), arb_node(), any::<u64>(), arb_corr()).prop_map(
-            |(target, node, token, corr)| Wire::Located {
+        (
+            arb_agent(),
+            arb_node(),
+            any::<bool>(),
+            any::<u64>(),
+            arb_corr()
+        )
+            .prop_map(|(target, node, stale, token, corr)| Wire::Located {
                 target,
                 node,
+                stale,
                 token,
                 corr
-            }
-        ),
+            }),
         (arb_agent(), proptest::option::of(any::<u64>()), arb_corr())
             .prop_map(|(about, token, corr)| Wire::NotResponsible { about, token, corr }),
         // Rates are msgs/sec: non-negative, human-scale. (Extreme doubles

@@ -81,4 +81,4 @@ pub use registry::{
 pub use rng::{DurationDist, SimRng, Zipf};
 pub use station::ServiceStation;
 pub use time::{SimDuration, SimTime};
-pub use trace::{CorrId, TraceEvent, TraceRecord, TraceSink};
+pub use trace::{CorrId, GiveUpCause, TraceEvent, TraceRecord, TraceSink};

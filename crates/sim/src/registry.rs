@@ -38,6 +38,12 @@ pub struct TrackerMetrics {
     pub mail_flushed: u64,
     /// Buffered messages dropped after their TTL expired.
     pub mail_lost: u64,
+    /// Locates against this tracker abandoned because the final attempt
+    /// timed out unanswered (tracker crashed, partitioned, or saturated).
+    pub giveup_timeout: u64,
+    /// Locates against this tracker abandoned on an explicit negative
+    /// answer (`NotFound`/`NotResponsible` on the final attempt).
+    pub giveup_negative: u64,
 }
 
 impl TrackerMetrics {
@@ -192,7 +198,7 @@ impl RegistrySnapshot {
     /// Header of the per-tracker CSV produced by [`Self::to_csv`].
     pub const CSV_HEADER: &'static str = "tracker,requests,rate_per_sec,queue_depth,\
 queue_depth_peak,mailbox_occupancy,mailbox_occupancy_peak,records_held,\
-mail_buffered,mail_flushed,mail_lost";
+mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative";
 
     /// Renders the per-tracker metrics as CSV (header + one row per
     /// tracker).
@@ -203,7 +209,7 @@ mail_buffered,mail_flushed,mail_lost";
         for (id, t) in &self.trackers {
             let _ = writeln!(
                 out,
-                "{id},{},{:.3},{},{},{},{},{},{},{},{}",
+                "{id},{},{:.3},{},{},{},{},{},{},{},{},{},{}",
                 t.requests,
                 t.rate_per_sec,
                 t.queue_depth,
@@ -214,6 +220,8 @@ mail_buffered,mail_flushed,mail_lost";
                 t.mail_buffered,
                 t.mail_flushed,
                 t.mail_lost,
+                t.giveup_timeout,
+                t.giveup_negative,
             );
         }
         out
@@ -232,7 +240,8 @@ mail_buffered,mail_flushed,mail_lost";
                 "{}\n    {{\"tracker\": {id}, \"requests\": {}, \"rate_per_sec\": {:.3}, \
                  \"queue_depth\": {}, \"queue_depth_peak\": {}, \"mailbox_occupancy\": {}, \
                  \"mailbox_occupancy_peak\": {}, \"records_held\": {}, \"mail_buffered\": {}, \
-                 \"mail_flushed\": {}, \"mail_lost\": {}}}",
+                 \"mail_flushed\": {}, \"mail_lost\": {}, \"giveup_timeout\": {}, \
+                 \"giveup_negative\": {}}}",
                 if i == 0 { "" } else { "," },
                 t.requests,
                 t.rate_per_sec,
@@ -244,6 +253,8 @@ mail_buffered,mail_flushed,mail_lost";
                 t.mail_buffered,
                 t.mail_flushed,
                 t.mail_lost,
+                t.giveup_timeout,
+                t.giveup_negative,
             );
         }
         out.push_str("\n  ],\n  \"rehashes\": [");
@@ -356,6 +367,8 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some(RegistrySnapshot::CSV_HEADER));
         assert!(csv.contains("\n1,4,1.250,"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",0,0"));
+        assert!(a.to_json().contains("\"giveup_timeout\": 0"));
         assert!(csv.contains("\n2,10,"));
         let json = a.to_json();
         assert!(json.contains("\"rate_per_sec\": 1.250"));

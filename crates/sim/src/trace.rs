@@ -155,6 +155,8 @@ pub enum TraceEvent {
         target: u64,
         /// Attempts made before giving up.
         attempts: u32,
+        /// What ended the final attempt: a timeout or a negative answer.
+        cause: GiveUpCause,
     },
     /// An agent rotated away from an unresponsive hash-function source
     /// to the next replica.
@@ -197,6 +199,65 @@ pub enum TraceEvent {
         /// Static fault-kind name.
         kind: &'static str,
     },
+    /// A tracker replicated a batch of its location records to its buddy
+    /// replica.
+    RecordSync {
+        /// The replicating tracker (raw id).
+        tracker: u64,
+        /// The buddy holding the replica.
+        buddy: u64,
+        /// Number of records in the batch.
+        records: usize,
+        /// The tracker's epoch the batch is stamped with.
+        epoch: u64,
+    },
+    /// A restarted tracker lost its soft state and entered recovery: it
+    /// will pull its buddy's replica and answer in degraded mode until
+    /// the record set converges.
+    RecoveryStart {
+        /// The recovering tracker.
+        tracker: u64,
+    },
+    /// A recovering tracker declared its record set converged (or gave up
+    /// waiting) and resumed normal answering.
+    RecoveryEnd {
+        /// The tracker that finished recovering.
+        tracker: u64,
+        /// Records recovered from the replica.
+        recovered: usize,
+        /// Replica records never reconfirmed by a fresh registration
+        /// before recovery ended.
+        stale_left: usize,
+    },
+    /// A recovering tracker answered a locate from an unconfirmed
+    /// replica record instead of reporting "not found".
+    StaleAnswer {
+        /// The answering tracker.
+        tracker: u64,
+        /// The agent whose stale location was returned.
+        target: u64,
+    },
+}
+
+/// Why a client's locate retry budget ran out: the final attempt timed
+/// out unanswered, or it drew an explicit negative answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GiveUpCause {
+    /// The last attempt got no answer before the retry timer fired.
+    Timeout,
+    /// The last attempt was answered `NotFound`/`NotResponsible`.
+    Negative,
+}
+
+impl GiveUpCause {
+    /// Static label for trace rendering and CSV columns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GiveUpCause::Timeout => "timeout",
+            GiveUpCause::Negative => "negative",
+        }
+    }
 }
 
 impl TraceEvent {

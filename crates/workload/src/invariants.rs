@@ -16,6 +16,11 @@
 //!   by two IAgents after the tree settles.
 //! * **Mail accounting** — a fault-free, loss-free run must lose no
 //!   guaranteed-delivery mail.
+//! * **Recovery convergence** — every recovery a restarted tracker
+//!   entered must have finished by quiesce (the recovery timeout bounds
+//!   it); a tracker stuck recovering would answer stale forever. Together
+//!   with locatability this is the durability guarantee: no agent stays
+//!   permanently unlocatable after its tracker crashes and restarts.
 //!
 //! Checks that a fault plan makes undecidable (e.g. locatability of agents
 //! stranded on a node that never restarts) are narrowed to the reachable
@@ -59,6 +64,12 @@ pub struct InvariantReport {
     pub live_agents: usize,
     /// Guaranteed-delivery messages lost to mailbox expiry.
     pub mail_lost: u64,
+    /// Recoveries entered by restarted trackers over the whole run.
+    pub recoveries_started: u64,
+    /// Recoveries that converged or timed out.
+    pub recoveries_completed: u64,
+    /// Degraded-mode (stale) locate answers served during recoveries.
+    pub stale_answers: u64,
     /// Human-readable invariant violations; empty means the run passed.
     pub violations: Vec<String>,
 }
@@ -287,6 +298,19 @@ pub(crate) fn check(
         ));
     }
 
+    // -- Recovery convergence --------------------------------------------
+    // Recovery is bounded by its timeout, so by the time the audit runs
+    // every recovery that started must have declared RecoveryEnd. One that
+    // has not is wedged in degraded mode, answering stale indefinitely.
+    let stats = scheme.stats();
+    if stats.recoveries_started > stats.recoveries_completed {
+        violations.push(format!(
+            "{} of {} tracker recoveries still unfinished at quiesce",
+            stats.recoveries_started - stats.recoveries_completed,
+            stats.recoveries_started
+        ));
+    }
+
     InvariantReport {
         probed,
         located,
@@ -296,6 +320,9 @@ pub(crate) fn check(
         records_held,
         live_agents,
         mail_lost: report.mail_lost,
+        recoveries_started: stats.recoveries_started,
+        recoveries_completed: stats.recoveries_completed,
+        stale_answers: stats.stale_answers,
         violations,
     }
 }

@@ -246,6 +246,34 @@ impl Scenario {
         (report, invariants)
     }
 
+    /// Like [`Scenario::run_chaos`] with a structured [`TraceSink`]
+    /// installed for the whole run (fault phase and audit alike). Keep a
+    /// clone of the sink to read the records afterwards — e.g. pair
+    /// [`agentrack_sim::TraceEvent::RecoveryStart`] /
+    /// [`agentrack_sim::TraceEvent::RecoveryEnd`] per tracker to measure
+    /// recovery times, or count `StaleAnswer` events per scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Scenario::run`].
+    pub fn run_chaos_traced(
+        &self,
+        scheme: &mut dyn LocationScheme,
+        strict_versions: bool,
+        sink: TraceSink,
+    ) -> (ScenarioReport, InvariantReport) {
+        let (report, _samples, mut platform, tagents) = self.run_full(scheme, None, sink);
+        let invariants = invariants::check(
+            self,
+            scheme,
+            &mut platform,
+            &tagents,
+            &report,
+            strict_versions,
+        );
+        (report, invariants)
+    }
+
     fn run_inner(
         &self,
         scheme: &mut dyn LocationScheme,
@@ -457,6 +485,10 @@ impl Scenario {
             mail_buffered,
             mail_flushed,
             mail_lost,
+            record_syncs: scheme_stats.record_syncs,
+            recoveries_started: scheme_stats.recoveries_started,
+            recoveries_completed: scheme_stats.recoveries_completed,
+            stale_answers: scheme_stats.stale_answers,
             trace_dropped,
             samples_retained: samples.len() as u64,
             samples_seen: m.samples_seen,
@@ -533,6 +565,16 @@ pub struct ScenarioReport {
     /// Buffered messages dropped after their TTL expired (silent loss
     /// made visible).
     pub mail_lost: u64,
+    /// Replication batches shipped to buddy replicas (hashed scheme with
+    /// replication enabled).
+    pub record_syncs: u64,
+    /// Recoveries entered by restarted trackers that lost soft state.
+    pub recoveries_started: u64,
+    /// Recoveries that converged (or timed out) and resumed normal
+    /// answering.
+    pub recoveries_completed: u64,
+    /// Degraded-mode `Located{stale}` answers served during recovery.
+    pub stale_answers: u64,
     /// Trace records dropped because the [`TraceSink`] ring overflowed
     /// (zero when tracing is disabled or the ring was large enough).
     pub trace_dropped: u64,
