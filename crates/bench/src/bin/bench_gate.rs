@@ -18,6 +18,22 @@
 //!
 //! A baseline id missing from the current results fails the gate: a
 //! renamed or deleted bench must update the baseline in the same change.
+//!
+//! The gate serves two baseline files. The default pair above guards the
+//! compiled-lookup micro-benchmarks; the live-runtime smoke gate runs the
+//! same binary against the second pair:
+//!
+//! ```text
+//! bench_gate --baseline results/bench_live_baseline.json --current BENCH_live.json
+//! ```
+//!
+//! where `BENCH_live.json` is written by `live_bench` (ids `live/locate`,
+//! `live/move`, `live/post`, ns derived from measured throughput). That
+//! gate runs with `BENCH_GATE_TOLERANCE=4.0`: whole-runtime throughput on
+//! shared runners swings more than a micro-bench, and the failures it
+//! exists to catch (a broken route cache, a re-serialised registry) are
+//! 5-20x. Refresh that baseline by re-running the smoke command from
+//! `results/bench_live_baseline.json` and copying the results array.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

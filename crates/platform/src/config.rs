@@ -86,9 +86,111 @@ impl PlatformConfig {
     }
 }
 
+/// Tuning knobs of the live (threaded) runtime's hot paths.
+///
+/// These control throughput mechanics only — *semantics* (delivery,
+/// bounce, migration, timers) are identical at every setting, which is
+/// what lets the million-agent bench flip them per arm and attribute the
+/// difference to the mechanism rather than the workload.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_platform::LiveConfig;
+///
+/// // The pre-sharding, pre-batching runtime, as a bench ablation arm:
+/// let flat = LiveConfig::default().with_shards(1).with_batch_max(1);
+/// assert_eq!(flat.effective_shards(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveConfig {
+    /// Number of registry shards; rounded up to a power of two. `0`
+    /// means auto (currently 1024 — small enough that the generation
+    /// array stays cache-resident, large enough that a migration
+    /// invalidates ~0.1% of cached routes). `1` reproduces the old
+    /// single-`RwLock` registry.
+    pub shards: usize,
+    /// Maximum `Deliver` messages coalesced into one `DeliverBatch`
+    /// channel operation per destination node (default 64). `1` disables
+    /// coalescing: every message is its own channel op, as before.
+    /// Batches always flush when a sender goes idle, so a lone message
+    /// never waits for the cap.
+    pub batch_max: usize,
+    /// Upper bound on messages a node thread drains per wake-up before
+    /// it flushes its own outgoing batches and re-checks timers
+    /// (default 256). Bounds both timer latency and batch residency.
+    pub drain_budget: usize,
+    /// log2 of the per-handle route-cache slot count (default 20, i.e.
+    /// one million direct-mapped `(agent, node, generation)` entries —
+    /// 24 MiB). `0` disables the cache so every lookup takes the
+    /// sharded-lock path.
+    pub route_cache_bits: u8,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            shards: 0,
+            batch_max: 64,
+            drain_budget: 256,
+            route_cache_bits: 20,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Sets the registry shard count (`0` = auto).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-destination coalescing cap (`1` disables batching).
+    #[must_use]
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Sets the per-wake-up drain budget.
+    #[must_use]
+    pub fn with_drain_budget(mut self, drain_budget: usize) -> Self {
+        self.drain_budget = drain_budget.max(1);
+        self
+    }
+
+    /// Sets the route-cache size as a power of two (`0` disables it).
+    #[must_use]
+    pub fn with_route_cache_bits(mut self, bits: u8) -> Self {
+        self.route_cache_bits = bits.min(30);
+        self
+    }
+
+    /// The shard count actually used: `shards` rounded up to a power of
+    /// two, with `0` resolved to the 1024-shard default.
+    #[must_use]
+    pub fn effective_shards(&self) -> usize {
+        match self.shards {
+            0 => 1024,
+            n => n.next_power_of_two(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn live_config_defaults_and_rounding() {
+        let c = LiveConfig::default();
+        assert_eq!(c.effective_shards(), 1024);
+        assert_eq!(c.batch_max, 64);
+        assert_eq!(LiveConfig::default().with_shards(7).effective_shards(), 8);
+        assert_eq!(LiveConfig::default().with_shards(1).effective_shards(), 1);
+        assert_eq!(LiveConfig::default().with_batch_max(0).batch_max, 1);
+    }
 
     #[test]
     fn builder_setters() {

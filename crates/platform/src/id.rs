@@ -25,6 +25,28 @@ impl AgentId {
     pub const fn raw(&self) -> u64 {
         self.0
     }
+
+    /// Picks a shard for this id out of `mask + 1` shards (`mask` must be
+    /// a power of two minus one).
+    ///
+    /// Runtimes allocate ids *sequentially*, so taking the low bits
+    /// directly — or hashing through `std::hash::Hash`, whose `u64`
+    /// implementation is identity-like under `SipHash` only after paying
+    /// for the full keyed permutation — is either pathological or slow.
+    /// Instead this performs one Fibonacci multiplication (the golden
+    /// ratio's 64-bit fixed-point, `0x9E37_79B9_7F4A_7C15`) and keeps the
+    /// *high* half of the product, which is where sequential inputs end
+    /// up equidistributed. One `mul` + one shift + one `and`: cheap
+    /// enough for every message hop.
+    #[must_use]
+    pub const fn shard_of(self, mask: u64) -> usize {
+        debug_assert!(
+            mask == u64::MAX || (mask + 1).is_power_of_two(),
+            "mask must be 2^k - 1"
+        );
+        let h = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) & mask) as usize
+    }
 }
 
 impl From<u64> for AgentId {
@@ -94,5 +116,57 @@ mod tests {
         let id = TimerId::new(3);
         assert_eq!(id.raw(), 3);
         assert_eq!(id.to_string(), "timer3");
+    }
+
+    #[test]
+    fn shard_of_is_stable() {
+        // A pure function of the id: repeated calls agree, and the
+        // snapshot below pins the mixing constant — changing it silently
+        // would reshuffle every shard in a persisted deployment.
+        for raw in [0u64, 1, 2, 1 << 40, u64::MAX - 1] {
+            let id = AgentId::new(raw);
+            assert_eq!(id.shard_of(1023), id.shard_of(1023));
+        }
+        assert_eq!(AgentId::new(0).shard_of(1023), 0);
+        assert_eq!(AgentId::new(1).shard_of(1023), 441);
+        assert_eq!(AgentId::new(2).shard_of(1023), 882);
+    }
+
+    #[test]
+    fn shard_of_is_uniform_over_sequential_ids() {
+        // Sequential ids are the runtime's actual allocation pattern.
+        // Without mixing, `id % shards` would stripe them; with SipHash
+        // they would be uniform but slow. Fibonacci multiplication must
+        // keep every shard within 20% of the ideal share across 1M ids,
+        // for both a small and a large shard count.
+        for shards in [8usize, 64, 1024] {
+            let mask = (shards - 1) as u64;
+            let mut counts = vec![0u64; shards];
+            for raw in 0..1_000_000u64 {
+                counts[AgentId::new(raw).shard_of(mask)] += 1;
+            }
+            let ideal = 1_000_000.0 / shards as f64;
+            for (shard, &n) in counts.iter().enumerate() {
+                assert!(
+                    (n as f64) > ideal * 0.8 && (n as f64) < ideal * 1.2,
+                    "shard {shard}/{shards}: {n} ids vs ideal {ideal:.0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_low_ids_do_not_collapse() {
+        // The first few hundred ids (the platform agents that exist in
+        // every deployment) must already spread: no single shard may
+        // capture more than a quarter of the first 256 ids at 64 shards.
+        let mut counts = [0u32; 64];
+        for raw in 0..256u64 {
+            counts[AgentId::new(raw).shard_of(63)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&n| n <= 64),
+            "low ids collapsed: {counts:?}"
+        );
     }
 }

@@ -71,9 +71,9 @@ mod runtime;
 mod spawner;
 
 pub use agent::{Agent, AgentCtx};
-pub use config::PlatformConfig;
+pub use config::{LiveConfig, PlatformConfig};
 pub use id::{AgentId, TimerId};
-pub use live::{LivePlatform, LiveStats};
+pub use live::{LiveHandle, LivePlatform, LiveStats, RouteCache};
 pub use payload::{DecodeError, Payload};
 pub use runtime::{AgentState, MsgTrace, MsgTracer, PlatformStats, SimPlatform};
 pub use spawner::Spawner;

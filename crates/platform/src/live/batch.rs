@@ -1,0 +1,98 @@
+//! Outbound message coalescing: many `Deliver`s, one channel operation.
+//!
+//! Every cross-node message used to be its own channel send — a full
+//! synchronised queue operation (plus, on the `mpsc`-backed vendored
+//! channel, an allocation) per message. At millions of messages per
+//! second the channel machinery, not the handlers, was the live
+//! runtime's wire cost. An [`OutBatch`] gives each sending thread (node
+//! loops and external [`LiveHandle`](super::LiveHandle)s) a private
+//! per-destination buffer: `Deliver`s accumulate and ship as one
+//! [`NodeMsg::DeliverBatch`](super::NodeMsg) when either
+//!
+//! * the buffer reaches the size cap ([`LiveConfig::batch_max`]), or
+//! * the sender goes idle (a node loop finishing its drain burst, a
+//!   handle calling [`flush`](OutBatch::flush) or being dropped),
+//!
+//! so a lone message still leaves immediately after the burst that
+//! produced it — batching trades *no* latency floor, only per-message
+//! channel overhead. A cap of 1 short-circuits the buffer entirely and
+//! reproduces the old one-send-per-message behaviour for ablation runs.
+//!
+//! Only `Deliver` traffic batches. `Welcome` (migrations) carries a boxed
+//! behaviour and is latency-critical for the `InTransit` window;
+//! `Failure` and `TimerHop` are rare. Keeping them as singleton messages
+//! also preserves their ordering relative to the batches that precede
+//! them, because a sender always flushes its buffer for a destination
+//! before sending that destination a non-batchable message (see
+//! [`OutBatch::flush_node`]).
+
+use agentrack_sim::NodeId;
+
+use crate::id::AgentId;
+use crate::payload::Payload;
+
+use super::Shared;
+
+/// One queued message: the wire form of `Action::Send` / `post`.
+#[derive(Debug)]
+pub(crate) struct DeliverItem {
+    pub to: AgentId,
+    pub from: AgentId,
+    pub payload: Payload,
+}
+
+/// A per-sender, per-destination buffer of outgoing `Deliver`s.
+pub(crate) struct OutBatch {
+    per_node: Vec<Vec<DeliverItem>>,
+    cap: usize,
+}
+
+impl OutBatch {
+    pub(crate) fn new(node_count: usize, cap: usize) -> Self {
+        OutBatch {
+            per_node: (0..node_count).map(|_| Vec::new()).collect(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Queues one message for `dest`, shipping the buffer if it reaches
+    /// the cap. With `cap == 1` this degenerates to an immediate send.
+    pub(crate) fn push(&mut self, shared: &Shared, dest: NodeId, item: DeliverItem) {
+        if self.cap == 1 {
+            shared.ship(dest, vec![item]);
+            return;
+        }
+        let buf = &mut self.per_node[dest.index()];
+        buf.push(item);
+        if buf.len() >= self.cap {
+            let batch = std::mem::take(buf);
+            shared.ship(dest, batch);
+        }
+    }
+
+    /// Ships whatever is queued for `dest` (called before sending that
+    /// destination a non-batchable message, to preserve ordering).
+    pub(crate) fn flush_node(&mut self, shared: &Shared, dest: NodeId) {
+        let buf = &mut self.per_node[dest.index()];
+        if !buf.is_empty() {
+            let batch = std::mem::take(buf);
+            shared.ship(dest, batch);
+        }
+    }
+
+    /// Ships everything queued — the flush-on-idle half of the policy.
+    pub(crate) fn flush(&mut self, shared: &Shared) {
+        for i in 0..self.per_node.len() {
+            self.flush_node(shared, NodeId::new(i as u32));
+        }
+    }
+}
+
+impl std::fmt::Debug for OutBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutBatch")
+            .field("cap", &self.cap)
+            .field("queued", &self.per_node.iter().map(Vec::len).sum::<usize>())
+            .finish()
+    }
+}

@@ -1,0 +1,196 @@
+//! The sharded whereabouts registry: the live runtime's answer to "where
+//! is agent X *right now*".
+//!
+//! The original registry was one `RwLock<HashMap<AgentId, Whereabouts>>`.
+//! Every lookup, spawn, migration and disposal — from every node thread
+//! and every external driver — serialised on that lock's cache line,
+//! which capped the whole runtime at single-lock throughput long before
+//! any real work saturated. [`ShardedRegistry`] splits the map into a
+//! power-of-two number of independently locked shards selected by
+//! [`AgentId::shard_of`], so uncontended traffic scales with the shard
+//! count and a migration only ever touches the two shards it names
+//! (source whereabouts and destination whereabouts live under the same
+//! agent id, so in fact exactly one).
+//!
+//! Each shard also carries a **generation counter**, bumped after every
+//! mutation of that shard, in the same spirit as the generation stamp on
+//! `hashtree`'s compiled directory: a cheap, lock-free way for cached
+//! derivatives (the per-handle [`RouteCache`](super::route_cache::RouteCache))
+//! to prove a cached route is still current. Agents that haven't moved —
+//! more precisely, whose *shard* hasn't seen a write — revalidate with
+//! one relaxed atomic load and zero lock traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use agentrack_sim::NodeId;
+
+use crate::id::AgentId;
+
+/// Where the registry believes an agent is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Whereabouts {
+    Creating(NodeId),
+    Active(NodeId),
+    InTransit(NodeId),
+}
+
+impl Whereabouts {
+    /// The node this belief points at, whatever the lifecycle phase.
+    pub(crate) fn node(self) -> NodeId {
+        match self {
+            Whereabouts::Creating(n) | Whereabouts::Active(n) | Whereabouts::InTransit(n) => n,
+        }
+    }
+}
+
+/// A power-of-two-sharded `AgentId -> Whereabouts` map with per-shard
+/// generation stamps.
+///
+/// The generation counters live in their own dense array rather than
+/// inside the shard structs: revalidating a cached route touches only a
+/// `shard_count * 8`-byte region that stays resident in L2 even at tens
+/// of thousands of shards, instead of pulling in one sparsely-used cache
+/// line per shard.
+pub(crate) struct ShardedRegistry {
+    maps: Box<[RwLock<HashMap<AgentId, Whereabouts>>]>,
+    /// One generation per shard, bumped *while the write lock is held*,
+    /// after every mutation. Readers snapshot it before taking the read
+    /// lock; a cached value tagged with generation `g` is proven current
+    /// by `gen() == g`. The scheme is conservative: a bump can invalidate
+    /// entries that a concurrent reader cached fresh, never the reverse.
+    gens: Box<[AtomicU64]>,
+    mask: u64,
+}
+
+impl ShardedRegistry {
+    /// Creates a registry with `shard_count` shards (rounded up to a
+    /// power of two, minimum 1).
+    pub(crate) fn new(shard_count: usize) -> Self {
+        let n = shard_count.max(1).next_power_of_two();
+        let maps = (0..n)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let gens = (0..n)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedRegistry {
+            maps,
+            gens,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards.
+    #[cfg(test)]
+    pub(crate) fn shard_count(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// The current generation of the shard holding `id` — the token a
+    /// route cache compares against to revalidate without locking.
+    #[inline]
+    pub(crate) fn shard_gen(&self, id: AgentId) -> u64 {
+        self.gens[id.shard_of(self.mask)].load(Ordering::Acquire)
+    }
+
+    /// Current belief about `id`.
+    pub(crate) fn get(&self, id: AgentId) -> Option<Whereabouts> {
+        self.maps[id.shard_of(self.mask)].read().get(&id).copied()
+    }
+
+    /// Current belief about `id`, plus the shard generation observed
+    /// *before* the read — so a `(value, gen)` pair handed to a cache can
+    /// only be stale-tagged, never fresh-tagged.
+    pub(crate) fn get_with_gen(&self, id: AgentId) -> (Option<Whereabouts>, u64) {
+        let shard = id.shard_of(self.mask);
+        let gen = self.gens[shard].load(Ordering::Acquire);
+        let w = self.maps[shard].read().get(&id).copied();
+        (w, gen)
+    }
+
+    /// Records a new belief about `id` and bumps the shard generation.
+    pub(crate) fn insert(&self, id: AgentId, w: Whereabouts) {
+        let shard = id.shard_of(self.mask);
+        let mut map = self.maps[shard].write();
+        map.insert(id, w);
+        self.gens[shard].fetch_add(1, Ordering::Release);
+    }
+
+    /// Forgets `id` (disposal, or loss with its node) and bumps the
+    /// shard generation.
+    pub(crate) fn remove(&self, id: AgentId) {
+        let shard = id.shard_of(self.mask);
+        let mut map = self.maps[shard].write();
+        map.remove(&id);
+        self.gens[shard].fetch_add(1, Ordering::Release);
+    }
+
+    /// Total number of registered agents (sums per-shard sizes; callers
+    /// use it for gauges, not synchronisation).
+    pub(crate) fn len(&self) -> usize {
+        self.maps.iter().map(|m| m.read().len()).sum()
+    }
+}
+
+impl std::fmt::Debug for ShardedRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRegistry")
+            .field("shards", &self.maps.len())
+            .field("agents", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up_and_len_sums() {
+        let r = ShardedRegistry::new(5);
+        assert_eq!(r.shard_count(), 8);
+        for raw in 0..100 {
+            r.insert(AgentId::new(raw), Whereabouts::Active(NodeId::new(0)));
+        }
+        assert_eq!(r.len(), 100);
+        r.remove(AgentId::new(7));
+        assert_eq!(r.len(), 99);
+        assert_eq!(r.get(AgentId::new(7)), None);
+        assert_eq!(
+            r.get(AgentId::new(8)),
+            Some(Whereabouts::Active(NodeId::new(0)))
+        );
+    }
+
+    #[test]
+    fn generation_bumps_only_on_the_touched_shard() {
+        let r = ShardedRegistry::new(64);
+        let a = AgentId::new(3);
+        // Find an id on a different shard than `a`.
+        let b = (0..1000)
+            .map(AgentId::new)
+            .find(|id| id.shard_of(63) != a.shard_of(63))
+            .expect("some id lands elsewhere");
+        let (ga, gb) = (r.shard_gen(a), r.shard_gen(b));
+        r.insert(a, Whereabouts::Creating(NodeId::new(1)));
+        assert_ne!(r.shard_gen(a), ga, "write must bump its own shard");
+        assert_eq!(r.shard_gen(b), gb, "write must not bump other shards");
+    }
+
+    #[test]
+    fn get_with_gen_pairs_value_and_token() {
+        let r = ShardedRegistry::new(16);
+        let id = AgentId::new(42);
+        r.insert(id, Whereabouts::Active(NodeId::new(2)));
+        let (w, gen) = r.get_with_gen(id);
+        assert_eq!(w, Some(Whereabouts::Active(NodeId::new(2))));
+        assert_eq!(gen, r.shard_gen(id), "no writes in between: token holds");
+        r.insert(id, Whereabouts::InTransit(NodeId::new(3)));
+        assert_ne!(gen, r.shard_gen(id), "a move invalidates the token");
+    }
+}

@@ -1,0 +1,362 @@
+//! Tests of the live runtime's scale machinery: sharded registry +
+//! route cache behaviour through the public API, panic containment, and
+//! the migration-vs-delivery race. Timing assertions are deliberately
+//! loose — wall clocks are not simulation clocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
+
+use agentrack_platform::{
+    Agent, AgentCtx, AgentId, LiveConfig, LivePlatform, NodeId, Payload, TimerId, TraceSink,
+};
+use agentrack_sim::{SimDuration, SimRng};
+
+/// Keeps intentional behaviour panics out of the test output while
+/// leaving every other panic (i.e. real test failures) loud.
+fn quiet_node_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_node_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("agentrack-"));
+            if !on_node_thread {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Waits (bounded) until `cond` is true.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    for _ in 0..500 {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Migrates to the node named by any `u32` payload; ignores the rest.
+struct Hopper;
+impl Agent for Hopper {
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+        if let Ok(dest) = payload.decode::<u32>() {
+            ctx.dispatch(NodeId::new(dest));
+        }
+    }
+}
+
+#[test]
+fn a_panicking_behaviour_kills_its_node_not_the_platform() {
+    quiet_node_panics();
+
+    struct Bomber;
+    impl Agent for Bomber {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, _payload: &Payload) {
+            panic!("intentional test panic: behaviour bug");
+        }
+    }
+    struct Witness {
+        bomber: AgentId,
+        bomber_node: NodeId,
+        failures: Arc<AtomicU64>,
+        echoes: Arc<AtomicU64>,
+    }
+    impl Agent for Witness {
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            if payload.decode::<String>().as_deref() == Ok("probe the dead node") {
+                ctx.send(self.bomber, self.bomber_node, Payload::encode(&"anyone?"));
+            } else {
+                self.echoes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        fn on_delivery_failed(
+            &mut self,
+            _ctx: &mut AgentCtx<'_>,
+            _to: AgentId,
+            _node: NodeId,
+            _payload: &Payload,
+        ) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let bomber = platform.spawn(Box::new(Bomber), NodeId::new(1));
+    let failures = Arc::new(AtomicU64::new(0));
+    let echoes = Arc::new(AtomicU64::new(0));
+    let witness = platform.spawn(
+        Box::new(Witness {
+            bomber,
+            bomber_node: NodeId::new(1),
+            failures: failures.clone(),
+            echoes: echoes.clone(),
+        }),
+        NodeId::new(0),
+    );
+    assert!(eventually(|| platform.stats().agents_activated == 2));
+
+    // Detonate. The node must die and take the bomber's registration.
+    assert!(platform.post(bomber, Payload::encode(&"boom")));
+    assert!(eventually(|| platform.stats().nodes_dead == 1));
+    assert!(eventually(|| platform.agent_node(bomber).is_none()));
+
+    // A pending delivery to the dead node fails back to the sender's
+    // on_delivery_failed instead of vanishing into a dead queue.
+    assert!(platform.post(witness, Payload::encode(&"probe the dead node")));
+    assert!(eventually(|| failures.load(Ordering::Relaxed) == 1));
+
+    // The surviving node keeps serving.
+    assert!(platform.post(witness, Payload::encode(&"still alive?")));
+    assert!(eventually(|| echoes.load(Ordering::Relaxed) >= 1));
+
+    // And shutdown joins every thread — no leak, no hang.
+    let stats = platform.shutdown();
+    assert_eq!(stats.nodes_dead, 1);
+    assert!(stats.messages_failed >= 1);
+}
+
+#[test]
+fn a_panicking_timer_handler_is_contained_too() {
+    quiet_node_panics();
+
+    struct TimeBomb;
+    impl Agent for TimeBomb {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10));
+        }
+        fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+            panic!("intentional test panic: timer bug");
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let bomb = platform.spawn(Box::new(TimeBomb), NodeId::new(1));
+    assert!(eventually(|| platform.stats().nodes_dead == 1));
+    assert!(eventually(|| platform.agent_node(bomb).is_none()));
+    platform.shutdown();
+}
+
+/// Satellite: migration-vs-deliver race. Several threads hammer `move`
+/// and `deliver` against the same agent; every message must either be
+/// delivered at the destination or fail observably — the runtime's
+/// counters have to reconcile exactly (sent = delivered + failed), and
+/// the agent must still be registered and responsive afterwards.
+#[test]
+fn racing_moves_and_delivers_never_silently_drop_a_message() {
+    let nodes = 4u32;
+    for seed in [0x5eed1u64, 0x5eed2, 0x5eed3] {
+        let platform = LivePlatform::with_config(
+            nodes,
+            // Small shard count and batches exercise the coalescing and
+            // cross-shard paths harder than the defaults would.
+            LiveConfig::default().with_shards(4).with_batch_max(8),
+            TraceSink::disabled(),
+        );
+        let hopper = platform.spawn(Box::new(Hopper), NodeId::new(0));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicU64::new(0));
+
+        // An agent-world sender: each timer tick fires a burst at the
+        // hopper using a *guessed* (usually wrong) node, so some sends
+        // bounce into on_delivery_failed while the hopper keeps moving.
+        struct Stresser {
+            target: AgentId,
+            nodes: u32,
+            round: u32,
+            delivered: Arc<AtomicU64>,
+            failed: Arc<AtomicU64>,
+        }
+        impl Agent for Stresser {
+            fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1));
+            }
+            fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+                for i in 0..10u32 {
+                    let guess = NodeId::new((self.round + i) % self.nodes);
+                    ctx.send(self.target, guess, Payload::encode(&"are you there?"));
+                }
+                self.round += 1;
+                if self.round < 40 {
+                    ctx.set_timer(SimDuration::from_millis(1));
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, _p: &Payload) {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_delivery_failed(
+                &mut self,
+                _ctx: &mut AgentCtx<'_>,
+                _to: AgentId,
+                _node: NodeId,
+                _payload: &Payload,
+            ) {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        platform.spawn(
+            Box::new(Stresser {
+                target: hopper,
+                nodes,
+                round: 0,
+                delivered: delivered.clone(),
+                failed: failed.clone(),
+            }),
+            NodeId::new(3),
+        );
+
+        // Meanwhile the test thread keeps the hopper migrating and lobs
+        // its own externally injected deliveries through a batched handle.
+        let mut handle = platform.handle();
+        let mut rng = SimRng::seed_from(seed);
+        for i in 0..400u32 {
+            let dest = rng.index(nodes as usize) as u32;
+            assert!(handle.post(hopper, Payload::encode(&dest)));
+            if i % 16 == 0 {
+                handle.flush();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        handle.flush();
+
+        // Quiesce: stats stop changing and the books balance exactly.
+        assert!(
+            eventually(|| {
+                let s = platform.stats();
+                s.messages_sent == s.messages_delivered + s.messages_failed
+            }),
+            "seed {seed:#x}: messages lost: {:?}",
+            platform.stats()
+        );
+        let mid = platform.stats();
+        assert!(mid.migrations > 0, "seed {seed:#x}: the hopper never moved");
+        assert!(
+            mid.messages_sent >= 400,
+            "seed {seed:#x}: sends went missing before the wire"
+        );
+
+        // The hopper survived the storm: still registered, still willing
+        // to hop when told.
+        let before = platform.stats().migrations;
+        let here = platform
+            .agent_node(hopper)
+            .expect("hopper still registered");
+        let away = NodeId::new((here.raw() + 1) % nodes);
+        assert!(platform.post(hopper, Payload::encode(&away.raw())));
+        assert!(eventually(|| platform.stats().migrations > before));
+
+        let stats = platform.shutdown();
+        assert_eq!(
+            stats.messages_sent,
+            stats.messages_delivered + stats.messages_failed,
+            "seed {seed:#x}: final books must balance: {stats:?}"
+        );
+        assert_eq!(stats.nodes_dead, 0);
+    }
+}
+
+/// The route cache answers steady-state locates without the lock path:
+/// repeat lookups of unmoved agents are cache hits, and a migration
+/// flips the generation so the next lookup re-reads the truth.
+#[test]
+fn handle_locates_are_cached_until_a_migration_invalidates() {
+    let platform = LivePlatform::new(2);
+    let a = platform.spawn(Box::new(Hopper), NodeId::new(0));
+    let b = platform.spawn(Box::new(Hopper), NodeId::new(1));
+    assert!(eventually(|| platform.stats().agents_activated == 2));
+
+    let mut handle = platform.handle();
+    assert_eq!(handle.locate(a), Some(NodeId::new(0)));
+    assert_eq!(handle.locate(b), Some(NodeId::new(1)));
+    let misses_after_first = handle.cache_misses();
+    for _ in 0..100 {
+        assert_eq!(handle.locate(a), Some(NodeId::new(0)));
+        assert_eq!(handle.locate(b), Some(NodeId::new(1)));
+    }
+    assert_eq!(
+        handle.cache_misses(),
+        misses_after_first,
+        "no agent moved: every repeat locate must be a lock-free hit"
+    );
+    assert_eq!(handle.cache_hits(), 200);
+
+    // Move `a`; the bumped shard generation must force a re-read.
+    assert!(platform.post(a, Payload::encode(&1u32)));
+    assert!(eventually(|| platform.agent_node(a) == Some(NodeId::new(1))));
+    assert!(eventually(|| handle.locate(a) == Some(NodeId::new(1))));
+    platform.shutdown();
+}
+
+/// Sanity at (modest) scale with the full machinery on: tens of
+/// thousands of agents register, activate, stay individually locatable
+/// through both lookup paths, and a batched fan-out reaches them all.
+#[test]
+fn fifty_thousand_agents_register_and_answer() {
+    struct Counter(Arc<AtomicU64>);
+    impl Agent for Counter {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, _p: &Payload) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let nodes = 4u32;
+    let count = 50_000u64;
+    let platform = LivePlatform::new(nodes);
+    let hits = Arc::new(AtomicU64::new(0));
+    let ids: Vec<AgentId> = (0..count)
+        .map(|i| {
+            platform.spawn(
+                Box::new(Counter(hits.clone())),
+                NodeId::new((i % u64::from(nodes)) as u32),
+            )
+        })
+        .collect();
+    assert!(eventually(|| platform.stats().agents_activated == count));
+    assert_eq!(platform.agent_count(), count as usize);
+
+    let mut handle = platform.handle();
+    for (i, &id) in ids.iter().enumerate() {
+        let expect = NodeId::new((i as u32) % nodes);
+        assert_eq!(handle.locate(id), Some(expect));
+        assert_eq!(platform.agent_node(id), Some(expect));
+        assert!(handle.post(id, Payload::encode(&0u8)));
+    }
+    handle.flush();
+    assert!(eventually(|| hits.load(Ordering::Relaxed) == count));
+    let stats = platform.shutdown();
+    assert_eq!(stats.messages_delivered, count);
+    assert_eq!(stats.messages_failed, 0);
+}
+
+/// The log that existing live tests use, kept here for a cross-check
+/// that `post` through the platform (unbatched path) and through a
+/// handle (batched path) deliver identically.
+#[test]
+fn platform_post_and_handle_post_agree() {
+    struct Echo(Arc<Mutex<Vec<String>>>);
+    impl Agent for Echo {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            self.0.lock().unwrap().push(payload.decode().unwrap());
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let echo = platform.spawn(Box::new(Echo(log.clone())), NodeId::new(1));
+    assert!(eventually(|| platform.stats().agents_activated == 1));
+
+    assert!(platform.post(echo, Payload::encode(&"direct")));
+    let mut handle = platform.handle();
+    assert!(handle.post(echo, Payload::encode(&"batched")));
+    handle.flush();
+    assert!(eventually(|| log.lock().unwrap().len() == 2));
+    let got = log.lock().unwrap().clone();
+    assert!(got.contains(&"direct".to_string()));
+    assert!(got.contains(&"batched".to_string()));
+    assert!(!platform.post(AgentId::new(999_999_999), Payload::encode(&"void")));
+    platform.shutdown();
+}
