@@ -121,9 +121,9 @@ pub struct LiveConfig {
     /// (default 256). Bounds both timer latency and batch residency.
     pub drain_budget: usize,
     /// log2 of the per-handle route-cache slot count (default 20, i.e.
-    /// one million direct-mapped `(agent, node, generation)` entries —
-    /// 24 MiB). `0` disables the cache so every lookup takes the
-    /// sharded-lock path.
+    /// 2^20 packed 16-byte `(agent, node, generation)` slots arranged as
+    /// 2-way sets — 16 MiB). `0` disables the cache so every lookup
+    /// takes the sharded-lock path.
     pub route_cache_bits: u8,
 }
 

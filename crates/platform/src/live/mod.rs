@@ -15,7 +15,11 @@
 //! * messages are addressed to `(agent, node)`; if the agent is not there,
 //!   the sender's `on_delivery_failed` fires;
 //! * timers follow their agent across migrations;
-//! * disposal runs `on_dispose` and drops the behaviour.
+//! * disposal runs `on_dispose` and drops the behaviour;
+//! * the books always balance: by the time [`LivePlatform::shutdown`]
+//!   returns, every message counted sent has been counted delivered or
+//!   failed — shutdown joins the node threads and then bounces whatever
+//!   was still queued behind their `Shutdown` markers.
 //!
 //! Costs differ: latencies are whatever the machine delivers (no modelled
 //! network). Runs are therefore *timing*-nondeterministic — message
@@ -51,6 +55,9 @@
 //! and future deliveries bounce back to their senders'
 //! `on_delivery_failed`, and its residents disappear from the registry
 //! (their `on_dispose` does *not* run — the node died with them).
+//! Pending timers whose agents already migrated elsewhere are not lost
+//! with the dead node's heap: they hop, deadline intact, to wherever
+//! their agent now is.
 
 mod batch;
 mod registry;
@@ -63,7 +70,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, SendError, Sender};
 
 use agentrack_sim::{NodeId, SimDuration, SimRng, SimTime, TraceSink};
 
@@ -103,10 +110,14 @@ enum NodeMsg {
         behavior: Box<dyn Agent>,
         kind: WelcomeKind,
     },
-    /// A timer that fired on another node after its agent moved here.
+    /// A timer following its agent to this node: either it fired where
+    /// the agent no longer lives, or its node died while the agent was
+    /// already elsewhere. `at` preserves the original deadline so a
+    /// forwarded unexpired timer does not fire early.
     TimerHop {
         agent: AgentId,
         timer: TimerId,
+        at: Instant,
     },
     Shutdown,
 }
@@ -167,41 +178,48 @@ impl Shared {
     }
 
     /// Ships a burst of deliveries to `dest` as one channel operation —
-    /// or bounces the lot if the destination node is dead.
+    /// or bounces the lot if the destination cannot take it.
     fn ship(&self, dest: NodeId, mut items: Vec<DeliverItem>) {
-        if self.node_dead(dest) {
-            for item in items {
-                self.fail_delivery(dest, item);
-            }
-            return;
-        }
         let msg = if items.len() == 1 {
             NodeMsg::Deliver(items.pop().expect("len checked"))
         } else {
             NodeMsg::DeliverBatch(items)
         };
-        // A send can only fail after shutdown, when losing messages is fine.
-        let _ = self.senders[dest.index()].send(msg);
+        self.send_to_node(dest, msg);
     }
 
     fn send_to_node(&self, node: NodeId, msg: NodeMsg) {
         if self.node_dead(node) {
-            match msg {
-                NodeMsg::Deliver(item) => self.fail_delivery(node, item),
-                NodeMsg::DeliverBatch(items) => {
-                    for item in items {
-                        self.fail_delivery(node, item);
-                    }
-                }
-                // A behaviour in flight to a dead node is lost with it;
-                // unregister so lookups say "gone" instead of pointing at
-                // a thread that will never answer.
-                NodeMsg::Welcome { id, .. } => self.registry.remove(id),
-                NodeMsg::Failure { .. } | NodeMsg::TimerHop { .. } | NodeMsg::Shutdown => {}
-            }
+            self.discard(node, msg);
             return;
         }
-        let _ = self.senders[node.index()].send(msg);
+        // The receiver can only be gone once the platform itself has been
+        // torn down (node threads park their receivers in their join
+        // handles until the final shutdown drain, so mere thread exit
+        // never closes a channel). Take the message back out of the
+        // error and account for it instead of losing it.
+        if let Err(SendError(msg)) = self.senders[node.index()].send(msg) {
+            self.discard(node, msg);
+        }
+    }
+
+    /// Accounts for a message that can never be processed at `node` (the
+    /// node is dead, or the platform has shut down): deliveries bounce to
+    /// their senders so `sent == delivered + failed` keeps holding, a
+    /// behaviour in flight is unregistered so lookups say "gone" instead
+    /// of pointing at a thread that will never answer, and the uncounted
+    /// rest (failure notices, timer hops, shutdown markers) is droppable.
+    fn discard(&self, node: NodeId, msg: NodeMsg) {
+        match msg {
+            NodeMsg::Deliver(item) => self.fail_delivery(node, item),
+            NodeMsg::DeliverBatch(items) => {
+                for item in items {
+                    self.fail_delivery(node, item);
+                }
+            }
+            NodeMsg::Welcome { id, .. } => self.registry.remove(id),
+            NodeMsg::Failure { .. } | NodeMsg::TimerHop { .. } | NodeMsg::Shutdown => {}
+        }
     }
 
     /// Counts a failed delivery and, for agent senders, routes the
@@ -261,7 +279,11 @@ impl Shared {
 /// ```
 pub struct LivePlatform {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    /// Each node thread returns its channel receiver when it exits, so
+    /// the channel stays open (sends keep succeeding, nothing is dropped
+    /// on the floor) until [`halt`](LivePlatform::halt) has joined the
+    /// thread and drained the backlog into the failure accounting.
+    handles: Vec<JoinHandle<Receiver<NodeMsg>>>,
     node_count: u32,
 }
 
@@ -450,14 +472,44 @@ impl LivePlatform {
     }
 
     /// Stops all node threads and returns the final statistics.
+    ///
+    /// The returned stats always reconcile: `messages_sent ==
+    /// messages_delivered + messages_failed`. Messages still queued when
+    /// a node reached its `Shutdown` marker (or that raced a dying node)
+    /// are bounced — counted failed — during the final drain.
     pub fn shutdown(mut self) -> LiveStats {
+        self.halt();
+        self.stats()
+    }
+
+    /// Sends every node its shutdown marker, joins the threads, then
+    /// drains what their channels still hold so the accounting closes.
+    fn halt(&mut self) {
+        if self.handles.is_empty() {
+            return; // already halted (shutdown() followed by Drop)
+        }
         for sender in &self.shared.senders {
             let _ = sender.send(NodeMsg::Shutdown);
         }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        let receivers: Vec<_> = self.handles.drain(..).map(JoinHandle::join).collect();
+        // All threads are gone: nothing will ever be processed again.
+        // Mark every node dead so late senders (a still-live LiveHandle,
+        // say) bounce at the send site rather than filling dead queues.
+        for dead in self.shared.dead.iter() {
+            dead.store(true, Ordering::Release);
         }
-        self.stats()
+        // Bounce the leftovers: deliveries queued behind a Shutdown (or
+        // that raced a dying node's drain) were counted sent, so they
+        // must be counted failed for the books to balance.
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let Ok(rx) = rx else {
+                continue; // the node loop itself crashed: nothing to drain
+            };
+            let node = NodeId::new(i as u32);
+            while let Ok(msg) = rx.try_recv() {
+                self.shared.discard(node, msg);
+            }
+        }
     }
 }
 
@@ -473,12 +525,7 @@ impl std::fmt::Debug for LivePlatform {
 
 impl Drop for LivePlatform {
     fn drop(&mut self) {
-        for sender in &self.shared.senders {
-            let _ = sender.send(NodeMsg::Shutdown);
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.halt();
     }
 }
 
@@ -621,7 +668,10 @@ enum Flow {
     Dead,
 }
 
-fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
+/// Runs one node until shutdown or death. Returns the channel receiver
+/// (instead of dropping it) so the platform can drain and account for
+/// whatever was still queued when the thread stopped processing.
+fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) -> Receiver<NodeMsg> {
     let mut state = NodeState {
         node,
         residents: HashMap::new(),
@@ -645,8 +695,7 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
                 })
                 .is_err()
                 {
-                    die(&shared, state, rx);
-                    return;
+                    return die(&shared, state, rx);
                 }
             } else {
                 // The agent moved (or is mid-flight): forward the timer.
@@ -656,6 +705,7 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
                         NodeMsg::TimerHop {
                             agent: t.agent,
                             timer: t.timer,
+                            at: t.at,
                         },
                     ),
                     Some(Whereabouts::InTransit(_) | Whereabouts::Creating(_)) => {
@@ -679,11 +729,11 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
             Some(t) => match rx.recv_deadline(t.at) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Disconnected) => return rx,
             },
             None => match rx.recv() {
                 Ok(msg) => msg,
-                Err(_) => return,
+                Err(_) => return rx,
             },
         };
 
@@ -696,10 +746,16 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) {
         loop {
             match process(&shared, &mut state, msg) {
                 Flow::Continue => {}
-                Flow::Shutdown => return,
+                Flow::Shutdown => {
+                    // Output queued by handlers that already completed is
+                    // real, counted traffic: ship it before exiting. What
+                    // is still *inbound* behind the Shutdown stays in the
+                    // channel for the platform's final drain.
+                    state.out.flush(&shared);
+                    return rx;
+                }
                 Flow::Dead => {
-                    die(&shared, state, rx);
-                    return;
+                    return die(&shared, state, rx);
                 }
             }
             if drained >= shared.config.drain_budget {
@@ -772,12 +828,8 @@ fn process(shared: &Arc<Shared>, state: &mut NodeState, msg: NodeMsg) -> Flow {
             }
             Flow::Continue
         }
-        NodeMsg::TimerHop { agent, timer } => {
-            state.timers.push(PendingTimer {
-                at: Instant::now(),
-                agent,
-                timer,
-            });
+        NodeMsg::TimerHop { agent, timer, at } => {
+            state.timers.push(PendingTimer { at, agent, timer });
             Flow::Continue
         }
     }
@@ -804,14 +856,17 @@ fn deliver(shared: &Arc<Shared>, state: &mut NodeState, item: DeliverItem) -> Fl
 }
 
 /// Contains a behaviour panic: marks the node dead, unregisters its
-/// residents, ships the output of *completed* handlers, and fails the
-/// queued backlog back to the senders, then lets the thread exit.
+/// residents, ships the output of *completed* handlers, hops migrated
+/// agents' pending timers to their current nodes, and fails the queued
+/// backlog back to the senders, then lets the thread exit.
 ///
 /// Draining is best-effort two-pass: senders observe the dead flag before
 /// enqueueing, so after the flag is set and the queue runs dry twice with
-/// a pause in between, any still-racing send has crossed the flag check
-/// and bounces at the sender instead.
-fn die(shared: &Arc<Shared>, mut state: NodeState, rx: Receiver<NodeMsg>) {
+/// a pause in between, a still-racing send has usually crossed the flag
+/// check and bounces at the sender instead. The rare send that slips in
+/// after the second pass is not lost — the receiver is handed back to the
+/// platform, which drains and accounts for it at shutdown.
+fn die(shared: &Arc<Shared>, mut state: NodeState, rx: Receiver<NodeMsg>) -> Receiver<NodeMsg> {
     shared.dead[state.node.index()].store(true, Ordering::Release);
     shared.counters.nodes_dead.fetch_add(1, Ordering::Relaxed);
     // Output already queued by handlers that completed normally is real:
@@ -823,23 +878,34 @@ fn die(shared: &Arc<Shared>, mut state: NodeState, rx: Receiver<NodeMsg>) {
     for id in state.residents.keys() {
         shared.registry.remove(*id);
     }
+    // Pending timers whose agents already migrated (or are in flight)
+    // elsewhere belong to agents that are still alive: hop them, with
+    // their original deadline, to wherever the agent now is. Timers of
+    // the residents just unregistered resolve to `None` and drop.
+    for t in std::mem::take(&mut state.timers) {
+        if let Some(w) = shared.registry.get(t.agent) {
+            let dest = w.node();
+            if dest != state.node && !shared.node_dead(dest) {
+                shared.send_to_node(
+                    dest,
+                    NodeMsg::TimerHop {
+                        agent: t.agent,
+                        timer: t.timer,
+                        at: t.at,
+                    },
+                );
+            }
+        }
+    }
     for round in 0..2 {
         while let Ok(msg) = rx.try_recv() {
-            match msg {
-                NodeMsg::Deliver(item) => shared.fail_delivery(state.node, item),
-                NodeMsg::DeliverBatch(items) => {
-                    for item in items {
-                        shared.fail_delivery(state.node, item);
-                    }
-                }
-                NodeMsg::Welcome { id, .. } => shared.registry.remove(id),
-                NodeMsg::Failure { .. } | NodeMsg::TimerHop { .. } | NodeMsg::Shutdown => {}
-            }
+            shared.discard(state.node, msg);
         }
         if round == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
     }
+    rx
 }
 
 /// Runs one handler and applies its requested actions.

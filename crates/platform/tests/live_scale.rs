@@ -259,6 +259,88 @@ fn racing_moves_and_delivers_never_silently_drop_a_message() {
     }
 }
 
+/// Shutdown accounting is exact even when it races in-flight traffic:
+/// whatever is still queued behind a node's `Shutdown` marker — or
+/// sitting in a sender's batch buffer — must end up counted delivered
+/// or failed, never silently dropped. No quiescing before `shutdown()`
+/// here, deliberately.
+#[test]
+fn books_balance_even_when_shutdown_races_inflight_traffic() {
+    for round in 0..8u32 {
+        let platform = LivePlatform::with_config(
+            4,
+            LiveConfig::default().with_shards(4).with_batch_max(4),
+            TraceSink::disabled(),
+        );
+        let hopper = platform.spawn(Box::new(Hopper), NodeId::new(0));
+        let mut handle = platform.handle();
+        let mut rng = SimRng::seed_from(0xace0 + u64::from(round));
+        for _ in 0..200u32 {
+            let dest = rng.index(4) as u32;
+            assert!(handle.post(hopper, Payload::encode(&dest)));
+        }
+        handle.flush();
+        // Shut down mid-storm: migrations and deliveries are in flight.
+        let stats = platform.shutdown();
+        assert_eq!(
+            stats.messages_sent,
+            stats.messages_delivered + stats.messages_failed,
+            "round {round}: shutdown lost messages: {stats:?}"
+        );
+    }
+}
+
+/// A pending timer belonging to an agent that migrated away survives its
+/// origin node dying: `die()` hops it to the agent's current node.
+#[test]
+fn a_migrated_agents_timer_survives_its_old_node_dying() {
+    quiet_node_panics();
+
+    struct Bomber;
+    impl Agent for Bomber {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, _payload: &Payload) {
+            panic!("intentional test panic: behaviour bug");
+        }
+    }
+    /// Sets a long timer at birth, then immediately migrates away —
+    /// leaving the pending timer on the node it was born on.
+    struct TimerHopper {
+        home: NodeId,
+        fired: Arc<AtomicU64>,
+    }
+    impl Agent for TimerHopper {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(150));
+            ctx.dispatch(self.home);
+        }
+        fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let platform = LivePlatform::new(2);
+    let fired = Arc::new(AtomicU64::new(0));
+    let hopper = platform.spawn(
+        Box::new(TimerHopper {
+            home: NodeId::new(0),
+            fired: fired.clone(),
+        }),
+        NodeId::new(1),
+    );
+    let bomber = platform.spawn(Box::new(Bomber), NodeId::new(1));
+    assert!(eventually(
+        || platform.agent_node(hopper) == Some(NodeId::new(0))
+    ));
+
+    // Kill node 1 while it still holds the hopper's unexpired timer.
+    assert!(platform.post(bomber, Payload::encode(&"boom")));
+    assert!(eventually(|| platform.stats().nodes_dead == 1));
+
+    // The timer must still reach the agent at its new home.
+    assert!(eventually(|| fired.load(Ordering::Relaxed) == 1));
+    platform.shutdown();
+}
+
 /// The route cache answers steady-state locates without the lock path:
 /// repeat lookups of unmoved agents are cache hits, and a migration
 /// flips the generation so the next lookup re-reads the truth.
