@@ -100,7 +100,7 @@ fn main() {
                 ));
                 return;
             }
-            Wire::SplitRequest { .. } | Wire::MergeRequest { .. } | Wire::IAgentReady => {
+            Wire::SplitRequest { .. } | Wire::MergeRequest { .. } | Wire::IAgentReady { .. } => {
                 log2.lock().unwrap().push(format!(
                     "t={t:>9.4}s {} -> {} @{} {} {:?}",
                     ev.from,

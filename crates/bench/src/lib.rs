@@ -1140,6 +1140,104 @@ pub fn recovery(fidelity: Fidelity, jobs: usize) -> Table {
     table
 }
 
+/// **E17** — flash-crowd adaptation: a 100× query-rate spike hits shortly
+/// after the measured window opens, and the directory must scale out fast
+/// enough to absorb it. The sweep crosses the rehash pipeline width —
+/// `rehash_concurrency = 1` is the single-flight ablation, the paper's
+/// serial protocol — and reports:
+///
+/// * `reconverge_ms` — time from spike start to the *last* committed
+///   split: how long the scale-out cascade takes to finish. The serial
+///   pipeline commits one rehash per commit-plus-cooldown period, so its
+///   cascade is still running when the spike ends; the pipelined arms
+///   split every overloaded subtree concurrently and converge early.
+/// * `p99_ms` — the locate tail the spike creates while trackers are
+///   saturated (the longer the scale-out, the deeper the queues).
+/// * `denied` — rehash requests bounced (`Busy`/`Cooldown`): the denial
+///   traffic the serial pipeline generates by serialising disjoint work.
+///
+/// Every cell runs the post-quiesce invariant audit (locatability,
+/// strict version convergence under a 1 s audit, single ownership).
+#[must_use]
+pub fn rehash_spike(fidelity: Fidelity, jobs: usize) -> Table {
+    use agentrack_sim::{SimTime, TraceEvent, TraceSink};
+    use agentrack_workload::QuerySpike;
+
+    let agents = fidelity.scale_agents(300);
+    let (warmup, measure) = fidelity.spans();
+    let mut table = Table::new(
+        "E17: 100x flash-crowd spike vs. rehash pipeline width",
+        &[
+            "concurrency",
+            "splits",
+            "merges",
+            "denied",
+            "reconverge_ms",
+            "p50_ms",
+            "p99_ms",
+            "success_pct",
+            "peak_trackers",
+            "violations",
+        ],
+    );
+    let cells: Vec<Cell> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|concurrency| {
+            Box::new(move || {
+                let mut scenario = Scenario::new(format!("rehash-spike-c{concurrency}"))
+                    .with_agents(agents)
+                    .with_residence_ms(400)
+                    .with_queries(fidelity.queries())
+                    .with_seconds(warmup, measure);
+                // 100× the steady query rate, sustained for a fifth of the
+                // measurement span: the same per-second rate would take the
+                // whole span to issue 20× the steady budget.
+                let spike_at = scenario.warmup + scenario.measure.mul_f64(0.2);
+                let spike_span = scenario.measure.mul_f64(0.2);
+                let spike = QuerySpike {
+                    at: spike_at,
+                    span: spike_span,
+                    queries: scenario.queries_total * 20,
+                    queriers: 64,
+                };
+                scenario = scenario.with_spike(spike);
+                let config = patient(LocationConfig::default())
+                    .with_rehash_concurrency(concurrency)
+                    .with_version_audit(agentrack_sim::SimDuration::from_secs(1));
+                let sink = TraceSink::bounded(1_048_576);
+                let mut scheme = HashedScheme::new(config);
+                let (report, invariants) =
+                    scenario.run_chaos_traced(&mut scheme, true, sink.clone());
+                let denied = scheme.stats().rehash_denied;
+                let spike_start = SimTime::ZERO + spike_at;
+                let reconverge = sink
+                    .snapshot()
+                    .iter()
+                    .filter(|r| {
+                        matches!(r.event, TraceEvent::RehashSplit { .. }) && r.at >= spike_start
+                    })
+                    .map(|r| r.at)
+                    .max()
+                    .map(|at| at.saturating_since(spike_start).as_millis_f64());
+                vec![
+                    concurrency.to_string(),
+                    report.splits.to_string(),
+                    report.merges.to_string(),
+                    denied.to_string(),
+                    reconverge.map_or_else(|| "dnf".to_owned(), ms),
+                    ms(report.p50_locate_ms),
+                    ms(report.p99_locate_ms),
+                    format!("{:.1}", 100.0 * report.completion_ratio()),
+                    report.peak_trackers.to_string(),
+                    invariants.violations.len().to_string(),
+                ]
+            }) as Cell
+        })
+        .collect();
+    table.rows = run_cells(cells, jobs);
+    table
+}
+
 /// All experiment names accepted by the `repro` binary, in order.
 pub const EXPERIMENTS: &[&str] = &[
     "exp1",
@@ -1157,6 +1255,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "chaos",
     "attribution",
     "recovery",
+    "rehash-spike",
 ];
 
 /// Dispatches an experiment by name.
@@ -1182,6 +1281,7 @@ pub fn run_experiment(name: &str, fidelity: Fidelity, jobs: usize) -> Table {
         "chaos" => chaos(fidelity, jobs),
         "attribution" => attribution(fidelity, jobs).0,
         "recovery" => recovery(fidelity, jobs),
+        "rehash-spike" => rehash_spike(fidelity, jobs),
         other => panic!("unknown experiment {other}"),
     }
 }

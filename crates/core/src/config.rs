@@ -44,7 +44,16 @@ pub struct LocationConfig {
     /// has an empty rate window and would otherwise merge immediately).
     pub merge_warmup: SimDuration,
     /// Minimum spacing between rehash operations accepted by the HAgent.
+    /// With concurrent rehash the cooldown is scoped per subtree region:
+    /// it gates a new operation only against recent operations whose
+    /// regions overlap it.
     pub rehash_cooldown: SimDuration,
+    /// Maximum number of rehash operations (splits/merges) the HAgent
+    /// allows in flight at once. Operations proceed in parallel only when
+    /// their subtree regions are prefix-disjoint; overlapping requests are
+    /// still serialised. `1` reproduces the paper's single-flight protocol
+    /// (the ablation arm of E17).
+    pub rehash_concurrency: usize,
     /// How long an IAgent buffers a query for an agent that hashes to it
     /// but whose record has not arrived yet (handoff in flight) before
     /// answering "not found".
@@ -131,6 +140,7 @@ impl Default for LocationConfig {
             max_simple_m: 16,
             merge_warmup: SimDuration::from_secs(3),
             rehash_cooldown: SimDuration::from_millis(100),
+            rehash_concurrency: 4,
             pending_timeout: SimDuration::from_millis(500),
             decay_interval: SimDuration::from_secs(2),
             check_interval: SimDuration::from_millis(500),
@@ -212,6 +222,25 @@ impl LocationConfig {
         self
     }
 
+    /// Sets the rehash pipeline width: how many prefix-disjoint
+    /// splits/merges may be in flight at once. `1` is the paper's
+    /// single-flight protocol (E17's ablation arm).
+    #[must_use]
+    pub fn with_rehash_concurrency(mut self, concurrency: usize) -> Self {
+        self.rehash_concurrency = concurrency;
+        self
+    }
+
+    /// How long the HAgent holds a split lease whose fresh IAgent never
+    /// reported ready before abandoning it, and how long an IAgent waits
+    /// for *any* answer to a rehash request before clearing its own
+    /// pending flag. Derived (not a free knob) so the two sides of the
+    /// protocol always agree on when an operation is dead.
+    #[must_use]
+    pub fn rehash_lease_timeout(&self) -> SimDuration {
+        self.rate_window * 5
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -241,6 +270,9 @@ impl LocationConfig {
         }
         if self.max_simple_m == 0 {
             return Err("max_simple_m must be at least 1".into());
+        }
+        if self.rehash_concurrency == 0 {
+            return Err("rehash_concurrency must be at least 1".into());
         }
         if self.max_locate_attempts == 0 {
             return Err("max_locate_attempts must be at least 1".into());
@@ -314,5 +346,18 @@ mod tests {
         assert!(!c.complex_splits_enabled);
         let c = LocationConfig::default().with_eager_propagation();
         assert!(c.eager_propagation);
+        let c = LocationConfig::default().with_rehash_concurrency(1);
+        assert_eq!(c.rehash_concurrency, 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn rehash_concurrency_must_be_positive() {
+        let c = LocationConfig::default().with_rehash_concurrency(0);
+        assert!(c.validate().unwrap_err().contains("rehash_concurrency"));
+        // The lease timeout is derived from the rate window so both sides
+        // of the protocol agree on it.
+        let c = LocationConfig::default();
+        assert_eq!(c.rehash_lease_timeout(), c.rate_window * 5);
     }
 }

@@ -3,25 +3,39 @@
 //!
 //! "There is a central static agent (HAgent) that keeps the current hash
 //! function. Every time the hash function changes, the copy of the HAgent
-//! is immediately updated (primary copy)." The HAgent also "ensures that
-//! only one such [split or merge] process is in progress at each time"
-//! (paper §2.1, §4).
+//! is immediately updated (primary copy)." The paper's HAgent also
+//! "ensures that only one such [split or merge] process is in progress at
+//! each time" (paper §2.1, §4) — here that single-flight discipline is
+//! generalised to a **lease table**: each rehash holds a lease on the
+//! [`PrefixRegion`] of the subtree it rewrites, any set of prefix-disjoint
+//! rehashes may be in flight at once (up to
+//! [`LocationConfig::rehash_concurrency`]), and only overlapping requests
+//! are serialised. `rehash_concurrency: 1` reproduces the paper's protocol
+//! exactly and is kept as the ablation arm of experiment E17.
 //!
 //! A split runs as a small two-phase protocol:
 //!
 //! 1. An overloaded IAgent sends `SplitRequest` with its per-agent load
 //!    statistics. The HAgent plans the split point (complex candidates
-//!    first, then simple `m = 1, 2, …`; see [`crate::plan`]), creates the
-//!    new IAgent on a round-robin-chosen node, and waits.
-//! 2. The new IAgent reports `IAgentReady`; the HAgent applies the split to
-//!    the primary tree, bumps the version, and installs the new version on
-//!    every *involved* IAgent, which triggers their record handoffs.
+//!    first, then simple `m = 1, 2, …`; see [`crate::plan`]), checks the
+//!    affected region against the lease table and the per-region cooldown
+//!    list, grants a lease, creates the new IAgent on a round-robin-chosen
+//!    node, and waits.
+//! 2. The new IAgent reports `IAgentReady { lease }`; the HAgent re-derives
+//!    the planned candidate against the current tree generation (disjoint
+//!    commits in the meantime bump it), applies the split to the primary
+//!    tree, bumps the version, and installs the new version on every
+//!    *involved* IAgent, which triggers their record handoffs.
 //!
-//! Merges commit immediately: the primary tree is updated and the new
-//! version is installed on the merged IAgent (which hands everything off
-//! and retires) and on the absorbers.
+//! Denials carry a structured [`DenyReason`] so requesters can back off
+//! proportionally (short for a busy pipeline, long for a read-only
+//! standby; see `IAgentBehavior`).
+//!
+//! Merges commit immediately (no second phase) but take the same region
+//! gate: the merged leaf's *parent* region must not overlap any lease or
+//! cooling region, because a merge rewrites the sibling subtree's labels.
 
-use agentrack_hashtree::IAgentId;
+use agentrack_hashtree::{IAgentId, PrefixRegion, Side};
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
 use agentrack_sim::{SimTime, TraceEvent};
 
@@ -29,17 +43,32 @@ use std::collections::HashMap;
 
 use crate::config::LocationConfig;
 use crate::iagent::IAgentBehavior;
-use crate::plan::{plan_split, SplitPlan};
+use crate::plan::plan_split;
 use crate::replica::ReplicaStore;
 use crate::scheme::{CopyRole, SharedSchemeStats};
-use crate::wire::{HashFunction, Wire};
+use crate::wire::{DenyReason, HashFunction, Wire};
 
+/// A granted, in-flight split: the HAgent holds the affected subtree's
+/// region until the new IAgent reports ready (commit) or the lease times
+/// out (abort). Requests whose region overlaps a held lease are denied
+/// `Busy`.
 #[derive(Debug)]
-struct PendingSplit {
+struct RehashLease {
+    /// Monotonic lease id; carried by the fresh IAgent's
+    /// [`Wire::IAgentReady`] so a ready report from an orphan of an
+    /// aborted lease cannot commit a newer one.
+    id: u64,
     requester: AgentId,
     new_agent: AgentId,
     new_node: NodeId,
-    plan: SplitPlan,
+    /// The planned partition bit. The full candidate is *re-derived* from
+    /// this at commit time (`HashTree::refreshed_candidate`): disjoint
+    /// commits bump the tree generation, which would make the stored
+    /// candidate stale, but they cannot touch this lease's subtree — so
+    /// the bit still identifies the same split.
+    key_bit: usize,
+    new_side: Side,
+    region: PrefixRegion,
     started_at: SimTime,
 }
 
@@ -101,10 +130,19 @@ impl Agent for StandbyHAgentBehavior {
                 );
             }
             Wire::SplitRequest { .. } | Wire::MergeRequest { .. } => {
-                // Read-only replica: rehashing waits for the primary.
+                // Read-only replica: rehashing waits for the primary. The
+                // `ReadOnly` reason tells the requester to back off long —
+                // retrying before the primary returns is futile.
                 self.shared.update(|s| s.rehash_denied += 1);
                 if let Some(node) = self.hf.locations.get(&IAgentId::new(from.raw())).copied() {
-                    ctx.send(from, node, Wire::RehashDenied.payload());
+                    ctx.send(
+                        from,
+                        node,
+                        Wire::RehashDenied {
+                            reason: DenyReason::ReadOnly,
+                        }
+                        .payload(),
+                    );
                 }
             }
             Wire::RecordSync {
@@ -169,8 +207,15 @@ pub struct HAgentBehavior {
     /// LHAgent directory, for eager propagation: `(agent, node)` pairs.
     lhagents: Vec<(AgentId, NodeId)>,
     shared: SharedSchemeStats,
-    in_progress: Option<PendingSplit>,
-    cooldown_until: SimTime,
+    /// In-flight split leases; at most `config.rehash_concurrency`, all
+    /// pairwise prefix-disjoint.
+    leases: Vec<RehashLease>,
+    next_lease: u64,
+    /// Regions of recently committed rehashes still cooling down:
+    /// `(region, until)`. In the single-flight ablation
+    /// (`rehash_concurrency: 1`) the whole key space is recorded instead,
+    /// reproducing the paper's global cooldown.
+    recent: Vec<(PrefixRegion, SimTime)>,
     next_node: u32,
     node_count: u32,
     standby: Option<(AgentId, NodeId)>,
@@ -201,8 +246,9 @@ impl HAgentBehavior {
             hf,
             lhagents,
             shared,
-            in_progress: None,
-            cooldown_until: SimTime::ZERO,
+            leases: Vec::new(),
+            next_lease: 0,
+            recent: Vec::new(),
             next_node: 0,
             node_count,
             standby: None,
@@ -219,11 +265,38 @@ impl HAgentBehavior {
         self
     }
 
-    fn deny(&self, ctx: &mut AgentCtx<'_>, to: AgentId) {
+    fn deny(&self, ctx: &mut AgentCtx<'_>, to: AgentId, reason: DenyReason) {
         self.shared.update(|s| s.rehash_denied += 1);
         if let Some(node) = self.node_of_iagent(to) {
-            ctx.send(to, node, Wire::RehashDenied.payload());
+            ctx.send(to, node, Wire::RehashDenied { reason }.payload());
         }
+    }
+
+    /// The region a committed rehash cools down: its own subtree at
+    /// `rehash_concurrency > 1`, the whole key space in the single-flight
+    /// ablation (the paper's global cooldown).
+    fn cooldown_region(&self, region: PrefixRegion) -> PrefixRegion {
+        if self.config.rehash_concurrency == 1 {
+            PrefixRegion::EVERYTHING
+        } else {
+            region
+        }
+    }
+
+    /// Checks a rehash region against the lease table and the cooling
+    /// regions; `None` means the region is clear to proceed.
+    fn blocked(&self, now: SimTime, region: PrefixRegion) -> Option<DenyReason> {
+        if self.leases.iter().any(|l| l.region.overlaps(&region)) {
+            return Some(DenyReason::Busy);
+        }
+        if self
+            .recent
+            .iter()
+            .any(|&(r, until)| now < until && r.overlaps(&region))
+        {
+            return Some(DenyReason::Cooldown);
+        }
+        None
     }
 
     fn node_of_iagent(&self, iagent: AgentId) -> Option<NodeId> {
@@ -297,24 +370,58 @@ impl HAgentBehavior {
         }
     }
 
+    /// Answers a request while the control plane is administratively
+    /// frozen (an operator drain, e.g. the post-quiesce audit). Not
+    /// counted as `rehash_denied`: that counter measures protocol denial
+    /// traffic (busy/cooldown contention), not a closed admission gate.
+    fn deny_frozen(&self, ctx: &mut AgentCtx<'_>, to: AgentId) {
+        if let Some(node) = self.node_of_iagent(to) {
+            ctx.send(
+                to,
+                node,
+                Wire::RehashDenied {
+                    reason: DenyReason::ReadOnly,
+                }
+                .payload(),
+            );
+        }
+    }
+
     fn handle_split_request(
         &mut self,
         ctx: &mut AgentCtx<'_>,
         from: AgentId,
         loads: Vec<(AgentId, u64)>,
     ) {
-        if self.in_progress.is_some() || ctx.now() < self.cooldown_until {
-            self.deny(ctx, from);
+        if self.shared.adaptation_frozen() {
+            self.deny_frozen(ctx, from);
+            return;
+        }
+        if self.leases.len() >= self.config.rehash_concurrency {
+            self.deny(ctx, from, DenyReason::Busy);
             return;
         }
         let requester = IAgentId::new(from.raw());
         let plan = match plan_split(&self.hf.tree, requester, &loads, &self.config) {
             Ok(plan) => plan,
             Err(_) => {
-                self.deny(ctx, from);
+                self.deny(ctx, from, DenyReason::NoPlan);
                 return;
             }
         };
+        let region = match self.hf.tree.split_region(&plan.candidate) {
+            Ok(region) => region,
+            Err(_) => {
+                self.deny(ctx, from, DenyReason::NoPlan);
+                return;
+            }
+        };
+        if let Some(reason) = self.blocked(ctx.now(), region) {
+            self.deny(ctx, from, reason);
+            return;
+        }
+        let id = self.next_lease;
+        self.next_lease += 1;
         let new_node = self.pick_node();
         let new_agent = ctx.create_agent(
             Box::new(
@@ -325,49 +432,59 @@ impl HAgentBehavior {
                     self.hf.clone(),
                     self.shared.clone(),
                 )
-                .with_standby(self.standby),
+                .with_standby(self.standby)
+                .with_lease(id),
             ),
             new_node,
         );
-        self.in_progress = Some(PendingSplit {
+        self.leases.push(RehashLease {
+            id,
             requester: from,
             new_agent,
             new_node,
-            plan,
+            key_bit: plan.candidate.key_bit,
+            new_side: plan.new_side,
+            region,
             started_at: ctx.now(),
         });
     }
 
-    fn handle_ready(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId) {
-        let Some(pending) = self.in_progress.take() else {
-            return; // an orphaned IAgent from an aborted split
+    fn handle_ready(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId, lease_id: u64) {
+        let Some(pos) = self
+            .leases
+            .iter()
+            .position(|l| l.id == lease_id && l.new_agent == from)
+        else {
+            return; // an orphaned IAgent from an aborted/abandoned lease
         };
-        if pending.new_agent != from {
-            self.in_progress = Some(pending);
-            return;
-        }
-        let new_ia = IAgentId::new(pending.new_agent.raw());
-        let applied =
-            match self
-                .hf
-                .tree
-                .apply_split(&pending.plan.candidate, new_ia, pending.plan.new_side)
-            {
-                Ok(applied) => applied,
-                Err(_) => {
-                    // The tree changed since planning (cannot happen while the
-                    // HAgent serialises rehashes, but stay safe): deny.
-                    self.deny(ctx, pending.requester);
-                    return;
-                }
-            };
+        let lease = self.leases.remove(pos);
+        let requester = IAgentId::new(lease.requester.raw());
+        let new_ia = IAgentId::new(lease.new_agent.raw());
+        // Re-derive the candidate against the current generation: commits
+        // in disjoint regions bumped it since the grant, but the lease kept
+        // this subtree untouched, so the partition bit still pins the same
+        // split (see `HashTree::refreshed_candidate`).
+        let applied = self
+            .hf
+            .tree
+            .refreshed_candidate(requester, lease.key_bit)
+            .and_then(|candidate| self.hf.tree.apply_split(&candidate, new_ia, lease.new_side));
+        let applied = match applied {
+            Ok(applied) => applied,
+            Err(_) => {
+                // Unreachable while region fencing holds (the requester's
+                // subtree cannot change under a held lease), but stay safe.
+                self.deny(ctx, lease.requester, DenyReason::NoPlan);
+                return;
+            }
+        };
         self.hf.version += 1;
-        self.hf.locations.insert(new_ia, pending.new_node);
+        self.hf.locations.insert(new_ia, lease.new_node);
         self.shared.update(|s| s.splits += 1);
         self.shared.registry().record_split(self.hf.version);
         let version = self.hf.version;
-        let from_tracker = pending.requester.raw();
-        let to_tracker = pending.new_agent.raw();
+        let from_tracker = lease.requester.raw();
+        let to_tracker = lease.new_agent.raw();
         ctx.trace().emit(ctx.now(), || TraceEvent::RehashSplit {
             version,
             from_tracker,
@@ -380,25 +497,48 @@ impl HAgentBehavior {
         involved.push(new_ia);
         self.hf.refresh_compiled(&involved);
         self.distribute(ctx, &involved);
-        self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+        self.recent.push((
+            self.cooldown_region(lease.region),
+            ctx.now() + self.config.rehash_cooldown,
+        ));
     }
 
     fn handle_merge_request(&mut self, ctx: &mut AgentCtx<'_>, from: AgentId) {
+        if self.shared.adaptation_frozen() {
+            self.deny_frozen(ctx, from);
+            return;
+        }
         let merged = IAgentId::new(from.raw());
-        if self.in_progress.is_some()
-            || ctx.now() < self.cooldown_until
-            || !self.config.merge_enabled
+        if !self.config.merge_enabled
             || self.hf.tree.iagent_count() <= 1
             || !self.hf.tree.contains(merged)
         {
-            self.deny(ctx, from);
+            self.deny(ctx, from, DenyReason::NoPlan);
+            return;
+        }
+        if self.leases.len() >= self.config.rehash_concurrency {
+            self.deny(ctx, from, DenyReason::Busy);
+            return;
+        }
+        // A merge rewrites the sibling subtree's labels, so it is gated on
+        // the *parent's* region — this is what serialises it against any
+        // in-flight split under the same parent.
+        let region = match self.hf.tree.merge_region(merged) {
+            Ok(region) => region,
+            Err(_) => {
+                self.deny(ctx, from, DenyReason::NoPlan);
+                return;
+            }
+        };
+        if let Some(reason) = self.blocked(ctx.now(), region) {
+            self.deny(ctx, from, reason);
             return;
         }
         let merged_node = self.node_of_iagent(from);
         let applied = match self.hf.tree.apply_merge(merged) {
             Ok(applied) => applied,
             Err(_) => {
-                self.deny(ctx, from);
+                self.deny(ctx, from, DenyReason::NoPlan);
                 return;
             }
         };
@@ -431,7 +571,10 @@ impl HAgentBehavior {
                 .payload(),
             );
         }
-        self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+        self.recent.push((
+            self.cooldown_region(region),
+            ctx.now() + self.config.rehash_cooldown,
+        ));
     }
 }
 
@@ -444,11 +587,12 @@ impl Agent for HAgentBehavior {
 
     fn on_restart(&mut self, ctx: &mut AgentCtx<'_>, lost_soft_state: bool) {
         // The primary copy survives a crash (the paper treats it as
-        // recoverable state — the standby covers the downtime), but any
-        // split that was mid-flight is abandoned and the periodic tick
-        // must be re-armed.
-        if self.in_progress.take().is_some() {
-            self.shared.update(|s| s.rehash_denied += 1);
+        // recoverable state — the standby covers the downtime), but every
+        // lease that was mid-flight is abandoned (the orphan IAgents retire
+        // themselves) and the periodic tick must be re-armed.
+        let abandoned = std::mem::take(&mut self.leases).len() as u64;
+        if abandoned > 0 {
+            self.shared.update(|s| s.rehash_denied += abandoned);
         }
         self.reinstall.clear();
         if lost_soft_state {
@@ -479,15 +623,23 @@ impl Agent for HAgentBehavior {
                 );
             }
         }
-        // Abort a split whose new IAgent never reported (lost message /
-        // injected failure): the orphan retires itself, the requester's
-        // pending flag times out on its own.
-        if let Some(pending) = &self.in_progress {
-            if ctx.now().saturating_since(pending.started_at) > self.config.rate_window * 5 {
-                self.shared.update(|s| s.rehash_denied += 1);
-                self.in_progress = None;
-            }
+        // Abort leases whose new IAgent never reported (lost message /
+        // injected failure): the orphans retire themselves, the requesters'
+        // pending flags time out on their own (against the same
+        // `rehash_lease_timeout`, so a requester never re-asks while its
+        // lease is still live here).
+        let now = ctx.now();
+        let timeout = self.config.rehash_lease_timeout();
+        let before = self.leases.len();
+        self.leases
+            .retain(|lease| now.saturating_since(lease.started_at) <= timeout);
+        let aborted = (before - self.leases.len()) as u64;
+        if aborted > 0 {
+            self.shared.update(|s| s.rehash_denied += aborted);
         }
+        // Expired cooldowns can go; `blocked` also checks `until`, this
+        // just keeps the list from growing.
+        self.recent.retain(|&(_, until)| now < until);
         ctx.set_timer(self.config.check_interval);
     }
 
@@ -516,7 +668,7 @@ impl Agent for HAgentBehavior {
         };
         match msg {
             Wire::SplitRequest { loads, .. } => self.handle_split_request(ctx, from, loads),
-            Wire::IAgentReady => self.handle_ready(ctx, from),
+            Wire::IAgentReady { lease } => self.handle_ready(ctx, from, lease),
             Wire::MergeRequest { .. } => self.handle_merge_request(ctx, from),
             Wire::IAgentMoved { node } => {
                 let ia = IAgentId::new(from.raw());

@@ -224,6 +224,10 @@ impl LocationScheme for HashedScheme {
     fn hash_versions(&self) -> Vec<(u64, CopyRole, u64)> {
         self.shared.versions()
     }
+
+    fn set_adaptation_frozen(&self, frozen: bool) {
+        self.shared.set_adaptation_frozen(frozen);
+    }
 }
 
 /// Client-side state machine of the hashed scheme (one per mobile agent).

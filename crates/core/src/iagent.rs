@@ -29,7 +29,7 @@ use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
 use crate::replica::{replica_usable, RecoveryPhase, RecoveryState, ReplicaStore, Replicator};
 use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::stats::LoadStats;
-use crate::wire::{HashFunction, Wire};
+use crate::wire::{DenyReason, HashFunction, Wire};
 
 #[derive(Debug, Clone)]
 struct PendingLocate {
@@ -54,10 +54,22 @@ pub struct IAgentBehavior {
     /// Fresh IAgents (created mid-split) must report ready and wait for
     /// their first install.
     fresh: bool,
+    /// The rehash lease this fresh IAgent was created under; echoed in
+    /// `IAgentReady` so the HAgent commits the right lease (and ignores
+    /// orphans of aborted ones).
+    lease: u64,
     installed: bool,
     created_at: SimTime,
-    rehash_requested_at: Option<SimTime>,
-    cooldown_until: SimTime,
+    /// When this tracker's own outstanding split/merge request was sent,
+    /// if one is in flight. Cleared by the answer (an install that changes
+    /// this tracker's partition, or a denial) or by the lease-timeout
+    /// give-up in `on_timer`.
+    rehash_request: Option<SimTime>,
+    /// This tracker must not re-ask for a rehash before this instant. Set
+    /// per cause: after its partition changed, or per [`DenyReason`] on a
+    /// denial — *not* by installs of versions that left its partition
+    /// alone (those used to silence an overdue split here).
+    rehash_backoff_until: SimTime,
     pending: Vec<PendingLocate>,
     /// Client requests that arrived before the first install; replayed once
     /// the hash function lands (a fresh IAgent receives traffic the moment
@@ -148,10 +160,11 @@ impl IAgentBehavior {
             stats,
             shared,
             fresh,
+            lease: 0,
             installed: !fresh,
             created_at: SimTime::ZERO,
-            rehash_requested_at: None,
-            cooldown_until: SimTime::ZERO,
+            rehash_request: None,
+            rehash_backoff_until: SimTime::ZERO,
             pending: Vec::new(),
             preinstall: Vec::new(),
             unplaced: Vec::new(),
@@ -176,6 +189,13 @@ impl IAgentBehavior {
     #[must_use]
     pub fn with_standby(mut self, standby: Option<(AgentId, NodeId)>) -> Self {
         self.standby = standby;
+        self
+    }
+
+    /// Stamps a fresh IAgent with the rehash lease it was created under.
+    #[must_use]
+    pub fn with_lease(mut self, lease: u64) -> Self {
+        self.lease = lease;
         self
     }
 
@@ -218,7 +238,7 @@ impl IAgentBehavior {
         if !self.config.locality_migration
             || self.relocating
             || !self.installed
-            || self.rehash_requested_at.is_some()
+            || self.rehash_request.is_some()
             // Migrating now would bounce the pending hash-function reply at
             // the old node and strand the unplaced records.
             || self.refetch_in_flight
@@ -244,14 +264,14 @@ impl IAgentBehavior {
 
     /// Split check, run after every recorded request.
     fn maybe_request_split(&mut self, ctx: &mut AgentCtx<'_>) {
-        if self.rehash_requested_at.is_some() || ctx.now() < self.cooldown_until || !self.installed
+        if self.rehash_request.is_some() || ctx.now() < self.rehash_backoff_until || !self.installed
         {
             return;
         }
         let rate = self.stats.rate_per_sec(ctx.now());
         if rate > self.config.t_max {
             let loads = self.stats.loads();
-            self.rehash_requested_at = Some(ctx.now());
+            self.rehash_request = Some(ctx.now());
             self.send_hagent(ctx, &Wire::SplitRequest { rate, loads });
         }
     }
@@ -259,8 +279,8 @@ impl IAgentBehavior {
     /// Merge check, run from the periodic timer so idle IAgents notice.
     fn maybe_request_merge(&mut self, ctx: &mut AgentCtx<'_>) {
         if !self.config.merge_enabled
-            || self.rehash_requested_at.is_some()
-            || ctx.now() < self.cooldown_until
+            || self.rehash_request.is_some()
+            || ctx.now() < self.rehash_backoff_until
             || !self.installed
             || ctx.now().saturating_since(self.created_at) < self.config.merge_warmup
             || self.hf.tree.iagent_count() <= 1
@@ -269,7 +289,7 @@ impl IAgentBehavior {
         }
         let rate = self.stats.rate_per_sec(ctx.now());
         if rate < self.config.t_min {
-            self.rehash_requested_at = Some(ctx.now());
+            self.rehash_request = Some(ctx.now());
             self.send_hagent(ctx, &Wire::MergeRequest { rate });
         }
     }
@@ -281,15 +301,29 @@ impl IAgentBehavior {
             return; // stale or duplicate install
         }
         let first_install = !self.installed;
+        let me = Self::my_id(ctx);
+        let label_before = if first_install {
+            None
+        } else {
+            self.hf.tree.hyper_label(me).ok()
+        };
         self.hf = hf;
         self.installed = true;
         self.shared
             .record_version(ctx.self_id().raw(), CopyRole::Tracker, self.hf.version);
-        self.rehash_requested_at = None;
-        self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
-        // Fresh epoch: rate observed against the old partition must not
-        // trigger another rehash of the new one.
-        self.stats.reset(ctx.now());
+        // The post-install cooldown is scoped to versions that changed
+        // *this tracker's* partition (its hyper-label moved, it was merged
+        // away, or this is its first view). A rehash in a distant subtree
+        // changes nothing here: the observed rate still describes the
+        // current partition, and an overdue split request must not be
+        // silenced by it.
+        if first_install || self.hf.tree.hyper_label(me).ok() != label_before {
+            self.rehash_request = None;
+            self.rehash_backoff_until = ctx.now() + self.config.rehash_cooldown;
+            // Fresh epoch: rate observed against the old partition must
+            // not trigger another rehash of the new one.
+            self.stats.reset(ctx.now());
+        }
         if first_install {
             let buffered = std::mem::take(&mut self.preinstall);
             for (from, msg) in buffered {
@@ -297,7 +331,6 @@ impl IAgentBehavior {
             }
         }
 
-        let me = Self::my_id(ctx);
         if !self.hf.tree.contains(me) {
             // Merged away: hand off everything and retire. Buffered mail
             // chases its keys' new trackers.
@@ -705,7 +738,8 @@ impl Agent for IAgentBehavior {
                 .record_version(ctx.self_id().raw(), CopyRole::Tracker, self.hf.version);
         }
         if self.fresh {
-            self.send_hagent(ctx, &Wire::IAgentReady);
+            let lease = self.lease;
+            self.send_hagent(ctx, &Wire::IAgentReady { lease });
         }
         ctx.set_timer(self.config.check_interval);
     }
@@ -757,7 +791,7 @@ impl Agent for IAgentBehavior {
         // refresh or the version audit repairs. In-flight control state
         // died with the node either way.
         self.refetch_in_flight = false;
-        self.rehash_requested_at = None;
+        self.rehash_request = None;
         self.last_audit = ctx.now();
         ctx.set_timer(self.config.check_interval);
     }
@@ -838,12 +872,15 @@ impl Agent for IAgentBehavior {
         self.maybe_request_merge(ctx);
         self.maybe_relocate(ctx);
         // A rehash request whose answer was lost must not wedge this IAgent
-        // forever.
-        if let Some(at) = self.rehash_requested_at {
+        // forever. Give up only after the HAgent's own lease timeout (plus
+        // its commit cooldown) has certainly passed: re-asking earlier
+        // would race a lease that is still live on the HAgent and get a
+        // pointless Busy denial for this tracker's own region.
+        if let Some(at) = self.rehash_request {
             if ctx.now().saturating_since(at)
-                > self.config.rehash_cooldown + self.config.rate_window * 4
+                > self.config.rehash_lease_timeout() + self.config.rehash_cooldown
             {
-                self.rehash_requested_at = None;
+                self.rehash_request = None;
             }
         }
         // A fresh IAgent that never got installed was orphaned by a failed
@@ -1108,9 +1145,19 @@ impl IAgentBehavior {
                     self.flush_mail_for(ctx, agent);
                 }
             }
-            Wire::RehashDenied => {
-                self.rehash_requested_at = None;
-                self.cooldown_until = ctx.now() + self.config.rehash_cooldown;
+            Wire::RehashDenied { reason } => {
+                self.rehash_request = None;
+                let backoff = match reason {
+                    // The pipeline (or this subtree's lease) is busy: the
+                    // conflicting rehash commits shortly, so retry fast —
+                    // the rate that justified this request is still there.
+                    DenyReason::Busy => self.config.bounce_retry_delay,
+                    DenyReason::Cooldown | DenyReason::NoPlan => self.config.rehash_cooldown,
+                    // Read-only standby: the tree is frozen until the
+                    // primary returns; hammering the standby is futile.
+                    DenyReason::ReadOnly => self.config.rehash_lease_timeout(),
+                };
+                self.rehash_backoff_until = ctx.now() + backoff;
             }
             Wire::HashFnCopy { hf } => {
                 // Answer to a refetch after a bounced handoff. Re-dispatch

@@ -72,4 +72,4 @@ pub use scheme::{
     SharedSchemeStats,
 };
 pub use stats::LoadStats;
-pub use wire::{key_of, HashFunction, Wire};
+pub use wire::{key_of, DenyReason, HashFunction, Wire};

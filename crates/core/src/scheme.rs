@@ -2,6 +2,7 @@
 //! one and the baselines) plugs into experiments through these traits.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -157,6 +158,16 @@ pub trait LocationScheme {
     fn hash_versions(&self) -> Vec<(u64, CopyRole, u64)> {
         Vec::new()
     }
+
+    /// Administratively freezes (or thaws) directory adaptation: while
+    /// frozen, the control plane denies every split/merge request with
+    /// [`crate::DenyReason::ReadOnly`] and grants no new rehash leases,
+    /// though leases already in flight still commit. The post-quiesce
+    /// invariant audit uses this to drain adaptation before sampling
+    /// hash-function versions — otherwise a cascade still adapting at the
+    /// sampling instant looks like a convergence failure. No-op for
+    /// schemes without an adaptive directory.
+    fn set_adaptation_frozen(&self, _frozen: bool) {}
 }
 
 /// Which replica of the hash function an agent holds.
@@ -226,6 +237,7 @@ pub struct SharedSchemeStats {
     stats: Arc<Mutex<SchemeStats>>,
     registry: MetricsRegistry,
     versions: Arc<Mutex<Vec<(u64, CopyRole, u64)>>>,
+    adaptation_frozen: Arc<AtomicBool>,
 }
 
 impl SharedSchemeStats {
@@ -275,6 +287,18 @@ impl SharedSchemeStats {
     #[must_use]
     pub fn versions(&self) -> Vec<(u64, CopyRole, u64)> {
         self.versions.lock().clone()
+    }
+
+    /// Flips the administrative adaptation freeze; see
+    /// [`LocationScheme::set_adaptation_frozen`].
+    pub fn set_adaptation_frozen(&self, frozen: bool) {
+        self.adaptation_frozen.store(frozen, Ordering::Relaxed);
+    }
+
+    /// Whether adaptation is administratively frozen.
+    #[must_use]
+    pub fn adaptation_frozen(&self) -> bool {
+        self.adaptation_frozen.load(Ordering::Relaxed)
     }
 }
 

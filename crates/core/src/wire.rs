@@ -242,6 +242,29 @@ impl Deserialize for HashFunction {
     }
 }
 
+/// Why the HAgent (or a standby) declined a rehash request. The reason
+/// drives the requester's retry backoff: a busy pipeline clears in one
+/// lease round-trip, a cooldown or planning failure needs the load picture
+/// to change, and a read-only standby stays read-only until the primary
+/// returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenyReason {
+    /// The rehash pipeline is full, or an in-flight lease's region
+    /// overlaps the requested one. Clears quickly: retry after a short
+    /// backoff.
+    Busy,
+    /// A recently committed rehash's region overlaps the requested one
+    /// and its cooldown has not elapsed.
+    Cooldown,
+    /// The receiver is a read-only standby: the primary HAgent is down
+    /// and the tree is frozen until it returns. Retry after a long
+    /// backoff.
+    ReadOnly,
+    /// No acceptable plan: nothing to split on (or the merge is
+    /// impossible). Retrying before the load picture changes is futile.
+    NoPlan,
+}
+
 /// Every message any location scheme sends.
 ///
 /// `token` fields correlate asynchronous replies with the requests that
@@ -375,11 +398,19 @@ pub enum Wire {
         /// Observed request rate (messages/second).
         rate: f64,
     },
-    /// The HAgent declined (rehash in progress, cooldown, nothing to do,
-    /// or no balancing split exists).
-    RehashDenied,
-    /// A freshly created IAgent reporting for duty.
-    IAgentReady,
+    /// The HAgent declined, and why — the reason picks the requester's
+    /// retry backoff.
+    RehashDenied {
+        /// What blocked the request.
+        reason: DenyReason,
+    },
+    /// A freshly created IAgent reporting for duty, carrying the id of the
+    /// split lease it was created under so the HAgent can commit the right
+    /// in-flight operation (several may be pending concurrently).
+    IAgentReady {
+        /// The lease this IAgent was created to serve.
+        lease: u64,
+    },
     /// An IAgent migrated (locality extension): the HAgent must update the
     /// directory and bump the version so resolves learn the new node.
     IAgentMoved {
@@ -556,8 +587,8 @@ impl Wire {
             Wire::NotResponsible { .. } => "NotResponsible",
             Wire::SplitRequest { .. } => "SplitRequest",
             Wire::MergeRequest { .. } => "MergeRequest",
-            Wire::RehashDenied => "RehashDenied",
-            Wire::IAgentReady => "IAgentReady",
+            Wire::RehashDenied { .. } => "RehashDenied",
+            Wire::IAgentReady { .. } => "IAgentReady",
             Wire::IAgentMoved { .. } => "IAgentMoved",
             Wire::InstallHashFn { .. } => "InstallHashFn",
             Wire::Handoff { .. } => "Handoff",
@@ -650,6 +681,13 @@ mod tests {
                 token: 12,
                 corr: None,
             },
+            Wire::RehashDenied {
+                reason: DenyReason::Busy,
+            },
+            Wire::RehashDenied {
+                reason: DenyReason::ReadOnly,
+            },
+            Wire::IAgentReady { lease: 42 },
             Wire::EpochRequest,
             Wire::EpochGrant {
                 epoch: 3,

@@ -6,8 +6,8 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use agentrack_core::{
-    key_of, HAgentBehavior, HashFunction, IAgentBehavior, LHAgentBehavior, LocationConfig,
-    SharedSchemeStats, Wire,
+    key_of, DenyReason, HAgentBehavior, HashFunction, IAgentBehavior, LHAgentBehavior,
+    LocationConfig, SharedSchemeStats, Wire,
 };
 use agentrack_hashtree::IAgentId;
 use agentrack_platform::{
@@ -561,7 +561,12 @@ fn hagent_denies_merging_the_last_iagent() {
 
     h.send(hagent, NodeId::new(1), Wire::MergeRequest { rate: 0.0 });
     h.run_ms(30);
-    assert!(h.received().iter().any(|m| matches!(m, Wire::RehashDenied)));
+    assert!(h.received().iter().any(|m| matches!(
+        m,
+        Wire::RehashDenied {
+            reason: DenyReason::NoPlan
+        }
+    )));
     assert_eq!(stats.snapshot().merges, 0);
 }
 
@@ -627,8 +632,9 @@ fn hagent_denies_concurrent_rehashes() {
     );
 
     let loads: Vec<(AgentId, u64)> = (0..64).map(|i| (AgentId::new(2000 + i), 5)).collect();
-    // Two split requests back to back: the second hits the in-progress (or
-    // cooldown) guard and is denied.
+    // Two split requests back to back from the same leaf: the second
+    // overlaps the first one's still-held lease region and is denied Busy
+    // (overlapping rehashes stay serialised even at concurrency > 1).
     h.send(
         hagent,
         NodeId::new(1),
@@ -643,9 +649,71 @@ fn hagent_denies_concurrent_rehashes() {
         Wire::SplitRequest { rate: 99.0, loads },
     );
     h.run_ms(500);
-    assert!(h.received().iter().any(|m| matches!(m, Wire::RehashDenied)));
+    assert!(h.received().iter().any(|m| matches!(
+        m,
+        Wire::RehashDenied {
+            reason: DenyReason::Busy
+        }
+    )));
     assert_eq!(stats.snapshot().splits, 1);
     assert_eq!(stats.snapshot().rehash_denied, 1);
+}
+
+#[test]
+fn frozen_hagent_denies_readonly_without_counting_denial_traffic() {
+    let mut h = Harness::new(2);
+    let hf = HashFunction::initial(h.puppet, h.puppet_node);
+    let stats = SharedSchemeStats::new();
+    let hagent = h.platform.spawn(
+        Box::new(HAgentBehavior::new(
+            config(),
+            hf,
+            Vec::new(),
+            2,
+            stats.clone(),
+        )),
+        NodeId::new(1),
+    );
+
+    // Administrative drain: the audit (or an operator) froze adaptation.
+    stats.set_adaptation_frozen(true);
+    let loads: Vec<(AgentId, u64)> = (0..64).map(|i| (AgentId::new(2000 + i), 5)).collect();
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::SplitRequest {
+            rate: 99.0,
+            loads: loads.clone(),
+        },
+    );
+    h.send(hagent, NodeId::new(1), Wire::MergeRequest { rate: 0.0 });
+    h.run_ms(200);
+    let readonly = h
+        .received()
+        .iter()
+        .filter(|m| {
+            matches!(
+                m,
+                Wire::RehashDenied {
+                    reason: DenyReason::ReadOnly
+                }
+            )
+        })
+        .count();
+    assert_eq!(readonly, 2, "both requests bounce ReadOnly while frozen");
+    assert_eq!(stats.snapshot().splits, 0);
+    // A closed admission gate is not denial traffic.
+    assert_eq!(stats.snapshot().rehash_denied, 0);
+
+    // Thawing restores normal admission.
+    stats.set_adaptation_frozen(false);
+    h.send(
+        hagent,
+        NodeId::new(1),
+        Wire::SplitRequest { rate: 99.0, loads },
+    );
+    h.run_ms(500);
+    assert_eq!(stats.snapshot().splits, 1);
 }
 
 // ---------------------------------------------------------------------

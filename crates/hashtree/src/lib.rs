@@ -72,6 +72,6 @@ pub use key::{AgentKey, KEY_BITS};
 pub use label::{HyperLabel, Label, ParseLabelError};
 pub use shape::TreeShape;
 pub use tree::{
-    HashTree, IAgentId, MergeApplied, MergeKind, NodeId, Side, SplitApplied, SplitCandidate,
-    SplitKind,
+    HashTree, IAgentId, MergeApplied, MergeKind, NodeId, PrefixRegion, Side, SplitApplied,
+    SplitCandidate, SplitKind,
 };

@@ -255,6 +255,64 @@ pub struct MergeApplied {
     pub absorbers: Vec<IAgentId>,
 }
 
+/// The key-space region a rehash operation can remap, expressed as a
+/// prefix constraint: the set of keys that agree with `value` on every bit
+/// selected by `mask` (bit positions count from the most significant end,
+/// matching [`AgentKey::bit`]).
+///
+/// Regions are how the HAgent's lease table decides whether two rehashes
+/// are independent: a split or merge restructures only nodes inside its
+/// region, so any set of pairwise-disjoint regions can be rehashed
+/// concurrently without one invalidating another's plan. Two regions
+/// *overlap* when some key satisfies both constraints — which happens
+/// exactly when they agree on every commonly-constrained bit. An ancestor
+/// region (fewer constrained bits) therefore overlaps all of its
+/// descendants, which is what serialises a complex split at a shallow edge
+/// against every operation underneath it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefixRegion {
+    /// Bit positions constrained by this region (MSB-first, like keys).
+    mask: u64,
+    /// Required values at the constrained positions.
+    value: u64,
+}
+
+impl PrefixRegion {
+    /// The unconstrained region: the whole key space. Overlaps everything.
+    pub const EVERYTHING: PrefixRegion = PrefixRegion { mask: 0, value: 0 };
+
+    /// The region of keys compatible with a hyper-label: each label's valid
+    /// bit constrains its position, unused bits (and the prefix skip)
+    /// constrain nothing.
+    #[must_use]
+    pub fn from_hyper_label(hl: &HyperLabel) -> Self {
+        let mut mask = 0u64;
+        let mut value = 0u64;
+        for (pos, label) in hl.valid_bit_positions().iter().zip(hl.labels()) {
+            let bit = 1u64 << (KEY_BITS - 1 - pos);
+            mask |= bit;
+            if label.valid_bit() {
+                value |= bit;
+            }
+        }
+        PrefixRegion { mask, value }
+    }
+
+    /// `true` when some key lies in both regions: the regions agree on
+    /// every bit they both constrain. Disjoint regions differ on at least
+    /// one commonly-constrained bit, so no key can satisfy both.
+    #[must_use]
+    pub fn overlaps(&self, other: &PrefixRegion) -> bool {
+        (self.value ^ other.value) & self.mask & other.mask == 0
+    }
+
+    /// Number of constrained bit positions (0 for [`Self::EVERYTHING`]).
+    #[must_use]
+    pub fn constrained_bits(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
 /// The dynamic hash tree: the paper's representation of the extendible hash
 /// function `H` mapping agent ids to IAgents.
 ///
@@ -464,6 +522,86 @@ impl HashTree {
             });
         }
         Ok(candidates)
+    }
+
+    /// The key-space region a split would remap: for a simple split, the
+    /// keys compatible with the leaf's hyper-label; for a complex split,
+    /// the keys routed through the candidate's edge (the whole subtree
+    /// under it re-partitions on the promoted bit).
+    ///
+    /// The HAgent's lease table admits a rehash only when its region is
+    /// disjoint from every in-flight lease: operations inside disjoint
+    /// regions touch disjoint node sets and never invalidate each other.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::UnknownIAgent`] — the candidate's IAgent owns no leaf.
+    /// * [`TreeError::StaleCandidate`] — the candidate was computed against
+    ///   an older generation (its `edge_node` may dangle).
+    pub fn split_region(&self, candidate: &SplitCandidate) -> Result<PrefixRegion, TreeError> {
+        if candidate.generation != self.generation {
+            return Err(TreeError::StaleCandidate(format!(
+                "candidate from generation {}, tree at {}",
+                candidate.generation, self.generation
+            )));
+        }
+        let leaf = self.leaf_of(candidate.iagent)?;
+        let node = match candidate.kind {
+            SplitKind::Simple { .. } => leaf,
+            SplitKind::Complex { edge_node, .. } => edge_node,
+        };
+        Ok(PrefixRegion::from_hyper_label(
+            &self.hyper_label_of_node(node),
+        ))
+    }
+
+    /// The key-space region a merge of `iagent` would remap: the keys
+    /// routed through its parent node (the merged leaf's keys redistribute
+    /// over the sibling subtree, whose labels all shift).
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::UnknownIAgent`] — `iagent` owns no leaf.
+    /// * [`TreeError::LastIAgent`] — the tree has only one leaf.
+    pub fn merge_region(&self, iagent: IAgentId) -> Result<PrefixRegion, TreeError> {
+        let leaf = self.leaf_of(iagent)?;
+        match self.node(leaf).parent {
+            Some((parent, _)) => Ok(PrefixRegion::from_hyper_label(
+                &self.hyper_label_of_node(parent),
+            )),
+            None => Err(TreeError::LastIAgent),
+        }
+    }
+
+    /// Re-derives a split candidate against the *current* generation by its
+    /// partitioning key bit.
+    ///
+    /// A lease holder plans its split at grant time, but disjoint rehashes
+    /// may commit (and bump the generation) before it reports back. The key
+    /// bit survives those commits — no node on the leased leaf's root path
+    /// can change while operations are confined to disjoint regions — and
+    /// it uniquely identifies a candidate: complex key bits are unused-bit
+    /// positions below the leaf's consumed prefix, simple key bits lie at
+    /// or past it, and each set enumerates distinct positions.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::UnknownIAgent`] — `iagent` owns no leaf.
+    /// * [`TreeError::StaleCandidate`] — no candidate partitions on
+    ///   `key_bit` any more (an overlapping rehash slipped through).
+    pub fn refreshed_candidate(
+        &self,
+        iagent: IAgentId,
+        key_bit: usize,
+    ) -> Result<SplitCandidate, TreeError> {
+        self.split_candidates(iagent)?
+            .into_iter()
+            .find(|c| c.key_bit == key_bit)
+            .ok_or_else(|| {
+                TreeError::StaleCandidate(format!(
+                    "no split candidate for {iagent} partitions on key bit {key_bit}"
+                ))
+            })
     }
 
     /// Applies a split: the leaf of `candidate.iagent` (for a simple split)
@@ -1406,6 +1544,106 @@ mod tests {
         assert!(!Side::Left.bit());
         assert_eq!(Side::from_bit(true), Side::Right);
         assert_eq!(Side::from_bit(false), Side::Left);
+    }
+
+    #[test]
+    fn regions_overlap_iff_a_key_satisfies_both() {
+        let tree = figure1_style_tree();
+        // IA0: 0.0, IA1: 10.0, IA2: 0.1, IA3: 10.1
+        let region_of = |n: u64| PrefixRegion::from_hyper_label(&tree.hyper_label(ia(n)).unwrap());
+        let (r0, r1, r2, r3) = (region_of(0), region_of(1), region_of(2), region_of(3));
+        // Sibling leaves differ on their deepest valid bit: disjoint.
+        assert!(!r0.overlaps(&r2));
+        assert!(!r1.overlaps(&r3));
+        // Leaves across the root differ on bit 0: disjoint.
+        assert!(!r0.overlaps(&r1));
+        // Every region overlaps itself and the universal region.
+        for r in [r0, r1, r2, r3] {
+            assert!(r.overlaps(&r));
+            assert!(r.overlaps(&PrefixRegion::EVERYTHING));
+            assert!(PrefixRegion::EVERYTHING.overlaps(&r));
+        }
+        assert_eq!(PrefixRegion::EVERYTHING.constrained_bits(), 0);
+        // An ancestor region (the subtree under the root's right edge)
+        // overlaps both of its descendant leaves but not the left side.
+        let parent: HyperLabel = "10".parse().unwrap();
+        let ancestor = PrefixRegion::from_hyper_label(&parent);
+        assert!(ancestor.overlaps(&r1));
+        assert!(ancestor.overlaps(&r3));
+        assert!(!ancestor.overlaps(&r0));
+        assert_eq!(ancestor.constrained_bits(), 1);
+    }
+
+    #[test]
+    fn split_and_merge_regions_match_the_affected_subtree() {
+        let tree = figure1_style_tree();
+        // Simple split of IA1 (10.0) remaps only IA1's own keys.
+        let simple_cand = simple(&tree, ia(1), 1);
+        let r = tree.split_region(&simple_cand).unwrap();
+        assert_eq!(
+            r,
+            PrefixRegion::from_hyper_label(&tree.hyper_label(ia(1)).unwrap())
+        );
+        // Complex split of IA1 promotes the unused bit of the root's right
+        // edge: the region covers the whole right subtree (IA1 and IA3).
+        let complex_cand = tree
+            .split_candidates(ia(1))
+            .unwrap()
+            .into_iter()
+            .find(|c| matches!(c.kind, SplitKind::Complex { .. }))
+            .unwrap();
+        let rc = tree.split_region(&complex_cand).unwrap();
+        let r3 = PrefixRegion::from_hyper_label(&tree.hyper_label(ia(3)).unwrap());
+        assert!(rc.overlaps(&r3), "complex region must cover the sibling");
+        assert!(!rc.overlaps(&PrefixRegion::from_hyper_label(
+            &tree.hyper_label(ia(0)).unwrap()
+        )));
+        // Merging IA3 remaps its parent's subtree: overlaps IA1, not IA0.
+        let rm = tree.merge_region(ia(3)).unwrap();
+        assert!(rm.overlaps(&PrefixRegion::from_hyper_label(
+            &tree.hyper_label(ia(1)).unwrap()
+        )));
+        assert!(!rm.overlaps(&PrefixRegion::from_hyper_label(
+            &tree.hyper_label(ia(0)).unwrap()
+        )));
+        // A stale candidate (older generation) is rejected.
+        let mut grown = tree.clone();
+        grown
+            .apply_split(&simple(&grown, ia(2), 1), ia(9), Side::Right)
+            .unwrap();
+        assert!(matches!(
+            grown.split_region(&simple_cand),
+            Err(TreeError::StaleCandidate(_))
+        ));
+        // Merging the last leaf has no region.
+        let lone = HashTree::new(ia(0));
+        assert_eq!(lone.merge_region(ia(0)), Err(TreeError::LastIAgent));
+    }
+
+    #[test]
+    fn refreshed_candidate_survives_disjoint_commits() {
+        let mut tree = figure1_style_tree();
+        // Plan a split of IA1 (right subtree), then commit a disjoint
+        // split of IA0 (left subtree) first.
+        let planned = simple(&tree, ia(1), 1);
+        tree.apply_split(&simple(&tree, ia(0), 1), ia(8), Side::Right)
+            .unwrap();
+        // The planned candidate is now generation-stale, but its key bit
+        // re-derives an equivalent candidate against the new generation.
+        assert!(matches!(
+            tree.apply_split(&planned, ia(9), Side::Right),
+            Err(TreeError::StaleCandidate(_))
+        ));
+        let refreshed = tree.refreshed_candidate(ia(1), planned.key_bit).unwrap();
+        assert_eq!(refreshed.kind, planned.kind);
+        assert_eq!(refreshed.key_bit, planned.key_bit);
+        tree.apply_split(&refreshed, ia(9), Side::Right).unwrap();
+        tree.validate().unwrap();
+        // A key bit nothing partitions on is an error.
+        assert!(matches!(
+            tree.refreshed_candidate(ia(1), KEY_BITS + 5),
+            Err(TreeError::StaleCandidate(_))
+        ));
     }
 
     #[test]

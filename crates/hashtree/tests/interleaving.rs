@@ -13,7 +13,9 @@
 //! this suite pins them at every intermediate tree shape, which is where
 //! a split applied concurrently with a merge would first go wrong.
 
-use agentrack_hashtree::{AgentKey, CompiledDirectory, HashTree, IAgentId, Side, TreeError};
+use agentrack_hashtree::{
+    AgentKey, CompiledDirectory, HashTree, HyperLabel, IAgentId, PrefixRegion, Side, TreeError,
+};
 use proptest::prelude::*;
 
 /// One randomly-directed rehash operation (mirrors `properties.rs`).
@@ -97,8 +99,177 @@ fn witness(hl: &agentrack_hashtree::HyperLabel) -> AgentKey {
     AgentKey::new(raw)
 }
 
+/// A rehash planned against a frozen base tree, exactly as the HAgent's
+/// lease table holds it: the split keeps only the partition bit (the
+/// candidate is re-derived at commit), the merge only its target.
+#[derive(Debug, Clone)]
+enum LeasedOp {
+    Split {
+        target: IAgentId,
+        key_bit: usize,
+        side: Side,
+        new_iagent: IAgentId,
+    },
+    Merge {
+        target: IAgentId,
+    },
+}
+
+/// Commits a leased op through the same path the HAgent uses on
+/// `IAgentReady`: re-derive the candidate by partition bit, apply, refresh
+/// the compiled directory with the involved leaves only.
+fn commit(tree: &mut HashTree, dir: &mut CompiledDirectory, op: &LeasedOp) {
+    match *op {
+        LeasedOp::Split {
+            target,
+            key_bit,
+            side,
+            new_iagent,
+        } => {
+            let cand = tree
+                .refreshed_candidate(target, key_bit)
+                .expect("a leased subtree is untouched by disjoint commits");
+            let applied = tree
+                .apply_split(&cand, new_iagent, side)
+                .expect("refreshed candidate applies");
+            let mut involved = applied.affected;
+            involved.push(new_iagent);
+            dir.refresh(tree, &involved);
+        }
+        LeasedOp::Merge { target } => {
+            let applied = tree
+                .apply_merge(target)
+                .expect("a leased merge target is still a leaf");
+            dir.refresh(tree, &applied.absorbers);
+        }
+    }
+}
+
+/// Deterministic permutation by selection: element `seeds[i] % remaining`
+/// is drawn next. An empty seed list yields the identity order.
+fn permute(items: &[LeasedOp], seeds: &[usize]) -> Vec<LeasedOp> {
+    let mut pool = items.to_vec();
+    let mut out = Vec::with_capacity(pool.len());
+    let mut i = 0;
+    while !pool.is_empty() {
+        let k = seeds.get(i).copied().unwrap_or(0) % pool.len();
+        out.push(pool.remove(k));
+        i += 1;
+    }
+    out
+}
+
+fn sorted_mapping(tree: &HashTree) -> Vec<(IAgentId, HyperLabel)> {
+    let mut mapping = tree.mapping();
+    mapping.sort_by_key(|&(ia, _)| ia);
+    mapping
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's fencing argument, as a property: a set of pairwise
+    /// prefix-disjoint splits/merges, all planned against the same frozen
+    /// tree (grant time), committed in *any* order (completion order),
+    /// yields the same final tree shape and the same CompiledDirectory
+    /// contents as committing them serially in plan order — so the HAgent
+    /// may pipeline them freely.
+    #[test]
+    fn disjoint_rehashes_commute_with_any_commit_order(
+        setup in prop::collection::vec(op_strategy(), 0..12),
+        picks in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<bool>(), any::<bool>()),
+            1..10,
+        ),
+        orders in prop::collection::vec(
+            prop::collection::vec(any::<usize>(), 0..16),
+            1..4,
+        ),
+        extra in prop::collection::vec(any::<u64>(), 8..9),
+    ) {
+        // Grow a random base tree.
+        let mut base = HashTree::new(IAgentId::new(0));
+        let mut next_id = 1u64;
+        for op in &setup {
+            let _ = apply(&mut base, op, &mut next_id);
+        }
+
+        // Plan a pairwise prefix-disjoint op set against the frozen base,
+        // exactly as the HAgent's admission check does: an op whose region
+        // overlaps an already-granted one is dropped (it would be denied).
+        let mut leaves: Vec<IAgentId> = base.iagents().collect();
+        leaves.sort_unstable();
+        let mut regions: Vec<PrefixRegion> = Vec::new();
+        let mut planned: Vec<LeasedOp> = Vec::new();
+        for &(leaf_sel, cand_sel, right, is_split) in &picks {
+            let target = leaves[leaf_sel % leaves.len()];
+            if is_split {
+                let candidates = base.split_candidates(target).expect("known IAgent");
+                if candidates.is_empty() {
+                    continue;
+                }
+                let cand = candidates[cand_sel % candidates.len().min(8)];
+                let region = base.split_region(&cand).expect("fresh candidate");
+                if regions.iter().any(|r| r.overlaps(&region)) {
+                    continue;
+                }
+                regions.push(region);
+                planned.push(LeasedOp::Split {
+                    target,
+                    key_bit: cand.key_bit,
+                    side: if right { Side::Right } else { Side::Left },
+                    new_iagent: IAgentId::new(next_id),
+                });
+                next_id += 1;
+            } else {
+                let region = match base.merge_region(target) {
+                    Ok(region) => region,
+                    Err(_) => continue, // last IAgent: nothing to merge
+                };
+                if regions.iter().any(|r| r.overlaps(&region)) {
+                    continue;
+                }
+                regions.push(region);
+                planned.push(LeasedOp::Merge { target });
+            }
+        }
+        if planned.is_empty() {
+            return Ok(());
+        }
+
+        // The serial baseline (identity order) plus every random
+        // completion order must agree on everything observable.
+        let mut all_orders: Vec<Vec<usize>> = vec![Vec::new()];
+        all_orders.extend(orders);
+        let mut outcome: Option<Vec<(IAgentId, HyperLabel)>> = None;
+        for seeds in &all_orders {
+            let mut tree = base.clone();
+            let mut dir = CompiledDirectory::build(&tree);
+            for op in permute(&planned, seeds) {
+                commit(&mut tree, &mut dir, &op);
+                tree.validate().expect("structural invariants");
+            }
+            // The incrementally-refreshed directory answers like the walk.
+            let probes = (0..64u64)
+                .map(AgentKey::from_sequential)
+                .chain(extra.iter().map(|&raw| AgentKey::new(raw)));
+            for key in probes {
+                prop_assert_eq!(
+                    dir.lookup(key).expect("compiled within depth cap"),
+                    tree.lookup(key),
+                    "compiled directory diverged from the walk at key {}", key
+                );
+            }
+            let mapping = sorted_mapping(&tree);
+            match &outcome {
+                None => outcome = Some(mapping),
+                Some(first) => prop_assert_eq!(
+                    first, &mapping,
+                    "commit order {:?} changed the final tree", seeds
+                ),
+            }
+        }
+    }
 
     /// After *every* step of a random split/merge interleaving: labels are
     /// prefix-free, the id space is fully covered, and the compiled

@@ -25,6 +25,13 @@
 //! Checks that a fault plan makes undecidable (e.g. locatability of agents
 //! stranded on a node that never restarts) are narrowed to the reachable
 //! population rather than skipped wholesale.
+//!
+//! The audit first freezes directory adaptation
+//! ([`LocationScheme::set_adaptation_frozen`]): a post-spike merge cascade
+//! can still be committing versions while the probe runs, and sampling
+//! versions mid-install would report a convergence failure that is really
+//! an in-flight broadcast. In-flight leases still commit (bounded by the
+//! lease timeout, inside the probe window); only new grants stop.
 
 use std::sync::Arc;
 
@@ -175,6 +182,14 @@ pub(crate) fn check(
 ) -> InvariantReport {
     let mut violations = Vec::new();
 
+    // Drain the control plane before auditing, the way an operator would:
+    // no new rehash leases are granted from here on (in-flight ones still
+    // commit, bounded by the lease timeout, well inside the probe window),
+    // so the version sample at the end observes a settled directory
+    // instead of racing a cascade that is still adapting to post-fault
+    // load.
+    scheme.set_adaptation_frozen(true);
+
     // The audited population: agents still alive (churn may have replaced
     // some) on nodes that are up. With a fully-healing plan that is every
     // survivor; under an unhealed plan, stranded agents are unreachable by
@@ -310,6 +325,8 @@ pub(crate) fn check(
             stats.recoveries_started
         ));
     }
+
+    scheme.set_adaptation_frozen(false);
 
     InvariantReport {
         probed,

@@ -43,5 +43,5 @@ pub use invariants::InvariantReport;
 pub use metrics::{Metrics, MetricsInner};
 pub use population::Population;
 pub use querier::{QuerierBehavior, TargetSelector, Targets};
-pub use scenario::{Scenario, ScenarioReport};
+pub use scenario::{QuerySpike, Scenario, ScenarioReport};
 pub use tagent::{Lifecycle, NodeSelector, TAgentBehavior};

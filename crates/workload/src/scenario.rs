@@ -81,6 +81,24 @@ pub struct Scenario {
     /// Scheduled fault injection: partitions, node crashes/restarts,
     /// latency spikes, loss bursts, blackholes (empty = fault-free).
     pub faults: FaultPlan,
+    /// Flash crowd: an extra burst of queries concentrated in a short
+    /// window, on top of the steady workload (E17).
+    pub spike: Option<QuerySpike>,
+}
+
+/// A flash crowd riding on top of the steady query workload: `queries`
+/// extra locates issued by `queriers` dedicated querier agents, paced over
+/// `span` starting at `at` (measured from the start of the run).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuerySpike {
+    /// When the spike begins, from the start of the run.
+    pub at: SimDuration,
+    /// How long the spike lasts.
+    pub span: SimDuration,
+    /// Extra locate operations issued during the spike.
+    pub queries: u64,
+    /// Dedicated spike queriers (spread round-robin over nodes).
+    pub queriers: usize,
 }
 
 impl Scenario {
@@ -106,6 +124,7 @@ impl Scenario {
             grace: SimDuration::from_secs(10),
             churn_lifespan: None,
             faults: FaultPlan::new(),
+            spike: None,
         }
     }
 
@@ -149,6 +168,13 @@ impl Scenario {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Adds a flash-crowd query spike on top of the steady workload.
+    #[must_use]
+    pub fn with_spike(mut self, spike: QuerySpike) -> Self {
+        self.spike = Some(spike);
         self
     }
 
@@ -424,6 +450,46 @@ impl Scenario {
             }
         }
 
+        // Flash crowd: dedicated queriers that sit silent until the spike
+        // instant, then issue their budget paced over the spike span. They
+        // share the metrics sink — a spike inside the measured window
+        // shows up in the locate percentiles, which is the point.
+        if let Some(spike) = self.spike {
+            assert!(spike.queriers > 0, "a spike needs queriers");
+            assert!(!spike.span.is_zero(), "a spike needs a non-zero span");
+            let per = spike.queries / spike.queriers as u64;
+            let mut remainder = spike.queries % spike.queriers as u64;
+            let interval = spike
+                .span
+                .mul_f64(spike.queriers as f64 / spike.queries.max(1) as f64);
+            let interval_dist = DurationDist::Uniform {
+                lo: interval.mul_f64(0.5),
+                hi: interval.mul_f64(1.5),
+            };
+            for i in 0..spike.queriers {
+                let mut count = per;
+                if remainder > 0 {
+                    count += 1;
+                    remainder -= 1;
+                }
+                if count == 0 {
+                    continue;
+                }
+                let node = NodeId::new((i as u32) % self.nodes);
+                let phase = interval.mul_f64(i as f64 / spike.queriers as f64);
+                let behavior = QuerierBehavior::new(
+                    scheme.make_client(),
+                    targets.clone(),
+                    TargetSelector::new(self.agents, self.query_skew),
+                    spike.at + phase,
+                    interval_dist,
+                    count,
+                    metrics.clone(),
+                );
+                platform.spawn(Box::new(behavior), node);
+            }
+        }
+
         platform.run_for(self.duration() + self.grace);
 
         let scheme_stats = scheme.stats();
@@ -459,6 +525,7 @@ impl Scenario {
             mean_locate_ms: m.locate_times.mean().as_millis_f64(),
             p50_locate_ms: m.locate_times.percentile(50.0).as_millis_f64(),
             p95_locate_ms: m.locate_times.percentile(95.0).as_millis_f64(),
+            p99_locate_ms: m.locate_times.percentile(99.0).as_millis_f64(),
             max_locate_ms: m.locate_times.max().as_millis_f64(),
             registrations: m.registrations,
             moves: m.moves,
@@ -520,6 +587,9 @@ pub struct ScenarioReport {
     pub p50_locate_ms: f64,
     /// 95th-percentile location time in milliseconds.
     pub p95_locate_ms: f64,
+    /// 99th-percentile location time in milliseconds (the flash-crowd
+    /// experiments report the tail the spike creates).
+    pub p99_locate_ms: f64,
     /// Worst location time in milliseconds.
     pub max_locate_ms: f64,
     /// Registrations completed.

@@ -1,15 +1,19 @@
 //! Targeted fault-path tests: the retry give-up and mailbox double-expiry
-//! paths, asserted through their trace events and metrics, plus the
-//! transport-randomness isolation guarantee (enabling loss must not
-//! perturb the agent-visible RNG stream).
+//! paths, asserted through their trace events and metrics, the rehash
+//! request give-up (its re-ask must wait out the HAgent's lease timeout),
+//! plus the transport-randomness isolation guarantee (enabling loss must
+//! not perturb the agent-visible RNG stream).
 
 use std::sync::{Arc, Mutex};
 
-use agentrack::core::{CentralizedScheme, DirectoryClient, LocationConfig, LocationScheme};
+use agentrack::core::{
+    CentralizedScheme, DirectoryClient, HashFunction, IAgentBehavior, LocationConfig,
+    LocationScheme, SharedSchemeStats, Wire,
+};
 use agentrack::platform::{
     Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,
 };
-use agentrack::sim::{DurationDist, SimDuration, Topology, TraceEvent, TraceSink};
+use agentrack::sim::{DurationDist, SimDuration, SimTime, Topology, TraceEvent, TraceSink};
 use agentrack::workload::{Metrics, QuerierBehavior, TargetSelector, Targets};
 
 fn lan(nodes: u32) -> Topology {
@@ -152,6 +156,108 @@ fn buffered_mail_expires_twice_and_is_counted() {
         .map(|(_, t)| t.mail_lost)
         .sum();
     assert_eq!(mail_lost, 2, "both expired items must be counted as lost");
+}
+
+/// Plays a dead-silent HAgent (records split requests, never answers) and
+/// simultaneously drives steady registration traffic at the IAgent.
+struct SilentHAgent {
+    iagent: AgentId,
+    iagent_node: NodeId,
+    requests: Arc<Mutex<Vec<SimTime>>>,
+    sent: u64,
+}
+
+impl Agent for SilentHAgent {
+    fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(5));
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _timer: TimerId) {
+        let agent = AgentId::new(3000 + self.sent % 64);
+        self.sent += 1;
+        let here = ctx.node();
+        ctx.send(
+            self.iagent,
+            self.iagent_node,
+            Wire::Register { agent, node: here }.payload(),
+        );
+        ctx.set_timer(SimDuration::from_millis(5));
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+        if let Some(Wire::SplitRequest { .. }) = Wire::from_payload(payload) {
+            self.requests.lock().unwrap().push(ctx.now());
+        }
+    }
+}
+
+impl std::fmt::Debug for SilentHAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SilentHAgent").finish_non_exhaustive()
+    }
+}
+
+/// A split request whose answer is lost (the HAgent never replies) is
+/// given up and re-asked only after the HAgent's own lease timeout plus
+/// its commit cooldown have certainly passed — re-asking earlier would
+/// race a lease that may still be live on the HAgent. The old threshold
+/// (`rehash_cooldown + rate_window * 4`) sat *below* the lease timeout,
+/// so the retry was guaranteed a pointless Busy denial.
+#[test]
+fn lost_rehash_answer_gives_up_after_the_lease_timeout() {
+    let mut platform = SimPlatform::new(lan(2), PlatformConfig::default().with_seed(21));
+    let requests: Arc<Mutex<Vec<SimTime>>> = Arc::default();
+
+    let config = LocationConfig {
+        // Lease timeout = rate_window * 5 = 500 ms; give-up threshold
+        // = 500 ms + rehash_cooldown (100 ms) = 600 ms. The old formula
+        // gave 100 ms + 4 * 100 ms = 500 ms — inside the lease window.
+        rate_window: SimDuration::from_millis(100),
+        check_interval: SimDuration::from_millis(50),
+        ..LocationConfig::default()
+    };
+    assert_eq!(config.rehash_lease_timeout(), SimDuration::from_millis(500));
+
+    let ia = AgentId::new(platform.next_agent_id());
+    let driver = AgentId::new(ia.raw() + 1);
+    let hf = HashFunction::initial(ia, NodeId::new(0));
+    let spawned = platform.spawn(
+        Box::new(IAgentBehavior::initial(
+            config,
+            driver, // the silent driver plays the HAgent
+            NodeId::new(1),
+            hf,
+            SharedSchemeStats::new(),
+        )),
+        NodeId::new(0),
+    );
+    assert_eq!(spawned, ia);
+    platform.spawn(
+        Box::new(SilentHAgent {
+            iagent: ia,
+            iagent_node: NodeId::new(0),
+            requests: requests.clone(),
+            sent: 0,
+        }),
+        NodeId::new(1),
+    );
+
+    platform.run_for(SimDuration::from_secs(2));
+
+    let times = requests.lock().unwrap().clone();
+    assert!(
+        times.len() >= 2,
+        "the IAgent must give up on the lost answer and re-ask: {times:?}"
+    );
+    let gap = times[1].saturating_since(times[0]);
+    assert!(
+        gap > SimDuration::from_millis(600),
+        "re-asked after only {gap:?}: inside the HAgent's lease window"
+    );
+    assert!(
+        gap < SimDuration::from_millis(750),
+        "re-ask took {gap:?}: give-up threshold drifted from the lease timeout"
+    );
 }
 
 /// Sends a message to a fixed peer every tick and records what the
