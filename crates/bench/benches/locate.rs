@@ -5,6 +5,9 @@
 //! complementing the `repro` binary which measures *virtual-time* location
 //! latencies.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use agentrack_core::{

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use agentrack_core::{HashedScheme, LocationConfig};
 use agentrack_sim::{TraceEvent, TraceRecord, TraceSink};
-use agentrack_workload::Scenario;
+use agentrack_workload::{RunOptions, Scenario};
 
 fn main() {
     let sink = TraceSink::bounded(200_000);
@@ -19,7 +19,9 @@ fn main() {
         .with_queries(40)
         .with_seconds(8.0, 4.0);
     let mut scheme = HashedScheme::new(LocationConfig::default());
-    let report = scenario.run_observed(&mut scheme, sink.clone());
+    let report = scenario
+        .run_with(&mut scheme, RunOptions::new().with_sink(sink.clone()))
+        .report;
     println!(
         "completed {} locates; {} trace records buffered ({} overwritten)",
         report.locates_completed,

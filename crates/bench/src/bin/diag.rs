@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 
 use agentrack_core::{HashedScheme, LocationConfig, Wire};
 use agentrack_platform::AgentId;
-use agentrack_workload::Scenario;
+use agentrack_workload::{RunOptions, Scenario};
 
 fn scenario() -> Scenario {
     let mut s = Scenario::new("diag")
@@ -31,7 +31,8 @@ fn config() -> LocationConfig {
 fn main() {
     let sc = scenario();
     let mut scheme = HashedScheme::new(config());
-    let (report, samples) = sc.run_with_samples(&mut scheme);
+    let out = sc.run_with(&mut scheme, RunOptions::new());
+    let (report, samples) = (out.report, out.samples);
     println!(
         "mean={:.2}ms p50={:.2} p95={:.2} max={:.2} done={} fail={}",
         report.mean_locate_ms,
@@ -141,7 +142,10 @@ fn main() {
         }
     });
     let sc = scenario();
-    let _ = sc.run_traced(&mut HashedScheme::new(config()), tracer);
+    let _ = sc.run_with(
+        &mut HashedScheme::new(config()),
+        RunOptions::new().with_tracer(tracer),
+    );
     let log = log.lock().unwrap();
     println!("trace lines: {}", log.len());
     for line in log.iter() {

@@ -23,7 +23,13 @@ use agentrack_core::{
     CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
     LocationScheme,
 };
-use agentrack_workload::{Scenario, ScenarioReport};
+use agentrack_workload::{AuditOptions, RunOptions, Scenario, ScenarioReport};
+
+pub mod spec;
+
+mod runner;
+pub use runner::{run_spec, PointValue, SpecOutcome, TrialRecord};
+pub use spec::{ScenarioSpec, SpecError};
 
 /// One independent grid cell of an experiment: computes one table row.
 ///
@@ -34,7 +40,9 @@ use agentrack_workload::{Scenario, ScenarioReport};
 type Cell = Box<dyn FnOnce() -> Vec<String> + Send>;
 
 /// Runs independent experiment cells across `jobs` worker threads and
-/// returns the rows in cell order.
+/// returns the outcomes in cell order. Generic over the outcome type: the
+/// hand-coded experiments produce formatted rows (`Vec<String>`), the
+/// spec-driven trial runner produces structured trial outcomes.
 ///
 /// Work-stealing by atomic index: scoped threads pull the next unclaimed
 /// cell until the grid is exhausted, so a slow cell (the big-population
@@ -44,13 +52,15 @@ type Cell = Box<dyn FnOnce() -> Vec<String> + Send>;
 /// # Panics
 ///
 /// Propagates a panic from any cell (scoped-thread join).
-fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<Vec<String>> {
+pub(crate) fn run_cells<T: Send>(cells: Vec<Box<dyn FnOnce() -> T + Send>>, jobs: usize) -> Vec<T> {
     let jobs = jobs.clamp(1, cells.len().max(1));
     if jobs <= 1 {
         return cells.into_iter().map(|cell| cell()).collect();
     }
-    let slots: Vec<Mutex<Option<Cell>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let rows: Vec<Mutex<Option<Vec<String>>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    #[allow(clippy::type_complexity)]
+    let slots: Vec<Mutex<Option<Box<dyn FnOnce() -> T + Send>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let rows: Vec<Mutex<Option<T>>> = slots.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -210,15 +220,30 @@ fn patient(mut config: LocationConfig) -> LocationConfig {
     config
 }
 
-/// Runs one scenario against a fresh scheme instance of the named kind.
-fn run_scheme(scenario: &Scenario, kind: &str, config: LocationConfig) -> ScenarioReport {
+/// Builds a fresh boxed scheme instance of the named kind.
+///
+/// # Panics
+///
+/// Panics on an unknown scheme kind.
+pub(crate) fn boxed_scheme(
+    kind: &str,
+    config: LocationConfig,
+    standby: bool,
+) -> Box<dyn LocationScheme> {
     match kind {
-        "hashed" => scenario.run(&mut HashedScheme::new(config)),
-        "centralized" => scenario.run(&mut CentralizedScheme::new(config)),
-        "home-registry" => scenario.run(&mut HomeRegistryScheme::new(config)),
-        "forwarding" => scenario.run(&mut ForwardingScheme::new(config)),
+        "hashed" if standby => Box::new(HashedScheme::new(config).with_standby()),
+        "hashed" => Box::new(HashedScheme::new(config)),
+        "centralized" => Box::new(CentralizedScheme::new(config)),
+        "home-registry" => Box::new(HomeRegistryScheme::new(config)),
+        "forwarding" => Box::new(ForwardingScheme::new(config)),
         other => panic!("unknown scheme {other}"),
     }
+}
+
+/// Runs one scenario against a fresh scheme instance of the named kind.
+fn run_scheme(scenario: &Scenario, kind: &str, config: LocationConfig) -> ScenarioReport {
+    let mut scheme = boxed_scheme(kind, config, false);
+    scenario.run_with(scheme.as_mut(), RunOptions::new()).report
 }
 
 /// **E1 / Figure 7 (Experiment I)** — location time vs. number of TAgents,
@@ -440,7 +465,7 @@ pub fn sweep_thresholds(fidelity: Fidelity, jobs: usize) -> Table {
             Box::new(move || {
                 let config = LocationConfig::default().with_thresholds(t_max, t_max / 10.0);
                 let mut scheme = HashedScheme::new(config);
-                let report = scenario.run(&mut scheme);
+                let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
                 let denied = scheme.stats().rehash_denied;
                 vec![
                     format!("{t_max}"),
@@ -591,7 +616,7 @@ pub fn ablation_planning(fidelity: Fidelity, jobs: usize) -> Table {
                 .with_seconds(warmup, measure);
             scenario.query_skew = Some(1.2);
             let mut scheme = HashedScheme::new(patient(config));
-            let report = scenario.run(&mut scheme);
+            let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
             let denied = scheme.stats().rehash_denied;
             vec![
                 label.to_owned(),
@@ -737,7 +762,7 @@ pub fn trackers_registry(fidelity: Fidelity) -> (Table, String) {
         .with_seconds(warmup, measure);
     scenario.grace = agentrack_sim::SimDuration::from_secs(45);
     let mut scheme = HashedScheme::new(patient(LocationConfig::default()));
-    let report = scenario.run(&mut scheme);
+    let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
     let snapshot = scheme.registry().snapshot();
     let mut table = Table::new(
         format!(
@@ -851,15 +876,12 @@ fn run_chaos_scheme(
     config: LocationConfig,
     strict_versions: bool,
 ) -> (ScenarioReport, agentrack_workload::InvariantReport) {
-    match kind {
-        "hashed" => scenario.run_chaos(&mut HashedScheme::new(config), strict_versions),
-        "centralized" => scenario.run_chaos(&mut CentralizedScheme::new(config), strict_versions),
-        "home-registry" => {
-            scenario.run_chaos(&mut HomeRegistryScheme::new(config), strict_versions)
-        }
-        "forwarding" => scenario.run_chaos(&mut ForwardingScheme::new(config), strict_versions),
-        other => panic!("unknown scheme {other}"),
-    }
+    let mut scheme = boxed_scheme(kind, config, false);
+    let out = scenario.run_with(
+        scheme.as_mut(),
+        RunOptions::new().with_audit(AuditOptions { strict_versions }),
+    );
+    (out.report, out.invariants.expect("audit was requested"))
 }
 
 /// **E14** — critical-path latency attribution: where a locate's
@@ -977,13 +999,10 @@ fn run_observed_scheme(
     config: LocationConfig,
     sink: agentrack_sim::TraceSink,
 ) -> ScenarioReport {
-    match kind {
-        "hashed" => scenario.run_observed(&mut HashedScheme::new(config), sink),
-        "centralized" => scenario.run_observed(&mut CentralizedScheme::new(config), sink),
-        "home-registry" => scenario.run_observed(&mut HomeRegistryScheme::new(config), sink),
-        "forwarding" => scenario.run_observed(&mut ForwardingScheme::new(config), sink),
-        other => panic!("unknown scheme {other}"),
-    }
+    let mut scheme = boxed_scheme(kind, config, false);
+    scenario
+        .run_with(scheme.as_mut(), RunOptions::new().with_sink(sink))
+        .report
 }
 
 /// **E15** — record durability and recovery: two nodes crash with
@@ -1071,24 +1090,17 @@ pub fn recovery(fidelity: Fidelity, jobs: usize) -> Table {
                         config = config.with_replication(SimDuration::from_millis(v));
                     }
                     let sink = TraceSink::bounded(524_288);
-                    let (report, invariants) = match kind {
-                        "hashed" => scenario.run_chaos_traced(
-                            &mut HashedScheme::new(config).with_standby(),
-                            true,
-                            sink.clone(),
-                        ),
-                        "centralized" => scenario.run_chaos_traced(
-                            &mut CentralizedScheme::new(config),
-                            false,
-                            sink.clone(),
-                        ),
-                        "home-registry" => scenario.run_chaos_traced(
-                            &mut HomeRegistryScheme::new(config),
-                            false,
-                            sink.clone(),
-                        ),
-                        other => panic!("unknown scheme {other}"),
-                    };
+                    let mut scheme = boxed_scheme(kind, config, kind == "hashed");
+                    let out = scenario.run_with(
+                        scheme.as_mut(),
+                        RunOptions::new()
+                            .with_sink(sink.clone())
+                            .with_audit(AuditOptions {
+                                strict_versions: kind == "hashed",
+                            }),
+                    );
+                    let (report, invariants) =
+                        (out.report, out.invariants.expect("audit was requested"));
                     // Pair RecoveryStart/RecoveryEnd per tracker into spans.
                     let mut open: HashMap<u64, SimTime> = HashMap::new();
                     let mut spans_ms: Vec<f64> = Vec::new();
@@ -1206,8 +1218,16 @@ pub fn rehash_spike(fidelity: Fidelity, jobs: usize) -> Table {
                     .with_version_audit(agentrack_sim::SimDuration::from_secs(1));
                 let sink = TraceSink::bounded(1_048_576);
                 let mut scheme = HashedScheme::new(config);
+                let out = scenario.run_with(
+                    &mut scheme,
+                    RunOptions::new()
+                        .with_sink(sink.clone())
+                        .with_audit(AuditOptions {
+                            strict_versions: true,
+                        }),
+                );
                 let (report, invariants) =
-                    scenario.run_chaos_traced(&mut scheme, true, sink.clone());
+                    (out.report, out.invariants.expect("audit was requested"));
                 let denied = scheme.stats().rehash_denied;
                 let spike_start = SimTime::ZERO + spike_at;
                 let reconverge = sink

@@ -1,0 +1,457 @@
+//! The generic trial runner: expands a [`ScenarioSpec`] into independent
+//! trial cells (grid point × scheme arm × seed), runs them across worker
+//! threads with the same work-stealing executor the hand-coded
+//! experiments use, and folds the outcomes into the spec's table plus
+//! structured per-trial records.
+//!
+//! Every trial owns its entire simulation and is fully determined by the
+//! spec and its seed, so `--jobs 1` and `--jobs N` produce byte-identical
+//! tables — the property the `scenario-lab-smoke` CI job diffs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use agentrack_core::LocationConfig;
+use agentrack_sim::{
+    ChaosConfig, DurationDist, FaultEvent, FaultKind, FaultPlan, NodeId, SimDuration, SimTime,
+    TraceEvent, TraceSink,
+};
+use agentrack_workload::{
+    AuditOptions, InvariantReport, QuerySpike, RunOptions, Scenario, ScenarioReport,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ScenarioSpec;
+use crate::{boxed_scheme, ms, ms_or_dnf, patient, run_cells, Fidelity, Table};
+
+/// One sweep-axis assignment of a trial's grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointValue {
+    /// The axis parameter.
+    pub param: String,
+    /// The value this trial ran at (full-fidelity, before scaling).
+    pub value: f64,
+}
+
+/// The structured outcome of one trial: everything the table formatter
+/// reads, plus the full report and audit for downstream analysis. One
+/// JSON array of these lands in `results/<spec>.trials.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The spec that produced this trial.
+    pub spec: String,
+    /// The scenario name the trial ran under.
+    pub scenario: String,
+    /// Scheme arm label.
+    pub scheme: String,
+    /// Scheme kind behind the label.
+    pub kind: String,
+    /// Master seed of the trial.
+    pub seed: u64,
+    /// The grid point, one assignment per sweep axis.
+    pub point: Vec<PointValue>,
+    /// Population actually simulated (after fidelity scaling).
+    pub agents: usize,
+    /// Resolved residence time, when the workload fixes one.
+    pub residence_ms: Option<u64>,
+    /// Resolved chaos intensity, when chaos faults are in play.
+    pub intensity: Option<f64>,
+    /// Resolved rehash pipeline width, when set.
+    pub rehash_concurrency: Option<usize>,
+    /// Resolved query Zipf exponent, when set.
+    pub query_skew: Option<f64>,
+    /// The scenario report.
+    pub report: ScenarioReport,
+    /// The post-quiesce invariant audit (absent with `audit: false`).
+    pub invariants: Option<InvariantReport>,
+    /// Rehash requests the control plane denied.
+    pub rehash_denied: u64,
+    /// Milliseconds from the first spike's start to the last committed
+    /// split — rehash settling time (requires tracing and spikes).
+    pub reconverge_ms: Option<f64>,
+    /// Host wall-clock milliseconds the trial took. The only
+    /// non-deterministic field; golden tests bound it instead of
+    /// comparing it.
+    pub wall_ms: f64,
+}
+
+/// Everything one spec run produces: the rendered table and the trial
+/// records behind its rows.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// The table, shaped by the spec's columns and row layout.
+    pub table: Table,
+    /// Per-trial structured records, in grid order (point, then scheme,
+    /// then seed).
+    pub trials: Vec<TrialRecord>,
+}
+
+impl SpecOutcome {
+    /// The trial records as a JSON array.
+    #[must_use]
+    pub fn trials_json(&self) -> String {
+        serde_json::to_string(&self.trials).expect("trial serialization cannot fail")
+    }
+}
+
+/// Runs every trial of a validated spec and folds the outcomes into the
+/// spec's table. `jobs` is the worker-thread count (callers resolve
+/// `0 = all cores` before calling, as the `repro` binary does).
+///
+/// # Panics
+///
+/// Panics if the spec was not validated ([`ScenarioSpec::load_str`]
+/// guarantees validity) or if a trial's simulation panics.
+#[must_use]
+pub fn run_spec(spec: &ScenarioSpec, fidelity: Fidelity, jobs: usize) -> SpecOutcome {
+    let spec = Arc::new(spec.clone());
+    let labels = spec.scheme_labels();
+    let seeds = spec.seed_list();
+    let points = expand_points(&spec);
+
+    let mut cells: Vec<Box<dyn FnOnce() -> TrialRecord + Send>> = Vec::new();
+    for point in &points {
+        for (scheme_idx, _) in spec.schemes.iter().enumerate() {
+            for &seed in &seeds {
+                let spec = Arc::clone(&spec);
+                let point = point.clone();
+                let label = labels[scheme_idx].clone();
+                cells.push(Box::new(move || {
+                    run_trial(&spec, fidelity, &point, scheme_idx, &label, seed)
+                }));
+            }
+        }
+    }
+    let trials = run_cells(cells, jobs);
+
+    let headers: Vec<String> = spec.columns.iter().map(|c| c.header()).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(spec.title.clone(), &header_refs);
+    let per_point = spec.schemes.len() * seeds.len();
+    for (point_idx, _) in points.iter().enumerate() {
+        let block = &trials[point_idx * per_point..(point_idx + 1) * per_point];
+        if spec.scheme_rows() {
+            for trial in block {
+                let row = spec
+                    .columns
+                    .iter()
+                    .map(|c| format_field(&c.field, trial))
+                    .collect();
+                table.push_row(row);
+            }
+        } else {
+            for (seed_idx, _) in seeds.iter().enumerate() {
+                let arm = |label: Option<&String>| -> &TrialRecord {
+                    let scheme_idx = label
+                        .map(|l| {
+                            labels
+                                .iter()
+                                .position(|have| have == l)
+                                .expect("validated scheme reference")
+                        })
+                        .unwrap_or(0);
+                    &block[scheme_idx * seeds.len() + seed_idx]
+                };
+                let row = spec
+                    .columns
+                    .iter()
+                    .map(|c| format_field(&c.field, arm(c.scheme.as_ref())))
+                    .collect();
+                table.push_row(row);
+            }
+        }
+    }
+    SpecOutcome { table, trials }
+}
+
+/// The cartesian product of the sweep axes, in declaration order (later
+/// axes vary fastest); a single empty point without a sweep.
+fn expand_points(spec: &ScenarioSpec) -> Vec<Vec<PointValue>> {
+    let mut points: Vec<Vec<PointValue>> = vec![Vec::new()];
+    for axis in spec.sweep.iter().flatten() {
+        let mut next = Vec::with_capacity(points.len() * axis.values.len());
+        for point in &points {
+            for &value in &axis.values {
+                let mut grown = point.clone();
+                grown.push(PointValue {
+                    param: axis.param.clone(),
+                    value,
+                });
+                next.push(grown);
+            }
+        }
+        points = next;
+    }
+    points
+}
+
+fn axis_value(point: &[PointValue], param: &str) -> Option<f64> {
+    point.iter().find(|p| p.param == param).map(|p| p.value)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_trial(
+    spec: &ScenarioSpec,
+    fidelity: Fidelity,
+    point: &[PointValue],
+    scheme_idx: usize,
+    label: &str,
+    seed: u64,
+) -> TrialRecord {
+    let wall = Instant::now();
+    let w = &spec.workload;
+    let arm = &spec.schemes[scheme_idx];
+
+    let full_agents = axis_value(point, "agents").map_or(w.agents, |v| v as usize);
+    let agents = fidelity.scale_agents(full_agents);
+    let (fidelity_warmup, fidelity_measure) = fidelity.spans();
+    let warmup = w.warmup_s.unwrap_or(fidelity_warmup);
+    let measure = w.measure_s.unwrap_or(fidelity_measure);
+    let queries = w.queries.unwrap_or_else(|| fidelity.queries());
+    let residence_ms = axis_value(point, "residence_ms")
+        .map(|v| v as u64)
+        .or(w.residence_ms);
+    let query_skew = axis_value(point, "query_skew").or(w.query_skew);
+    let rehash_concurrency = axis_value(point, "rehash_concurrency")
+        .map(|v| v as usize)
+        .or(arm.rehash_concurrency);
+
+    let mut scenario = Scenario::new(format!("{}-{label}-s{seed}", spec.name))
+        .with_agents(agents)
+        .with_queries(queries)
+        .with_seconds(warmup, measure)
+        .with_seed(seed);
+    if let Some(residence) = residence_ms {
+        scenario = scenario.with_residence_ms(residence);
+    }
+    if let Some(nodes) = w.nodes {
+        scenario.nodes = nodes;
+    }
+    if let Some(queriers) = w.queriers {
+        scenario.queriers = queriers;
+    }
+    if let Some(grace) = w.grace_s {
+        scenario.grace = SimDuration::from_secs_f64(grace);
+    }
+    scenario.query_skew = query_skew;
+    scenario.mobility_skew = w.mobility_skew;
+    if let Some(loss) = w.loss {
+        scenario.loss = loss;
+    }
+    if let Some(duplication) = w.duplication {
+        scenario.duplication = duplication;
+    }
+    if let Some(lifespan_ms) = w.churn_lifespan_ms {
+        scenario.churn_lifespan = Some(DurationDist::Constant(SimDuration::from_millis(
+            lifespan_ms,
+        )));
+    }
+
+    // Spikes: timed against the resolved spans, exactly as E17 computes
+    // its flash crowd from `scenario.warmup`/`scenario.measure`.
+    let mut first_spike_at: Option<SimDuration> = None;
+    for s in spec.spikes.iter().flatten() {
+        let at = scenario.warmup + scenario.measure.mul_f64(s.at_frac);
+        let span = scenario.measure.mul_f64(s.span_frac);
+        let queries = s
+            .queries
+            .unwrap_or_else(|| scenario.queries_total * s.queries_factor.unwrap_or(0));
+        first_spike_at = Some(first_spike_at.map_or(at, |earliest| earliest.min(at)));
+        scenario = scenario.with_spike(QuerySpike {
+            at,
+            span,
+            queries,
+            queriers: s.queriers,
+        });
+    }
+
+    let mut intensity = None;
+    if let Some(faults) = &spec.faults {
+        if let Some(chaos) = &faults.chaos {
+            let resolved = chaos
+                .intensity
+                .or_else(|| axis_value(point, "intensity"))
+                .unwrap_or(0.0);
+            intensity = Some(resolved);
+            if resolved > 0.0 {
+                scenario.faults = ChaosConfig {
+                    seed: chaos.seed,
+                    intensity: resolved,
+                }
+                .generate(scenario.nodes, scenario.duration());
+            }
+        }
+        if let Some(partition) = &faults.regional_partition {
+            let duration = scenario.duration();
+            let groups: Vec<Vec<NodeId>> = match &partition.groups {
+                Some(groups) => groups
+                    .iter()
+                    .map(|group| group.iter().copied().map(NodeId::new).collect())
+                    .collect(),
+                None => {
+                    let half = scenario.nodes / 2;
+                    vec![
+                        (0..half).map(NodeId::new).collect(),
+                        (half..scenario.nodes).map(NodeId::new).collect(),
+                    ]
+                }
+            };
+            let mut plan = FaultPlan::new();
+            plan.push(FaultEvent {
+                at: SimTime::ZERO + duration.mul_f64(partition.at_frac),
+                kind: FaultKind::Partition {
+                    groups,
+                    heal_at: SimTime::ZERO + duration.mul_f64(partition.heal_frac),
+                },
+            });
+            scenario.faults = plan;
+        }
+    }
+
+    let mut config = LocationConfig::default();
+    if arm.patient.unwrap_or(false) {
+        config = patient(config);
+    }
+    if let Some(t_max) = arm.threshold_max {
+        config = config.with_thresholds(t_max, arm.threshold_min.unwrap_or(t_max / 10.0));
+    }
+    if arm.simple_splits_only.unwrap_or(false) {
+        config = config.simple_splits_only();
+    }
+    if arm.blind_splits.unwrap_or(false) {
+        config = config.with_blind_splits();
+    }
+    if arm.eager_propagation.unwrap_or(false) {
+        config = config.with_eager_propagation();
+    }
+    if arm.locality_migration.unwrap_or(false) {
+        config = config.with_locality_migration();
+    }
+    if let Some(interval_s) = arm.version_audit_s {
+        config = config.with_version_audit(SimDuration::from_secs_f64(interval_s));
+    }
+    if let Some(interval_ms) = arm.replication_ms {
+        config = config.with_replication(SimDuration::from_millis(interval_ms));
+    }
+    if let Some(concurrency) = rehash_concurrency {
+        config = config.with_rehash_concurrency(concurrency);
+    }
+
+    let needs_trace =
+        spec.trace_buffer.is_some() || spec.columns.iter().any(|c| c.field == "reconverge_ms");
+    let sink = if needs_trace {
+        TraceSink::bounded(spec.trace_buffer.unwrap_or(1_048_576))
+    } else {
+        TraceSink::disabled()
+    };
+    let mut options = RunOptions::new();
+    if needs_trace {
+        options = options.with_sink(sink.clone());
+    }
+    if spec.audit() {
+        options = options.with_audit(AuditOptions {
+            strict_versions: arm.strict_versions.unwrap_or(false),
+        });
+    }
+
+    let mut scheme = boxed_scheme(&arm.kind, config, arm.standby.unwrap_or(false));
+    let out = scenario.run_with(scheme.as_mut(), options);
+    let rehash_denied = scheme.stats().rehash_denied;
+
+    let reconverge_ms = if needs_trace {
+        first_spike_at.and_then(|at| {
+            let spike_start = SimTime::ZERO + at;
+            sink.snapshot()
+                .iter()
+                .filter(|r| {
+                    matches!(r.event, TraceEvent::RehashSplit { .. }) && r.at >= spike_start
+                })
+                .map(|r| r.at)
+                .max()
+                .map(|last| last.saturating_since(spike_start).as_millis_f64())
+        })
+    } else {
+        None
+    };
+
+    TrialRecord {
+        spec: spec.name.clone(),
+        scenario: scenario.name.clone(),
+        scheme: label.to_owned(),
+        kind: arm.kind.clone(),
+        seed,
+        point: point.to_vec(),
+        agents,
+        residence_ms,
+        intensity,
+        rehash_concurrency,
+        query_skew,
+        report: out.report,
+        invariants: out.invariants,
+        rehash_denied,
+        reconverge_ms,
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Formats one column field from a trial, replicating the hand-coded
+/// experiments' formatting exactly (latencies `{:.2}`, percentages and
+/// intensities `{:.1}`, counters as integers, `dnf` for starved or
+/// unsettled metrics).
+fn format_field(field: &str, trial: &TrialRecord) -> String {
+    let r = &trial.report;
+    match field {
+        "agents" => trial.agents.to_string(),
+        "residence_ms" => trial
+            .residence_ms
+            .map_or_else(|| format!("{}", r.residence_ms as u64), |v| v.to_string()),
+        "intensity" => format!("{:.1}", trial.intensity.unwrap_or(0.0)),
+        "rehash_concurrency" => trial
+            .rehash_concurrency
+            .map_or_else(|| "-".to_owned(), |v| v.to_string()),
+        "query_skew" => format!("{:.1}", trial.query_skew.unwrap_or(0.0)),
+        "scheme" => trial.scheme.clone(),
+        "seed" => trial.seed.to_string(),
+        "issued" => r.locates_issued.to_string(),
+        "completed" => r.locates_completed.to_string(),
+        "failures" => r.locate_failures.to_string(),
+        "success_pct" => format!("{:.1}", 100.0 * r.completion_ratio()),
+        "mean_ms" => ms(r.mean_locate_ms),
+        "mean_ms_or_dnf" => ms_or_dnf(r),
+        "p50_ms" => ms(r.p50_locate_ms),
+        "p95_ms" => ms(r.p95_locate_ms),
+        "p99_ms" => ms(r.p99_locate_ms),
+        "max_ms" => ms(r.max_locate_ms),
+        "trackers" => r.trackers.to_string(),
+        "peak_trackers" => r.peak_trackers.to_string(),
+        "splits" => r.splits.to_string(),
+        "merges" => r.merges.to_string(),
+        "denied" => trial.rehash_denied.to_string(),
+        "tree_height" => r.tree_height.to_string(),
+        "mean_prefix_bits" => format!("{:.2}", r.mean_prefix_bits),
+        "reconverge_ms" => trial.reconverge_ms.map_or_else(|| "dnf".to_owned(), ms),
+        "messages_sent" => r.messages_sent.to_string(),
+        "messages_remote" => r.messages_remote.to_string(),
+        "messages_failed" => r.messages_failed.to_string(),
+        "mail_buffered" => r.mail_buffered.to_string(),
+        "mail_flushed" => r.mail_flushed.to_string(),
+        "mail_lost" => r.mail_lost.to_string(),
+        "record_syncs" => r.record_syncs.to_string(),
+        "recoveries_started" => r.recoveries_started.to_string(),
+        "recoveries_completed" => r.recoveries_completed.to_string(),
+        "stale_answers" => r.stale_answers.to_string(),
+        "stale_hits" => r.stale_hits.to_string(),
+        "hf_fetches" => r.hf_fetches.to_string(),
+        "chain_hops" => r.chain_hops.to_string(),
+        "iagent_moves" => r.iagent_moves.to_string(),
+        "registrations" => r.registrations.to_string(),
+        "moves" => r.moves.to_string(),
+        "births" => r.births.to_string(),
+        "deaths" => r.deaths.to_string(),
+        "violations" => trial
+            .invariants
+            .as_ref()
+            .map_or_else(|| "-".to_owned(), |i| i.violations.len().to_string()),
+        other => unreachable!("validated column field {other:?}"),
+    }
+}

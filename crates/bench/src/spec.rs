@@ -1,0 +1,1197 @@
+//! Declarative scenario specs: the data-driven face of the experiment
+//! harness.
+//!
+//! A [`ScenarioSpec`] describes everything a hand-coded experiment
+//! function in `lib.rs` encodes in Rust — workload shape (population,
+//! mobility and query mix, Zipf skew, churn), sweep axes, the scheme
+//! grid, fault plans (chaos or a regional partition), flash-crowd
+//! spikes, seeds, and the requested output columns — as a JSON document
+//! under `specs/`. The generic trial runner ([`crate::run_spec`])
+//! expands a spec into independent trial cells, runs them in parallel,
+//! audits the post-quiesce invariants of every trial, and emits the same
+//! table an equivalent hand-coded experiment would print plus structured
+//! per-trial records.
+//!
+//! # Strictness
+//!
+//! The vendored serde stand-in is deliberately lax about unknown map
+//! keys, so [`ScenarioSpec::parse`] walks the raw [`serde::Value`] tree
+//! first and rejects any key the schema does not know, pointing at the
+//! offending field by dotted path (and by line/column where the source
+//! text locates it). [`ScenarioSpec::validate`] then checks semantics —
+//! unknown scheme kinds, dangling column references, contradictory fault
+//! plans — with the same field-naming discipline. Neither step panics on
+//! arbitrary input; [`ScenarioSpec::load_str`] chains both.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Scheme kinds the runner can instantiate.
+pub const SCHEME_KINDS: &[&str] = &["hashed", "centralized", "home-registry", "forwarding"];
+
+/// Sweep-axis parameters the runner can apply.
+pub const AXIS_PARAMS: &[&str] = &[
+    "agents",
+    "residence_ms",
+    "intensity",
+    "rehash_concurrency",
+    "query_skew",
+];
+
+/// Column fields the runner can format, with their formatting rules
+/// (documented in `EXPERIMENTS.md` §E18).
+pub const COLUMN_FIELDS: &[&str] = &[
+    // Point / trial metadata.
+    "agents",
+    "residence_ms",
+    "intensity",
+    "rehash_concurrency",
+    "query_skew",
+    "scheme",
+    "seed",
+    // Locate outcome counters and latency metrics.
+    "issued",
+    "completed",
+    "failures",
+    "success_pct",
+    "mean_ms",
+    "mean_ms_or_dnf",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "max_ms",
+    // Directory shape and adaptation.
+    "trackers",
+    "peak_trackers",
+    "splits",
+    "merges",
+    "denied",
+    "tree_height",
+    "mean_prefix_bits",
+    "reconverge_ms",
+    // Traffic, mail, and durability.
+    "messages_sent",
+    "messages_remote",
+    "messages_failed",
+    "mail_buffered",
+    "mail_flushed",
+    "mail_lost",
+    "record_syncs",
+    "recoveries_started",
+    "recoveries_completed",
+    "stale_answers",
+    "stale_hits",
+    "hf_fetches",
+    "chain_hops",
+    "iagent_moves",
+    // Population dynamics.
+    "registrations",
+    "moves",
+    "births",
+    "deaths",
+    // Invariant audit.
+    "violations",
+];
+
+/// A validation or parse error, naming the offending field by dotted
+/// path and, when the source text locates it, by line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (`workload.agents`,
+    /// `schemes[1].kind`), or `<spec>` for document-level errors.
+    pub path: String,
+    /// 1-based line of the field in the source text, when located.
+    pub line: Option<usize>,
+    /// 1-based column of the field in the source text, when located.
+    pub col: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    fn at(path: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecError {
+            path: path.into(),
+            line: None,
+            col: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the line/column of the first occurrence of `key` as a
+    /// quoted JSON key in `source`. Best effort: a key repeated across
+    /// sibling objects may resolve to an earlier occurrence.
+    fn locate(mut self, source: &str, key: &str) -> Self {
+        let needle = format!("\"{key}\"");
+        if let Some(pos) = source.find(&needle) {
+            let prefix = &source[..pos];
+            self.line = Some(prefix.matches('\n').count() + 1);
+            self.col = Some(pos - prefix.rfind('\n').map_or(0, |p| p + 1) + 1);
+        }
+        self
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.col) {
+            (Some(line), Some(col)) => {
+                write!(
+                    f,
+                    "{} (line {line}, col {col}): {}",
+                    self.path, self.message
+                )
+            }
+            _ => write!(f, "{}: {}", self.path, self.message),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete declarative experiment: what to run, over what grid, and
+/// what to report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Spec identity: names the output files (`results/<name>.csv`,
+    /// `results/<name>.trials.json`).
+    pub name: String,
+    /// Table title, printed above the rendered table.
+    pub title: String,
+    /// The workload shape every trial shares (sweep axes override
+    /// individual knobs per grid point).
+    pub workload: WorkloadSpec,
+    /// Sweep axes; the grid is their cartesian product in declaration
+    /// order (later axes vary fastest). Absent = a single point.
+    pub sweep: Option<Vec<AxisSpec>>,
+    /// The schemes to run at every grid point.
+    pub schemes: Vec<SchemeSpec>,
+    /// Row layout: `true` emits one row per (point, scheme, seed) with
+    /// schemes varying inside each point (the E13 shape); `false`/absent
+    /// emits one row per (point, seed) with scheme-scoped columns side
+    /// by side (the E1 shape).
+    pub scheme_rows: Option<bool>,
+    /// Master seeds; each adds a full replication of the grid. Absent =
+    /// `[42]`, the `Scenario` default.
+    pub seeds: Option<Vec<u64>>,
+    /// Scheduled fault injection, applied to every trial.
+    pub faults: Option<FaultSpec>,
+    /// Flash-crowd query spikes riding on the steady workload.
+    pub spikes: Option<Vec<SpikeSpec>>,
+    /// Post-quiesce invariant audit: on by default for every spec run;
+    /// `false` opts out (the audit never changes report metrics — it
+    /// runs after the report is snapshotted — only trial records and
+    /// `violations` columns).
+    pub audit: Option<bool>,
+    /// Structured-trace ring capacity. Absent = tracing only when a
+    /// column needs it (`reconverge_ms`), with a 1 Mi-record ring.
+    pub trace_buffer: Option<usize>,
+    /// The output columns, left to right.
+    pub columns: Vec<ColumnSpec>,
+}
+
+/// The workload knobs of [`agentrack_workload::Scenario`], at full
+/// fidelity; the runner applies [`crate::Fidelity`] scaling exactly as
+/// the hand-coded experiments do (population via `scale_agents`, query
+/// budget and spans from the fidelity when unset here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// TAgent population at full fidelity (quick runs scale it down).
+    pub agents: usize,
+    /// Constant residence time per node, milliseconds.
+    pub residence_ms: Option<u64>,
+    /// Total steady-state locate budget; absent = the fidelity's budget
+    /// (2000 full / 200 quick), like every hand-coded experiment.
+    pub queries: Option<u64>,
+    /// LAN node count; absent = the paper's 16.
+    pub nodes: Option<u32>,
+    /// Steady-state querier agents; absent = the default 32.
+    pub queriers: Option<usize>,
+    /// Warmup seconds; absent = the fidelity's span. Set both or
+    /// neither of `warmup_s`/`measure_s`.
+    pub warmup_s: Option<f64>,
+    /// Measurement seconds; absent = the fidelity's span.
+    pub measure_s: Option<f64>,
+    /// Grace seconds past warmup+measure; absent = the default 10.
+    pub grace_s: Option<f64>,
+    /// Zipf exponent for query targets (hot keys); absent = uniform.
+    pub query_skew: Option<f64>,
+    /// Zipf exponent for mobility destinations; absent = uniform.
+    pub mobility_skew: Option<f64>,
+    /// Population churn: constant TAgent lifespan in milliseconds;
+    /// each death spawns a successor (steady size, turning membership).
+    pub churn_lifespan_ms: Option<u64>,
+    /// Message loss probability.
+    pub loss: Option<f64>,
+    /// Message duplication probability.
+    pub duplication: Option<f64>,
+}
+
+/// One sweep axis: a parameter name from [`AXIS_PARAMS`] and the values
+/// it takes. Values are numbers; integer parameters (`agents`,
+/// `residence_ms`, `rehash_concurrency`) must hold whole numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisSpec {
+    /// Which knob this axis drives.
+    pub param: String,
+    /// The values the sweep visits, in order.
+    pub values: Vec<f64>,
+}
+
+/// One scheme arm of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeSpec {
+    /// Scheme kind, one of [`SCHEME_KINDS`].
+    pub kind: String,
+    /// Label columns reference this arm by; absent = the kind. Must be
+    /// unique across arms (two `hashed` ablations need distinct labels).
+    pub label: Option<String>,
+    /// Experiment-grade client patience (30 locate attempts, 2 s retry
+    /// timeout) — what the hand-coded experiments call `patient`.
+    pub patient: Option<bool>,
+    /// Run the hashed scheme with a standby HAgent replica.
+    pub standby: Option<bool>,
+    /// Demand every live hash-function copy match the primary's version
+    /// in the invariant audit (only sound with `version_audit_s`).
+    pub strict_versions: Option<bool>,
+    /// Periodic hash-function version audit interval, seconds.
+    pub version_audit_s: Option<f64>,
+    /// Record replication interval to buddy replicas, milliseconds.
+    pub replication_ms: Option<u64>,
+    /// Rehash pipeline width (1 = the single-flight ablation).
+    pub rehash_concurrency: Option<usize>,
+    /// Propagate new hash functions eagerly instead of lazily.
+    pub eager_propagation: Option<bool>,
+    /// Restrict rehashes to single splits (no cascades).
+    pub simple_splits_only: Option<bool>,
+    /// Split without load-aware placement.
+    pub blind_splits: Option<bool>,
+    /// Migrate IAgents toward their query sources (extension E9).
+    pub locality_migration: Option<bool>,
+    /// Split threshold (load above which a tracker splits).
+    pub threshold_max: Option<f64>,
+    /// Merge threshold (load below which trackers merge); requires
+    /// `threshold_max`.
+    pub threshold_min: Option<f64>,
+}
+
+/// Scheduled fault injection. Set at most one of the arms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Randomized chaos via [`agentrack_sim::ChaosConfig`].
+    pub chaos: Option<ChaosFaults>,
+    /// A deterministic regional partition that heals.
+    pub regional_partition: Option<RegionalPartitionFaults>,
+}
+
+/// Randomized chaos: partitions, crashes/restarts, latency spikes, loss
+/// bursts, blackholes, scaled by `intensity`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosFaults {
+    /// Chaos generator seed (independent of the scenario seed).
+    pub seed: u64,
+    /// Fault intensity in `[0, 1]`; absent = driven by an `intensity`
+    /// sweep axis. Intensity `0` means a fault-free plan.
+    pub intensity: Option<f64>,
+}
+
+/// The network severs into node groups at `at_frac` of the run and heals
+/// at `heal_frac`; nodes not listed straddle the partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionalPartitionFaults {
+    /// The isolated node-id groups (pairwise disjoint). Absent = the
+    /// node range split into two contiguous halves.
+    pub groups: Option<Vec<Vec<u32>>>,
+    /// When the partition starts, as a fraction of the run duration.
+    pub at_frac: f64,
+    /// When it heals, as a fraction of the run duration (> `at_frac`).
+    pub heal_frac: f64,
+}
+
+/// A flash crowd riding the steady workload: timing as fractions of the
+/// measurement span (so quick and full fidelity place it identically),
+/// budget as either an absolute count or a multiple of the steady
+/// budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeSpec {
+    /// Spike start: `warmup + at_frac * measure`.
+    pub at_frac: f64,
+    /// Spike length: `span_frac * measure`.
+    pub span_frac: f64,
+    /// Spike budget as a multiple of the steady query budget. Set
+    /// exactly one of `queries_factor`/`queries`.
+    pub queries_factor: Option<u64>,
+    /// Spike budget as an absolute locate count.
+    pub queries: Option<u64>,
+    /// Dedicated spike queriers (round-robin over nodes).
+    pub queriers: usize,
+}
+
+/// One output column: a field from [`COLUMN_FIELDS`], the scheme arm it
+/// reads from (wide layout), and the CSV header.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSpec {
+    /// What to report.
+    pub field: String,
+    /// Which scheme arm's trial to read, by label. Wide layout only;
+    /// absent with several arms is ambiguous for per-trial fields.
+    pub scheme: Option<String>,
+    /// CSV header; absent derives `field` or `scheme_field`.
+    pub header: Option<String>,
+}
+
+impl ColumnSpec {
+    /// The CSV header this column prints.
+    #[must_use]
+    pub fn header(&self) -> String {
+        if let Some(h) = &self.header {
+            return h.clone();
+        }
+        match &self.scheme {
+            Some(scheme) => format!("{scheme}_{}", self.field),
+            None => self.field.clone(),
+        }
+    }
+}
+
+/// Fields describing the grid point / trial rather than the report.
+const POINT_FIELDS: &[&str] = &[
+    "agents",
+    "residence_ms",
+    "intensity",
+    "rehash_concurrency",
+    "query_skew",
+    "scheme",
+    "seed",
+];
+
+impl ScenarioSpec {
+    /// Parses a spec from JSON text: syntax, strict unknown-key
+    /// checking over the raw value tree, then typed deserialization.
+    /// Semantic checks live in [`ScenarioSpec::validate`];
+    /// [`ScenarioSpec::load_str`] chains both.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending field.
+    pub fn parse(source: &str) -> Result<Self, SpecError> {
+        let value: Value = serde_json::from_str(source)
+            .map_err(|e| SpecError::at("<spec>", format!("invalid JSON: {e}")))?;
+        check_keys(&value, source)?;
+        ScenarioSpec::deserialize(&value).map_err(|e| SpecError::at("<spec>", format!("{e}")))
+    }
+
+    /// Parses and validates: the one call sites should use.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending field.
+    pub fn load_str(source: &str) -> Result<Self, SpecError> {
+        let spec = Self::parse(source)?;
+        spec.validate().map_err(|e| {
+            if e.line.is_none() {
+                relocate(e, source)
+            } else {
+                e
+            }
+        })?;
+        Ok(spec)
+    }
+
+    /// Serializes back to JSON (every optional field explicit, absent
+    /// ones as `null`); [`ScenarioSpec::parse`] of the output yields an
+    /// equal spec.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serialization cannot fail")
+    }
+
+    /// The effective scheme labels, in declaration order.
+    #[must_use]
+    pub fn scheme_labels(&self) -> Vec<String> {
+        self.schemes
+            .iter()
+            .map(|s| s.label.clone().unwrap_or_else(|| s.kind.clone()))
+            .collect()
+    }
+
+    /// The effective seed list (`[42]` when unset).
+    #[must_use]
+    pub fn seed_list(&self) -> Vec<u64> {
+        self.seeds.clone().unwrap_or_else(|| vec![42])
+    }
+
+    /// Whether rows repeat per scheme (E13 shape) or schemes sit side
+    /// by side in one row (E1 shape).
+    #[must_use]
+    pub fn scheme_rows(&self) -> bool {
+        self.scheme_rows.unwrap_or(false)
+    }
+
+    /// Whether the post-quiesce invariant audit runs (default yes).
+    #[must_use]
+    pub fn audit(&self) -> bool {
+        self.audit.unwrap_or(true)
+    }
+
+    /// Semantic validation. Total: never panics, whatever the spec
+    /// holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending field by dotted
+    /// path.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(SpecError::at(
+                "name",
+                "spec names are non-empty [a-zA-Z0-9_-]+ (they name output files)",
+            ));
+        }
+        self.validate_workload()?;
+        self.validate_sweep()?;
+        self.validate_schemes()?;
+        self.validate_faults()?;
+        self.validate_spikes()?;
+        if let Some(seeds) = &self.seeds {
+            if seeds.is_empty() {
+                return Err(SpecError::at("seeds", "needs at least one seed"));
+            }
+        }
+        if self.trace_buffer == Some(0) {
+            return Err(SpecError::at("trace_buffer", "must be positive"));
+        }
+        self.validate_columns()
+    }
+
+    fn validate_workload(&self) -> Result<(), SpecError> {
+        let w = &self.workload;
+        if w.agents == 0 {
+            return Err(SpecError::at("workload.agents", "needs a population"));
+        }
+        if w.residence_ms == Some(0) {
+            return Err(SpecError::at("workload.residence_ms", "must be positive"));
+        }
+        if w.nodes == Some(0) {
+            return Err(SpecError::at("workload.nodes", "needs at least one node"));
+        }
+        if w.queriers == Some(0) && w.queries.is_none_or(|q| q > 0) {
+            return Err(SpecError::at(
+                "workload.queriers",
+                "queries need queriers; set workload.queries to 0 for a query-free run",
+            ));
+        }
+        if w.warmup_s.is_some() != w.measure_s.is_some() {
+            return Err(SpecError::at(
+                "workload.warmup_s",
+                "set both warmup_s and measure_s, or neither (the fidelity supplies the pair)",
+            ));
+        }
+        for (path, v) in [
+            ("workload.warmup_s", w.warmup_s),
+            ("workload.measure_s", w.measure_s),
+            ("workload.grace_s", w.grace_s),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(SpecError::at(path, "must be a finite non-negative number"));
+                }
+            }
+        }
+        if w.measure_s == Some(0.0) && w.queries.is_none_or(|q| q > 0) {
+            return Err(SpecError::at(
+                "workload.measure_s",
+                "queries are paced over the measurement span; it cannot be zero",
+            ));
+        }
+        for (path, v) in [
+            ("workload.query_skew", w.query_skew),
+            ("workload.mobility_skew", w.mobility_skew),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(SpecError::at(path, "Zipf exponents are finite and >= 0"));
+                }
+            }
+        }
+        if w.churn_lifespan_ms == Some(0) {
+            return Err(SpecError::at(
+                "workload.churn_lifespan_ms",
+                "must be positive",
+            ));
+        }
+        for (path, v) in [
+            ("workload.loss", w.loss),
+            ("workload.duplication", w.duplication),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(SpecError::at(path, "probabilities live in [0, 1]"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_sweep(&self) -> Result<(), SpecError> {
+        let Some(axes) = &self.sweep else {
+            return Ok(());
+        };
+        for (i, axis) in axes.iter().enumerate() {
+            let path = format!("sweep[{i}].param");
+            if !AXIS_PARAMS.contains(&axis.param.as_str()) {
+                return Err(SpecError::at(
+                    path,
+                    format!(
+                        "unknown sweep parameter {:?} (expected one of {})",
+                        axis.param,
+                        AXIS_PARAMS.join(", ")
+                    ),
+                ));
+            }
+            if axes
+                .iter()
+                .filter(|other| other.param == axis.param)
+                .count()
+                > 1
+            {
+                return Err(SpecError::at(path, "duplicate sweep parameter"));
+            }
+            if axis.values.is_empty() {
+                return Err(SpecError::at(
+                    format!("sweep[{i}].values"),
+                    "needs at least one value",
+                ));
+            }
+            for (j, &v) in axis.values.iter().enumerate() {
+                let vpath = format!("sweep[{i}].values[{j}]");
+                if !v.is_finite() {
+                    return Err(SpecError::at(vpath, "must be finite"));
+                }
+                let integral = matches!(
+                    axis.param.as_str(),
+                    "agents" | "residence_ms" | "rehash_concurrency"
+                );
+                if integral && (v.fract() != 0.0 || v < 1.0) {
+                    return Err(SpecError::at(
+                        vpath,
+                        format!("{} values are positive whole numbers", axis.param),
+                    ));
+                }
+                if axis.param == "intensity" && !(0.0..=1.0).contains(&v) {
+                    return Err(SpecError::at(vpath, "intensity lives in [0, 1]"));
+                }
+                if axis.param == "query_skew" && v < 0.0 {
+                    return Err(SpecError::at(vpath, "Zipf exponents are >= 0"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_schemes(&self) -> Result<(), SpecError> {
+        if self.schemes.is_empty() {
+            return Err(SpecError::at("schemes", "needs at least one scheme"));
+        }
+        let labels = self.scheme_labels();
+        for (i, scheme) in self.schemes.iter().enumerate() {
+            if !SCHEME_KINDS.contains(&scheme.kind.as_str()) {
+                return Err(SpecError::at(
+                    format!("schemes[{i}].kind"),
+                    format!(
+                        "unknown scheme kind {:?} (expected one of {})",
+                        scheme.kind,
+                        SCHEME_KINDS.join(", ")
+                    ),
+                ));
+            }
+            if labels.iter().filter(|l| **l == labels[i]).count() > 1 {
+                return Err(SpecError::at(
+                    format!("schemes[{i}].label"),
+                    format!(
+                        "label {:?} is not unique; give ablation arms distinct labels",
+                        labels[i]
+                    ),
+                ));
+            }
+            if scheme.kind != "hashed" {
+                for (field, set) in [
+                    ("standby", scheme.standby == Some(true)),
+                    ("strict_versions", scheme.strict_versions == Some(true)),
+                    ("rehash_concurrency", scheme.rehash_concurrency.is_some()),
+                    ("eager_propagation", scheme.eager_propagation == Some(true)),
+                    (
+                        "simple_splits_only",
+                        scheme.simple_splits_only == Some(true),
+                    ),
+                    ("blind_splits", scheme.blind_splits == Some(true)),
+                    (
+                        "locality_migration",
+                        scheme.locality_migration == Some(true),
+                    ),
+                    ("threshold_max", scheme.threshold_max.is_some()),
+                ] {
+                    if set {
+                        return Err(SpecError::at(
+                            format!("schemes[{i}].{field}"),
+                            format!("only the hashed scheme understands {field}"),
+                        ));
+                    }
+                }
+            }
+            if let Some(v) = scheme.version_audit_s {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(SpecError::at(
+                        format!("schemes[{i}].version_audit_s"),
+                        "must be a positive number of seconds",
+                    ));
+                }
+            }
+            if scheme.replication_ms == Some(0) {
+                return Err(SpecError::at(
+                    format!("schemes[{i}].replication_ms"),
+                    "must be positive",
+                ));
+            }
+            if scheme.rehash_concurrency == Some(0) {
+                return Err(SpecError::at(
+                    format!("schemes[{i}].rehash_concurrency"),
+                    "must be at least 1 (the single-flight ablation)",
+                ));
+            }
+            if scheme.threshold_min.is_some() && scheme.threshold_max.is_none() {
+                return Err(SpecError::at(
+                    format!("schemes[{i}].threshold_min"),
+                    "threshold_min needs threshold_max",
+                ));
+            }
+            if let (Some(t_max), t_min) = (scheme.threshold_max, scheme.threshold_min) {
+                let t_min = t_min.unwrap_or(t_max / 10.0);
+                if !t_max.is_finite() || !t_min.is_finite() || t_max <= 0.0 || t_min >= t_max {
+                    return Err(SpecError::at(
+                        format!("schemes[{i}].threshold_max"),
+                        "thresholds need 0 < threshold_min < threshold_max",
+                    ));
+                }
+            }
+            if scheme.strict_versions == Some(true) && scheme.version_audit_s.is_none() {
+                return Err(SpecError::at(
+                    format!("schemes[{i}].strict_versions"),
+                    "strict version convergence is only sound with a version_audit_s interval \
+                     (the paper's propagation is deliberately lazy)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_faults(&self) -> Result<(), SpecError> {
+        let swept_intensity = self
+            .sweep
+            .as_ref()
+            .is_some_and(|axes| axes.iter().any(|a| a.param == "intensity"));
+        let Some(faults) = &self.faults else {
+            if swept_intensity {
+                return Err(SpecError::at(
+                    "sweep",
+                    "an intensity axis needs faults.chaos to drive",
+                ));
+            }
+            return Ok(());
+        };
+        match (&faults.chaos, &faults.regional_partition) {
+            (Some(_), Some(_)) => {
+                return Err(SpecError::at(
+                    "faults",
+                    "set chaos or regional_partition, not both",
+                ))
+            }
+            (None, None) => {
+                return Err(SpecError::at(
+                    "faults",
+                    "set one of chaos or regional_partition (or drop the faults block)",
+                ))
+            }
+            (Some(chaos), None) => match chaos.intensity {
+                Some(v) if !v.is_finite() || !(0.0..=1.0).contains(&v) => {
+                    return Err(SpecError::at(
+                        "faults.chaos.intensity",
+                        "intensity lives in [0, 1]",
+                    ));
+                }
+                Some(_) if swept_intensity => {
+                    return Err(SpecError::at(
+                        "faults.chaos.intensity",
+                        "either fix the intensity here or sweep it, not both",
+                    ));
+                }
+                None if !swept_intensity => {
+                    return Err(SpecError::at(
+                        "faults.chaos.intensity",
+                        "set an intensity or add an intensity sweep axis",
+                    ));
+                }
+                _ => {}
+            },
+            (None, Some(partition)) => {
+                if swept_intensity {
+                    return Err(SpecError::at(
+                        "sweep",
+                        "an intensity axis needs faults.chaos to drive",
+                    ));
+                }
+                for (path, v) in [
+                    ("faults.regional_partition.at_frac", partition.at_frac),
+                    ("faults.regional_partition.heal_frac", partition.heal_frac),
+                ] {
+                    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                        return Err(SpecError::at(path, "fractions of the run live in [0, 1]"));
+                    }
+                }
+                if partition.heal_frac <= partition.at_frac {
+                    return Err(SpecError::at(
+                        "faults.regional_partition.heal_frac",
+                        "the partition must heal after it starts",
+                    ));
+                }
+                if let Some(groups) = &partition.groups {
+                    let nodes = self.workload.nodes.unwrap_or(16);
+                    if groups.len() < 2 {
+                        return Err(SpecError::at(
+                            "faults.regional_partition.groups",
+                            "a partition needs at least two groups",
+                        ));
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for (g, group) in groups.iter().enumerate() {
+                        for &node in group {
+                            if node >= nodes {
+                                return Err(SpecError::at(
+                                    format!("faults.regional_partition.groups[{g}]"),
+                                    format!("node {node} is outside the {nodes}-node topology"),
+                                ));
+                            }
+                            if !seen.insert(node) {
+                                return Err(SpecError::at(
+                                    format!("faults.regional_partition.groups[{g}]"),
+                                    format!("node {node} appears in two groups"),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_spikes(&self) -> Result<(), SpecError> {
+        let Some(spikes) = &self.spikes else {
+            return Ok(());
+        };
+        for (i, spike) in spikes.iter().enumerate() {
+            for (field, v) in [("at_frac", spike.at_frac), ("span_frac", spike.span_frac)] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(SpecError::at(
+                        format!("spikes[{i}].{field}"),
+                        "spike timing fractions are finite and >= 0",
+                    ));
+                }
+            }
+            if spike.span_frac == 0.0 {
+                return Err(SpecError::at(
+                    format!("spikes[{i}].span_frac"),
+                    "a spike needs a non-zero span",
+                ));
+            }
+            if spike.queriers == 0 {
+                return Err(SpecError::at(
+                    format!("spikes[{i}].queriers"),
+                    "a spike needs queriers",
+                ));
+            }
+            match (spike.queries_factor, spike.queries) {
+                (Some(_), Some(_)) | (None, None) => {
+                    return Err(SpecError::at(
+                        format!("spikes[{i}].queries"),
+                        "set exactly one of queries or queries_factor",
+                    ));
+                }
+                (Some(0), None) | (None, Some(0)) => {
+                    return Err(SpecError::at(
+                        format!("spikes[{i}].queries"),
+                        "a spike needs a positive query budget",
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_columns(&self) -> Result<(), SpecError> {
+        if self.columns.is_empty() {
+            return Err(SpecError::at("columns", "needs at least one column"));
+        }
+        let labels = self.scheme_labels();
+        let swept: Vec<&str> = self
+            .sweep
+            .as_ref()
+            .map(|axes| axes.iter().map(|a| a.param.as_str()).collect())
+            .unwrap_or_default();
+        for (i, column) in self.columns.iter().enumerate() {
+            let path = format!("columns[{i}].field");
+            if !COLUMN_FIELDS.contains(&column.field.as_str()) {
+                return Err(SpecError::at(
+                    path,
+                    format!(
+                        "unknown column field {:?} (see EXPERIMENTS.md E18 for the catalog)",
+                        column.field
+                    ),
+                ));
+            }
+            if let Some(scheme) = &column.scheme {
+                if !labels.iter().any(|l| l == scheme) {
+                    return Err(SpecError::at(
+                        format!("columns[{i}].scheme"),
+                        format!(
+                            "no scheme labelled {:?} (have {})",
+                            scheme,
+                            labels.join(", ")
+                        ),
+                    ));
+                }
+                if self.scheme_rows() {
+                    return Err(SpecError::at(
+                        format!("columns[{i}].scheme"),
+                        "scheme_rows emits one row per scheme; scheme-scoped columns are for \
+                         the wide layout",
+                    ));
+                }
+            } else if !self.scheme_rows()
+                && labels.len() > 1
+                && !POINT_FIELDS.contains(&column.field.as_str())
+            {
+                return Err(SpecError::at(
+                    format!("columns[{i}].scheme"),
+                    format!(
+                        "ambiguous: {} schemes are in play; name one (have {})",
+                        labels.len(),
+                        labels.join(", ")
+                    ),
+                ));
+            }
+            match column.field.as_str() {
+                "scheme" if !self.scheme_rows() => {
+                    return Err(SpecError::at(
+                        path,
+                        "a scheme column only makes sense with scheme_rows",
+                    ));
+                }
+                "intensity" => {
+                    let fixed = self
+                        .faults
+                        .as_ref()
+                        .and_then(|f| f.chaos.as_ref())
+                        .is_some_and(|c| c.intensity.is_some());
+                    if !swept.contains(&"intensity") && !fixed {
+                        return Err(SpecError::at(
+                            path,
+                            "an intensity column needs chaos faults (fixed or swept)",
+                        ));
+                    }
+                }
+                "residence_ms"
+                    if !swept.contains(&"residence_ms") && self.workload.residence_ms.is_none() =>
+                {
+                    return Err(SpecError::at(
+                        path,
+                        "a residence_ms column needs workload.residence_ms or a sweep axis",
+                    ));
+                }
+                "rehash_concurrency" => {
+                    let fixed = self.schemes.iter().any(|s| s.rehash_concurrency.is_some());
+                    if !swept.contains(&"rehash_concurrency") && !fixed {
+                        return Err(SpecError::at(
+                            path,
+                            "a rehash_concurrency column needs a sweep axis or a scheme setting",
+                        ));
+                    }
+                }
+                "query_skew"
+                    if !swept.contains(&"query_skew") && self.workload.query_skew.is_none() =>
+                {
+                    return Err(SpecError::at(
+                        path,
+                        "a query_skew column needs workload.query_skew or a sweep axis",
+                    ));
+                }
+                "reconverge_ms" if self.spikes.as_ref().is_none_or(Vec::is_empty) => {
+                    return Err(SpecError::at(
+                        path,
+                        "reconverge_ms measures rehash settling after a spike; add spikes",
+                    ));
+                }
+                "violations" if !self.audit() => {
+                    return Err(SpecError::at(
+                        path,
+                        "a violations column needs the invariant audit (drop audit: false)",
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Re-runs [`SpecError::locate`] using the error path's leaf key, so
+/// semantic errors also point into the source text when possible.
+fn relocate(error: SpecError, source: &str) -> SpecError {
+    let leaf = error
+        .path
+        .rsplit('.')
+        .next()
+        .map(|s| s.split('[').next().unwrap_or(s))
+        .unwrap_or("");
+    if leaf.is_empty() || leaf == "<spec>" {
+        return error;
+    }
+    let leaf = leaf.to_owned();
+    error.locate(source, &leaf)
+}
+
+/// Strict unknown-key checking over the raw value tree: the vendored
+/// serde ignores unknown keys, so a typo like `residence_millis` would
+/// silently fall back to the default — exactly the failure mode a
+/// declarative lab cannot afford.
+fn check_keys(value: &Value, source: &str) -> Result<(), SpecError> {
+    const SPEC_KEYS: &[&str] = &[
+        "name",
+        "title",
+        "workload",
+        "sweep",
+        "schemes",
+        "scheme_rows",
+        "seeds",
+        "faults",
+        "spikes",
+        "audit",
+        "trace_buffer",
+        "columns",
+    ];
+    const WORKLOAD_KEYS: &[&str] = &[
+        "agents",
+        "residence_ms",
+        "queries",
+        "nodes",
+        "queriers",
+        "warmup_s",
+        "measure_s",
+        "grace_s",
+        "query_skew",
+        "mobility_skew",
+        "churn_lifespan_ms",
+        "loss",
+        "duplication",
+    ];
+    const AXIS_KEYS: &[&str] = &["param", "values"];
+    const SCHEME_KEYS: &[&str] = &[
+        "kind",
+        "label",
+        "patient",
+        "standby",
+        "strict_versions",
+        "version_audit_s",
+        "replication_ms",
+        "rehash_concurrency",
+        "eager_propagation",
+        "simple_splits_only",
+        "blind_splits",
+        "locality_migration",
+        "threshold_max",
+        "threshold_min",
+    ];
+    const FAULT_KEYS: &[&str] = &["chaos", "regional_partition"];
+    const CHAOS_KEYS: &[&str] = &["seed", "intensity"];
+    const PARTITION_KEYS: &[&str] = &["groups", "at_frac", "heal_frac"];
+    const SPIKE_KEYS: &[&str] = &[
+        "at_frac",
+        "span_frac",
+        "queries_factor",
+        "queries",
+        "queriers",
+    ];
+    const COLUMN_KEYS: &[&str] = &["field", "scheme", "header"];
+
+    let root = expect_map(value, "<spec>")?;
+    allow_keys("<spec>", root, SPEC_KEYS, source)?;
+    if let Some(workload) = get(root, "workload") {
+        allow_keys(
+            "workload",
+            expect_map(workload, "workload")?,
+            WORKLOAD_KEYS,
+            source,
+        )?;
+    }
+    for (i, axis) in seq(root, "sweep", source)? {
+        let path = format!("sweep[{i}]");
+        allow_keys(&path, expect_map(axis, &path)?, AXIS_KEYS, source)?;
+    }
+    for (i, scheme) in seq(root, "schemes", source)? {
+        let path = format!("schemes[{i}]");
+        allow_keys(&path, expect_map(scheme, &path)?, SCHEME_KEYS, source)?;
+    }
+    if let Some(faults) = get(root, "faults") {
+        if !matches!(faults, Value::Null) {
+            let map = expect_map(faults, "faults")?;
+            allow_keys("faults", map, FAULT_KEYS, source)?;
+            if let Some(chaos) = get(map, "chaos") {
+                if !matches!(chaos, Value::Null) {
+                    allow_keys(
+                        "faults.chaos",
+                        expect_map(chaos, "faults.chaos")?,
+                        CHAOS_KEYS,
+                        source,
+                    )?;
+                }
+            }
+            if let Some(partition) = get(map, "regional_partition") {
+                if !matches!(partition, Value::Null) {
+                    allow_keys(
+                        "faults.regional_partition",
+                        expect_map(partition, "faults.regional_partition")?,
+                        PARTITION_KEYS,
+                        source,
+                    )?;
+                }
+            }
+        }
+    }
+    for (i, spike) in seq(root, "spikes", source)? {
+        let path = format!("spikes[{i}]");
+        allow_keys(&path, expect_map(spike, &path)?, SPIKE_KEYS, source)?;
+    }
+    for (i, column) in seq(root, "columns", source)? {
+        let path = format!("columns[{i}]");
+        allow_keys(&path, expect_map(column, &path)?, COLUMN_KEYS, source)?;
+    }
+    Ok(())
+}
+
+fn expect_map<'a>(value: &'a Value, path: &str) -> Result<&'a [(String, Value)], SpecError> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(SpecError::at(
+            path,
+            format!("expected an object, got {}", kind_of(other)),
+        )),
+    }
+}
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The elements of an optional array field, or empty when absent/null.
+fn seq<'a>(
+    map: &'a [(String, Value)],
+    key: &str,
+    _source: &str,
+) -> Result<Vec<(usize, &'a Value)>, SpecError> {
+    match get(map, key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(Value::Seq(items)) => Ok(items.iter().enumerate().collect()),
+        Some(other) => Err(SpecError::at(
+            key,
+            format!("expected an array, got {}", kind_of(other)),
+        )),
+    }
+}
+
+fn allow_keys(
+    path: &str,
+    map: &[(String, Value)],
+    allowed: &[&str],
+    source: &str,
+) -> Result<(), SpecError> {
+    for (key, _) in map {
+        if !allowed.contains(&key.as_str()) {
+            let full = if path == "<spec>" {
+                key.clone()
+            } else {
+                format!("{path}.{key}")
+            };
+            return Err(SpecError::at(
+                full,
+                format!("unknown field (expected one of {})", allowed.join(", ")),
+            )
+            .locate(source, key));
+        }
+    }
+    Ok(())
+}
+
+fn kind_of(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "a bool",
+        Value::U64(_) | Value::I64(_) | Value::F64(_) => "a number",
+        Value::Str(_) => "a string",
+        Value::Seq(_) => "an array",
+        Value::Map(_) => "an object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> &'static str {
+        r#"{
+            "name": "smoke",
+            "title": "smoke",
+            "workload": {"agents": 100},
+            "schemes": [{"kind": "hashed"}],
+            "columns": [{"field": "mean_ms"}]
+        }"#
+    }
+
+    #[test]
+    fn minimal_spec_loads() {
+        let spec = ScenarioSpec::load_str(minimal()).expect("loads");
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.seed_list(), vec![42]);
+        assert!(spec.audit());
+        assert!(!spec.scheme_rows());
+    }
+
+    #[test]
+    fn unknown_key_is_named_and_located() {
+        let source = minimal().replace("\"agents\"", "\"agnets\"");
+        let err = ScenarioSpec::load_str(&source).expect_err("rejects");
+        assert_eq!(err.path, "workload.agnets");
+        assert!(err.line.is_some(), "span missing: {err}");
+        assert!(err.message.contains("unknown field"));
+    }
+
+    #[test]
+    fn bad_scheme_kind_is_named() {
+        let source = minimal().replace("\"hashed\"", "\"hasjed\"");
+        let err = ScenarioSpec::load_str(&source).expect_err("rejects");
+        assert_eq!(err.path, "schemes[0].kind");
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = ScenarioSpec::load_str(minimal()).expect("loads");
+        let again = ScenarioSpec::parse(&spec.to_json()).expect("reparses");
+        assert_eq!(spec, again);
+    }
+}

@@ -218,7 +218,7 @@ impl Agent for CentralBehavior {
                 ),
                 None => self.buffer_mail(ctx, target, origin, data),
             },
-            Wire::Deregister { agent } => {
+            Wire::Deregister { agent, .. } => {
                 self.records.remove(&agent);
             }
             Wire::Locate {
@@ -454,7 +454,7 @@ impl DirectoryClient for CentralizedClient {
 
     fn deregister(&mut self, ctx: &mut AgentCtx<'_>) {
         let me = ctx.self_id();
-        self.send_central(ctx, &Wire::Deregister { agent: me });
+        self.send_central(ctx, &Wire::Deregister { agent: me, ttl: 0 });
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {

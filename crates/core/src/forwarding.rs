@@ -87,7 +87,7 @@ impl Agent for ForwarderBehavior {
             Wire::LeavePointer { agent, to } => {
                 self.pointers.insert(agent, Pointer::MovedTo(to));
             }
-            Wire::Deregister { agent } => {
+            Wire::Deregister { agent, .. } => {
                 self.pointers.remove(&agent);
             }
             Wire::ChainLocate {
@@ -442,11 +442,11 @@ impl DirectoryClient for ForwardingClient {
         let me = ctx.self_id();
         let here = ctx.node();
         let (fw, node) = self.forwarder_at(here);
-        ctx.send(fw, node, Wire::Deregister { agent: me }.payload());
+        ctx.send(fw, node, Wire::Deregister { agent: me, ttl: 0 }.payload());
         if let Some(birth) = self.birth {
             if birth != here {
                 let (fw, node) = self.forwarder_at(birth);
-                ctx.send(fw, node, Wire::Deregister { agent: me }.payload());
+                ctx.send(fw, node, Wire::Deregister { agent: me, ttl: 0 }.payload());
             }
         }
         self.names.write().remove(&me);

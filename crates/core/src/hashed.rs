@@ -422,10 +422,18 @@ impl DirectoryClient for HashedClient {
     }
 
     fn deregister(&mut self, ctx: &mut AgentCtx<'_>) {
-        if let Some((iagent, node)) = self.my_iagent {
-            let me = ctx.self_id();
-            ctx.send(iagent, node, Wire::Deregister { agent: me }.payload());
-        }
+        // Routed via the local LHAgent, not the cached tracker: the dying
+        // agent disposes itself right after this send and can never see a
+        // bounce, so aiming at a tracker that has since merged away would
+        // leak the record forever. The LHAgent survives to retry.
+        let me = ctx.self_id();
+        self.send_local_resolve(
+            ctx,
+            &Wire::Deregister {
+                agent: me,
+                ttl: MAIL_MAX_HOPS,
+            },
+        );
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {

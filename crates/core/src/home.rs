@@ -303,7 +303,7 @@ impl DirectoryClient for HomeRegistryClient {
     fn deregister(&mut self, ctx: &mut AgentCtx<'_>) {
         if self.home.is_some() {
             let me = ctx.self_id();
-            self.send_home(ctx, &Wire::Deregister { agent: me });
+            self.send_home(ctx, &Wire::Deregister { agent: me, ttl: 0 });
             self.names.write().remove(&me);
         }
     }

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use agentrack_hashtree::IAgentId;
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
-use agentrack_sim::{CorrId, SimTime, TraceEvent};
+use agentrack_sim::{CorrId, SimDuration, SimTime, TraceEvent};
 
 use crate::config::LocationConfig;
 use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
@@ -40,6 +40,12 @@ struct PendingLocate {
     corr: Option<CorrId>,
     deadline: SimTime,
 }
+
+/// How long a deregistered agent's tombstone shields its key from
+/// straggling `Register`/`Update`/`Handoff` re-insertions. Long enough to
+/// outlive any in-flight message from the dead sender, short enough that
+/// the map stays bounded under sustained churn.
+const TOMBSTONE_TTL: SimDuration = SimDuration::from_secs(10);
 
 /// Behaviour of an IAgent.
 #[derive(Debug)]
@@ -107,6 +113,12 @@ pub struct IAgentBehavior {
     /// Recovered-but-unconfirmed records, answered with `stale: true`
     /// until a fresh `Register`/`Update` reconfirms them.
     stale_records: BTreeSet<AgentId>,
+    /// Tombstones for deregistered agents, keyed by when the deregister
+    /// arrived. A dying agent's last `Update` can still be in flight when
+    /// its `Deregister` is processed; without the tombstone that straggler
+    /// re-inserts the record and — the sender being dead — nothing ever
+    /// removes it again. Entries expire after [`TOMBSTONE_TTL`].
+    departed: BTreeMap<AgentId, SimTime>,
     /// The recovery run after a soft-state-losing restart, if any.
     recovery: Option<RecoveryState>,
 }
@@ -179,6 +191,7 @@ impl IAgentBehavior {
             replicator: Replicator::default(),
             replica_store: ReplicaStore::default(),
             stale_records: BTreeSet::new(),
+            departed: BTreeMap::new(),
             recovery: None,
         }
     }
@@ -808,6 +821,11 @@ impl Agent for IAgentBehavior {
             ctx.trace()
                 .emit(ctx.now(), || TraceEvent::MailExpired { tracker: me, lost });
         }
+        // Expire old tombstones: any straggler from the dead sender has
+        // long since drained, and the key may be reused.
+        let now = ctx.now();
+        self.departed
+            .retain(|_, &mut at| now.saturating_since(at) < TOMBSTONE_TTL);
         // Batched gauge refresh: per-message paths touch no lock.
         {
             let me = ctx.self_id().raw();
@@ -984,7 +1002,10 @@ impl IAgentBehavior {
                 self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
                 self.note_origin(node);
-                if self.installed && self.is_mine(ctx, agent) {
+                if self.departed.contains_key(&agent) {
+                    // A straggler that raced its sender's deregister: the
+                    // agent is dead, and re-inserting would leak its record.
+                } else if self.installed && self.is_mine(ctx, agent) {
                     self.records.insert(agent, node);
                     // A fresh registration reconfirms a recovered record.
                     self.stale_records.remove(&agent);
@@ -1012,7 +1033,10 @@ impl IAgentBehavior {
                 self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
                 self.note_origin(node);
-                if self.installed && self.is_mine(ctx, agent) {
+                if self.departed.contains_key(&agent) {
+                    // See the `Register` arm: a dead sender's late update
+                    // must not resurrect the record.
+                } else if self.installed && self.is_mine(ctx, agent) {
                     self.records.insert(agent, node);
                     self.stale_records.remove(&agent);
                     self.replicator.mark_dirty();
@@ -1112,13 +1136,33 @@ impl IAgentBehavior {
                 }
                 self.maybe_request_split(ctx);
             }
-            Wire::Deregister { agent } => {
+            Wire::Deregister { agent, ttl } => {
                 self.requests_seen += 1;
                 self.stats.record(ctx.now(), agent);
-                self.records.remove(&agent);
+                let removed = self.records.remove(&agent).is_some();
                 self.stale_records.remove(&agent);
+                self.departed.insert(agent, ctx.now());
                 self.replicator.mark_dirty();
                 self.stats.forget(agent);
+                if !removed && self.installed && !self.is_mine(ctx, agent) && ttl > 0 {
+                    // The dying agent's stale hash copy aimed this at the
+                    // pre-split owner. The sender is already gone, so
+                    // there is nobody to bounce NotResponsible to — chase
+                    // toward the responsible tracker ourselves, or its
+                    // record leaks forever.
+                    let (owner, node) = self.hf.resolve(agent);
+                    if owner != ctx.self_id() {
+                        ctx.send(
+                            owner,
+                            node,
+                            Wire::Deregister {
+                                agent,
+                                ttl: ttl - 1,
+                            }
+                            .payload(),
+                        );
+                    }
+                }
                 self.finish_recovery_if_due(ctx);
                 self.maybe_request_split(ctx);
             }
@@ -1129,6 +1173,9 @@ impl IAgentBehavior {
                 // parking them on a non-responsible tracker.
                 let (mine, foreign): (Vec<_>, Vec<_>) = records
                     .into_iter()
+                    // Tombstoned keys are dropped outright: the agent
+                    // deregistered while its record was in transit.
+                    .filter(|(agent, _)| !self.departed.contains_key(agent))
                     .partition(|&(agent, _)| self.installed && self.is_mine(ctx, agent));
                 let agents: Vec<AgentId> = mine.iter().map(|&(a, _)| a).collect();
                 if !agents.is_empty() {

@@ -27,6 +27,10 @@ pub struct LHAgentBehavior {
     /// Resolves waiting for a fresh copy:
     /// `(requester, target, token, corr)`.
     waiting: Vec<(AgentId, AgentId, Option<u64>, Option<CorrId>)>,
+    /// Deregisters whose forward bounced off a tracker that no longer
+    /// exists, waiting for a fresh copy to re-route. The dying sender is
+    /// gone, so this LHAgent is the only party left who can retry.
+    pending_dereg: Vec<(AgentId, u32)>,
     fetch_in_flight: bool,
     /// When the in-flight fetch was sent; a reply overdue past the timeout
     /// (lost to the network, or the HAgent died without a bounce) clears
@@ -63,6 +67,7 @@ impl LHAgentBehavior {
             hagents: vec![(hagent, hagent_node)],
             current_hagent: 0,
             waiting: Vec::new(),
+            pending_dereg: Vec::new(),
             fetch_in_flight: false,
             fetch_sent_at: SimTime::ZERO,
             audit: None,
@@ -134,6 +139,16 @@ impl LHAgentBehavior {
             }
             .payload(),
         );
+    }
+
+    /// Re-routes deregisters that bounced off merged-away trackers, under
+    /// whatever copy the LHAgent now holds.
+    fn flush_pending_dereg(&mut self, ctx: &mut AgentCtx<'_>) {
+        let pending = std::mem::take(&mut self.pending_dereg);
+        for (agent, ttl) in pending {
+            let (iagent, node) = self.hf.resolve(agent);
+            ctx.send(iagent, node, Wire::Deregister { agent, ttl }.payload());
+        }
     }
 
     fn fetch(&mut self, ctx: &mut AgentCtx<'_>) {
@@ -245,6 +260,17 @@ impl Agent for LHAgentBehavior {
                 self.waiting.push((from, target, token, corr));
                 self.fetch(ctx);
             }
+            Wire::Deregister { agent, ttl } => {
+                // A dying agent deregisters through its local LHAgent
+                // rather than its cached tracker: the sender disposes
+                // itself right after the send, so a bounce off a tracker
+                // that has since merged away would be lost with it. The
+                // LHAgent outlives the agent — route toward the owner
+                // under the local copy (which may be stale — the trackers
+                // chase the rest of the way), and retry bounces below.
+                let (iagent, node) = self.hf.resolve(agent);
+                ctx.send(iagent, node, Wire::Deregister { agent, ttl }.payload());
+            }
             Wire::HashFnCopy { hf } => {
                 // Either the answer to our fetch or an eager push from the
                 // HAgent. An old copy must not satisfy a pending
@@ -265,6 +291,7 @@ impl Agent for LHAgentBehavior {
                         for (requester, target, token, corr) in waiting {
                             self.answer(ctx, requester, target, token, corr);
                         }
+                        self.flush_pending_dereg(ctx);
                     }
                     std::cmp::Ordering::Equal => {
                         // Authoritative confirmation that our copy is
@@ -275,6 +302,7 @@ impl Agent for LHAgentBehavior {
                         for (requester, target, token, corr) in waiting {
                             self.answer(ctx, requester, target, token, corr);
                         }
+                        self.flush_pending_dereg(ctx);
                     }
                     std::cmp::Ordering::Less => {
                         // A stale eager push racing our fetch: ignore it;
@@ -298,6 +326,16 @@ impl Agent for LHAgentBehavior {
         // next source; if that wraps back to the start (every source
         // tried), back off before retrying so a fully dead control plane
         // does not produce a hot bounce loop.
+        // A forwarded deregister bounced: the resolved tracker was merged
+        // away mid-flight. Park it, refetch the hash function, and re-route
+        // under the newer copy (the ttl bounds pathological re-bounces).
+        if let Some(Wire::Deregister { agent, ttl }) = Wire::from_payload(payload) {
+            if ttl > 0 {
+                self.pending_dereg.push((agent, ttl - 1));
+                self.fetch(ctx);
+            }
+            return;
+        }
         if matches!(Wire::from_payload(payload), Some(Wire::FetchHashFn { .. })) {
             self.fetch_in_flight = false;
             let from_source = self.hagents[self.current_hagent].0;
@@ -309,7 +347,7 @@ impl Agent for LHAgentBehavior {
                 from_source: from_source.raw(),
                 to_source: to_source.raw(),
             });
-            if self.waiting.is_empty() {
+            if self.waiting.is_empty() && self.pending_dereg.is_empty() {
                 return;
             }
             if self.current_hagent == 0 {
@@ -349,7 +387,7 @@ impl Agent for LHAgentBehavior {
                 to_source: to_source.raw(),
             });
         }
-        if !self.waiting.is_empty() {
+        if !self.waiting.is_empty() || !self.pending_dereg.is_empty() {
             self.fetch(ctx);
         }
     }

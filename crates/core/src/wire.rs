@@ -332,9 +332,18 @@ pub enum Wire {
         node: NodeId,
     },
     /// The agent is terminating: drop its record ("existing agents die").
+    ///
+    /// Unlike an [`Wire::Update`], this cannot be repaired through the
+    /// sender — the agent dies right after sending, so a
+    /// `NotResponsible` bounce would land on nobody. A tracker that is
+    /// not responsible chases the deregister toward the owner under its
+    /// own (fresher) hash function instead, `ttl`-bounded against
+    /// version-skew ping-pong.
     Deregister {
         /// The agent going away.
         agent: AgentId,
+        /// Remaining tracker hops before the chase is abandoned.
+        ttl: u32,
     },
     /// Query for an agent's current location.
     Locate {

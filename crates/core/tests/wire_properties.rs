@@ -30,7 +30,7 @@ fn arb_wire() -> impl Strategy<Value = Wire> {
         ),
         (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Register { agent, node }),
         (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Update { agent, node }),
-        arb_agent().prop_map(|agent| Wire::Deregister { agent }),
+        (arb_agent(), 0u32..16).prop_map(|(agent, ttl)| Wire::Deregister { agent, ttl }),
         (arb_agent(), any::<u64>(), arb_node(), arb_corr()).prop_map(
             |(target, token, reply_node, corr)| {
                 Wire::Locate {

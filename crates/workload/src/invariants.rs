@@ -39,6 +39,7 @@ use agentrack_core::{ClientEvent, CopyRole, DirectoryClient, LocationScheme};
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, SimPlatform, TimerId};
 use agentrack_sim::SimDuration;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Scenario, ScenarioReport};
 
@@ -51,7 +52,7 @@ const PROBE_PACE: SimDuration = SimDuration::from_millis(50);
 const PROBE_SLACK: SimDuration = SimDuration::from_secs(8);
 
 /// Outcome of the post-quiesce audit of one chaos run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InvariantReport {
     /// Live, reachable TAgents the probe attempted to locate.
     pub probed: usize,

@@ -9,22 +9,23 @@
 //! * [`QuerierBehavior`] — issues locate operations against the TAgent
 //!   population and records location times.
 //! * [`Scenario`] — a complete experiment description with the
-//!   reconstructed paper defaults; [`Scenario::run`] executes it against
-//!   any [`agentrack_core::LocationScheme`] and produces a
-//!   [`ScenarioReport`].
+//!   reconstructed paper defaults; [`Scenario::run_with`] executes it
+//!   against any [`agentrack_core::LocationScheme`] (with optional
+//!   tracing and invariant auditing chosen by [`RunOptions`]) and
+//!   produces a [`ScenarioReport`].
 //!
 //! ## Example
 //!
 //! ```
 //! use agentrack_core::{HashedScheme, LocationConfig};
-//! use agentrack_workload::Scenario;
+//! use agentrack_workload::{RunOptions, Scenario};
 //!
 //! let scenario = Scenario::new("quick")
 //!     .with_agents(30)
 //!     .with_queries(40)
 //!     .with_seconds(8.0, 4.0);
 //! let mut scheme = HashedScheme::new(LocationConfig::default());
-//! let report = scenario.run(&mut scheme);
+//! let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
 //! assert!(report.completion_ratio() > 0.9);
 //! ```
 
@@ -43,5 +44,5 @@ pub use invariants::InvariantReport;
 pub use metrics::{Metrics, MetricsInner};
 pub use population::Population;
 pub use querier::{QuerierBehavior, TargetSelector, Targets};
-pub use scenario::{QuerySpike, Scenario, ScenarioReport};
+pub use scenario::{AuditOptions, QuerySpike, RunOptions, RunOutput, Scenario, ScenarioReport};
 pub use tagent::{Lifecycle, NodeSelector, TAgentBehavior};

@@ -6,15 +6,19 @@
 //! target agents that are actually alive; this shared roster is how they
 //! know.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use agentrack_platform::AgentId;
-use agentrack_sim::SimRng;
+use agentrack_sim::{SimRng, Zipf};
 
 /// Shared roster of live agents. Cheap to clone; all clones see the same
 /// roster.
 #[derive(Debug, Clone, Default)]
-pub struct Population(Arc<Mutex<Vec<AgentId>>>);
+pub struct Population {
+    roster: Arc<Mutex<Vec<AgentId>>>,
+    frozen: Arc<AtomicBool>,
+}
 
 impl Population {
     /// Creates an empty roster.
@@ -25,7 +29,7 @@ impl Population {
 
     /// Adds an agent (idempotent).
     pub fn add(&self, agent: AgentId) {
-        let mut v = self.0.lock().unwrap();
+        let mut v = self.roster.lock().unwrap();
         if !v.contains(&agent) {
             v.push(agent);
         }
@@ -33,30 +37,67 @@ impl Population {
 
     /// Removes an agent.
     pub fn remove(&self, agent: AgentId) {
-        self.0.lock().unwrap().retain(|a| *a != agent);
+        self.roster.lock().unwrap().retain(|a| *a != agent);
     }
 
     /// Number of live agents.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.lock().unwrap().len()
+        self.roster.lock().unwrap().len()
     }
 
     /// `true` when nobody is alive.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.lock().unwrap().is_empty()
+        self.roster.lock().unwrap().is_empty()
+    }
+
+    /// Stops churn: lifecycle death timers become no-ops, pinning the
+    /// roster. The post-quiesce invariant audit freezes the population
+    /// (alongside the scheme's adaptation) so its locate probes race
+    /// neither deaths nor births.
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether churn is frozen.
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Relaxed)
     }
 
     /// Picks a uniformly random live agent.
     #[must_use]
     pub fn sample(&self, rng: &mut SimRng) -> Option<AgentId> {
-        let v = self.0.lock().unwrap();
+        let v = self.roster.lock().unwrap();
         if v.is_empty() {
             None
         } else {
             Some(v[rng.index(v.len())])
         }
+    }
+
+    /// Picks a Zipf-ranked live agent: rank 0 is the oldest survivor.
+    ///
+    /// Roster order is stable between membership events (`remove` keeps
+    /// relative order, successors append), so low Zipf ranks keep landing
+    /// on the same long-lived agents — hot keys that persist while the
+    /// population around them churns. Ranks past the roster clamp to the
+    /// youngest agent.
+    #[must_use]
+    pub fn sample_zipf(&self, rng: &mut SimRng, zipf: &Zipf) -> Option<AgentId> {
+        let v = self.roster.lock().unwrap();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v[zipf.sample(rng).min(v.len() - 1)])
+        }
+    }
+
+    /// The current roster, in rank order (oldest survivor first).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<AgentId> {
+        self.roster.lock().unwrap().clone()
     }
 }
 

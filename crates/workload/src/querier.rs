@@ -62,9 +62,12 @@ impl TargetSelector {
                     v[zipf.sample(rng).min(v.len() - 1)]
                 }
             }),
-            // Under churn the roster mutates constantly; rank-stable Zipf
-            // popularity is not meaningful there, so sampling is uniform.
-            Targets::Live(p) => p.sample(ctx.rng()),
+            // Under churn, Zipf ranks follow roster order: the oldest
+            // survivors stay the hot keys while the population turns over.
+            Targets::Live(p) => match self {
+                TargetSelector::Uniform => p.sample(ctx.rng()),
+                TargetSelector::Zipf(zipf) => p.sample_zipf(ctx.rng(), zipf),
+            },
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! A [`Scenario`] describes a complete experiment — topology, cost model,
 //! TAgent population and mobility, query workload — and
-//! [`Scenario::run`] executes it against any [`LocationScheme`],
+//! [`Scenario::run_with`] executes it against any [`LocationScheme`],
 //! producing a [`ScenarioReport`] with the paper's metric (average
 //! location time) plus everything needed for the extended analyses.
 
@@ -28,14 +28,14 @@ use crate::tagent::{Lifecycle, NodeSelector, TAgentBehavior};
 ///
 /// ```
 /// use agentrack_core::{CentralizedScheme, LocationConfig};
-/// use agentrack_workload::Scenario;
+/// use agentrack_workload::{RunOptions, Scenario};
 ///
 /// let scenario = Scenario::new("smoke")
 ///     .with_agents(20)
 ///     .with_queries(50)
 ///     .with_seconds(6.0, 3.0);
 /// let mut scheme = CentralizedScheme::new(LocationConfig::default());
-/// let report = scenario.run(&mut scheme);
+/// let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
 /// assert!(report.locates_completed > 0);
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -81,9 +81,9 @@ pub struct Scenario {
     /// Scheduled fault injection: partitions, node crashes/restarts,
     /// latency spikes, loss bursts, blackholes (empty = fault-free).
     pub faults: FaultPlan,
-    /// Flash crowd: an extra burst of queries concentrated in a short
-    /// window, on top of the steady workload (E17).
-    pub spike: Option<QuerySpike>,
+    /// Flash crowds: extra bursts of queries concentrated in short
+    /// windows, on top of the steady workload (E17, diurnal workloads).
+    pub spikes: Vec<QuerySpike>,
 }
 
 /// A flash crowd riding on top of the steady query workload: `queries`
@@ -99,6 +99,93 @@ pub struct QuerySpike {
     pub queries: u64,
     /// Dedicated spike queriers (spread round-robin over nodes).
     pub queriers: usize,
+}
+
+/// Options for [`Scenario::run_with`]: the instruments to install on the
+/// run's platform and the post-run checks to perform. `RunOptions::new()`
+/// (or `default()`) is a plain, uninstrumented, unaudited run.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Message tracer installed on the platform (diagnostics; identical
+    /// seed ⇒ identical run, so a slow operation found in one run can be
+    /// traced in a second).
+    pub tracer: Option<agentrack_platform::MsgTracer>,
+    /// Structured trace sink: protocol agents emit
+    /// [`agentrack_sim::TraceEvent`]s into it, so a locate's multi-hop
+    /// path can be reconstructed by correlation id after the run. Keep a
+    /// clone to read the records afterwards. Disabled by default.
+    pub sink: TraceSink,
+    /// When set, audit the post-quiesce invariants after the run and
+    /// return the result in [`RunOutput::invariants`].
+    pub audit: Option<AuditOptions>,
+}
+
+impl RunOptions {
+    /// A plain run: no tracer, no trace sink, no invariant audit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a message tracer on the run's platform.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: agentrack_platform::MsgTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Installs a structured [`TraceSink`] on the run's platform.
+    #[must_use]
+    pub fn with_sink(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Requests a post-quiesce invariant audit after the run.
+    #[must_use]
+    pub fn with_audit(mut self, audit: AuditOptions) -> Self {
+        self.audit = Some(audit);
+        self
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("tracer", &self.tracer.as_ref().map(|_| "MsgTracer"))
+            .field("sink", &self.sink)
+            .field("audit", &self.audit)
+            .finish()
+    }
+}
+
+/// How to audit the post-quiesce invariants after a run: every reachable
+/// TAgent is locatable through the scheme, hash-function versions converge
+/// across live copies, no record is owned by two trackers, and mail loss
+/// is accounted for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditOptions {
+    /// Demand *every* live hash-function copy match the primary's version
+    /// — only sound when the scheme runs with a
+    /// [`version audit`](agentrack_core::LocationConfig::with_version_audit),
+    /// since the paper's propagation is deliberately lazy.
+    pub strict_versions: bool,
+}
+
+/// Everything one [`Scenario::run_with`] call produces.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The scenario report: the paper's metric plus diagnostics.
+    pub report: ScenarioReport,
+    /// Per-locate samples `(issue time, target, elapsed)` for tail
+    /// analyses, from the bounded reservoir.
+    pub samples: Vec<(
+        agentrack_sim::SimTime,
+        agentrack_platform::AgentId,
+        SimDuration,
+    )>,
+    /// The invariant audit result, when [`RunOptions::audit`] was set.
+    pub invariants: Option<InvariantReport>,
 }
 
 impl Scenario {
@@ -124,7 +211,7 @@ impl Scenario {
             grace: SimDuration::from_secs(10),
             churn_lifespan: None,
             faults: FaultPlan::new(),
-            spike: None,
+            spikes: Vec::new(),
         }
     }
 
@@ -172,9 +259,11 @@ impl Scenario {
     }
 
     /// Adds a flash-crowd query spike on top of the steady workload.
+    /// May be called repeatedly; spikes stack (a diurnal workload is a
+    /// sequence of spikes riding one baseline).
     #[must_use]
     pub fn with_spike(mut self, spike: QuerySpike) -> Self {
-        self.spike = Some(spike);
+        self.spikes.push(spike);
         self
     }
 
@@ -184,14 +273,61 @@ impl Scenario {
         self.warmup + self.measure
     }
 
+    /// Runs the scenario against a scheme with the given [`RunOptions`] —
+    /// the single entry point behind every `run_*` convenience wrapper,
+    /// and the one the spec-driven trial runner drives.
+    ///
+    /// The options choose the optional instruments (message tracer,
+    /// structured [`TraceSink`]) and whether to audit the post-quiesce
+    /// invariants afterwards; the returned [`RunOutput`] carries the
+    /// report, the per-locate samples, and the audit result when one was
+    /// requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is degenerate (no agents, no queriers with
+    /// queries, zero nodes).
+    pub fn run_with(&self, scheme: &mut dyn LocationScheme, options: RunOptions) -> RunOutput {
+        let RunOptions {
+            tracer,
+            sink,
+            audit,
+        } = options;
+        let (report, samples, mut platform, tagents, population) =
+            self.run_full(scheme, tracer, sink);
+        let invariants = audit.map(|audit| {
+            // Pin the roster for the audit: its locate probes advance
+            // simulated time, and a population still churning underneath
+            // them would fail (or mask) checks for reasons that are not
+            // violations.
+            if let Some(population) = &population {
+                population.freeze();
+            }
+            invariants::check(
+                self,
+                scheme,
+                &mut platform,
+                &tagents,
+                &report,
+                audit.strict_versions,
+            )
+        });
+        RunOutput {
+            report,
+            samples,
+            invariants,
+        }
+    }
+
     /// Runs the scenario against a scheme and reports the results.
     ///
     /// # Panics
     ///
     /// Panics if the scenario is degenerate (no agents, no queriers with
     /// queries, zero nodes).
+    #[deprecated(since = "0.2.0", note = "use `Scenario::run_with` with `RunOptions`")]
     pub fn run(&self, scheme: &mut dyn LocationScheme) -> ScenarioReport {
-        self.run_with_samples(scheme).0
+        self.run_with(scheme, RunOptions::new()).report
     }
 
     /// Like [`Scenario::run`] but also returns the per-locate samples
@@ -200,6 +336,7 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Scenario::run`].
+    #[deprecated(since = "0.2.0", note = "use `Scenario::run_with` with `RunOptions`")]
     pub fn run_with_samples(
         &self,
         scheme: &mut dyn LocationScheme,
@@ -211,12 +348,17 @@ impl Scenario {
             SimDuration,
         )>,
     ) {
-        self.run_inner(scheme, None, TraceSink::disabled())
+        let out = self.run_with(scheme, RunOptions::new());
+        (out.report, out.samples)
     }
 
     /// Like [`Scenario::run_with_samples`] with a message tracer installed
     /// on the platform (diagnostics; identical seed ⇒ identical run, so a
     /// slow operation found in one run can be traced in a second).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Scenario::run_with` with `RunOptions::new().with_tracer(..)`"
+    )]
     pub fn run_traced(
         &self,
         scheme: &mut dyn LocationScheme,
@@ -229,15 +371,21 @@ impl Scenario {
             SimDuration,
         )>,
     ) {
-        self.run_inner(scheme, Some(tracer), TraceSink::disabled())
+        let out = self.run_with(scheme, RunOptions::new().with_tracer(tracer));
+        (out.report, out.samples)
     }
 
     /// Like [`Scenario::run`] with a structured [`TraceSink`] installed on
     /// the platform: protocol agents emit [`agentrack_sim::TraceEvent`]s
     /// into it, so a locate's multi-hop path can be reconstructed by
     /// correlation id after the run.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Scenario::run_with` with `RunOptions::new().with_sink(..)`"
+    )]
     pub fn run_observed(&self, scheme: &mut dyn LocationScheme, sink: TraceSink) -> ScenarioReport {
-        self.run_inner(scheme, None, sink).0
+        self.run_with(scheme, RunOptions::new().with_sink(sink))
+            .report
     }
 
     /// Runs the scenario (typically one with a fault plan) and then checks
@@ -254,22 +402,20 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Scenario::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Scenario::run_with` with `RunOptions::new().with_audit(..)`"
+    )]
     pub fn run_chaos(
         &self,
         scheme: &mut dyn LocationScheme,
         strict_versions: bool,
     ) -> (ScenarioReport, InvariantReport) {
-        let (report, _samples, mut platform, tagents) =
-            self.run_full(scheme, None, TraceSink::disabled());
-        let invariants = invariants::check(
-            self,
+        let out = self.run_with(
             scheme,
-            &mut platform,
-            &tagents,
-            &report,
-            strict_versions,
+            RunOptions::new().with_audit(AuditOptions { strict_versions }),
         );
-        (report, invariants)
+        (out.report, out.invariants.expect("audit was requested"))
     }
 
     /// Like [`Scenario::run_chaos`] with a structured [`TraceSink`]
@@ -282,39 +428,23 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics under the same conditions as [`Scenario::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Scenario::run_with` with `RunOptions::new().with_sink(..).with_audit(..)`"
+    )]
     pub fn run_chaos_traced(
         &self,
         scheme: &mut dyn LocationScheme,
         strict_versions: bool,
         sink: TraceSink,
     ) -> (ScenarioReport, InvariantReport) {
-        let (report, _samples, mut platform, tagents) = self.run_full(scheme, None, sink);
-        let invariants = invariants::check(
-            self,
+        let out = self.run_with(
             scheme,
-            &mut platform,
-            &tagents,
-            &report,
-            strict_versions,
+            RunOptions::new()
+                .with_sink(sink)
+                .with_audit(AuditOptions { strict_versions }),
         );
-        (report, invariants)
-    }
-
-    fn run_inner(
-        &self,
-        scheme: &mut dyn LocationScheme,
-        tracer: Option<agentrack_platform::MsgTracer>,
-        sink: TraceSink,
-    ) -> (
-        ScenarioReport,
-        Vec<(
-            agentrack_sim::SimTime,
-            agentrack_platform::AgentId,
-            SimDuration,
-        )>,
-    ) {
-        let (report, samples, _platform, _tagents) = self.run_full(scheme, tracer, sink);
-        (report, samples)
+        (out.report, out.invariants.expect("audit was requested"))
     }
 
     #[allow(clippy::type_complexity)]
@@ -332,6 +462,7 @@ impl Scenario {
         )>,
         SimPlatform,
         Vec<agentrack_platform::AgentId>,
+        Option<Population>,
     ) {
         assert!(self.nodes > 0, "scenario needs nodes");
         assert!(self.agents > 0, "scenario needs agents");
@@ -398,7 +529,7 @@ impl Scenario {
             tagents.push(platform.spawn_after(Box::new(behavior), node, delay));
         }
         let targets = if lifecycle.is_some() {
-            Targets::Live(population)
+            Targets::Live(population.clone())
         } else {
             Targets::Fixed(tagents.clone())
         };
@@ -450,11 +581,11 @@ impl Scenario {
             }
         }
 
-        // Flash crowd: dedicated queriers that sit silent until the spike
-        // instant, then issue their budget paced over the spike span. They
-        // share the metrics sink — a spike inside the measured window
+        // Flash crowds: dedicated queriers that sit silent until their
+        // spike instant, then issue their budget paced over the spike span.
+        // They share the metrics sink — a spike inside the measured window
         // shows up in the locate percentiles, which is the point.
-        if let Some(spike) = self.spike {
+        for spike in self.spikes.iter().copied() {
             assert!(spike.queriers > 0, "a spike needs queriers");
             assert!(!spike.span.is_zero(), "a spike needs a non-zero span");
             let per = spike.queries / spike.queriers as u64;
@@ -560,7 +691,15 @@ impl Scenario {
             samples_retained: samples.len() as u64,
             samples_seen: m.samples_seen,
         });
-        (report, samples, platform, tagents)
+        // The roster the invariant audit probes: under churn the original
+        // spawn list is long dead — hand back the live successors instead,
+        // plus the shared roster so the audit can freeze further churn.
+        let (tagents, population) = if self.churn_lifespan.is_some() {
+            (population.snapshot(), Some(population))
+        } else {
+            (tagents, None)
+        };
+        (report, samples, platform, tagents, population)
     }
 }
 

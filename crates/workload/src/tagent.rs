@@ -169,7 +169,15 @@ impl Agent for TAgentBehavior {
 
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, timer: TimerId) {
         if self.death_timer == Some(timer) {
-            self.die(ctx);
+            // A frozen population (the post-quiesce audit) suspends churn:
+            // the deadline lapses and the agent lives on.
+            let frozen = self
+                .lifecycle
+                .as_ref()
+                .is_some_and(|l| l.population.is_frozen());
+            if !frozen {
+                self.die(ctx);
+            }
             return;
         }
         if self.residence_timer == Some(timer) {

@@ -1,5 +1,8 @@
 //! End-to-end tests: full scenarios against every scheme.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use agentrack_core::{
     CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
 };

@@ -9,7 +9,7 @@
 //! ```
 
 use agentrack::core::{HashedScheme, LocationConfig, LocationScheme};
-use agentrack::workload::Scenario;
+use agentrack::workload::{RunOptions, Scenario};
 
 fn main() {
     // The paper's thresholds: split an IAgent above 50 msg/s, merge below 5.
@@ -24,7 +24,7 @@ fn main() {
         .with_seconds(10.0, 5.0);
 
     let mut scheme = HashedScheme::new(config);
-    let report = scenario.run(&mut scheme);
+    let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
 
     println!("scheme            : {}", report.scheme);
     println!("mobile agents     : {}", report.agents);

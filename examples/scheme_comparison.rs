@@ -23,25 +23,35 @@ use agentrack::sim::TraceSink;
 use agentrack::trace_analysis::{
     build_spans, render_breakdown, slowest, to_folded, to_perfetto_json, SpanTree,
 };
-use agentrack::workload::{Scenario, ScenarioReport};
+use agentrack::workload::{RunOptions, Scenario, ScenarioReport};
 
 fn run(name: &str, scenario: &Scenario) -> (ScenarioReport, Vec<SpanTree>) {
     let config = LocationConfig::default();
     let sink = TraceSink::bounded(262_144);
-    let report = match name {
-        "hashed" => scenario.run_observed(&mut HashedScheme::new(config), sink.clone()),
-        "centralized" => scenario.run_observed(&mut CentralizedScheme::new(config), sink.clone()),
-        "home-registry" => {
-            scenario.run_observed(&mut HomeRegistryScheme::new(config), sink.clone())
-        }
-        "forwarding" => scenario.run_observed(&mut ForwardingScheme::new(config), sink.clone()),
+    let out = match name {
+        "hashed" => scenario.run_with(
+            &mut HashedScheme::new(config),
+            RunOptions::new().with_sink(sink.clone()),
+        ),
+        "centralized" => scenario.run_with(
+            &mut CentralizedScheme::new(config),
+            RunOptions::new().with_sink(sink.clone()),
+        ),
+        "home-registry" => scenario.run_with(
+            &mut HomeRegistryScheme::new(config),
+            RunOptions::new().with_sink(sink.clone()),
+        ),
+        "forwarding" => scenario.run_with(
+            &mut ForwardingScheme::new(config),
+            RunOptions::new().with_sink(sink.clone()),
+        ),
         _ => unreachable!(),
     };
     let trees = build_spans(&sink.snapshot())
         .into_iter()
         .filter(|t| !t.duration().is_zero())
         .collect();
-    (report, trees)
+    (out.report, trees)
 }
 
 fn main() {

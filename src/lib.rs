@@ -42,7 +42,7 @@
 //!
 //! ```
 //! use agentrack::core::{HashedScheme, LocationConfig};
-//! use agentrack::workload::Scenario;
+//! use agentrack::workload::{RunOptions, Scenario};
 //!
 //! // 30 agents roaming a 16-node LAN; 50 location queries.
 //! let scenario = Scenario::new("quickstart")
@@ -50,7 +50,7 @@
 //!     .with_queries(50)
 //!     .with_seconds(8.0, 4.0);
 //! let mut scheme = HashedScheme::new(LocationConfig::default());
-//! let report = scenario.run(&mut scheme);
+//! let report = scenario.run_with(&mut scheme, RunOptions::new()).report;
 //! assert!(report.completion_ratio() > 0.9);
 //! println!("mean location time: {:.2} ms", report.mean_locate_ms);
 //! ```

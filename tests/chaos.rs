@@ -5,6 +5,9 @@
 //! reproducible: the same seed replays the identical `TraceEvent`
 //! sequence, which the last test pins.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use agentrack::core::{
     CentralizedScheme, ForwardingScheme, HashedScheme, HomeRegistryScheme, LocationConfig,
     LocationScheme,

@@ -1,6 +1,9 @@
 //! Fault-tolerance tests: crashing the HAgent (the paper's acknowledged
 //! "vulnerability point") with and without the standby extension.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use agentrack::core::{HashedScheme, LocationConfig, LocationScheme};
 use agentrack::platform::NodeId;
 use agentrack::platform::{PlatformConfig, SimPlatform};

@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: the full mechanism (hash tree + platform
 //! + protocol agents) exercised end to end.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use std::sync::{Arc, Mutex};
 
 use agentrack::core::{HashedScheme, LocationConfig, LocationScheme, Wire};

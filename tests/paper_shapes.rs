@@ -6,6 +6,9 @@
 //! `EXPERIMENTS.md` and regenerate with `cargo run -p agentrack-bench
 //! --bin repro --release`.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use agentrack::core::{CentralizedScheme, HashedScheme, LocationConfig};
 use agentrack::workload::Scenario;
 

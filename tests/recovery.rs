@@ -4,6 +4,9 @@
 //! and the locate answer-vs-timeout race (a stale retry timer must not
 //! burn budget for a completed locate).
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use agentrack::core::{CentralizedScheme, DirectoryClient, HashedScheme, LocationConfig};
 use agentrack::platform::{
     Agent, AgentCtx, AgentId, NodeId, Payload, PlatformConfig, SimPlatform, TimerId,

@@ -1,0 +1,78 @@
+//! Equivalence: the spec-driven trial runner reproduces the hand-coded
+//! experiments byte for byte.
+//!
+//! The hand-coded `exp1`/`chaos`/`rehash_spike` grids and the committed
+//! spec files under `specs/` describe the same experiments. Both paths
+//! build the same `Scenario` values at the same seeds, so their CSV
+//! tables must match exactly — any drift means the spec, the runner, or
+//! the hand-coded experiment changed semantics. Each pair is checked
+//! sequentially (`jobs = 1`) and across all cores, which also pins the
+//! runner's determinism under parallel execution.
+
+use agentrack_bench::{chaos, exp1, rehash_spike, run_spec, Fidelity, ScenarioSpec};
+
+fn all_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let path = format!("{}/specs/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    ScenarioSpec::load_str(&text).unwrap_or_else(|e| panic!("loading {path}: {e}"))
+}
+
+fn assert_equivalent(name: &str, hand_coded: fn(Fidelity, usize) -> agentrack_bench::Table) {
+    let spec = load_spec(name);
+    for jobs in [1, all_cores()] {
+        let expected = hand_coded(Fidelity::Quick, jobs).to_csv();
+        let actual = run_spec(&spec, Fidelity::Quick, jobs).table.to_csv();
+        assert_eq!(
+            actual, expected,
+            "spec {name} diverged from the hand-coded experiment at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn spec_e1_matches_hand_coded_exp1() {
+    assert_equivalent("e1", exp1);
+}
+
+#[test]
+fn spec_e13_matches_hand_coded_chaos() {
+    assert_equivalent("e13_chaos", chaos);
+}
+
+#[test]
+fn spec_e17_matches_hand_coded_rehash_spike() {
+    assert_equivalent("e17_rehash_spike", rehash_spike);
+}
+
+#[test]
+fn spec_runner_is_deterministic_across_job_counts() {
+    // The new spec-only workloads have no hand-coded twin; pin instead
+    // that the runner's output is independent of the worker count.
+    for name in ["diurnal", "hot_key_churn"] {
+        let spec = load_spec(name);
+        let sequential = run_spec(&spec, Fidelity::Quick, 1);
+        let parallel = run_spec(&spec, Fidelity::Quick, all_cores());
+        assert_eq!(
+            sequential.table.to_csv(),
+            parallel.table.to_csv(),
+            "{name}: table differs between jobs=1 and jobs=all"
+        );
+        // Trial records must agree too, modulo the one wall-clock field.
+        let strip = |trials: &[agentrack_bench::TrialRecord]| {
+            let mut trials = trials.to_vec();
+            for t in &mut trials {
+                t.wall_ms = 0.0;
+            }
+            serde_json::to_string(&trials).unwrap()
+        };
+        assert_eq!(
+            strip(&sequential.trials),
+            strip(&parallel.trials),
+            "{name}: trials differ between jobs=1 and jobs=all"
+        );
+    }
+}

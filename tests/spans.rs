@@ -2,6 +2,9 @@
 //! under the forwarding scheme, folded into a causal span tree whose
 //! child phases exactly account for the end-to-end latency.
 
+// The legacy `run*` entry points are deprecated shims over `Scenario::run_with`;
+// these tests deliberately keep exercising them until the shims are removed.
+#![allow(deprecated)]
 use std::sync::{Arc, Mutex};
 
 use agentrack::core::{

@@ -427,6 +427,22 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
+// `Value` round-trips through itself, mirroring serde_json's blanket
+// `Serialize`/`Deserialize` for `serde_json::Value`: callers can parse a
+// document to the raw tree (e.g. for strict unknown-key checking) before
+// the typed deserialization pass.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
