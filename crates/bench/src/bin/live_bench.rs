@@ -39,9 +39,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use agentrack_platform::{
-    Agent, AgentCtx, AgentId, LiveConfig, LivePlatform, LiveStats, NodeId, Payload, TraceSink,
+    Agent, AgentCtx, AgentId, LiveConfig, LivePlatform, LiveStats, NodeId, OpKind, Payload, SlowOp,
+    TelemetrySnapshot, TraceSink,
 };
-use agentrack_sim::{SimRng, Zipf};
+use agentrack_sim::{LogHistogram, SimRng, Zipf};
+use agentrack_trace_analysis::{to_flight_json, to_flight_perfetto, FlightOp};
 
 /// The bench's only behaviour: migrate wherever a `u32` payload says.
 struct Sink;
@@ -70,6 +72,13 @@ struct Opts {
     settle_secs: f64,
     compare: bool,
     check: bool,
+    telemetry: bool,
+    flight_recorder: usize,
+    overhead: bool,
+    overhead_reps: usize,
+    overhead_max_pct: f64,
+    flight_out: Option<String>,
+    csv_out: String,
     out: String,
 }
 
@@ -93,6 +102,13 @@ impl Default for Opts {
             settle_secs: 30.0,
             compare: false,
             check: false,
+            telemetry: false,
+            flight_recorder: 0,
+            overhead: false,
+            overhead_reps: 1,
+            overhead_max_pct: 0.0,
+            flight_out: None,
+            csv_out: "results/live_telemetry.csv".to_string(),
             out: "BENCH_live.json".to_string(),
         }
     }
@@ -106,6 +122,9 @@ struct ArmResult {
     cache_hit_rate: f64,
     window_secs: f64,
     stats: LiveStats,
+    /// The final (post-drain) telemetry snapshot, when the arm ran
+    /// instrumented.
+    snapshot: Option<TelemetrySnapshot>,
 }
 
 impl ArmResult {
@@ -116,6 +135,22 @@ impl ArmResult {
             f64::INFINITY
         }
     }
+}
+
+/// A latency percentile read off a telemetry histogram, in nanoseconds.
+fn pctl(h: &LogHistogram, p: f64) -> f64 {
+    h.percentile(p).as_nanos() as f64
+}
+
+/// One histogram as a JSON object of percentiles plus its sample count.
+fn fmt_pctls(h: &LogHistogram) -> String {
+    format!(
+        "{{\"p50\": {:.0}, \"p95\": {:.0}, \"p99\": {:.0}, \"samples\": {}}}",
+        pctl(h, 50.0),
+        pctl(h, 95.0),
+        pctl(h, 99.0),
+        h.len()
+    )
 }
 
 /// How many driver ops sit between two move ops for a given percentage.
@@ -272,7 +307,12 @@ fn run_arm(opts: &Opts, config: LiveConfig, label: &str) -> Result<ArmResult, St
     if opts.check {
         check_invariants(&platform, opts, &final_stats)?;
     }
-    platform.shutdown();
+    let (end_stats, snapshot) = platform.shutdown_telemetry();
+    if opts.check {
+        if let Some(snap) = &snapshot {
+            check_snapshot(snap, &end_stats)?;
+        }
+    }
 
     let locates = total_locates.load(Ordering::Relaxed);
     let posts = total_posts.load(Ordering::Relaxed);
@@ -289,7 +329,8 @@ fn run_arm(opts: &Opts, config: LiveConfig, label: &str) -> Result<ArmResult, St
             0.0
         },
         window_secs: window,
-        stats: final_stats,
+        stats: end_stats,
+        snapshot,
     };
     eprintln!(
         "live_bench[{label}]: {:.0} locates/s, {:.0} moves/s, {:.0} posts/s, \
@@ -299,7 +340,81 @@ fn run_arm(opts: &Opts, config: LiveConfig, label: &str) -> Result<ArmResult, St
         result.posts_per_sec,
         result.cache_hit_rate * 100.0,
     );
+    if let Some(snap) = &result.snapshot {
+        eprintln!(
+            "live_bench[{label}]: telemetry: locate p50/p99 {:.0}/{:.0}ns, \
+             move p50/p99 {:.0}/{:.0}ns, deliver p50/p99 {:.0}/{:.0}ns, \
+             {} slow ops captured, {} stalled",
+            pctl(&snap.locate_ns, 50.0),
+            pctl(&snap.locate_ns, 99.0),
+            pctl(&snap.move_ns, 50.0),
+            pctl(&snap.move_ns, 99.0),
+            pctl(&snap.deliver_ns, 50.0),
+            pctl(&snap.deliver_ns, 99.0),
+            snap.slow_ops.len(),
+            snap.stalled_nodes,
+        );
+    }
     Ok(result)
+}
+
+/// `--check --telemetry`: the snapshot must tell the same story as the
+/// platform counters — per-node rows summing to totals, totals matching
+/// `LiveStats`, and every channel's books closed.
+fn check_snapshot(snap: &TelemetrySnapshot, stats: &LiveStats) -> Result<(), String> {
+    let delivered: u64 = snap.nodes.iter().map(|n| n.delivered).sum();
+    let failed: u64 = snap.nodes.iter().map(|n| n.failed).sum();
+    if delivered != snap.delivered_total || failed != snap.failed_total {
+        return Err(format!(
+            "check: snapshot node rows do not sum to its totals: \
+             {delivered}/{} delivered, {failed}/{} failed",
+            snap.delivered_total, snap.failed_total
+        ));
+    }
+    if snap.delivered_total != stats.messages_delivered
+        || snap.failed_total != stats.messages_failed
+    {
+        return Err(format!(
+            "check: snapshot disagrees with LiveStats: {}/{} delivered, {}/{} failed",
+            snap.delivered_total,
+            stats.messages_delivered,
+            snap.failed_total,
+            stats.messages_failed
+        ));
+    }
+    for n in &snap.nodes {
+        if n.queue_depth != 0 || n.enqueued != n.processed {
+            return Err(format!(
+                "check: node {} channel books did not close: {} in, {} out",
+                n.node, n.enqueued, n.processed
+            ));
+        }
+    }
+    if stats.migrations > 0 && snap.move_ns.is_empty() {
+        return Err("check: migrations happened but the move histogram is empty".into());
+    }
+    eprintln!("live_bench: telemetry snapshot checks passed");
+    Ok(())
+}
+
+/// Maps the platform's slow-op capture into the exporter's plain rows.
+fn flight_rows(snap: &TelemetrySnapshot) -> Vec<FlightOp> {
+    snap.slow_ops.iter().map(flight_row).collect()
+}
+
+fn flight_row(op: &SlowOp) -> FlightOp {
+    FlightOp {
+        kind: match op.kind {
+            OpKind::Deliver => "deliver",
+            OpKind::Move => "move",
+            OpKind::Timer => "timer",
+        },
+        node: op.node,
+        agent: op.agent,
+        enqueued_ns: op.enqueued_ns,
+        started_ns: op.started_ns,
+        ended_ns: op.ended_ns,
+    }
 }
 
 /// `--check` mode: the assertions that make the smoke run a test.
@@ -396,6 +511,25 @@ fn main() -> ExitCode {
             },
             "--compare" => opts.compare = true,
             "--check" => opts.check = true,
+            "--telemetry" => opts.telemetry = true,
+            "--flight-recorder" => opts.flight_recorder = take!(args, "--flight-recorder"),
+            "--overhead" => opts.overhead = true,
+            "--overhead-reps" => opts.overhead_reps = take!(args, "--overhead-reps"),
+            "--overhead-max-pct" => opts.overhead_max_pct = take!(args, "--overhead-max-pct"),
+            "--flight-out" => match args.next() {
+                Some(p) => opts.flight_out = Some(p),
+                None => {
+                    eprintln!("--flight-out requires a path prefix");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => match args.next() {
+                Some(p) => opts.csv_out = p,
+                None => {
+                    eprintln!("--csv requires a file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: live_bench [--agents N] [--nodes N] [--seconds S] [--drivers K]\n\
@@ -403,10 +537,18 @@ fn main() -> ExitCode {
                      \u{20}                 [--route-cache-bits B] [--move-pct P] [--zipf S]\n\
                      \u{20}                 [--seed N] [--inflight N] [--settle-secs S]\n\
                      \u{20}                 [--compare] [--check] [--out FILE]\n\
+                     \u{20}                 [--telemetry] [--flight-recorder K]\n\
+                     \u{20}                 [--overhead] [--overhead-reps N]\n\
+                     \u{20}                 [--overhead-max-pct F] [--csv FILE]\n\
+                     \u{20}                 [--flight-out PREFIX]\n\
                      --shards 1 --batch 1 --drain-budget 1 --route-cache-bits 0\n\
                      reproduces the pre-sharding runtime;\n\
                      --compare runs the tuned arm plus that baseline and reports speedups;\n\
-                     --check asserts invariants (CI smoke mode)."
+                     --check asserts invariants (CI smoke mode);\n\
+                     --telemetry instruments the run and adds p50/p95/p99 latency rows;\n\
+                     --flight-recorder K keeps the K slowest ops (exported via --flight-out);\n\
+                     --overhead runs off/on/on+flight arms, writes --csv, and (with\n\
+                     --overhead-max-pct) fails if instrumented locate throughput drops more."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -421,18 +563,143 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if opts.overhead && opts.telemetry {
+        // The overhead table needs a clean uninstrumented arm; the main
+        // arm is that arm.
+        eprintln!("live_bench: --overhead implies the main arm runs telemetry-off");
+        opts.telemetry = false;
+    }
     let tuned = LiveConfig::default()
         .with_shards(opts.shards)
         .with_batch_max(opts.batch)
         .with_drain_budget(opts.drain_budget)
-        .with_route_cache_bits(opts.route_cache_bits);
-    let main_arm = match run_arm(&opts, tuned, "tuned") {
+        .with_route_cache_bits(opts.route_cache_bits)
+        .with_telemetry(opts.telemetry)
+        .with_flight_recorder(if opts.telemetry {
+            opts.flight_recorder
+        } else {
+            0
+        });
+    let mut main_arm = match run_arm(&opts, tuned, "tuned") {
         Ok(r) => r,
         Err(e) => {
             eprintln!("live_bench: FAILED: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // ---- E19: telemetry overhead — off (the arm above), on, on+flight.
+    if opts.overhead {
+        let flight_k = opts.flight_recorder.max(64);
+        let flight_name = format!("telemetry-on+flight-{flight_k}");
+        let arms: [(&str, LiveConfig); 3] = [
+            ("telemetry-off", tuned),
+            ("telemetry-on", tuned.with_telemetry(true)),
+            (
+                flight_name.as_str(),
+                tuned.with_telemetry(true).with_flight_recorder(flight_k),
+            ),
+        ];
+        // Arms run interleaved with the starting arm rotated each rep
+        // (rep 0: off,on,flight; rep 1: on,flight,off; …) and each slot
+        // keeps its best rep. Throughput drifts several percent over a
+        // long-lived process — warm-up early, allocator fragmentation
+        // late — so a fixed order would systematically flatter whichever
+        // config always ran in the luckiest position; rotation gives
+        // every arm a turn in every position and best-of takes each
+        // arm's luckiest draw.
+        let mut best: [Option<ArmResult>; 3] = [Some(main_arm), None, None];
+        let reps = opts.overhead_reps.max(1);
+        for rep in 0..reps {
+            for k in 0..arms.len() {
+                let slot = (rep + k) % arms.len();
+                let (name, config) = &arms[slot];
+                if rep == 0 && slot == 0 {
+                    continue; // the main arm above was rep 0 of "off"
+                }
+                let arm = match run_arm(&opts, *config, &format!("{name}#{rep}")) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("live_bench: FAILED ({name} arm): {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if best[slot]
+                    .as_ref()
+                    .is_none_or(|b| arm.locates_per_sec > b.locates_per_sec)
+                {
+                    best[slot] = Some(arm);
+                }
+            }
+        }
+        let [off, on, flight] = best.map(|b| b.expect("every slot ran"));
+        let overhead_pct =
+            |arm: &ArmResult| (1.0 - arm.locates_per_sec / off.locates_per_sec.max(1.0)) * 100.0;
+        let mut csv =
+            String::from("arm,locates_per_sec,moves_per_sec,posts_per_sec,locate_overhead_pct\n");
+        for (name, arm) in [
+            ("telemetry-off", &off),
+            ("telemetry-on", &on),
+            (flight_name.as_str(), &flight),
+        ] {
+            csv.push_str(&format!(
+                "{name},{:.0},{:.0},{:.0},{:.2}\n",
+                arm.locates_per_sec,
+                arm.moves_per_sec,
+                arm.posts_per_sec,
+                overhead_pct(arm),
+            ));
+        }
+        if let Some(dir) = std::path::Path::new(&opts.csv_out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&opts.csv_out, &csv) {
+            eprintln!("live_bench: cannot write {}: {e}", opts.csv_out);
+            return ExitCode::FAILURE;
+        }
+        eprint!("live_bench: wrote {}\n{csv}", opts.csv_out);
+        if opts.overhead_max_pct > 0.0 {
+            for (name, arm) in [("telemetry-on", &on), ("telemetry+flight", &flight)] {
+                let pct = overhead_pct(arm);
+                if pct > opts.overhead_max_pct {
+                    eprintln!(
+                        "live_bench: FAILED: {name} locate overhead {pct:.2}% \
+                         exceeds --overhead-max-pct {:.2}%",
+                        opts.overhead_max_pct
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!(
+                "live_bench: overhead within {:.1}% bound",
+                opts.overhead_max_pct
+            );
+        }
+        // The best uninstrumented rep is the honest headline.
+        main_arm = off;
+    }
+
+    // ---- Flight recorder export.
+    if let Some(prefix) = &opts.flight_out {
+        match &main_arm.snapshot {
+            Some(snap) if !snap.slow_ops.is_empty() => {
+                let rows = flight_rows(snap);
+                let json_path = format!("{prefix}.json");
+                let perfetto_path = format!("{prefix}.perfetto.json");
+                if let Err(e) = std::fs::write(&json_path, to_flight_json(&rows))
+                    .and_then(|()| std::fs::write(&perfetto_path, to_flight_perfetto(&rows)))
+                {
+                    eprintln!("live_bench: cannot write flight capture: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("live_bench: wrote {json_path} and {perfetto_path}");
+            }
+            _ => eprintln!(
+                "live_bench: --flight-out given but no slow ops captured \
+                 (need --telemetry --flight-recorder K)"
+            ),
+        }
+    }
 
     let flat_arm = if opts.compare {
         // The pre-split runtime: one registry lock, one channel op per
@@ -459,6 +726,16 @@ fn main() -> ExitCode {
     out.push_str(
         "  \"bench\": \"live runtime throughput (sharded registry, batched channels, route cache)\",\n",
     );
+    let flag_suffix = format!(
+        "{}{}{}",
+        if opts.compare { " --compare" } else { "" },
+        if opts.telemetry { " --telemetry" } else { "" },
+        if opts.flight_recorder > 0 {
+            format!(" --flight-recorder {}", opts.flight_recorder)
+        } else {
+            String::new()
+        },
+    );
     out.push_str(&format!(
         "  \"command\": \"cargo run -p agentrack-bench --release --bin live_bench -- \
          --agents {} --nodes {} --seconds {} --drivers {} --shards {} --batch {} \
@@ -474,7 +751,7 @@ fn main() -> ExitCode {
         opts.move_pct,
         opts.zipf,
         opts.seed,
-        if opts.compare { " --compare" } else { "" },
+        flag_suffix,
     ));
     out.push_str(
         "  \"baseline_arm\": \"--shards 1 --batch 1 --drain-budget 1 --route-cache-bits 0 \
@@ -497,6 +774,31 @@ fn main() -> ExitCode {
     ));
     out.push_str(&fmt_arm("headline", &main_arm));
     out.push_str(",\n");
+    if let Some(snap) = &main_arm.snapshot {
+        out.push_str(&format!(
+            "  \"telemetry\": {{\n    \"locate_ns\": {},\n    \"deliver_ns\": {},\n    \
+             \"move_ns\": {},\n    \"timer_lag_ns\": {},\n    \
+             \"route_cache_hit_rate\": {:.4},\n    \"stalled_nodes\": {},\n    \
+             \"trace_dropped\": {},\n    \"slow_ops_captured\": {},\n    \
+             \"registry_generation\": {}\n  }},\n",
+            fmt_pctls(&snap.locate_ns),
+            fmt_pctls(&snap.deliver_ns),
+            fmt_pctls(&snap.move_ns),
+            fmt_pctls(&snap.timer_lag_ns),
+            {
+                let total = snap.route_cache_hits + snap.route_cache_misses;
+                if total > 0 {
+                    snap.route_cache_hits as f64 / total as f64
+                } else {
+                    0.0
+                }
+            },
+            snap.stalled_nodes,
+            snap.trace_dropped,
+            snap.slow_ops.len(),
+            snap.registry_generation,
+        ));
+    }
     if let Some(flat) = &flat_arm {
         out.push_str(&fmt_arm("baseline_pre_shard_batch", flat));
         out.push_str(",\n");
@@ -522,6 +824,23 @@ fn main() -> ExitCode {
             ArmResult::ns(main_arm.posts_per_sec),
         ),
     ];
+    if let Some(snap) = &main_arm.snapshot {
+        // Per-op latency percentiles straight off the telemetry
+        // histograms: the rows bench_gate uses to catch tail-latency
+        // regressions, not just throughput ones.
+        for (op, h) in [
+            ("locate", &snap.locate_ns),
+            ("move", &snap.move_ns),
+            ("deliver", &snap.deliver_ns),
+        ] {
+            if h.is_empty() {
+                continue;
+            }
+            for p in [50.0, 95.0, 99.0] {
+                rows.push((format!("live/{op}/p{p:.0}"), pctl(h, p)));
+            }
+        }
+    }
     if let Some(flat) = &flat_arm {
         rows.push((
             "live/locate/pre-shard-batch".into(),

@@ -125,6 +125,23 @@ pub struct LiveConfig {
     /// 2-way sets — 16 MiB). `0` disables the cache so every lookup
     /// takes the sharded-lock path.
     pub route_cache_bits: u8,
+    /// Enables live telemetry (default off): latency histograms, queue
+    /// depth and drain accounting, heartbeat stall detection, and the
+    /// background snapshot aggregator. Off, every instrumented site
+    /// costs one predictable branch. See `DESIGN.md` §16.
+    pub telemetry: bool,
+    /// Capacity K of the slow-op flight recorder (default 0 = off;
+    /// requires `telemetry`). The K slowest deliver/move/timer ops are
+    /// kept with enqueue/start/end phase timestamps.
+    pub flight_recorder: usize,
+    /// Period, in milliseconds, of the background aggregator's
+    /// [`TelemetrySnapshot`](crate::TelemetrySnapshot) publications
+    /// (default 200).
+    pub telemetry_interval_ms: u64,
+    /// Heartbeat age, in milliseconds, past which a live node loop is
+    /// flagged stalled (default 1000). Instrumented idle loops wake at
+    /// half this period to re-stamp, so idle never reads as stalled.
+    pub stall_after_ms: u64,
 }
 
 impl Default for LiveConfig {
@@ -134,6 +151,10 @@ impl Default for LiveConfig {
             batch_max: 64,
             drain_budget: 256,
             route_cache_bits: 20,
+            telemetry: false,
+            flight_recorder: 0,
+            telemetry_interval_ms: 200,
+            stall_after_ms: 1000,
         }
     }
 }
@@ -167,6 +188,34 @@ impl LiveConfig {
         self
     }
 
+    /// Enables or disables live telemetry.
+    #[must_use]
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Sets the slow-op flight-recorder capacity (`0` disables it).
+    #[must_use]
+    pub fn with_flight_recorder(mut self, k: usize) -> Self {
+        self.flight_recorder = k;
+        self
+    }
+
+    /// Sets the aggregator's snapshot publication period.
+    #[must_use]
+    pub fn with_telemetry_interval_ms(mut self, ms: u64) -> Self {
+        self.telemetry_interval_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the heartbeat-age stall threshold.
+    #[must_use]
+    pub fn with_stall_after_ms(mut self, ms: u64) -> Self {
+        self.stall_after_ms = ms.max(1);
+        self
+    }
+
     /// The shard count actually used: `shards` rounded up to a power of
     /// two, with `0` resolved to the 1024-shard default.
     #[must_use]
@@ -190,6 +239,17 @@ mod tests {
         assert_eq!(LiveConfig::default().with_shards(7).effective_shards(), 8);
         assert_eq!(LiveConfig::default().with_shards(1).effective_shards(), 1);
         assert_eq!(LiveConfig::default().with_batch_max(0).batch_max, 1);
+        assert!(!c.telemetry, "telemetry is opt-in");
+        assert_eq!(c.flight_recorder, 0);
+        let t = LiveConfig::default()
+            .with_telemetry(true)
+            .with_flight_recorder(32)
+            .with_telemetry_interval_ms(0)
+            .with_stall_after_ms(0);
+        assert!(t.telemetry);
+        assert_eq!(t.flight_recorder, 32);
+        assert_eq!(t.telemetry_interval_ms, 1, "period clamps to >= 1ms");
+        assert_eq!(t.stall_after_ms, 1, "threshold clamps to >= 1ms");
     }
 
     #[test]

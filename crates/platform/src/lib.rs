@@ -73,7 +73,9 @@ mod spawner;
 pub use agent::{Agent, AgentCtx};
 pub use config::{LiveConfig, PlatformConfig};
 pub use id::{AgentId, TimerId};
-pub use live::{LiveHandle, LivePlatform, LiveStats, RouteCache};
+pub use live::{
+    LiveHandle, LivePlatform, LiveStats, NodeHealth, OpKind, RouteCache, SlowOp, TelemetrySnapshot,
+};
 pub use payload::{DecodeError, Payload};
 pub use runtime::{AgentState, MsgTrace, MsgTracer, PlatformStats, SimPlatform};
 pub use spawner::Spawner;

@@ -39,6 +39,11 @@ pub(crate) struct DeliverItem {
     pub to: AgentId,
     pub from: AgentId,
     pub payload: Payload,
+    /// Nanoseconds since platform start when the sender queued this
+    /// message; `0` when telemetry is off (no clock was read). Feeds the
+    /// end-to-end delivery histogram and the flight recorder's queue
+    /// phase.
+    pub enqueued_ns: u64,
 }
 
 /// A per-sender, per-destination buffer of outgoing `Deliver`s.

@@ -62,6 +62,7 @@
 mod batch;
 mod registry;
 mod route_cache;
+mod telemetry;
 
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::AssertUnwindSafe;
@@ -82,6 +83,8 @@ use crate::payload::Payload;
 use batch::{DeliverItem, OutBatch};
 use registry::{ShardedRegistry, Whereabouts};
 pub use route_cache::RouteCache;
+use telemetry::Telemetry;
+pub use telemetry::{NodeHealth, OpKind, SlowOp, TelemetrySnapshot};
 
 /// The `from` id used for messages injected from outside the agent world
 /// (no failure notice can be routed back to it).
@@ -109,6 +112,10 @@ enum NodeMsg {
         id: AgentId,
         behavior: Box<dyn Agent>,
         kind: WelcomeKind,
+        /// When the behaviour was shipped (ns since platform start);
+        /// `0` when telemetry is off. Feeds the migration-latency
+        /// histogram for arrivals.
+        sent_ns: u64,
     },
     /// A timer following its agent to this node: either it fired where
     /// the agent no longer lives, or its node died while the agent was
@@ -122,11 +129,15 @@ enum NodeMsg {
     Shutdown,
 }
 
+/// Global activity counters. Delivered/failed live in *per-node* cells
+/// instead ([`telemetry::NodeCells`]): they are the counters the
+/// conservation invariant is about, so the platform totals are defined
+/// as the sum over nodes rather than kept in a second register that
+/// could drift (it also spreads the two hottest counters across node
+/// cache lines).
 #[derive(Default)]
 struct LiveCounters {
     messages_sent: AtomicU64,
-    messages_delivered: AtomicU64,
-    messages_failed: AtomicU64,
     migrations: AtomicU64,
     agents_created: AtomicU64,
     agents_activated: AtomicU64,
@@ -153,6 +164,15 @@ pub struct LiveStats {
     pub agents_disposed: u64,
     /// Node threads killed by a panicking behaviour.
     pub nodes_dead: u64,
+    /// Route-cache lookups answered without locking, summed over every
+    /// [`LiveHandle`] that has flushed or been dropped.
+    pub route_cache_hits: u64,
+    /// Route-cache lookups that took the sharded-map path, likewise.
+    pub route_cache_misses: u64,
+    /// Structured-trace records lost to ring overflow (see
+    /// [`TraceSink::dropped`]); a shutdown with a non-zero count warns
+    /// on stderr.
+    pub trace_dropped: u64,
 }
 
 struct Shared {
@@ -163,6 +183,7 @@ struct Shared {
     dead: Box<[AtomicBool]>,
     next_agent_id: AtomicU64,
     counters: LiveCounters,
+    telemetry: Telemetry,
     start: Instant,
     trace: TraceSink,
     config: LiveConfig,
@@ -170,7 +191,21 @@ struct Shared {
 
 impl Shared {
     fn now(&self) -> SimTime {
-        SimTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+        SimTime::from_nanos(self.now_ns())
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The current time if telemetry wants stamps, else the 0 sentinel —
+    /// the hot paths' "maybe read the clock" in one branch.
+    fn stamp_ns(&self) -> u64 {
+        if self.telemetry.enabled {
+            self.now_ns()
+        } else {
+            0
+        }
     }
 
     fn node_dead(&self, node: NodeId) -> bool {
@@ -180,6 +215,11 @@ impl Shared {
     /// Ships a burst of deliveries to `dest` as one channel operation —
     /// or bounces the lot if the destination cannot take it.
     fn ship(&self, dest: NodeId, mut items: Vec<DeliverItem>) {
+        if self.telemetry.enabled {
+            self.telemetry
+                .batch_occupancy
+                .record_value(items.len() as u64);
+        }
         let msg = if items.len() == 1 {
             NodeMsg::Deliver(items.pop().expect("len checked"))
         } else {
@@ -200,6 +240,10 @@ impl Shared {
         // error and account for it instead of losing it.
         if let Err(SendError(msg)) = self.senders[node.index()].send(msg) {
             self.discard(node, msg);
+        } else if self.telemetry.enabled {
+            self.telemetry.nodes[node.index()]
+                .chan_in
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -229,9 +273,12 @@ impl Shared {
     }
 
     /// Routes a delivery failure back to the sender, wherever it now is.
+    /// The failure is charged to `node` — the node at which delivery was
+    /// attempted (or would have been) — so per-node failure counts sum
+    /// to the platform total with each bounce counted exactly once.
     fn bounce(&self, from: AgentId, to: AgentId, node: NodeId, payload: Payload) {
-        self.counters
-            .messages_failed
+        self.telemetry.nodes[node.index()]
+            .failed
             .fetch_add(1, Ordering::Relaxed);
         if from == EXTERNAL {
             return;
@@ -284,6 +331,9 @@ pub struct LivePlatform {
     /// on the floor) until [`halt`](LivePlatform::halt) has joined the
     /// thread and drained the backlog into the failure accounting.
     handles: Vec<JoinHandle<Receiver<NodeMsg>>>,
+    /// Stop signal + join handle of the telemetry aggregator thread
+    /// (present only when telemetry is on).
+    aggregator: Option<(Sender<()>, JoinHandle<()>)>,
     node_count: u32,
 }
 
@@ -336,10 +386,31 @@ impl LivePlatform {
                 .into_boxed_slice(),
             next_agent_id: AtomicU64::new(0),
             counters: LiveCounters::default(),
+            telemetry: Telemetry::new(node_count as usize, &config),
             start: Instant::now(),
             trace,
             config,
         });
+        let aggregator = if config.telemetry {
+            let (stop_tx, stop_rx) = unbounded::<()>();
+            let agg_shared = Arc::clone(&shared);
+            let interval = Duration::from_millis(config.telemetry_interval_ms.max(1));
+            let handle = std::thread::Builder::new()
+                .name("agentrack-telemetry".into())
+                .spawn(move || loop {
+                    match stop_rx.recv_deadline(Instant::now() + interval) {
+                        Err(RecvTimeoutError::Timeout) => {
+                            let snap = telemetry::snapshot(&agg_shared);
+                            *agg_shared.telemetry.latest.lock() = Some(snap);
+                        }
+                        _ => return, // stop signal, or the platform is gone
+                    }
+                })
+                .expect("spawn telemetry aggregator");
+            Some((stop_tx, handle))
+        } else {
+            None
+        };
         let handles = receivers
             .into_iter()
             .enumerate()
@@ -355,6 +426,7 @@ impl LivePlatform {
         LivePlatform {
             shared,
             handles,
+            aggregator,
             node_count,
         }
     }
@@ -397,6 +469,7 @@ impl LivePlatform {
                 id,
                 behavior,
                 kind: WelcomeKind::Creation,
+                sent_ns: 0,
             },
         );
         id
@@ -421,6 +494,7 @@ impl LivePlatform {
                 to,
                 from: EXTERNAL,
                 payload,
+                enqueued_ns: self.shared.stamp_ns(),
             }],
         );
         true
@@ -434,6 +508,10 @@ impl LivePlatform {
         LiveHandle {
             cache: RouteCache::new(self.shared.config.route_cache_bits),
             out: OutBatch::new(self.node_count as usize, self.shared.config.batch_max),
+            telemetry_on: self.shared.telemetry.enabled,
+            locate_tick: 0,
+            published_hits: 0,
+            published_misses: 0,
             shared: Arc::clone(&self.shared),
         }
     }
@@ -455,19 +533,33 @@ impl LivePlatform {
         std::thread::sleep(duration);
     }
 
-    /// Activity counters so far.
+    /// Activity counters so far. Delivered/failed are summed from the
+    /// per-node cells — the same cells a [`TelemetrySnapshot`] reports —
+    /// so the two views agree at quiesce by construction.
     #[must_use]
     pub fn stats(&self) -> LiveStats {
         let c = &self.shared.counters;
+        let t = &self.shared.telemetry;
         LiveStats {
             messages_sent: c.messages_sent.load(Ordering::Relaxed),
-            messages_delivered: c.messages_delivered.load(Ordering::Relaxed),
-            messages_failed: c.messages_failed.load(Ordering::Relaxed),
+            messages_delivered: t
+                .nodes
+                .iter()
+                .map(|n| n.delivered.load(Ordering::Relaxed))
+                .sum(),
+            messages_failed: t
+                .nodes
+                .iter()
+                .map(|n| n.failed.load(Ordering::Relaxed))
+                .sum(),
             migrations: c.migrations.load(Ordering::Relaxed),
             agents_created: c.agents_created.load(Ordering::Relaxed),
             agents_activated: c.agents_activated.load(Ordering::Relaxed),
             agents_disposed: c.agents_disposed.load(Ordering::Relaxed),
             nodes_dead: c.nodes_dead.load(Ordering::Relaxed),
+            route_cache_hits: t.route_hits.load(Ordering::Relaxed),
+            route_cache_misses: t.route_misses.load(Ordering::Relaxed),
+            trace_dropped: self.shared.trace.dropped(),
         }
     }
 
@@ -482,14 +574,63 @@ impl LivePlatform {
         self.stats()
     }
 
+    /// Like [`shutdown`](LivePlatform::shutdown), but also returns the
+    /// final [`TelemetrySnapshot`] — taken *after* the node threads have
+    /// joined and the backlog has been drained, so it is exact: its
+    /// totals equal the returned stats, and its per-node rows sum to
+    /// those totals. `None` if telemetry was off.
+    pub fn shutdown_telemetry(mut self) -> (LiveStats, Option<TelemetrySnapshot>) {
+        self.halt();
+        let snap = self
+            .shared
+            .config
+            .telemetry
+            .then(|| telemetry::snapshot(&self.shared));
+        (self.stats(), snap)
+    }
+
+    /// A fresh [`TelemetrySnapshot`] built now, on the calling thread.
+    /// `None` when telemetry is off. Counters in the snapshot are
+    /// per-node-consistent (totals are sums of the rows returned) and
+    /// monotonic between calls.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.shared
+            .config
+            .telemetry
+            .then(|| telemetry::snapshot(&self.shared))
+    }
+
+    /// The aggregator thread's most recently published snapshot, if it
+    /// has published one yet. Cheaper than building a fresh one when a
+    /// `telemetry_interval_ms`-stale view is acceptable.
+    #[must_use]
+    pub fn latest_telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.shared.telemetry.latest.lock().clone()
+    }
+
     /// Sends every node its shutdown marker, joins the threads, then
     /// drains what their channels still hold so the accounting closes.
     fn halt(&mut self) {
         if self.handles.is_empty() {
             return; // already halted (shutdown() followed by Drop)
         }
-        for sender in &self.shared.senders {
-            let _ = sender.send(NodeMsg::Shutdown);
+        // Stop the aggregator first so no snapshot races the teardown's
+        // dead-flag flips below; the final exact snapshot is published
+        // once the books are closed.
+        if let Some((stop, handle)) = self.aggregator.take() {
+            let _ = stop.send(());
+            let _ = handle.join();
+        }
+        for (i, sender) in self.shared.senders.iter().enumerate() {
+            // Count the marker as enqueued: whoever takes it out (the
+            // node loop, or the final drain below) counts it back out,
+            // and the per-node channel books close exactly.
+            if sender.send(NodeMsg::Shutdown).is_ok() && self.shared.telemetry.enabled {
+                self.shared.telemetry.nodes[i]
+                    .chan_in
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         let receivers: Vec<_> = self.handles.drain(..).map(JoinHandle::join).collect();
         // All threads are gone: nothing will ever be processed again.
@@ -507,8 +648,24 @@ impl LivePlatform {
             };
             let node = NodeId::new(i as u32);
             while let Ok(msg) = rx.try_recv() {
+                if self.shared.telemetry.enabled {
+                    self.shared.telemetry.nodes[i]
+                        .chan_out
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 self.shared.discard(node, msg);
             }
+        }
+        let dropped = self.shared.trace.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "warning: live trace ring dropped {dropped} records to overflow \
+                 (grow the TraceSink capacity to keep them)"
+            );
+        }
+        if self.shared.telemetry.enabled {
+            let snap = telemetry::snapshot(&self.shared);
+            *self.shared.telemetry.latest.lock() = Some(snap);
         }
     }
 }
@@ -555,6 +712,16 @@ impl Drop for LivePlatform {
 pub struct LiveHandle {
     cache: RouteCache,
     out: OutBatch,
+    /// Cached `config.telemetry` so the hot paths branch on a local.
+    telemetry_on: bool,
+    /// Locate call counter driving the 1-in-`LOCATE_SAMPLE_EVERY`
+    /// latency sampling (the locate fast path is itself only tens of
+    /// nanoseconds — stamping every call would dominate it).
+    locate_tick: u64,
+    /// Cache hit/miss counts already folded into the platform totals by
+    /// earlier [`flush`](LiveHandle::flush) calls.
+    published_hits: u64,
+    published_misses: u64,
     shared: Arc<Shared>,
 }
 
@@ -563,6 +730,21 @@ impl LiveHandle {
     /// the generation token proves the slot current, otherwise through
     /// the sharded map. `None` if the agent is unknown or disposed.
     pub fn locate(&mut self, id: AgentId) -> Option<NodeId> {
+        if self.telemetry_on {
+            self.locate_tick = self.locate_tick.wrapping_add(1);
+            if self
+                .locate_tick
+                .is_multiple_of(telemetry::LOCATE_SAMPLE_EVERY)
+            {
+                let t0 = Instant::now();
+                let found = self.cache.resolve(id, &self.shared.registry);
+                self.shared
+                    .telemetry
+                    .locate_ns
+                    .record_value(t0.elapsed().as_nanos() as u64);
+                return found;
+            }
+        }
         self.cache.resolve(id, &self.shared.registry)
     }
 
@@ -586,14 +768,26 @@ impl LiveHandle {
                 to,
                 from: EXTERNAL,
                 payload,
+                enqueued_ns: self.shared.stamp_ns(),
             },
         );
         true
     }
 
-    /// Ships every buffered message now.
+    /// Ships every buffered message now, and folds this handle's
+    /// route-cache hit/miss counts into the platform totals
+    /// ([`LiveStats::route_cache_hits`]/`route_cache_misses`) so they
+    /// outlive the handle.
     pub fn flush(&mut self) {
         self.out.flush(&self.shared);
+        let (hits, misses) = (self.cache.hits(), self.cache.misses());
+        let t = &self.shared.telemetry;
+        t.route_hits
+            .fetch_add(hits - self.published_hits, Ordering::Relaxed);
+        t.route_misses
+            .fetch_add(misses - self.published_misses, Ordering::Relaxed);
+        self.published_hits = hits;
+        self.published_misses = misses;
     }
 
     /// Route-cache lookups answered without locking.
@@ -683,19 +877,51 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) -> Receiv
         next_agent_id: (u64::from(node.raw()) + 1) << 40,
         next_timer_id: (u64::from(node.raw()) + 1) << 40,
     };
+    let tele = shared.telemetry.enabled;
 
     loop {
+        // Every wake-up re-stamps the heartbeat; an instrumented idle
+        // loop's bounded wait below guarantees a fresh stamp at least
+        // every half stall threshold, so a stale heartbeat can only mean
+        // a handler that will not return.
+        if tele {
+            let cells = &shared.telemetry.nodes[node.index()];
+            cells.heartbeat_ns.store(shared.now_ns(), Ordering::Relaxed);
+            cells.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
         // Fire due timers, then wait for the next message or deadline.
         let now = Instant::now();
         while state.timers.peek().is_some_and(|t| t.at <= now) {
             let t = state.timers.pop().expect("peeked");
             if state.residents.contains_key(&t.agent) {
+                let (due_ns, started_ns) = if tele {
+                    let due =
+                        t.at.checked_duration_since(shared.start)
+                            .map_or(0, |d| d.as_nanos() as u64);
+                    (due, shared.now_ns())
+                } else {
+                    (0, 0)
+                };
                 if invoke(&shared, &mut state, t.agent, |a, ctx| {
                     a.on_timer(ctx, t.timer)
                 })
                 .is_err()
                 {
                     return die(&shared, state, rx);
+                }
+                if tele {
+                    shared
+                        .telemetry
+                        .timer_lag_ns
+                        .record_value(started_ns.saturating_sub(due_ns));
+                    shared.telemetry.flight.record(SlowOp {
+                        kind: OpKind::Timer,
+                        node: node.raw(),
+                        agent: t.agent.raw(),
+                        enqueued_ns: due_ns,
+                        started_ns,
+                        ended_ns: shared.now_ns(),
+                    });
                 }
             } else {
                 // The agent moved (or is mid-flight): forward the timer.
@@ -725,8 +951,21 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) -> Receiv
         // inbound message to flush it.
         state.out.flush(&shared);
 
-        let first = match state.timers.peek() {
-            Some(t) => match rx.recv_deadline(t.at) {
+        // Instrumented loops never block unboundedly: capping the wait
+        // at half the stall threshold keeps the heartbeat fresh while
+        // idle, so "stalled" can only mean stuck, not quiet.
+        let hb_deadline = if tele {
+            Some(Instant::now() + shared.telemetry.heartbeat_period())
+        } else {
+            None
+        };
+        let deadline = match (state.timers.peek().map(|t| t.at), hb_deadline) {
+            (Some(t), Some(h)) => Some(t.min(h)),
+            (Some(t), None) => Some(t),
+            (None, h) => h,
+        };
+        let first = match deadline {
+            Some(d) => match rx.recv_deadline(d) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => return rx,
@@ -744,6 +983,11 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) -> Receiv
         let mut msg = first;
         let mut drained = 1usize;
         loop {
+            if tele {
+                shared.telemetry.nodes[node.index()]
+                    .chan_out
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             match process(&shared, &mut state, msg) {
                 Flow::Continue => {}
                 Flow::Shutdown => {
@@ -759,6 +1003,11 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) -> Receiv
                 }
             }
             if drained >= shared.config.drain_budget {
+                if tele {
+                    shared.telemetry.nodes[node.index()]
+                        .drain_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 break;
             }
             match rx.try_recv() {
@@ -780,7 +1029,12 @@ fn node_loop(node: NodeId, rx: Receiver<NodeMsg>, shared: Arc<Shared>) -> Receiv
 fn process(shared: &Arc<Shared>, state: &mut NodeState, msg: NodeMsg) -> Flow {
     match msg {
         NodeMsg::Shutdown => Flow::Shutdown,
-        NodeMsg::Welcome { id, behavior, kind } => {
+        NodeMsg::Welcome {
+            id,
+            behavior,
+            kind,
+            sent_ns,
+        } => {
             state.residents.insert(id, behavior);
             shared.registry.insert(id, Whereabouts::Active(state.node));
             if matches!(kind, WelcomeKind::Creation) {
@@ -789,11 +1043,30 @@ fn process(shared: &Arc<Shared>, state: &mut NodeState, msg: NodeMsg) -> Flow {
                     .agents_activated
                     .fetch_add(1, Ordering::Relaxed);
             }
+            let stamped = sent_ns != 0 && shared.telemetry.enabled;
+            let started_ns = if stamped { shared.now_ns() } else { 0 };
             match invoke(shared, state, id, |a, ctx| match kind {
                 WelcomeKind::Creation => a.on_create(ctx),
                 WelcomeKind::Arrival => a.on_arrival(ctx),
             }) {
-                Ok(()) => Flow::Continue,
+                Ok(()) => {
+                    if stamped {
+                        let ended_ns = shared.now_ns();
+                        shared
+                            .telemetry
+                            .move_ns
+                            .record_value(ended_ns.saturating_sub(sent_ns));
+                        shared.telemetry.flight.record(SlowOp {
+                            kind: OpKind::Move,
+                            node: state.node.raw(),
+                            agent: id.raw(),
+                            enqueued_ns: sent_ns,
+                            started_ns,
+                            ended_ns,
+                        });
+                    }
+                    Flow::Continue
+                }
                 Err(()) => Flow::Dead,
             }
         }
@@ -837,16 +1110,39 @@ fn process(shared: &Arc<Shared>, state: &mut NodeState, msg: NodeMsg) -> Flow {
 
 /// Delivers one message to a resident, or bounces it.
 fn deliver(shared: &Arc<Shared>, state: &mut NodeState, item: DeliverItem) -> Flow {
-    let DeliverItem { to, from, payload } = item;
+    let DeliverItem {
+        to,
+        from,
+        payload,
+        enqueued_ns,
+    } = item;
     if state.residents.contains_key(&to) {
-        shared
-            .counters
-            .messages_delivered
+        shared.telemetry.nodes[state.node.index()]
+            .delivered
             .fetch_add(1, Ordering::Relaxed);
+        let stamped = enqueued_ns != 0 && shared.telemetry.enabled;
+        let started_ns = if stamped { shared.now_ns() } else { 0 };
         match invoke(shared, state, to, |a, ctx| {
             a.on_message(ctx, from, &payload)
         }) {
-            Ok(()) => Flow::Continue,
+            Ok(()) => {
+                if stamped {
+                    let ended_ns = shared.now_ns();
+                    shared
+                        .telemetry
+                        .deliver_ns
+                        .record_value(ended_ns.saturating_sub(enqueued_ns));
+                    shared.telemetry.flight.record(SlowOp {
+                        kind: OpKind::Deliver,
+                        node: state.node.raw(),
+                        agent: to.raw(),
+                        enqueued_ns,
+                        started_ns,
+                        ended_ns,
+                    });
+                }
+                Flow::Continue
+            }
             Err(()) => Flow::Dead,
         }
     } else {
@@ -899,6 +1195,11 @@ fn die(shared: &Arc<Shared>, mut state: NodeState, rx: Receiver<NodeMsg>) -> Rec
     }
     for round in 0..2 {
         while let Ok(msg) = rx.try_recv() {
+            if shared.telemetry.enabled {
+                shared.telemetry.nodes[state.node.index()]
+                    .chan_out
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             shared.discard(state.node, msg);
         }
         if round == 0 {
@@ -970,6 +1271,7 @@ where
                         to,
                         from: id,
                         payload,
+                        enqueued_ns: shared.stamp_ns(),
                     },
                 );
             }
@@ -995,6 +1297,7 @@ where
                         id,
                         behavior,
                         kind: WelcomeKind::Arrival,
+                        sent_ns: shared.stamp_ns(),
                     },
                 );
             }
@@ -1025,6 +1328,7 @@ where
                         id: new_id,
                         behavior,
                         kind: WelcomeKind::Creation,
+                        sent_ns: 0,
                     },
                 );
             }
@@ -1072,6 +1376,7 @@ where
                                         to,
                                         from: id,
                                         payload,
+                                        enqueued_ns: shared.stamp_ns(),
                                     },
                                 );
                             }

@@ -130,6 +130,14 @@ impl ShardedRegistry {
         self.gens[shard].fetch_add(1, Ordering::Release);
     }
 
+    /// Σ per-shard generations: the registry's total mutation count
+    /// (every insert/remove bumps exactly one shard), so successive
+    /// reads measure churn — spawns, migration steps and disposals —
+    /// without touching a lock.
+    pub(crate) fn total_generation(&self) -> u64 {
+        self.gens.iter().map(|g| g.load(Ordering::Relaxed)).sum()
+    }
+
     /// Total number of registered agents (sums per-shard sizes; callers
     /// use it for gauges, not synchronisation).
     pub(crate) fn len(&self) -> usize {
@@ -180,6 +188,16 @@ mod tests {
         r.insert(a, Whereabouts::Creating(NodeId::new(1)));
         assert_ne!(r.shard_gen(a), ga, "write must bump its own shard");
         assert_eq!(r.shard_gen(b), gb, "write must not bump other shards");
+    }
+
+    #[test]
+    fn total_generation_counts_every_mutation() {
+        let r = ShardedRegistry::new(8);
+        assert_eq!(r.total_generation(), 0);
+        r.insert(AgentId::new(1), Whereabouts::Active(NodeId::new(0)));
+        r.insert(AgentId::new(2), Whereabouts::Active(NodeId::new(1)));
+        r.remove(AgentId::new(1));
+        assert_eq!(r.total_generation(), 3, "each insert/remove bumps once");
     }
 
     #[test]

@@ -442,3 +442,435 @@ fn platform_post_and_handle_post_agree() {
     assert!(!platform.post(AgentId::new(999_999_999), Payload::encode(&"void")));
     platform.shutdown();
 }
+
+/// Checks a final (post-drain) snapshot against its own stats: per-node
+/// rows must sum exactly to the snapshot totals, and those totals must
+/// equal the platform counters — every counted operation appears in
+/// exactly one node's telemetry.
+fn assert_conserved(
+    stats: &agentrack_platform::LiveStats,
+    snap: &agentrack_platform::TelemetrySnapshot,
+    context: &str,
+) {
+    let delivered: u64 = snap.nodes.iter().map(|n| n.delivered).sum();
+    let failed: u64 = snap.nodes.iter().map(|n| n.failed).sum();
+    assert_eq!(
+        delivered, snap.delivered_total,
+        "{context}: node rows must sum to the snapshot total"
+    );
+    assert_eq!(
+        failed, snap.failed_total,
+        "{context}: node rows must sum to the snapshot total"
+    );
+    assert_eq!(
+        snap.delivered_total, stats.messages_delivered,
+        "{context}: snapshot and stats disagree on delivered"
+    );
+    assert_eq!(
+        snap.failed_total, stats.messages_failed,
+        "{context}: snapshot and stats disagree on failed"
+    );
+    assert_eq!(
+        stats.messages_sent,
+        stats.messages_delivered + stats.messages_failed,
+        "{context}: books must balance"
+    );
+    for n in &snap.nodes {
+        assert_eq!(
+            n.queue_depth, 0,
+            "{context}: node {} still shows queued work after the final drain",
+            n.node
+        );
+        assert_eq!(
+            n.enqueued, n.processed,
+            "{context}: node {}'s channel accounting must close",
+            n.node
+        );
+    }
+}
+
+/// Tentpole: snapshot conservation when shutdown races in-flight
+/// traffic. Same shape as the untelemetered race test above, but every
+/// counted operation must also land in exactly one node's telemetry row.
+#[test]
+fn telemetry_conserves_counts_when_shutdown_races_inflight_traffic() {
+    for round in 0..8u32 {
+        let platform = LivePlatform::with_config(
+            4,
+            LiveConfig::default()
+                .with_shards(4)
+                .with_batch_max(4)
+                .with_telemetry(true)
+                .with_flight_recorder(8),
+            TraceSink::disabled(),
+        );
+        let hopper = platform.spawn(Box::new(Hopper), NodeId::new(0));
+        let mut handle = platform.handle();
+        let mut rng = SimRng::seed_from(0x7e1e ^ u64::from(round));
+        for _ in 0..200u32 {
+            let dest = rng.index(4) as u32;
+            assert!(handle.post(hopper, Payload::encode(&dest)));
+        }
+        handle.flush();
+        drop(handle);
+        // Shut down mid-storm: migrations and deliveries are in flight.
+        let (stats, snap) = platform.shutdown_telemetry();
+        let snap = snap.expect("telemetry was on");
+        assert_conserved(&stats, &snap, &format!("round {round}"));
+    }
+}
+
+/// Tentpole: snapshot conservation across panic-contained node death.
+/// The dead node's row keeps the deliveries it made and absorbs the
+/// failures charged to it; nothing is double-counted or lost.
+#[test]
+fn telemetry_conserves_counts_across_node_death() {
+    quiet_node_panics();
+
+    struct Bomber;
+    impl Agent for Bomber {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, _payload: &Payload) {
+            panic!("intentional test panic: behaviour bug");
+        }
+    }
+    /// Pokes the dead node with a raw location-dependent send per
+    /// message: each one bounces, charged to node 1's telemetry row.
+    struct Prodder {
+        bomber: AgentId,
+    }
+    impl Agent for Prodder {
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, _payload: &Payload) {
+            ctx.send(self.bomber, NodeId::new(1), Payload::encode(&"anyone?"));
+        }
+    }
+
+    let platform = LivePlatform::with_config(
+        3,
+        LiveConfig::default()
+            .with_telemetry(true)
+            .with_flight_recorder(4),
+        TraceSink::disabled(),
+    );
+    let bomber = platform.spawn(Box::new(Bomber), NodeId::new(1));
+    let prodder = platform.spawn(Box::new(Prodder { bomber }), NodeId::new(2));
+    assert!(eventually(|| platform.stats().agents_activated == 2));
+
+    // Kill node 1, then keep traffic flowing: deliveries accrue on the
+    // survivor, bounces accrue at the dead node.
+    assert!(platform.post(bomber, Payload::encode(&"boom")));
+    assert!(eventually(|| platform.stats().nodes_dead == 1));
+    let mut handle = platform.handle();
+    for _ in 0..50 {
+        assert!(handle.post(prodder, Payload::encode(&0u8)));
+    }
+    handle.flush();
+    drop(handle);
+    assert!(eventually(|| {
+        let s = platform.stats();
+        s.messages_sent == s.messages_delivered + s.messages_failed
+    }));
+
+    // While the platform is still up, only the bombed node reads dead.
+    let live_snap = platform.telemetry_snapshot().expect("telemetry on");
+    assert!(
+        live_snap.nodes[1].dead,
+        "the snapshot must flag the dead node"
+    );
+    assert!(
+        !live_snap.nodes[0].dead && !live_snap.nodes[2].dead,
+        "survivors must not be flagged while the platform runs"
+    );
+
+    let (stats, snap) = platform.shutdown_telemetry();
+    let snap = snap.expect("telemetry was on");
+    assert_eq!(stats.nodes_dead, 1);
+    assert!(snap.nodes[1].dead, "the final snapshot keeps the dead flag");
+    assert!(
+        stats.messages_failed >= 1,
+        "the boom delivery itself bounced nothing? {stats:?}"
+    );
+    assert_conserved(&stats, &snap, "node-death run");
+}
+
+/// A handler that blocks its node loop past the stall threshold is
+/// flagged stalled while it is stuck — and an *idle* node never is,
+/// because instrumented idle loops wake to re-stamp their heartbeat.
+#[test]
+fn stall_detection_flags_stuck_not_idle_nodes() {
+    struct Sleeper;
+    impl Agent for Sleeper {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, _payload: &Payload) {
+            std::thread::sleep(Duration::from_millis(700));
+        }
+    }
+
+    let platform = LivePlatform::with_config(
+        2,
+        LiveConfig::default()
+            .with_telemetry(true)
+            .with_stall_after_ms(100)
+            .with_telemetry_interval_ms(20),
+        TraceSink::disabled(),
+    );
+    let sleeper = platform.spawn(Box::new(Sleeper), NodeId::new(1));
+    assert!(eventually(|| platform.stats().agents_activated == 1));
+    // Let both nodes idle well past the threshold: neither may be
+    // flagged, because idle loops keep their heartbeats fresh.
+    std::thread::sleep(Duration::from_millis(300));
+    let calm = platform.telemetry_snapshot().expect("telemetry on");
+    assert_eq!(
+        calm.stalled_nodes, 0,
+        "idle must never read as stalled: {:?}",
+        calm.nodes
+    );
+
+    // Wedge node 1 inside a handler and observe it flagged while stuck.
+    assert!(platform.post(sleeper, Payload::encode(&0u8)));
+    std::thread::sleep(Duration::from_millis(350));
+    let wedged = platform.telemetry_snapshot().expect("telemetry on");
+    assert!(
+        wedged.nodes[1].stalled,
+        "node 1 is mid-sleep, heartbeat {}ms old: must be stalled",
+        wedged.nodes[1].heartbeat_age_ns / 1_000_000
+    );
+    assert!(!wedged.nodes[0].stalled, "node 0 is idle, not stuck");
+
+    // Once the handler returns, the flag clears.
+    assert!(eventually(|| platform
+        .telemetry_snapshot()
+        .is_some_and(|s| s.stalled_nodes == 0)));
+    // The aggregator has been publishing all along.
+    let published = platform.latest_telemetry().expect("aggregator published");
+    assert!(published.at_ns > 0);
+    platform.shutdown();
+}
+
+/// The flight recorder keeps at most K ops, ranked slowest-first, with
+/// internally ordered phase timestamps; the known-slow handlers dominate
+/// the capture.
+#[test]
+fn flight_recorder_captures_the_slowest_ops_with_ordered_phases() {
+    struct PayloadSleeper;
+    impl Agent for PayloadSleeper {
+        fn on_message(&mut self, _ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            if let Ok(ms) = payload.decode::<u64>() {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+    }
+
+    let k = 3usize;
+    let platform = LivePlatform::with_config(
+        2,
+        LiveConfig::default()
+            .with_telemetry(true)
+            .with_flight_recorder(k),
+        TraceSink::disabled(),
+    );
+    let a = platform.spawn(Box::new(PayloadSleeper), NodeId::new(1));
+    assert!(eventually(|| platform.stats().agents_activated == 1));
+    let mut handle = platform.handle();
+    // Many fast ops, three deliberately slow ones.
+    for _ in 0..30 {
+        assert!(handle.post(a, Payload::encode(&0u64)));
+        handle.flush();
+    }
+    for ms in [40u64, 60, 50] {
+        assert!(handle.post(a, Payload::encode(&ms)));
+        handle.flush();
+    }
+    drop(handle);
+    assert!(eventually(|| platform.stats().messages_delivered == 33));
+
+    let (_, snap) = platform.shutdown_telemetry();
+    let snap = snap.expect("telemetry was on");
+    assert!(snap.slow_ops.len() <= k, "bounded at K");
+    assert_eq!(snap.slow_ops.len(), k, "33 candidates: the ring fills");
+    for pair in snap.slow_ops.windows(2) {
+        assert!(
+            pair[0].total_ns() >= pair[1].total_ns(),
+            "slowest first: {:?}",
+            snap.slow_ops
+        );
+    }
+    for op in &snap.slow_ops {
+        assert!(op.enqueued_ns <= op.started_ns && op.started_ns <= op.ended_ns);
+        assert!(
+            op.total_ns() >= Duration::from_millis(40).as_nanos() as u64,
+            "a fast op displaced a deliberately slow one: {:?}",
+            snap.slow_ops
+        );
+        assert!(
+            op.handle_ns() >= Duration::from_millis(35).as_nanos() as u64,
+            "the sleep happens in the handle phase: {op:?}"
+        );
+    }
+}
+
+/// With telemetry on, the op-latency histograms and queue/batch gauges
+/// actually fill — and sampled locate latency appears once the handle
+/// has made enough calls.
+#[test]
+fn latency_histograms_fill_under_instrumented_traffic() {
+    struct Worker;
+    impl Agent for Worker {
+        fn on_create(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(5));
+        }
+        fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>, _timer: TimerId) {}
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, payload: &Payload) {
+            if let Ok(dest) = payload.decode::<u32>() {
+                ctx.dispatch(NodeId::new(dest));
+            }
+        }
+    }
+
+    let platform = LivePlatform::with_config(
+        2,
+        LiveConfig::default().with_telemetry(true),
+        TraceSink::disabled(),
+    );
+    let w = platform.spawn(Box::new(Worker), NodeId::new(0));
+    assert!(eventually(|| platform.stats().agents_activated == 1));
+    let mut handle = platform.handle();
+    for _ in 0..2048u32 {
+        let _ = handle.locate(w);
+    }
+    for i in 0..200u32 {
+        assert!(handle.post(w, Payload::encode(&(i % 2))));
+        if i % 8 == 0 {
+            handle.flush();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    handle.flush();
+    drop(handle);
+    assert!(eventually(|| {
+        let s = platform.stats();
+        s.messages_sent == s.messages_delivered + s.messages_failed && s.migrations > 0
+    }));
+
+    let (stats, snap) = platform.shutdown_telemetry();
+    let snap = snap.expect("telemetry was on");
+    assert!(
+        !snap.deliver_ns.is_empty(),
+        "deliveries were stamped: histogram must fill"
+    );
+    assert_eq!(
+        snap.deliver_ns.len(),
+        stats.messages_delivered,
+        "every delivered message contributes exactly one latency sample"
+    );
+    assert!(!snap.move_ns.is_empty(), "migrations were stamped");
+    assert_eq!(snap.move_ns.len(), stats.migrations);
+    assert!(!snap.timer_lag_ns.is_empty(), "the worker's timer fired");
+    assert!(
+        !snap.locate_ns.is_empty(),
+        "2048 locates at 1-in-256 sampling: some samples must exist"
+    );
+    assert!(
+        snap.locate_ns.len() <= 2048 / 128,
+        "sampling must thin the stream"
+    );
+    assert!(!snap.batch_occupancy.is_empty(), "batches were shipped");
+    assert!(
+        snap.registry_generation > 0,
+        "spawns and migrations churn the registry"
+    );
+    assert_conserved(&stats, &snap, "histogram run");
+}
+
+/// Satellite: per-handle route-cache counters survive the handle — they
+/// fold into the platform totals on flush/drop and surface in
+/// `LiveStats`.
+#[test]
+fn route_cache_totals_outlive_their_handles() {
+    let platform = LivePlatform::new(2);
+    let a = platform.spawn(Box::new(Hopper), NodeId::new(0));
+    assert!(eventually(|| platform.stats().agents_activated == 1));
+
+    let mut h1 = platform.handle();
+    for _ in 0..100 {
+        assert_eq!(h1.locate(a), Some(NodeId::new(0)));
+    }
+    let (hits1, misses1) = (h1.cache_hits(), h1.cache_misses());
+    assert_eq!((hits1, misses1), (99, 1));
+    drop(h1); // drop publishes via flush()
+
+    let mut h2 = platform.handle();
+    for _ in 0..50 {
+        assert_eq!(h2.locate(a), Some(NodeId::new(0)));
+    }
+    h2.flush(); // explicit flush publishes too, without dropping
+    let stats = platform.stats();
+    assert_eq!(stats.route_cache_hits, 99 + 49);
+    assert_eq!(stats.route_cache_misses, 2);
+
+    // Flushing again publishes only the delta (nothing new happened).
+    h2.flush();
+    assert_eq!(platform.stats().route_cache_hits, 99 + 49);
+    drop(h2);
+    let final_stats = platform.shutdown();
+    assert_eq!(final_stats.route_cache_hits, 99 + 49);
+    assert_eq!(final_stats.route_cache_misses, 2);
+}
+
+/// Satellite: trace-ring overflow is no longer silent — the dropped
+/// count surfaces in `LiveStats::trace_dropped`.
+#[test]
+fn trace_ring_overflow_surfaces_in_live_stats() {
+    use agentrack_platform::TraceEvent;
+
+    struct Chatterbox;
+    impl Agent for Chatterbox {
+        fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, _payload: &Payload) {
+            let node = ctx.node();
+            let now = ctx.now();
+            ctx.trace().emit(now, || TraceEvent::MessageSend {
+                kind: "Chatter",
+                corr: None,
+                from: 1,
+                to: 2,
+                node,
+            });
+        }
+    }
+
+    // A 4-record ring and 64 emissions: most must overflow.
+    let platform = LivePlatform::with_trace(2, TraceSink::bounded(4));
+    let chatter = platform.spawn(Box::new(Chatterbox), NodeId::new(1));
+    assert!(eventually(|| platform.stats().agents_activated == 1));
+    for _ in 0..64 {
+        assert!(platform.post(chatter, Payload::encode(&0u8)));
+    }
+    assert!(eventually(|| platform.stats().messages_delivered == 64));
+    assert!(eventually(|| platform.stats().trace_dropped >= 60));
+    let stats = platform.shutdown();
+    assert_eq!(stats.trace_dropped, 60, "64 events, 4 kept");
+}
+
+/// Telemetry off is really off: no snapshots, no stamps — but the
+/// always-on per-node accounting still balances the books.
+#[test]
+fn telemetry_off_means_no_snapshots_but_exact_books() {
+    let platform = LivePlatform::new(2);
+    assert!(platform.telemetry_snapshot().is_none());
+    assert!(platform.latest_telemetry().is_none());
+    let a = platform.spawn(Box::new(Hopper), NodeId::new(0));
+    let mut handle = platform.handle();
+    for _ in 0..20 {
+        assert!(handle.post(a, Payload::encode(&1u32)));
+    }
+    handle.flush();
+    drop(handle);
+    assert!(eventually(|| {
+        let s = platform.stats();
+        s.messages_sent == s.messages_delivered + s.messages_failed
+    }));
+    let (stats, snap) = platform.shutdown_telemetry();
+    assert!(
+        snap.is_none(),
+        "telemetry off: shutdown returns no snapshot"
+    );
+    assert_eq!(stats.messages_sent, 20);
+}

@@ -72,7 +72,7 @@ mod time;
 mod trace;
 
 pub use faults::{shrink, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{Counter, Histogram, LogHistogram, WindowedRate};
+pub use metrics::{AtomicLogHistogram, Counter, Histogram, LogHistogram, WindowedRate};
 pub use net::{arrival, Delivery, NodeId, Topology};
 pub use queue::Scheduler;
 pub use registry::{

@@ -6,8 +6,10 @@
 //! requests received" and compares the observed message *rate* against the
 //! `T_max` / `T_min` thresholds to decide when to split or merge.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -327,6 +329,171 @@ impl fmt::Display for LogHistogram {
     }
 }
 
+/// One stripe of an [`AtomicLogHistogram`]: a full bucket array plus a
+/// nanosecond sum, all independently updatable with relaxed atomics.
+struct AtomicStripe {
+    counts: [AtomicU64; LogHistogram::BUCKETS],
+    /// Low word of the stripe's exact sample sum. Wraps freely; each
+    /// `fetch_add` that wraps it bumps `sum_hi` by exactly one (the adds
+    /// serialise atomically, so the adder that observes the wrap is
+    /// unique), making `sum_hi << 64 | sum_lo` exact at quiesce.
+    sum_lo: AtomicU64,
+    sum_hi: AtomicU64,
+}
+
+impl AtomicStripe {
+    fn new() -> Self {
+        AtomicStripe {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_lo: AtomicU64::new(0),
+            sum_hi: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Hands every recording thread a stable stripe token on first use, so
+/// threads spread across stripes without hashing a `ThreadId` per call.
+fn stripe_token() -> usize {
+    static NEXT_TOKEN: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static TOKEN: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    TOKEN.with(|t| {
+        let mut v = t.get();
+        if v == usize::MAX {
+            v = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+        }
+        v
+    })
+}
+
+/// A lock-free, concurrently writable variant of [`LogHistogram`].
+///
+/// Same power-of-two nanosecond buckets, same saturation at the top
+/// bucket — but recording is a single relaxed `fetch_add` into one of a
+/// power-of-two set of *stripes*, each thread sticking to the stripe its
+/// token selects, so concurrent recorders on different threads never
+/// contend on a cache line. [`snapshot`](AtomicLogHistogram::snapshot)
+/// folds the stripes into an ordinary [`LogHistogram`], which merges,
+/// reports percentiles, and serialises like any other.
+///
+/// Snapshots taken while writers are active are *per-bucket consistent*
+/// (every count read was really recorded, the total is derived from the
+/// counts actually read, nothing is double-counted); at quiesce a
+/// snapshot is exact and equals the [`LogHistogram`] the same samples
+/// would have produced in any recording order.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_sim::{AtomicLogHistogram, LogHistogram, SimDuration};
+///
+/// let h = AtomicLogHistogram::new(4);
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             for ms in [1u64, 2, 3] {
+///                 h.record(SimDuration::from_millis(ms));
+///             }
+///         });
+///     }
+/// });
+/// let snap = h.snapshot();
+/// assert_eq!(snap.len(), 12);
+///
+/// // The snapshot agrees with a sequential LogHistogram of the samples.
+/// let mut seq = LogHistogram::new();
+/// for _ in 0..4 {
+///     for ms in [1u64, 2, 3] {
+///         seq.record(SimDuration::from_millis(ms));
+///     }
+/// }
+/// assert_eq!(snap, seq);
+/// ```
+pub struct AtomicLogHistogram {
+    stripes: Box<[AtomicStripe]>,
+    mask: usize,
+}
+
+impl AtomicLogHistogram {
+    /// Creates an empty histogram with `stripes` stripes (rounded up to
+    /// a power of two, minimum 1). One stripe is ~400 bytes; 8 is plenty
+    /// for a handful of recording threads, 1 minimises memory when
+    /// contention is impossible.
+    #[must_use]
+    pub fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        AtomicLogHistogram {
+            stripes: (0..n).map(|_| AtomicStripe::new()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Records one duration sample. Lock-free; callable from any thread.
+    pub fn record(&self, d: SimDuration) {
+        self.record_value(d.as_nanos());
+    }
+
+    /// Records one raw `u64` sample into the same log₂ buckets — for
+    /// dimensionless quantities (batch occupancy, queue depths) that
+    /// want bounded-memory percentiles without pretending to be time.
+    pub fn record_value(&self, v: u64) {
+        let stripe = &self.stripes[stripe_token() & self.mask];
+        let bucket = LogHistogram::bucket_of(SimDuration::from_nanos(v));
+        stripe.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        let prev = stripe.sum_lo.fetch_add(v, Ordering::Relaxed);
+        if prev.checked_add(v).is_none() {
+            stripe.sum_hi.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds every stripe into a plain [`LogHistogram`]. The total is
+    /// derived from the bucket counts read, so percentile queries on the
+    /// snapshot are always internally consistent, even if writers were
+    /// active during the fold.
+    #[must_use]
+    pub fn snapshot(&self) -> LogHistogram {
+        let mut counts = [0u64; LogHistogram::BUCKETS];
+        let mut sum = 0u128;
+        for stripe in self.stripes.iter() {
+            for (mine, theirs) in counts.iter_mut().zip(stripe.counts.iter()) {
+                *mine += theirs.load(Ordering::Relaxed);
+            }
+            let hi = stripe.sum_hi.load(Ordering::Relaxed);
+            let lo = stripe.sum_lo.load(Ordering::Relaxed);
+            sum = sum.wrapping_add((u128::from(hi) << 64) | u128::from(lo));
+        }
+        let total = counts.iter().sum();
+        LogHistogram { counts, total, sum }
+    }
+
+    /// Number of samples recorded so far (a snapshot-level sum).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.stripes
+            .iter()
+            .flat_map(|s| s.counts.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// `true` if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for AtomicLogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicLogHistogram")
+            .field("stripes", &self.stripes.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
 /// Sliding-window message-rate estimator: the "running statistics of the
 /// requests received" each IAgent maintains (paper §4).
 ///
@@ -549,6 +716,53 @@ mod tests {
     fn log_percentile_checks_range() {
         let l = LogHistogram::new();
         let _ = l.percentile(-0.5);
+    }
+
+    #[test]
+    fn atomic_log_histogram_matches_sequential_recording() {
+        let atomic = AtomicLogHistogram::new(3); // rounds up to 4 stripes
+        let mut seq = LogHistogram::new();
+        for n in [0u64, 1, 100, 1_000, 1_000_000, u64::MAX] {
+            atomic.record(SimDuration::from_nanos(n));
+            seq.record(SimDuration::from_nanos(n));
+        }
+        assert_eq!(atomic.len(), 6);
+        assert!(!atomic.is_empty());
+        assert_eq!(atomic.snapshot(), seq);
+        assert_eq!(atomic.snapshot().percentile(50.0), seq.percentile(50.0));
+    }
+
+    #[test]
+    fn atomic_log_histogram_concurrent_recorders_lose_nothing() {
+        let h = AtomicLogHistogram::new(8);
+        let threads = 4;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record_value(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), threads * per_thread);
+        let mut seq = LogHistogram::new();
+        for v in 0..threads * per_thread {
+            seq.record(SimDuration::from_nanos(v));
+        }
+        // Same multiset of samples in a different order and stripe
+        // layout: the folded snapshot must be identical.
+        assert_eq!(snap, seq);
+    }
+
+    #[test]
+    fn atomic_log_histogram_empty_snapshot_is_empty() {
+        let h = AtomicLogHistogram::new(1);
+        assert!(h.is_empty());
+        assert_eq!(h.snapshot(), LogHistogram::new());
     }
 
     #[test]

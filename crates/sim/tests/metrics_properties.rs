@@ -1,0 +1,87 @@
+//! Property tests of the histogram primitives: the striped
+//! [`AtomicLogHistogram`] must be indistinguishable from the sequential
+//! [`LogHistogram`] on the same multiset of samples, and merging
+//! partition snapshots must be order-independent.
+
+use agentrack_sim::{AtomicLogHistogram, LogHistogram, SimDuration};
+use proptest::prelude::*;
+
+/// Records `samples` into a sequential histogram.
+fn sequential(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.record(SimDuration::from_nanos(s));
+    }
+    h
+}
+
+proptest! {
+    /// Concurrent striped recording agrees exactly with sequential
+    /// recording of the same samples: same counts, same total, same sum
+    /// (and therefore same mean and every percentile).
+    #[test]
+    fn atomic_agrees_with_sequential(
+        samples in prop::collection::vec(any::<u64>(), 0..400),
+        stripes in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let atomic = AtomicLogHistogram::new(stripes);
+        // Deal the samples round-robin to `threads` recording threads so
+        // the interleaving (and the stripe each lands in) varies freely.
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let atomic = &atomic;
+                let samples = &samples;
+                scope.spawn(move || {
+                    for s in samples.iter().skip(t).step_by(threads) {
+                        atomic.record(SimDuration::from_nanos(*s));
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(atomic.snapshot(), sequential(&samples));
+    }
+
+    /// Snapshot merging is order-independent: splitting the samples into
+    /// chunks, snapshotting each, and merging the snapshots in any
+    /// permutation gives the histogram of the whole sample set.
+    #[test]
+    fn merge_is_order_independent(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..60), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let snapshots: Vec<LogHistogram> = chunks
+            .iter()
+            .map(|c| {
+                let h = AtomicLogHistogram::new(2);
+                for &s in c {
+                    h.record_value(s);
+                }
+                h.snapshot()
+            })
+            .collect();
+
+        // A cheap deterministic permutation of the merge order.
+        let mut order: Vec<usize> = (0..snapshots.len()).collect();
+        let mut state = seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let mut merged = LogHistogram::new();
+        for &i in &order {
+            merged.merge(&snapshots[i]);
+        }
+        let all: Vec<u64> = chunks.iter().flatten().copied().collect();
+        prop_assert_eq!(&merged, &sequential(&all));
+
+        // Forward-order merge agrees with the permuted order too.
+        let mut forward = LogHistogram::new();
+        for s in &snapshots {
+            forward.merge(s);
+        }
+        prop_assert_eq!(&forward, &merged);
+    }
+}

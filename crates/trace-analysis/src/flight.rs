@@ -1,0 +1,213 @@
+//! Deterministic exporters for the live runtime's slow-op flight
+//! recorder.
+//!
+//! The live platform's telemetry keeps the K slowest operations it saw
+//! (deliveries, migrations, timer firings), each with three wall-clock
+//! timestamps — enqueued, handler start, handler end — expressed as
+//! nanoseconds since platform start. This module renders such a capture
+//! as:
+//!
+//! * [`to_flight_perfetto`] — Chrome/Perfetto trace-event JSON: per op,
+//!   a *queue* slice (enqueue → start) and a *handle* slice (start →
+//!   end) on track `pid = node`, `tid = rank`, so the phase split of
+//!   every slow op is visible on a timeline;
+//! * [`to_flight_json`] — a plain JSON array, one object per op, for
+//!   ad-hoc tooling (`jq`, spreadsheets).
+//!
+//! The platform crate cannot depend on this one (the dependency points
+//! the other way), so ops cross the boundary as plain-u64 [`FlightOp`]
+//! rows rather than the platform's own type; `live_bench` maps between
+//! them field by field.
+//!
+//! Both exporters hand-build their strings from integer fields in input
+//! order (the recorder already returns ops slowest-first), so output is
+//! byte-deterministic for a given capture.
+
+use std::fmt::Write as _;
+
+/// One slow operation, decoupled from the platform's `SlowOp` type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightOp {
+    /// Operation kind label: `"deliver"`, `"move"`, `"timer"`, … Any
+    /// short ASCII token works; it becomes the event category.
+    pub kind: &'static str,
+    /// Node whose thread executed the op.
+    pub node: u32,
+    /// Raw id of the agent the op ran against.
+    pub agent: u64,
+    /// Nanoseconds since platform start when the work was enqueued (or
+    /// due, for timers).
+    pub enqueued_ns: u64,
+    /// When the handler started running.
+    pub started_ns: u64,
+    /// When the handler returned.
+    pub ended_ns: u64,
+}
+
+impl FlightOp {
+    /// Enqueue → start: time spent waiting.
+    #[must_use]
+    pub fn queue_ns(&self) -> u64 {
+        self.started_ns.saturating_sub(self.enqueued_ns)
+    }
+
+    /// Start → end: time spent in the handler.
+    #[must_use]
+    pub fn handle_ns(&self) -> u64 {
+        self.ended_ns.saturating_sub(self.started_ns)
+    }
+
+    /// Enqueue → end, the recorder's ranking key.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.ended_ns.saturating_sub(self.enqueued_ns)
+    }
+}
+
+/// Microseconds with fixed three-decimal precision (the Chrome
+/// trace-event time unit).
+fn us(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1000.0)
+}
+
+/// Renders a flight capture as Chrome/Perfetto trace-event JSON.
+///
+/// Per op: a `queue` slice from enqueue to handler start and a `handle`
+/// slice from start to end, both named `<kind> agent <id>`, on
+/// `pid = node` / `tid = rank` (rank = position in `ops`, i.e. slowness
+/// order). Zero-length queue phases (unstamped or instantaneous) emit no
+/// queue slice. Open in `chrome://tracing` or <https://ui.perfetto.dev>.
+#[must_use]
+pub fn to_flight_perfetto(ops: &[FlightOp]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (rank, op) in ops.iter().enumerate() {
+        let mut event = |body: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&body);
+        };
+        let pid = op.node;
+        if op.queue_ns() > 0 {
+            event(
+                format!(
+                    "{{\"name\":\"{} agent {}\",\"cat\":\"queue\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{rank}}}",
+                    op.kind,
+                    op.agent,
+                    us(op.enqueued_ns),
+                    us(op.queue_ns()),
+                ),
+                &mut out,
+            );
+        }
+        event(
+            format!(
+                "{{\"name\":\"{} agent {}\",\"cat\":\"handle\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{rank}}}",
+                op.kind,
+                op.agent,
+                us(op.started_ns),
+                us(op.handle_ns()),
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders a flight capture as a plain JSON array, one object per op in
+/// input order, all fields integer nanoseconds.
+#[must_use]
+pub fn to_flight_json(ops: &[FlightOp]) -> String {
+    let mut out = String::from("[\n");
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"kind\":\"{}\",\"node\":{},\"agent\":{},\"enqueued_ns\":{},\"started_ns\":{},\"ended_ns\":{},\"queue_ns\":{},\"handle_ns\":{},\"total_ns\":{}}}",
+            op.kind,
+            op.node,
+            op.agent,
+            op.enqueued_ns,
+            op.started_ns,
+            op.ended_ns,
+            op.queue_ns(),
+            op.handle_ns(),
+            op.total_ns(),
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<FlightOp> {
+        vec![
+            FlightOp {
+                kind: "deliver",
+                node: 2,
+                agent: 41,
+                enqueued_ns: 1_000,
+                started_ns: 4_000,
+                ended_ns: 9_000,
+            },
+            FlightOp {
+                kind: "timer",
+                node: 0,
+                agent: 7,
+                enqueued_ns: 2_000,
+                started_ns: 2_000,
+                ended_ns: 6_500,
+            },
+        ]
+    }
+
+    #[test]
+    fn phases_partition_the_total() {
+        for op in ops() {
+            assert_eq!(op.queue_ns() + op.handle_ns(), op.total_ns());
+        }
+    }
+
+    #[test]
+    fn perfetto_export_is_deterministic_and_parseable_shape() {
+        let a = to_flight_perfetto(&ops());
+        let b = to_flight_perfetto(&ops());
+        assert_eq!(a, b, "same capture, same bytes");
+        assert!(a.starts_with("{\"traceEvents\":["));
+        assert!(a.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(a.contains("\"cat\":\"queue\""));
+        assert!(a.contains("\"cat\":\"handle\""));
+        // The zero-queue timer op emits only its handle slice.
+        assert_eq!(a.matches("\"cat\":\"queue\"").count(), 1);
+        assert_eq!(a.matches("\"cat\":\"handle\"").count(), 2);
+    }
+
+    #[test]
+    fn json_export_carries_every_field() {
+        let j = to_flight_json(&ops());
+        assert!(j.contains(
+            "{\"kind\":\"deliver\",\"node\":2,\"agent\":41,\"enqueued_ns\":1000,\
+             \"started_ns\":4000,\"ended_ns\":9000,\"queue_ns\":3000,\
+             \"handle_ns\":5000,\"total_ns\":8000}"
+        ));
+        assert!(j.trim_start().starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn empty_capture_exports_empty_containers() {
+        assert_eq!(
+            to_flight_perfetto(&[]),
+            "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}\n"
+        );
+        assert_eq!(to_flight_json(&[]), "[\n\n]\n");
+    }
+}
