@@ -67,6 +67,7 @@ fn bench_wire_round_trips(c: &mut Criterion) {
         token: 7,
         reply_node: NodeId::new(3),
         corr: None,
+        freshness: agentrack_core::Freshness::Any,
     };
     let hf = hash_function_with(64);
     let large = Wire::InstallHashFn { hf };

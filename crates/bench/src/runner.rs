@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use agentrack_core::LocationConfig;
+use agentrack_core::{Freshness, LocationConfig};
 use agentrack_sim::{
     ChaosConfig, DurationDist, FaultEvent, FaultKind, FaultPlan, NodeId, SimDuration, SimTime,
     TraceEvent, TraceSink,
@@ -31,6 +31,20 @@ pub struct PointValue {
     pub param: String,
     /// The value this trial ran at (full-fidelity, before scaling).
     pub value: f64,
+}
+
+/// One scheduled fault's effect window, in run-relative milliseconds —
+/// lets downstream analysis line locate samples up against outages
+/// without re-deriving the fault plan from the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// The fault kind's short name (`partition`, `region-sever`, ...).
+    pub kind: String,
+    /// When the fault lands, milliseconds from the start of the run.
+    pub at_ms: f64,
+    /// When its effect ends, when it ends on its own (a sever's heal, a
+    /// crash's restart); `None` for permanent effects.
+    pub ends_ms: Option<f64>,
 }
 
 /// The structured outcome of one trial: everything the table formatter
@@ -60,6 +74,12 @@ pub struct TrialRecord {
     pub rehash_concurrency: Option<usize>,
     /// Resolved query Zipf exponent, when set.
     pub query_skew: Option<f64>,
+    /// Resolved freshness bound in milliseconds (`0` = Fresh), when the
+    /// workload or a sweep axis declares one; `None` = Any.
+    pub freshness_ms: Option<u64>,
+    /// The trial's scheduled fault windows (sever/heal, crash/restart),
+    /// empty for fault-free trials.
+    pub fault_windows: Vec<FaultWindow>,
     /// The scenario report.
     pub report: ScenarioReport,
     /// The post-quiesce invariant audit (absent with `audit: false`).
@@ -215,6 +235,9 @@ fn run_trial(
     let rehash_concurrency = axis_value(point, "rehash_concurrency")
         .map(|v| v as usize)
         .or(arm.rehash_concurrency);
+    let freshness_ms = axis_value(point, "freshness_ms")
+        .map(|v| v as u64)
+        .or(w.freshness_ms);
 
     let mut scenario = Scenario::new(format!("{}-{label}-s{seed}", spec.name))
         .with_agents(agents)
@@ -245,6 +268,15 @@ fn run_trial(
         scenario.churn_lifespan = Some(DurationDist::Constant(SimDuration::from_millis(
             lifespan_ms,
         )));
+    }
+    if let Some(regions) = w.regions {
+        scenario = scenario.with_regions(regions, w.inter_region_ms.unwrap_or(60.0));
+    }
+    if let Some(bound_ms) = freshness_ms {
+        scenario = scenario.with_freshness(match bound_ms {
+            0 => Freshness::Fresh,
+            ms => Freshness::BoundedMs(ms),
+        });
     }
 
     // Spikes: timed against the resolved spans, exactly as E17 computes
@@ -306,7 +338,37 @@ fn run_trial(
             });
             scenario.faults = plan;
         }
+        if let Some(sever) = &faults.region_sever {
+            let duration = scenario.duration();
+            let d = sever.heal_frac - sever.at_frac;
+            let mut plan = FaultPlan::new();
+            for cycle in 0..sever.cycles.unwrap_or(1) {
+                let start = sever.at_frac + f64::from(2 * cycle) * d;
+                plan.push(FaultEvent {
+                    at: SimTime::ZERO + duration.mul_f64(start),
+                    kind: FaultKind::RegionSever {
+                        a: sever.a,
+                        b: sever.b,
+                        heal_at: SimTime::ZERO + duration.mul_f64(start + d),
+                    },
+                });
+            }
+            scenario.faults = plan;
+        }
     }
+    let fault_windows: Vec<FaultWindow> = scenario
+        .faults
+        .events()
+        .iter()
+        .map(|e| FaultWindow {
+            kind: e.kind.name().to_owned(),
+            at_ms: e.at.saturating_since(SimTime::ZERO).as_millis_f64(),
+            ends_ms: e
+                .kind
+                .ends_at()
+                .map(|end| end.saturating_since(SimTime::ZERO).as_millis_f64()),
+        })
+        .collect();
 
     let mut config = LocationConfig::default();
     if arm.patient.unwrap_or(false) {
@@ -386,6 +448,8 @@ fn run_trial(
         intensity,
         rehash_concurrency,
         query_skew,
+        freshness_ms,
+        fault_windows,
         report: out.report,
         invariants: out.invariants,
         rehash_denied,
@@ -410,6 +474,11 @@ fn format_field(field: &str, trial: &TrialRecord) -> String {
             .rehash_concurrency
             .map_or_else(|| "-".to_owned(), |v| v.to_string()),
         "query_skew" => format!("{:.1}", trial.query_skew.unwrap_or(0.0)),
+        // `any` marks the unbounded default so a swept 0 (Fresh) stays
+        // distinguishable in the table.
+        "freshness_ms" => trial
+            .freshness_ms
+            .map_or_else(|| "any".to_owned(), |v| v.to_string()),
         "scheme" => trial.scheme.clone(),
         "seed" => trial.seed.to_string(),
         "issued" => r.locates_issued.to_string(),
@@ -440,6 +509,20 @@ fn format_field(field: &str, trial: &TrialRecord) -> String {
         "recoveries_started" => r.recoveries_started.to_string(),
         "recoveries_completed" => r.recoveries_completed.to_string(),
         "stale_answers" => r.stale_answers.to_string(),
+        "stale_answer_pct" => {
+            let completed = r.locates_completed;
+            if completed == 0 {
+                "0.0".to_owned()
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                let pct = 100.0 * r.stale_located as f64 / completed as f64;
+                format!("{pct:.1}")
+            }
+        }
+        "replica_answers" => r.replica_answers.to_string(),
+        "freshness_refusals" => r.freshness_refusals.to_string(),
+        "hedged_locates" => r.hedged_locates.to_string(),
+        "bound_violations" => r.bound_violations.to_string(),
         "stale_hits" => r.stale_hits.to_string(),
         "hf_fetches" => r.hf_fetches.to_string(),
         "chain_hops" => r.chain_hops.to_string(),

@@ -37,6 +37,7 @@ pub const AXIS_PARAMS: &[&str] = &[
     "intensity",
     "rehash_concurrency",
     "query_skew",
+    "freshness_ms",
 ];
 
 /// Column fields the runner can format, with their formatting rules
@@ -48,6 +49,7 @@ pub const COLUMN_FIELDS: &[&str] = &[
     "intensity",
     "rehash_concurrency",
     "query_skew",
+    "freshness_ms",
     "scheme",
     "seed",
     // Locate outcome counters and latency metrics.
@@ -81,6 +83,12 @@ pub const COLUMN_FIELDS: &[&str] = &[
     "recoveries_started",
     "recoveries_completed",
     "stale_answers",
+    // Geo / freshness (E20).
+    "stale_answer_pct",
+    "replica_answers",
+    "freshness_refusals",
+    "hedged_locates",
+    "bound_violations",
     "stale_hits",
     "hf_fetches",
     "chain_hops",
@@ -226,6 +234,19 @@ pub struct WorkloadSpec {
     pub loss: Option<f64>,
     /// Message duplication probability.
     pub duplication: Option<f64>,
+    /// WAN regions: nodes are dealt round-robin into this many regions
+    /// and inter-region hops pay `inter_region_ms`. Absent or 1 = the
+    /// paper's flat LAN.
+    pub regions: Option<u32>,
+    /// Inter-region one-way latency, milliseconds (needs `regions`).
+    /// Absent = 60 ms, a transcontinental round trip of ~120 ms.
+    pub inter_region_ms: Option<f64>,
+    /// Freshness bound every steady-state locate declares: `0` demands
+    /// the authoritative record (`Fresh`), a positive value accepts
+    /// replica answers up to that many milliseconds old (`BoundedMs`),
+    /// absent accepts anything (`Any`). A `freshness_ms` sweep axis
+    /// overrides this per grid point.
+    pub freshness_ms: Option<u64>,
 }
 
 /// One sweep axis: a parameter name from [`AXIS_PARAMS`] and the values
@@ -283,6 +304,9 @@ pub struct FaultSpec {
     pub chaos: Option<ChaosFaults>,
     /// A deterministic regional partition that heals.
     pub regional_partition: Option<RegionalPartitionFaults>,
+    /// Deterministic WAN link sever/heal cycles between two regions
+    /// (needs `workload.regions`).
+    pub region_sever: Option<RegionSeverFaults>,
 }
 
 /// Randomized chaos: partitions, crashes/restarts, latency spikes, loss
@@ -307,6 +331,27 @@ pub struct RegionalPartitionFaults {
     pub at_frac: f64,
     /// When it heals, as a fraction of the run duration (> `at_frac`).
     pub heal_frac: f64,
+}
+
+/// The WAN link between regions `a` and `b` severs at `at_frac` of the
+/// run and heals at `heal_frac`; with `cycles > 1` the sever/heal window
+/// repeats back to back (each cycle is `2 * (heal_frac - at_frac)` of
+/// the run: equal outage and recovery spans). Requires a region
+/// topology (`workload.regions`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSeverFaults {
+    /// One severed region (index into `0..workload.regions`).
+    pub a: u32,
+    /// The other severed region.
+    pub b: u32,
+    /// When the first sever lands, as a fraction of the run duration.
+    pub at_frac: f64,
+    /// When the first sever heals, as a fraction of the run duration
+    /// (> `at_frac`).
+    pub heal_frac: f64,
+    /// Back-to-back sever/heal cycles; absent = 1. Every cycle's heal
+    /// must land within the run.
+    pub cycles: Option<u32>,
 }
 
 /// A flash crowd riding the steady workload: timing as fractions of the
@@ -362,6 +407,7 @@ const POINT_FIELDS: &[&str] = &[
     "intensity",
     "rehash_concurrency",
     "query_skew",
+    "freshness_ms",
     "scheme",
     "seed",
 ];
@@ -536,6 +582,34 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(regions) = w.regions {
+            let nodes = w.nodes.unwrap_or(16);
+            if regions < 2 {
+                return Err(SpecError::at(
+                    "workload.regions",
+                    "a WAN model needs at least two regions (drop the field for a flat LAN)",
+                ));
+            }
+            if regions > nodes {
+                return Err(SpecError::at(
+                    "workload.regions",
+                    format!("{regions} regions cannot be cut from {nodes} nodes"),
+                ));
+            }
+        } else if w.inter_region_ms.is_some() {
+            return Err(SpecError::at(
+                "workload.inter_region_ms",
+                "inter-region latency needs workload.regions",
+            ));
+        }
+        if let Some(v) = w.inter_region_ms {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SpecError::at(
+                    "workload.inter_region_ms",
+                    "must be a positive number of milliseconds",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -563,6 +637,12 @@ impl ScenarioSpec {
             {
                 return Err(SpecError::at(path, "duplicate sweep parameter"));
             }
+            if axis.param == "freshness_ms" && self.workload.freshness_ms.is_some() {
+                return Err(SpecError::at(
+                    path,
+                    "either fix workload.freshness_ms or sweep it, not both",
+                ));
+            }
             if axis.values.is_empty() {
                 return Err(SpecError::at(
                     format!("sweep[{i}].values"),
@@ -582,6 +662,14 @@ impl ScenarioSpec {
                     return Err(SpecError::at(
                         vpath,
                         format!("{} values are positive whole numbers", axis.param),
+                    ));
+                }
+                // Zero is meaningful here: it demands Fresh answers.
+                if axis.param == "freshness_ms" && (v.fract() != 0.0 || v < 0.0) {
+                    return Err(SpecError::at(
+                        vpath,
+                        "freshness_ms values are whole non-negative milliseconds \
+                         (0 demands authoritative answers)",
                     ));
                 }
                 if axis.param == "intensity" && !(0.0..=1.0).contains(&v) {
@@ -705,20 +793,30 @@ impl ScenarioSpec {
             }
             return Ok(());
         };
-        match (&faults.chaos, &faults.regional_partition) {
-            (Some(_), Some(_)) => {
-                return Err(SpecError::at(
-                    "faults",
-                    "set chaos or regional_partition, not both",
-                ))
-            }
-            (None, None) => {
-                return Err(SpecError::at(
-                    "faults",
-                    "set one of chaos or regional_partition (or drop the faults block)",
-                ))
-            }
-            (Some(chaos), None) => match chaos.intensity {
+        let arms = usize::from(faults.chaos.is_some())
+            + usize::from(faults.regional_partition.is_some())
+            + usize::from(faults.region_sever.is_some());
+        if arms > 1 {
+            return Err(SpecError::at(
+                "faults",
+                "set exactly one of chaos, regional_partition, or region_sever",
+            ));
+        }
+        if arms == 0 {
+            return Err(SpecError::at(
+                "faults",
+                "set one of chaos, regional_partition, or region_sever \
+                 (or drop the faults block)",
+            ));
+        }
+        if faults.chaos.is_none() && swept_intensity {
+            return Err(SpecError::at(
+                "sweep",
+                "an intensity axis needs faults.chaos to drive",
+            ));
+        }
+        if let Some(chaos) = &faults.chaos {
+            match chaos.intensity {
                 Some(v) if !v.is_finite() || !(0.0..=1.0).contains(&v) => {
                     return Err(SpecError::at(
                         "faults.chaos.intensity",
@@ -738,54 +836,103 @@ impl ScenarioSpec {
                     ));
                 }
                 _ => {}
-            },
-            (None, Some(partition)) => {
-                if swept_intensity {
+            }
+        }
+        if let Some(partition) = &faults.regional_partition {
+            for (path, v) in [
+                ("faults.regional_partition.at_frac", partition.at_frac),
+                ("faults.regional_partition.heal_frac", partition.heal_frac),
+            ] {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(SpecError::at(path, "fractions of the run live in [0, 1]"));
+                }
+            }
+            if partition.heal_frac <= partition.at_frac {
+                return Err(SpecError::at(
+                    "faults.regional_partition.heal_frac",
+                    "the partition must heal after it starts",
+                ));
+            }
+            if let Some(groups) = &partition.groups {
+                let nodes = self.workload.nodes.unwrap_or(16);
+                if groups.len() < 2 {
                     return Err(SpecError::at(
-                        "sweep",
-                        "an intensity axis needs faults.chaos to drive",
+                        "faults.regional_partition.groups",
+                        "a partition needs at least two groups",
                     ));
                 }
-                for (path, v) in [
-                    ("faults.regional_partition.at_frac", partition.at_frac),
-                    ("faults.regional_partition.heal_frac", partition.heal_frac),
-                ] {
-                    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
-                        return Err(SpecError::at(path, "fractions of the run live in [0, 1]"));
-                    }
-                }
-                if partition.heal_frac <= partition.at_frac {
-                    return Err(SpecError::at(
-                        "faults.regional_partition.heal_frac",
-                        "the partition must heal after it starts",
-                    ));
-                }
-                if let Some(groups) = &partition.groups {
-                    let nodes = self.workload.nodes.unwrap_or(16);
-                    if groups.len() < 2 {
-                        return Err(SpecError::at(
-                            "faults.regional_partition.groups",
-                            "a partition needs at least two groups",
-                        ));
-                    }
-                    let mut seen = std::collections::HashSet::new();
-                    for (g, group) in groups.iter().enumerate() {
-                        for &node in group {
-                            if node >= nodes {
-                                return Err(SpecError::at(
-                                    format!("faults.regional_partition.groups[{g}]"),
-                                    format!("node {node} is outside the {nodes}-node topology"),
-                                ));
-                            }
-                            if !seen.insert(node) {
-                                return Err(SpecError::at(
-                                    format!("faults.regional_partition.groups[{g}]"),
-                                    format!("node {node} appears in two groups"),
-                                ));
-                            }
+                let mut seen = std::collections::HashSet::new();
+                for (g, group) in groups.iter().enumerate() {
+                    for &node in group {
+                        if node >= nodes {
+                            return Err(SpecError::at(
+                                format!("faults.regional_partition.groups[{g}]"),
+                                format!("node {node} is outside the {nodes}-node topology"),
+                            ));
+                        }
+                        if !seen.insert(node) {
+                            return Err(SpecError::at(
+                                format!("faults.regional_partition.groups[{g}]"),
+                                format!("node {node} appears in two groups"),
+                            ));
                         }
                     }
                 }
+            }
+        }
+        if let Some(sever) = &faults.region_sever {
+            let Some(regions) = self.workload.regions else {
+                return Err(SpecError::at(
+                    "faults.region_sever",
+                    "severing a WAN link needs workload.regions",
+                ));
+            };
+            for (path, region) in [
+                ("faults.region_sever.a", sever.a),
+                ("faults.region_sever.b", sever.b),
+            ] {
+                if region >= regions {
+                    return Err(SpecError::at(
+                        path,
+                        format!("region {region} is outside the {regions}-region topology"),
+                    ));
+                }
+            }
+            if sever.a == sever.b {
+                return Err(SpecError::at(
+                    "faults.region_sever.b",
+                    "a region cannot sever from itself",
+                ));
+            }
+            for (path, v) in [
+                ("faults.region_sever.at_frac", sever.at_frac),
+                ("faults.region_sever.heal_frac", sever.heal_frac),
+            ] {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(SpecError::at(path, "fractions of the run live in [0, 1]"));
+                }
+            }
+            if sever.heal_frac <= sever.at_frac {
+                return Err(SpecError::at(
+                    "faults.region_sever.heal_frac",
+                    "the link must heal after it severs",
+                ));
+            }
+            let cycles = sever.cycles.unwrap_or(1);
+            if cycles == 0 {
+                return Err(SpecError::at(
+                    "faults.region_sever.cycles",
+                    "needs at least one sever/heal cycle",
+                ));
+            }
+            // Cycle i severs at at_frac + i * 2d and heals d later.
+            let d = sever.heal_frac - sever.at_frac;
+            let last_heal = sever.at_frac + f64::from(2 * cycles - 1) * d;
+            if last_heal > 1.0 {
+                return Err(SpecError::at(
+                    "faults.region_sever.cycles",
+                    format!("cycle {cycles} would heal at {last_heal:.2} of the run, past its end"),
+                ));
             }
         }
         Ok(())
@@ -932,6 +1079,14 @@ impl ScenarioSpec {
                         "a query_skew column needs workload.query_skew or a sweep axis",
                     ));
                 }
+                "freshness_ms"
+                    if !swept.contains(&"freshness_ms") && self.workload.freshness_ms.is_none() =>
+                {
+                    return Err(SpecError::at(
+                        path,
+                        "a freshness_ms column needs workload.freshness_ms or a sweep axis",
+                    ));
+                }
                 "reconverge_ms" if self.spikes.as_ref().is_none_or(Vec::is_empty) => {
                     return Err(SpecError::at(
                         path,
@@ -1000,6 +1155,9 @@ fn check_keys(value: &Value, source: &str) -> Result<(), SpecError> {
         "churn_lifespan_ms",
         "loss",
         "duplication",
+        "regions",
+        "inter_region_ms",
+        "freshness_ms",
     ];
     const AXIS_KEYS: &[&str] = &["param", "values"];
     const SCHEME_KEYS: &[&str] = &[
@@ -1018,9 +1176,10 @@ fn check_keys(value: &Value, source: &str) -> Result<(), SpecError> {
         "threshold_max",
         "threshold_min",
     ];
-    const FAULT_KEYS: &[&str] = &["chaos", "regional_partition"];
+    const FAULT_KEYS: &[&str] = &["chaos", "regional_partition", "region_sever"];
     const CHAOS_KEYS: &[&str] = &["seed", "intensity"];
     const PARTITION_KEYS: &[&str] = &["groups", "at_frac", "heal_frac"];
+    const SEVER_KEYS: &[&str] = &["a", "b", "at_frac", "heal_frac", "cycles"];
     const SPIKE_KEYS: &[&str] = &[
         "at_frac",
         "span_frac",
@@ -1068,6 +1227,16 @@ fn check_keys(value: &Value, source: &str) -> Result<(), SpecError> {
                         "faults.regional_partition",
                         expect_map(partition, "faults.regional_partition")?,
                         PARTITION_KEYS,
+                        source,
+                    )?;
+                }
+            }
+            if let Some(sever) = get(map, "region_sever") {
+                if !matches!(sever, Value::Null) {
+                    allow_keys(
+                        "faults.region_sever",
+                        expect_map(sever, "faults.region_sever")?,
+                        SEVER_KEYS,
                         source,
                     )?;
                 }

@@ -226,12 +226,16 @@ impl Agent for CentralBehavior {
                 token,
                 reply_node,
                 corr,
+                ..
             } => {
+                // The central record is authoritative, so every answer is
+                // age 0 and satisfies any freshness bound.
                 let answer = match self.records.get(&target) {
                     Some(&node) => Wire::Located {
                         target,
                         node,
                         stale: false,
+                        age_ms: 0,
                         token,
                         corr,
                     },
@@ -362,6 +366,7 @@ impl CentralizedClient {
             token,
             reply_node: here,
             corr: Some(CorrId::new(me.raw(), token)),
+            freshness: self.tracker.freshness(token).unwrap_or_default(),
         };
         ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
             kind: msg.kind(),
@@ -371,7 +376,8 @@ impl CentralizedClient {
             node: here,
         });
         self.send_central(ctx, &msg);
-        self.tracker.note_tracker(token, self.central.0.raw());
+        self.tracker
+            .note_tracker(token, self.central.0.raw(), self.central.1);
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
     }
@@ -395,6 +401,7 @@ impl CentralizedClient {
                 target,
                 cause,
                 tracker,
+                tracker_node,
             } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
@@ -404,9 +411,20 @@ impl CentralizedClient {
                     cause,
                 });
                 if let Some(tracker) = tracker {
+                    let remote = tracker_node.is_some_and(|n| n != ctx.node());
                     self.registry.update_tracker(tracker, |t| match cause {
-                        GiveUpCause::Timeout => t.giveup_timeout += 1,
-                        GiveUpCause::Negative => t.giveup_negative += 1,
+                        GiveUpCause::Timeout => {
+                            t.giveup_timeout += 1;
+                            if remote {
+                                t.giveup_timeout_remote += 1;
+                            }
+                        }
+                        GiveUpCause::Negative => {
+                            t.giveup_negative += 1;
+                            if remote {
+                                t.giveup_negative_remote += 1;
+                            }
+                        }
                     });
                 }
                 ClientEvent::Failed { token, target }
@@ -458,7 +476,17 @@ impl DirectoryClient for CentralizedClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target, ctx.now());
+        self.locate_with(ctx, target, token, crate::wire::Freshness::Any);
+    }
+
+    fn locate_with(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        token: u64,
+        freshness: crate::wire::Freshness,
+    ) {
+        self.tracker.start_with(token, target, ctx.now(), freshness);
         self.send_locate(ctx, target, token);
     }
 
@@ -496,6 +524,7 @@ impl DirectoryClient for CentralizedClient {
                 target,
                 node,
                 stale,
+                age_ms,
                 token,
                 ..
             } => {
@@ -507,6 +536,7 @@ impl DirectoryClient for CentralizedClient {
                         target,
                         node,
                         stale,
+                        age_ms,
                     }
                 } else {
                     ClientEvent::Consumed

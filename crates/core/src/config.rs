@@ -127,6 +127,13 @@ pub struct LocationConfig {
     pub fetch_backoff_base: SimDuration,
     /// Cap on the LHAgent's exponential backoff delay.
     pub fetch_backoff_cap: SimDuration,
+    /// Consecutive locate timeouts against one destination before a
+    /// client marks it degraded and starts hedging freshness-bounded
+    /// locates to the tracker's buddy replica.
+    pub geo_degrade_after: u32,
+    /// Consecutive successful answers from a degraded destination before
+    /// the client trusts it again and stops hedging.
+    pub geo_heal_after: u32,
 }
 
 impl Default for LocationConfig {
@@ -162,6 +169,8 @@ impl Default for LocationConfig {
             fetch_timeout: SimDuration::from_millis(800),
             fetch_backoff_base: SimDuration::from_millis(100),
             fetch_backoff_cap: SimDuration::from_secs(2),
+            geo_degrade_after: 2,
+            geo_heal_after: 2,
         }
     }
 }
@@ -288,6 +297,9 @@ impl LocationConfig {
         }
         if self.fetch_backoff_base.is_zero() || self.fetch_backoff_cap < self.fetch_backoff_base {
             return Err("fetch backoff needs 0 < base <= cap".into());
+        }
+        if self.geo_degrade_after == 0 || self.geo_heal_after == 0 {
+            return Err("geo_degrade_after and geo_heal_after must be at least 1".into());
         }
         Ok(())
     }

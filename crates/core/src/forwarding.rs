@@ -127,6 +127,7 @@ impl Agent for ForwarderBehavior {
                                 target,
                                 node: here,
                                 stale: false,
+                                age_ms: 0,
                                 token,
                                 corr,
                             }
@@ -346,7 +347,7 @@ impl ForwardingClient {
                 node: here,
             });
             ctx.send(fw, node, msg.payload());
-            self.tracker.note_tracker(token, fw.raw());
+            self.tracker.note_tracker(token, fw.raw(), node);
         }
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
@@ -371,6 +372,7 @@ impl ForwardingClient {
                 target,
                 cause,
                 tracker,
+                tracker_node,
             } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
@@ -380,9 +382,20 @@ impl ForwardingClient {
                     cause,
                 });
                 if let Some(tracker) = tracker {
+                    let remote = tracker_node.is_some_and(|n| n != ctx.node());
                     self.registry.update_tracker(tracker, |t| match cause {
-                        GiveUpCause::Timeout => t.giveup_timeout += 1,
-                        GiveUpCause::Negative => t.giveup_negative += 1,
+                        GiveUpCause::Timeout => {
+                            t.giveup_timeout += 1;
+                            if remote {
+                                t.giveup_timeout_remote += 1;
+                            }
+                        }
+                        GiveUpCause::Negative => {
+                            t.giveup_negative += 1;
+                            if remote {
+                                t.giveup_negative_remote += 1;
+                            }
+                        }
                     });
                 }
                 ClientEvent::Failed { token, target }
@@ -453,7 +466,19 @@ impl DirectoryClient for ForwardingClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target, ctx.now());
+        self.locate_with(ctx, target, token, crate::wire::Freshness::Any);
+    }
+
+    fn locate_with(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        token: u64,
+        freshness: crate::wire::Freshness,
+    ) {
+        // A chain walk always ends at the node the target is resident on,
+        // so every answer is authoritative (age 0) and any bound holds.
+        self.tracker.start_with(token, target, ctx.now(), freshness);
         self.send_locate(ctx, target, token);
     }
 
@@ -491,6 +516,7 @@ impl DirectoryClient for ForwardingClient {
                 target,
                 node,
                 stale,
+                age_ms,
                 token,
                 ..
             } => {
@@ -502,6 +528,7 @@ impl DirectoryClient for ForwardingClient {
                         target,
                         node,
                         stale,
+                        age_ms,
                     }
                 } else {
                     ClientEvent::Consumed

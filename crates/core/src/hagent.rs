@@ -154,7 +154,7 @@ impl Agent for StandbyHAgentBehavior {
             } => {
                 // Fallback buddy duty (single-leaf tree): hold the copy.
                 self.replica_store
-                    .apply_sync(from, epoch, seq, records, rate);
+                    .apply_sync(from, epoch, seq, records, rate, ctx.now());
                 ctx.send(
                     from,
                     reply_node,
@@ -165,14 +165,15 @@ impl Agent for StandbyHAgentBehavior {
                 epoch: _,
                 reply_node,
             } => {
-                let (epoch, seq, records, rate) = match self.replica_store.get(from) {
+                let (epoch, seq, records, rate, age_ms) = match self.replica_store.get(from) {
                     Some(e) => (
                         e.epoch,
                         e.seq,
                         e.records.iter().map(|(&a, &n)| (a, n)).collect(),
                         e.rate,
+                        e.age_ms(ctx.now()),
                     ),
-                    None => (0, 0, Vec::new(), 0.0),
+                    None => (0, 0, Vec::new(), 0.0, 0),
                 };
                 ctx.send(
                     from,
@@ -182,6 +183,7 @@ impl Agent for StandbyHAgentBehavior {
                         seq,
                         records,
                         rate,
+                        age_ms,
                     }
                     .payload(),
                 );

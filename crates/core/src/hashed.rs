@@ -19,6 +19,7 @@ use agentrack_platform::{AgentCtx, AgentId, NodeId, Payload, Spawner, TimerId};
 use agentrack_sim::{CorrId, GiveUpCause, MetricsRegistry, TraceEvent};
 
 use crate::config::LocationConfig;
+use crate::geo::ReachabilityMap;
 use crate::hagent::{HAgentBehavior, StandbyHAgentBehavior};
 use crate::iagent::IAgentBehavior;
 use crate::lhagent::LHAgentBehavior;
@@ -28,7 +29,7 @@ use crate::scheme::{
     ClientEvent, ClientFactory, CopyRole, DirectoryClient, LocationScheme, SchemeStats,
     SharedSchemeStats,
 };
-use crate::wire::{HashFunction, Wire};
+use crate::wire::{Freshness, HashFunction, Wire};
 
 /// The hash-based location scheme: one HAgent, one initial IAgent, one
 /// LHAgent per node.
@@ -205,10 +206,12 @@ impl LocationScheme for HashedScheme {
         let config = self.config.clone();
         let lhagents = self.lhagents();
         let registry = self.shared.registry().clone();
+        let shared = self.shared.clone();
         Arc::new(move || {
             Box::new(
                 HashedClient::new(config.clone(), Arc::clone(&lhagents))
-                    .with_registry(registry.clone()),
+                    .with_registry(registry.clone())
+                    .with_shared(shared.clone()),
             )
         })
     }
@@ -246,12 +249,19 @@ pub struct HashedClient {
     register_watchdog: Option<TimerId>,
     tracker: LocateTracker,
     registry: MetricsRegistry,
+    /// Scheme-wide counters (hedges, bound violations) shared with the
+    /// behaviours; a detached default when the client is built directly.
+    shared: SharedSchemeStats,
+    /// Per-destination reachability, fed by locate outcomes; drives
+    /// hedging of freshness-bounded locates.
+    health: ReachabilityMap,
 }
 
 impl HashedClient {
     /// Creates a client talking to the given per-node LHAgents.
     #[must_use]
     pub fn new(config: LocationConfig, lhagents: Arc<Vec<AgentId>>) -> Self {
+        let health = ReachabilityMap::new(config.geo_degrade_after, config.geo_heal_after);
         HashedClient {
             config,
             lhagents,
@@ -260,6 +270,8 @@ impl HashedClient {
             register_watchdog: None,
             tracker: LocateTracker::new(),
             registry: MetricsRegistry::new(),
+            shared: SharedSchemeStats::new(),
+            health,
         }
     }
 
@@ -268,6 +280,14 @@ impl HashedClient {
     #[must_use]
     pub fn with_registry(mut self, registry: MetricsRegistry) -> Self {
         self.registry = registry;
+        self
+    }
+
+    /// Reports scheme-wide counters into the given shared stats (the
+    /// scheme's) instead of a detached default.
+    #[must_use]
+    pub fn with_shared(mut self, shared: SharedSchemeStats) -> Self {
+        self.shared = shared;
         self
     }
 
@@ -336,6 +356,7 @@ impl HashedClient {
                 target,
                 cause,
                 tracker,
+                tracker_node,
             } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
@@ -344,13 +365,32 @@ impl HashedClient {
                     attempts: self.config.max_locate_attempts,
                     cause,
                 });
+                // A final timeout is one more unreachability signal for
+                // that destination; a final negative proves it reachable.
+                if let Some(node) = tracker_node {
+                    match cause {
+                        GiveUpCause::Timeout => self.health.on_timeout(node),
+                        GiveUpCause::Negative => self.health.on_success(node),
+                    }
+                }
                 // Charge the give-up to the tracker the final attempt hit,
                 // split by cause (timeout = it never answered; negative =
-                // it answered NotFound/NotResponsible).
+                // it answered NotFound/NotResponsible). The remote
+                // counters tally the subset whose tracker sat on another
+                // node than the querier.
                 if let Some(tracker) = tracker {
-                    self.registry.update_tracker(tracker, |t| match cause {
-                        GiveUpCause::Timeout => t.giveup_timeout += 1,
-                        GiveUpCause::Negative => t.giveup_negative += 1,
+                    let remote = tracker_node.is_some_and(|n| n != ctx.node());
+                    self.registry.update_tracker(tracker, |t| {
+                        match cause {
+                            GiveUpCause::Timeout => t.giveup_timeout += 1,
+                            GiveUpCause::Negative => t.giveup_negative += 1,
+                        }
+                        if remote {
+                            match cause {
+                                GiveUpCause::Timeout => t.giveup_timeout_remote += 1,
+                                GiveUpCause::Negative => t.giveup_negative_remote += 1,
+                            }
+                        }
                     });
                 }
                 ClientEvent::Failed { token, target }
@@ -381,6 +421,16 @@ impl HashedClient {
                 }
                 .payload(),
             );
+        }
+    }
+
+    /// A negative answer still proves its sender's node reachable: feed
+    /// the reachability map when the sender is the op's noted tracker.
+    fn note_reachable(&mut self, from: AgentId, token: u64) {
+        if let Some((tracker, node)) = self.tracker.noted_tracker(token) {
+            if tracker == from.raw() {
+                self.health.on_success(node);
+            }
         }
     }
 
@@ -437,7 +487,17 @@ impl DirectoryClient for HashedClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target, ctx.now());
+        self.locate_with(ctx, target, token, Freshness::Any);
+    }
+
+    fn locate_with(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        token: u64,
+        freshness: Freshness,
+    ) {
+        self.tracker.start_with(token, target, ctx.now(), freshness);
         self.resolve_for_locate(ctx, target, token, false);
     }
 
@@ -467,6 +527,7 @@ impl DirectoryClient for HashedClient {
             Wire::Resolved {
                 iagent,
                 node,
+                buddy,
                 token: Some(token),
                 corr,
                 ..
@@ -474,11 +535,14 @@ impl DirectoryClient for HashedClient {
                 if let Some(target) = self.tracker.target(token) {
                     let here = ctx.node();
                     let me = ctx.self_id();
-                    self.tracker.note_tracker(token, iagent.raw());
+                    self.tracker.note_tracker(token, iagent.raw(), node);
+                    self.tracker.note_buddy(token, buddy);
+                    let freshness = self.tracker.freshness(token).unwrap_or_default();
                     let locate = Wire::Locate {
                         target,
                         token,
                         reply_node: here,
+                        freshness,
                         corr: corr.or_else(|| Some(CorrId::new(me.raw(), token))),
                     };
                     ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
@@ -489,6 +553,32 @@ impl DirectoryClient for HashedClient {
                         node: here,
                     });
                     ctx.send(iagent, node, locate.payload());
+                    // Hedge: a bounded read toward a destination that has
+                    // been timing out goes to the tracker's buddy replica
+                    // in parallel, so the answer can come from this side
+                    // of a severed link.
+                    if matches!(freshness, Freshness::BoundedMs(_))
+                        && self.health.should_hedge(node)
+                    {
+                        if let Some((b, b_node)) = buddy.filter(|&(b, _)| b != iagent) {
+                            self.shared.update(|s| s.hedged_locates += 1);
+                            let hedge = Wire::Locate {
+                                target,
+                                token,
+                                reply_node: here,
+                                freshness,
+                                corr: corr.or_else(|| Some(CorrId::new(me.raw(), token))),
+                            };
+                            ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
+                                kind: hedge.kind(),
+                                corr: hedge.corr(),
+                                from: me.raw(),
+                                to: b.raw(),
+                                node: here,
+                            });
+                            ctx.send(b, b_node, hedge.payload());
+                        }
+                    }
                 }
                 ClientEvent::Consumed
             }
@@ -536,10 +626,27 @@ impl DirectoryClient for HashedClient {
                 target,
                 node,
                 stale,
+                age_ms,
                 token,
                 ..
             } => {
+                let declared = self.tracker.freshness(token);
+                let noted = self.tracker.noted_tracker(token);
                 if let Some(started) = self.tracker.complete(token) {
+                    // An answer from the tracker itself is a reachability
+                    // signal for its node (a hedged buddy answering for
+                    // it is not).
+                    if let Some((tracker, t_node)) = noted {
+                        if tracker == _from.raw() {
+                            self.health.on_success(t_node);
+                        }
+                    }
+                    // Audit the contract this PR introduces: no answer
+                    // may exceed the bound its locate declared. The
+                    // invariant checker requires this count to stay 0.
+                    if declared.is_some_and(|f| !f.admits(age_ms)) {
+                        self.shared.update(|s| s.bound_violations += 1);
+                    }
                     self.registry
                         .record_locate(ctx.now().saturating_since(started));
                     ClientEvent::Located {
@@ -547,6 +654,7 @@ impl DirectoryClient for HashedClient {
                         target,
                         node,
                         stale,
+                        age_ms,
                     }
                 } else {
                     ClientEvent::Consumed
@@ -568,10 +676,36 @@ impl DirectoryClient for HashedClient {
                 ClientEvent::Consumed
             }
             Wire::MailDrop { from, data } => ClientEvent::Mail { from, data },
-            Wire::NotFound { token, .. } => self.retry_locate(ctx, token),
+            Wire::NotFound { token, .. } => {
+                self.note_reachable(_from, token);
+                // A negative from anyone but the op's noted tracker is a
+                // hedged buddy (or a stale straggler) saying "I don't
+                // know" — not authoritative, so it must not burn the
+                // primary attempt's retry budget.
+                if self
+                    .tracker
+                    .noted_tracker(token)
+                    .is_some_and(|(t, _)| t != _from.raw())
+                {
+                    ClientEvent::Consumed
+                } else {
+                    self.retry_locate(ctx, token)
+                }
+            }
             Wire::NotResponsible {
                 token: Some(token), ..
-            } => self.retry_locate(ctx, token),
+            } => {
+                self.note_reachable(_from, token);
+                if self
+                    .tracker
+                    .noted_tracker(token)
+                    .is_some_and(|(t, _)| t != _from.raw())
+                {
+                    ClientEvent::Consumed
+                } else {
+                    self.retry_locate(ctx, token)
+                }
+            }
             Wire::NotResponsible {
                 about, token: None, ..
             } => {
@@ -631,7 +765,17 @@ impl DirectoryClient for HashedClient {
             .tracker
             .on_timer(timer, self.config.max_locate_attempts)
         {
-            Some(decision) => self.act(ctx, decision),
+            Some(decision) => {
+                // A live timer firing means the attempt got no answer:
+                // one unreachability signal against the tracker it was
+                // sent to. (The give-up case feeds the map inside `act`.)
+                if let Retry::Again { token, .. } = decision {
+                    if let Some((_, node)) = self.tracker.noted_tracker(token) {
+                        self.health.on_timeout(node);
+                    }
+                }
+                self.act(ctx, decision)
+            }
             None => ClientEvent::NotMine,
         }
     }

@@ -205,6 +205,7 @@ impl HomeRegistryClient {
                 token,
                 reply_node: here,
                 corr: Some(CorrId::new(me.raw(), token)),
+                freshness: self.tracker.freshness(token).unwrap_or_default(),
             };
             ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
                 kind: msg.kind(),
@@ -214,7 +215,7 @@ impl HomeRegistryClient {
                 node: here,
             });
             ctx.send(registry, node, msg.payload());
-            self.tracker.note_tracker(token, registry.raw());
+            self.tracker.note_tracker(token, registry.raw(), node);
         }
         self.tracker
             .arm_timer(ctx, self.config.locate_retry_timeout, token);
@@ -239,6 +240,7 @@ impl HomeRegistryClient {
                 target,
                 cause,
                 tracker,
+                tracker_node,
             } => {
                 ctx.trace().emit(ctx.now(), || TraceEvent::RetryGiveUp {
                     corr: Some(CorrId::new(me.raw(), token)),
@@ -248,9 +250,20 @@ impl HomeRegistryClient {
                     cause,
                 });
                 if let Some(tracker) = tracker {
+                    let remote = tracker_node.is_some_and(|n| n != ctx.node());
                     self.registry.update_tracker(tracker, |t| match cause {
-                        GiveUpCause::Timeout => t.giveup_timeout += 1,
-                        GiveUpCause::Negative => t.giveup_negative += 1,
+                        GiveUpCause::Timeout => {
+                            t.giveup_timeout += 1;
+                            if remote {
+                                t.giveup_timeout_remote += 1;
+                            }
+                        }
+                        GiveUpCause::Negative => {
+                            t.giveup_negative += 1;
+                            if remote {
+                                t.giveup_negative_remote += 1;
+                            }
+                        }
                     });
                 }
                 ClientEvent::Failed { token, target }
@@ -309,7 +322,17 @@ impl DirectoryClient for HomeRegistryClient {
     }
 
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64) {
-        self.tracker.start(token, target, ctx.now());
+        self.locate_with(ctx, target, token, crate::wire::Freshness::Any);
+    }
+
+    fn locate_with(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        token: u64,
+        freshness: crate::wire::Freshness,
+    ) {
+        self.tracker.start_with(token, target, ctx.now(), freshness);
         self.send_locate(ctx, target, token);
     }
 
@@ -347,6 +370,7 @@ impl DirectoryClient for HomeRegistryClient {
                 target,
                 node,
                 stale,
+                age_ms,
                 token,
                 ..
             } => {
@@ -358,6 +382,7 @@ impl DirectoryClient for HomeRegistryClient {
                         target,
                         node,
                         stale,
+                        age_ms,
                     }
                 } else {
                     ClientEvent::Consumed

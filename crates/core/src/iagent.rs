@@ -29,7 +29,7 @@ use crate::mailbox::{Mailbox, MAIL_MAX_HOPS};
 use crate::replica::{replica_usable, RecoveryPhase, RecoveryState, ReplicaStore, Replicator};
 use crate::scheme::{CopyRole, SharedSchemeStats};
 use crate::stats::LoadStats;
-use crate::wire::{DenyReason, HashFunction, Wire};
+use crate::wire::{DenyReason, Freshness, HashFunction, Wire};
 
 #[derive(Debug, Clone)]
 struct PendingLocate {
@@ -37,6 +37,7 @@ struct PendingLocate {
     requester: AgentId,
     reply_node: NodeId,
     token: u64,
+    freshness: Freshness,
     corr: Option<CorrId>,
     deadline: SimTime,
 }
@@ -113,6 +114,11 @@ pub struct IAgentBehavior {
     /// Recovered-but-unconfirmed records, answered with `stale: true`
     /// until a fresh `Register`/`Update` reconfirms them.
     stale_records: BTreeSet<AgentId>,
+    /// When the stale records were resurrected from the replica, and how
+    /// old that replica already was — together they give every stale
+    /// answer its age for freshness-bounded reads.
+    stale_recovered_at: SimTime,
+    stale_base_age_ms: u64,
     /// Tombstones for deregistered agents, keyed by when the deregister
     /// arrived. A dying agent's last `Update` can still be in flight when
     /// its `Deregister` is processed; without the tombstone that straggler
@@ -191,6 +197,8 @@ impl IAgentBehavior {
             replicator: Replicator::default(),
             replica_store: ReplicaStore::default(),
             stale_records: BTreeSet::new(),
+            stale_recovered_at: SimTime::ZERO,
+            stale_base_age_ms: 0,
             departed: BTreeMap::new(),
             recovery: None,
         }
@@ -529,11 +537,31 @@ impl IAgentBehavior {
         }
     }
 
-    /// Serves buffered locates whose records arrived.
+    /// Age in milliseconds of this tracker's record for `target`: 0 for a
+    /// confirmed (authoritative) record, replica age plus time since
+    /// resurrection for a recovered-but-unconfirmed one.
+    fn record_age_ms(&self, target: AgentId, now: SimTime) -> u64 {
+        if !self.stale_records.contains(&target) {
+            return 0;
+        }
+        let since = now.saturating_since(self.stale_recovered_at);
+        self.stale_base_age_ms + since.as_millis_f64().ceil() as u64
+    }
+
+    /// Serves buffered locates whose records arrived. A pending locate
+    /// whose freshness bound the record still fails (a `Fresh` read
+    /// against a yet-unconfirmed recovery record, say) keeps waiting for
+    /// reconfirmation until its deadline.
     fn flush_pending(&mut self, ctx: &mut AgentCtx<'_>) {
         let mut still = Vec::new();
         for p in std::mem::take(&mut self.pending) {
-            if let Some(&node) = self.records.get(&p.target) {
+            let admitted = self
+                .records
+                .contains_key(&p.target)
+                .then(|| self.record_age_ms(p.target, ctx.now()))
+                .is_some_and(|age| p.freshness.admits(age));
+            if admitted {
+                let node = self.records[&p.target];
                 self.shared.update(|s| s.pending_served += 1);
                 self.answer_located(
                     ctx,
@@ -563,7 +591,9 @@ impl IAgentBehavior {
     }
 
     /// Answers a locate positively, tagging the answer `stale` when the
-    /// record is a recovered-but-unconfirmed one (degraded mode).
+    /// record is a recovered-but-unconfirmed one (degraded mode). Callers
+    /// must have checked the locate's freshness bound against
+    /// [`Self::record_age_ms`] first.
     #[allow(clippy::too_many_arguments)]
     fn answer_located(
         &mut self,
@@ -576,6 +606,7 @@ impl IAgentBehavior {
         corr: Option<CorrId>,
     ) {
         let stale = self.stale_records.contains(&target);
+        let age_ms = self.record_age_ms(target, ctx.now());
         if stale {
             let me = ctx.self_id().raw();
             self.shared.update(|s| s.stale_answers += 1);
@@ -592,6 +623,7 @@ impl IAgentBehavior {
                 target,
                 node,
                 stale,
+                age_ms,
                 token,
                 corr,
             },
@@ -1062,44 +1094,99 @@ impl IAgentBehavior {
                 target,
                 token,
                 reply_node,
+                freshness,
                 corr,
             } => {
                 self.requests_seen += 1;
                 self.stats.record(ctx.now(), target);
                 self.note_origin(reply_node);
                 if self.installed && self.is_mine(ctx, target) {
-                    if let Some(&node) = self.records.get(&target) {
-                        self.answer_located(ctx, from, reply_node, target, node, token, corr);
-                    } else {
-                        // Possibly a handoff in flight: buffer briefly.
-                        // While recovering, hold until recovery ends — a
-                        // late degraded answer beats a premature NotFound.
-                        let normal = ctx.now() + self.config.pending_timeout;
-                        let deadline = match &self.recovery {
-                            Some(rec) => normal.max(rec.started + self.config.recovery_timeout),
-                            None => normal,
-                        };
-                        self.pending.push(PendingLocate {
-                            target,
-                            requester: from,
-                            reply_node,
-                            token,
-                            corr,
-                            deadline,
-                        });
+                    let age = self
+                        .records
+                        .contains_key(&target)
+                        .then(|| self.record_age_ms(target, ctx.now()));
+                    match age {
+                        Some(age) if freshness.admits(age) => {
+                            let node = self.records[&target];
+                            self.answer_located(ctx, from, reply_node, target, node, token, corr);
+                        }
+                        too_old_or_missing => {
+                            // Missing: possibly a handoff in flight —
+                            // buffer briefly. Too old for the declared
+                            // bound: wait for a reconfirming update
+                            // instead of breaking the bound. While
+                            // recovering, hold until recovery ends — a
+                            // late degraded answer beats a premature
+                            // NotFound.
+                            if too_old_or_missing.is_some() {
+                                self.shared.update(|s| s.freshness_refusals += 1);
+                            }
+                            let normal = ctx.now() + self.config.pending_timeout;
+                            let deadline = match &self.recovery {
+                                Some(rec) => normal.max(rec.started + self.config.recovery_timeout),
+                                None => normal,
+                            };
+                            self.pending.push(PendingLocate {
+                                target,
+                                requester: from,
+                                reply_node,
+                                token,
+                                freshness,
+                                corr,
+                                deadline,
+                            });
+                        }
                     }
                 } else {
-                    self.shared.update(|s| s.stale_hits += 1);
-                    self.send_traced(
-                        ctx,
-                        from,
-                        reply_node,
-                        &Wire::NotResponsible {
-                            about: target,
-                            token: Some(token),
-                            corr,
-                        },
-                    );
+                    // Freshness-bounded reads may be served from a buddy
+                    // replica held here: under a severed inter-region
+                    // link this is what keeps bounded locates local.
+                    // Plain (`Any`) locates keep the seed behaviour — a
+                    // NotResponsible bounce drives the querier's
+                    // hash-function refresh — and `Fresh` means
+                    // authoritative only, so neither consults replicas.
+                    let mut replied = false;
+                    if matches!(freshness, Freshness::BoundedMs(_)) {
+                        if let Some((node, age)) = self.replica_store.find(target, ctx.now()) {
+                            if freshness.admits(age) {
+                                let me = ctx.self_id().raw();
+                                self.shared.update(|s| s.replica_answers += 1);
+                                ctx.trace().emit(ctx.now(), || TraceEvent::StaleAnswer {
+                                    tracker: me,
+                                    target: target.raw(),
+                                });
+                                self.send_traced(
+                                    ctx,
+                                    from,
+                                    reply_node,
+                                    &Wire::Located {
+                                        target,
+                                        node,
+                                        stale: true,
+                                        age_ms: age,
+                                        token,
+                                        corr,
+                                    },
+                                );
+                                replied = true;
+                            } else {
+                                self.shared.update(|s| s.freshness_refusals += 1);
+                            }
+                        }
+                    }
+                    if !replied {
+                        self.shared.update(|s| s.stale_hits += 1);
+                        self.send_traced(
+                            ctx,
+                            from,
+                            reply_node,
+                            &Wire::NotResponsible {
+                                about: target,
+                                token: Some(token),
+                                corr,
+                            },
+                        );
+                    }
                 }
                 self.maybe_request_split(ctx);
             }
@@ -1229,7 +1316,7 @@ impl IAgentBehavior {
                 // its own store — it is not ownership and must not leak
                 // into `records` or the records_held gauge.
                 self.replica_store
-                    .apply_sync(from, epoch, seq, records, rate);
+                    .apply_sync(from, epoch, seq, records, rate, ctx.now());
                 ctx.send(
                     from,
                     reply_node,
@@ -1245,14 +1332,15 @@ impl IAgentBehavior {
             } => {
                 // Serve whatever we hold for the puller, stamped as
                 // written; the puller fences against its fresh epoch.
-                let (epoch, seq, records, rate) = match self.replica_store.get(from) {
+                let (epoch, seq, records, rate, age_ms) = match self.replica_store.get(from) {
                     Some(e) => (
                         e.epoch,
                         e.seq,
                         e.records.iter().map(|(&a, &n)| (a, n)).collect(),
                         e.rate,
+                        e.age_ms(ctx.now()),
                     ),
-                    None => (0, 0, Vec::new(), 0.0),
+                    None => (0, 0, Vec::new(), 0.0, 0),
                 };
                 ctx.send(
                     from,
@@ -1262,6 +1350,7 @@ impl IAgentBehavior {
                         seq,
                         records,
                         rate,
+                        age_ms,
                     }
                     .payload(),
                 );
@@ -1299,6 +1388,7 @@ impl IAgentBehavior {
                 seq: _,
                 records,
                 rate: _,
+                age_ms,
             } => {
                 if !matches!(
                     self.recovery.as_ref().map(|r| r.phase),
@@ -1327,6 +1417,14 @@ impl IAgentBehavior {
                             ctx.send(agent, node, Wire::SolicitReregister.payload());
                         }
                     }
+                }
+                if recovered > 0 {
+                    // Resurrected records inherit the replica's age as
+                    // their staleness base; bounded reads see the whole
+                    // authoritative-to-replica gap, not just the time
+                    // since resurrection.
+                    self.stale_recovered_at = ctx.now();
+                    self.stale_base_age_ms = age_ms;
                 }
                 if let Some(rec) = &mut self.recovery {
                     rec.phase = RecoveryPhase::Converging;

@@ -117,6 +117,10 @@ impl LHAgentBehavior {
         corr: Option<CorrId>,
     ) {
         let (iagent, node) = self.hf.resolve(target);
+        // The responsible tracker's buddy replica rides along so clients
+        // can hedge freshness-bounded locates cross-region when the
+        // tracker itself looks unreachable.
+        let buddy = self.hf.buddy_of(iagent);
         let here = ctx.node();
         let me = ctx.self_id();
         ctx.trace().emit(ctx.now(), || TraceEvent::MessageSend {
@@ -133,6 +137,7 @@ impl LHAgentBehavior {
                 target,
                 iagent,
                 node,
+                buddy,
                 version: self.hf.version,
                 token,
                 corr,

@@ -40,6 +40,7 @@
 mod centralized;
 mod config;
 mod forwarding;
+mod geo;
 mod hagent;
 mod hashed;
 mod home;
@@ -56,6 +57,7 @@ mod wire;
 pub use centralized::{CentralBehavior, CentralizedClient, CentralizedScheme};
 pub use config::LocationConfig;
 pub use forwarding::{ForwarderBehavior, ForwardingClient, ForwardingScheme};
+pub use geo::{ReachabilityMap, RegionState};
 pub use hagent::{HAgentBehavior, StandbyHAgentBehavior};
 pub use hashed::{HashedClient, HashedScheme};
 pub use home::{HomeRegistryBehavior, HomeRegistryClient, HomeRegistryScheme};
@@ -72,4 +74,4 @@ pub use scheme::{
     SharedSchemeStats,
 };
 pub use stats::LoadStats;
-pub use wire::{key_of, DenyReason, HashFunction, Wire};
+pub use wire::{key_of, DenyReason, Freshness, HashFunction, Wire};

@@ -124,6 +124,19 @@ pub struct ReplicaEntry {
     pub records: BTreeMap<AgentId, NodeId>,
     /// The owner's replicated rate estimate (messages/second).
     pub rate: f64,
+    /// When the last batch was applied — the age stamp freshness-bounded
+    /// reads check before answering from this copy.
+    pub synced_at: SimTime,
+}
+
+impl ReplicaEntry {
+    /// Age of this copy at `now`, in whole milliseconds (rounded up, so
+    /// a bound is never undershot by sub-millisecond truncation).
+    #[must_use]
+    pub fn age_ms(&self, now: SimTime) -> u64 {
+        let age = now.saturating_since(self.synced_at);
+        age.as_millis_f64().ceil() as u64
+    }
 }
 
 /// The replica copies a tracker holds for its buddies.
@@ -139,7 +152,8 @@ pub struct ReplicaStore {
 impl ReplicaStore {
     /// Applies a `RecordSync` batch from `owner`. Full-snapshot
     /// semantics: the copy is replaced when the batch's `(epoch, seq)` is
-    /// not older than the stored stamp; stale batches are ignored.
+    /// not older than the stored stamp; stale batches are ignored. `now`
+    /// stamps the copy's age for freshness-bounded reads.
     /// Returns `true` when the batch was applied.
     pub fn apply_sync(
         &mut self,
@@ -148,6 +162,7 @@ impl ReplicaStore {
         seq: u64,
         records: Vec<(AgentId, NodeId)>,
         rate: f64,
+        now: SimTime,
     ) -> bool {
         if let Some(existing) = self.entries.get(&owner) {
             if (epoch, seq) < (existing.epoch, existing.seq) {
@@ -161,6 +176,7 @@ impl ReplicaStore {
                 seq,
                 records: records.into_iter().collect(),
                 rate,
+                synced_at: now,
             },
         );
         true
@@ -170,6 +186,24 @@ impl ReplicaStore {
     #[must_use]
     pub fn get(&self, owner: AgentId) -> Option<&ReplicaEntry> {
         self.entries.get(&owner)
+    }
+
+    /// Looks `target` up across every held replica, for freshness-bounded
+    /// local reads: the last replicated node and the copy's age at `now`.
+    /// Owners are scanned in raw-id order so concurrent copies (which
+    /// cannot both own the key under single ownership) resolve
+    /// deterministically.
+    #[must_use]
+    pub fn find(&self, target: AgentId, now: SimTime) -> Option<(NodeId, u64)> {
+        let mut owners: Vec<&AgentId> = self.entries.keys().collect();
+        owners.sort_unstable_by_key(|o| o.raw());
+        for owner in owners {
+            let entry = &self.entries[owner];
+            if let Some(&node) = entry.records.get(&target) {
+                return Some((node, entry.age_ms(now)));
+            }
+        }
+        None
     }
 
     /// Drops the replica held for `owner` (it pulled its records back, or
@@ -307,15 +341,21 @@ mod tests {
         let mut store = ReplicaStore::default();
         let owner = AgentId::new(4);
         let rec = |n: u64| vec![(AgentId::new(100), NodeId::new(n as u32))];
-        assert!(store.apply_sync(owner, 1, 5, rec(1), 2.0));
-        assert!(!store.apply_sync(owner, 1, 4, rec(2), 2.0), "older seq");
-        assert!(!store.apply_sync(owner, 0, 9, rec(3), 2.0), "older epoch");
+        assert!(store.apply_sync(owner, 1, 5, rec(1), 2.0, t(10)));
         assert!(
-            store.apply_sync(owner, 1, 5, rec(4), 2.0),
+            !store.apply_sync(owner, 1, 4, rec(2), 2.0, t(20)),
+            "older seq"
+        );
+        assert!(
+            !store.apply_sync(owner, 0, 9, rec(3), 2.0, t(30)),
+            "older epoch"
+        );
+        assert!(
+            store.apply_sync(owner, 1, 5, rec(4), 2.0, t(40)),
             "same stamp re-applies"
         );
         assert!(
-            store.apply_sync(owner, 2, 1, rec(5), 2.0),
+            store.apply_sync(owner, 2, 1, rec(5), 2.0, t(50)),
             "newer epoch wins"
         );
         assert_eq!(
@@ -325,6 +365,30 @@ mod tests {
         assert_eq!(store.len(), 1);
         store.remove(owner);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn replica_age_tracks_the_last_applied_sync() {
+        let mut store = ReplicaStore::default();
+        let owner = AgentId::new(4);
+        assert!(store.apply_sync(
+            owner,
+            1,
+            1,
+            vec![(AgentId::new(7), NodeId::new(2))],
+            1.0,
+            t(100)
+        ));
+        let entry = store.get(owner).unwrap();
+        assert_eq!(entry.synced_at, t(100));
+        assert_eq!(entry.age_ms(t(100)), 0);
+        assert_eq!(entry.age_ms(t(350)), 250);
+        // A rejected (stale) batch leaves the stamp untouched.
+        let _ = store.apply_sync(owner, 0, 0, vec![], 1.0, t(400));
+        assert_eq!(store.get(owner).unwrap().synced_at, t(100));
+        // A newer batch refreshes it.
+        assert!(store.apply_sync(owner, 1, 2, vec![], 1.0, t(500)));
+        assert_eq!(store.get(owner).unwrap().age_ms(t(600)), 100);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 
 use std::collections::HashMap;
 
-use agentrack_platform::{AgentCtx, AgentId, TimerId};
+use agentrack_platform::{AgentCtx, AgentId, NodeId, TimerId};
 use agentrack_sim::{GiveUpCause, SimDuration, SimTime};
+
+use crate::wire::Freshness;
 
 /// What the caller should do about a locate after an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +40,10 @@ pub enum Retry {
         /// [`LocateTracker::note_tracker`]); lets the caller charge the
         /// give-up to the per-tracker metrics row of the failing tracker.
         tracker: Option<u64>,
+        /// That tracker's node, when known — the caller compares it with
+        /// its own node/region to charge the give-up to the remote or
+        /// local counter.
+        tracker_node: Option<NodeId>,
     },
     /// Nothing to do (operation already finished, or stale timer).
     Nothing,
@@ -50,6 +56,14 @@ struct Op {
     started: SimTime,
     /// Raw id of the tracker the current attempt was sent to, if known.
     tracker: Option<u64>,
+    /// That tracker's node, if known.
+    tracker_node: Option<NodeId>,
+    /// The tracker's buddy replica (from the resolve), if known — the
+    /// hedge destination for freshness-bounded locates.
+    buddy: Option<(AgentId, NodeId)>,
+    /// The freshness requirement the locate was issued with; retries
+    /// re-send the same bound.
+    freshness: Freshness,
 }
 
 /// Tracks in-flight locate operations and their retry budgets.
@@ -67,8 +81,16 @@ impl LocateTracker {
         Self::default()
     }
 
-    /// Begins tracking a locate (attempt 1) issued at `now`.
+    /// Begins tracking a locate (attempt 1) issued at `now`, with no
+    /// freshness requirement ([`Freshness::Any`]).
     pub fn start(&mut self, token: u64, target: AgentId, now: SimTime) {
+        self.start_with(token, target, now, Freshness::Any);
+    }
+
+    /// Begins tracking a locate (attempt 1) issued at `now` under the
+    /// given freshness requirement; every retry of the operation carries
+    /// the same bound.
+    pub fn start_with(&mut self, token: u64, target: AgentId, now: SimTime, freshness: Freshness) {
         self.ops.insert(
             token,
             Op {
@@ -76,16 +98,43 @@ impl LocateTracker {
                 attempts: 1,
                 started: now,
                 tracker: None,
+                tracker_node: None,
+                buddy: None,
+                freshness,
             },
         );
     }
 
-    /// Records which tracker the current attempt of `token` was sent to,
-    /// so a give-up can be charged to that tracker's metrics.
-    pub fn note_tracker(&mut self, token: u64, tracker: u64) {
+    /// Records which tracker (and its node) the current attempt of
+    /// `token` was sent to, so a give-up can be charged to that tracker's
+    /// metrics and split by remote-vs-local destination.
+    pub fn note_tracker(&mut self, token: u64, tracker: u64, node: NodeId) {
         if let Some(op) = self.ops.get_mut(&token) {
             op.tracker = Some(tracker);
+            op.tracker_node = Some(node);
         }
+    }
+
+    /// Records the current tracker's buddy replica for `token`, the hedge
+    /// destination for freshness-bounded locates.
+    pub fn note_buddy(&mut self, token: u64, buddy: Option<(AgentId, NodeId)>) {
+        if let Some(op) = self.ops.get_mut(&token) {
+            op.buddy = buddy;
+        }
+    }
+
+    /// The tracker (raw id and node) the current attempt of `token` was
+    /// sent to, when both were noted.
+    #[must_use]
+    pub fn noted_tracker(&self, token: u64) -> Option<(u64, NodeId)> {
+        let op = self.ops.get(&token)?;
+        Some((op.tracker?, op.tracker_node?))
+    }
+
+    /// The current tracker's buddy replica for `token`, if known.
+    #[must_use]
+    pub fn buddy(&self, token: u64) -> Option<(AgentId, NodeId)> {
+        self.ops.get(&token).and_then(|op| op.buddy)
     }
 
     /// Arms the timeout guarding the current attempt of `token`.
@@ -126,12 +175,14 @@ impl LocateTracker {
         if op.attempts > max_attempts {
             let target = op.target;
             let tracker = op.tracker;
+            let tracker_node = op.tracker_node;
             self.ops.remove(&token);
             Retry::GiveUp {
                 token,
                 target,
                 cause,
                 tracker,
+                tracker_node,
             }
         } else {
             Retry::Again {
@@ -161,6 +212,13 @@ impl LocateTracker {
         self.ops.get(&token).map(|op| op.attempts)
     }
 
+    /// The freshness requirement an in-flight locate was issued with, if
+    /// still tracked; retries must re-send this bound verbatim.
+    #[must_use]
+    pub fn freshness(&self, token: u64) -> Option<Freshness> {
+        self.ops.get(&token).map(|op| op.freshness)
+    }
+
     /// Number of in-flight locates.
     #[must_use]
     pub fn in_flight(&self) -> usize {
@@ -175,8 +233,9 @@ mod tests {
     #[test]
     fn negative_answers_consume_the_budget() {
         let mut t = LocateTracker::new();
-        t.start(1, AgentId::new(9), SimTime::ZERO);
-        t.note_tracker(1, 42);
+        t.start_with(1, AgentId::new(9), SimTime::ZERO, Freshness::BoundedMs(500));
+        t.note_tracker(1, 42, NodeId::new(3));
+        assert_eq!(t.freshness(1), Some(Freshness::BoundedMs(500)));
         assert_eq!(
             t.on_negative(1, 3),
             Retry::Again {
@@ -198,6 +257,7 @@ mod tests {
                 target: AgentId::new(9),
                 cause: GiveUpCause::Negative,
                 tracker: Some(42),
+                tracker_node: Some(NodeId::new(3)),
             }
         );
         assert_eq!(t.on_negative(1, 3), Retry::Nothing);

@@ -32,10 +32,14 @@ pub enum ClientEvent {
         target: AgentId,
         /// Its reported node.
         node: NodeId,
-        /// `true` when the answer came from a recovering tracker's
-        /// replica-restored record (degraded mode): treat `node` as a
+        /// `true` when the answer came from a replica or
+        /// recovery-restored record (degraded mode): treat `node` as a
         /// best-effort hint that may lag the target's true location.
         stale: bool,
+        /// Age of the answering record in milliseconds (0 for an
+        /// authoritative answer). Guaranteed to fit the freshness bound
+        /// the locate declared.
+        age_ms: u64,
     },
     /// A locate gave up (retry budget exhausted or target unknown).
     Failed {
@@ -80,6 +84,23 @@ pub trait DirectoryClient: Send {
     /// Starts locating `target`; the outcome arrives later as
     /// [`ClientEvent::Located`] or [`ClientEvent::Failed`] carrying `token`.
     fn locate(&mut self, ctx: &mut AgentCtx<'_>, target: AgentId, token: u64);
+
+    /// Like [`locate`](DirectoryClient::locate), but the query declares
+    /// how fresh the answer must be. The default ignores the requirement
+    /// and behaves like a plain locate ([`crate::Freshness::Any`]) —
+    /// correct for schemes without replicated records, where every
+    /// answer is authoritative; the hashed scheme overrides it to thread
+    /// the bound through the wire.
+    fn locate_with(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        target: AgentId,
+        token: u64,
+        freshness: crate::Freshness,
+    ) {
+        let _ = freshness;
+        self.locate(ctx, target, token);
+    }
 
     /// Offers an incoming message to the client.
     fn on_message(
@@ -223,6 +244,20 @@ pub struct SchemeStats {
     /// Locate answers served from recovered-but-unconfirmed records
     /// (tagged `stale: true`).
     pub stale_answers: u64,
+    /// Locate answers served locally from a buddy's replica copy by a
+    /// tracker that is *not* responsible for the target — the
+    /// freshness-bounded partition-tolerant read path.
+    pub replica_answers: u64,
+    /// Locates a tracker declined to answer because every record it had
+    /// (live, recovery, or replica) was older than the query's declared
+    /// freshness bound.
+    pub freshness_refusals: u64,
+    /// Cross-region hedged locates launched by clients whose home
+    /// region's tracker looked unreachable.
+    pub hedged_locates: u64,
+    /// Answers whose reported age exceeded the query's declared bound —
+    /// a protocol violation; the invariant audit requires this to stay 0.
+    pub bound_violations: u64,
 }
 
 /// Shared mutable scheme statistics: behaviours hold clones of this handle.

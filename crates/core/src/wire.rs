@@ -265,6 +265,76 @@ pub enum DenyReason {
     NoPlan,
 }
 
+/// How fresh a locate answer must be — the per-query read mode of the
+/// geo-distributed extension.
+///
+/// A locate declares the staleness it tolerates; trackers answer from a
+/// record only when the record's age fits. The responsible IAgent's live
+/// record is authoritative (age 0) and satisfies every mode; recovery
+/// records and buddy-replica copies carry an age stamp and satisfy only
+/// the modes that admit it. This promotes PR 5's recovery-only
+/// `Located{stale}` into a first-class read mode: under a severed
+/// inter-region link a [`Freshness::BoundedMs`] locate can be answered
+/// locally from a replica within its bound, while a [`Freshness::Fresh`]
+/// locate must wait for the authoritative region.
+///
+/// # Examples
+///
+/// ```
+/// use agentrack_core::Freshness;
+///
+/// assert!(Freshness::Fresh.admits(0));
+/// assert!(!Freshness::Fresh.admits(1));
+/// assert!(Freshness::BoundedMs(500).admits(500));
+/// assert!(!Freshness::BoundedMs(500).admits(501));
+/// assert!(Freshness::Any.admits(u64::MAX));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Freshness {
+    /// Only an authoritative answer qualifies: the responsible tracker's
+    /// live record. Replica and recovery copies never satisfy it.
+    Fresh,
+    /// Any record at most this many milliseconds old qualifies —
+    /// including a buddy replica's copy when the owner is unreachable.
+    BoundedMs(u64),
+    /// Anything, however old: the pre-geo behaviour (recovering trackers
+    /// answer from unreconfirmed replica records of unbounded age).
+    Any,
+}
+
+impl Freshness {
+    /// `true` when a record `age_ms` milliseconds old satisfies this
+    /// requirement. Monotone in the bound: an age admitted under
+    /// `BoundedMs(a)` is admitted under every `BoundedMs(b)` with
+    /// `b >= a`, and under `Any`.
+    #[must_use]
+    pub fn admits(&self, age_ms: u64) -> bool {
+        match self {
+            Freshness::Fresh => age_ms == 0,
+            Freshness::BoundedMs(bound) => age_ms <= *bound,
+            Freshness::Any => true,
+        }
+    }
+
+    /// The mode's bound in milliseconds: 0 for `Fresh`, `None` for `Any`.
+    #[must_use]
+    pub fn bound_ms(&self) -> Option<u64> {
+        match self {
+            Freshness::Fresh => Some(0),
+            Freshness::BoundedMs(bound) => Some(*bound),
+            Freshness::Any => None,
+        }
+    }
+}
+
+impl Default for Freshness {
+    /// `Any`: the paper's single-LAN behaviour, where staleness is only
+    /// the transient kind LHAgents repair lazily.
+    fn default() -> Self {
+        Freshness::Any
+    }
+}
+
 /// Every message any location scheme sends.
 ///
 /// `token` fields correlate asynchronous replies with the requests that
@@ -303,6 +373,11 @@ pub enum Wire {
         iagent: AgentId,
         /// Node that IAgent lives on.
         node: NodeId,
+        /// The responsible IAgent's buddy replica (sibling leaf or
+        /// standby), when one exists under this copy of the tree. Clients
+        /// hedge freshness-bounded locates to it when the responsible
+        /// tracker's region looks unreachable.
+        buddy: Option<(AgentId, NodeId)>,
         /// Hash-function version this answer came from.
         version: u64,
         /// Correlation token.
@@ -353,6 +428,9 @@ pub enum Wire {
         token: u64,
         /// Node the querier wants the answer sent to.
         reply_node: NodeId,
+        /// How fresh the answer must be; trackers refuse to answer from
+        /// records older than the declared bound.
+        freshness: Freshness,
         /// End-to-end id of this locate.
         corr: Option<CorrId>,
     },
@@ -362,11 +440,16 @@ pub enum Wire {
         target: AgentId,
         /// Its (last reported) node.
         node: NodeId,
-        /// `true` when the answer comes from a recovering tracker's
-        /// replica copy and has not been reconfirmed: the node is the
-        /// agent's last replicated location and may be outdated. Clients
-        /// treat it like a forwarding hint rather than ground truth.
+        /// `true` when the answer comes from a replica or recovery copy
+        /// that has not been reconfirmed: the node is the agent's last
+        /// replicated location and may be outdated. Clients treat it
+        /// like a forwarding hint rather than ground truth.
         stale: bool,
+        /// Age of the answering record in milliseconds: 0 for an
+        /// authoritative answer, time since the last replica sync for a
+        /// replica/recovery answer. Never exceeds the locate's declared
+        /// freshness bound.
+        age_ms: u64,
         /// Correlation token.
         token: u64,
         /// End-to-end id, echoed from the locate.
@@ -497,6 +580,11 @@ pub enum Wire {
         records: Vec<(AgentId, NodeId)>,
         /// The replicated rate estimate (messages/second).
         rate: f64,
+        /// Age of the replica at serve time (milliseconds since the last
+        /// sync landed at the buddy). Recovered records inherit this as
+        /// their staleness base, so freshness-bounded answers account for
+        /// the whole authoritative-to-replica gap.
+        age_ms: u64,
     },
     /// A recovering IAgent asks an agent (at its last replicated node) to
     /// re-register, reconfirming a possibly-stale recovered record.
@@ -671,6 +759,7 @@ mod tests {
                 target: AgentId::new(2),
                 token: 4,
                 reply_node: NodeId::new(1),
+                freshness: Freshness::BoundedMs(750),
                 corr: None,
             },
             Wire::InstallHashFn {
@@ -687,6 +776,7 @@ mod tests {
                 target: AgentId::new(7),
                 node: NodeId::new(3),
                 stale: true,
+                age_ms: 1250,
                 token: 12,
                 corr: None,
             },
@@ -719,6 +809,7 @@ mod tests {
                 seq: 17,
                 records: vec![(AgentId::new(5), NodeId::new(2))],
                 rate: 4.25,
+                age_ms: 800,
             },
             Wire::SolicitReregister,
         ];

@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use agentrack_core::{
-    key_of, DenyReason, HAgentBehavior, HashFunction, IAgentBehavior, LHAgentBehavior,
+    key_of, DenyReason, Freshness, HAgentBehavior, HashFunction, IAgentBehavior, LHAgentBehavior,
     LocationConfig, SharedSchemeStats, Wire,
 };
 use agentrack_hashtree::IAgentId;
@@ -268,6 +268,7 @@ fn iagent_register_then_locate_round_trip() {
             token: 3,
             reply_node: h.puppet_node,
             corr: None,
+            freshness: Freshness::Any,
         },
     );
     h.run_ms(30);
@@ -311,6 +312,7 @@ fn iagent_update_changes_the_answer() {
             token: 1,
             reply_node: h.puppet_node,
             corr: None,
+            freshness: Freshness::Any,
         },
     );
     h.run_ms(50);
@@ -363,6 +365,7 @@ fn iagent_answers_not_responsible_when_the_key_is_elsewhere() {
             token: 8,
             reply_node: h.puppet_node,
             corr: None,
+            freshness: Freshness::Any,
         },
     );
     h.run_ms(30);
@@ -391,6 +394,7 @@ fn iagent_buffers_locates_until_the_handoff_lands() {
             token: 4,
             reply_node: h.puppet_node,
             corr: None,
+            freshness: Freshness::Any,
         },
     );
     h.run_ms(50);
@@ -428,6 +432,7 @@ fn iagent_times_out_pending_locates_with_not_found() {
             token: 6,
             reply_node: h.puppet_node,
             corr: None,
+            freshness: Freshness::Any,
         },
     );
     h.run_ms(1000);

@@ -2,7 +2,7 @@
 //! payload encoding, and the hash-function artifact stays consistent under
 //! random rehash histories.
 
-use agentrack_core::{key_of, plan_split, HashFunction, LocationConfig, Wire};
+use agentrack_core::{key_of, plan_split, Freshness, HashFunction, LocationConfig, Wire};
 use agentrack_hashtree::{IAgentId, Side, SplitKind};
 use agentrack_platform::{AgentId, CorrId, NodeId};
 use proptest::prelude::*;
@@ -19,6 +19,14 @@ fn arb_corr() -> impl Strategy<Value = Option<CorrId>> {
     proptest::option::of((any::<u64>(), any::<u64>()).prop_map(|(o, s)| CorrId::new(o, s)))
 }
 
+fn arb_freshness() -> impl Strategy<Value = Freshness> {
+    prop_oneof![
+        Just(Freshness::Fresh),
+        any::<u64>().prop_map(Freshness::BoundedMs),
+        Just(Freshness::Any),
+    ]
+}
+
 fn arb_wire() -> impl Strategy<Value = Wire> {
     prop_oneof![
         (arb_agent(), proptest::option::of(any::<u64>()), arb_corr()).prop_map(
@@ -31,27 +39,35 @@ fn arb_wire() -> impl Strategy<Value = Wire> {
         (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Register { agent, node }),
         (arb_agent(), arb_node()).prop_map(|(agent, node)| Wire::Update { agent, node }),
         (arb_agent(), 0u32..16).prop_map(|(agent, ttl)| Wire::Deregister { agent, ttl }),
-        (arb_agent(), any::<u64>(), arb_node(), arb_corr()).prop_map(
-            |(target, token, reply_node, corr)| {
+        (
+            arb_agent(),
+            any::<u64>(),
+            arb_node(),
+            arb_freshness(),
+            arb_corr()
+        )
+            .prop_map(|(target, token, reply_node, freshness, corr)| {
                 Wire::Locate {
                     target,
                     token,
                     reply_node,
+                    freshness,
                     corr,
                 }
-            }
-        ),
+            }),
         (
             arb_agent(),
             arb_node(),
             any::<bool>(),
             any::<u64>(),
+            any::<u64>(),
             arb_corr()
         )
-            .prop_map(|(target, node, stale, token, corr)| Wire::Located {
+            .prop_map(|(target, node, stale, age_ms, token, corr)| Wire::Located {
                 target,
                 node,
                 stale,
+                age_ms,
                 token,
                 corr
             }),
@@ -107,6 +123,39 @@ proptest! {
     fn prose_is_not_protocol(text in "[a-zA-Z0-9 .,!?]{0,80}") {
         let payload = agentrack_platform::Payload::encode(&text);
         prop_assert_eq!(Wire::from_payload(&payload), None);
+    }
+
+    /// Freshness bounds are monotone: any record age admitted under
+    /// `BoundedMs(a)` is admitted under every looser bound `b >= a`, and
+    /// under `Any`. Loosening a query's freshness requirement can never
+    /// lose an answer.
+    #[test]
+    fn freshness_bounds_are_monotone(a in any::<u64>(), extra in any::<u64>(), age in any::<u64>()) {
+        let b = a.saturating_add(extra);
+        if Freshness::BoundedMs(a).admits(age) {
+            prop_assert!(Freshness::BoundedMs(b).admits(age));
+            prop_assert!(Freshness::Any.admits(age));
+        }
+        // Fresh is the tightest mode: whatever it admits, every bound does.
+        if Freshness::Fresh.admits(age) {
+            prop_assert!(Freshness::BoundedMs(a).admits(age));
+        }
+    }
+
+    /// `Fresh` answers report zero staleness: the only record age the
+    /// `Fresh` mode ever admits is 0, so an answer produced under it
+    /// cannot carry a non-zero `age_ms`.
+    #[test]
+    fn fresh_admits_only_zero_staleness(age in any::<u64>()) {
+        prop_assert_eq!(Freshness::Fresh.admits(age), age == 0);
+        prop_assert_eq!(Freshness::Fresh.bound_ms(), Some(0));
+        // The bound accessor agrees with admits for every mode.
+        for mode in [Freshness::Fresh, Freshness::BoundedMs(age), Freshness::Any] {
+            match mode.bound_ms() {
+                Some(bound) => prop_assert_eq!(mode.admits(age), age <= bound),
+                None => prop_assert!(mode.admits(age)),
+            }
+        }
     }
 
     /// A hash function built by random splits stays internally consistent,

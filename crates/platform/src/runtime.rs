@@ -208,6 +208,8 @@ pub struct SimPlatform {
     latency_spikes: Vec<(u64, f64)>,
     loss_bursts: Vec<(u64, f64)>,
     blackholes: Vec<(u64, (NodeId, NodeId))>,
+    /// Severed inter-region WAN links: token → unordered region pair.
+    region_severs: Vec<(u64, (u32, u32))>,
     next_fault_token: u64,
     /// Per-agent minimum live timer id, bumped on node restart so timer
     /// chains armed before the crash stay dead (restarted behaviours
@@ -239,6 +241,7 @@ impl SimPlatform {
             latency_spikes: Vec::new(),
             loss_bursts: Vec::new(),
             blackholes: Vec::new(),
+            region_severs: Vec::new(),
             next_fault_token: 0,
             timer_floor: HashMap::new(),
         }
@@ -256,6 +259,23 @@ impl SimPlatform {
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
         plan.validate(self.topology.node_count())
             .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        // Region-range checks need the topology's region map, which the
+        // plan itself cannot see.
+        for (i, event) in plan.events().iter().enumerate() {
+            if let FaultKind::RegionSever { a, b, .. } = event.kind {
+                let regions = self.topology.region_count();
+                assert!(
+                    self.topology.region_topo().is_some(),
+                    "invalid fault plan: event {i} severs regions but the topology has none"
+                );
+                assert!(
+                    a < regions && b < regions,
+                    "invalid fault plan: event {i} severs region {} outside the \
+                     {regions}-region topology",
+                    a.max(b)
+                );
+            }
+        }
         for event in plan.events() {
             let index = self.fault_plan.len();
             self.fault_plan.push(event.clone());
@@ -643,6 +663,13 @@ impl SimPlatform {
                 self.trace
                     .emit(now, || TraceEvent::FaultApplied { kind: "blackhole" });
             }
+            FaultKind::RegionSever { a, b, heal_at } => {
+                let token = self.issue_fault_token(heal_at);
+                self.region_severs.push((token, (a, b)));
+                self.trace.emit(now, || TraceEvent::FaultApplied {
+                    kind: "region-sever",
+                });
+            }
         }
     }
 
@@ -674,6 +701,11 @@ impl SimPlatform {
             self.blackholes.remove(pos);
             self.trace
                 .emit(now, || TraceEvent::FaultCleared { kind: "blackhole" });
+        } else if let Some(pos) = self.region_severs.iter().position(|(t, _)| *t == token) {
+            self.region_severs.remove(pos);
+            self.trace.emit(now, || TraceEvent::FaultCleared {
+                kind: "region-sever",
+            });
         }
     }
 
@@ -737,6 +769,16 @@ impl SimPlatform {
                 if a != b {
                     return true;
                 }
+            }
+        }
+        if !self.region_severs.is_empty() {
+            let (ra, rb) = (self.topology.region_of(from), self.topology.region_of(to));
+            if self
+                .region_severs
+                .iter()
+                .any(|(_, (a, b))| (ra, rb) == (*a, *b) || (ra, rb) == (*b, *a))
+            {
+                return true;
             }
         }
         self.blackholes.iter().any(|(_, link)| *link == (from, to))

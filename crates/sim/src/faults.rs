@@ -72,6 +72,20 @@ pub enum FaultKind {
         /// When the blackhole closes.
         until: SimTime,
     },
+    /// Severs the WAN link between two regions (both directions) until
+    /// `heal_at`: messages between any node of region `a` and any node
+    /// of region `b` are dropped. Requires a region topology
+    /// ([`crate::Topology::with_regions`]); the platform rejects the
+    /// plan otherwise. Generalises the ad-hoc node-group `Partition`
+    /// for the multi-region WAN model.
+    RegionSever {
+        /// One severed region.
+        a: u32,
+        /// The other severed region.
+        b: u32,
+        /// When the inter-region link heals.
+        heal_at: SimTime,
+    },
 }
 
 impl FaultKind {
@@ -85,6 +99,7 @@ impl FaultKind {
             FaultKind::LatencySpike { until, .. }
             | FaultKind::LossBurst { until, .. }
             | FaultKind::Blackhole { until, .. } => Some(*until),
+            FaultKind::RegionSever { heal_at, .. } => Some(*heal_at),
         }
     }
 
@@ -98,6 +113,7 @@ impl FaultKind {
             FaultKind::LatencySpike { .. } => "latency-spike",
             FaultKind::LossBurst { .. } => "loss-burst",
             FaultKind::Blackhole { .. } => "blackhole",
+            FaultKind::RegionSever { .. } => "region-sever",
         }
     }
 }
@@ -250,6 +266,13 @@ impl FaultPlan {
                     check_node(*to)?;
                     if from == to {
                         return Err(format!("event {i}: blackhole from {from} to itself"));
+                    }
+                }
+                FaultKind::RegionSever { a, b, .. } => {
+                    // Region-range checks need the topology's region map;
+                    // the platform performs them when installing the plan.
+                    if a == b {
+                        return Err(format!("event {i}: region {a} severed from itself"));
                     }
                 }
             }
@@ -460,6 +483,35 @@ mod tests {
             }],
         };
         assert!(self_blackhole.validate(4).is_err());
+    }
+
+    #[test]
+    fn region_sever_validates_and_heals() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent {
+            at: secs(2),
+            kind: FaultKind::RegionSever {
+                a: 0,
+                b: 1,
+                heal_at: secs(5),
+            },
+        });
+        assert!(plan.validate(8).is_ok());
+        assert!(plan.fully_heals(secs(5)));
+        assert!(!plan.fully_heals(secs(4)));
+        assert_eq!(plan.events()[0].kind.name(), "region-sever");
+
+        let self_sever = FaultPlan {
+            events: vec![FaultEvent {
+                at: secs(1),
+                kind: FaultKind::RegionSever {
+                    a: 2,
+                    b: 2,
+                    heal_at: secs(3),
+                },
+            }],
+        };
+        assert!(self_sever.validate(8).is_err());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`SimRng`] / [`DurationDist`] / [`Zipf`] — seeded randomness and the
 //!   distributions workloads and network models draw from;
 //! * [`Topology`] — a LAN model: full mesh, per-hop latency distributions,
-//!   optional loss/duplication for failure-injection tests;
+//!   optional loss/duplication for failure-injection tests — plus
+//!   [`RegionTopo`], the multi-region WAN generalisation with an
+//!   inter-region latency matrix and per-link sever/heal faults;
 //! * [`ServiceStation`] — single-server FIFO queues that make tracker
 //!   saturation (the paper's headline effect) emerge naturally;
 //! * [`Histogram`] / [`WindowedRate`] / [`Counter`] — measurement, plus the
@@ -73,7 +75,7 @@ mod trace;
 
 pub use faults::{shrink, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{AtomicLogHistogram, Counter, Histogram, LogHistogram, WindowedRate};
-pub use net::{arrival, Delivery, NodeId, Topology};
+pub use net::{arrival, Delivery, NodeId, RegionTopo, Topology};
 pub use queue::Scheduler;
 pub use registry::{
     LatencySummary, MetricsRegistry, RegistrySnapshot, RehashCounts, TrackerMetrics,

@@ -44,6 +44,13 @@ pub struct TrackerMetrics {
     /// Locates against this tracker abandoned on an explicit negative
     /// answer (`NotFound`/`NotResponsible` on the final attempt).
     pub giveup_negative: u64,
+    /// Of [`giveup_timeout`](Self::giveup_timeout), how many hit a
+    /// tracker on a *different node* than the querier — the signature of
+    /// a severed inter-region link, as opposed to a local overload.
+    pub giveup_timeout_remote: u64,
+    /// Of [`giveup_negative`](Self::giveup_negative), how many came from
+    /// a tracker on a different node than the querier.
+    pub giveup_negative_remote: u64,
 }
 
 impl TrackerMetrics {
@@ -198,7 +205,8 @@ impl RegistrySnapshot {
     /// Header of the per-tracker CSV produced by [`Self::to_csv`].
     pub const CSV_HEADER: &'static str = "tracker,requests,rate_per_sec,queue_depth,\
 queue_depth_peak,mailbox_occupancy,mailbox_occupancy_peak,records_held,\
-mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative";
+mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative,\
+giveup_timeout_remote,giveup_negative_remote";
 
     /// Renders the per-tracker metrics as CSV (header + one row per
     /// tracker).
@@ -209,7 +217,7 @@ mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative";
         for (id, t) in &self.trackers {
             let _ = writeln!(
                 out,
-                "{id},{},{:.3},{},{},{},{},{},{},{},{},{},{}",
+                "{id},{},{:.3},{},{},{},{},{},{},{},{},{},{},{},{}",
                 t.requests,
                 t.rate_per_sec,
                 t.queue_depth,
@@ -222,6 +230,8 @@ mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative";
                 t.mail_lost,
                 t.giveup_timeout,
                 t.giveup_negative,
+                t.giveup_timeout_remote,
+                t.giveup_negative_remote,
             );
         }
         out
@@ -241,7 +251,8 @@ mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative";
                  \"queue_depth\": {}, \"queue_depth_peak\": {}, \"mailbox_occupancy\": {}, \
                  \"mailbox_occupancy_peak\": {}, \"records_held\": {}, \"mail_buffered\": {}, \
                  \"mail_flushed\": {}, \"mail_lost\": {}, \"giveup_timeout\": {}, \
-                 \"giveup_negative\": {}}}",
+                 \"giveup_negative\": {}, \"giveup_timeout_remote\": {}, \
+                 \"giveup_negative_remote\": {}}}",
                 if i == 0 { "" } else { "," },
                 t.requests,
                 t.rate_per_sec,
@@ -255,6 +266,8 @@ mail_buffered,mail_flushed,mail_lost,giveup_timeout,giveup_negative";
                 t.mail_lost,
                 t.giveup_timeout,
                 t.giveup_negative,
+                t.giveup_timeout_remote,
+                t.giveup_negative_remote,
             );
         }
         out.push_str("\n  ],\n  \"rehashes\": [");
@@ -369,6 +382,8 @@ mod tests {
         assert!(csv.contains("\n1,4,1.250,"));
         assert!(csv.lines().nth(1).unwrap().ends_with(",0,0"));
         assert!(a.to_json().contains("\"giveup_timeout\": 0"));
+        assert!(a.to_json().contains("\"giveup_timeout_remote\": 0"));
+        assert!(RegistrySnapshot::CSV_HEADER.ends_with("giveup_negative_remote"));
         assert!(csv.contains("\n2,10,"));
         let json = a.to_json();
         assert!(json.contains("\"rate_per_sec\": 1.250"));

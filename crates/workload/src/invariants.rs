@@ -21,6 +21,12 @@
 //!   it); a tracker stuck recovering would answer stale forever. Together
 //!   with locatability this is the durability guarantee: no agent stays
 //!   permanently unlocatable after its tracker crashes and restarts.
+//! * **Freshness bounds** — no answer delivered during the run may
+//!   declare an age above the locate's freshness bound (the scheme's
+//!   client-side audit counter must be zero), and once every recovery has
+//!   converged the post-quiesce probes must be answered authoritatively —
+//!   a stale probe answer means a replica set failed to reconverge after
+//!   the faults healed.
 //!
 //! Checks that a fault plan makes undecidable (e.g. locatability of agents
 //! stranded on a node that never restarts) are narrowed to the reachable
@@ -78,6 +84,12 @@ pub struct InvariantReport {
     pub recoveries_completed: u64,
     /// Degraded-mode (stale) locate answers served during recoveries.
     pub stale_answers: u64,
+    /// Answers whose declared age exceeded the locate's freshness bound
+    /// over the whole run (must be zero).
+    pub bound_violations: u64,
+    /// Post-quiesce probes answered with a stale (replica/recovery)
+    /// record instead of the authoritative one.
+    pub probe_stale: usize,
     /// Human-readable invariant violations; empty means the run passed.
     pub violations: Vec<String>,
 }
@@ -95,6 +107,7 @@ impl InvariantReport {
 struct ProbeOutcome {
     located: Vec<u64>,
     failed: Vec<u64>,
+    stale: Vec<u64>,
 }
 
 /// A one-shot audit agent: locates each target in turn through a fresh
@@ -124,7 +137,13 @@ impl ProbeBehavior {
         f: impl FnOnce(&mut dyn DirectoryClient, &mut AgentCtx<'_>) -> ClientEvent,
     ) {
         match f(self.client.as_mut(), ctx) {
-            ClientEvent::Located { target, .. } => self.results.lock().located.push(target.raw()),
+            ClientEvent::Located { target, stale, .. } => {
+                let mut results = self.results.lock();
+                results.located.push(target.raw());
+                if stale {
+                    results.stale.push(target.raw());
+                }
+            }
             ClientEvent::Failed { target, .. } => self.results.lock().failed.push(target.raw()),
             _ => {}
         }
@@ -228,6 +247,7 @@ pub(crate) fn check(
     }
     let outcome = results.lock();
     let located = outcome.located.len();
+    let probe_stale = outcome.stale.len();
     let mut unlocatable: Vec<u64> = reachable
         .iter()
         .map(|id| id.raw())
@@ -327,6 +347,35 @@ pub(crate) fn check(
         ));
     }
 
+    // -- Freshness bounds ------------------------------------------------
+    // The client audits every answer against the bound its locate
+    // declared; a single violation means a tracker served a record older
+    // than it promised.
+    if stats.bound_violations > 0 {
+        violations.push(format!(
+            "{} answers declared an age above their locate's freshness bound",
+            stats.bound_violations
+        ));
+    }
+    if let Some(bound) = scenario.freshness.bound_ms() {
+        if report.max_answer_age_ms > bound {
+            violations.push(format!(
+                "an answer declared age {} ms against a {} ms staleness budget",
+                report.max_answer_age_ms, bound
+            ));
+        }
+    }
+    // With every recovery converged and the faults healed, replica sets
+    // must have reconverged: the post-quiesce probes (issued without a
+    // freshness bound) must come from authoritative records, never from a
+    // stale replica or recovery copy.
+    if stats.recoveries_started == stats.recoveries_completed && probe_stale > 0 {
+        violations.push(format!(
+            "{probe_stale} post-quiesce probes answered stale after every recovery converged \
+             (replica set failed to reconverge)"
+        ));
+    }
+
     scheme.set_adaptation_frozen(false);
 
     InvariantReport {
@@ -341,6 +390,8 @@ pub(crate) fn check(
         recoveries_started: stats.recoveries_started,
         recoveries_completed: stats.recoveries_completed,
         stale_answers: stats.stale_answers,
+        bound_violations: stats.bound_violations,
+        probe_stale,
         violations,
     }
 }

@@ -25,6 +25,13 @@ pub struct MetricsInner {
     pub locates_issued: u64,
     /// Locates that gave up after exhausting their retry budget.
     pub locate_failures: u64,
+    /// Completed locates answered from a replica (`stale: true`) rather
+    /// than the authoritative record — the freshness-bounded degraded
+    /// path. Always `<=` the number of completed locates.
+    pub stale_answers: u64,
+    /// Largest declared record age (ms) seen on any completed locate;
+    /// geo experiments assert it never exceeds the staleness budget.
+    pub max_answer_age_ms: u64,
     /// Registrations completed.
     pub registrations: u64,
     /// TAgent moves performed.
@@ -55,6 +62,8 @@ impl Default for MetricsInner {
             locate_times: Histogram::new(),
             locates_issued: 0,
             locate_failures: 0,
+            stale_answers: 0,
+            max_answer_age_ms: 0,
             registrations: 0,
             moves: 0,
             births: 0,
@@ -134,6 +143,19 @@ impl Metrics {
         if self.measured(issued) {
             self.inner.lock().locate_failures += 1;
         }
+    }
+
+    /// Records the staleness of a completed locate's answer: whether it
+    /// came from a replica and the record age it declared.
+    pub fn record_answer_age(&self, issued: SimTime, stale: bool, age_ms: u64) {
+        if !self.measured(issued) {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if stale {
+            inner.stale_answers += 1;
+        }
+        inner.max_answer_age_ms = inner.max_answer_age_ms.max(age_ms);
     }
 
     /// Records a completed registration.

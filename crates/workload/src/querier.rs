@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use agentrack_core::{ClientEvent, DirectoryClient};
+use agentrack_core::{ClientEvent, DirectoryClient, Freshness};
 use agentrack_platform::{Agent, AgentCtx, AgentId, NodeId, Payload, TimerId};
 use agentrack_sim::{DurationDist, SimDuration, SimTime, Zipf};
 
@@ -81,6 +81,7 @@ pub struct QuerierBehavior {
     interval: DurationDist,
     remaining: u64,
     metrics: Metrics,
+    freshness: Freshness,
     next_token: u64,
     issued_at: HashMap<u64, SimTime>,
     query_timer: Option<TimerId>,
@@ -116,10 +117,19 @@ impl QuerierBehavior {
             interval,
             remaining: count,
             metrics,
+            freshness: Freshness::Any,
             next_token: 0,
             issued_at: HashMap::new(),
             query_timer: None,
         }
+    }
+
+    /// Issues every locate under the given freshness requirement instead
+    /// of the default [`Freshness::Any`] (the geo experiments' knob).
+    #[must_use]
+    pub fn with_freshness(mut self, freshness: Freshness) -> Self {
+        self.freshness = freshness;
+        self
     }
 
     fn schedule_next(&mut self, ctx: &mut AgentCtx<'_>, delay: SimDuration) {
@@ -137,7 +147,7 @@ impl QuerierBehavior {
         self.next_token += 1;
         self.issued_at.insert(token, ctx.now());
         self.metrics.record_issue(ctx.now());
-        self.client.locate(ctx, target, token);
+        self.client.locate_with(ctx, target, token, self.freshness);
     }
 }
 
@@ -190,10 +200,17 @@ impl QuerierBehavior {
         f: impl FnOnce(&mut dyn DirectoryClient, &mut AgentCtx<'_>) -> ClientEvent,
     ) {
         match f(self.client.as_mut(), ctx) {
-            ClientEvent::Located { token, target, .. } => {
+            ClientEvent::Located {
+                token,
+                target,
+                stale,
+                age_ms,
+                ..
+            } => {
                 if let Some(issued) = self.issued_at.remove(&token) {
                     self.metrics
                         .record_locate(issued, target, ctx.now() - issued);
+                    self.metrics.record_answer_age(issued, stale, age_ms);
                 }
             }
             ClientEvent::Failed { token, .. } => {

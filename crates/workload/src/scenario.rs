@@ -6,7 +6,7 @@
 //! producing a [`ScenarioReport`] with the paper's metric (average
 //! location time) plus everything needed for the extended analyses.
 
-use agentrack_core::LocationScheme;
+use agentrack_core::{Freshness, LocationScheme};
 use agentrack_platform::{NodeId, PlatformConfig, SimPlatform};
 use agentrack_sim::{DurationDist, FaultPlan, SimDuration, Topology, TraceSink};
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,17 @@ pub struct Scenario {
     /// Flash crowds: extra bursts of queries concentrated in short
     /// windows, on top of the steady workload (E17, diurnal workloads).
     pub spikes: Vec<QuerySpike>,
+    /// WAN regions the nodes are split into (contiguous ranges). `0` or
+    /// `1` keeps the plain LAN topology; `> 1` builds a regional
+    /// topology where cross-region messages pay `inter_region_latency`
+    /// and region links can be severed by
+    /// [`agentrack_sim::FaultKind::RegionSever`] faults.
+    pub regions: u32,
+    /// One-way latency between regions (only used when `regions > 1`).
+    pub inter_region_latency: DurationDist,
+    /// Freshness requirement every querier attaches to its locates
+    /// (default [`Freshness::Any`], the pre-geo behaviour).
+    pub freshness: Freshness,
 }
 
 /// A flash crowd riding on top of the steady query workload: `queries`
@@ -212,6 +223,9 @@ impl Scenario {
             churn_lifespan: None,
             faults: FaultPlan::new(),
             spikes: Vec::new(),
+            regions: 0,
+            inter_region_latency: DurationDist::Constant(SimDuration::from_millis(30)),
+            freshness: Freshness::Any,
         }
     }
 
@@ -255,6 +269,24 @@ impl Scenario {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Splits the nodes into `regions` contiguous WAN regions with the
+    /// given one-way inter-region latency (milliseconds). `regions <= 1`
+    /// keeps the plain LAN.
+    #[must_use]
+    pub fn with_regions(mut self, regions: u32, inter_region_ms: f64) -> Self {
+        self.regions = regions;
+        self.inter_region_latency =
+            DurationDist::Constant(SimDuration::from_secs_f64(inter_region_ms / 1000.0));
+        self
+    }
+
+    /// Sets the freshness requirement queriers attach to every locate.
+    #[must_use]
+    pub fn with_freshness(mut self, freshness: Freshness) -> Self {
+        self.freshness = freshness;
         self
     }
 
@@ -475,9 +507,18 @@ impl Scenario {
             "queries need a non-zero measurement span to be paced over"
         );
 
-        let topology = Topology::lan(self.nodes, self.latency)
-            .with_loss(self.loss)
-            .with_duplication(self.duplication);
+        let topology = if self.regions > 1 {
+            Topology::regional(
+                self.nodes,
+                self.latency,
+                self.regions,
+                self.inter_region_latency,
+            )
+        } else {
+            Topology::lan(self.nodes, self.latency)
+        }
+        .with_loss(self.loss)
+        .with_duplication(self.duplication);
         let platform_config = PlatformConfig::default()
             .with_seed(self.seed)
             .with_handler_service_time(self.service_time);
@@ -576,7 +617,8 @@ impl Scenario {
                     interval_dist,
                     count,
                     metrics.clone(),
-                );
+                )
+                .with_freshness(self.freshness);
                 platform.spawn(Box::new(behavior), node);
             }
         }
@@ -616,7 +658,8 @@ impl Scenario {
                     interval_dist,
                     count,
                     metrics.clone(),
-                );
+                )
+                .with_freshness(self.freshness);
                 platform.spawn(Box::new(behavior), node);
             }
         }
@@ -687,6 +730,12 @@ impl Scenario {
             recoveries_started: scheme_stats.recoveries_started,
             recoveries_completed: scheme_stats.recoveries_completed,
             stale_answers: scheme_stats.stale_answers,
+            replica_answers: scheme_stats.replica_answers,
+            freshness_refusals: scheme_stats.freshness_refusals,
+            hedged_locates: scheme_stats.hedged_locates,
+            bound_violations: scheme_stats.bound_violations,
+            stale_located: m.stale_answers,
+            max_answer_age_ms: m.max_answer_age_ms,
             trace_dropped,
             samples_retained: samples.len() as u64,
             samples_seen: m.samples_seen,
@@ -784,6 +833,24 @@ pub struct ScenarioReport {
     pub recoveries_completed: u64,
     /// Degraded-mode `Located{stale}` answers served during recovery.
     pub stale_answers: u64,
+    /// Freshness-bounded locates answered from a buddy replica by a
+    /// non-responsible tracker (the partition-tolerant local-read path).
+    pub replica_answers: u64,
+    /// Locates a tracker refused to answer from the record it had because
+    /// the record was older than the declared freshness bound.
+    pub freshness_refusals: u64,
+    /// Duplicate locates hedged to the responsible tracker's buddy
+    /// replica because the tracker's node looked unreachable.
+    pub hedged_locates: u64,
+    /// Answers whose declared age exceeded the locate's freshness bound
+    /// (audited client-side; the invariant demands zero).
+    pub bound_violations: u64,
+    /// Completed measured locates whose answer was marked stale (served
+    /// from a replica or a recovering tracker), as seen by queriers.
+    pub stale_located: u64,
+    /// Largest declared answer age (ms) across completed measured
+    /// locates.
+    pub max_answer_age_ms: u64,
     /// Trace records dropped because the [`TraceSink`] ring overflowed
     /// (zero when tracing is disabled or the ring was large enough).
     pub trace_dropped: u64,

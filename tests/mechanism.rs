@@ -72,6 +72,7 @@ impl Agent for Blaster {
                     token,
                     reply_node: here,
                     corr: None,
+                    freshness: Default::default(),
                 }
                 .payload(),
             );

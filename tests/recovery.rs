@@ -121,6 +121,39 @@ fn replicated_recovery_replays_the_identical_trace() {
     assert!(syncs > 0, "the replayed runs never replicated anything");
 }
 
+/// Once every epoch-fenced recovery has converged, the replica sets must
+/// be reconverged too: the post-quiesce probes (issued with no freshness
+/// bound) are answered authoritatively, never `stale: true`. Pins the
+/// recovery machine clearing `stale_records` on convergence — a
+/// regression here would let a healed tracker keep serving degraded
+/// answers forever.
+#[test]
+fn no_stale_answers_after_replica_reconvergence() {
+    // Freshness-bounded queriers make the degraded path reachable
+    // during the outage without changing what the probes assert after.
+    let mut scenario = recovery_scenario(31);
+    scenario = scenario.with_freshness(agentrack::core::Freshness::BoundedMs(2000));
+    let mut scheme = HashedScheme::new(replicated_config()).with_standby();
+    let (_, invariants) = scenario.run_chaos(&mut scheme, true);
+    assert!(
+        invariants.ok(),
+        "invariant violations after recovery: {:?}",
+        invariants.violations
+    );
+    assert!(
+        invariants.recoveries_started >= 1,
+        "the crash never put a tracker through recovery; the test is vacuous"
+    );
+    assert_eq!(
+        invariants.recoveries_started, invariants.recoveries_completed,
+        "a recovery never finished"
+    );
+    assert_eq!(
+        invariants.probe_stale, 0,
+        "post-quiesce probes were answered stale after every recovery converged"
+    );
+}
+
 /// Drives a scheme client by script: registers on create, optionally
 /// sends one piece of guaranteed-delivery mail at a scheduled time.
 struct ScriptedClient {

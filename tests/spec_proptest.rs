@@ -44,6 +44,9 @@ fn plain_workload(agents: usize) -> WorkloadSpec {
         churn_lifespan_ms: None,
         loss: None,
         duplication: None,
+        regions: None,
+        inter_region_ms: None,
+        freshness_ms: None,
     }
 }
 
@@ -218,6 +221,7 @@ fn arb_breakage() -> impl Strategy<Value = Breakage> {
                         intensity: Some(2.0),
                     }),
                     regional_partition: None,
+                    region_sever: None,
                 });
             },
             "intensity",

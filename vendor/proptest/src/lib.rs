@@ -24,7 +24,7 @@ mod string;
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        BoxedStrategy, ProptestConfig, Strategy, TestCaseError,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
     };
 
     /// Namespace alias so `prop::collection::vec(..)` resolves, as with
